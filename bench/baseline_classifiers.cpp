@@ -1,0 +1,128 @@
+// Related-work modeling alternatives (§II-A): prior systems used
+// artificial neural networks where this paper chose a classification tree,
+// and an R user could have clustered hierarchically instead of with PAM.
+// This bench swaps each piece and measures what changes:
+//  * cluster assignment: CART vs a one-hidden-layer MLP, leave-one-
+//    benchmark-out;
+//  * clustering: PAM vs average-linkage agglomerative, compared by
+//    silhouette width and cluster-size balance.
+#include <iostream>
+#include <set>
+
+#include "bench_common.h"
+#include "core/features.h"
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "pareto/dissimilarity.h"
+#include "stats/agglomerative.h"
+#include "stats/crossval.h"
+#include "stats/mlp.h"
+#include "stats/pam.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace acsel;
+  bench::print_header("Classifier and clustering baselines",
+                      "§II-A ANN prior work; clustering choice");
+
+  soc::Machine machine = bench::make_machine();
+  const auto suite = workloads::Suite::standard();
+  const auto characterizations = eval::characterize(machine, suite);
+  const std::size_t n = characterizations.size();
+
+  // Gold clusters: PAM over the full suite (what the classifiers target).
+  std::vector<pareto::ParetoFrontier> frontiers;
+  for (const auto& c : characterizations) {
+    frontiers.push_back(c.frontier());
+  }
+  const auto dissimilarity = pareto::dissimilarity_matrix(frontiers);
+  const auto gold = stats::pam(dissimilarity, 5);
+
+  // Feature matrix from the sample runs.
+  const std::size_t d = core::classification_feature_names().size();
+  linalg::Matrix x{n, d};
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto f =
+        core::classification_features(characterizations[i].samples);
+    for (std::size_t j = 0; j < d; ++j) {
+      x(i, j) = f[j];
+    }
+  }
+
+  // Leave-one-benchmark-out classification accuracy for both learners.
+  std::vector<std::string> benchmark_of;
+  for (const auto& c : characterizations) {
+    benchmark_of.push_back(c.benchmark);
+  }
+  std::size_t cart_hits = 0;
+  std::size_t mlp_hits = 0;
+  std::size_t total = 0;
+  for (const auto& fold : stats::leave_one_group_out(benchmark_of)) {
+    linalg::Matrix train_x{fold.train.size(), d};
+    std::vector<std::size_t> train_y(fold.train.size());
+    for (std::size_t r = 0; r < fold.train.size(); ++r) {
+      for (std::size_t j = 0; j < d; ++j) {
+        train_x(r, j) = x(fold.train[r], j);
+      }
+      train_y[r] = gold.assignment[fold.train[r]];
+    }
+    const auto cart = stats::Cart::fit(train_x, train_y, {},
+                                       core::classification_feature_names());
+    const auto mlp = stats::MlpClassifier::fit(train_x, train_y);
+    for (const std::size_t t : fold.test) {
+      ++total;
+      cart_hits += cart.predict(x.row(t)) == gold.assignment[t] ? 1 : 0;
+      mlp_hits += mlp.predict(x.row(t)) == gold.assignment[t] ? 1 : 0;
+    }
+  }
+  TextTable classifiers;
+  classifiers.set_header({"Classifier", "Held-out accuracy",
+                          "Online cost (§IV-C)"});
+  classifiers.add_row(
+      {"CART (the paper's choice)",
+       format_double(100.0 * static_cast<double>(cart_hits) /
+                         static_cast<double>(total),
+                     3) +
+           "%",
+       "O(tree depth) comparisons"});
+  classifiers.add_row(
+      {"MLP (ANN prior work)",
+       format_double(100.0 * static_cast<double>(mlp_hits) /
+                         static_cast<double>(total),
+                     3) +
+           "%",
+       "dense matrix-vector products"});
+  classifiers.print(std::cout,
+                    "Cluster assignment, leave-one-benchmark-out:");
+  std::cout << '\n';
+
+  // Clustering alternative.
+  TextTable clusterings;
+  clusterings.set_header({"Clustering", "Silhouette", "Cluster sizes"});
+  const auto sizes_of = [&](const std::vector<std::size_t>& assignment) {
+    std::vector<std::size_t> sizes(5, 0);
+    for (const std::size_t label : assignment) {
+      ++sizes[label];
+    }
+    std::string out;
+    for (const std::size_t s : sizes) {
+      out += (out.empty() ? "" : "/") + std::to_string(s);
+    }
+    return out;
+  };
+  clusterings.add_row({"PAM (k-medoids, the implementation's choice)",
+                       format_double(
+                           stats::silhouette(dissimilarity, gold.assignment),
+                           3),
+                       sizes_of(gold.assignment)});
+  const auto hier =
+      stats::agglomerative(dissimilarity, 5, stats::Linkage::Average);
+  clusterings.add_row({"Agglomerative (average linkage)",
+                       format_double(
+                           stats::silhouette(dissimilarity, hier.assignment),
+                           3),
+                       sizes_of(hier.assignment)});
+  clusterings.print(std::cout, "Relational clustering at k = 5:");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared plumbing for the reproduction benches: one canonical machine
+// seed so every figure is computed from the same simulated experiment, and
+// a helper that prints our rows next to the paper's reported values.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "eval/protocol.h"
+#include "soc/machine.h"
+#include "workloads/suite.h"
+
+namespace acsel::bench {
+
+/// One seed across all benches so Table III and Figs. 4-9 describe the
+/// same simulated experiment.
+constexpr std::uint64_t kBenchSeed = 90210;
+
+inline soc::Machine make_machine() {
+  return soc::Machine{soc::MachineSpec{}, kBenchSeed};
+}
+
+/// Runs the paper's full LOOCV evaluation (§V) on a fresh machine.
+inline eval::EvaluationResult run_paper_evaluation() {
+  soc::Machine machine = make_machine();
+  const auto suite = workloads::Suite::standard();
+  return eval::run_loocv(machine, suite);
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "=== " << title << " ===\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "(simulated Trinity APU substrate — compare shapes, not "
+               "absolute values; see EXPERIMENTS.md)\n\n";
+}
+
+}  // namespace acsel::bench

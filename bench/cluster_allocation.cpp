@@ -1,0 +1,88 @@
+// The multi-node payoff the paper positions its node model as enabling
+// (§I: "Our model is a key ingredient to maximizing performance on a
+// multi-node cluster"): a small power-constrained cluster with
+// heterogeneous per-node workloads, comparing budget-allocation policies.
+// Marginal-gain allocation — water-filling on the nodes' retained
+// predicted Pareto frontiers — should beat uniform and demand-based
+// splits.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cluster/cluster.h"
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace acsel;
+  using namespace acsel::cluster;
+  bench::print_header("Cluster power allocation",
+                      "§I multi-node motivation (extension experiment)");
+
+  soc::Machine trainer_machine = bench::make_machine();
+  const auto suite = workloads::Suite::standard();
+  const auto model =
+      core::train(eval::characterize(trainer_machine, suite));
+
+  const auto work = [&](const std::string& id) {
+    const auto& instance = suite.instance(id);
+    return Node::Work{core::KernelKey{instance.kernel, instance.benchmark, 0},
+                      instance};
+  };
+  // Four nodes with very different power-to-performance curves.
+  const auto make_nodes = [&]() {
+    std::vector<Node> nodes;
+    nodes.emplace_back("lu-gpu", 21, model,
+                       std::vector<Node::Work>{work("LU-Large/lud")}, 25.0);
+    nodes.emplace_back("smc-compute", 22, model,
+                       std::vector<Node::Work>{
+                           work("SMC-Default/ChemistryRates"),
+                           work("SMC-Default/TransportCoefficients")},
+                       25.0);
+    nodes.emplace_back("comd-irregular", 23, model,
+                       std::vector<Node::Work>{
+                           work("CoMD-LJ/HaloExchange"),
+                           work("CoMD-LJ/RedistributeAtoms")},
+                       25.0);
+    nodes.emplace_back("lulesh-stream", 24, model,
+                       std::vector<Node::Work>{
+                           work("LULESH-Large/UpdateVolumesForElems"),
+                           work("LULESH-Large/CalcVelocityForNodes")},
+                       25.0);
+    return nodes;
+  };
+
+  TextTable table;
+  table.set_header({"Budget (W)", "Policy", "Throughput (steps/s)",
+                    "Power used (W)", "Violations", "Caps (W)"});
+  for (const double budget : {70.0, 100.0, 140.0}) {
+    for (const auto policy :
+         {AllocationPolicy::Uniform, AllocationPolicy::DemandProportional,
+          AllocationPolicy::MarginalGain}) {
+      ClusterOptions options;
+      options.global_budget_w = budget;
+      options.policy = policy;
+      Cluster cluster{make_nodes(), options};
+      cluster.run(3);  // sampling + settling
+      const auto report = cluster.run(3);
+      std::string caps;
+      for (const double cap : report.caps_w) {
+        caps += (caps.empty() ? "" : "/") + format_double(cap, 3);
+      }
+      table.add_row({
+          format_double(budget, 4),
+          to_string(policy),
+          format_double(report.throughput, 4),
+          format_double(report.total_power_w, 4),
+          std::to_string(report.violations),
+          caps,
+      });
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: marginal-gain finds the GPU-friendly nodes' "
+               "frontier cliffs and feeds\nthem first; the gap versus "
+               "uniform narrows as the budget saturates every node.\n";
+  return 0;
+}

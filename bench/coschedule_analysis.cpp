@@ -1,0 +1,109 @@
+// Two-application co-scheduling from single-application predictions
+// (§II-B: single-application models as the "necessary ingredient" of
+// multi-application optimization). For pairs of applications with
+// complementary device affinities, compare under a node-cap sweep:
+//  * co-scheduled: co_select places one kernel per device from the two
+//    kernels' retained predictions; truth evaluated with the shared-
+//    controller co-run model;
+//  * time-sliced: each kernel alone at its oracle-best configuration
+//    under the cap, alternating 50/50 — the single-application regime the
+//    paper's system covers.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/error.h"
+#include "core/coscheduler.h"
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "eval/oracle.h"
+#include "hw/config_space.h"
+#include "soc/coschedule.h"
+#include "soc/power_model.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace acsel;
+  bench::print_header("Two-application co-scheduling",
+                      "§II-B multi-application setting (extension)");
+
+  soc::Machine machine = bench::make_machine();
+  const auto suite = workloads::Suite::standard();
+  const hw::ConfigSpace space;
+  const auto characterizations = eval::characterize(machine, suite);
+  const auto model = core::train(characterizations);
+
+  const auto prediction_of = [&](const std::string& id) {
+    for (const auto& c : characterizations) {
+      if (c.instance_id == id) {
+        return model.predict(c.samples);
+      }
+    }
+    throw acsel::Error{"missing " + id};
+  };
+
+  core::CoSchedulerOptions options;
+  options.idle_power_w = soc::idle_power(machine.spec()).total();
+
+  struct Pair {
+    std::string a;
+    std::string b;
+  };
+  const std::vector<Pair> pairs{
+      {"LU-Large/lud", "CoMD-LJ/HaloExchange"},          // GPU + CPU lover
+      {"SMC-Default/ChemistryRates", "CoMD-LJ/RedistributeAtoms"},
+      {"LULESH-Large/CalcKinematicsForElems",
+       "LULESH-Large/UpdateVolumesForElems"},            // both memory-hungry
+  };
+
+  TextTable table;
+  table.set_header({"Pair", "Cap (W)", "Co-sched thr (1/s)",
+                    "Co-sched power", "Time-sliced thr (1/s)",
+                    "Co wins?"});
+  for (const Pair& pair : pairs) {
+    const auto pa = prediction_of(pair.a);
+    const auto pb = prediction_of(pair.b);
+    const auto& ka = suite.instance(pair.a).traits;
+    const auto& kb = suite.instance(pair.b).traits;
+    const eval::Oracle oa = eval::build_oracle(machine, suite.instance(pair.a));
+    const eval::Oracle ob = eval::build_oracle(machine, suite.instance(pair.b));
+
+    for (const double cap : {25.0, 35.0, 50.0}) {
+      const auto choice = core::co_select(pa, pb, cap, options);
+      // Ground truth of the chosen placement.
+      const auto& cpu_kernel = choice.first_on_cpu ? ka : kb;
+      const auto& gpu_kernel = choice.first_on_cpu ? kb : ka;
+      const auto truth = soc::evaluate_coschedule(
+          machine.spec(), cpu_kernel, space.at(choice.cpu_config_index),
+          gpu_kernel, space.at(choice.gpu_config_index));
+
+      // Time-sliced baseline: each kernel alone at its oracle best under
+      // the cap, half the wall-clock each.
+      const auto best_a = oa.frontier.best_under(cap);
+      const auto best_b = ob.frontier.best_under(cap);
+      double sliced = 0.0;
+      if (best_a && best_b) {
+        sliced = 0.5 * (best_a->performance + best_b->performance);
+      }
+      table.add_row({
+          pair.a.substr(pair.a.find('/') + 1) + " + " +
+              pair.b.substr(pair.b.find('/') + 1),
+          format_double(cap, 3),
+          format_double(truth.throughput(), 4) +
+              (choice.feasible ? "" : " (infeasible)"),
+          format_double(truth.total_power_w(), 4) +
+              (truth.total_power_w() <= cap * 1.02 ? "" : " OVER"),
+          sliced > 0.0 ? format_double(sliced, 4) : "-",
+          truth.throughput() > sliced ? "yes" : "no",
+      });
+    }
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nExpected: complementary pairs co-schedule profitably at generous "
+      "caps (both\ndevices earn their power); under tight caps powering "
+      "both devices stops paying\nand time-slicing (the paper's regime) "
+      "catches up. Memory-hungry pairs gain less —\nthe shared controller "
+      "is the coupling the predictions cannot see.\n";
+  return 0;
+}

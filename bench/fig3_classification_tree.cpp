@@ -1,0 +1,38 @@
+// Fig. 3: an example trained cluster-classification tree. New kernels are
+// classified into trained clusters from normalized performance-counter and
+// power features measured at the two sample configurations.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace acsel;
+  bench::print_header("Cluster classification tree",
+                      "paper Fig. 3 (example tree)");
+
+  soc::Machine machine = bench::make_machine();
+  const auto suite = workloads::Suite::standard();
+  const auto characterizations = eval::characterize(machine, suite);
+
+  core::TrainingReport report;
+  const core::TrainedModel model =
+      core::train(characterizations, core::TrainerOptions{}, &report);
+
+  std::cout << model.tree().describe() << '\n';
+  std::cout << "Tree depth: " << model.tree().depth()
+            << ", leaves: " << model.tree().leaf_count() << '\n';
+  std::cout << "Training-set classification accuracy: "
+            << format_double(100.0 * report.tree_training_accuracy, 3)
+            << "%\n";
+  std::cout << "Cluster sizes:";
+  for (const std::size_t size : report.cluster_sizes) {
+    std::cout << ' ' << size;
+  }
+  std::cout << "  (k = 5, §III-B)\n";
+  std::cout << "Clustering silhouette: "
+            << format_double(report.silhouette, 3) << '\n';
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig. 5: percent of optimal (oracle) performance achieved in under-limit
+// cases, per benchmark/input group. Model+FL maintains high performance
+// across the whole suite; CPU+FL collapses on GPU-friendly benchmarks.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/tables.h"
+
+int main() {
+  using namespace acsel;
+  bench::print_header("Performance vs oracle in under-limit cases",
+                      "paper Fig. 5");
+  const auto result = bench::run_paper_evaluation();
+  eval::per_group_table(result, eval::GroupMetric::UnderLimitPerfPct)
+      .print(std::cout, "% of oracle performance, under-limit cases:");
+  std::cout << "\nPaper worst cases: Model+FL >= 74.9% on every benchmark; "
+               "CPU+FL falls to 13.3%\nand GPU+FL to 62.4% on their worst "
+               "benchmarks (§V-D).\n";
+  return 0;
+}

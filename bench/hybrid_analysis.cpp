@@ -1,0 +1,78 @@
+// §III-A quantified: "even if hybrid execution increases performance, it
+// will strictly lower power-efficiency compared to the best single
+// device." For representative kernels, sweep the CPU/GPU work split and
+// compare the best hybrid point against the best single-device
+// configuration on both performance and performance-per-watt.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/oracle.h"
+#include "hw/config_space.h"
+#include "soc/hybrid.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads/suite.h"
+
+int main() {
+  using namespace acsel;
+  bench::print_header("Hybrid CPU+GPU execution analysis",
+                      "§III-A's argument for single-device execution");
+
+  soc::Machine machine = bench::make_machine();
+  const auto suite = workloads::Suite::standard();
+  const hw::ConfigSpace space;
+
+  TextTable table;
+  table.set_header({"Kernel", "Best single (inv/s)", "Best hybrid (inv/s)",
+                    "Hybrid speedup", "Single perf/W", "Hybrid perf/W",
+                    "Efficiency ratio", "Best split (GPU %)"});
+  for (const auto& id :
+       {"LULESH-Large/CalcFBHourglassForce", "CoMD-LJ/ComputeForce",
+        "SMC-Default/ChemistryRates", "LU-Large/lud",
+        "LULESH-Large/UpdateVolumesForElems"}) {
+    const auto& instance = suite.instance(id);
+
+    // Best single-device configuration (true values).
+    const eval::Oracle oracle = eval::build_oracle(machine, instance);
+    const auto& best_single = oracle.frontier.best_performance();
+    const double single_eff =
+        best_single.performance / best_single.power_w;
+
+    // Best hybrid split over a fine sweep.
+    soc::HybridState best_hybrid;
+    double best_fraction = 0.0;
+    for (int pct = 0; pct <= 100; pct += 5) {
+      const double f = pct / 100.0;
+      const auto hybrid =
+          soc::evaluate_hybrid(machine.spec(), instance.traits, f);
+      if (best_hybrid.time_ms == 0.0 ||
+          hybrid.performance() > best_hybrid.performance()) {
+        best_hybrid = hybrid;
+        best_fraction = f;
+      }
+    }
+    table.add_row({
+        instance.id(),
+        format_double(best_single.performance, 4),
+        format_double(best_hybrid.performance(), 4),
+        format_double(best_hybrid.performance() / best_single.performance,
+                      3) +
+            "x",
+        format_double(single_eff, 4),
+        format_double(best_hybrid.performance_per_watt(), 4),
+        format_double(
+            best_hybrid.performance_per_watt() / single_eff, 3) +
+            "x",
+        format_double(100.0 * best_fraction, 3) + "%",
+    });
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nThe paper's claims to check:\n"
+      "  * hybrid speedup stays well under 2x (load imbalance + merge "
+      "overhead);\n"
+      "  * the efficiency ratio (hybrid perf/W over single perf/W) stays "
+      "below 1x for\n    every kernel — hybrid is never the right call "
+      "under a power constraint.\n";
+  return 0;
+}

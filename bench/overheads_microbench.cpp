@@ -1,0 +1,139 @@
+// §IV-C overhead microbenchmarks (google-benchmark):
+//  * online configuration selection must take well under one millisecond
+//    ("requires less than one millisecond to make each configuration
+//    selection", §II-A);
+//  * tree classification costs on the order of the tree depth;
+//  * model application is a matrix-vector product over the configuration
+//    space;
+//  * offline model construction is minutes at most (paper: ~10 minutes in
+//    R; here it is milliseconds in C++).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/scheduler.h"
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "pareto/dissimilarity.h"
+#include "stats/kendall.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace acsel;
+
+/// Shared offline state, built once: a characterized suite and a trained
+/// model (the benchmarks below measure the *online* costs).
+struct Offline {
+  std::vector<core::KernelCharacterization> characterizations;
+  core::TrainedModel model;
+  core::Prediction prediction;
+
+  Offline() {
+    soc::Machine machine = bench::make_machine();
+    const auto suite = workloads::Suite::standard();
+    characterizations = eval::characterize(machine, suite);
+    model = core::train(characterizations);
+    prediction = model.predict(characterizations.front().samples);
+  }
+};
+
+const Offline& offline() {
+  static const Offline state;
+  return state;
+}
+
+void BM_OnlinePredictionFullPipeline(benchmark::State& state) {
+  // Classify + predict all 54 configurations + build predicted frontier:
+  // the entire per-kernel online cost after its two sample iterations.
+  const auto& samples = offline().characterizations[7].samples;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(offline().model.predict(samples));
+  }
+}
+BENCHMARK(BM_OnlinePredictionFullPipeline);
+
+void BM_TreeClassification(benchmark::State& state) {
+  const auto& samples = offline().characterizations[3].samples;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(offline().model.classify(samples));
+  }
+}
+BENCHMARK(BM_TreeClassification);
+
+void BM_SchedulerSelect(benchmark::State& state) {
+  // Re-selection under a changed power cap: walking the retained
+  // predicted frontier (dynamic constraints, §III-C).
+  const core::Scheduler scheduler{offline().prediction};
+  double cap = 12.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.select(cap));
+    cap = cap >= 40.0 ? 12.0 : cap + 0.5;
+  }
+}
+BENCHMARK(BM_SchedulerSelect);
+
+void BM_ParetoFrontierBuild(benchmark::State& state) {
+  const auto& c = offline().characterizations[0];
+  const auto power = c.powers();
+  const auto perf = c.performances();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::ParetoFrontier::build(power, perf));
+  }
+}
+BENCHMARK(BM_ParetoFrontierBuild);
+
+void BM_FrontierDissimilarity(benchmark::State& state) {
+  const auto a = offline().characterizations[0].frontier();
+  const auto b = offline().characterizations[20].frontier();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::frontier_dissimilarity(a, b));
+  }
+}
+BENCHMARK(BM_FrontierDissimilarity);
+
+void BM_KendallTau(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng{42};
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 1.0);
+    y[i] = rng.uniform(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::kendall_tau_fast(x, y));
+  }
+}
+BENCHMARK(BM_KendallTau)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OfflineTraining(benchmark::State& state) {
+  // Full offline stage on the 65-kernel characterization: clustering,
+  // regressions, tree. Paper: "about ten minutes" in R; the point here is
+  // that it is utterly dominated by data collection, not model fitting.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::train(offline().characterizations));
+  }
+}
+BENCHMARK(BM_OfflineTraining)->Unit(benchmark::kMillisecond);
+
+void BM_ProfilingRecordOverhead(benchmark::State& state) {
+  // §IV-C: recording counters and power at kernel start/finish adds less
+  // than 50 us on the real system; here it is the record-assembly cost.
+  soc::Machine machine = bench::make_machine();
+  const auto suite = workloads::Suite::standard();
+  const auto& instance = suite.instances().front();
+  const hw::ConfigSpace space;
+  const auto steady =
+      machine.analytic(instance.traits, space.cpu_sample());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soc::synthesize_counters(
+        machine.spec(), instance.traits, space.cpu_sample(), steady));
+  }
+}
+BENCHMARK(BM_ProfilingRecordOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

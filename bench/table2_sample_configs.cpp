@@ -1,0 +1,32 @@
+// Table II: the two sample configurations run for every unknown kernel
+// before predictions are made — one per device, matching common
+// unconstrained execution configurations.
+#include <iostream>
+
+#include "bench_common.h"
+#include "hw/config_space.h"
+#include "util/table.h"
+
+int main() {
+  using namespace acsel;
+  bench::print_header("Sample configurations", "paper Table II");
+
+  const hw::ConfigSpace space;
+  TextTable table;
+  table.set_header(
+      {"Device", "CPU frequency", "CPU threads", "GPU frequency"});
+  for (const auto& config : {space.cpu_sample(), space.gpu_sample()}) {
+    table.add_row({
+        hw::to_string(config.device),
+        hw::cpu_pstate_name(config.cpu_pstate),
+        std::to_string(config.threads),
+        hw::gpu_pstate_name(config.gpu_pstate),
+    });
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper Table II: CPU 3.7 GHz x4 / GPU 311 MHz;"
+            << " GPU 3.7 GHz x1 / 819 MHz.\n"
+            << "Sample runs are the kernel's first two iterations, one per "
+               "device (§III-C).\n";
+  return 0;
+}

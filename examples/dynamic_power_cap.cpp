@@ -1,0 +1,74 @@
+// Dynamic power constraints (paper §III-C): "the use of a predicted
+// Pareto frontier makes our system adaptable to dynamic power constraints,
+// and avoids the need to examine predictions for all configurations when
+// scheduling conditions change."
+//
+// A cluster-level power manager changes this node's budget every few
+// hundred iterations; the scheduler re-selects from the *retained*
+// predicted frontier — no new sample runs, no re-prediction — and the
+// kernel migrates between devices as the budget swings.
+#include <iostream>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "hw/config_space.h"
+#include "profile/profiler.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workloads/suite.h"
+
+int main() {
+  using namespace acsel;
+  soc::Machine machine;
+  const hw::ConfigSpace space;
+  const auto suite = workloads::Suite::standard();
+
+  // Offline model without CoMD; the capped application is CoMD's force
+  // kernel, which sits right at the CPU/GPU break-even region.
+  std::vector<core::KernelCharacterization> training;
+  for (const auto& instance : suite.instances()) {
+    if (instance.benchmark != "CoMD") {
+      training.push_back(eval::characterize_instance(machine, instance));
+    }
+  }
+  const core::TrainedModel model = core::train(training);
+
+  const auto& kernel = suite.instance("CoMD-LJ/ComputeForce");
+  profile::Profiler profiler{machine};
+  core::SamplePair samples;
+  samples.cpu = profiler.run(kernel, space.cpu_sample());
+  samples.gpu = profiler.run(kernel, space.gpu_sample());
+  const core::Prediction prediction = model.predict(samples);
+  const core::Scheduler scheduler{prediction};
+
+  // The node budget trajectory handed down by the cluster power manager.
+  const std::vector<double> budget_w{35.0, 22.0, 15.0, 18.0, 28.0, 45.0,
+                                     16.0, 24.0};
+
+  TextTable table;
+  table.set_header({"Phase", "Budget (W)", "Selected configuration",
+                    "Measured power (W)", "Perf (iters/s)", "Feasible?"});
+  for (std::size_t phase = 0; phase < budget_w.size(); ++phase) {
+    const auto choice = scheduler.select(budget_w[phase]);
+    const auto& config = space.at(choice.config_index);
+    const auto& record = profiler.run(kernel, config);
+    table.add_row({
+        std::to_string(phase),
+        format_double(budget_w[phase], 3),
+        config.to_string(),
+        format_double(record.total_power_w(), 3),
+        format_double(record.performance(), 3),
+        choice.predicted_feasible ? "yes" : "no (fallback: lowest power)",
+    });
+  }
+  table.print(std::cout,
+              "CoMD ComputeForce under a time-varying node budget:");
+  std::cout << "\nEach re-selection is a walk of the retained predicted "
+               "frontier — about "
+            << prediction.frontier.size()
+            << " comparisons, microseconds of work, zero extra sample "
+               "iterations.\n";
+  return 0;
+}

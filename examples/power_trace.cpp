@@ -1,0 +1,61 @@
+// Power/thermal timeline of one governed kernel run, rendered as an ASCII
+// chart: watch the RAPL-style limiter walk the P-state ladder down to the
+// cap, the die warm up, and (with boost enabled) opportunistic
+// overclocking surrender its headroom.
+//
+// Usage: power_trace [cap_watts]   (default: 20)
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "hw/config_space.h"
+#include "soc/freq_limiter.h"
+#include "soc/machine.h"
+#include "util/strings.h"
+#include "workloads/suite.h"
+
+int main(int argc, char** argv) {
+  using namespace acsel;
+  const double cap_w = argc > 1 ? parse_double(argv[1]) : 20.0;
+
+  soc::MachineSpec spec;
+  spec.record_trace = true;
+  spec.model_dram_power = true;
+  soc::Machine machine{spec, 777};
+  const hw::ConfigSpace space;
+  const auto suite = workloads::Suite::standard();
+  auto kernel = suite.instance("CoMD-EAM/ComputeForce").traits;
+  kernel.work_gflop *= 3.0;  // long enough to watch the control loop settle
+
+  soc::LimiterOptions options;
+  options.cap_w = cap_w;
+  options.controlled = hw::Device::Cpu;
+  soc::FrequencyLimiter limiter{options};
+  const auto result =
+      machine.run(kernel, space.cpu_sample(), &limiter);
+
+  std::cout << "CoMD ComputeForce under a " << cap_w
+            << " W cap (CPU frequency limiting)\n"
+            << "time_ms  power_w  pstate  temp_C   0W                40W\n";
+  const std::size_t stride = std::max<std::size_t>(
+      1, result.trace.size() / 40);  // ~40 rows
+  for (std::size_t i = 0; i < result.trace.size(); i += stride) {
+    const auto& point = result.trace[i];
+    const double watts = point.cpu_w + point.nbgpu_w;
+    const auto bars = static_cast<std::size_t>(
+        std::clamp(watts, 0.0, 40.0) / 40.0 * 34.0);
+    std::string line(bars, '#');
+    std::cout << format_double(point.t_ms, 4) << "\t "
+              << format_double(watts, 4) << "\t " << point.cpu_pstate
+              << "\t" << format_double(point.temperature_c, 3) << "\t|"
+              << line << '\n';
+  }
+  std::cout << "\nFinal configuration: "
+            << result.final_config.to_string() << " after "
+            << result.config_switches << " P-state changes\n"
+            << "Run average: " << format_double(result.avg_power_w(), 4)
+            << " W (cap " << cap_w << " W), DRAM "
+            << format_double(result.avg_dram_power_w, 3) << " W, die "
+            << format_double(result.avg_temperature_c, 3) << " C\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the complete offline -> online flow in ~60 lines.
+//
+//  1. Characterize training kernels on the (simulated) machine and train
+//     the model offline — clustering, per-cluster regressions, tree.
+//  2. Meet a *new* kernel: run it twice, once per device, at the sample
+//     configurations (its first two iterations).
+//  3. Classify it into a cluster, predict power/performance for every
+//     configuration, and pick the best configuration under a power cap.
+//  4. Run it there and compare against the oracle's choice.
+#include <iostream>
+
+#include "core/scheduler.h"
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "eval/oracle.h"
+#include "hw/config_space.h"
+#include "profile/profiler.h"
+#include "util/strings.h"
+#include "workloads/suite.h"
+
+int main() {
+  using namespace acsel;
+  soc::Machine machine;  // the simulated Trinity-class APU
+  const hw::ConfigSpace space;
+  const auto suite = workloads::Suite::standard();
+
+  // -- offline: train on LULESH, CoMD and SMC (LU stays unseen) ----------
+  std::vector<core::KernelCharacterization> training;
+  for (const auto& instance : suite.instances()) {
+    if (instance.benchmark != "LU") {
+      training.push_back(eval::characterize_instance(machine, instance));
+    }
+  }
+  const core::TrainedModel model = core::train(training);
+  std::cout << "Trained " << model.cluster_count() << " clusters from "
+            << training.size() << " kernels.\n";
+
+  // -- online: a previously unseen kernel arrives ------------------------
+  const auto& unseen = suite.instance("LU-Large/lud");
+  profile::Profiler profiler{machine};
+  core::SamplePair samples;
+  samples.cpu = profiler.run(unseen, space.cpu_sample());  // iteration 1
+  samples.gpu = profiler.run(unseen, space.gpu_sample());  // iteration 2
+
+  const core::Prediction prediction = model.predict(samples);
+  std::cout << "New kernel '" << unseen.id() << "' classified into cluster "
+            << prediction.cluster << "; predicted frontier has "
+            << prediction.frontier.size() << " configurations.\n";
+
+  // -- select and run under a 28 W power cap -----------------------------
+  const double cap_w = 28.0;
+  const core::Scheduler scheduler{prediction};
+  const auto choice = scheduler.select(cap_w);
+  const hw::Configuration& config = space.at(choice.config_index);
+  const auto& record = profiler.run(unseen, config);
+
+  const eval::Oracle oracle = eval::build_oracle(machine, unseen);
+  const auto oracle_point = oracle.best_under(cap_w);
+
+  std::cout << "Cap " << cap_w << " W -> selected " << config.to_string()
+            << "\n  predicted: " << format_double(choice.predicted_power_w, 3)
+            << " W, measured: " << format_double(record.total_power_w(), 3)
+            << " W (" << (record.total_power_w() <= cap_w ? "under" : "OVER")
+            << " the cap)\n  performance vs oracle at this cap: "
+            << format_double(
+                   100.0 * record.performance() / oracle_point.performance, 3)
+            << "%\n";
+  return 0;
+}

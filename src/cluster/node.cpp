@@ -1,0 +1,91 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+
+#include "core/scheduler.h"
+#include "util/error.h"
+
+namespace acsel::cluster {
+
+namespace {
+
+core::OnlineRuntime::Options runtime_options(double cap_w) {
+  core::OnlineRuntime::Options options;
+  options.power_cap_w = cap_w;
+  return options;
+}
+
+}  // namespace
+
+Node::Node(std::string name, std::uint64_t seed, core::TrainedModel model,
+           std::vector<Work> workload, double initial_cap_w)
+    : name_(std::move(name)),
+      machine_(std::make_unique<soc::Machine>(soc::MachineSpec{}, seed)),
+      runtime_(*machine_, std::move(model),
+               runtime_options(initial_cap_w)),
+      workload_(std::move(workload)),
+      last_time_ms_(workload_.size(), 0.0) {
+  ACSEL_CHECK_MSG(!workload_.empty(), "node needs at least one kernel");
+}
+
+NodeTelemetry Node::step() {
+  NodeTelemetry telemetry;
+  const double cap = runtime_.power_cap_w();
+  for (std::size_t i = 0; i < workload_.size(); ++i) {
+    const bool was_sampling =
+        runtime_.phase(workload_[i].key) !=
+        core::OnlineRuntime::Phase::Scheduled;
+    telemetry.sampling = telemetry.sampling || was_sampling;
+    const auto& record =
+        runtime_.invoke(workload_[i].key, workload_[i].impl);
+    last_time_ms_[i] = record.time_ms;
+    telemetry.timestep_ms += record.time_ms;
+    telemetry.energy_j += record.energy_j;
+    telemetry.peak_power_w =
+        std::max(telemetry.peak_power_w, record.total_power_w());
+    // Sampling iterations run at the fixed sample configurations, which
+    // may legitimately exceed a tight cap; only scheduled kernels count
+    // as violations.
+    if (!was_sampling && record.total_power_w() > cap * 1.002) {
+      telemetry.cap_violated = true;
+    }
+  }
+  telemetry.avg_power_w =
+      telemetry.timestep_ms > 0.0
+          ? 1000.0 * telemetry.energy_j / telemetry.timestep_ms
+          : 0.0;
+  return telemetry;
+}
+
+double Node::predicted_timestep_ms(double cap_w) const {
+  ACSEL_CHECK(cap_w > 0.0);
+  double total_ms = 0.0;
+  for (std::size_t i = 0; i < workload_.size(); ++i) {
+    const core::Prediction* prediction =
+        runtime_.prediction(workload_[i].key);
+    if (prediction == nullptr) {
+      // Not yet predicted: fall back to the last measurement (or a
+      // neutral placeholder before any run).
+      total_ms += last_time_ms_[i] > 0.0 ? last_time_ms_[i] : 100.0;
+      continue;
+    }
+    const core::Scheduler scheduler{*prediction};
+    const auto choice = scheduler.select(cap_w);
+    total_ms += 1000.0 / choice.predicted_performance;
+  }
+  return total_ms;
+}
+
+double Node::predicted_min_cap_w() const {
+  double min_cap = 0.0;
+  for (const Work& work : workload_) {
+    const core::Prediction* prediction = runtime_.prediction(work.key);
+    if (prediction != nullptr) {
+      min_cap = std::max(
+          min_cap, prediction->frontier.lowest_power().power_w);
+    }
+  }
+  return min_cap;
+}
+
+}  // namespace acsel::cluster

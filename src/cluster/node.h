@@ -1,0 +1,74 @@
+// One node of a power-constrained cluster (paper §I: "Such power
+// constraints will be passed down through the machine hierarchy to each
+// rack, node, and core"). A node owns a simulated APU and an OnlineRuntime
+// with the machine's trained model; it repeatedly executes its assigned
+// kernel mix under whatever budget the cluster power manager hands it.
+//
+// The node's key capability for hierarchical allocation is
+// predicted_timestep_ms(cap): because the runtime retains every kernel's
+// predicted Pareto frontier, the node can tell the manager how fast it
+// *would* run at any candidate budget without executing anything — the
+// "key ingredient" role the paper assigns to the node-level model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "soc/machine.h"
+#include "workloads/workload.h"
+
+namespace acsel::cluster {
+
+struct NodeTelemetry {
+  double timestep_ms = 0.0;    ///< wall time of the last timestep
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;    ///< mean power over the timestep
+  double peak_power_w = 0.0;   ///< worst per-kernel average power
+  bool sampling = false;       ///< still running sample iterations
+  bool cap_violated = false;   ///< some kernel's mean power exceeded the cap
+};
+
+class Node {
+ public:
+  /// One kernel of the node's repeating timestep.
+  struct Work {
+    core::KernelKey key;
+    workloads::WorkloadInstance impl;
+  };
+
+  Node(std::string name, std::uint64_t seed, core::TrainedModel model,
+       std::vector<Work> workload, double initial_cap_w);
+
+  const std::string& name() const { return name_; }
+  double cap_w() const { return runtime_.power_cap_w(); }
+  void set_cap(double cap_w) { runtime_.set_power_cap(cap_w); }
+
+  /// Executes one timestep (each kernel once) under the current cap.
+  NodeTelemetry step();
+
+  /// Predicted timestep latency at an arbitrary budget, from the retained
+  /// predicted frontiers (no execution). Kernels still in their sampling
+  /// phase contribute their last measured time.
+  double predicted_timestep_ms(double cap_w) const;
+
+  /// The lowest budget at which every scheduled kernel has a predicted-
+  /// feasible configuration (below it the node must violate or idle).
+  double predicted_min_cap_w() const;
+
+  std::size_t kernels() const { return workload_.size(); }
+  const core::OnlineRuntime& runtime() const { return runtime_; }
+
+ private:
+  std::string name_;
+  /// Heap storage keeps the machine's address stable across Node moves
+  /// (the runtime and its profiler hold pointers to it).
+  std::unique_ptr<soc::Machine> machine_;
+  core::OnlineRuntime runtime_;
+  std::vector<Work> workload_;
+  std::vector<double> last_time_ms_;  ///< per kernel, last measured
+};
+
+}  // namespace acsel::cluster

@@ -1,0 +1,38 @@
+#include "core/characterization.h"
+
+#include "util/error.h"
+
+namespace acsel::core {
+
+std::vector<double> KernelCharacterization::powers() const {
+  std::vector<double> out;
+  out.reserve(per_config.size());
+  for (const auto& record : per_config) {
+    out.push_back(record.total_power_w());
+  }
+  return out;
+}
+
+std::vector<double> KernelCharacterization::performances() const {
+  std::vector<double> out;
+  out.reserve(per_config.size());
+  for (const auto& record : per_config) {
+    out.push_back(record.performance());
+  }
+  return out;
+}
+
+pareto::ParetoFrontier KernelCharacterization::frontier() const {
+  return pareto::ParetoFrontier::build(powers(), performances());
+}
+
+void KernelCharacterization::validate(std::size_t config_count) const {
+  ACSEL_CHECK_MSG(per_config.size() == config_count,
+                  "characterization incomplete: " + instance_id);
+  ACSEL_CHECK_MSG(samples.cpu.config.device == hw::Device::Cpu &&
+                      samples.gpu.config.device == hw::Device::Gpu,
+                  "sample pair devices are wrong: " + instance_id);
+  ACSEL_CHECK_MSG(weight > 0.0, "non-positive weight: " + instance_id);
+}
+
+}  // namespace acsel::core

@@ -1,0 +1,46 @@
+// Offline characterization data for one kernel instance: measurements at
+// every configuration (training kernels "have run on all available
+// configurations", §III-B) plus the two online-style sample runs of
+// Table II. This is the trainer's input type; the evaluation harness
+// produces it by exhaustively profiling the training set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pareto/frontier.h"
+#include "profile/record.h"
+
+namespace acsel::core {
+
+/// The two sample-configuration measurements available for *any* kernel —
+/// including previously unseen ones. Everything the online stage knows
+/// about a kernel is in here (§III-C).
+struct SamplePair {
+  profile::KernelRecord cpu;  ///< run at the CPU sample configuration
+  profile::KernelRecord gpu;  ///< run at the GPU sample configuration
+};
+
+struct KernelCharacterization {
+  std::string instance_id;  ///< WorkloadInstance::id()
+  std::string benchmark;    ///< LOOCV group (paper: leave-one-benchmark-out)
+  std::string group;        ///< "benchmark input" label for per-figure splits
+  double weight = 1.0;      ///< time share within its benchmark/input
+
+  /// Mean measurements per configuration, in hw::ConfigSpace index order.
+  std::vector<profile::KernelRecord> per_config;
+
+  SamplePair samples;
+
+  /// Parallel arrays of total power and performance per configuration.
+  std::vector<double> powers() const;
+  std::vector<double> performances() const;
+
+  /// The measured power-performance Pareto frontier of this kernel.
+  pareto::ParetoFrontier frontier() const;
+
+  /// Validates completeness (one record per configuration).
+  void validate(std::size_t config_count) const;
+};
+
+}  // namespace acsel::core

@@ -1,0 +1,54 @@
+#include "core/cluster_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace acsel::core {
+
+ClusterModel::Estimate ClusterModel::predict(
+    const hw::Configuration& config, const SamplePair& samples) const {
+  Estimate estimate;
+
+  const auto pf = power_features(config, samples);
+  estimate.power_w = std::max(1.0, power.predict(pf));
+  estimate.power_sigma = power.residual_stddev();
+
+  const auto xf = perf_features(config);
+  const bool on_gpu = config.device == hw::Device::Gpu;
+  const linalg::LinearModel& perf_model = on_gpu ? perf_gpu : perf_cpu;
+  const double s_perf = on_gpu ? samples.gpu.performance()
+                               : samples.cpu.performance();
+  const double ratio = std::max(1e-6, perf_model.predict(xf));
+  estimate.performance = ratio * s_perf;
+  estimate.performance_sigma = perf_model.residual_stddev() * s_perf;
+  return estimate;
+}
+
+std::string ClusterModel::serialize() const {
+  std::ostringstream os;
+  os << power.serialize() << '\n'
+     << perf_cpu.serialize() << '\n'
+     << perf_gpu.serialize() << '\n';
+  return os.str();
+}
+
+ClusterModel ClusterModel::parse(const std::string& text) {
+  std::istringstream is{text};
+  std::string power_line;
+  std::string cpu_line;
+  std::string gpu_line;
+  ACSEL_CHECK_MSG(static_cast<bool>(std::getline(is, power_line)) &&
+                      static_cast<bool>(std::getline(is, cpu_line)) &&
+                      static_cast<bool>(std::getline(is, gpu_line)),
+                  "ClusterModel::parse: expected three model lines");
+  ClusterModel model;
+  model.power = linalg::LinearModel::parse(power_line);
+  model.perf_cpu = linalg::LinearModel::parse(cpu_line);
+  model.perf_gpu = linalg::LinearModel::parse(gpu_line);
+  return model;
+}
+
+}  // namespace acsel::core

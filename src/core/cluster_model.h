@@ -1,0 +1,41 @@
+// Per-cluster regression models (§III-B):
+//   P_perf  = (a1 x1 + ... + an xn) * S_perf   (per device, S_perf is the
+//             kernel's measured sample-configuration performance on that
+//             device; no intercept beyond the constant feature)
+//   P_power = b0 + b1 x1 + ... + bn xn          (absolute watts)
+// Once a kernel is assigned to a cluster, the only new information needed
+// to predict every configuration is its two sample measurements.
+#pragma once
+
+#include <string>
+
+#include "core/characterization.h"
+#include "core/features.h"
+#include "linalg/regression.h"
+
+namespace acsel::core {
+
+struct ClusterModel {
+  linalg::LinearModel power;     ///< watts, with intercept
+  linalg::LinearModel perf_cpu;  ///< perf / S_perf_cpu over CPU configs
+  linalg::LinearModel perf_gpu;  ///< perf / S_perf_gpu over GPU configs
+
+  struct Estimate {
+    double power_w = 0.0;
+    double performance = 0.0;
+    /// One-sigma prediction uncertainties (training residual scale), used
+    /// by the risk-averse scheduler extension (§VI).
+    double power_sigma = 0.0;
+    double performance_sigma = 0.0;
+  };
+
+  /// Predicts power and performance of `samples`' kernel at `config`.
+  Estimate predict(const hw::Configuration& config,
+                   const SamplePair& samples) const;
+
+  /// One-line-per-model serialization; round-trips through parse().
+  std::string serialize() const;
+  static ClusterModel parse(const std::string& text);
+};
+
+}  // namespace acsel::core

@@ -1,0 +1,65 @@
+#include "core/coscheduler.h"
+
+#include "hw/config_space.h"
+#include "util/error.h"
+
+namespace acsel::core {
+
+namespace {
+
+/// Scans every (CPU config for `on_cpu`, GPU config for `on_gpu`) pair.
+void scan_placement(const Prediction& on_cpu, const Prediction& on_gpu,
+                    bool first_on_cpu, double cap_w,
+                    const CoSchedulerOptions& options,
+                    const hw::ConfigSpace& space, CoScheduleChoice& best,
+                    CoScheduleChoice& fallback) {
+  for (const std::size_t ci : space.indices_for(hw::Device::Cpu)) {
+    if (space.at(ci).threads > options.max_cpu_threads) {
+      continue;
+    }
+    const auto& cpu_estimate = on_cpu.per_config[ci];
+    for (const std::size_t gi : space.indices_for(hw::Device::Gpu)) {
+      const auto& gpu_estimate = on_gpu.per_config[gi];
+      const double power = cpu_estimate.power_w + gpu_estimate.power_w -
+                           options.idle_power_w;
+      const double throughput =
+          cpu_estimate.performance + gpu_estimate.performance;
+
+      if (fallback.predicted_power_w == 0.0 ||
+          power < fallback.predicted_power_w) {
+        fallback = CoScheduleChoice{first_on_cpu, ci, gi, power,
+                                    throughput, false};
+      }
+      if (power <= cap_w &&
+          (!best.feasible || throughput > best.predicted_throughput)) {
+        best = CoScheduleChoice{first_on_cpu, ci, gi, power, throughput,
+                                true};
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CoScheduleChoice co_select(const Prediction& a, const Prediction& b,
+                           double cap_w,
+                           const CoSchedulerOptions& options) {
+  ACSEL_CHECK(cap_w > 0.0);
+  ACSEL_CHECK(options.idle_power_w >= 0.0);
+  ACSEL_CHECK(options.max_cpu_threads >= 1 &&
+              options.max_cpu_threads <= hw::kCpuCores - 1);
+  const hw::ConfigSpace space;
+  ACSEL_CHECK_MSG(a.per_config.size() == space.size() &&
+                      b.per_config.size() == space.size(),
+                  "co_select needs full-space predictions");
+
+  CoScheduleChoice best;
+  CoScheduleChoice fallback;
+  scan_placement(a, b, /*first_on_cpu=*/true, cap_w, options, space, best,
+                 fallback);
+  scan_placement(b, a, /*first_on_cpu=*/false, cap_w, options, space, best,
+                 fallback);
+  return best.feasible ? best : fallback;
+}
+
+}  // namespace acsel::core

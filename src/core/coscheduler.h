@@ -1,0 +1,55 @@
+// Two-application co-scheduling from single-application predictions.
+//
+// Paper §II-B: "accurate single-application models are a necessary
+// ingredient in multi-application optimization systems." Given two
+// kernels' retained predictions (each covering every configuration of
+// every device), the co-scheduler places one kernel per device and picks
+// both configurations to maximize combined throughput under a node power
+// cap — no additional profiling beyond each kernel's own two sample
+// iterations.
+//
+// Predicted combined power: each per-configuration prediction is a
+// whole-chip number (it includes the base/northbridge power and the
+// *other* device sitting idle), so summing two of them double-counts one
+// idle machine; the caller passes that idle power in for subtraction.
+#pragma once
+
+#include <cstddef>
+
+#include "core/model.h"
+
+namespace acsel::core {
+
+struct CoScheduleChoice {
+  /// True: the first kernel runs on the CPU and the second on the GPU;
+  /// false: the swapped placement won.
+  bool first_on_cpu = true;
+  /// Configuration of the CPU-resident kernel (a CPU-device index) and of
+  /// the GPU-resident kernel (a GPU-device index), in ConfigSpace order.
+  std::size_t cpu_config_index = 0;
+  std::size_t gpu_config_index = 0;
+  double predicted_power_w = 0.0;
+  /// Sum of the two kernels' predicted invocation rates (1/s).
+  double predicted_throughput = 0.0;
+  /// False when no placement fits the cap; the returned pair is then the
+  /// predicted lowest-power one.
+  bool feasible = false;
+};
+
+struct CoSchedulerOptions {
+  /// Whole-chip idle power to subtract from the summed per-kernel
+  /// predictions (pass soc::idle_power(spec).total()).
+  double idle_power_w = 12.0;
+  /// CPU-resident kernels may use at most this many cores: one core stays
+  /// free for the GPU kernel's driver thread.
+  int max_cpu_threads = 3;
+};
+
+/// Chooses the best placement and configuration pair for kernels `a` and
+/// `b` under `cap_w`. Considers both placements (a-on-CPU/b-on-GPU and
+/// the swap) across all CPU-device x GPU-device configuration pairs.
+CoScheduleChoice co_select(const Prediction& a, const Prediction& b,
+                           double cap_w,
+                           const CoSchedulerOptions& options = {});
+
+}  // namespace acsel::core

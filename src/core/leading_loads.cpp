@@ -1,0 +1,31 @@
+#include "core/leading_loads.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acsel::core {
+
+double leading_loads_time_ms(const profile::KernelRecord& record,
+                             double target_freq_ghz) {
+  ACSEL_CHECK_MSG(record.config.device == hw::Device::Cpu,
+                  "leading-loads model applies to CPU executions");
+  ACSEL_CHECK(target_freq_ghz > 0.0);
+  ACSEL_CHECK_MSG(record.counters.core_cycles > 0.0,
+                  "record carries no cycle counters");
+
+  const double stall_frac = std::clamp(
+      record.counters.stalled_cycles / record.counters.core_cycles, 0.0,
+      1.0);
+  const double busy_frac = 1.0 - stall_frac;
+  const double f0 = record.config.cpu_freq_ghz();
+  return record.time_ms *
+         (busy_frac * f0 / target_freq_ghz + stall_frac);
+}
+
+double leading_loads_performance(const profile::KernelRecord& record,
+                                 double target_freq_ghz) {
+  return 1000.0 / leading_loads_time_ms(record, target_freq_ghz);
+}
+
+}  // namespace acsel::core

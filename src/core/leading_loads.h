@@ -1,0 +1,29 @@
+// The classic interval / "leading loads" DVFS performance predictor
+// (paper §II-B, refs [21]-[23]: Rountree et al., Keramidas et al.,
+// Eyerman & Eeckhout). From a single measurement at one CPU frequency,
+// split execution into frequency-scaled busy time and frequency-invariant
+// memory-stall time:
+//
+//     t(f) = t0 * (busy_frac * f0/f + stall_frac)
+//
+// It predicts CPU frequency scaling remarkably well — and nothing else:
+// no thread-count effects, no device selection, no power. That gap is
+// precisely what the paper's model adds; bench/baseline_leading_loads
+// quantifies both halves of that statement.
+#pragma once
+
+#include "profile/record.h"
+
+namespace acsel::core {
+
+/// Predicted execution time (ms) of the measured kernel at
+/// `target_freq_ghz`, from one CPU-device record. The record must carry
+/// cycle counters (stalled + total) from a CPU execution.
+double leading_loads_time_ms(const profile::KernelRecord& record,
+                             double target_freq_ghz);
+
+/// Convenience: predicted performance (1/s) at the target frequency.
+double leading_loads_performance(const profile::KernelRecord& record,
+                                 double target_freq_ghz);
+
+}  // namespace acsel::core

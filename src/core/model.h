@@ -1,0 +1,59 @@
+// The trained model: the offline stage's output and the online stage's
+// whole world (paper Fig. 1). Holds the per-cluster regressions and the
+// classification tree; given only a kernel's two sample runs it assigns a
+// cluster, predicts power and performance for every configuration, and
+// derives the predicted Pareto frontier the scheduler walks (§III-C).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/cluster_model.h"
+#include "hw/config_space.h"
+#include "pareto/frontier.h"
+#include "stats/cart.h"
+
+namespace acsel::core {
+
+/// Online prediction for one kernel from its two sample runs.
+struct Prediction {
+  std::size_t cluster = 0;
+  /// Per-configuration estimates, in hw::ConfigSpace index order.
+  std::vector<ClusterModel::Estimate> per_config;
+  /// The predicted power-performance Pareto frontier.
+  pareto::ParetoFrontier frontier;
+};
+
+class TrainedModel {
+ public:
+  TrainedModel() = default;
+  TrainedModel(std::vector<ClusterModel> clusters, stats::Cart tree);
+
+  std::size_t cluster_count() const { return clusters_.size(); }
+  const ClusterModel& cluster(std::size_t index) const;
+  const stats::Cart& tree() const { return tree_; }
+  const hw::ConfigSpace& config_space() const { return space_; }
+
+  /// Assigns a kernel to a trained cluster from its sample runs (the
+  /// first online step; tree application costs O(depth), §IV-C).
+  std::size_t classify(const SamplePair& samples) const;
+
+  /// Full online prediction: classify, then apply the cluster's models at
+  /// every configuration — "a simple matrix-vector product" (§IV-C).
+  Prediction predict(const SamplePair& samples) const;
+
+  /// Text serialization (round-trips through parse()); save/load helpers
+  /// wrap it with file I/O.
+  std::string serialize() const;
+  static TrainedModel parse(const std::string& text);
+  void save(const std::string& path) const;
+  static TrainedModel load(const std::string& path);
+
+ private:
+  std::vector<ClusterModel> clusters_;
+  stats::Cart tree_;
+  hw::ConfigSpace space_;
+};
+
+}  // namespace acsel::core

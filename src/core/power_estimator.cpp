@@ -1,0 +1,85 @@
+#include "core/power_estimator.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace acsel::core {
+
+namespace {
+
+std::vector<double> estimator_features(const profile::KernelRecord& r) {
+  std::vector<double> features = r.counters.normalized();
+  features.push_back(r.config.device == hw::Device::Gpu ? 1.0 : 0.0);
+  features.push_back(static_cast<double>(r.config.threads) /
+                     static_cast<double>(hw::kCpuCores));
+  features.push_back(r.config.cpu_freq_ghz() /
+                     hw::cpu_pstates()[hw::kCpuMaxPState].freq_ghz);
+  features.push_back(r.config.device == hw::Device::Gpu
+                         ? r.config.gpu_freq_mhz() /
+                               hw::gpu_pstates()[hw::kGpuMaxPState].freq_mhz
+                         : 0.0);
+  return features;
+}
+
+}  // namespace
+
+const std::vector<std::string>& PowerEstimator::feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all = soc::CounterBlock::feature_names();
+    all.insert(all.end(), {"dev", "threads", "cpu_f", "gpu_f"});
+    return all;
+  }();
+  return names;
+}
+
+PowerEstimator PowerEstimator::fit(
+    std::span<const profile::KernelRecord> records, double ridge) {
+  const std::size_t n_features = feature_names().size();
+  ACSEL_CHECK_MSG(records.size() >= 3 * (n_features + 1),
+                  "PowerEstimator::fit: too few records");
+
+  linalg::Matrix x{records.size(), n_features};
+  std::vector<double> cpu_y(records.size());
+  std::vector<double> nbgpu_y(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto features = estimator_features(records[i]);
+    for (std::size_t j = 0; j < n_features; ++j) {
+      x(i, j) = features[j];
+    }
+    cpu_y[i] = records[i].cpu_power_w;
+    nbgpu_y[i] = records[i].nbgpu_power_w;
+  }
+
+  linalg::RegressionOptions options;
+  options.intercept = true;
+  options.ridge = ridge;
+  PowerEstimator estimator;
+  estimator.cpu_model_ = linalg::LinearModel::fit(x, cpu_y, options);
+  estimator.nbgpu_model_ = linalg::LinearModel::fit(x, nbgpu_y, options);
+  return estimator;
+}
+
+PowerEstimator::Estimate PowerEstimator::estimate(
+    const profile::KernelRecord& record) const {
+  ACSEL_CHECK_MSG(cpu_model_.feature_count() > 0,
+                  "PowerEstimator not fitted");
+  const auto features = estimator_features(record);
+  Estimate estimate;
+  estimate.cpu_w = std::max(0.5, cpu_model_.predict(features));
+  estimate.nbgpu_w = std::max(0.5, nbgpu_model_.predict(features));
+  return estimate;
+}
+
+double PowerEstimator::mape(
+    std::span<const profile::KernelRecord> records) const {
+  ACSEL_CHECK_MSG(!records.empty(), "mape: empty validation set");
+  double total = 0.0;
+  for (const auto& record : records) {
+    const double truth = record.total_power_w();
+    total += std::abs(estimate(record).total() - truth) / truth;
+  }
+  return 100.0 * total / static_cast<double>(records.size());
+}
+
+}  // namespace acsel::core

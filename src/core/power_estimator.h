@@ -1,0 +1,56 @@
+// Counter-based power estimation: a decomposable linear model from
+// normalized performance-counter rates to per-domain watts, in the spirit
+// of Bertran et al. (paper §II-C) and the §IV-C remark that SMU-style
+// sampling "is not necessary on architectures equipped with hardware- or
+// firmware-based energy accumulators" — conversely, on machines with
+// *neither* an SMU nor RAPL energy counters, this estimator substitutes
+// for the power half of every measurement the model pipeline needs.
+//
+// Fit offline from profiling records (counters + measured power), then
+// applied to any record whose power channel is missing or distrusted.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "linalg/regression.h"
+#include "profile/record.h"
+
+namespace acsel::core {
+
+class PowerEstimator {
+ public:
+  PowerEstimator() = default;
+
+  /// Fits per-domain models (CPU plane; NB+GPU plane) from records that
+  /// carry both counters and measured power. Features are the normalized
+  /// counter metrics plus the active device indicator and thread count.
+  /// Requires at least ~3x more records than features.
+  static PowerEstimator fit(std::span<const profile::KernelRecord> records,
+                            double ridge = 1e-6);
+
+  struct Estimate {
+    double cpu_w = 0.0;
+    double nbgpu_w = 0.0;
+    double total() const { return cpu_w + nbgpu_w; }
+  };
+
+  /// Estimates both domains' power from a record's counters and
+  /// configuration (the record's power fields are not read).
+  Estimate estimate(const profile::KernelRecord& record) const;
+
+  /// Training-set fit quality per domain.
+  double cpu_r_squared() const { return cpu_model_.r_squared(); }
+  double nbgpu_r_squared() const { return nbgpu_model_.r_squared(); }
+
+  /// Mean absolute percentage error of total power over a validation set.
+  double mape(std::span<const profile::KernelRecord> records) const;
+
+  static const std::vector<std::string>& feature_names();
+
+ private:
+  linalg::LinearModel cpu_model_;
+  linalg::LinearModel nbgpu_model_;
+};
+
+}  // namespace acsel::core

@@ -1,0 +1,141 @@
+#include "core/runtime.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace acsel::core {
+
+std::string KernelKey::str() const {
+  std::string out = name;
+  if (!context.empty()) {
+    out += "@" + context;
+  }
+  out += "#" + std::to_string(size_bucket);
+  return out;
+}
+
+std::size_t bucket_for(std::size_t input_bytes) {
+  std::size_t bucket = 0;
+  while (input_bytes > 1) {
+    input_bytes >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+OnlineRuntime::OnlineRuntime(soc::Machine& machine, TrainedModel model,
+                             const Options& options)
+    : machine_(&machine),
+      model_(std::move(model)),
+      options_(options),
+      profiler_(machine) {
+  ACSEL_CHECK(options.power_cap_w > 0.0);
+}
+
+const profile::KernelRecord& OnlineRuntime::invoke(
+    const KernelKey& key, const workloads::WorkloadInstance& impl) {
+  Tracked& tracked = kernels_[key];
+
+  if (tracked.runs == 0) {
+    // First iteration: CPU sample configuration (Table II).
+    ++tracked.runs;
+    const auto& record = profiler_.run(impl, space_.cpu_sample());
+    tracked.samples.cpu = record;
+    return record;
+  }
+  if (tracked.runs == 1) {
+    // Second iteration: GPU sample configuration, then predict + select.
+    ++tracked.runs;
+    const auto& record = profiler_.run(impl, space_.gpu_sample());
+    tracked.samples.gpu = record;
+    tracked.prediction = model_.predict(tracked.samples);
+    reselect(tracked);
+    ACSEL_LOG_DEBUG("runtime: " << key.str() << " -> cluster "
+                                << tracked.prediction->cluster);
+    return record;
+  }
+  // Steady state: the configuration is fixed until the budget or goal
+  // changes (§IV-C: "after the second iteration of a kernel, its
+  // configuration is fixed").
+  ++tracked.runs;
+  ACSEL_CHECK(tracked.config_index.has_value());
+  const auto& record = profiler_.run(impl, space_.at(*tracked.config_index));
+
+  if (options_.detect_behaviour_change) {
+    // §VI behaviour-change detection: a scheduled kernel whose measured
+    // time departs from its prediction has probably changed input.
+    const double expected_ms =
+        1000.0 /
+        tracked.prediction->per_config[*tracked.config_index].performance;
+    const double deviation =
+        std::abs(record.time_ms - expected_ms) / expected_ms;
+    if (deviation > options_.phase_threshold) {
+      if (++tracked.deviant_streak >= options_.phase_patience) {
+        // Discard the profile: the next invocations re-sample.
+        tracked = Tracked{};
+        ++behaviour_changes_;
+        ACSEL_LOG_INFO("runtime: behaviour change on " << key.str()
+                                                       << "; re-sampling");
+      }
+    } else {
+      tracked.deviant_streak = 0;
+    }
+  }
+  return record;
+}
+
+void OnlineRuntime::reselect(Tracked& tracked) {
+  ACSEL_CHECK(tracked.prediction.has_value());
+  const Scheduler scheduler{*tracked.prediction, options_.scheduler};
+  tracked.config_index =
+      scheduler.select_goal(options_.goal, options_.power_cap_w)
+          .config_index;
+}
+
+void OnlineRuntime::set_power_cap(double cap_w) {
+  ACSEL_CHECK(cap_w > 0.0);
+  options_.power_cap_w = cap_w;
+  for (auto& [key, tracked] : kernels_) {
+    if (tracked.prediction.has_value()) {
+      reselect(tracked);
+    }
+  }
+}
+
+void OnlineRuntime::set_goal(SchedulingGoal goal) {
+  options_.goal = goal;
+  for (auto& [key, tracked] : kernels_) {
+    if (tracked.prediction.has_value()) {
+      reselect(tracked);
+    }
+  }
+}
+
+OnlineRuntime::Phase OnlineRuntime::phase(const KernelKey& key) const {
+  const auto it = kernels_.find(key);
+  if (it == kernels_.end() || it->second.runs == 0) {
+    return Phase::Unseen;
+  }
+  return it->second.runs == 1 ? Phase::SampledCpu : Phase::Scheduled;
+}
+
+std::optional<hw::Configuration> OnlineRuntime::scheduled_config(
+    const KernelKey& key) const {
+  const auto it = kernels_.find(key);
+  if (it == kernels_.end() || !it->second.config_index.has_value()) {
+    return std::nullopt;
+  }
+  return space_.at(*it->second.config_index);
+}
+
+const Prediction* OnlineRuntime::prediction(const KernelKey& key) const {
+  const auto it = kernels_.find(key);
+  if (it == kernels_.end() || !it->second.prediction.has_value()) {
+    return nullptr;
+  }
+  return &*it->second.prediction;
+}
+
+}  // namespace acsel::core

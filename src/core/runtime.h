@@ -1,0 +1,128 @@
+// The online runtime: the piece an application (or an OpenCL/OpenMP
+// runtime) links against. Paper §III-D: "Our library is designed to
+// provide a foundation for dynamic scheduling. A history of performance
+// and power measurements is made accessible to the application or runtime,
+// which facilitates online selections of device and configuration for a
+// given kernel."
+//
+// Behaviour per kernel (§III-C): the first invocation runs at the CPU
+// sample configuration, the second at the GPU sample configuration; the
+// runtime then classifies the kernel, predicts its full frontier, selects
+// a configuration for the current power budget and goal, and every later
+// invocation runs there. A budget change re-selects from the *retained*
+// predicted frontiers — no new sampling.
+//
+// Kernels are identified by KernelKey — name, call context and an
+// input-size bucket — implementing the §VI future-work item: "Our system
+// does not automatically differentiate between invocations of the same
+// kernel with distinct data inputs or input sizes ... the runtime could
+// use call stacks to differentiate between invocations of the same kernel
+// from distinct points in the application."
+#pragma once
+
+#include <compare>
+#include <utility>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/model.h"
+#include "core/scheduler.h"
+#include "profile/profiler.h"
+#include "soc/machine.h"
+#include "workloads/workload.h"
+
+namespace acsel::core {
+
+/// Identity of a kernel as the runtime tracks it.
+struct KernelKey {
+  std::string name;     ///< kernel symbol / OpenCL kernel name
+  std::string context;  ///< call-site / call-stack digest (may be empty)
+  std::size_t size_bucket = 0;  ///< input-size bucket (see bucket_for)
+
+  friend auto operator<=>(const KernelKey&, const KernelKey&) = default;
+  std::string str() const;
+};
+
+/// Log2 bucketing of an input size: invocations whose sizes land in the
+/// same power-of-two bucket share a profile.
+std::size_t bucket_for(std::size_t input_bytes);
+
+class OnlineRuntime {
+ public:
+  struct Options {
+    double power_cap_w = 1e9;  ///< effectively uncapped by default
+    SchedulingGoal goal = SchedulingGoal::MaxPerformance;
+    SchedulerOptions scheduler;
+    /// Behaviour-change detection (§VI: differentiating "invocations of
+    /// the same kernel with distinct data inputs or input sizes" when the
+    /// size is not visible to the runtime). When a scheduled kernel's
+    /// measured time deviates from its prediction by more than
+    /// `phase_threshold` (relative) for `phase_patience` consecutive
+    /// invocations, its profile is discarded and it is re-sampled.
+    bool detect_behaviour_change = false;
+    double phase_threshold = 0.5;
+    int phase_patience = 2;
+  };
+
+  /// `machine` must outlive the runtime; the model is copied in.
+  OnlineRuntime(soc::Machine& machine, TrainedModel model,
+                const Options& options);
+  OnlineRuntime(soc::Machine& machine, TrainedModel model)
+      : OnlineRuntime(machine, std::move(model), Options{}) {}
+
+  /// Runs one invocation of the kernel identified by `key`, whose
+  /// implementation/behaviour is `impl`. Handles the sample iterations
+  /// and the steady-state configuration transparently.
+  const profile::KernelRecord& invoke(
+      const KernelKey& key, const workloads::WorkloadInstance& impl);
+
+  /// Changes the node power budget; all known kernels re-select from
+  /// their retained predicted frontiers (no re-sampling).
+  void set_power_cap(double cap_w);
+  double power_cap_w() const { return options_.power_cap_w; }
+
+  /// Changes the scheduling goal (also a pure re-selection).
+  void set_goal(SchedulingGoal goal);
+
+  /// Lifecycle of a tracked kernel.
+  enum class Phase { Unseen, SampledCpu, Scheduled };
+  Phase phase(const KernelKey& key) const;
+
+  /// The configuration a Scheduled kernel currently runs at.
+  std::optional<hw::Configuration> scheduled_config(
+      const KernelKey& key) const;
+
+  /// The retained prediction of a Scheduled kernel.
+  const Prediction* prediction(const KernelKey& key) const;
+
+  std::size_t tracked_kernels() const { return kernels_.size(); }
+  const profile::Profiler& profiler() const { return profiler_; }
+
+  /// Times a kernel's profile was discarded by behaviour-change detection.
+  std::size_t behaviour_changes_detected() const {
+    return behaviour_changes_;
+  }
+
+ private:
+  struct Tracked {
+    SamplePair samples;
+    std::size_t runs = 0;
+    std::optional<Prediction> prediction;
+    std::optional<std::size_t> config_index;
+    int deviant_streak = 0;
+  };
+
+  void reselect(Tracked& tracked);
+
+  soc::Machine* machine_;
+  TrainedModel model_;
+  Options options_;
+  hw::ConfigSpace space_;
+  profile::Profiler profiler_;
+  std::map<KernelKey, Tracked> kernels_;
+  std::size_t behaviour_changes_ = 0;
+};
+
+}  // namespace acsel::core

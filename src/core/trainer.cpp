@@ -1,0 +1,163 @@
+#include "core/trainer.h"
+
+#include <vector>
+
+#include "core/features.h"
+#include "hw/config_space.h"
+#include "pareto/dissimilarity.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace acsel::core {
+
+namespace {
+
+/// Fits one cluster's power and performance regressions from its member
+/// kernels' full characterizations.
+ClusterModel fit_cluster(
+    std::span<const KernelCharacterization> kernels,
+    const std::vector<std::size_t>& members, const hw::ConfigSpace& space,
+    const TrainerOptions& options) {
+  const std::size_t n_configs = space.size();
+
+  // Row counts: every member contributes one power row per configuration
+  // and one performance row per configuration of the matching device.
+  std::vector<std::vector<double>> power_rows;
+  std::vector<double> power_y;
+  std::vector<std::vector<double>> cpu_rows;
+  std::vector<double> cpu_y;
+  std::vector<std::vector<double>> gpu_rows;
+  std::vector<double> gpu_y;
+
+  for (const std::size_t member : members) {
+    const KernelCharacterization& kernel = kernels[member];
+    const double s_perf_cpu = kernel.samples.cpu.performance();
+    const double s_perf_gpu = kernel.samples.gpu.performance();
+    for (std::size_t i = 0; i < n_configs; ++i) {
+      const hw::Configuration& config = space.at(i);
+      const profile::KernelRecord& record = kernel.per_config[i];
+
+      power_rows.push_back(power_features(config, kernel.samples));
+      power_y.push_back(record.total_power_w());
+
+      const auto pf = perf_features(config);
+      if (config.device == hw::Device::Cpu) {
+        cpu_rows.push_back(pf);
+        cpu_y.push_back(record.performance() / s_perf_cpu);
+      } else {
+        gpu_rows.push_back(pf);
+        gpu_y.push_back(record.performance() / s_perf_gpu);
+      }
+    }
+  }
+
+  const auto to_matrix = [](const std::vector<std::vector<double>>& rows) {
+    ACSEL_CHECK(!rows.empty());
+    linalg::Matrix m{rows.size(), rows.front().size()};
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        m(r, c) = rows[r][c];
+      }
+    }
+    return m;
+  };
+
+  linalg::RegressionOptions power_opts;
+  power_opts.intercept = true;
+  power_opts.transform = options.transform;
+  power_opts.ridge = options.ridge;
+
+  linalg::RegressionOptions perf_opts;
+  // The constant column in perf_features() plays the role of the model's
+  // leading coefficient; no separate intercept (§III-B formulation).
+  perf_opts.intercept = false;
+  perf_opts.transform = options.transform;
+  perf_opts.ridge = options.ridge;
+
+  ClusterModel model;
+  model.power =
+      linalg::LinearModel::fit(to_matrix(power_rows), power_y, power_opts);
+  model.perf_cpu =
+      linalg::LinearModel::fit(to_matrix(cpu_rows), cpu_y, perf_opts);
+  model.perf_gpu =
+      linalg::LinearModel::fit(to_matrix(gpu_rows), gpu_y, perf_opts);
+  return model;
+}
+
+}  // namespace
+
+TrainedModel train(std::span<const KernelCharacterization> kernels,
+                   const TrainerOptions& options, TrainingReport* report) {
+  const hw::ConfigSpace space;
+  ACSEL_CHECK_MSG(kernels.size() >= options.clusters,
+                  "need at least as many training kernels as clusters");
+  ACSEL_CHECK_MSG(options.clusters >= 1, "need at least one cluster");
+  for (const auto& kernel : kernels) {
+    kernel.validate(space.size());
+  }
+
+  // 1. Pareto frontier per training kernel.
+  std::vector<pareto::ParetoFrontier> frontiers;
+  frontiers.reserve(kernels.size());
+  for (const auto& kernel : kernels) {
+    frontiers.push_back(kernel.frontier());
+  }
+
+  // 2. Frontier-order dissimilarity matrix; 3. PAM relational clustering.
+  const linalg::Matrix dissimilarity =
+      pareto::dissimilarity_matrix(frontiers, options.dissimilarity);
+  const stats::PamResult clustering = stats::pam(dissimilarity,
+                                                 options.clusters);
+
+  // 4. Per-cluster regressions.
+  std::vector<std::vector<std::size_t>> members(options.clusters);
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    members[clustering.assignment[i]].push_back(i);
+  }
+  std::vector<ClusterModel> cluster_models;
+  cluster_models.reserve(options.clusters);
+  for (std::size_t c = 0; c < options.clusters; ++c) {
+    ACSEL_CHECK_MSG(!members[c].empty(), "PAM produced an empty cluster");
+    cluster_models.push_back(
+        fit_cluster(kernels, members[c], space, options));
+  }
+
+  // 5. Classification tree on sample-run features -> cluster label.
+  linalg::Matrix tree_x{kernels.size(),
+                        classification_feature_names().size()};
+  std::vector<std::size_t> tree_labels(kernels.size());
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto features = classification_features(kernels[i].samples);
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      tree_x(i, j) = features[j];
+    }
+    tree_labels[i] = clustering.assignment[i];
+  }
+  stats::Cart tree = stats::Cart::fit(tree_x, tree_labels, options.tree,
+                                      classification_feature_names());
+
+  if (report != nullptr) {
+    report->clustering = clustering;
+    report->silhouette =
+        options.clusters > 1
+            ? stats::silhouette(dissimilarity, clustering.assignment)
+            : 0.0;
+    report->cluster_sizes.clear();
+    report->power_r2.clear();
+    report->perf_cpu_r2.clear();
+    report->perf_gpu_r2.clear();
+    for (std::size_t c = 0; c < options.clusters; ++c) {
+      report->cluster_sizes.push_back(members[c].size());
+      report->power_r2.push_back(cluster_models[c].power.r_squared());
+      report->perf_cpu_r2.push_back(cluster_models[c].perf_cpu.r_squared());
+      report->perf_gpu_r2.push_back(cluster_models[c].perf_gpu.r_squared());
+    }
+    report->tree_training_accuracy = tree.training_accuracy();
+  }
+
+  ACSEL_LOG_INFO("trained model: " << options.clusters << " clusters from "
+                                   << kernels.size() << " kernels");
+  return TrainedModel{std::move(cluster_models), std::move(tree)};
+}
+
+}  // namespace acsel::core

@@ -1,0 +1,57 @@
+// The offline stage (paper §III-B, Fig. 1): derive each training kernel's
+// Pareto frontier, cluster kernels by frontier-order similarity (Kendall
+// dissimilarity + PAM), fit per-cluster power and performance regressions,
+// and train the classification tree that will assign unseen kernels to
+// clusters from their sample-configuration measurements.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/model.h"
+#include "linalg/regression.h"
+#include "pareto/dissimilarity.h"
+#include "stats/cart.h"
+#include "stats/pam.h"
+
+namespace acsel::core {
+
+struct TrainerOptions {
+  /// Number of kernel clusters. "We found empirically that five clusters
+  /// optimized the predictive ability of our system" (§III-B); the
+  /// ablation bench sweeps this.
+  std::size_t clusters = 5;
+  /// Variance-stabilizing transform of regression responses — the §VI
+  /// future-work extension, off by default to match the paper's system.
+  linalg::ResponseTransform transform = linalg::ResponseTransform::Identity;
+  /// Ridge penalty for the regressions (interaction columns are
+  /// collinear by construction).
+  double ridge = 1e-6;
+  stats::CartOptions tree;
+  /// How frontier order vs frontier membership weigh in the kernel
+  /// dissimilarity (see pareto/dissimilarity.h; ablated in
+  /// bench/ablation_cluster_count).
+  pareto::DissimilarityOptions dissimilarity;
+};
+
+/// Diagnostics from a training run, for the benches and examples.
+struct TrainingReport {
+  stats::PamResult clustering;
+  double silhouette = 0.0;
+  std::vector<std::size_t> cluster_sizes;
+  std::vector<double> power_r2;     ///< per cluster
+  std::vector<double> perf_cpu_r2;  ///< per cluster
+  std::vector<double> perf_gpu_r2;  ///< per cluster
+  double tree_training_accuracy = 0.0;
+};
+
+/// Trains a model from fully-characterized kernels. Requires at least
+/// `options.clusters` kernels. `report`, if non-null, receives
+/// diagnostics.
+TrainedModel train(std::span<const KernelCharacterization> kernels,
+                   const TrainerOptions& options = {},
+                   TrainingReport* report = nullptr);
+
+}  // namespace acsel::core

@@ -1,0 +1,86 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acsel::eval {
+
+namespace {
+
+Interval percentile_interval(std::vector<double>& samples, double point,
+                             double confidence) {
+  std::sort(samples.begin(), samples.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo_index = static_cast<std::size_t>(pos);
+    const std::size_t hi_index =
+        std::min(lo_index + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo_index);
+    return samples[lo_index] * (1.0 - frac) + samples[hi_index] * frac;
+  };
+  return Interval{point, at(alpha), at(1.0 - alpha)};
+}
+
+}  // namespace
+
+BootstrapAggregate bootstrap_method(const std::vector<CaseResult>& cases,
+                                    Method method,
+                                    const BootstrapOptions& options) {
+  ACSEL_CHECK(options.replicates >= 10);
+  ACSEL_CHECK(options.confidence > 0.0 && options.confidence < 1.0);
+
+  // Group this method's cases by kernel instance (the bootstrap cluster).
+  std::map<std::string, std::vector<CaseResult>> by_instance;
+  for (const CaseResult& c : cases) {
+    if (c.method == method) {
+      by_instance[c.instance_id].push_back(c);
+    }
+  }
+  ACSEL_CHECK_MSG(by_instance.size() >= 2,
+                  "bootstrap needs cases from at least two kernels");
+  std::vector<const std::vector<CaseResult>*> groups;
+  groups.reserve(by_instance.size());
+  for (const auto& [id, group] : by_instance) {
+    groups.push_back(&group);
+  }
+
+  const MethodAggregate point = aggregate_method(cases, method);
+
+  Rng rng{options.seed};
+  std::vector<double> under_samples;
+  std::vector<double> perf_samples;
+  std::vector<double> over_power_samples;
+  under_samples.reserve(options.replicates);
+  perf_samples.reserve(options.replicates);
+  over_power_samples.reserve(options.replicates);
+
+  std::vector<CaseResult> replicate;
+  for (std::size_t b = 0; b < options.replicates; ++b) {
+    replicate.clear();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& chosen = *groups[rng.uniform_index(groups.size())];
+      replicate.insert(replicate.end(), chosen.begin(), chosen.end());
+    }
+    const MethodAggregate agg = aggregate_method(replicate, method);
+    under_samples.push_back(agg.pct_under_limit);
+    perf_samples.push_back(agg.under_perf_pct);
+    over_power_samples.push_back(agg.over_power_pct);
+  }
+
+  BootstrapAggregate result;
+  result.method = method;
+  result.replicates = options.replicates;
+  result.pct_under_limit = percentile_interval(
+      under_samples, point.pct_under_limit, options.confidence);
+  result.under_perf_pct = percentile_interval(
+      perf_samples, point.under_perf_pct, options.confidence);
+  result.over_power_pct = percentile_interval(
+      over_power_samples, point.over_power_pct, options.confidence);
+  return result;
+}
+
+}  // namespace acsel::eval

@@ -1,0 +1,41 @@
+// Bootstrap confidence intervals for the Table III aggregates. The
+// paper reports point estimates; with a simulated testbed we can afford
+// to quantify how stable they are. Resampling is done at the *kernel
+// instance* level (cluster bootstrap): all of one kernel's cases enter or
+// leave a replicate together, since cases of the same kernel are strongly
+// correlated.
+#pragma once
+
+#include <cstdint>
+
+#include "eval/metrics.h"
+
+namespace acsel::eval {
+
+struct Interval {
+  double point = 0.0;  ///< estimate on the full sample
+  double lo = 0.0;     ///< percentile lower bound
+  double hi = 0.0;     ///< percentile upper bound
+};
+
+struct BootstrapAggregate {
+  Method method = Method::Model;
+  Interval pct_under_limit;
+  Interval under_perf_pct;
+  Interval over_power_pct;
+  std::size_t replicates = 0;
+};
+
+struct BootstrapOptions {
+  std::size_t replicates = 400;
+  /// Two-sided confidence level (0.90 -> 5th/95th percentiles).
+  double confidence = 0.90;
+  std::uint64_t seed = 0xb007;
+};
+
+/// Cluster-bootstraps the aggregates of one method over `cases`.
+BootstrapAggregate bootstrap_method(const std::vector<CaseResult>& cases,
+                                    Method method,
+                                    const BootstrapOptions& options = {});
+
+}  // namespace acsel::eval

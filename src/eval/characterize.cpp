@@ -1,0 +1,91 @@
+#include "eval/characterize.h"
+
+#include "hw/config_space.h"
+#include "profile/profiler.h"
+#include "util/error.h"
+
+namespace acsel::eval {
+
+namespace {
+
+/// Mean-aggregates repeated records of one (instance, configuration).
+profile::KernelRecord mean_record(
+    const std::vector<profile::KernelRecord>& records) {
+  ACSEL_CHECK(!records.empty());
+  profile::KernelRecord mean = records.front();
+  if (records.size() == 1) {
+    return mean;
+  }
+  mean.time_ms = 0.0;
+  mean.cpu_power_w = 0.0;
+  mean.nbgpu_power_w = 0.0;
+  mean.energy_j = 0.0;
+  mean.counters = soc::CounterBlock{};
+  for (const auto& record : records) {
+    mean.time_ms += record.time_ms;
+    mean.cpu_power_w += record.cpu_power_w;
+    mean.nbgpu_power_w += record.nbgpu_power_w;
+    mean.energy_j += record.energy_j;
+    mean.counters += record.counters;
+  }
+  const double n = static_cast<double>(records.size());
+  mean.time_ms /= n;
+  mean.cpu_power_w /= n;
+  mean.nbgpu_power_w /= n;
+  mean.energy_j /= n;
+  mean.counters = (1.0 / n) * mean.counters;
+  return mean;
+}
+
+}  // namespace
+
+core::KernelCharacterization characterize_instance(
+    soc::Machine& machine, const workloads::WorkloadInstance& instance,
+    const CharacterizeOptions& options) {
+  ACSEL_CHECK_MSG(options.reps >= 1, "reps must be >= 1");
+  const hw::ConfigSpace space;
+  profile::Profiler profiler{machine};
+
+  core::KernelCharacterization characterization;
+  characterization.instance_id = instance.id();
+  characterization.benchmark = instance.benchmark;
+  characterization.group = instance.benchmark_input();
+  characterization.weight = instance.weight;
+
+  characterization.per_config.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    std::vector<profile::KernelRecord> reps;
+    reps.reserve(static_cast<std::size_t>(options.reps));
+    for (int r = 0; r < options.reps; ++r) {
+      reps.push_back(profiler.run(instance, space.at(i)));
+    }
+    characterization.per_config.push_back(mean_record(reps));
+  }
+  // Fresh sample runs, exactly as the online stage would take them
+  // ("the sample configuration iterations are part of normal application
+  // execution", §III-B). sample_reps > 1 averages extra iterations.
+  ACSEL_CHECK_MSG(options.sample_reps >= 1, "sample_reps must be >= 1");
+  std::vector<profile::KernelRecord> cpu_samples;
+  std::vector<profile::KernelRecord> gpu_samples;
+  for (int r = 0; r < options.sample_reps; ++r) {
+    cpu_samples.push_back(profiler.run(instance, space.cpu_sample()));
+    gpu_samples.push_back(profiler.run(instance, space.gpu_sample()));
+  }
+  characterization.samples.cpu = mean_record(cpu_samples);
+  characterization.samples.gpu = mean_record(gpu_samples);
+  characterization.validate(space.size());
+  return characterization;
+}
+
+std::vector<core::KernelCharacterization> characterize(
+    soc::Machine& machine, const workloads::Suite& suite,
+    const CharacterizeOptions& options) {
+  std::vector<core::KernelCharacterization> out;
+  out.reserve(suite.size());
+  for (const auto& instance : suite.instances()) {
+    out.push_back(characterize_instance(machine, instance, options));
+  }
+  return out;
+}
+
+}  // namespace acsel::eval

@@ -1,0 +1,36 @@
+// Exhaustive offline characterization: profile a kernel instance at every
+// configuration of the machine (the training kernels "have run on all
+// available configurations", §III-B), plus the two online-style sample
+// runs. Repetitions are mean-aggregated to tame measurement noise.
+#pragma once
+
+#include <vector>
+
+#include "core/characterization.h"
+#include "soc/machine.h"
+#include "workloads/suite.h"
+
+namespace acsel::eval {
+
+struct CharacterizeOptions {
+  /// Measurement repetitions per configuration (mean-aggregated).
+  int reps = 1;
+  /// Iterations averaged per *sample* configuration. The paper uses one
+  /// per device ("only two iterations to select a configuration"); the
+  /// sample-config ablation sweeps this to quantify what extra sampling
+  /// iterations would buy.
+  int sample_reps = 1;
+};
+
+/// Characterizes one kernel instance on `machine`.
+core::KernelCharacterization characterize_instance(
+    soc::Machine& machine, const workloads::WorkloadInstance& instance,
+    const CharacterizeOptions& options = {});
+
+/// Characterizes every instance of the suite (the paper's "less than two
+/// hours" of training-kernel runs, §IV-C — seconds on the simulator).
+std::vector<core::KernelCharacterization> characterize(
+    soc::Machine& machine, const workloads::Suite& suite,
+    const CharacterizeOptions& options = {});
+
+}  // namespace acsel::eval

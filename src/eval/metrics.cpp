@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include "util/error.h"
+
+namespace acsel::eval {
+
+namespace {
+
+MethodAggregate aggregate_filtered(const std::vector<CaseResult>& cases,
+                                   Method method,
+                                   const std::string* group) {
+  MethodAggregate agg;
+  agg.method = method;
+
+  double weight_total = 0.0;
+  double weight_under = 0.0;
+  double under_perf = 0.0;
+  double under_power = 0.0;
+  double over_perf = 0.0;
+  double over_power = 0.0;
+  double weight_over = 0.0;
+
+  for (const CaseResult& c : cases) {
+    if (c.method != method) {
+      continue;
+    }
+    if (group != nullptr && c.group != *group) {
+      continue;
+    }
+    ++agg.case_count;
+    weight_total += c.weight;
+    if (c.under_limit) {
+      weight_under += c.weight;
+      under_perf += c.weight * c.perf_vs_oracle;
+      under_power += c.weight * c.power_vs_oracle;
+    } else {
+      weight_over += c.weight;
+      over_perf += c.weight * c.perf_vs_oracle;
+      over_power += c.weight * c.power_vs_oracle;
+    }
+  }
+  if (weight_total == 0.0) {
+    return agg;  // no cases: all zeros
+  }
+  agg.pct_under_limit = 100.0 * weight_under / weight_total;
+  if (weight_under > 0.0) {
+    agg.under_perf_pct = 100.0 * under_perf / weight_under;
+    agg.under_power_pct = 100.0 * under_power / weight_under;
+  }
+  if (weight_over > 0.0) {
+    agg.over_perf_pct = 100.0 * over_perf / weight_over;
+    agg.over_power_pct = 100.0 * over_power / weight_over;
+  }
+  return agg;
+}
+
+}  // namespace
+
+MethodAggregate aggregate_method(const std::vector<CaseResult>& cases,
+                                 Method method) {
+  return aggregate_filtered(cases, method, nullptr);
+}
+
+MethodAggregate aggregate_method_group(const std::vector<CaseResult>& cases,
+                                       Method method,
+                                       const std::string& group) {
+  return aggregate_filtered(cases, method, &group);
+}
+
+}  // namespace acsel::eval

@@ -1,0 +1,51 @@
+// Evaluation metrics (§V-B): each (kernel, constraint, method) case is
+// compared against the oracle's choice at the same constraint, split into
+// under-limit and over-limit categories, and aggregated with kernels
+// weighted by their share of benchmark runtime (§V-D).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/methods.h"
+
+namespace acsel::eval {
+
+/// One evaluated case: one kernel instance at one power constraint under
+/// one method.
+struct CaseResult {
+  std::string instance_id;
+  std::string benchmark;
+  std::string group;  ///< "benchmark input" label
+  double weight = 1.0;
+  Method method = Method::Model;
+  double cap_w = 0.0;
+  bool under_limit = false;
+  /// Measured performance / oracle performance at this constraint.
+  double perf_vs_oracle = 0.0;
+  /// Measured power / oracle power at this constraint.
+  double power_vs_oracle = 0.0;
+};
+
+/// One row of paper Table III, in percent.
+struct MethodAggregate {
+  Method method = Method::Model;
+  double pct_under_limit = 0.0;
+  double under_perf_pct = 0.0;   ///< % oracle performance, under-limit cases
+  double under_power_pct = 0.0;  ///< % oracle power, under-limit cases
+  double over_power_pct = 0.0;   ///< % oracle power, over-limit cases
+  double over_perf_pct = 0.0;    ///< % oracle performance, over-limit cases
+  std::size_t case_count = 0;
+};
+
+/// Aggregates all cases of one method, weighted by kernel time share.
+/// Under/over splits with no members report 0.
+MethodAggregate aggregate_method(const std::vector<CaseResult>& cases,
+                                 Method method);
+
+/// Same, restricted to one "benchmark input" group (Figs. 5, 6, 8, 9).
+MethodAggregate aggregate_method_group(const std::vector<CaseResult>& cases,
+                                       Method method,
+                                       const std::string& group);
+
+}  // namespace acsel::eval

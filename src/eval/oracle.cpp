@@ -1,0 +1,40 @@
+#include "eval/oracle.h"
+
+#include "hw/config_space.h"
+#include "util/error.h"
+
+namespace acsel::eval {
+
+pareto::FrontierPoint Oracle::best_under(double cap_w) const {
+  const auto best = frontier.best_under(cap_w);
+  ACSEL_CHECK_MSG(best.has_value(),
+                  "oracle asked for a cap below its own frontier");
+  return *best;
+}
+
+std::vector<double> Oracle::constraints() const {
+  std::vector<double> caps;
+  caps.reserve(frontier.size());
+  for (const auto& point : frontier.points()) {
+    caps.push_back(point.power_w);
+  }
+  return caps;
+}
+
+Oracle build_oracle(const soc::Machine& machine,
+                    const workloads::WorkloadInstance& instance) {
+  const hw::ConfigSpace space;
+  Oracle oracle;
+  oracle.power_w.reserve(space.size());
+  oracle.performance.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto state = machine.analytic(instance.traits, space.at(i));
+    oracle.power_w.push_back(state.total_power_w());
+    oracle.performance.push_back(state.performance());
+  }
+  oracle.frontier =
+      pareto::ParetoFrontier::build(oracle.power_w, oracle.performance);
+  return oracle;
+}
+
+}  // namespace acsel::eval

@@ -1,0 +1,36 @@
+// The evaluation oracle: "an oracle with perfect knowledge of the test
+// system and benchmark kernels" (§V-B). Built from the simulator's
+// noise-free analytic model, it knows every configuration's true power and
+// performance and therefore the true Pareto frontier. The power
+// constraints each kernel is tested at are exactly the power levels of its
+// oracle-frontier configurations.
+#pragma once
+
+#include <vector>
+
+#include "pareto/frontier.h"
+#include "soc/machine.h"
+#include "workloads/workload.h"
+
+namespace acsel::eval {
+
+struct Oracle {
+  /// True total power and performance per configuration (ConfigSpace
+  /// order).
+  std::vector<double> power_w;
+  std::vector<double> performance;
+  /// The true Pareto frontier.
+  pareto::ParetoFrontier frontier;
+
+  /// The oracle's choice under a cap: the best true configuration whose
+  /// true power fits. Frontier points double as the tested constraints.
+  pareto::FrontierPoint best_under(double cap_w) const;
+
+  /// The power constraints this kernel is evaluated at (§V-B).
+  std::vector<double> constraints() const;
+};
+
+Oracle build_oracle(const soc::Machine& machine,
+                    const workloads::WorkloadInstance& instance);
+
+}  // namespace acsel::eval

@@ -1,0 +1,80 @@
+#include "eval/protocol.h"
+
+#include "eval/oracle.h"
+#include "stats/crossval.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace acsel::eval {
+
+EvaluationResult run_loocv(soc::Machine& machine,
+                           const workloads::Suite& suite,
+                           const ProtocolOptions& options) {
+  const auto characterizations =
+      characterize(machine, suite, options.characterize);
+  return run_loocv_characterized(machine, suite, characterizations, options);
+}
+
+EvaluationResult run_loocv_characterized(
+    soc::Machine& machine, const workloads::Suite& suite,
+    const std::vector<core::KernelCharacterization>& characterizations,
+    const ProtocolOptions& options) {
+  ACSEL_CHECK_MSG(characterizations.size() == suite.size(),
+                  "characterization does not cover the suite");
+
+  std::vector<std::string> benchmark_of;
+  benchmark_of.reserve(characterizations.size());
+  for (const auto& c : characterizations) {
+    benchmark_of.push_back(c.benchmark);
+  }
+  const auto folds = stats::leave_one_group_out(benchmark_of);
+
+  EvaluationResult result;
+  result.groups = suite.benchmark_inputs();
+
+  for (const auto& fold : folds) {
+    // Train on every other benchmark's kernels (§V-C).
+    std::vector<core::KernelCharacterization> training;
+    training.reserve(fold.train.size());
+    for (const std::size_t i : fold.train) {
+      training.push_back(characterizations[i]);
+    }
+    const core::TrainedModel model = core::train(training, options.trainer);
+    ACSEL_LOG_INFO("LOOCV fold: held out "
+                   << characterizations[fold.test.front()].benchmark << ", "
+                   << fold.train.size() << " training kernels");
+
+    for (const std::size_t i : fold.test) {
+      const auto& characterization = characterizations[i];
+      const auto& instance =
+          suite.instance(characterization.instance_id);
+      const Oracle oracle = build_oracle(machine, instance);
+      // The online stage: two sample runs -> cluster -> predictions.
+      const core::Prediction prediction =
+          model.predict(characterization.samples);
+
+      for (const double cap_w : oracle.constraints()) {
+        const auto oracle_point = oracle.best_under(cap_w);
+        for (const Method method : options.methods) {
+          const MethodOutcome outcome = run_method(
+              machine, instance, method, cap_w, &prediction, options.method);
+          CaseResult c;
+          c.instance_id = characterization.instance_id;
+          c.benchmark = characterization.benchmark;
+          c.group = characterization.group;
+          c.weight = characterization.weight;
+          c.method = method;
+          c.cap_w = cap_w;
+          c.under_limit = outcome.under_limit;
+          c.perf_vs_oracle =
+              outcome.measured_performance / oracle_point.performance;
+          c.power_vs_oracle = outcome.measured_power_w / oracle_point.power_w;
+          result.cases.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace acsel::eval

@@ -1,0 +1,44 @@
+// The full evaluation protocol (§V): leave-one-benchmark-out
+// cross-validation of the model over the suite, with every method tested
+// at every oracle-frontier power constraint of every validation kernel.
+#pragma once
+
+#include <vector>
+
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "eval/metrics.h"
+#include "soc/machine.h"
+#include "workloads/suite.h"
+
+namespace acsel::eval {
+
+struct ProtocolOptions {
+  core::TrainerOptions trainer;
+  CharacterizeOptions characterize;
+  MethodOptions method;
+  std::vector<Method> methods = all_methods();
+};
+
+struct EvaluationResult {
+  std::vector<CaseResult> cases;
+  /// Distinct group labels present, in suite order.
+  std::vector<std::string> groups;
+};
+
+/// Runs leave-one-benchmark-out cross-validation (§V-C): for each
+/// benchmark, trains on all kernels from the *other* benchmarks, then
+/// evaluates every method on the held-out benchmark's kernels at each
+/// oracle-frontier constraint.
+EvaluationResult run_loocv(soc::Machine& machine,
+                           const workloads::Suite& suite,
+                           const ProtocolOptions& options = {});
+
+/// Same protocol with a pre-computed characterization (so benches that
+/// vary only trainer options can reuse one characterization pass).
+EvaluationResult run_loocv_characterized(
+    soc::Machine& machine, const workloads::Suite& suite,
+    const std::vector<core::KernelCharacterization>& characterizations,
+    const ProtocolOptions& options = {});
+
+}  // namespace acsel::eval

@@ -1,0 +1,107 @@
+#include "eval/tables.h"
+
+#include "eval/oracle.h"
+#include "hw/config_space.h"
+#include "util/strings.h"
+
+namespace acsel::eval {
+
+TextTable frontier_table(const soc::Machine& machine,
+                         const workloads::WorkloadInstance& instance) {
+  const hw::ConfigSpace space;
+  const Oracle oracle = build_oracle(machine, instance);
+  const double best_perf = oracle.frontier.best_performance().performance;
+
+  TextTable table;
+  table.set_header({"Device", "GPU f.", "Threads", "CPU f.", "Mapping",
+                    "Power", "Perf.*"});
+  for (const auto& point : oracle.frontier.points()) {
+    const hw::Configuration& config = space.at(point.config_index);
+    table.add_row({
+        hw::to_string(config.device),
+        hw::gpu_pstate_name(config.gpu_pstate),
+        std::to_string(config.threads),
+        hw::cpu_pstate_name(config.cpu_pstate),
+        hw::to_string(config.mapping),
+        format_double(point.power_w, 3) + " w",
+        format_double(point.performance / best_perf, 2),
+    });
+  }
+  return table;
+}
+
+TextTable table3(const EvaluationResult& result) {
+  TextTable table;
+  table.set_header({"Method", "% Under-limit", "% Oracle Perf. (under)",
+                    "% Oracle Power (under)", "% Oracle Power (over)",
+                    "% Oracle Perf. (over)"});
+  for (const Method method : all_methods()) {
+    const MethodAggregate agg = aggregate_method(result.cases, method);
+    table.add_row({
+        to_string(method),
+        format_double(agg.pct_under_limit, 3),
+        format_double(agg.under_perf_pct, 3),
+        format_double(agg.under_power_pct, 3),
+        format_double(agg.over_power_pct, 3),
+        format_double(agg.over_perf_pct, 4),
+    });
+  }
+  return table;
+}
+
+TextTable fig4_points(const EvaluationResult& result) {
+  TextTable table;
+  table.set_header({"Method", "% of constraints met (x)",
+                    "% optimal performance when met (y)"});
+  for (const Method method : all_methods()) {
+    const MethodAggregate agg = aggregate_method(result.cases, method);
+    table.add_row({
+        to_string(method),
+        format_double(agg.pct_under_limit, 3),
+        format_double(agg.under_perf_pct, 3),
+    });
+  }
+  return table;
+}
+
+TextTable per_group_table(const EvaluationResult& result,
+                          GroupMetric metric) {
+  TextTable table;
+  std::vector<std::string> header{"Benchmark"};
+  for (const Method method : all_methods()) {
+    header.push_back(to_string(method));
+  }
+  table.set_header(std::move(header));
+
+  for (const std::string& group : result.groups) {
+    std::vector<std::string> row{group};
+    for (const Method method : all_methods()) {
+      const MethodAggregate agg =
+          aggregate_method_group(result.cases, method, group);
+      double value = 0.0;
+      bool has_value = agg.case_count > 0;
+      switch (metric) {
+        case GroupMetric::UnderLimitPerfPct:
+          value = agg.under_perf_pct;
+          has_value = has_value && agg.pct_under_limit > 0.0;
+          break;
+        case GroupMetric::PctUnderLimit:
+          value = agg.pct_under_limit;
+          break;
+        case GroupMetric::OverLimitPowerPct:
+          value = agg.over_power_pct;
+          has_value = has_value && agg.pct_under_limit < 100.0;
+          break;
+        case GroupMetric::OverLimitPerfPct:
+          value = agg.over_perf_pct;
+          has_value = has_value && agg.pct_under_limit < 100.0;
+          break;
+      }
+      row.push_back(has_value ? format_double(value, 4) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace acsel::eval

@@ -1,0 +1,42 @@
+// Table/figure generators: turn evaluation results into the exact rows and
+// series the paper reports, ready for the bench binaries to print.
+// One function per reproduced artifact; see DESIGN.md §5 for the index.
+#pragma once
+
+#include <string>
+
+#include "eval/metrics.h"
+#include "eval/protocol.h"
+#include "soc/machine.h"
+#include "util/table.h"
+#include "workloads/workload.h"
+
+namespace acsel::eval {
+
+/// Table I / Fig. 2: the configurations on one kernel's true
+/// power-performance Pareto frontier, with performance normalized to the
+/// best configuration.
+TextTable frontier_table(const soc::Machine& machine,
+                         const workloads::WorkloadInstance& instance);
+
+/// Table III: the four methods' aggregate comparison to the oracle.
+TextTable table3(const EvaluationResult& result);
+
+/// Fig. 4: one (x, y) point per method — % of cases under the power
+/// constraints vs % of optimal performance achieved in those cases.
+TextTable fig4_points(const EvaluationResult& result);
+
+/// Which per-group metric a per-benchmark figure plots.
+enum class GroupMetric {
+  UnderLimitPerfPct,  ///< Fig. 5
+  PctUnderLimit,      ///< Fig. 6
+  OverLimitPowerPct,  ///< Fig. 8
+  OverLimitPerfPct,   ///< Fig. 9
+};
+
+/// Figs. 5/6/8/9: the chosen metric per benchmark/input group (rows) and
+/// method (columns). Groups with no cases in a split show "-".
+TextTable per_group_table(const EvaluationResult& result,
+                          GroupMetric metric);
+
+}  // namespace acsel::eval

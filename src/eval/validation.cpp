@@ -1,0 +1,76 @@
+#include "eval/validation.h"
+
+#include <cmath>
+
+#include "hw/config_space.h"
+#include "stats/kendall.h"
+#include "util/error.h"
+
+namespace acsel::eval {
+
+PredictionAccuracy assess_prediction(const core::Prediction& prediction,
+                                     const Oracle& oracle) {
+  const std::size_t n = oracle.power_w.size();
+  ACSEL_CHECK_MSG(prediction.per_config.size() == n,
+                  "prediction does not cover the oracle's config space");
+
+  PredictionAccuracy accuracy;
+  std::vector<double> predicted_power(n);
+  std::vector<double> predicted_perf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    predicted_power[i] = prediction.per_config[i].power_w;
+    predicted_perf[i] = prediction.per_config[i].performance;
+    accuracy.power_mape +=
+        std::abs(predicted_power[i] - oracle.power_w[i]) /
+        oracle.power_w[i];
+    accuracy.perf_mape +=
+        std::abs(predicted_perf[i] - oracle.performance[i]) /
+        oracle.performance[i];
+  }
+  accuracy.power_mape *= 100.0 / static_cast<double>(n);
+  accuracy.perf_mape *= 100.0 / static_cast<double>(n);
+  accuracy.power_rank_tau =
+      stats::kendall_tau_fast(predicted_power, oracle.power_w);
+  accuracy.perf_rank_tau =
+      stats::kendall_tau_fast(predicted_perf, oracle.performance);
+
+  // The selection that matters most: does the predicted top configuration
+  // actually deliver?
+  const hw::ConfigSpace space;
+  const std::size_t predicted_best =
+      prediction.frontier.best_performance().config_index;
+  const std::size_t true_best =
+      oracle.frontier.best_performance().config_index;
+  accuracy.best_device_match =
+      space.at(predicted_best).device == space.at(true_best).device;
+  accuracy.top_choice_quality =
+      oracle.performance[predicted_best] / oracle.performance[true_best];
+  return accuracy;
+}
+
+AccuracySummary summarize_accuracy(
+    const std::vector<PredictionAccuracy>& assessments) {
+  AccuracySummary summary;
+  summary.kernels = assessments.size();
+  if (assessments.empty()) {
+    return summary;
+  }
+  for (const auto& a : assessments) {
+    summary.power_mape += a.power_mape;
+    summary.perf_mape += a.perf_mape;
+    summary.power_rank_tau += a.power_rank_tau;
+    summary.perf_rank_tau += a.perf_rank_tau;
+    summary.best_device_match_rate += a.best_device_match ? 1.0 : 0.0;
+    summary.top_choice_quality += a.top_choice_quality;
+  }
+  const double n = static_cast<double>(assessments.size());
+  summary.power_mape /= n;
+  summary.perf_mape /= n;
+  summary.power_rank_tau /= n;
+  summary.perf_rank_tau /= n;
+  summary.best_device_match_rate /= n;
+  summary.top_choice_quality /= n;
+  return summary;
+}
+
+}  // namespace acsel::eval

@@ -1,0 +1,50 @@
+// Prediction-accuracy assessment: how close the model's per-configuration
+// power and performance predictions come to ground truth, and whether the
+// predicted frontier would lead the scheduler to the right choices. Backs
+// the paper's claim that the model "accurately predicts power and
+// performance" with quantitative per-kernel metrics
+// (bench/prediction_accuracy).
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "eval/oracle.h"
+
+namespace acsel::eval {
+
+struct PredictionAccuracy {
+  /// Mean absolute percentage error of predicted power over all configs.
+  double power_mape = 0.0;
+  /// Mean absolute percentage error of predicted performance.
+  double perf_mape = 0.0;
+  /// Kendall tau between predicted and true power orderings of all
+  /// configurations — what matters for ranking-based selection.
+  double power_rank_tau = 0.0;
+  /// Kendall tau between predicted and true performance orderings.
+  double perf_rank_tau = 0.0;
+  /// Does the predicted best configuration use the true best device?
+  bool best_device_match = false;
+  /// True performance of the predicted-best configuration as a fraction
+  /// of the true best performance (1.0 = the model nails the top choice).
+  double top_choice_quality = 0.0;
+};
+
+/// Scores one kernel's prediction against its oracle.
+PredictionAccuracy assess_prediction(const core::Prediction& prediction,
+                                     const Oracle& oracle);
+
+/// Mean of each field over a set of assessments (booleans become rates).
+struct AccuracySummary {
+  double power_mape = 0.0;
+  double perf_mape = 0.0;
+  double power_rank_tau = 0.0;
+  double perf_rank_tau = 0.0;
+  double best_device_match_rate = 0.0;
+  double top_choice_quality = 0.0;
+  std::size_t kernels = 0;
+};
+AccuracySummary summarize_accuracy(
+    const std::vector<PredictionAccuracy>& assessments);
+
+}  // namespace acsel::eval

@@ -1,0 +1,71 @@
+#include "hw/config.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace acsel::hw {
+
+const char* to_string(Device device) {
+  return device == Device::Cpu ? "CPU" : "GPU";
+}
+
+const char* to_string(CoreMapping mapping) {
+  return mapping == CoreMapping::Compact ? "compact" : "scatter";
+}
+
+int Configuration::active_modules() const {
+  if (device == Device::Gpu) {
+    return 1;  // the host/driver thread
+  }
+  if (mapping == CoreMapping::Compact) {
+    return (threads + kCoresPerModule - 1) / kCoresPerModule;
+  }
+  return threads >= kCpuModules ? kCpuModules : threads;
+}
+
+bool Configuration::has_shared_module() const {
+  if (device == Device::Gpu) {
+    return false;
+  }
+  if (mapping == CoreMapping::Compact) {
+    return threads >= 2;
+  }
+  return threads > kCpuModules;  // scatter: doubling up starts at 3 threads
+}
+
+std::string Configuration::to_string() const {
+  std::ostringstream os;
+  if (device == Device::Cpu) {
+    os << "CPU " << cpu_pstate_name(cpu_pstate) << " x" << threads << ' '
+       << acsel::hw::to_string(mapping) << " (GPU "
+       << gpu_pstate_name(gpu_pstate) << ')';
+  } else {
+    os << "GPU " << gpu_pstate_name(gpu_pstate) << " (host CPU "
+       << cpu_pstate_name(cpu_pstate) << ')';
+  }
+  return os.str();
+}
+
+void Configuration::validate() const {
+  ACSEL_CHECK_MSG(cpu_pstate < kCpuPStateCount, "cpu_pstate out of range");
+  ACSEL_CHECK_MSG(gpu_pstate < kGpuPStateCount, "gpu_pstate out of range");
+  ACSEL_CHECK_MSG(threads >= 1 && threads <= kCpuCores,
+                  "threads out of range");
+  if (device == Device::Gpu) {
+    ACSEL_CHECK_MSG(threads == 1, "GPU device uses exactly one host thread");
+    ACSEL_CHECK_MSG(mapping == CoreMapping::Compact,
+                    "GPU device uses canonical compact mapping");
+  } else {
+    ACSEL_CHECK_MSG(gpu_pstate == 0,
+                    "CPU device keeps the GPU at its minimum P-state");
+    if (threads == 1 || threads == kCpuCores) {
+      ACSEL_CHECK_MSG(mapping == CoreMapping::Compact,
+                      "mapping is canonicalized to compact when it is "
+                      "physically indistinct (1 or all threads)");
+    }
+  }
+}
+
+}  // namespace acsel::hw

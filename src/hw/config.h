@@ -1,0 +1,63 @@
+// A hardware configuration, the unit the paper's model ranks and selects:
+// device selection (CPU or GPU), number of CPU threads, CPU and GPU
+// P-states, and the process/core mapping (§I: "a configuration consists of
+// a device selection, number of cores, voltage and frequency for both the
+// CPU and GPU, and process/core mapping").
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <string>
+
+#include "hw/pstate.h"
+
+namespace acsel::hw {
+
+enum class Device { Cpu, Gpu };
+
+/// How CPU threads are placed onto the two dual-core modules.
+/// Compact fills one module before the next (shares the module's FPU/L2
+/// between sibling threads); Scatter spreads threads across modules first
+/// (no sibling contention but both modules powered).
+enum class CoreMapping { Compact, Scatter };
+
+const char* to_string(Device device);
+const char* to_string(CoreMapping mapping);
+
+struct Configuration {
+  Device device = Device::Cpu;
+  /// CPU P-state index (0..5). On the GPU device this is the frequency of
+  /// the host core running the driver/runtime — it still matters, because
+  /// kernel-launch overhead runs on the CPU (paper §III-B, Table I).
+  std::size_t cpu_pstate = 0;
+  /// CPU threads (1..4). Fixed at 1 on the GPU device (the host thread).
+  int threads = 1;
+  /// GPU P-state index (0..2). Fixed at the minimum on the CPU device;
+  /// the GPU plane cannot be fully powered off.
+  std::size_t gpu_pstate = 0;
+  CoreMapping mapping = CoreMapping::Compact;
+
+  double cpu_freq_ghz() const { return cpu_pstates()[cpu_pstate].freq_ghz; }
+  double cpu_voltage() const { return cpu_pstates()[cpu_pstate].voltage; }
+  double gpu_freq_mhz() const { return gpu_pstates()[gpu_pstate].freq_mhz; }
+  double gpu_voltage() const { return gpu_pstates()[gpu_pstate].voltage; }
+
+  /// Number of dual-core modules with at least one active thread.
+  int active_modules() const;
+
+  /// True iff both cores of some module host threads (Compact with >= 2
+  /// threads, or any mapping with 4).
+  bool has_shared_module() const;
+
+  friend auto operator<=>(const Configuration&,
+                          const Configuration&) = default;
+
+  /// "CPU 2.4GHz x3 scatter (GPU 311MHz)" style description.
+  std::string to_string() const;
+
+  /// Validates field ranges and the canonical-form rules enforced by
+  /// ConfigSpace; throws acsel::Error on violations.
+  void validate() const;
+};
+
+}  // namespace acsel::hw

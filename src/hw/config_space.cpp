@@ -1,0 +1,138 @@
+#include "hw/config_space.h"
+
+#include "util/error.h"
+
+namespace acsel::hw {
+
+ConfigSpace::ConfigSpace() {
+  configs_.reserve(kConfigCount);
+  // CPU block: P-state major, then thread placement.
+  for (std::size_t p = 0; p < kCpuPStateCount; ++p) {
+    struct Placement {
+      int threads;
+      CoreMapping mapping;
+    };
+    constexpr Placement placements[] = {
+        {1, CoreMapping::Compact}, {2, CoreMapping::Compact},
+        {2, CoreMapping::Scatter}, {3, CoreMapping::Compact},
+        {3, CoreMapping::Scatter}, {4, CoreMapping::Compact},
+    };
+    for (const auto& placement : placements) {
+      Configuration c;
+      c.device = Device::Cpu;
+      c.cpu_pstate = p;
+      c.threads = placement.threads;
+      c.gpu_pstate = 0;
+      c.mapping = placement.mapping;
+      c.validate();
+      configs_.push_back(c);
+    }
+  }
+  // GPU block: GPU P-state major, then host CPU P-state.
+  for (std::size_t g = 0; g < kGpuPStateCount; ++g) {
+    for (std::size_t p = 0; p < kCpuPStateCount; ++p) {
+      Configuration c;
+      c.device = Device::Gpu;
+      c.cpu_pstate = p;
+      c.threads = 1;
+      c.gpu_pstate = g;
+      c.mapping = CoreMapping::Compact;
+      c.validate();
+      configs_.push_back(c);
+    }
+  }
+  ACSEL_CHECK(configs_.size() == kConfigCount);
+}
+
+const Configuration& ConfigSpace::at(std::size_t index) const {
+  ACSEL_CHECK_MSG(index < configs_.size(), "configuration index out of range");
+  return configs_[index];
+}
+
+std::optional<std::size_t> ConfigSpace::index_of(
+    const Configuration& config) const {
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    if (configs_[i] == config) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+Configuration ConfigSpace::cpu_sample() const {
+  Configuration c;
+  c.device = Device::Cpu;
+  c.cpu_pstate = kCpuMaxPState;
+  c.threads = kCpuCores;
+  c.gpu_pstate = 0;
+  c.mapping = CoreMapping::Compact;
+  return c;
+}
+
+Configuration ConfigSpace::gpu_sample() const {
+  Configuration c;
+  c.device = Device::Gpu;
+  c.cpu_pstate = kCpuMaxPState;
+  c.threads = 1;
+  c.gpu_pstate = kGpuMaxPState;
+  c.mapping = CoreMapping::Compact;
+  return c;
+}
+
+std::size_t ConfigSpace::cpu_sample_index() const {
+  const auto index = index_of(cpu_sample());
+  ACSEL_CHECK(index.has_value());
+  return *index;
+}
+
+std::size_t ConfigSpace::gpu_sample_index() const {
+  const auto index = index_of(gpu_sample());
+  ACSEL_CHECK(index.has_value());
+  return *index;
+}
+
+std::vector<std::size_t> ConfigSpace::indices_for(Device device) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    if (configs_[i].device == device) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::optional<Configuration> ConfigSpace::step_down(
+    const Configuration& config, Device controlled) {
+  Configuration next = config;
+  if (controlled == Device::Cpu) {
+    if (config.cpu_pstate == 0) {
+      return std::nullopt;
+    }
+    next.cpu_pstate -= 1;
+  } else {
+    if (config.gpu_pstate == 0) {
+      return std::nullopt;
+    }
+    next.gpu_pstate -= 1;
+  }
+  return next;
+}
+
+std::optional<Configuration> ConfigSpace::step_up(const Configuration& config,
+                                                  Device controlled) {
+  Configuration next = config;
+  if (controlled == Device::Cpu) {
+    if (config.cpu_pstate + 1 >= kCpuPStateCount) {
+      return std::nullopt;
+    }
+    next.cpu_pstate += 1;
+  } else {
+    if (config.gpu_pstate + 1 >= kGpuPStateCount) {
+      return std::nullopt;
+    }
+    next.gpu_pstate += 1;
+  }
+  return next;
+}
+
+}  // namespace acsel::hw

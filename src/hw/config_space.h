@@ -1,0 +1,60 @@
+// Enumeration of the full machine configuration space, in a stable
+// canonical order. The model predicts power and performance for *every*
+// configuration here from two sample runs (paper §III-C), and the
+// evaluation's oracle searches the same space exhaustively.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "hw/config.h"
+
+namespace acsel::hw {
+
+/// The enumerated configuration space of the modeled machine:
+///  - CPU device: 6 CPU P-states x thread placements {x1, x2 compact,
+///    x2 scatter, x3 compact, x3 scatter, x4}, GPU parked at minimum;
+///  - GPU device: 3 GPU P-states x 6 host-CPU P-states.
+/// 54 configurations total, CPU block first. Index order is stable across
+/// runs and releases; it is the identity used by frontiers and models.
+class ConfigSpace {
+ public:
+  ConfigSpace();
+
+  std::size_t size() const { return configs_.size(); }
+  const Configuration& at(std::size_t index) const;
+  const std::vector<Configuration>& all() const { return configs_; }
+
+  /// Index of a configuration (must be canonical); nullopt if not present.
+  std::optional<std::size_t> index_of(const Configuration& config) const;
+
+  /// The two sample configurations of paper Table II: the natural
+  /// "no power constraint" choice per device.
+  ///  - CPU sample: 3.7 GHz, 4 threads (GPU parked at 311 MHz);
+  ///  - GPU sample: 819 MHz, host CPU at 3.7 GHz.
+  Configuration cpu_sample() const;
+  Configuration gpu_sample() const;
+  std::size_t cpu_sample_index() const;
+  std::size_t gpu_sample_index() const;
+
+  /// All indices whose configuration uses `device`.
+  std::vector<std::size_t> indices_for(Device device) const;
+
+  /// Stepping helpers used by the RAPL-style frequency limiter: the same
+  /// configuration with the controlled device's P-state moved one step
+  /// down/up, or nullopt at the range end.
+  static std::optional<Configuration> step_down(const Configuration& config,
+                                                Device controlled);
+  static std::optional<Configuration> step_up(const Configuration& config,
+                                              Device controlled);
+
+ private:
+  std::vector<Configuration> configs_;
+};
+
+/// Total number of configurations (compile-time documented contract).
+constexpr std::size_t kConfigCount =
+    kCpuPStateCount * 6 + kGpuPStateCount * kCpuPStateCount;  // 36 + 18 = 54
+
+}  // namespace acsel::hw

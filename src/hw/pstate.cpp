@@ -1,0 +1,43 @@
+#include "hw/pstate.h"
+
+#include <array>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace acsel::hw {
+
+namespace {
+
+constexpr std::array<CpuPState, kCpuPStateCount> kCpuTable{{
+    {1.4, 0.825},
+    {1.9, 0.900},
+    {2.4, 0.975},
+    {2.9, 1.050},
+    {3.3, 1.125},
+    {3.7, 1.200},
+}};
+
+constexpr std::array<GpuPState, kGpuPStateCount> kGpuTable{{
+    {311.0, 0.825},
+    {649.0, 0.950},
+    {819.0, 1.050},
+}};
+
+}  // namespace
+
+std::span<const CpuPState> cpu_pstates() { return kCpuTable; }
+
+std::span<const GpuPState> gpu_pstates() { return kGpuTable; }
+
+std::string cpu_pstate_name(std::size_t index) {
+  ACSEL_CHECK(index < kCpuPStateCount);
+  return format_double(kCpuTable[index].freq_ghz, 2) + " GHz";
+}
+
+std::string gpu_pstate_name(std::size_t index) {
+  ACSEL_CHECK(index < kGpuPStateCount);
+  return format_double(kGpuTable[index].freq_mhz, 3) + " MHz";
+}
+
+}  // namespace acsel::hw

@@ -1,0 +1,53 @@
+// DVFS P-state tables for the modeled Trinity A10-5800K APU (paper §IV-A).
+//
+// The CPU exposes six software-visible P-states from 1.4 to 3.7 GHz; all
+// compute units share one voltage plane whose voltage is set by the fastest
+// CU. The GPU has its own plane with three effective P-states at 311, 649
+// and 819 MHz. Voltages are plausible per-state values (AMD does not
+// publish the VID tables); only their monotone V(f) shape matters to the
+// power model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace acsel::hw {
+
+struct CpuPState {
+  double freq_ghz;
+  double voltage;
+};
+
+struct GpuPState {
+  double freq_mhz;
+  double voltage;
+};
+
+/// The six CPU P-states, slowest first (index 0 = 1.4 GHz).
+std::span<const CpuPState> cpu_pstates();
+
+/// The three GPU P-states, slowest first (index 0 = 311 MHz).
+std::span<const GpuPState> gpu_pstates();
+
+constexpr std::size_t kCpuPStateCount = 6;
+constexpr std::size_t kGpuPStateCount = 3;
+
+/// Number of CPU cores (two dual-core PileDriver modules).
+constexpr int kCpuCores = 4;
+/// Cores per module (they share the front-end, FPU and L2).
+constexpr int kCoresPerModule = 2;
+constexpr int kCpuModules = kCpuCores / kCoresPerModule;
+
+/// Radeon cores on the GPU (six SIMD units of 16 four-way VLIW units).
+constexpr int kGpuCores = 384;
+
+/// Index of the highest-frequency P-state for each device.
+constexpr std::size_t kCpuMaxPState = kCpuPStateCount - 1;
+constexpr std::size_t kGpuMaxPState = kGpuPStateCount - 1;
+
+/// Pretty-printers: "1.4 GHz", "311 MHz".
+std::string cpu_pstate_name(std::size_t index);
+std::string gpu_pstate_name(std::size_t index);
+
+}  // namespace acsel::hw

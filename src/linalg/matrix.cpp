@@ -1,0 +1,150 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace acsel::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    ACSEL_CHECK_MSG(row.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  ACSEL_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  ACSEL_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  ACSEL_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  ACSEL_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t{cols_, rows_};
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+double Matrix::norm() const {
+  double sum = 0.0;
+  for (const double v : data_) {
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  ACSEL_CHECK_MSG(a.cols_ == b.rows_, "matrix product shape mismatch");
+  Matrix c{a.rows_, b.cols_};
+  // i-k-j loop order keeps the inner loop contiguous in both b and c.
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (std::size_t j = 0; j < b.cols_; ++j) {
+        c.data_[i * c.cols_ + j] += aik * b.data_[k * b.cols_ + j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  ACSEL_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.data_.size(); ++i) {
+    c.data_[i] += b.data_[i];
+  }
+  return c;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  ACSEL_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.data_.size(); ++i) {
+    c.data_[i] -= b.data_[i];
+  }
+  return c;
+}
+
+Matrix operator*(double s, const Matrix& a) {
+  Matrix c = a;
+  for (double& v : c.data_) {
+    v *= s;
+  }
+  return c;
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+}
+
+std::vector<double> Matrix::apply(std::span<const double> x) const {
+  ACSEL_CHECK_MSG(x.size() == cols_, "matrix-vector shape mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      sum += row_ptr[c] * x[c];
+    }
+    y[r] = sum;
+  }
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  ACSEL_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double norm(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  ACSEL_CHECK(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace acsel::linalg

@@ -1,0 +1,71 @@
+// Dense row-major matrix of doubles, sized for the model's needs: design
+// matrices are at most a few thousand rows by a couple dozen columns, so a
+// simple contiguous layout with bounds-checked access is both fast enough
+// and easy to reason about. No expression templates, no allocator games.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace acsel::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Construct from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Bounds-checked element access (checked in all build types; the model's
+  /// matrices are small enough that the branch is noise).
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// View of one row as a contiguous span.
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  /// Raw storage in row-major order.
+  std::span<const double> data() const { return data_; }
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+  friend Matrix operator*(double s, const Matrix& a);
+  friend bool operator==(const Matrix& a, const Matrix& b);
+
+  /// Matrix-vector product; x.size() must equal cols().
+  std::vector<double> apply(std::span<const double> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean dot product; sizes must match.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm of a vector.
+double norm(std::span<const double> v);
+
+/// Max-absolute-difference between two equal-length vectors.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+}  // namespace acsel::linalg

@@ -1,0 +1,152 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace acsel::linalg {
+
+QrFactorization::QrFactorization(const Matrix& a)
+    : m_(a.rows()), n_(a.cols()), qr_(a), tau_(a.cols(), 0.0) {
+  ACSEL_CHECK_MSG(m_ >= n_ && n_ > 0, "QR requires rows >= cols > 0");
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Build the Householder reflector annihilating column k below row k.
+    double norm_x = 0.0;
+    for (std::size_t i = k; i < m_; ++i) {
+      norm_x = std::hypot(norm_x, qr_(i, k));
+    }
+    if (norm_x == 0.0) {
+      tau_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0.0 ? -norm_x : norm_x;
+    const double v0 = qr_(k, k) - alpha;
+    // Normalize so v[k] = 1 implicitly (stored values are v[i]/v0).
+    for (std::size_t i = k + 1; i < m_; ++i) {
+      qr_(i, k) /= v0;
+    }
+    tau_[k] = -v0 / alpha;
+    qr_(k, k) = alpha;
+
+    // Apply (I - tau v v^T) to the trailing columns.
+    for (std::size_t j = k + 1; j < n_; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t i = k + 1; i < m_; ++i) {
+        s += qr_(i, k) * qr_(i, j);
+      }
+      s *= tau_[k];
+      qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < m_; ++i) {
+        qr_(i, j) -= s * qr_(i, k);
+      }
+    }
+  }
+}
+
+std::vector<double> QrFactorization::apply_qt(std::span<const double> b) const {
+  ACSEL_CHECK(b.size() == m_);
+  std::vector<double> y(b.begin(), b.end());
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (tau_[k] == 0.0) {
+      continue;
+    }
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m_; ++i) {
+      s += qr_(i, k) * y[i];
+    }
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m_; ++i) {
+      y[i] -= s * qr_(i, k);
+    }
+  }
+  return y;
+}
+
+std::optional<std::vector<double>> QrFactorization::solve(
+    std::span<const double> b, double rank_tol) const {
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    max_diag = std::max(max_diag, std::abs(qr_(i, i)));
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (std::abs(qr_(i, i)) <= rank_tol * max_diag) {
+      return std::nullopt;
+    }
+  }
+
+  std::vector<double> y = apply_qt(b);
+  std::vector<double> x(n_, 0.0);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) {
+      s -= qr_(ii, j) * x[j];
+    }
+    x[ii] = s / qr_(ii, ii);
+  }
+  return x;
+}
+
+double QrFactorization::diagonal_ratio() const {
+  double lo = std::abs(qr_(0, 0));
+  double hi = lo;
+  for (std::size_t i = 1; i < n_; ++i) {
+    const double d = std::abs(qr_(i, i));
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return hi == 0.0 ? 0.0 : lo / hi;
+}
+
+Matrix QrFactorization::r() const {
+  Matrix r{n_, n_};
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i; j < n_; ++j) {
+      r(i, j) = qr_(i, j);
+    }
+  }
+  return r;
+}
+
+std::vector<double> lstsq(const Matrix& a, std::span<const double> b) {
+  const QrFactorization qr{a};
+  auto x = qr.solve(b);
+  ACSEL_CHECK_MSG(x.has_value(), "lstsq: rank-deficient design matrix");
+  return *std::move(x);
+}
+
+std::vector<double> lstsq_ridge(const Matrix& a, std::span<const double> b,
+                                double lambda) {
+  ACSEL_CHECK(lambda >= 0.0);
+  ACSEL_CHECK(b.size() == a.rows());
+  if (lambda == 0.0) {
+    const QrFactorization qr{a};
+    if (auto x = qr.solve(b)) {
+      return *std::move(x);
+    }
+    // Rank-deficient: regularize just enough to pick a unique solution.
+    lambda = 1e-8;
+  }
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix aug{m + n, n};
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      aug(i, j) = a(i, j);
+    }
+  }
+  const double s = std::sqrt(lambda);
+  for (std::size_t j = 0; j < n; ++j) {
+    aug(m + j, j) = s;
+  }
+  std::vector<double> rhs(m + n, 0.0);
+  std::copy(b.begin(), b.end(), rhs.begin());
+  const QrFactorization qr{aug};
+  auto x = qr.solve(rhs);
+  ACSEL_CHECK_MSG(x.has_value(), "lstsq_ridge: singular even with ridge");
+  return *std::move(x);
+}
+
+}  // namespace acsel::linalg

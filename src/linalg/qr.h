@@ -1,0 +1,61 @@
+// Householder QR factorization and least-squares solving.
+//
+// This is the numerical core behind the paper's multivariate linear
+// regressions (§III-B). QR is chosen over normal equations because the
+// design matrices mix near-collinear interaction columns (frequency,
+// threads, frequency*threads) whose Gram matrix is badly conditioned.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace acsel::linalg {
+
+/// Householder QR of an m x n matrix with m >= n.
+/// A = Q * R with Q m x m orthogonal (applied implicitly) and R n x n upper
+/// triangular (rows n..m-1 of the reduced matrix are zero).
+class QrFactorization {
+ public:
+  /// Factorizes `a`; requires a.rows() >= a.cols().
+  explicit QrFactorization(const Matrix& a);
+
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+
+  /// Applies Q^T to `b` (length m), returning the transformed vector.
+  std::vector<double> apply_qt(std::span<const double> b) const;
+
+  /// Minimum-norm residual solution of A x = b via back substitution.
+  /// Returns nullopt if R is numerically rank-deficient (|r_ii| below
+  /// `rank_tol` * max |r_jj|).
+  std::optional<std::vector<double>> solve(std::span<const double> b,
+                                           double rank_tol = 1e-12) const;
+
+  /// |r_ii| minimum over maximum: a cheap conditioning indicator.
+  double diagonal_ratio() const;
+
+  /// The upper-triangular factor R (n x n).
+  Matrix r() const;
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  // Packed factorization: R in the upper triangle, Householder vectors
+  // below the diagonal (LAPACK dgeqrf layout), plus the scalar taus.
+  Matrix qr_;
+  std::vector<double> tau_;
+};
+
+/// Convenience: least-squares solution of min ||A x - b||_2.
+/// Throws acsel::Error if A is rank-deficient.
+std::vector<double> lstsq(const Matrix& a, std::span<const double> b);
+
+/// Ridge-regularized least squares: min ||A x - b||^2 + lambda ||x||^2,
+/// implemented by augmenting A with sqrt(lambda) * I. lambda = 0 reduces to
+/// lstsq but never fails: rank deficiency falls back to a small ridge.
+std::vector<double> lstsq_ridge(const Matrix& a, std::span<const double> b,
+                                double lambda);
+
+}  // namespace acsel::linalg

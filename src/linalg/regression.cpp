@@ -1,0 +1,183 @@
+#include "linalg/regression.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "linalg/qr.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace acsel::linalg {
+
+double apply_transform(ResponseTransform t, double y) {
+  switch (t) {
+    case ResponseTransform::Identity:
+      return y;
+    case ResponseTransform::Log1p:
+      ACSEL_CHECK_MSG(y > -1.0, "log1p transform requires y > -1");
+      return std::log1p(y);
+  }
+  throw Error{"unknown ResponseTransform"};
+}
+
+double invert_transform(ResponseTransform t, double y) {
+  switch (t) {
+    case ResponseTransform::Identity:
+      return y;
+    case ResponseTransform::Log1p:
+      return std::expm1(y);
+  }
+  throw Error{"unknown ResponseTransform"};
+}
+
+LinearModel LinearModel::fit(const Matrix& x, std::span<const double> y,
+                             const RegressionOptions& options) {
+  ACSEL_CHECK_MSG(x.rows() == y.size(), "regression shape mismatch");
+  const std::size_t n_obs = x.rows();
+  const std::size_t n_feat = x.cols();
+  const std::size_t n_coef = n_feat + (options.intercept ? 1 : 0);
+  ACSEL_CHECK_MSG(n_obs >= n_coef,
+                  "regression needs at least as many observations as "
+                  "coefficients");
+
+  // Assemble the design matrix (intercept column first, if any) and the
+  // transformed response.
+  Matrix design{n_obs, n_coef};
+  std::vector<double> ty(n_obs);
+  for (std::size_t i = 0; i < n_obs; ++i) {
+    std::size_t j = 0;
+    if (options.intercept) {
+      design(i, j++) = 1.0;
+    }
+    for (std::size_t f = 0; f < n_feat; ++f) {
+      design(i, j++) = x(i, f);
+    }
+    ty[i] = apply_transform(options.transform, y[i]);
+  }
+
+  const std::vector<double> beta = lstsq_ridge(design, ty, options.ridge);
+
+  LinearModel model;
+  model.options_ = options;
+  model.training_rows_ = n_obs;
+  std::size_t j = 0;
+  if (options.intercept) {
+    model.intercept_ = beta[j++];
+  }
+  model.slopes_.assign(beta.begin() + static_cast<std::ptrdiff_t>(j),
+                       beta.end());
+
+  // Training-set statistics: R^2 on the transformed scale, residual stddev
+  // on the original scale.
+  double mean_ty = 0.0;
+  for (const double v : ty) {
+    mean_ty += v;
+  }
+  mean_ty /= static_cast<double>(n_obs);
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double ss_res_raw = 0.0;
+  for (std::size_t i = 0; i < n_obs; ++i) {
+    const double fitted_t =
+        model.intercept_ + dot(model.slopes_, x.row(i));
+    ss_res += (ty[i] - fitted_t) * (ty[i] - fitted_t);
+    ss_tot += (ty[i] - mean_ty) * (ty[i] - mean_ty);
+    const double fitted_raw = invert_transform(options.transform, fitted_t);
+    ss_res_raw += (y[i] - fitted_raw) * (y[i] - fitted_raw);
+  }
+  model.r_squared_ = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot
+                                  : (ss_res == 0.0 ? 1.0 : 0.0);
+  const std::size_t dof = n_obs > n_coef ? n_obs - n_coef : 1;
+  model.residual_stddev_ = std::sqrt(ss_res_raw / static_cast<double>(dof));
+
+  // Coefficient standard errors: s^2 * diag((X'X + ridge I)^-1), with s
+  // the residual stddev on the transformed scale. The Gram matrix is tiny
+  // (a dozen-ish coefficients), so direct column solves are fine.
+  const double s2 = ss_res / static_cast<double>(dof);
+  Matrix gram{n_coef, n_coef};
+  for (std::size_t a = 0; a < n_coef; ++a) {
+    for (std::size_t b = a; b < n_coef; ++b) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n_obs; ++i) {
+        sum += design(i, a) * design(i, b);
+      }
+      gram(a, b) = sum;
+      gram(b, a) = sum;
+    }
+    gram(a, a) += std::max(options.ridge, 1e-12);
+  }
+  const QrFactorization gram_qr{gram};
+  std::vector<double> unit(n_coef, 0.0);
+  std::vector<double> diag(n_coef, 0.0);
+  for (std::size_t a = 0; a < n_coef; ++a) {
+    unit.assign(n_coef, 0.0);
+    unit[a] = 1.0;
+    if (const auto column = gram_qr.solve(unit)) {
+      diag[a] = std::max(0.0, (*column)[a]);
+    }
+  }
+  std::size_t j2 = 0;
+  if (options.intercept) {
+    model.intercept_stddev_ = std::sqrt(s2 * diag[j2++]);
+  }
+  model.slope_stddev_.reserve(n_feat);
+  for (std::size_t f = 0; f < n_feat; ++f) {
+    model.slope_stddev_.push_back(std::sqrt(s2 * diag[j2++]));
+  }
+  return model;
+}
+
+double LinearModel::t_statistic(std::size_t j) const {
+  ACSEL_CHECK_MSG(j < slopes_.size(), "t_statistic: index out of range");
+  // Standard errors are a training-time diagnostic and are not carried
+  // through serialization; a parsed model reports 0.
+  const double se = j < slope_stddev_.size() ? slope_stddev_[j] : 0.0;
+  return se > 0.0 ? slopes_[j] / se : 0.0;
+}
+
+double LinearModel::predict(std::span<const double> features) const {
+  ACSEL_CHECK_MSG(features.size() == slopes_.size(),
+                  "prediction feature count mismatch");
+  const double t = intercept_ + dot(slopes_, features);
+  return invert_transform(options_.transform, t);
+}
+
+std::string LinearModel::serialize() const {
+  std::ostringstream os;
+  os << (options_.intercept ? 1 : 0) << ' '
+     << (options_.transform == ResponseTransform::Log1p ? 1 : 0) << ' '
+     << format_double(options_.ridge, 17) << ' '
+     << format_double(intercept_, 17) << ' '
+     << format_double(r_squared_, 17) << ' '
+     << format_double(residual_stddev_, 17) << ' ' << training_rows_ << ' '
+     << slopes_.size();
+  for (const double s : slopes_) {
+    os << ' ' << format_double(s, 17);
+  }
+  return os.str();
+}
+
+LinearModel LinearModel::parse(const std::string& line) {
+  const auto fields = split(std::string_view{line}, ' ');
+  ACSEL_CHECK_MSG(fields.size() >= 8, "malformed LinearModel line");
+  LinearModel model;
+  model.options_.intercept = parse_size(fields[0]) != 0;
+  model.options_.transform = parse_size(fields[1]) != 0
+                                 ? ResponseTransform::Log1p
+                                 : ResponseTransform::Identity;
+  model.options_.ridge = parse_double(fields[2]);
+  model.intercept_ = parse_double(fields[3]);
+  model.r_squared_ = parse_double(fields[4]);
+  model.residual_stddev_ = parse_double(fields[5]);
+  model.training_rows_ = parse_size(fields[6]);
+  const std::size_t n = parse_size(fields[7]);
+  ACSEL_CHECK_MSG(fields.size() == 8 + n, "LinearModel coefficient count");
+  model.slopes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    model.slopes_.push_back(parse_double(fields[8 + i]));
+  }
+  return model;
+}
+
+}  // namespace acsel::linalg

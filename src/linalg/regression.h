@@ -1,0 +1,95 @@
+// Multivariate linear regression on top of the QR solver.
+//
+// Wraps coefficient fitting with the bookkeeping the paper's model needs:
+// optional intercept (power models have one, performance models do not,
+// §III-B), residual statistics for the variance-aware scheduling extension
+// (§VI), and an optional variance-stabilizing transform of the response.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace acsel::linalg {
+
+/// Response transform applied before fitting and inverted after predicting.
+/// Log1p is the variance-stabilizing transformation suggested in the
+/// paper's future work (§VI): it de-emphasizes very large fitted values.
+enum class ResponseTransform { Identity, Log1p };
+
+struct RegressionOptions {
+  bool intercept = true;
+  ResponseTransform transform = ResponseTransform::Identity;
+  /// Ridge penalty; a tiny default keeps collinear interaction columns from
+  /// exploding the coefficients without noticeably biasing the fit.
+  double ridge = 1e-9;
+};
+
+/// A fitted linear model: y ~ [1] + x_1 ... x_n.
+class LinearModel {
+ public:
+  LinearModel() = default;
+
+  /// Fits the model to rows of `x` (one observation per row) against `y`.
+  /// Requires x.rows() == y.size() and x.rows() >= #coefficients.
+  static LinearModel fit(const Matrix& x, std::span<const double> y,
+                         const RegressionOptions& options = {});
+
+  /// Predicted response for one feature vector (length == x.cols() at fit).
+  double predict(std::span<const double> features) const;
+
+  /// Coefficients excluding the intercept.
+  std::span<const double> coefficients() const { return slopes_; }
+  double intercept() const { return intercept_; }
+  bool has_intercept() const { return options_.intercept; }
+  const RegressionOptions& options() const { return options_; }
+
+  std::size_t feature_count() const { return slopes_.size(); }
+
+  /// Coefficient of determination on the training data (transformed scale).
+  double r_squared() const { return r_squared_; }
+
+  /// Unbiased residual standard deviation on the *original* response scale,
+  /// used by the risk-averse scheduler to widen prediction intervals.
+  double residual_stddev() const { return residual_stddev_; }
+
+  /// Standard errors of the slope coefficients (transformed scale),
+  /// se_j = s * sqrt([(X'X)^-1]_jj) — the ingredient of the §VI
+  /// confidence-interval discussion. Parallel to coefficients().
+  std::span<const double> coefficient_stddev() const {
+    return slope_stddev_;
+  }
+  /// Standard error of the intercept (0 when fitted without one).
+  double intercept_stddev() const { return intercept_stddev_; }
+
+  /// t-statistic of slope j (coefficient / standard error); infinite
+  /// standard-error-free fits report 0.
+  double t_statistic(std::size_t j) const;
+
+  std::size_t training_rows() const { return training_rows_; }
+
+  /// Serialization used by core::save_model / load_model. One line of
+  /// space-separated fields; round-trips through parse().
+  std::string serialize() const;
+  static LinearModel parse(const std::string& line);
+
+ private:
+  RegressionOptions options_;
+  double intercept_ = 0.0;
+  std::vector<double> slopes_;
+  double r_squared_ = 0.0;
+  double residual_stddev_ = 0.0;
+  std::size_t training_rows_ = 0;
+  std::vector<double> slope_stddev_;
+  double intercept_stddev_ = 0.0;
+};
+
+/// Applies the forward transform to a raw response value.
+double apply_transform(ResponseTransform t, double y);
+/// Inverts the transform back to the original response scale.
+double invert_transform(ResponseTransform t, double y);
+
+}  // namespace acsel::linalg

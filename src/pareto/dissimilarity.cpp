@@ -1,0 +1,74 @@
+#include "pareto/dissimilarity.h"
+
+#include <vector>
+
+#include "stats/kendall.h"
+#include "util/error.h"
+
+namespace acsel::pareto {
+
+double frontier_order_dissimilarity(const ParetoFrontier& a,
+                                    const ParetoFrontier& b) {
+  // Collect configurations present on both frontiers, with their position
+  // along each (frontier order = increasing power = increasing perf).
+  std::vector<double> pos_a;
+  std::vector<double> pos_b;
+  for (const FrontierPoint& point : a.points()) {
+    if (const auto pb = b.position_of(point.config_index)) {
+      pos_a.push_back(
+          static_cast<double>(*a.position_of(point.config_index)));
+      pos_b.push_back(static_cast<double>(*pb));
+    }
+  }
+  if (pos_a.size() < 2) {
+    return 0.5;  // no ordering information: neutral dissimilarity
+  }
+  const double tau = stats::kendall_tau_a(pos_a, pos_b);
+  return (1.0 - tau) / 2.0;
+}
+
+double frontier_membership_dissimilarity(const ParetoFrontier& a,
+                                         const ParetoFrontier& b) {
+  ACSEL_CHECK_MSG(!a.empty() && !b.empty(),
+                  "membership dissimilarity needs non-empty frontiers");
+  std::size_t shared = 0;
+  for (const FrontierPoint& point : a.points()) {
+    if (b.contains(point.config_index)) {
+      ++shared;
+    }
+  }
+  const std::size_t unions = a.size() + b.size() - shared;
+  return 1.0 - static_cast<double>(shared) / static_cast<double>(unions);
+}
+
+double frontier_dissimilarity(const ParetoFrontier& a,
+                              const ParetoFrontier& b,
+                              const DissimilarityOptions& options) {
+  ACSEL_CHECK_MSG(options.order_weight >= 0.0 &&
+                      options.membership_weight >= 0.0 &&
+                      options.order_weight + options.membership_weight > 0.0,
+                  "dissimilarity weights must be non-negative, not both 0");
+  const double total = options.order_weight + options.membership_weight;
+  return (options.order_weight * frontier_order_dissimilarity(a, b) +
+          options.membership_weight *
+              frontier_membership_dissimilarity(a, b)) /
+         total;
+}
+
+linalg::Matrix dissimilarity_matrix(std::span<const ParetoFrontier> fronts,
+                                    const DissimilarityOptions& options) {
+  ACSEL_CHECK_MSG(!fronts.empty(), "dissimilarity_matrix: no frontiers");
+  const std::size_t n = fronts.size();
+  linalg::Matrix d{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double value =
+          frontier_dissimilarity(fronts[i], fronts[j], options);
+      d(i, j) = value;
+      d(j, i) = value;
+    }
+  }
+  return d;
+}
+
+}  // namespace acsel::pareto

@@ -1,0 +1,51 @@
+// Kernel dissimilarity from pairwise Pareto-frontier comparison (§III-B):
+// "kernels with similar power and performance scaling behavior will
+// generally have the same configurations on their respective frontiers,
+// arranged in the same order."
+//
+// That insight has two parts, and the dissimilarity here scores both:
+//  * order     — keep only the configurations present on both frontiers
+//                and compute the Kendall rank correlation between their
+//                orders, mapped to (1 - tau)/2 in [0, 1] (the comparison
+//                the paper describes explicitly);
+//  * membership — one minus the Jaccard similarity of the frontier
+//                configuration sets ("have the same configurations on
+//                their respective frontiers").
+// The default blends the two equally; weights are exposed because the
+// ablation bench compares the blend against the order-only variant.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.h"
+#include "pareto/frontier.h"
+
+namespace acsel::pareto {
+
+struct DissimilarityOptions {
+  double order_weight = 0.5;
+  double membership_weight = 0.5;
+};
+
+/// Order component: Kendall over shared configurations. Pairs sharing
+/// fewer than two configurations carry no ordering information and score
+/// the neutral 0.5.
+double frontier_order_dissimilarity(const ParetoFrontier& a,
+                                    const ParetoFrontier& b);
+
+/// Membership component: 1 - |A intersect B| / |A union B| over the
+/// frontier configuration sets.
+double frontier_membership_dissimilarity(const ParetoFrontier& a,
+                                         const ParetoFrontier& b);
+
+/// Weighted blend of the two components, normalized by the weight sum.
+double frontier_dissimilarity(const ParetoFrontier& a,
+                              const ParetoFrontier& b,
+                              const DissimilarityOptions& options = {});
+
+/// Symmetric zero-diagonal dissimilarity matrix over a set of kernels'
+/// frontiers — the input to PAM relational clustering.
+linalg::Matrix dissimilarity_matrix(std::span<const ParetoFrontier> fronts,
+                                    const DissimilarityOptions& options = {});
+
+}  // namespace acsel::pareto

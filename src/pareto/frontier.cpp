@@ -1,0 +1,80 @@
+#include "pareto/frontier.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acsel::pareto {
+
+ParetoFrontier ParetoFrontier::build(std::span<const double> power_w,
+                                     std::span<const double> performance) {
+  ACSEL_CHECK_MSG(power_w.size() == performance.size() && !power_w.empty(),
+                  "frontier needs equal-length non-empty inputs");
+  const std::size_t n = power_w.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ACSEL_CHECK_MSG(power_w[i] > 0.0 && performance[i] > 0.0,
+                    "frontier inputs must be positive");
+  }
+
+  // Sort candidate indices by (power asc, performance desc, index asc);
+  // then a single sweep keeps points with strictly increasing performance.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (power_w[a] != power_w[b]) {
+      return power_w[a] < power_w[b];
+    }
+    if (performance[a] != performance[b]) {
+      return performance[a] > performance[b];
+    }
+    return a < b;
+  });
+
+  ParetoFrontier frontier;
+  double best_perf = 0.0;
+  for (const std::size_t i : order) {
+    if (performance[i] > best_perf) {
+      frontier.points_.push_back({i, power_w[i], performance[i]});
+      best_perf = performance[i];
+    }
+  }
+  return frontier;
+}
+
+std::optional<FrontierPoint> ParetoFrontier::best_under(double cap_w) const {
+  ACSEL_CHECK_MSG(!points_.empty(), "best_under on an empty frontier");
+  // Points are sorted by ascending power and performance: the last point
+  // at or under the cap is the best feasible one.
+  std::optional<FrontierPoint> best;
+  for (const FrontierPoint& point : points_) {
+    if (point.power_w > cap_w) {
+      break;
+    }
+    best = point;
+  }
+  return best;
+}
+
+const FrontierPoint& ParetoFrontier::lowest_power() const {
+  ACSEL_CHECK_MSG(!points_.empty(), "lowest_power on an empty frontier");
+  return points_.front();
+}
+
+const FrontierPoint& ParetoFrontier::best_performance() const {
+  ACSEL_CHECK_MSG(!points_.empty(), "best_performance on an empty frontier");
+  return points_.back();
+}
+
+std::optional<std::size_t> ParetoFrontier::position_of(
+    std::size_t config_index) const {
+  for (std::size_t pos = 0; pos < points_.size(); ++pos) {
+    if (points_[pos].config_index == config_index) {
+      return pos;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace acsel::pareto

@@ -1,0 +1,65 @@
+// Power-performance Pareto frontiers (paper §III-B, Fig. 2 / Table I).
+//
+// Given (power, performance) per configuration, the frontier keeps exactly
+// the configurations not dominated by any other — those that use less
+// power for the same or greater performance. "With perfect knowledge ...
+// the majority of configurations would never be selected"; scheduling
+// reduces to walking the frontier.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace acsel::pareto {
+
+struct FrontierPoint {
+  std::size_t config_index = 0;  ///< index into the hw::ConfigSpace order
+  double power_w = 0.0;
+  double performance = 0.0;
+};
+
+class ParetoFrontier {
+ public:
+  ParetoFrontier() = default;
+
+  /// Builds the frontier from per-configuration power and performance
+  /// (parallel arrays indexed by configuration index). A point survives if
+  /// no other point has power <= and performance >= with at least one
+  /// strict; among exact (power, performance) duplicates the lowest
+  /// configuration index is kept.
+  static ParetoFrontier build(std::span<const double> power_w,
+                              std::span<const double> performance);
+
+  /// Frontier points sorted by ascending power (and therefore ascending
+  /// performance — that is what makes it a frontier).
+  const std::vector<FrontierPoint>& points() const { return points_; }
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// The highest-performance point whose power does not exceed `cap_w`;
+  /// nullopt when even the lowest-power point violates the cap. This is
+  /// the scheduler's primitive (§III-C).
+  std::optional<FrontierPoint> best_under(double cap_w) const;
+
+  /// Lowest-power point (the fallback when nothing fits under a cap).
+  const FrontierPoint& lowest_power() const;
+  /// Highest-performance point (the unconstrained choice).
+  const FrontierPoint& best_performance() const;
+
+  /// Position of a configuration along the frontier, or nullopt if the
+  /// configuration is not on it. Positions order the shared-configuration
+  /// lists that frontier dissimilarity compares.
+  std::optional<std::size_t> position_of(std::size_t config_index) const;
+
+  bool contains(std::size_t config_index) const {
+    return position_of(config_index).has_value();
+  }
+
+ private:
+  std::vector<FrontierPoint> points_;
+};
+
+}  // namespace acsel::pareto

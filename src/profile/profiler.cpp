@@ -1,0 +1,92 @@
+#include "profile/profiler.h"
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace acsel::profile {
+
+Profiler::Profiler(soc::Machine& machine) : machine_(&machine) {}
+
+const KernelRecord& Profiler::run(
+    const workloads::WorkloadInstance& instance,
+    const hw::Configuration& config, soc::Governor* governor) {
+  const soc::ExecutionResult result =
+      machine_->run(instance.traits, config, governor);
+
+  KernelRecord record;
+  record.benchmark = instance.benchmark;
+  record.input = instance.input;
+  record.kernel = instance.kernel;
+  record.config = result.final_config;
+  record.time_ms = result.time_ms;
+  record.cpu_power_w = result.avg_cpu_power_w;
+  record.nbgpu_power_w = result.avg_nbgpu_power_w;
+  record.energy_j = result.energy_j;
+  record.counters = result.counters;
+  history_.push_back(std::move(record));
+  return history_.back();
+}
+
+std::vector<KernelRecord> Profiler::records_for(
+    const std::string& instance_id) const {
+  std::vector<KernelRecord> out;
+  for (const auto& record : history_) {
+    if (record.instance_id() == instance_id) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+std::optional<KernelRecord> Profiler::latest(
+    const std::string& instance_id, const hw::Configuration& config) const {
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->config == config && it->instance_id() == instance_id) {
+      return *it;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Profiler::Aggregate> Profiler::aggregate(
+    const std::string& instance_id, const hw::Configuration& config) const {
+  Aggregate agg;
+  for (const auto& record : history_) {
+    if (record.config == config && record.instance_id() == instance_id) {
+      ++agg.runs;
+      agg.mean_time_ms += record.time_ms;
+      agg.mean_power_w += record.total_power_w();
+      agg.mean_performance += record.performance();
+    }
+  }
+  if (agg.runs == 0) {
+    return std::nullopt;
+  }
+  const double n = static_cast<double>(agg.runs);
+  agg.mean_time_ms /= n;
+  agg.mean_power_w /= n;
+  agg.mean_performance /= n;
+  return agg;
+}
+
+void Profiler::write_csv(std::ostream& out) const {
+  CsvWriter writer{out};
+  writer.header(record_csv_header());
+  for (const auto& record : history_) {
+    writer.row(to_csv_row(record));
+  }
+}
+
+void Profiler::load_csv(const std::string& text) {
+  const CsvDocument doc = parse_csv(text);
+  ACSEL_CHECK_MSG(doc.header == record_csv_header(),
+                  "profile CSV header mismatch");
+  std::vector<KernelRecord> loaded;
+  loaded.reserve(doc.rows.size());
+  for (const auto& row : doc.rows) {
+    loaded.push_back(from_csv_row(row));
+  }
+  history_ = std::move(loaded);
+}
+
+}  // namespace acsel::profile

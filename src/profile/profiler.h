@@ -1,0 +1,70 @@
+// The integrated profiling library of paper §III-D: associates power and
+// performance measurements with specific kernels, accounting for launch
+// and synchronization overheads (the simulator folds those into kernel
+// time). A history of measurements stays accessible to the runtime — this
+// is the foundation the online scheduler builds on — and can be written to
+// disk after the application completes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "profile/record.h"
+#include "soc/machine.h"
+#include "workloads/workload.h"
+
+namespace acsel::profile {
+
+class Profiler {
+ public:
+  /// Profiles on `machine`, which must outlive the profiler.
+  explicit Profiler(soc::Machine& machine);
+
+  /// Runs one invocation of `instance` at `config` (optionally governed,
+  /// e.g. by a frequency limiter), records the measurements, and returns
+  /// the record. The record is also appended to the history.
+  const KernelRecord& run(const workloads::WorkloadInstance& instance,
+                          const hw::Configuration& config,
+                          soc::Governor* governor = nullptr);
+
+  /// Full measurement history, in execution order.
+  const std::vector<KernelRecord>& history() const { return history_; }
+
+  /// All records of one kernel instance (by WorkloadInstance::id()).
+  std::vector<KernelRecord> records_for(const std::string& instance_id) const;
+
+  /// Most recent record of the instance at exactly `config`, if any — the
+  /// lookup a dynamic scheduler uses before predicting.
+  std::optional<KernelRecord> latest(const std::string& instance_id,
+                                     const hw::Configuration& config) const;
+
+  /// Mean performance and power over all records of the instance at
+  /// `config`; nullopt when there are none.
+  struct Aggregate {
+    std::size_t runs = 0;
+    double mean_time_ms = 0.0;
+    double mean_power_w = 0.0;
+    double mean_performance = 0.0;
+  };
+  std::optional<Aggregate> aggregate(const std::string& instance_id,
+                                     const hw::Configuration& config) const;
+
+  std::size_t size() const { return history_.size(); }
+  void clear() { history_.clear(); }
+
+  /// Writes the history as CSV (paper §III-D: "written to disk after the
+  /// application completes").
+  void write_csv(std::ostream& out) const;
+
+  /// Replaces the history with records parsed from CSV text.
+  void load_csv(const std::string& text);
+
+ private:
+  soc::Machine* machine_;
+  std::vector<KernelRecord> history_;
+};
+
+}  // namespace acsel::profile

@@ -1,0 +1,117 @@
+#include "profile/record.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace acsel::profile {
+
+namespace {
+
+std::string device_field(hw::Device device) {
+  return device == hw::Device::Cpu ? "cpu" : "gpu";
+}
+
+hw::Device parse_device(const std::string& field) {
+  if (field == "cpu") {
+    return hw::Device::Cpu;
+  }
+  if (field == "gpu") {
+    return hw::Device::Gpu;
+  }
+  throw Error{"bad device field: " + field};
+}
+
+std::string mapping_field(hw::CoreMapping mapping) {
+  return mapping == hw::CoreMapping::Compact ? "compact" : "scatter";
+}
+
+hw::CoreMapping parse_mapping(const std::string& field) {
+  if (field == "compact") {
+    return hw::CoreMapping::Compact;
+  }
+  if (field == "scatter") {
+    return hw::CoreMapping::Scatter;
+  }
+  throw Error{"bad mapping field: " + field};
+}
+
+}  // namespace
+
+const std::vector<std::string>& record_csv_header() {
+  static const std::vector<std::string> header{
+      "benchmark",     "input",         "kernel",       "device",
+      "cpu_pstate",    "threads",       "gpu_pstate",   "mapping",
+      "time_ms",       "cpu_power_w",   "nbgpu_power_w", "energy_j",
+      "instructions",  "l1d_misses",    "l2d_misses",   "tlb_misses",
+      "branches",      "vector_insts",  "stalled_cycles",
+      "core_cycles",   "reference_cycles",             "idle_fpu_cycles",
+      "interrupts",    "dram_accesses",
+  };
+  return header;
+}
+
+std::vector<std::string> to_csv_row(const KernelRecord& r) {
+  const auto d = [](double v) { return format_double(v, 17); };
+  return {
+      r.benchmark,
+      r.input,
+      r.kernel,
+      device_field(r.config.device),
+      std::to_string(r.config.cpu_pstate),
+      std::to_string(r.config.threads),
+      std::to_string(r.config.gpu_pstate),
+      mapping_field(r.config.mapping),
+      d(r.time_ms),
+      d(r.cpu_power_w),
+      d(r.nbgpu_power_w),
+      d(r.energy_j),
+      d(r.counters.instructions),
+      d(r.counters.l1d_misses),
+      d(r.counters.l2d_misses),
+      d(r.counters.tlb_misses),
+      d(r.counters.branches),
+      d(r.counters.vector_insts),
+      d(r.counters.stalled_cycles),
+      d(r.counters.core_cycles),
+      d(r.counters.reference_cycles),
+      d(r.counters.idle_fpu_cycles),
+      d(r.counters.interrupts),
+      d(r.counters.dram_accesses),
+  };
+}
+
+KernelRecord from_csv_row(const std::vector<std::string>& row) {
+  ACSEL_CHECK_MSG(row.size() == record_csv_header().size(),
+                  "record row has wrong field count");
+  KernelRecord r;
+  std::size_t i = 0;
+  r.benchmark = row[i++];
+  r.input = row[i++];
+  r.kernel = row[i++];
+  r.config.device = parse_device(row[i++]);
+  r.config.cpu_pstate = parse_size(row[i++]);
+  r.config.threads = static_cast<int>(parse_size(row[i++]));
+  r.config.gpu_pstate = parse_size(row[i++]);
+  r.config.mapping = parse_mapping(row[i++]);
+  r.config.validate();
+  r.time_ms = parse_double(row[i++]);
+  r.cpu_power_w = parse_double(row[i++]);
+  r.nbgpu_power_w = parse_double(row[i++]);
+  r.energy_j = parse_double(row[i++]);
+  r.counters.instructions = parse_double(row[i++]);
+  r.counters.l1d_misses = parse_double(row[i++]);
+  r.counters.l2d_misses = parse_double(row[i++]);
+  r.counters.tlb_misses = parse_double(row[i++]);
+  r.counters.branches = parse_double(row[i++]);
+  r.counters.vector_insts = parse_double(row[i++]);
+  r.counters.stalled_cycles = parse_double(row[i++]);
+  r.counters.core_cycles = parse_double(row[i++]);
+  r.counters.reference_cycles = parse_double(row[i++]);
+  r.counters.idle_fpu_cycles = parse_double(row[i++]);
+  r.counters.interrupts = parse_double(row[i++]);
+  r.counters.dram_accesses = parse_double(row[i++]);
+  ACSEL_CHECK_MSG(r.time_ms > 0.0, "record time must be positive");
+  return r;
+}
+
+}  // namespace acsel::profile

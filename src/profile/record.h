@@ -1,0 +1,48 @@
+// One profiling record: the power and performance measurements associated
+// with one kernel invocation at one configuration (paper §III-D). Records
+// are the only data the model pipeline ever sees — it never looks inside
+// the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/config.h"
+#include "soc/counters.h"
+
+namespace acsel::profile {
+
+struct KernelRecord {
+  std::string benchmark;
+  std::string input;
+  std::string kernel;
+  hw::Configuration config;
+
+  double time_ms = 0.0;
+  double cpu_power_w = 0.0;
+  double nbgpu_power_w = 0.0;
+  double energy_j = 0.0;
+  soc::CounterBlock counters;
+
+  double total_power_w() const { return cpu_power_w + nbgpu_power_w; }
+  /// Throughput (invocations per second) — the "performance" the paper's
+  /// frontiers and models rank.
+  double performance() const { return 1000.0 / time_ms; }
+
+  /// Unique kernel-instance id, matching WorkloadInstance::id().
+  std::string instance_id() const {
+    return benchmark + "-" + input + "/" + kernel;
+  }
+};
+
+/// Column headers of the on-disk CSV representation.
+const std::vector<std::string>& record_csv_header();
+
+/// One CSV row for a record (field order matches record_csv_header()).
+std::vector<std::string> to_csv_row(const KernelRecord& record);
+
+/// Parses a CSV row back into a record; throws acsel::Error on malformed
+/// input.
+KernelRecord from_csv_row(const std::vector<std::string>& row);
+
+}  // namespace acsel::profile

@@ -1,0 +1,87 @@
+#include "soc/coschedule.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acsel::soc {
+
+namespace {
+
+double activity_factor(const MachineSpec& spec, double utilization) {
+  return spec.activity_floor +
+         (1.0 - spec.activity_floor) * std::clamp(utilization, 0.0, 1.0);
+}
+
+}  // namespace
+
+CoScheduleState evaluate_coschedule(const MachineSpec& spec,
+                                    const KernelCharacteristics& cpu_kernel,
+                                    const hw::Configuration& cpu_config,
+                                    const KernelCharacteristics& gpu_kernel,
+                                    const hw::Configuration& gpu_config) {
+  cpu_config.validate();
+  gpu_config.validate();
+  ACSEL_CHECK_MSG(cpu_config.device == hw::Device::Cpu,
+                  "cpu_config must be a CPU-device configuration");
+  ACSEL_CHECK_MSG(gpu_config.device == hw::Device::Gpu,
+                  "gpu_config must be a GPU-device configuration");
+  ACSEL_CHECK_MSG(cpu_config.threads <= hw::kCpuCores - 1,
+                  "co-scheduling needs a free core for the GPU driver");
+
+  const SteadyState solo_cpu =
+      evaluate_steady_state(spec, cpu_kernel, cpu_config);
+  const SteadyState solo_gpu =
+      evaluate_steady_state(spec, gpu_kernel, gpu_config);
+
+  CoScheduleState state;
+
+  // Shared memory controller (§IV-A): combined demand beyond the
+  // controller's peak stretches each side's memory-bound portion.
+  const double limit = std::max(spec.dram_bw_gbs, spec.gpu_bw_gbs);
+  const double demand = solo_cpu.dram_gbs + solo_gpu.dram_gbs;
+  state.bandwidth_demand = demand / limit;
+  double stretch_cpu = 1.0;
+  double stretch_gpu = 1.0;
+  if (demand > limit) {
+    const double shortfall = demand / limit;
+    stretch_cpu = 1.0 + solo_cpu.stall_fraction * (shortfall - 1.0);
+    stretch_gpu = 1.0 + solo_gpu.stall_fraction * (shortfall - 1.0);
+  }
+  state.cpu_kernel_time_ms = solo_cpu.time_ms * stretch_cpu;
+  state.gpu_kernel_time_ms = solo_gpu.time_ms * stretch_gpu;
+
+  // Stretched kernels spend the extra time stalled: utilization drops.
+  const double cpu_util = solo_cpu.compute_utilization / stretch_cpu;
+  const double gpu_util = solo_gpu.gpu_utilization / stretch_gpu;
+  const double cpu_gbs = solo_cpu.dram_gbs / stretch_cpu;
+  const double gpu_gbs = solo_gpu.dram_gbs / stretch_gpu;
+
+  // CPU plane. All compute units share one voltage plane whose voltage is
+  // set by the fastest CU (§IV-A): the CPU kernel's cores and the GPU
+  // kernel's host/driver core both switch at the max of the two voltages.
+  const double v_plane =
+      std::max(cpu_config.cpu_voltage(), gpu_config.cpu_voltage());
+  state.cpu_power_w = spec.cpu_leak_w_per_v2 * v_plane * v_plane;
+  const double vector_gain =
+      1.0 + spec.cpu_vector_power_gain * cpu_kernel.vector_fraction;
+  state.cpu_power_w += static_cast<double>(cpu_config.threads) *
+                       spec.cpu_core_dyn_w * cpu_config.cpu_freq_ghz() *
+                       v_plane * v_plane *
+                       activity_factor(spec, cpu_util) * vector_gain;
+  state.cpu_power_w += spec.cpu_core_dyn_w * gpu_config.cpu_freq_ghz() *
+                       v_plane * v_plane * activity_factor(spec, 0.15);
+
+  // NB + GPU plane: one base, the combined (contended) DRAM traffic, and
+  // the active GPU.
+  const double v_gpu = gpu_config.gpu_voltage();
+  const double f_gpu_ghz = gpu_config.gpu_freq_mhz() / 1000.0;
+  state.nbgpu_power_w = spec.base_power_w +
+                        spec.nb_w_per_gbs * (cpu_gbs + gpu_gbs) +
+                        spec.gpu_leak_w_per_v2 * v_gpu * v_gpu +
+                        spec.gpu_dyn_w * f_gpu_ghz * v_gpu * v_gpu *
+                            activity_factor(spec, gpu_util);
+  return state;
+}
+
+}  // namespace acsel::soc

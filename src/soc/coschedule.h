@@ -1,0 +1,56 @@
+// Co-scheduling two *different* kernels on the APU simultaneously — one on
+// the CPU cores, one on the GPU — with shared-memory-controller
+// contention.
+//
+// Paper §II-B: "modern processors routinely execute multiple parallel
+// applications. Our system focuses on optimizing performance for one
+// parallel application at a time; this is important because accurate
+// single-application models are a necessary ingredient in
+// multi-application optimization systems." This module is that consumer:
+// it evaluates the ground truth of a two-application placement, and
+// core/coscheduler.h builds the optimizer on top of the per-application
+// predictions.
+//
+// Unlike hybrid.h (one kernel split across devices, §III-A), co-running
+// two independent kernels has no split/merge overhead and no load-balance
+// coupling — each kernel iterates at its own rate; only the memory
+// controller couples them.
+#pragma once
+
+#include "hw/config.h"
+#include "soc/kernel.h"
+#include "soc/perf_model.h"
+
+namespace acsel::soc {
+
+struct CoScheduleState {
+  /// Per-invocation latency of each kernel while co-running (contention
+  /// included). Both are >= the kernels' solo latencies.
+  double cpu_kernel_time_ms = 0.0;
+  double gpu_kernel_time_ms = 0.0;
+  /// Combined plane powers while both run.
+  double cpu_power_w = 0.0;
+  double nbgpu_power_w = 0.0;
+  /// Fraction of the shared controller's bandwidth the pair demands
+  /// (>1 means saturated; both sides were stretched).
+  double bandwidth_demand = 0.0;
+
+  double total_power_w() const { return cpu_power_w + nbgpu_power_w; }
+  /// Combined throughput: invocations per second summed over both kernels.
+  double throughput() const {
+    return 1000.0 / cpu_kernel_time_ms + 1000.0 / gpu_kernel_time_ms;
+  }
+};
+
+/// Evaluates the steady state of `cpu_kernel` at `cpu_config` (a CPU-device
+/// configuration) co-running with `gpu_kernel` at `gpu_config` (a
+/// GPU-device configuration). The GPU kernel's host/driver thread shares
+/// the CPU plane with the CPU kernel's threads; for it to have a core to
+/// run on, cpu_config must leave at least one core free (threads <= 3).
+CoScheduleState evaluate_coschedule(const MachineSpec& spec,
+                                    const KernelCharacteristics& cpu_kernel,
+                                    const hw::Configuration& cpu_config,
+                                    const KernelCharacteristics& gpu_kernel,
+                                    const hw::Configuration& gpu_config);
+
+}  // namespace acsel::soc

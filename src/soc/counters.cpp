@@ -1,0 +1,124 @@
+#include "soc/counters.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acsel::soc {
+
+CounterBlock& CounterBlock::operator+=(const CounterBlock& other) {
+  instructions += other.instructions;
+  l1d_misses += other.l1d_misses;
+  l2d_misses += other.l2d_misses;
+  tlb_misses += other.tlb_misses;
+  branches += other.branches;
+  vector_insts += other.vector_insts;
+  stalled_cycles += other.stalled_cycles;
+  core_cycles += other.core_cycles;
+  reference_cycles += other.reference_cycles;
+  idle_fpu_cycles += other.idle_fpu_cycles;
+  interrupts += other.interrupts;
+  dram_accesses += other.dram_accesses;
+  return *this;
+}
+
+CounterBlock operator*(double scale, const CounterBlock& block) {
+  CounterBlock out = block;
+  out.instructions *= scale;
+  out.l1d_misses *= scale;
+  out.l2d_misses *= scale;
+  out.tlb_misses *= scale;
+  out.branches *= scale;
+  out.vector_insts *= scale;
+  out.stalled_cycles *= scale;
+  out.core_cycles *= scale;
+  out.reference_cycles *= scale;
+  out.idle_fpu_cycles *= scale;
+  out.interrupts *= scale;
+  out.dram_accesses *= scale;
+  return out;
+}
+
+const std::vector<std::string>& CounterBlock::feature_names() {
+  static const std::vector<std::string> names{
+      "ipc",           "stall_frac",     "l1d_mpki",  "l2d_mpki",
+      "tlb_mpki",      "branch_rate",    "vector_rate", "idle_fpu_frac",
+      "dram_per_kinst", "interrupts_per_mref", "cycles_per_ref",
+  };
+  return names;
+}
+
+std::vector<double> CounterBlock::normalized() const {
+  const double instr = std::max(instructions, 1.0);
+  const double cycles = std::max(core_cycles, 1.0);
+  const double refs = std::max(reference_cycles, 1.0);
+  return {
+      instructions / cycles,            // ipc
+      stalled_cycles / cycles,          // stall_frac
+      1e3 * l1d_misses / instr,         // l1d_mpki
+      1e3 * l2d_misses / instr,         // l2d_mpki
+      1e3 * tlb_misses / instr,         // tlb_mpki
+      branches / instr,                 // branch_rate
+      vector_insts / instr,             // vector_rate
+      idle_fpu_cycles / cycles,         // idle_fpu_frac
+      1e3 * dram_accesses / instr,      // dram_per_kinst
+      1e6 * interrupts / refs,          // interrupts_per_mref
+      core_cycles / refs,               // cycles_per_ref
+  };
+}
+
+CounterBlock synthesize_counters(const MachineSpec& spec,
+                                 const KernelCharacteristics& kernel,
+                                 const hw::Configuration& config,
+                                 const SteadyState& state) {
+  (void)spec;
+  CounterBlock counters;
+  const double time_s = state.time_ms * 1e-3;
+  const double f_hz = config.cpu_freq_ghz() * 1e9;
+
+  // Retired-instruction estimate: flops collapse into vector instructions
+  // where vectorized, and irregular kernels carry extra integer/control
+  // overhead. On the GPU device, the CPU counters see only the driver.
+  const double flops = kernel.work_gflop * 1e9;
+  const double flop_instr =
+      flops * ((1.0 - kernel.vector_fraction) +
+               kernel.vector_fraction / 4.0);
+  const double overhead = 0.35 + 0.5 * kernel.irregularity;
+  double instructions = flop_instr * (1.0 + overhead);
+  double active_cores = static_cast<double>(config.threads);
+  double stall_fraction = state.stall_fraction;
+  if (config.device == hw::Device::Gpu) {
+    // Driver-side instruction stream: launch bookkeeping plus waiting.
+    instructions *= 0.01;
+    active_cores = 1.0;
+    stall_fraction = 1.0 - state.gpu_utilization * 0.2;
+  }
+
+  counters.instructions = instructions;
+  counters.core_cycles = time_s * f_hz * active_cores;
+  counters.reference_cycles = time_s * 100e6;  // 100 MHz reference clock
+  counters.stalled_cycles = counters.core_cycles * stall_fraction;
+
+  const double miss_scale = 1.0 - kernel.cache_locality;
+  counters.l1d_misses = instructions * (0.002 + 0.090 * miss_scale);
+  counters.l2d_misses = counters.l1d_misses * (0.10 + 0.80 * miss_scale);
+  counters.tlb_misses =
+      instructions * (0.0002 + 0.004 * kernel.tlb_pressure);
+  counters.branches =
+      instructions * (0.04 + 0.16 * kernel.irregularity +
+                      0.10 * kernel.branch_divergence);
+  counters.vector_insts =
+      config.device == hw::Device::Cpu
+          ? flops * kernel.vector_fraction / 4.0
+          : 0.0;
+  const double fpu_busy =
+      kernel.fpu_intensity * state.compute_utilization;
+  counters.idle_fpu_cycles =
+      counters.core_cycles * std::clamp(1.0 - fpu_busy, 0.0, 1.0);
+  counters.interrupts = time_s * 250.0;  // timer + device interrupts
+  // Northbridge PMU view: 64-byte DRAM transactions, device-independent.
+  counters.dram_accesses = state.dram_gbs * 1e9 * time_s / 64.0;
+  return counters;
+}
+
+}  // namespace acsel::soc

@@ -1,0 +1,56 @@
+// Performance-counter synthesis: the simulated equivalent of PAPI CPU
+// counters plus the northbridge PMU (paper §III-B). The model tracks the
+// same eleven events the paper lists, and normalizes them "to one or more
+// of core cycles, reference cycles, and instructions" for use as
+// classification-tree features.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hw/config.h"
+#include "soc/kernel.h"
+#include "soc/perf_model.h"
+
+namespace acsel::soc {
+
+/// Raw event counts for one kernel invocation. Stored as doubles: these
+/// are synthesized expectations, and the downstream consumers only ever
+/// use normalized rates.
+struct CounterBlock {
+  double instructions = 0.0;
+  double l1d_misses = 0.0;
+  double l2d_misses = 0.0;
+  double tlb_misses = 0.0;
+  double branches = 0.0;
+  double vector_insts = 0.0;
+  double stalled_cycles = 0.0;
+  double core_cycles = 0.0;
+  double reference_cycles = 0.0;
+  double idle_fpu_cycles = 0.0;
+  double interrupts = 0.0;
+  double dram_accesses = 0.0;
+
+  CounterBlock& operator+=(const CounterBlock& other);
+  friend CounterBlock operator*(double scale, const CounterBlock& block);
+
+  /// Normalized metrics in the order of feature_names(): instructions per
+  /// cycle, stall fraction, misses per kilo-instruction, etc. Safe on a
+  /// zero block (returns zeros).
+  std::vector<double> normalized() const;
+
+  /// Names matching normalized(), used for the classification tree's
+  /// describe() output (paper Fig. 3 style).
+  static const std::vector<std::string>& feature_names();
+};
+
+/// Synthesizes the expected counters for one invocation of `kernel` at
+/// `config`, consistent with the steady state `state` the performance
+/// model produced for the same (kernel, config).
+CounterBlock synthesize_counters(const MachineSpec& spec,
+                                 const KernelCharacteristics& kernel,
+                                 const hw::Configuration& config,
+                                 const SteadyState& state);
+
+}  // namespace acsel::soc

@@ -1,0 +1,102 @@
+#include "soc/freq_limiter.h"
+
+#include <algorithm>
+
+#include "hw/config_space.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+
+FrequencyLimiter::FrequencyLimiter(const LimiterOptions& options)
+    : options_(options),
+      cpu_ceiling_(options.max_cpu_pstate),
+      gpu_ceiling_(options.max_gpu_pstate) {
+  ACSEL_CHECK(options.cap_w > 0.0);
+  ACSEL_CHECK(options.headroom_margin_w >= 0.0);
+  ACSEL_CHECK(options.max_cpu_pstate < hw::kCpuPStateCount);
+  ACSEL_CHECK(options.max_gpu_pstate < hw::kGpuPStateCount);
+}
+
+void FrequencyLimiter::set_cap(double cap_w) {
+  ACSEL_CHECK(cap_w > 0.0);
+  options_.cap_w = cap_w;
+  // A new budget invalidates what we learned about the old one.
+  cpu_ceiling_ = options_.max_cpu_pstate;
+  gpu_ceiling_ = options_.max_gpu_pstate;
+  saturated_over_cap_ = false;
+  cooldown_ = 0;
+}
+
+std::optional<hw::Configuration> FrequencyLimiter::step_over(
+    const hw::Configuration& current) {
+  // GPU+FL first surrenders any host-CPU raise it made.
+  if (options_.controlled == hw::Device::Gpu && options_.manage_host_cpu &&
+      current.cpu_pstate > 0) {
+    cpu_ceiling_ = std::min(cpu_ceiling_, current.cpu_pstate - 1);
+    auto next = hw::ConfigSpace::step_down(current, hw::Device::Cpu);
+    ACSEL_CHECK(next.has_value());
+    return next;
+  }
+  if (auto next = hw::ConfigSpace::step_down(current, options_.controlled)) {
+    if (options_.controlled == hw::Device::Cpu) {
+      cpu_ceiling_ = std::min(cpu_ceiling_, current.cpu_pstate - 1);
+    } else {
+      gpu_ceiling_ = std::min(gpu_ceiling_, current.gpu_pstate - 1);
+    }
+    return next;
+  }
+  // Nothing left to step: the method fails to meet this constraint — the
+  // selected device/thread placement simply cannot be scaled low enough
+  // via DVFS (paper §V-B).
+  saturated_over_cap_ = true;
+  return std::nullopt;
+}
+
+std::optional<hw::Configuration> FrequencyLimiter::step_under(
+    const hw::Configuration& current) {
+  if (options_.controlled == hw::Device::Cpu) {
+    if (current.cpu_pstate <
+        std::min(cpu_ceiling_, options_.max_cpu_pstate)) {
+      return hw::ConfigSpace::step_up(current, hw::Device::Cpu);
+    }
+    return std::nullopt;
+  }
+  // GPU-controlled: raise the GPU to its allowed ceiling first; once the
+  // GPU has settled there, spend remaining headroom on the host CPU.
+  if (current.gpu_pstate < std::min(gpu_ceiling_, options_.max_gpu_pstate)) {
+    return hw::ConfigSpace::step_up(current, hw::Device::Gpu);
+  }
+  if (options_.manage_host_cpu &&
+      current.cpu_pstate <
+          std::min(cpu_ceiling_, options_.max_cpu_pstate)) {
+    return hw::ConfigSpace::step_up(current, hw::Device::Cpu);
+  }
+  return std::nullopt;
+}
+
+std::optional<hw::Configuration> FrequencyLimiter::on_interval(
+    const PowerView& power, const hw::Configuration& current) {
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return std::nullopt;
+  }
+  std::optional<hw::Configuration> next;
+  if (power.window_avg_w > options_.cap_w) {
+    next = step_over(current);
+    if (next.has_value()) {
+      ++down_steps_;
+    }
+  } else if (power.window_avg_w <
+             options_.cap_w - options_.headroom_margin_w) {
+    next = step_under(current);
+    if (next.has_value()) {
+      ++up_steps_;
+    }
+  }
+  if (next.has_value()) {
+    cooldown_ = options_.cooldown_intervals;
+  }
+  return next;
+}
+
+}  // namespace acsel::soc

@@ -1,0 +1,79 @@
+// RAPL-style frequency limiting (paper §V-A). Intel's RAPL dynamically
+// adjusts frequency to meet an imposed power constraint; the paper's test
+// system lacks RAPL, so the authors *simulate* frequency limiting on both
+// the CPU and the GPU — as do we, with a feedback governor that watches the
+// SMU's windowed power average and steps P-states.
+//
+// Three usages, matching the paper's methods:
+//  - CPU+FL: all cores enabled, GPU parked; the limiter steps CPU P-states.
+//  - GPU+FL: GPU at maximum, host CPU at minimum; the limiter steps GPU
+//    P-states, and raises the host CPU frequency when headroom remains
+//    after the GPU P-state settles.
+//  - Model+FL: starts at the model-selected configuration and lets the
+//    limiter step the selected device's P-states as a safety net.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "soc/machine.h"
+
+namespace acsel::soc {
+
+struct LimiterOptions {
+  /// The power constraint to respect, W (both domains combined).
+  double cap_w = 30.0;
+  /// Which device's P-state the limiter steps.
+  hw::Device controlled = hw::Device::Cpu;
+  /// GPU+FL behaviour: when over the cap, drop the host CPU frequency
+  /// before touching the GPU; when under with headroom (and the GPU is at
+  /// its allowed maximum), raise the host CPU frequency.
+  bool manage_host_cpu = false;
+  /// Hysteresis: only step up when the window average is at least this far
+  /// below the cap.
+  double headroom_margin_w = 1.0;
+  /// Upper bounds for up-steps (Model+FL caps these at the model-selected
+  /// P-states — the model already decided faster is not worth it).
+  std::size_t max_cpu_pstate = hw::kCpuMaxPState;
+  std::size_t max_gpu_pstate = hw::kGpuMaxPState;
+  /// Quiet intervals required after a retarget before acting again, so the
+  /// power window can reflect the new operating point.
+  std::size_t cooldown_intervals = 2;
+};
+
+class FrequencyLimiter : public Governor {
+ public:
+  explicit FrequencyLimiter(const LimiterOptions& options);
+
+  std::optional<hw::Configuration> on_interval(
+      const PowerView& power, const hw::Configuration& current) override;
+
+  /// Lets a persistent limiter follow a changed external power budget.
+  void set_cap(double cap_w);
+  double cap_w() const { return options_.cap_w; }
+
+  /// True if some interval observed the window average above the cap while
+  /// the limiter had no further down-step available.
+  bool saturated_over_cap() const { return saturated_over_cap_; }
+
+  std::size_t down_steps() const { return down_steps_; }
+  std::size_t up_steps() const { return up_steps_; }
+
+ private:
+  std::optional<hw::Configuration> step_over(
+      const hw::Configuration& current);
+  std::optional<hw::Configuration> step_under(
+      const hw::Configuration& current);
+
+  LimiterOptions options_;
+  /// Learned ceilings: highest P-state index known not to violate the cap
+  /// (set one below any index that was observed violating).
+  std::size_t cpu_ceiling_;
+  std::size_t gpu_ceiling_;
+  std::size_t cooldown_ = 0;
+  bool saturated_over_cap_ = false;
+  std::size_t down_steps_ = 0;
+  std::size_t up_steps_ = 0;
+};
+
+}  // namespace acsel::soc

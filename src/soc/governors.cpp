@@ -1,0 +1,51 @@
+#include "soc/governors.h"
+
+#include "hw/config_space.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+
+namespace {
+/// The device whose P-state a governor manages: whatever is executing.
+hw::Device active_device(const hw::Configuration& config) {
+  return config.device;
+}
+}  // namespace
+
+std::optional<hw::Configuration> PerformanceGovernor::on_interval(
+    const PowerView&, const hw::Configuration& current) {
+  return hw::ConfigSpace::step_up(current, active_device(current));
+}
+
+std::optional<hw::Configuration> PowersaveGovernor::on_interval(
+    const PowerView&, const hw::Configuration& current) {
+  return hw::ConfigSpace::step_down(current, active_device(current));
+}
+
+OndemandGovernor::OndemandGovernor(double up_threshold,
+                                   double down_threshold)
+    : up_threshold_(up_threshold), down_threshold_(down_threshold) {
+  ACSEL_CHECK_MSG(0.0 <= down_threshold && down_threshold < up_threshold &&
+                      up_threshold <= 1.0,
+                  "need 0 <= down < up <= 1");
+}
+
+std::optional<hw::Configuration> OndemandGovernor::on_interval(
+    const PowerView& power, const hw::Configuration& current) {
+  if (power.compute_utilization > up_threshold_) {
+    if (auto next =
+            hw::ConfigSpace::step_up(current, active_device(current))) {
+      ++up_steps_;
+      return next;
+    }
+  } else if (power.compute_utilization < down_threshold_) {
+    if (auto next =
+            hw::ConfigSpace::step_down(current, active_device(current))) {
+      ++down_steps_;
+      return next;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace acsel::soc

@@ -1,0 +1,52 @@
+// ACPI-style OS frequency governors (paper §IV-A: "Software-visible
+// P-states are managed either by the OS through the Advanced Configuration
+// and Power Interface (ACPI) specification or by the hardware").
+//
+// These are the policies a stock OS would run in place of the paper's
+// model: Performance pins the top P-state, Powersave the bottom, Ondemand
+// tracks utilization. They share the Governor interface with the RAPL-like
+// frequency limiter, so any of them can drive a Machine run. None of them
+// is power-cap-aware — which is precisely the gap the paper's system
+// fills.
+#pragma once
+
+#include "soc/machine.h"
+
+namespace acsel::soc {
+
+/// Pins the controlled device at its highest P-state.
+class PerformanceGovernor : public Governor {
+ public:
+  std::optional<hw::Configuration> on_interval(
+      const PowerView& power, const hw::Configuration& current) override;
+};
+
+/// Pins the controlled device at its lowest P-state.
+class PowersaveGovernor : public Governor {
+ public:
+  std::optional<hw::Configuration> on_interval(
+      const PowerView& power, const hw::Configuration& current) override;
+};
+
+/// Classic ondemand: step the active device's P-state up when utilization
+/// exceeds `up_threshold`, down when it falls below `down_threshold`.
+/// Memory-bound kernels stall at high frequency, so ondemand naturally
+/// downclocks them — the same signal the paper's model learns offline.
+class OndemandGovernor : public Governor {
+ public:
+  OndemandGovernor(double up_threshold = 0.80, double down_threshold = 0.40);
+
+  std::optional<hw::Configuration> on_interval(
+      const PowerView& power, const hw::Configuration& current) override;
+
+  std::size_t up_steps() const { return up_steps_; }
+  std::size_t down_steps() const { return down_steps_; }
+
+ private:
+  double up_threshold_;
+  double down_threshold_;
+  std::size_t up_steps_ = 0;
+  std::size_t down_steps_ = 0;
+};
+
+}  // namespace acsel::soc

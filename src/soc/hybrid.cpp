@@ -1,0 +1,125 @@
+#include "soc/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "soc/power_model.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+
+HybridState evaluate_hybrid(const MachineSpec& spec,
+                            const KernelCharacteristics& kernel,
+                            double gpu_fraction,
+                            const HybridOptions& options) {
+  kernel.validate();
+  ACSEL_CHECK_MSG(gpu_fraction >= 0.0 && gpu_fraction <= 1.0,
+                  "gpu_fraction must be in [0, 1]");
+  ACSEL_CHECK(options.cpu_pstate < hw::kCpuPStateCount);
+  ACSEL_CHECK(options.gpu_pstate < hw::kGpuPStateCount);
+  ACSEL_CHECK(options.threads >= 1 && options.threads <= hw::kCpuCores);
+
+  // Each side executes a scaled copy of the kernel. The serial fraction
+  // stays on the CPU (it cannot be split), so the CPU share carries it.
+  const double serial = 1.0 - kernel.parallel_fraction;
+  const double cpu_share =
+      serial + kernel.parallel_fraction * (1.0 - gpu_fraction);
+  const double gpu_share = kernel.parallel_fraction * gpu_fraction;
+
+  hw::Configuration cpu_config;
+  cpu_config.device = hw::Device::Cpu;
+  cpu_config.cpu_pstate = options.cpu_pstate;
+  cpu_config.threads = options.threads;
+  cpu_config.mapping = hw::CoreMapping::Compact;
+
+  hw::Configuration gpu_config;
+  gpu_config.device = hw::Device::Gpu;
+  gpu_config.cpu_pstate = options.cpu_pstate;
+  gpu_config.threads = 1;
+  gpu_config.gpu_pstate = options.gpu_pstate;
+
+  // Degenerate splits reduce to single-device execution (plus the parked
+  // other device, which the single-device power model already includes).
+  double t_cpu_ms = 0.0;
+  SteadyState cpu_state{};
+  if (cpu_share > 1e-9) {
+    KernelCharacteristics cpu_part = kernel;
+    cpu_part.work_gflop = kernel.work_gflop * cpu_share;
+    // The split destroys some locality: both sides touch boundary data.
+    cpu_part.cache_locality =
+        std::max(0.0, kernel.cache_locality - 0.1 * gpu_fraction);
+    cpu_state = evaluate_steady_state(spec, cpu_part, cpu_config);
+    t_cpu_ms = cpu_state.time_ms;
+  }
+  double t_gpu_ms = 0.0;
+  SteadyState gpu_state{};
+  if (gpu_share > 1e-9) {
+    KernelCharacteristics gpu_part = kernel;
+    gpu_part.work_gflop = kernel.work_gflop * gpu_share;
+    gpu_part.parallel_fraction = 1.0;  // the serial part stayed on the CPU
+    gpu_part.cache_locality = std::max(
+        0.0, kernel.cache_locality - 0.1 * (1.0 - gpu_fraction));
+    gpu_state = evaluate_steady_state(spec, gpu_part, gpu_config);
+    t_gpu_ms = gpu_state.time_ms;
+  }
+
+  // Shared-memory-controller contention (§IV-A: "The memory controller is
+  // shared between the CPU and the GPU"): when the two sides' combined
+  // DRAM demand exceeds the controller's peak, each side's memory-bound
+  // portion stretches by the shortfall.
+  const bool truly_hybrid = cpu_share > 1e-9 && gpu_share > 1e-9;
+  if (truly_hybrid) {
+    const double demand = cpu_state.dram_gbs + gpu_state.dram_gbs;
+    const double limit = std::max(spec.dram_bw_gbs, spec.gpu_bw_gbs);
+    if (demand > limit) {
+      const double shortfall = demand / limit;  // > 1
+      t_cpu_ms *= 1.0 + cpu_state.stall_fraction * (shortfall - 1.0);
+      t_gpu_ms *= 1.0 + gpu_state.stall_fraction * (shortfall - 1.0);
+    }
+  }
+
+  HybridState hybrid;
+  const double t_max = std::max(t_cpu_ms, t_gpu_ms);
+  hybrid.time_ms =
+      t_max + (truly_hybrid ? options.merge_overhead_ms : 0.0);
+  ACSEL_CHECK(hybrid.time_ms > 0.0);
+  hybrid.imbalance =
+      t_max > 0.0 ? std::abs(t_cpu_ms - t_gpu_ms) / t_max : 0.0;
+
+  if (!truly_hybrid) {
+    const SteadyState& only = gpu_share > 1e-9 ? gpu_state : cpu_state;
+    hybrid.cpu_power_w = only.cpu_power_w;
+    hybrid.nbgpu_power_w = only.nbgpu_power_w;
+    return hybrid;
+  }
+
+  // Both devices powered. Energy-weighted composition: each side draws
+  // its own plane's active power while it runs and the idle residual
+  // afterwards. The CPU plane comes from the CPU part (plus driver-level
+  // activity while only the GPU still runs); the NB+GPU plane takes the
+  // GPU part's draw while the GPU runs and the CPU part's (parked-GPU)
+  // draw afterwards; DRAM traffic overlaps.
+  const double cpu_active = std::min(t_cpu_ms, hybrid.time_ms);
+  const double gpu_active = std::min(t_gpu_ms, hybrid.time_ms);
+  const double idle_cpu_w =
+      spec.cpu_leak_w_per_v2 * cpu_config.cpu_voltage() *
+      cpu_config.cpu_voltage();
+  hybrid.cpu_power_w =
+      (cpu_state.cpu_power_w * cpu_active +
+       idle_cpu_w * (hybrid.time_ms - cpu_active)) /
+      hybrid.time_ms;
+  // While both run, the NB+GPU plane sees the GPU part's draw plus the
+  // CPU part's DRAM traffic on the shared controller.
+  const double overlap = std::min(cpu_active, gpu_active);
+  const double nb_overlap_extra =
+      spec.nb_w_per_gbs * cpu_state.dram_gbs;
+  hybrid.nbgpu_power_w =
+      (gpu_state.nbgpu_power_w * gpu_active +
+       nb_overlap_extra * overlap +
+       cpu_state.nbgpu_power_w *
+           std::max(0.0, hybrid.time_ms - gpu_active)) /
+      hybrid.time_ms;
+  return hybrid;
+}
+
+}  // namespace acsel::soc

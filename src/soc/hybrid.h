@@ -1,0 +1,58 @@
+// Hypothetical hybrid CPU+GPU co-execution of one kernel.
+//
+// The paper deliberately excludes hybrid codes (§III-A) and argues why:
+// load imbalance and parallel overhead often make hybrid *slower*, and
+// even when it is faster, "it will strictly lower power-efficiency
+// compared to the best single device ... In the best possible case,
+// hybrid execution will increase performance by a factor of two over the
+// best single device, but will increase power consumption at least as
+// much."
+//
+// This module makes that argument checkable on the simulated APU: it
+// evaluates a static split that sends fraction `gpu_fraction` of the
+// parallel work to the GPU and the rest to the CPU, both devices active
+// simultaneously, with a merge/synchronization penalty. The hybrid
+// analysis bench sweeps the split and compares against the best single
+// device.
+#pragma once
+
+#include "hw/config.h"
+#include "soc/kernel.h"
+#include "soc/perf_model.h"
+
+namespace acsel::soc {
+
+struct HybridState {
+  double time_ms = 0.0;
+  double cpu_power_w = 0.0;
+  double nbgpu_power_w = 0.0;
+  /// Load imbalance between the two devices' finish times, 0 = perfect.
+  double imbalance = 0.0;
+
+  double total_power_w() const { return cpu_power_w + nbgpu_power_w; }
+  double performance() const { return 1000.0 / time_ms; }
+  double performance_per_watt() const {
+    return performance() / total_power_w();
+  }
+};
+
+struct HybridOptions {
+  /// CPU side of the split: threads and P-state.
+  std::size_t cpu_pstate = hw::kCpuMaxPState;
+  int threads = hw::kCpuCores;
+  /// GPU side of the split: P-state.
+  std::size_t gpu_pstate = hw::kGpuMaxPState;
+  /// Fixed split/merge overhead per invocation, ms (the programmer has to
+  /// partition inputs and combine outputs, §III-A).
+  double merge_overhead_ms = 0.4;
+};
+
+/// Evaluates the hybrid execution of `kernel` with `gpu_fraction` of the
+/// parallel work offloaded (0 = CPU only, 1 = GPU only; both devices are
+/// powered throughout either way — that is the point).
+HybridState evaluate_hybrid(const MachineSpec& spec,
+                            const KernelCharacteristics& kernel,
+                            double gpu_fraction,
+                            const HybridOptions& options = {});
+
+}  // namespace acsel::soc

@@ -1,0 +1,29 @@
+#include "soc/kernel.h"
+
+#include "util/error.h"
+
+namespace acsel::soc {
+
+namespace {
+void check_unit(double value, const char* name) {
+  ACSEL_CHECK_MSG(value >= 0.0 && value <= 1.0,
+                  std::string{name} + " must be in [0, 1]");
+}
+}  // namespace
+
+void KernelCharacteristics::validate() const {
+  ACSEL_CHECK_MSG(work_gflop > 0.0, "work_gflop must be positive");
+  ACSEL_CHECK_MSG(bytes_per_flop >= 0.0, "bytes_per_flop must be >= 0");
+  ACSEL_CHECK_MSG(launch_overhead_ms >= 0.0,
+                  "launch_overhead_ms must be >= 0");
+  check_unit(parallel_fraction, "parallel_fraction");
+  check_unit(vector_fraction, "vector_fraction");
+  check_unit(branch_divergence, "branch_divergence");
+  check_unit(gpu_efficiency, "gpu_efficiency");
+  check_unit(cache_locality, "cache_locality");
+  check_unit(tlb_pressure, "tlb_pressure");
+  check_unit(irregularity, "irregularity");
+  check_unit(fpu_intensity, "fpu_intensity");
+}
+
+}  // namespace acsel::soc

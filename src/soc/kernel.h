@@ -1,0 +1,66 @@
+// The simulator's view of a computational kernel: a small set of
+// characteristics that drive the performance, power and counter models.
+//
+// The paper profiles real OpenMP/OpenCL kernels on real hardware; here the
+// hardware is simulated (see DESIGN.md §1), so each kernel is described by
+// the properties that determine how it scales — arithmetic vs memory
+// intensity, parallelism, vectorizability, branch divergence, and how well
+// its algorithm maps onto the GPU. The model pipeline never reads these
+// fields; it sees only the (power, performance, counters) tuples the
+// simulator produces, exactly as the paper's pipeline saw measurements.
+#pragma once
+
+#include <string>
+
+namespace acsel::soc {
+
+struct KernelCharacteristics {
+  /// Total useful floating-point work per kernel invocation, in GFLOP.
+  /// Scaled by the benchmark input size.
+  double work_gflop = 1.0;
+
+  /// DRAM traffic per flop after cache filtering, bytes/flop. Values near
+  /// zero are compute-bound; values above ~1 are firmly memory-bound on
+  /// this machine (peak ~20 GB/s vs ~500 GFLOP/s).
+  double bytes_per_flop = 0.2;
+
+  /// Amdahl parallel fraction of the kernel on the CPU.
+  double parallel_fraction = 0.95;
+
+  /// Fraction of the flop work that vectorizes (128-bit, 4-wide lanes).
+  double vector_fraction = 0.3;
+
+  /// Branch divergence, 0..1. Penalizes GPU SIMD efficiency heavily and
+  /// CPU branch prediction mildly.
+  double branch_divergence = 0.1;
+
+  /// Fraction of GPU peak throughput this kernel's structure can reach
+  /// before the divergence penalty (occupancy, VLIW packing, coalescing).
+  double gpu_efficiency = 0.5;
+
+  /// Fixed per-invocation GPU launch + driver overhead in milliseconds,
+  /// measured at the maximum host-CPU frequency. Scales up as the host CPU
+  /// slows down — this is why GPU configurations are sensitive to CPU
+  /// frequency (paper Table I).
+  double launch_overhead_ms = 0.5;
+
+  /// Cache locality, 0..1. Higher means fewer L1/L2 misses and less DRAM
+  /// traffic reaching the memory controller.
+  double cache_locality = 0.5;
+
+  /// TLB pressure, 0..1 (large strided working sets).
+  double tlb_pressure = 0.1;
+
+  /// Control-flow/data irregularity, 0..1. Raises branch counts and
+  /// instruction overhead.
+  double irregularity = 0.2;
+
+  /// Fraction of instructions that occupy the module-shared FPU. High
+  /// values make Compact thread placement contend on the shared unit.
+  double fpu_intensity = 0.5;
+
+  /// Validates all fields are within their documented ranges.
+  void validate() const;
+};
+
+}  // namespace acsel::soc

@@ -1,0 +1,138 @@
+#include "soc/machine.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace acsel::soc {
+
+Machine::Machine(MachineSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed), thermal_(spec.thermal) {}
+
+SteadyState Machine::analytic(const KernelCharacteristics& kernel,
+                              const hw::Configuration& config) const {
+  return evaluate_steady_state(spec_, kernel, config);
+}
+
+ExecutionResult Machine::run(const KernelCharacteristics& kernel,
+                             hw::Configuration config, Governor* governor) {
+  kernel.validate();
+  config.validate();
+
+  // Per-run performance noise: one multiplicative factor for the whole
+  // invocation (OS jitter, placement effects).
+  const double perf_noise =
+      std::max(0.5, 1.0 + rng_.normal(0.0, spec_.perf_noise_frac));
+
+  Smu smu{spec_.power_noise_frac, kPowerWindowMs, rng_.split()};
+
+  // The steady state is refreshed whenever the configuration, the boost
+  // decision, or the die temperature (through leakage) changes enough to
+  // matter.
+  bool boosted = false;
+  double steady_temp_c = thermal_.temperature_c();
+  const auto refresh = [&](const hw::Configuration& cfg) {
+    boosted = cfg.device == hw::Device::Cpu &&
+              cfg.cpu_pstate == hw::kCpuMaxPState &&
+              thermal_.boost_allowed();
+    steady_temp_c = thermal_.temperature_c();
+    const CpuOperatingPoint cpu = boosted
+                                      ? CpuOperatingPoint::boosted(spec_)
+                                      : CpuOperatingPoint::of(cfg);
+    return evaluate_steady_state_at(spec_, kernel, cfg, cpu,
+                                    thermal_.leakage_factor());
+  };
+
+  SteadyState steady = refresh(config);
+  // Fraction of the invocation completed per ms at the current rate.
+  double rate_per_ms = perf_noise / steady.time_ms;
+
+  ExecutionResult result;
+  CounterBlock counters;
+  double progress = 0.0;
+  double since_control_ms = 0.0;
+  double temp_integral = 0.0;
+  double boost_ms = 0.0;
+  double dram_energy_j = 0.0;
+  // Hard stop far beyond any sane kernel time to bound the loop even if a
+  // governor drives the configuration pathologically.
+  const double max_ms = 1000.0 * steady.time_ms + 10000.0;
+
+  while (progress < 1.0 && smu.elapsed_ms() < max_ms) {
+    // Advance one tick (possibly fractional at the end of the kernel).
+    const double remaining_ms = (1.0 - progress) / rate_per_ms;
+    const double dt_ms = remaining_ms < kTickMs ? remaining_ms : kTickMs;
+    progress += rate_per_ms * dt_ms;
+    smu.sample(steady.cpu_power_w, steady.nbgpu_power_w, dt_ms);
+    // Counters accrue in proportion to work done at this configuration.
+    counters += (rate_per_ms * dt_ms / perf_noise) *
+                synthesize_counters(spec_, kernel, config, steady);
+
+    thermal_.advance(steady.total_power_w(), dt_ms * 1e-3);
+    temp_integral += thermal_.temperature_c() * dt_ms;
+    boost_ms += boosted ? dt_ms : 0.0;
+    dram_energy_j += steady.dram_power_w * dt_ms * 1e-3;
+    if (spec_.record_trace) {
+      TracePoint point;
+      point.t_ms = smu.elapsed_ms();
+      point.cpu_w = steady.cpu_power_w;
+      point.nbgpu_w = steady.nbgpu_power_w;
+      point.dram_w = steady.dram_power_w;
+      point.temperature_c = thermal_.temperature_c();
+      point.cpu_pstate = config.cpu_pstate;
+      point.gpu_pstate = config.gpu_pstate;
+      point.boosted = boosted;
+      result.trace.push_back(point);
+    }
+
+    since_control_ms += dt_ms;
+    bool need_refresh = false;
+    if (governor != nullptr && since_control_ms >= kControlIntervalMs) {
+      since_control_ms = 0.0;
+      PowerView view = smu.window_view();
+      view.compute_utilization = steady.compute_utilization;
+      if (auto next = governor->on_interval(view, config)) {
+        ACSEL_CHECK_MSG(next->device == config.device &&
+                            next->threads == config.threads &&
+                            next->mapping == config.mapping,
+                        "governors may only retarget P-states");
+        next->validate();
+        if (*next != config) {
+          config = *next;
+          need_refresh = true;
+          ++result.config_switches;
+        }
+      }
+    }
+    // Thermal drift or a changed boost decision also forces a refresh.
+    const bool boost_now = config.device == hw::Device::Cpu &&
+                           config.cpu_pstate == hw::kCpuMaxPState &&
+                           thermal_.boost_allowed();
+    if (boost_now != boosted ||
+        std::abs(thermal_.temperature_c() - steady_temp_c) >
+            kThermalRefreshC) {
+      need_refresh = true;
+    }
+    if (need_refresh) {
+      steady = refresh(config);
+      rate_per_ms = perf_noise / steady.time_ms;
+    }
+  }
+
+  result.time_ms = smu.elapsed_ms();
+  result.avg_cpu_power_w = smu.avg_cpu_w();
+  result.avg_nbgpu_power_w = smu.avg_nbgpu_w();
+  result.energy_j = smu.total_energy_j();
+  result.counters = counters;
+  result.final_config = config;
+  result.avg_temperature_c =
+      result.time_ms > 0.0 ? temp_integral / result.time_ms
+                           : thermal_.temperature_c();
+  result.boost_fraction =
+      result.time_ms > 0.0 ? boost_ms / result.time_ms : 0.0;
+  result.avg_dram_power_w =
+      result.time_ms > 0.0 ? 1000.0 * dram_energy_j / result.time_ms : 0.0;
+  return result;
+}
+
+}  // namespace acsel::soc

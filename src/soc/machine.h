@@ -1,0 +1,109 @@
+// The simulated machine: executes one kernel invocation at a time under a
+// configuration, advancing in 1 ms ticks. Each tick the SMU samples power
+// (1 kHz, as in paper §IV-C) and an optional Governor — e.g. the RAPL-like
+// frequency limiter — may retarget P-states, which takes effect on the next
+// tick. This is the substrate on which both the profiling library and the
+// evaluation harness run kernels.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/config.h"
+#include "soc/counters.h"
+#include "soc/kernel.h"
+#include "soc/perf_model.h"
+#include "soc/smu.h"
+
+namespace acsel::soc {
+
+/// Policy hook invoked every control interval during a run. Governors may
+/// only retarget P-states (DVFS); device, thread count and mapping are
+/// fixed once a kernel is dispatched — exactly the limitation that makes
+/// pure frequency-limiting fail on some kernels (paper §V-D).
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  /// Returns the configuration to switch to, or nullopt to stay. The
+  /// returned configuration must differ from `current` only in P-states.
+  virtual std::optional<hw::Configuration> on_interval(
+      const PowerView& power, const hw::Configuration& current) = 0;
+};
+
+/// One point of an execution trace (per simulation tick, when
+/// MachineSpec::record_trace is set).
+struct TracePoint {
+  double t_ms = 0.0;
+  double cpu_w = 0.0;    ///< true (noise-free) plane power this tick
+  double nbgpu_w = 0.0;
+  double dram_w = 0.0;   ///< 0 unless MachineSpec::model_dram_power
+  double temperature_c = 0.0;
+  std::size_t cpu_pstate = 0;
+  std::size_t gpu_pstate = 0;
+  bool boosted = false;
+};
+
+/// What one kernel invocation produced.
+struct ExecutionResult {
+  double time_ms = 0.0;
+  double avg_cpu_power_w = 0.0;
+  double avg_nbgpu_power_w = 0.0;
+  double energy_j = 0.0;
+  CounterBlock counters;
+  hw::Configuration final_config;   ///< after any governor adjustments
+  std::size_t config_switches = 0;  ///< number of governor retargets
+  double avg_temperature_c = 0.0;   ///< mean die temperature over the run
+  /// Fraction of the run spent opportunistically overclocked (§VI boost;
+  /// 0 unless MachineSpec::thermal.enable_boost).
+  double boost_fraction = 0.0;
+  /// Mean off-package DRAM power (0 unless MachineSpec::model_dram_power).
+  double avg_dram_power_w = 0.0;
+  /// Per-tick trace (empty unless MachineSpec::record_trace).
+  std::vector<TracePoint> trace;
+
+  double avg_power_w() const { return avg_cpu_power_w + avg_nbgpu_power_w; }
+  /// Performance as throughput (invocations per second).
+  double performance() const { return 1000.0 / time_ms; }
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineSpec spec = {}, std::uint64_t seed = 0x5eed);
+
+  const MachineSpec& spec() const { return spec_; }
+
+  /// Noise-free steady state — the ground truth used by the evaluation
+  /// oracle ("an oracle with perfect knowledge", §V-B).
+  SteadyState analytic(const KernelCharacteristics& kernel,
+                       const hw::Configuration& config) const;
+
+  /// Executes one invocation of `kernel` starting at `config`, with
+  /// measurement noise and optional governor control. Deterministic given
+  /// the machine's seed and call history.
+  ExecutionResult run(const KernelCharacteristics& kernel,
+                      hw::Configuration config,
+                      Governor* governor = nullptr);
+
+  /// Current die temperature; persists across runs (a busy machine stays
+  /// warm) until reset_thermal().
+  double die_temperature_c() const { return thermal_.temperature_c(); }
+  void reset_thermal() { thermal_.reset(); }
+
+  /// Simulation tick length (also the SMU sampling period), ms.
+  static constexpr double kTickMs = 1.0;
+  /// Governor control interval, ms.
+  static constexpr double kControlIntervalMs = 5.0;
+  /// Power window used for governor decisions, ms.
+  static constexpr double kPowerWindowMs = 10.0;
+  /// Die-temperature change that forces a leakage/steady-state refresh.
+  static constexpr double kThermalRefreshC = 1.0;
+
+ private:
+  MachineSpec spec_;
+  Rng rng_;
+  ThermalState thermal_;
+};
+
+}  // namespace acsel::soc

@@ -1,0 +1,215 @@
+#include "soc/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "soc/power_model.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+
+namespace {
+
+/// Achievable CPU DRAM bandwidth: saturates with thread count, with a mild
+/// dependence on core frequency (outstanding-miss concurrency per core).
+double cpu_bandwidth_gbs(const MachineSpec& spec, int threads,
+                         double f_ghz) {
+  const double f_scale =
+      0.85 + 0.15 * f_ghz / hw::cpu_pstates()[hw::kCpuMaxPState].freq_ghz;
+  const double thread_frac =
+      1.0 - std::pow(1.0 - spec.single_thread_bw_frac, threads);
+  return spec.dram_bw_gbs * thread_frac * f_scale;
+}
+
+/// GPU DRAM bandwidth: the request machinery needs clock to issue, but the
+/// memory clock is decoupled, so achievable bandwidth saturates at the
+/// middle GPU P-state — which is why memory-bound kernels "do not benefit
+/// from running the GPU at its highest frequency" (paper Table I).
+double gpu_bandwidth_gbs(const MachineSpec& spec, double f_gpu_mhz) {
+  const double f_scale =
+      std::min(1.0, 0.55 + 0.45 * f_gpu_mhz /
+                        hw::gpu_pstates()[1].freq_mhz);
+  return spec.gpu_bw_gbs * f_scale;
+}
+
+/// Per-core compute throughput in GFLOP/s, including the vector bonus and
+/// a mild branch-misprediction derating.
+double cpu_core_gflops(const MachineSpec& spec,
+                       const KernelCharacteristics& k, double f_ghz) {
+  const double vector_bonus = 1.0 + spec.cpu_vector_gain * k.vector_fraction;
+  const double branch_derate = 1.0 - 0.15 * k.branch_divergence;
+  return f_ghz * spec.cpu_scalar_flops_per_cycle * vector_bonus *
+         branch_derate;
+}
+
+struct CpuTiming {
+  double time_ms;
+  double compute_utilization;
+  double stall_fraction;
+  double dram_gbs;
+};
+
+CpuTiming evaluate_cpu(const MachineSpec& spec,
+                       const KernelCharacteristics& k,
+                       const hw::Configuration& config,
+                       const CpuOperatingPoint& cpu) {
+  const double f = cpu.freq_ghz;
+  const int threads = config.threads;
+
+  // Aggregate parallel compute rate with module-sharing contention:
+  // siblings on one module contend for the shared FPU in proportion to the
+  // kernel's FPU intensity.
+  const double core_rate = cpu_core_gflops(spec, k, f);
+  const double share_keep =
+      1.0 - spec.module_share_penalty * k.fpu_intensity;
+  int paired_cores = 0;
+  if (config.mapping == hw::CoreMapping::Compact) {
+    paired_cores = threads >= 2 ? (threads / 2) * 2 : 0;
+  } else {
+    paired_cores = threads > hw::kCpuModules
+                       ? (threads - hw::kCpuModules) * 2
+                       : 0;
+  }
+  const int solo_cores = threads - paired_cores;
+  const double parallel_rate =
+      core_rate * (static_cast<double>(solo_cores) +
+                   static_cast<double>(paired_cores) * share_keep);
+
+  // DRAM traffic: cache locality filters some of the nominal traffic.
+  const double dram_gb =
+      k.work_gflop * k.bytes_per_flop * (1.0 - 0.5 * k.cache_locality);
+  const double bw = cpu_bandwidth_gbs(spec, threads, f);
+
+  // Serial part runs on one core; parallel part is the max of its compute
+  // time and the memory-transfer time (roofline).
+  const double serial_gflop = (1.0 - k.parallel_fraction) * k.work_gflop;
+  const double parallel_gflop = k.parallel_fraction * k.work_gflop;
+  const double t_serial_s = serial_gflop / core_rate;
+  const double t_par_compute_s = parallel_gflop / parallel_rate;
+  const double t_mem_s = dram_gb / bw;
+  const double t_par_s = std::max(t_par_compute_s, t_mem_s);
+  const double t_overhead_s =
+      spec.omp_overhead_ms * 1e-3 * static_cast<double>(threads - 1);
+  const double t_total_s = t_serial_s + t_par_s + t_overhead_s;
+
+  CpuTiming timing;
+  timing.time_ms = t_total_s * 1000.0;
+  // Cores are busy during compute, stalled while the roofline is
+  // bandwidth-limited.
+  const double busy_s = t_serial_s + t_par_compute_s;
+  timing.compute_utilization = std::clamp(busy_s / t_total_s, 0.0, 1.0);
+  timing.stall_fraction = 1.0 - timing.compute_utilization;
+  timing.dram_gbs = t_total_s > 0.0 ? dram_gb / t_total_s : 0.0;
+  return timing;
+}
+
+struct GpuTiming {
+  double time_ms;
+  double gpu_utilization;
+  double stall_fraction;
+  double dram_gbs;
+};
+
+GpuTiming evaluate_gpu(const MachineSpec& spec,
+                       const KernelCharacteristics& k,
+                       const hw::Configuration& config,
+                       const CpuOperatingPoint& cpu) {
+  const double f_mhz = config.gpu_freq_mhz();
+  const double f_ghz = f_mhz / 1000.0;
+
+  // Launch/driver overhead executes on the host CPU and stretches as the
+  // host core slows down.
+  const double host_scale =
+      hw::cpu_pstates()[hw::kCpuMaxPState].freq_ghz / cpu.freq_ghz;
+  const double t_launch_s = k.launch_overhead_ms * 1e-3 * host_scale;
+
+  // Effective GPU throughput: peak derated by structural efficiency and
+  // SIMD divergence; the serial fraction of the kernel also bottlenecks a
+  // wide device (treated as running at 1/64 of array throughput).
+  const double peak_gflops = static_cast<double>(hw::kGpuCores) * f_ghz *
+                             spec.gpu_flops_per_core_cycle;
+  const double efficiency =
+      k.gpu_efficiency *
+      (1.0 - spec.gpu_divergence_penalty * k.branch_divergence);
+  const double wide_rate = std::max(1e-9, peak_gflops * efficiency);
+  const double narrow_rate = wide_rate / 64.0;
+
+  const double dram_gb =
+      k.work_gflop * k.bytes_per_flop * (1.0 - 0.35 * k.cache_locality);
+  const double bw = gpu_bandwidth_gbs(spec, f_mhz);
+
+  const double serial_gflop = (1.0 - k.parallel_fraction) * k.work_gflop;
+  const double parallel_gflop = k.parallel_fraction * k.work_gflop;
+  const double t_serial_s = serial_gflop / narrow_rate;
+  const double t_compute_s = parallel_gflop / wide_rate;
+  const double t_mem_s = dram_gb / bw;
+  const double t_exec_s = t_serial_s + std::max(t_compute_s, t_mem_s);
+  const double t_total_s = t_launch_s + t_exec_s;
+
+  GpuTiming timing;
+  timing.time_ms = t_total_s * 1000.0;
+  const double busy_s = t_serial_s + t_compute_s;
+  timing.gpu_utilization = std::clamp(busy_s / t_total_s, 0.0, 1.0);
+  timing.stall_fraction =
+      std::clamp(1.0 - (t_serial_s + t_compute_s) / std::max(t_exec_s, 1e-12),
+                 0.0, 1.0);
+  timing.dram_gbs = t_total_s > 0.0 ? dram_gb / t_total_s : 0.0;
+  return timing;
+}
+
+}  // namespace
+
+SteadyState evaluate_steady_state_at(const MachineSpec& spec,
+                                     const KernelCharacteristics& kernel,
+                                     const hw::Configuration& config,
+                                     const CpuOperatingPoint& cpu,
+                                     double leakage_factor) {
+  kernel.validate();
+  config.validate();
+  ACSEL_CHECK(cpu.freq_ghz > 0.0 && cpu.voltage > 0.0);
+  ACSEL_CHECK(leakage_factor > 0.0);
+
+  SteadyState state;
+  ActivityInputs activity;
+  if (config.device == hw::Device::Cpu) {
+    const CpuTiming timing = evaluate_cpu(spec, kernel, config, cpu);
+    state.time_ms = timing.time_ms;
+    state.compute_utilization = timing.compute_utilization;
+    state.stall_fraction = timing.stall_fraction;
+    state.dram_gbs = timing.dram_gbs;
+    state.gpu_utilization = 0.0;
+    activity.compute_utilization = timing.compute_utilization;
+    activity.dram_gbs = timing.dram_gbs;
+    activity.gpu_utilization = 0.0;
+  } else {
+    const GpuTiming timing = evaluate_gpu(spec, kernel, config, cpu);
+    state.time_ms = timing.time_ms;
+    state.compute_utilization = timing.gpu_utilization;
+    state.stall_fraction = timing.stall_fraction;
+    state.dram_gbs = timing.dram_gbs;
+    state.gpu_utilization = timing.gpu_utilization;
+    activity.compute_utilization = timing.gpu_utilization;
+    activity.dram_gbs = timing.dram_gbs;
+    activity.gpu_utilization = timing.gpu_utilization;
+  }
+
+  const PowerBreakdown power =
+      evaluate_power_at(spec, kernel, config, activity, cpu, leakage_factor);
+  state.cpu_power_w = power.cpu_w;
+  state.nbgpu_power_w = power.nbgpu_w;
+  if (spec.model_dram_power) {
+    state.dram_power_w =
+        spec.dram_background_w + spec.dram_w_per_gbs * state.dram_gbs;
+  }
+  ACSEL_CHECK(state.time_ms > 0.0);
+  return state;
+}
+
+SteadyState evaluate_steady_state(const MachineSpec& spec,
+                                  const KernelCharacteristics& kernel,
+                                  const hw::Configuration& config) {
+  return evaluate_steady_state_at(spec, kernel, config,
+                                  CpuOperatingPoint::of(config), 1.0);
+}
+
+}  // namespace acsel::soc

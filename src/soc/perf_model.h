@@ -1,0 +1,144 @@
+// Analytic performance model of the simulated Trinity-class APU.
+//
+// CPU side: Amdahl's law over the active threads with a roofline-style
+// memory-bandwidth ceiling, module-shared-FPU contention for Compact
+// placements, and a vector-width bonus. GPU side: launch/driver overhead on
+// the host CPU plus a compute/bandwidth roofline over the 384 Radeon cores
+// with SIMD-divergence and structural-efficiency derating.
+//
+// The model also reports the utilization quantities (compute share, stall
+// fraction, DRAM rate) that the power model and counter synthesis consume,
+// so all three views of a run are mutually consistent.
+#pragma once
+
+#include "hw/config.h"
+#include "soc/kernel.h"
+#include "soc/thermal.h"
+
+namespace acsel::soc {
+
+/// Tunable machine constants. Defaults approximate the A10-5800K's
+/// published envelope (100 W TDP, dual-channel DDR3-1866, 384-core GPU)
+/// and the power levels of paper Table I. Exposed as a struct so tests and
+/// ablation benches can perturb the machine.
+struct MachineSpec {
+  // -- performance ---------------------------------------------------------
+  /// Scalar flops per core-cycle (one 128-bit FMA pipe, derated).
+  double cpu_scalar_flops_per_cycle = 2.0;
+  /// Vector speedup factor at vector_fraction = 1 (4-wide lanes, derated).
+  double cpu_vector_gain = 3.0;
+  /// Throughput retained by each sibling when two threads share a module's
+  /// FPU, at fpu_intensity = 1.
+  double module_share_penalty = 0.38;
+  /// Peak DRAM bandwidth available to the CPU, GB/s.
+  double dram_bw_gbs = 20.0;
+  /// Peak DRAM bandwidth available to the GPU (same controller, deeper
+  /// request queues), GB/s.
+  double gpu_bw_gbs = 26.0;
+  /// Fraction of peak DRAM bandwidth one thread can pull.
+  double single_thread_bw_frac = 0.62;
+  /// GPU FMAC throughput per Radeon core per cycle (2 flops at peak).
+  double gpu_flops_per_core_cycle = 2.0;
+  /// Multiplier on SIMD-efficiency loss per unit branch_divergence.
+  double gpu_divergence_penalty = 0.75;
+  /// Thread fork/join overhead per invocation per extra thread, ms.
+  double omp_overhead_ms = 0.02;
+
+  // -- power ----------------------------------------------------------------
+  /// Always-on northbridge + board power, W.
+  double base_power_w = 7.0;
+  /// CPU-plane leakage coefficient, W per V^2 (voltage set by fastest CU).
+  double cpu_leak_w_per_v2 = 3.2;
+  /// Per-core dynamic power, W per (GHz * V^2) at activity 1.
+  double cpu_core_dyn_w = 1.55;
+  /// Extra dynamic power of vector units at vector_fraction = 1.
+  double cpu_vector_power_gain = 0.85;
+  /// GPU-plane leakage coefficient, W per V^2.
+  double gpu_leak_w_per_v2 = 2.0;
+  /// GPU dynamic power, W per (GHz * V^2) at activity 1 (whole array).
+  double gpu_dyn_w = 40.0;
+  /// Memory-controller power per GB/s of DRAM traffic, W.
+  double nb_w_per_gbs = 0.35;
+  /// Activity floor: clock toggling that happens even when stalled.
+  double activity_floor = 0.18;
+
+  // -- measurement ----------------------------------------------------------
+  /// SMU sampling rate (paper §IV-C: 1 kHz).
+  double smu_sample_hz = 1000.0;
+  /// Relative noise of each SMU power sample.
+  double power_noise_frac = 0.012;
+  /// Relative run-to-run performance noise.
+  double perf_noise_frac = 0.006;
+
+  // -- thermal / boost (paper §VI future work; boost off by default) -------
+  ThermalSpec thermal;
+
+  // -- DRAM device power (§VI future work: "we intend to account for
+  // memory power in addition to processor power"). Off-package DIMM power
+  // is invisible to the on-chip SMU, so it is modeled as a *third* domain
+  // that only appears in SteadyState/ExecutionResult when enabled.
+  bool model_dram_power = false;
+  /// DIMM background (precharge/refresh) power, W.
+  double dram_background_w = 1.8;
+  /// Activate/read/write energy as W per GB/s of traffic.
+  double dram_w_per_gbs = 0.6;
+
+  // -- execution tracing ----------------------------------------------------
+  /// Record a per-tick trace (power, temperature, configuration) in each
+  /// ExecutionResult. Off by default: traces are large.
+  bool record_trace = false;
+};
+
+/// A resolved CPU operating point. Normally taken from the configuration's
+/// P-state table; opportunistic overclocking (§VI) substitutes the boost
+/// frequency/voltage when the die has thermal headroom.
+struct CpuOperatingPoint {
+  double freq_ghz = 0.0;
+  double voltage = 0.0;
+
+  static CpuOperatingPoint of(const hw::Configuration& config) {
+    return {config.cpu_freq_ghz(), config.cpu_voltage()};
+  }
+  static CpuOperatingPoint boosted(const MachineSpec& spec) {
+    return {spec.thermal.boost_freq_ghz, spec.thermal.boost_voltage};
+  }
+};
+
+/// Steady-state behaviour of one kernel at one configuration.
+struct SteadyState {
+  double time_ms = 0.0;           ///< invocation latency
+  double cpu_power_w = 0.0;       ///< CPU-core power plane
+  double nbgpu_power_w = 0.0;     ///< northbridge + GPU power plane
+  /// Off-package DRAM device power; 0 unless MachineSpec::model_dram_power
+  /// (§VI). Not part of total_power_w(): the SMU cannot see it, and the
+  /// paper's caps cover processor power.
+  double dram_power_w = 0.0;
+  double compute_utilization = 0.0;  ///< busy fraction of the active device
+  double stall_fraction = 0.0;    ///< memory-stall share of active cycles
+  double dram_gbs = 0.0;          ///< achieved DRAM traffic rate
+  double gpu_utilization = 0.0;   ///< GPU busy fraction (0 on CPU device)
+
+  double total_power_w() const { return cpu_power_w + nbgpu_power_w; }
+  /// Processor + DRAM power — the system-level view of §VI.
+  double system_power_w() const { return total_power_w() + dram_power_w; }
+  /// Performance as throughput (invocations per second).
+  double performance() const { return 1000.0 / time_ms; }
+};
+
+/// Evaluates the noise-free steady state of `kernel` at `config`.
+/// This is the ground truth the oracle uses; Machine::run adds measurement
+/// noise, thermal effects and time-discretization on top of it.
+SteadyState evaluate_steady_state(const MachineSpec& spec,
+                                  const KernelCharacteristics& kernel,
+                                  const hw::Configuration& config);
+
+/// Extended form used by the machine's thermal/boost loop: evaluates at an
+/// explicit CPU operating point (which may be the boost point) with a
+/// leakage multiplier for the current die temperature.
+SteadyState evaluate_steady_state_at(const MachineSpec& spec,
+                                     const KernelCharacteristics& kernel,
+                                     const hw::Configuration& config,
+                                     const CpuOperatingPoint& cpu,
+                                     double leakage_factor);
+
+}  // namespace acsel::soc

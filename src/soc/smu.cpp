@@ -1,0 +1,64 @@
+#include "soc/smu.h"
+
+#include "util/error.h"
+
+namespace acsel::soc {
+
+Smu::Smu(double noise_frac, double window_ms, Rng rng)
+    : noise_frac_(noise_frac), window_ms_(window_ms), rng_(rng) {
+  ACSEL_CHECK(noise_frac >= 0.0);
+  ACSEL_CHECK(window_ms > 0.0);
+}
+
+void Smu::sample(double true_cpu_w, double true_nbgpu_w, double dt_ms) {
+  ACSEL_CHECK(dt_ms > 0.0);
+  ACSEL_CHECK(true_cpu_w >= 0.0 && true_nbgpu_w >= 0.0);
+  PowerSample sample;
+  elapsed_ms_ += dt_ms;
+  sample.t_ms = elapsed_ms_;
+  // Estimation noise is multiplicative and independent per domain.
+  sample.cpu_w = true_cpu_w * (1.0 + rng_.normal(0.0, noise_frac_));
+  sample.nbgpu_w = true_nbgpu_w * (1.0 + rng_.normal(0.0, noise_frac_));
+  sample.cpu_w = sample.cpu_w < 0.0 ? 0.0 : sample.cpu_w;
+  sample.nbgpu_w = sample.nbgpu_w < 0.0 ? 0.0 : sample.nbgpu_w;
+
+  const double dt_s = dt_ms * 1e-3;
+  cpu_energy_j_ += sample.cpu_w * dt_s;
+  nbgpu_energy_j_ += sample.nbgpu_w * dt_s;
+  ++samples_seen_;
+
+  window_.push_back(sample);
+  while (!window_.empty() &&
+         elapsed_ms_ - window_.front().t_ms > window_ms_) {
+    window_.pop_front();
+  }
+}
+
+double Smu::avg_cpu_w() const {
+  return elapsed_ms_ > 0.0 ? cpu_energy_j_ / (elapsed_ms_ * 1e-3) : 0.0;
+}
+
+double Smu::avg_nbgpu_w() const {
+  return elapsed_ms_ > 0.0 ? nbgpu_energy_j_ / (elapsed_ms_ * 1e-3) : 0.0;
+}
+
+PowerView Smu::window_view() const {
+  PowerView view;
+  view.elapsed_ms = elapsed_ms_;
+  if (window_.empty()) {
+    return view;
+  }
+  double cpu = 0.0;
+  double nbgpu = 0.0;
+  for (const PowerSample& s : window_) {
+    cpu += s.cpu_w;
+    nbgpu += s.nbgpu_w;
+  }
+  const double n = static_cast<double>(window_.size());
+  view.window_avg_cpu_w = cpu / n;
+  view.window_avg_nbgpu_w = nbgpu / n;
+  view.window_avg_w = view.window_avg_cpu_w + view.window_avg_nbgpu_w;
+  return view;
+}
+
+}  // namespace acsel::soc

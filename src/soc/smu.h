@@ -1,0 +1,75 @@
+// System management unit power estimation (paper §III-B/§IV-C): an on-chip
+// microcontroller provides real-time power estimates for two domains (CPU
+// cores; northbridge + GPU), which the profiling layer samples at 1 kHz and
+// integrates over each kernel's execution to get average power.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "util/rng.h"
+
+namespace acsel::soc {
+
+/// One SMU reading (both domains), after estimation noise.
+struct PowerSample {
+  double t_ms = 0.0;
+  double cpu_w = 0.0;
+  double nbgpu_w = 0.0;
+  double total() const { return cpu_w + nbgpu_w; }
+};
+
+/// Sliding-window view handed to governors (frequency limiters, ACPI-style
+/// frequency governors).
+struct PowerView {
+  double window_avg_w = 0.0;        ///< both domains, recent window
+  double window_avg_cpu_w = 0.0;
+  double window_avg_nbgpu_w = 0.0;
+  double elapsed_ms = 0.0;
+  /// Busy (non-stalled) fraction of the active device — what an OS
+  /// utilization-driven governor keys on. Filled in by the Machine, not
+  /// the SMU.
+  double compute_utilization = 0.0;
+};
+
+/// Samples instantaneous model power, injects estimation noise, and
+/// accumulates per-domain energy. Keeps a short ring of recent samples for
+/// windowed averages.
+class Smu {
+ public:
+  /// `noise_frac` is the relative stddev of each sample's estimate.
+  /// `window_ms` bounds the history kept for window_view().
+  Smu(double noise_frac, double window_ms, Rng rng);
+
+  /// Records one sample of duration `dt_ms` at the given true powers.
+  void sample(double true_cpu_w, double true_nbgpu_w, double dt_ms);
+
+  /// Integrated energy per domain, joules.
+  double cpu_energy_j() const { return cpu_energy_j_; }
+  double nbgpu_energy_j() const { return nbgpu_energy_j_; }
+  double total_energy_j() const { return cpu_energy_j_ + nbgpu_energy_j_; }
+
+  double elapsed_ms() const { return elapsed_ms_; }
+
+  /// Whole-run average power per domain (energy / elapsed).
+  double avg_cpu_w() const;
+  double avg_nbgpu_w() const;
+  double avg_total_w() const { return avg_cpu_w() + avg_nbgpu_w(); }
+
+  /// Average over the most recent window (for the frequency limiter).
+  PowerView window_view() const;
+
+  std::size_t sample_count() const { return samples_seen_; }
+
+ private:
+  double noise_frac_;
+  double window_ms_;
+  Rng rng_;
+  double cpu_energy_j_ = 0.0;
+  double nbgpu_energy_j_ = 0.0;
+  double elapsed_ms_ = 0.0;
+  std::size_t samples_seen_ = 0;
+  std::deque<PowerSample> window_;
+};
+
+}  // namespace acsel::soc

@@ -1,0 +1,51 @@
+#include "soc/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace acsel::soc {
+
+ThermalState::ThermalState(const ThermalSpec& spec)
+    : spec_(spec), temperature_c_(spec.ambient_c) {
+  ACSEL_CHECK(spec.r_th_c_per_w >= 0.0);
+  ACSEL_CHECK(spec.tau_s > 0.0);
+  ACSEL_CHECK(spec.leak_per_c >= 0.0);
+  ACSEL_CHECK(spec.boost_hysteresis_c >= 0.0);
+}
+
+void ThermalState::advance(double power_w, double dt_s) {
+  ACSEL_CHECK(power_w >= 0.0 && dt_s > 0.0);
+  const double steady_c = spec_.ambient_c + spec_.r_th_c_per_w * power_w;
+  // Exact solution of the first-order RC step over dt.
+  const double alpha = 1.0 - std::exp(-dt_s / spec_.tau_s);
+  temperature_c_ += alpha * (steady_c - temperature_c_);
+}
+
+double ThermalState::leakage_factor() const {
+  return std::max(
+      0.5, 1.0 + spec_.leak_per_c * (temperature_c_ - spec_.leak_ref_c));
+}
+
+bool ThermalState::boost_allowed() {
+  if (!spec_.enable_boost) {
+    return false;
+  }
+  if (boost_blocked_) {
+    if (temperature_c_ <
+        spec_.boost_cutoff_c - spec_.boost_hysteresis_c) {
+      boost_blocked_ = false;
+    }
+  } else if (temperature_c_ >= spec_.boost_cutoff_c) {
+    boost_blocked_ = true;
+  }
+  return !boost_blocked_;
+}
+
+void ThermalState::reset() {
+  temperature_c_ = spec_.ambient_c;
+  boost_blocked_ = false;
+}
+
+}  // namespace acsel::soc

@@ -1,0 +1,67 @@
+// Die thermal model and opportunistic overclocking (boost).
+//
+// Paper §VI lists boost as an unimplemented machine-configuration
+// dimension: "This feature allows the CPU to increase its frequency beyond
+// user-selectable levels, but only when there is enough thermal headroom;
+// if the chip is too hot, such frequency boosting will not engage." This
+// file implements that feature for the simulated APU:
+//
+//  * a first-order RC thermal model — die temperature relaxes toward
+//    ambient + R_th * power with time constant tau;
+//  * temperature-dependent leakage (hotter silicon leaks more);
+//  * a boost policy — when enabled, the CPU at its top P-state runs at the
+//    boost frequency/voltage while the die is below the boost cutoff
+//    temperature, and drops back when it heats up.
+//
+// The paper's experiments keep boost off ("we do not consider them, as we
+// require direct control over CPU P-states"), and so does MachineSpec by
+// default; bench/ablation_boost turns it on.
+#pragma once
+
+namespace acsel::soc {
+
+struct ThermalSpec {
+  double ambient_c = 45.0;        ///< idle die temperature
+  double r_th_c_per_w = 0.55;     ///< junction thermal resistance
+  double tau_s = 2.0;             ///< thermal RC time constant
+  /// Leakage grows by this fraction per degree above reference.
+  double leak_per_c = 0.01;
+  double leak_ref_c = 60.0;
+
+  // -- opportunistic overclocking (A10-5800K turbo reaches 4.2 GHz) ------
+  bool enable_boost = false;
+  double boost_freq_ghz = 4.2;
+  double boost_voltage = 1.30;
+  /// Boost engages below this die temperature and releases above it
+  /// (plus a small hysteresis band so it does not chatter).
+  double boost_cutoff_c = 78.0;
+  double boost_hysteresis_c = 3.0;
+};
+
+/// Die temperature state, advanced tick by tick.
+class ThermalState {
+ public:
+  explicit ThermalState(const ThermalSpec& spec);
+
+  double temperature_c() const { return temperature_c_; }
+
+  /// Advances the die temperature by dt under the given total power.
+  void advance(double power_w, double dt_s);
+
+  /// Multiplier on leakage power at the current temperature.
+  double leakage_factor() const;
+
+  /// Boost decision with hysteresis: once boost drops out it does not
+  /// re-engage until the die cools below cutoff - hysteresis.
+  bool boost_allowed();
+
+  /// Resets to ambient (a cold machine).
+  void reset();
+
+ private:
+  ThermalSpec spec_;
+  double temperature_c_;
+  bool boost_blocked_ = false;
+};
+
+}  // namespace acsel::soc

@@ -1,0 +1,96 @@
+#include "stats/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/pam.h"  // check_dissimilarity
+#include "util/error.h"
+
+namespace acsel::stats {
+
+AgglomerativeResult agglomerative(const linalg::Matrix& dissimilarity,
+                                  std::size_t k, Linkage linkage) {
+  check_dissimilarity(dissimilarity);
+  const std::size_t n = dissimilarity.rows();
+  ACSEL_CHECK_MSG(k >= 1 && k <= n, "agglomerative: need 1 <= k <= n");
+
+  // Active cluster list: member sets + pairwise linkage distances
+  // (Lance-Williams updates would be faster; n is small here).
+  std::vector<std::vector<std::size_t>> members(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members[i] = {i};
+  }
+  std::vector<bool> alive(n, true);
+
+  const auto linkage_distance = [&](const std::vector<std::size_t>& a,
+                                    const std::vector<std::size_t>& b) {
+    double best = linkage == Linkage::Single
+                      ? std::numeric_limits<double>::infinity()
+                      : 0.0;
+    double sum = 0.0;
+    for (const std::size_t i : a) {
+      for (const std::size_t j : b) {
+        const double d = dissimilarity(i, j);
+        sum += d;
+        if (linkage == Linkage::Single) {
+          best = std::min(best, d);
+        } else {
+          best = std::max(best, d);
+        }
+      }
+    }
+    if (linkage == Linkage::Average) {
+      return sum / static_cast<double>(a.size() * b.size());
+    }
+    return best;
+  };
+
+  AgglomerativeResult result;
+  std::size_t active = n;
+  while (active > k) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_a = n;
+    std::size_t best_b = n;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (!alive[a]) {
+        continue;
+      }
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (!alive[b]) {
+          continue;
+        }
+        const double d = linkage_distance(members[a], members[b]);
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    ACSEL_CHECK(best_a < n);
+    members[best_a].insert(members[best_a].end(), members[best_b].begin(),
+                           members[best_b].end());
+    members[best_b].clear();
+    alive[best_b] = false;
+    result.merge_heights.push_back(best);
+    --active;
+  }
+
+  // Dense relabeling in order of first appearance.
+  result.assignment.assign(n, 0);
+  std::size_t next_label = 0;
+  std::vector<std::size_t> label_of(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!alive[c]) {
+      continue;
+    }
+    label_of[c] = next_label++;
+    for (const std::size_t item : members[c]) {
+      result.assignment[item] = label_of[c];
+    }
+  }
+  ACSEL_CHECK(next_label == k);
+  return result;
+}
+
+}  // namespace acsel::stats

@@ -1,0 +1,39 @@
+// Agglomerative hierarchical clustering on a dissimilarity matrix.
+//
+// The paper clusters "via the R Fossil package" — relational clustering,
+// which we implement as PAM (stats/pam.h). Hierarchical clustering is the
+// other classic relational method an R user would reach for; this
+// implementation exists as the ablation alternative
+// (bench/baseline_classifiers compares the resulting cluster structures).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace acsel::stats {
+
+enum class Linkage {
+  Single,    ///< nearest-member distance (chains)
+  Complete,  ///< farthest-member distance (compact balls)
+  Average,   ///< UPGMA mean pairwise distance
+};
+
+struct AgglomerativeResult {
+  /// Cluster label (0..k-1) per item, relabeled to dense ids in order of
+  /// first appearance.
+  std::vector<std::size_t> assignment;
+  /// Heights at which the performed merges happened (n - k entries,
+  /// non-decreasing for complete/average linkage).
+  std::vector<double> merge_heights;
+};
+
+/// Cuts the dendrogram of `dissimilarity` (square, symmetric, zero
+/// diagonal) at `k` clusters. Requires 1 <= k <= n. Deterministic; ties
+/// break toward the earliest pair.
+AgglomerativeResult agglomerative(const linalg::Matrix& dissimilarity,
+                                  std::size_t k,
+                                  Linkage linkage = Linkage::Average);
+
+}  // namespace acsel::stats

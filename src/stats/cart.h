@@ -1,0 +1,91 @@
+// CART classification tree (Breiman, Friedman, Olshen & Stone 1984), the
+// cluster assigner of paper §III-B: new kernels are classified into trained
+// clusters from normalized performance-counter and power features measured
+// at the two sample configurations (Fig. 3).
+//
+// Binary axis-aligned splits chosen by Gini impurity decrease; deterministic
+// (ties broken by lowest feature index, then lowest threshold).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace acsel::stats {
+
+struct CartOptions {
+  std::size_t max_depth = 6;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// A split must reduce weighted Gini impurity by at least this much.
+  double min_impurity_decrease = 1e-9;
+};
+
+/// A trained classification tree.
+class Cart {
+ public:
+  Cart() = default;
+
+  /// Trains on `x` (one sample per row) with integer class labels in
+  /// `labels` (0-based, arbitrary contiguity not required).
+  /// `feature_names`, if provided, must have x.cols() entries and is kept
+  /// for describe(); otherwise features print as x0, x1, ...
+  static Cart fit(const linalg::Matrix& x,
+                  std::span<const std::size_t> labels,
+                  const CartOptions& options = {},
+                  std::vector<std::string> feature_names = {});
+
+  /// Predicted class for one feature vector.
+  std::size_t predict(std::span<const double> features) const;
+
+  /// Class probabilities at the leaf the sample falls into, indexed by
+  /// class label (size = max label + 1 seen at training).
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  std::size_t depth() const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  std::size_t feature_count() const { return n_features_; }
+
+  /// Fraction of training samples the tree classifies correctly.
+  double training_accuracy() const { return training_accuracy_; }
+
+  /// Multi-line rendering in the style of the paper's Fig. 3:
+  ///   if (L2_miss_rate < 0.0123)
+  ///     ...
+  std::string describe() const;
+
+  /// One-line-per-node serialization; round-trips through parse().
+  std::string serialize() const;
+  static Cart parse(const std::string& text);
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::size_t feature = 0;   // split feature (internal nodes)
+    double threshold = 0.0;    // goes left if x[feature] < threshold
+    std::size_t left = 0;      // child indices (internal nodes)
+    std::size_t right = 0;
+    std::size_t label = 0;     // majority class (leaves; also fallback)
+    std::vector<double> proba; // class distribution at this node
+  };
+
+  std::size_t walk(std::span<const double> features) const;
+  std::size_t depth_of(std::size_t node) const;
+  void describe_node(std::size_t node, std::size_t indent,
+                     std::string& out) const;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  std::size_t n_features_ = 0;
+  std::size_t n_classes_ = 0;
+  double training_accuracy_ = 0.0;
+  std::vector<std::string> feature_names_;
+};
+
+/// Gini impurity of a label multiset given class counts.
+double gini_impurity(std::span<const std::size_t> class_counts);
+
+}  // namespace acsel::stats

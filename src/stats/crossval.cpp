@@ -1,0 +1,61 @@
+#include "stats/crossval.h"
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace acsel::stats {
+
+std::vector<Fold> leave_one_group_out(
+    const std::vector<std::string>& groups) {
+  ACSEL_CHECK_MSG(!groups.empty(), "leave_one_group_out: no items");
+  std::vector<std::string> distinct;
+  for (const auto& g : groups) {
+    bool seen = false;
+    for (const auto& d : distinct) {
+      if (d == g) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      distinct.push_back(g);
+    }
+  }
+  ACSEL_CHECK_MSG(distinct.size() >= 2,
+                  "leave_one_group_out: need at least two groups");
+
+  std::vector<Fold> folds;
+  folds.reserve(distinct.size());
+  for (const auto& held_out : distinct) {
+    Fold fold;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      (groups[i] == held_out ? fold.test : fold.train).push_back(i);
+    }
+    folds.push_back(std::move(fold));
+  }
+  return folds;
+}
+
+std::vector<Fold> k_fold(std::size_t n, std::size_t k, Rng& rng) {
+  ACSEL_CHECK_MSG(k >= 2 && k <= n, "k_fold: need 2 <= k <= n");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  std::vector<Fold> folds(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    folds[i % k].test.push_back(order[i]);
+  }
+  for (std::size_t f = 0; f < k; ++f) {
+    for (std::size_t g = 0; g < k; ++g) {
+      if (g != f) {
+        folds[f].train.insert(folds[f].train.end(), folds[g].test.begin(),
+                              folds[g].test.end());
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace acsel::stats

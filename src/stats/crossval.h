@@ -1,0 +1,32 @@
+// Cross-validation fold construction (Hastie et al., ch. 7).
+//
+// The paper validates with leave-one-*benchmark*-out cross-validation
+// (§V-C): for each benchmark, the model is trained on kernels from all
+// other benchmarks. `leave_one_group_out` expresses exactly that; k-fold
+// over items is provided for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace acsel::stats {
+
+struct Fold {
+  std::vector<std::size_t> train;  // item indices
+  std::vector<std::size_t> test;
+};
+
+/// One fold per distinct group label: that group's items are the test set,
+/// everything else trains. Fold order follows first appearance of each
+/// group in `groups`.
+std::vector<Fold> leave_one_group_out(
+    const std::vector<std::string>& groups);
+
+/// Standard k-fold split of n items, shuffled with `rng`. Requires
+/// 2 <= k <= n. Fold sizes differ by at most one.
+std::vector<Fold> k_fold(std::size_t n, std::size_t k, Rng& rng);
+
+}  // namespace acsel::stats

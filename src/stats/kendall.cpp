@@ -1,0 +1,160 @@
+#include "stats/kendall.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace acsel::stats {
+
+namespace {
+
+struct PairCounts {
+  long long concordant = 0;
+  long long discordant = 0;
+  long long tied_x = 0;  // tied in x only, or both
+  long long tied_y = 0;
+  long long tied_both = 0;
+};
+
+PairCounts count_pairs(std::span<const double> x, std::span<const double> y) {
+  PairCounts counts;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) {
+        ++counts.tied_both;
+      } else if (dx == 0.0) {
+        ++counts.tied_x;
+      } else if (dy == 0.0) {
+        ++counts.tied_y;
+      } else if ((dx > 0.0) == (dy > 0.0)) {
+        ++counts.concordant;
+      } else {
+        ++counts.discordant;
+      }
+    }
+  }
+  return counts;
+}
+
+bool has_ties(std::span<const double> v) {
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
+/// Counts inversions of `values` in-place via merge sort.
+long long count_inversions(std::vector<double>& values, std::size_t lo,
+                           std::size_t hi, std::vector<double>& scratch) {
+  if (hi - lo < 2) {
+    return 0;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  long long inversions = count_inversions(values, lo, mid, scratch) +
+                         count_inversions(values, mid, hi, scratch);
+  std::size_t i = lo;
+  std::size_t j = mid;
+  std::size_t k = lo;
+  while (i < mid && j < hi) {
+    if (values[i] <= values[j]) {
+      scratch[k++] = values[i++];
+    } else {
+      inversions += static_cast<long long>(mid - i);
+      scratch[k++] = values[j++];
+    }
+  }
+  while (i < mid) {
+    scratch[k++] = values[i++];
+  }
+  while (j < hi) {
+    scratch[k++] = values[j++];
+  }
+  std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+            scratch.begin() + static_cast<std::ptrdiff_t>(hi),
+            values.begin() + static_cast<std::ptrdiff_t>(lo));
+  return inversions;
+}
+
+}  // namespace
+
+double kendall_tau_a(std::span<const double> x, std::span<const double> y) {
+  ACSEL_CHECK_MSG(x.size() == y.size() && x.size() >= 2,
+                  "kendall_tau_a needs two equal-length vectors, n >= 2");
+  const PairCounts c = count_pairs(x, y);
+  const auto n = static_cast<long long>(x.size());
+  const long long total = n * (n - 1) / 2;
+  return static_cast<double>(c.concordant - c.discordant) /
+         static_cast<double>(total);
+}
+
+double kendall_tau_b(std::span<const double> x, std::span<const double> y) {
+  ACSEL_CHECK_MSG(x.size() == y.size() && x.size() >= 2,
+                  "kendall_tau_b needs two equal-length vectors, n >= 2");
+  const PairCounts c = count_pairs(x, y);
+  const auto n = static_cast<long long>(x.size());
+  const long long n0 = n * (n - 1) / 2;
+  const long long n1 = c.tied_x + c.tied_both;  // pairs tied in x
+  const long long n2 = c.tied_y + c.tied_both;  // pairs tied in y
+  const double denom = std::sqrt(static_cast<double>(n0 - n1)) *
+                       std::sqrt(static_cast<double>(n0 - n2));
+  ACSEL_CHECK_MSG(denom > 0.0, "kendall_tau_b: an input is constant");
+  return static_cast<double>(c.concordant - c.discordant) / denom;
+}
+
+double kendall_tau_fast(std::span<const double> x, std::span<const double> y) {
+  ACSEL_CHECK_MSG(x.size() == y.size() && x.size() >= 2,
+                  "kendall_tau_fast needs two equal-length vectors, n >= 2");
+  if (has_ties(x) || has_ties(y)) {
+    return kendall_tau_a(x, y);
+  }
+  // Sort indices by x, then count inversions in the induced y order:
+  // each inversion is exactly one discordant pair.
+  const std::size_t n = x.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> y_in_x_order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y_in_x_order[i] = y[order[i]];
+  }
+  std::vector<double> scratch(n);
+  const long long discordant =
+      count_inversions(y_in_x_order, 0, n, scratch);
+  const auto total = static_cast<long long>(n) *
+                     (static_cast<long long>(n) - 1) / 2;
+  return static_cast<double>(total - 2 * discordant) /
+         static_cast<double>(total);
+}
+
+double kendall_distance(std::span<const std::size_t> order_a,
+                        std::span<const std::size_t> order_b) {
+  ACSEL_CHECK_MSG(order_a.size() == order_b.size() && order_a.size() >= 2,
+                  "kendall_distance needs two equal-length orders, n >= 2");
+  const std::size_t n = order_a.size();
+  // Position of each item in order_b.
+  std::vector<std::size_t> pos_b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ACSEL_CHECK_MSG(order_b[i] < n, "order_b is not a permutation of 0..n-1");
+    pos_b[order_b[i]] = i;
+  }
+  long long disagreements = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      ACSEL_CHECK_MSG(order_a[i] < n && order_a[j] < n,
+                      "order_a is not a permutation of 0..n-1");
+      if (pos_b[order_a[i]] > pos_b[order_a[j]]) {
+        ++disagreements;
+      }
+    }
+  }
+  const auto total = static_cast<long long>(n) *
+                     (static_cast<long long>(n) - 1) / 2;
+  return static_cast<double>(disagreements) / static_cast<double>(total);
+}
+
+}  // namespace acsel::stats

@@ -1,0 +1,33 @@
+// Kendall rank correlation (Kendall 1938), the frontier-order similarity
+// measure of paper §III-B: +1 for identical orderings, -1 for reversed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acsel::stats {
+
+/// Kendall's tau-a between two equal-length score vectors: the normalized
+/// difference between concordant and discordant pairs,
+/// tau = (C - D) / (n*(n-1)/2). Ties count as neither. Requires n >= 2.
+/// O(n^2); used for the small frontiers (tens of configurations) the model
+/// compares, and as the reference for the O(n log n) variant below.
+double kendall_tau_a(std::span<const double> x, std::span<const double> y);
+
+/// Kendall's tau-b, which corrects the denominator for ties in either
+/// ranking: tau_b = (C - D) / sqrt((n0 - n1)(n0 - n2)). Requires n >= 2 and
+/// at least one non-tied pair in each input.
+double kendall_tau_b(std::span<const double> x, std::span<const double> y);
+
+/// O(n log n) tau-a via merge-sort inversion counting (Knight's algorithm,
+/// no-ties fast path). Falls back to kendall_tau_a when ties are present.
+double kendall_tau_fast(std::span<const double> x, std::span<const double> y);
+
+/// Kendall distance between two *permutations* of 0..n-1 given as rank
+/// lists: the number of pairwise disagreements (bubble-sort distance),
+/// normalized to [0, 1]. Equivalent to (1 - tau)/2 over the permutation.
+double kendall_distance(std::span<const std::size_t> order_a,
+                        std::span<const std::size_t> order_b);
+
+}  // namespace acsel::stats

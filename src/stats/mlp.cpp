@@ -1,0 +1,211 @@
+#include "stats/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acsel::stats {
+
+namespace {
+
+std::vector<double> softmax(std::vector<double> logits) {
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - peak);
+    sum += v;
+  }
+  for (double& v : logits) {
+    v /= sum;
+  }
+  return logits;
+}
+
+}  // namespace
+
+std::vector<double> MlpClassifier::forward_hidden(
+    std::span<const double> features) const {
+  const std::size_t d = mean_.size();
+  const std::size_t h = b1_.size();
+  std::vector<double> hidden(h, 0.0);
+  for (std::size_t j = 0; j < h; ++j) {
+    double sum = b1_[j];
+    for (std::size_t f = 0; f < d; ++f) {
+      const double z = (features[f] - mean_[f]) / stddev_[f];
+      sum += w1_(j, f) * z;
+    }
+    hidden[j] = std::tanh(sum);
+  }
+  return hidden;
+}
+
+std::vector<double> MlpClassifier::predict_proba(
+    std::span<const double> features) const {
+  ACSEL_CHECK_MSG(features.size() == mean_.size(),
+                  "MlpClassifier: feature count mismatch");
+  ACSEL_CHECK_MSG(n_classes_ > 0, "MlpClassifier: untrained");
+  const std::vector<double> hidden = forward_hidden(features);
+  std::vector<double> logits(n_classes_, 0.0);
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    double sum = b2_[c];
+    for (std::size_t j = 0; j < hidden.size(); ++j) {
+      sum += w2_(c, j) * hidden[j];
+    }
+    logits[c] = sum;
+  }
+  return softmax(std::move(logits));
+}
+
+std::size_t MlpClassifier::predict(std::span<const double> features) const {
+  const auto proba = predict_proba(features);
+  return static_cast<std::size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+MlpClassifier MlpClassifier::fit(const linalg::Matrix& x,
+                                 std::span<const std::size_t> labels,
+                                 const MlpOptions& options) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  ACSEL_CHECK_MSG(n == labels.size() && n > 0 && d > 0,
+                  "MlpClassifier::fit: bad shapes");
+  ACSEL_CHECK(options.hidden_units > 0 && options.epochs > 0);
+  ACSEL_CHECK(options.learning_rate > 0.0);
+
+  MlpClassifier mlp;
+  for (const std::size_t label : labels) {
+    mlp.n_classes_ = std::max(mlp.n_classes_, label + 1);
+  }
+  const std::size_t h = options.hidden_units;
+  const std::size_t k = mlp.n_classes_;
+
+  // Standardization statistics.
+  mlp.mean_.assign(d, 0.0);
+  mlp.stddev_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < d; ++f) {
+      mlp.mean_[f] += x(i, f);
+    }
+  }
+  for (double& m : mlp.mean_) {
+    m /= static_cast<double>(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < d; ++f) {
+      const double delta = x(i, f) - mlp.mean_[f];
+      mlp.stddev_[f] += delta * delta;
+    }
+  }
+  for (double& s : mlp.stddev_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) {
+      s = 1.0;  // constant feature: contributes nothing after centering
+    }
+  }
+
+  // Xavier-ish deterministic initialization.
+  Rng rng{options.seed};
+  mlp.w1_ = linalg::Matrix{h, d};
+  mlp.b1_.assign(h, 0.0);
+  mlp.w2_ = linalg::Matrix{k, h};
+  mlp.b2_.assign(k, 0.0);
+  const double scale1 = std::sqrt(1.0 / static_cast<double>(d));
+  const double scale2 = std::sqrt(1.0 / static_cast<double>(h));
+  for (std::size_t j = 0; j < h; ++j) {
+    for (std::size_t f = 0; f < d; ++f) {
+      mlp.w1_(j, f) = rng.uniform(-scale1, scale1);
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t j = 0; j < h; ++j) {
+      mlp.w2_(c, j) = rng.uniform(-scale2, scale2);
+    }
+  }
+
+  // Momentum buffers.
+  linalg::Matrix v1{h, d};
+  std::vector<double> vb1(h, 0.0);
+  linalg::Matrix v2{k, h};
+  std::vector<double> vb2(k, 0.0);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> z(d);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      for (std::size_t f = 0; f < d; ++f) {
+        z[f] = (x(i, f) - mlp.mean_[f]) / mlp.stddev_[f];
+      }
+      // Forward.
+      std::vector<double> hidden(h);
+      for (std::size_t j = 0; j < h; ++j) {
+        double sum = mlp.b1_[j];
+        for (std::size_t f = 0; f < d; ++f) {
+          sum += mlp.w1_(j, f) * z[f];
+        }
+        hidden[j] = std::tanh(sum);
+      }
+      std::vector<double> logits(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        double sum = mlp.b2_[c];
+        for (std::size_t j = 0; j < h; ++j) {
+          sum += mlp.w2_(c, j) * hidden[j];
+        }
+        logits[c] = sum;
+      }
+      const auto proba = softmax(std::move(logits));
+
+      // Backward: cross-entropy gradient at the output is p - onehot.
+      std::vector<double> d_out(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        d_out[c] = proba[c] - (labels[i] == c ? 1.0 : 0.0);
+      }
+      std::vector<double> d_hidden(h, 0.0);
+      for (std::size_t j = 0; j < h; ++j) {
+        for (std::size_t c = 0; c < k; ++c) {
+          d_hidden[j] += mlp.w2_(c, j) * d_out[c];
+        }
+        d_hidden[j] *= 1.0 - hidden[j] * hidden[j];  // tanh'
+      }
+      // SGD with momentum + weight decay.
+      const double lr = options.learning_rate;
+      for (std::size_t c = 0; c < k; ++c) {
+        for (std::size_t j = 0; j < h; ++j) {
+          const double grad = d_out[c] * hidden[j] +
+                              options.weight_decay * mlp.w2_(c, j);
+          v2(c, j) = options.momentum * v2(c, j) - lr * grad;
+          mlp.w2_(c, j) += v2(c, j);
+        }
+        vb2[c] = options.momentum * vb2[c] - lr * d_out[c];
+        mlp.b2_[c] += vb2[c];
+      }
+      for (std::size_t j = 0; j < h; ++j) {
+        for (std::size_t f = 0; f < d; ++f) {
+          const double grad =
+              d_hidden[j] * z[f] + options.weight_decay * mlp.w1_(j, f);
+          v1(j, f) = options.momentum * v1(j, f) - lr * grad;
+          mlp.w1_(j, f) += v1(j, f);
+        }
+        vb1[j] = options.momentum * vb1[j] - lr * d_hidden[j];
+        mlp.b1_[j] += vb1[j];
+      }
+    }
+  }
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mlp.predict(x.row(i)) == labels[i]) {
+      ++correct;
+    }
+  }
+  mlp.training_accuracy_ =
+      static_cast<double>(correct) / static_cast<double>(n);
+  return mlp;
+}
+
+}  // namespace acsel::stats

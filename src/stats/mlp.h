@@ -1,0 +1,64 @@
+// A small multi-layer perceptron classifier.
+//
+// The paper's closest prior work (Curtis-Maury et al., §II-A) drove
+// configuration selection with "offline regression models and artificial
+// neural networks"; the paper itself chose a classification tree. This
+// MLP is the ANN baseline: one tanh hidden layer, softmax output, plain
+// SGD with momentum, deterministic initialization — enough to ask whether
+// a neural classifier would have assigned kernels to clusters any better
+// than CART (bench/baseline_classifiers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace acsel::stats {
+
+struct MlpOptions {
+  std::size_t hidden_units = 16;
+  std::size_t epochs = 300;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  /// L2 weight decay.
+  double weight_decay = 1e-4;
+  std::uint64_t seed = 42;
+};
+
+class MlpClassifier {
+ public:
+  MlpClassifier() = default;
+
+  /// Trains on rows of `x` with 0-based class labels. Features are
+  /// standardized internally (train-set mean/stddev).
+  static MlpClassifier fit(const linalg::Matrix& x,
+                           std::span<const std::size_t> labels,
+                           const MlpOptions& options = {});
+
+  /// Predicted class of one feature vector.
+  std::size_t predict(std::span<const double> features) const;
+
+  /// Softmax class probabilities.
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  double training_accuracy() const { return training_accuracy_; }
+  std::size_t feature_count() const { return mean_.size(); }
+  std::size_t class_count() const { return n_classes_; }
+
+ private:
+  std::vector<double> forward_hidden(std::span<const double> features) const;
+
+  std::size_t n_classes_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+  linalg::Matrix w1_;           // hidden x features
+  std::vector<double> b1_;
+  linalg::Matrix w2_;           // classes x hidden
+  std::vector<double> b2_;
+  double training_accuracy_ = 0.0;
+};
+
+}  // namespace acsel::stats

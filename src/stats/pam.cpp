@@ -1,0 +1,230 @@
+#include "stats/pam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace acsel::stats {
+
+namespace {
+
+/// Distance of each item to its nearest and second-nearest medoid.
+struct NearestInfo {
+  std::vector<std::size_t> nearest;     // medoid *index into medoids*
+  std::vector<double> nearest_d;
+  std::vector<double> second_d;
+};
+
+NearestInfo compute_nearest(const linalg::Matrix& d,
+                            const std::vector<std::size_t>& medoids) {
+  const std::size_t n = d.rows();
+  NearestInfo info;
+  info.nearest.assign(n, 0);
+  info.nearest_d.assign(n, std::numeric_limits<double>::infinity());
+  info.second_d.assign(n, std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < medoids.size(); ++m) {
+      const double dist = d(i, medoids[m]);
+      if (dist < info.nearest_d[i]) {
+        info.second_d[i] = info.nearest_d[i];
+        info.nearest_d[i] = dist;
+        info.nearest[i] = m;
+      } else if (dist < info.second_d[i]) {
+        info.second_d[i] = dist;
+      }
+    }
+  }
+  // Medoids always belong to their own cluster, even when another medoid
+  // is at distance zero (duplicate items): this guarantees every cluster
+  // is non-empty.
+  for (std::size_t m = 0; m < medoids.size(); ++m) {
+    info.nearest[medoids[m]] = m;
+    info.nearest_d[medoids[m]] = 0.0;
+  }
+  return info;
+}
+
+double total_cost(const NearestInfo& info) {
+  double cost = 0.0;
+  for (const double v : info.nearest_d) {
+    cost += v;
+  }
+  return cost;
+}
+
+}  // namespace
+
+void check_dissimilarity(const linalg::Matrix& d, double tol) {
+  ACSEL_CHECK_MSG(d.rows() == d.cols() && d.rows() > 0,
+                  "dissimilarity matrix must be square and non-empty");
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    ACSEL_CHECK_MSG(std::abs(d(i, i)) <= tol,
+                    "dissimilarity diagonal must be zero");
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      ACSEL_CHECK_MSG(d(i, j) >= -tol, "dissimilarity must be non-negative");
+      ACSEL_CHECK_MSG(std::abs(d(i, j) - d(j, i)) <= tol,
+                      "dissimilarity must be symmetric");
+    }
+  }
+}
+
+PamResult pam(const linalg::Matrix& d, std::size_t k,
+              std::size_t max_swap_iterations) {
+  check_dissimilarity(d);
+  const std::size_t n = d.rows();
+  ACSEL_CHECK_MSG(k >= 1 && k <= n, "pam: need 1 <= k <= n");
+
+  // BUILD: first medoid minimizes total distance; each subsequent medoid
+  // maximizes the decrease in cost.
+  std::vector<std::size_t> medoids;
+  std::vector<bool> is_medoid(n, false);
+  {
+    std::size_t best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < n; ++c) {
+      double cost = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        cost += d(i, c);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = c;
+      }
+    }
+    medoids.push_back(best);
+    is_medoid[best] = true;
+  }
+  std::vector<double> nearest_d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nearest_d[i] = d(i, medoids[0]);
+  }
+  while (medoids.size() < k) {
+    std::size_t best = n;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    double best_spread = -1.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (is_medoid[c]) {
+        continue;
+      }
+      double gain = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        gain += std::max(0.0, nearest_d[i] - d(i, c));
+      }
+      // Tie-break zero-gain candidates by distance from existing medoids,
+      // so duplicate items do not become duplicate medoids.
+      const double spread = nearest_d[c];
+      if (gain > best_gain ||
+          (gain == best_gain && spread > best_spread)) {
+        best_gain = gain;
+        best_spread = spread;
+        best = c;
+      }
+    }
+    ACSEL_CHECK(best < n);
+    medoids.push_back(best);
+    is_medoid[best] = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      nearest_d[i] = std::min(nearest_d[i], d(i, best));
+    }
+  }
+
+  // SWAP: exhaustively consider replacing a medoid with a non-medoid; take
+  // the best strictly-improving swap each round until none exists.
+  NearestInfo info = compute_nearest(d, medoids);
+  double cost = total_cost(info);
+  std::size_t iterations = 0;
+  while (iterations < max_swap_iterations) {
+    double best_delta = -1e-12;  // require strict improvement
+    std::size_t best_m = k;
+    std::size_t best_c = n;
+    for (std::size_t m = 0; m < k; ++m) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (is_medoid[c]) {
+          continue;
+        }
+        // Cost change of swapping medoids[m] -> c.
+        double delta = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dic = d(i, c);
+          if (info.nearest[i] == m) {
+            // Item loses its medoid; it moves to c or its second choice.
+            delta += std::min(dic, info.second_d[i]) - info.nearest_d[i];
+          } else if (dic < info.nearest_d[i]) {
+            delta += dic - info.nearest_d[i];
+          }
+        }
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_m = m;
+          best_c = c;
+        }
+      }
+    }
+    if (best_m == k) {
+      break;  // converged
+    }
+    is_medoid[medoids[best_m]] = false;
+    is_medoid[best_c] = true;
+    medoids[best_m] = best_c;
+    info = compute_nearest(d, medoids);
+    cost = total_cost(info);
+    ++iterations;
+  }
+
+  PamResult result;
+  result.medoids = std::move(medoids);
+  result.assignment = std::move(info.nearest);
+  result.total_cost = cost;
+  result.swap_iterations = iterations;
+  return result;
+}
+
+double silhouette(const linalg::Matrix& d,
+                  const std::vector<std::size_t>& assignment) {
+  check_dissimilarity(d);
+  const std::size_t n = d.rows();
+  ACSEL_CHECK_MSG(assignment.size() == n, "silhouette: assignment size");
+  std::size_t k = 0;
+  for (const std::size_t label : assignment) {
+    k = std::max(k, label + 1);
+  }
+  std::vector<std::size_t> sizes(k, 0);
+  for (const std::size_t label : assignment) {
+    ++sizes[label];
+  }
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t own = assignment[i];
+    if (sizes[own] <= 1) {
+      continue;  // singleton contributes 0
+    }
+    std::vector<double> mean_to(k, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) {
+        mean_to[assignment[j]] += d(i, j);
+      }
+    }
+    double a = 0.0;
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) {
+        continue;
+      }
+      if (c == own) {
+        a = mean_to[c] / static_cast<double>(sizes[c] - 1);
+      } else {
+        b = std::min(b, mean_to[c] / static_cast<double>(sizes[c]));
+      }
+    }
+    if (std::isfinite(b)) {
+      const double denom = std::max(a, b);
+      total += denom > 0.0 ? (b - a) / denom : 0.0;
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace acsel::stats

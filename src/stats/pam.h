@@ -1,0 +1,45 @@
+// Partitioning Around Medoids (PAM, Kaufman & Rousseeuw 1987): relational
+// clustering directly on a dissimilarity matrix.
+//
+// The paper clusters kernels "via the R Fossil package" on a dissimilarity
+// matrix built from pairwise Pareto-frontier comparisons (§III-B). Fossil's
+// relational clustering is k-medoids; we implement the classic
+// BUILD + SWAP PAM, which is deterministic given the input matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace acsel::stats {
+
+struct PamResult {
+  /// Indices of the k medoid items.
+  std::vector<std::size_t> medoids;
+  /// Cluster label (0..k-1) for every item; labels index `medoids`.
+  std::vector<std::size_t> assignment;
+  /// Sum over items of dissimilarity to their medoid.
+  double total_cost = 0.0;
+  /// Number of SWAP iterations performed before convergence.
+  std::size_t swap_iterations = 0;
+};
+
+/// Clusters `n` items described by an n x n symmetric dissimilarity matrix
+/// with zero diagonal into `k` clusters. Requires 1 <= k <= n.
+/// BUILD greedily seeds medoids; SWAP exhaustively tries (medoid,
+/// non-medoid) exchanges until no exchange lowers the total cost.
+PamResult pam(const linalg::Matrix& dissimilarity, std::size_t k,
+              std::size_t max_swap_iterations = 200);
+
+/// Mean silhouette width of a clustering over the same dissimilarity
+/// matrix, in [-1, 1]; higher is better-separated. Items in singleton
+/// clusters contribute 0 (Rousseeuw's convention).
+double silhouette(const linalg::Matrix& dissimilarity,
+                  const std::vector<std::size_t>& assignment);
+
+/// Validates that `d` is a legal dissimilarity matrix: square, symmetric
+/// (within `tol`), non-negative, zero diagonal. Throws acsel::Error if not.
+void check_dissimilarity(const linalg::Matrix& d, double tol = 1e-9);
+
+}  // namespace acsel::stats

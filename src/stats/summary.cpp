@@ -1,0 +1,107 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace acsel::stats {
+
+Summary summarize(std::span<const double> values) {
+  ACSEL_CHECK_MSG(!values.empty(), "summarize: empty sample");
+  Summary s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (const double v : values) {
+      ss += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double mean(std::span<const double> values) {
+  ACSEL_CHECK_MSG(!values.empty(), "mean: empty sample");
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights) {
+  ACSEL_CHECK_MSG(values.size() == weights.size() && !values.empty(),
+                  "weighted_mean: size mismatch or empty");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ACSEL_CHECK_MSG(weights[i] >= 0.0, "weighted_mean: negative weight");
+    num += values[i] * weights[i];
+    den += weights[i];
+  }
+  ACSEL_CHECK_MSG(den > 0.0, "weighted_mean: zero total weight");
+  return num / den;
+}
+
+double median(std::span<const double> values) {
+  ACSEL_CHECK_MSG(!values.empty(), "median: empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double geometric_mean(std::span<const double> values) {
+  ACSEL_CHECK_MSG(!values.empty(), "geometric_mean: empty sample");
+  double log_sum = 0.0;
+  for (const double v : values) {
+    ACSEL_CHECK_MSG(v > 0.0, "geometric_mean: non-positive value");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  ACSEL_CHECK_MSG(x.size() == y.size() && x.size() >= 2,
+                  "pearson: need equal-length samples, n >= 2");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  ACSEL_CHECK_MSG(sxx > 0.0 && syy > 0.0, "pearson: constant input");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> min_max_normalize(std::span<const double> values) {
+  ACSEL_CHECK_MSG(!values.empty(), "min_max_normalize: empty sample");
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  std::vector<double> out(values.size(), 0.0);
+  if (hi > lo) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out[i] = (values[i] - lo) / (hi - lo);
+    }
+  }
+  return out;
+}
+
+}  // namespace acsel::stats

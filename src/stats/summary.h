@@ -1,0 +1,43 @@
+// Descriptive statistics used throughout the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acsel::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n - 1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes a non-empty sample.
+Summary summarize(std::span<const double> values);
+
+/// Arithmetic mean of a non-empty sample.
+double mean(std::span<const double> values);
+
+/// Weighted arithmetic mean; weights must be non-negative with positive sum.
+/// This is how the paper aggregates per-kernel metrics into per-benchmark
+/// numbers ("weighted by how much of the benchmark time is spent in each
+/// kernel", §V-D).
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights);
+
+/// Median (average of the middle two for even sizes).
+double median(std::span<const double> values);
+
+/// Geometric mean of a sample of positive values.
+double geometric_mean(std::span<const double> values);
+
+/// Pearson correlation of two equal-length samples with nonzero variance.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Min-max normalization of `values` into [0, 1]; constant input maps to 0.
+std::vector<double> min_max_normalize(std::span<const double> values);
+
+}  // namespace acsel::stats

@@ -1,0 +1,144 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace acsel {
+
+namespace {
+
+bool needs_quoting(const std::string& field, char sep) {
+  for (const char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(&out), sep_(sep) {}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  ACSEL_CHECK_MSG(!header_written_ && rows_ == 0,
+                  "header must precede all rows and be unique");
+  header_written_ = true;
+  columns_ = names.size();
+  write_fields(names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (header_written_) {
+    ACSEL_CHECK_MSG(fields.size() == columns_,
+                    "row width does not match header");
+  }
+  write_fields(fields);
+  ++rows_;
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) {
+      *out_ << sep_;
+    }
+    *out_ << (needs_quoting(fields[i], sep_) ? quote(fields[i]) : fields[i]);
+  }
+  *out_ << '\n';
+}
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) {
+      return i;
+    }
+  }
+  throw Error{"CSV column not found: " + name};
+}
+
+CsvDocument parse_csv(const std::string& text, char sep) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+
+  const auto end_field = [&] {
+    record.push_back(field);
+    field.clear();
+  };
+  const auto end_record = [&] {
+    end_field();
+    records.push_back(record);
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    saw_any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      end_field();
+    } else if (c == '\n') {
+      // Swallow a preceding \r from CRLF line endings.
+      if (!field.empty() && field.back() == '\r') {
+        field.pop_back();
+      }
+      end_record();
+    } else {
+      field += c;
+    }
+  }
+  ACSEL_CHECK_MSG(!in_quotes, "unterminated quoted CSV field");
+  if (saw_any && (!field.empty() || !record.empty())) {
+    end_record();
+  }
+
+  CsvDocument doc;
+  if (!records.empty()) {
+    doc.header = records.front();
+    doc.rows.assign(records.begin() + 1, records.end());
+    for (const auto& row : doc.rows) {
+      ACSEL_CHECK_MSG(row.size() == doc.header.size(),
+                      "ragged CSV row (width != header width)");
+    }
+  }
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path, char sep) {
+  std::ifstream in{path, std::ios::binary};
+  ACSEL_CHECK_MSG(in.good(), "cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str(), sep);
+}
+
+}  // namespace acsel

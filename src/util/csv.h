@@ -1,0 +1,54 @@
+// Minimal CSV reading/writing, used by the profiling library to persist
+// per-kernel measurement records (paper §III-D: "resident data structures,
+// which are written to disk after the application completes").
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acsel {
+
+/// Streams rows of a CSV file. Fields containing the separator, quotes or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out, char sep = ',');
+
+  /// Writes the header row; must be called at most once, before any row.
+  void header(const std::vector<std::string>& names);
+
+  /// Writes one data row. If a header was written, the field count must
+  /// match the header's.
+  void row(const std::vector<std::string>& fields);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::ostream* out_;
+  char sep_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Fully-parsed CSV document (small files only; the profiling store fits in
+/// memory by design).
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named column; throws acsel::Error if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parses CSV text with RFC 4180 quoting. The first row is the header.
+CsvDocument parse_csv(const std::string& text, char sep = ',');
+
+/// Reads and parses a CSV file; throws acsel::Error if unreadable.
+CsvDocument read_csv_file(const std::string& path, char sep = ',');
+
+}  // namespace acsel

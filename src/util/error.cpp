@@ -1,0 +1,17 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace acsel::detail {
+
+void raise_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream os;
+  os << "ACSEL_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error{os.str()};
+}
+
+}  // namespace acsel::detail

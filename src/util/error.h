@@ -1,0 +1,45 @@
+// Error handling primitives shared by every acsel library.
+//
+// Policy (see C++ Core Guidelines E.2/E.3): programming errors and violated
+// preconditions throw `acsel::Error`, carrying the failed expression and
+// source location. Recoverable "not found"-style conditions are expressed
+// with std::optional at the API level instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace acsel {
+
+/// Exception type thrown by all acsel libraries on contract violations and
+/// unrecoverable runtime failures (file I/O, singular systems, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace acsel
+
+/// Precondition / invariant check that is always active (release builds
+/// included); failures throw acsel::Error with the expression and location.
+#define ACSEL_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::acsel::detail::raise_check_failure(#expr, __FILE__, __LINE__,    \
+                                           std::string{});               \
+    }                                                                    \
+  } while (false)
+
+/// Like ACSEL_CHECK but with an explanatory message appended.
+#define ACSEL_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::acsel::detail::raise_check_failure(#expr, __FILE__, __LINE__,    \
+                                           (msg));                       \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,40 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace acsel {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message) {
+  std::cerr << "[acsel:" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace acsel

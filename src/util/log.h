@@ -1,0 +1,34 @@
+// Leveled logging to stderr. Default level is Warn so library users see
+// nothing unless something is wrong; benches and examples raise it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace acsel {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+}  // namespace acsel
+
+#define ACSEL_LOG_AT(level, expr)                                     \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::acsel::log_level())) {                     \
+      std::ostringstream acsel_log_os;                                \
+      acsel_log_os << expr;                                           \
+      ::acsel::detail::emit_log(level, acsel_log_os.str());           \
+    }                                                                 \
+  } while (false)
+
+#define ACSEL_LOG_DEBUG(expr) ACSEL_LOG_AT(::acsel::LogLevel::Debug, expr)
+#define ACSEL_LOG_INFO(expr) ACSEL_LOG_AT(::acsel::LogLevel::Info, expr)
+#define ACSEL_LOG_WARN(expr) ACSEL_LOG_AT(::acsel::LogLevel::Warn, expr)

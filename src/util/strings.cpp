@@ -1,0 +1,81 @@
+#include "util/strings.h"
+
+#include <charconv>
+#include <cstdio>
+#include <system_error>
+
+#include "util/error.h"
+
+namespace acsel {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!text.empty() && is_space(text.front())) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && is_space(text.back())) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int digits) {
+  ACSEL_CHECK(digits > 0 && digits <= 17);
+  char buffer[64];
+  const int written =
+      std::snprintf(buffer, sizeof buffer, "%.*g", digits, value);
+  ACSEL_CHECK(written > 0 && written < static_cast<int>(sizeof buffer));
+  return std::string{buffer, static_cast<std::size_t>(written)};
+}
+
+double parse_double(std::string_view text) {
+  text = trim(text);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  ACSEL_CHECK_MSG(ec == std::errc{} && ptr == text.data() + text.size(),
+                  "malformed double: '" + std::string{text} + "'");
+  return value;
+}
+
+std::size_t parse_size(std::string_view text) {
+  text = trim(text);
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  ACSEL_CHECK_MSG(ec == std::errc{} && ptr == text.data() + text.size(),
+                  "malformed size: '" + std::string{text} + "'");
+  return value;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace acsel

@@ -1,0 +1,33 @@
+// Small string utilities used by the CSV/table writers and model
+// serialization. No locale dependence anywhere: numbers are formatted with
+// the C locale semantics of std::to_chars-style formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acsel {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `digits` significant digits, locale-independent.
+std::string format_double(double value, int digits = 6);
+
+/// Parses a double; throws acsel::Error on malformed input.
+double parse_double(std::string_view text);
+
+/// Parses a non-negative integer; throws acsel::Error on malformed input.
+std::size_t parse_size(std::string_view text);
+
+/// Joins the elements of `parts` with `sep` between them.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace acsel

@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace acsel {
+
+void TextTable::set_header(std::vector<std::string> names) {
+  header_ = std::move(names);
+  rows_.clear();
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (!header_.empty()) {
+    ACSEL_CHECK_MSG(cells.size() == header_.size(),
+                    "table row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_numeric_row(const std::string& label,
+                                const std::vector<double>& values,
+                                int digits) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double v : values) {
+    cells.push_back(format_double(v, digits));
+  }
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out, const std::string& title) const {
+  if (!title.empty()) {
+    out << title << '\n';
+  }
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) {
+    columns = std::max(columns, row.size());
+  }
+  if (columns == 0) {
+    return;
+  }
+
+  std::vector<std::size_t> widths(columns, 0);
+  const auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) {
+    measure(row);
+  }
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    out << '|';
+    for (std::size_t i = 0; i < columns; ++i) {
+      out << std::string(widths[i] + 2, '-') << '|';
+    }
+    out << '\n';
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace acsel

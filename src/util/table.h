@@ -1,0 +1,39 @@
+// Console table rendering for the bench binaries, which reprint the paper's
+// tables/figures as aligned text. Kept in util so benches stay thin.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acsel {
+
+/// Accumulates rows of string cells and renders them with aligned columns,
+/// in the style of the paper's tables:
+///
+///   | Method   | % Under-limit | % Oracle Perf. |
+///   |----------|---------------|----------------|
+///   | Model    | 70            | 91             |
+class TextTable {
+ public:
+  /// Sets the column headers; resets any accumulated rows.
+  void set_header(std::vector<std::string> names);
+
+  /// Appends one row; width must match the header if one was set.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `digits` significant figures.
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int digits = 4);
+
+  /// Renders the table. `title`, if non-empty, is printed above it.
+  void print(std::ostream& out, const std::string& title = {}) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acsel

@@ -1,0 +1,46 @@
+// CoMD: the ExMatEx classical molecular dynamics proxy application, 7
+// significant kernels. The force kernel dominates runtime and is
+// compute-dense but divergent (neighbor lists, cutoff tests); the
+// integrators are pure streaming; atom redistribution, halo exchange and
+// neighbor-list construction are irregular, poorly vectorized, and map
+// badly onto the GPU. The two inputs select the force field: Lennard-Jones
+// (LJ) or the heavier embedded-atom method (EAM).
+#include "workloads/kernel_builder.h"
+#include "workloads/workload.h"
+
+namespace acsel::workloads {
+
+namespace {
+constexpr auto kernel = detail::make_kernel;
+}  // namespace
+
+BenchmarkSpec comd_benchmark() {
+  BenchmarkSpec bench;
+  bench.name = "CoMD";
+  // name, GF, B/F, par, vec, div, gpu, launch, loc, tlb, irr, fpu, share
+  bench.kernels = {
+      kernel("ComputeForce", 2.20, 0.35, 0.98, 0.30, 0.30, 0.50, 0.70,
+             0.55, 0.20, 0.45, 0.75, 0.55),
+      kernel("AdvanceVelocity", 0.15, 2.60, 0.99, 0.50, 0.01, 0.45, 0.25,
+             0.30, 0.05, 0.03, 0.30, 0.04),
+      kernel("AdvancePosition", 0.15, 2.60, 0.99, 0.50, 0.01, 0.45, 0.25,
+             0.30, 0.05, 0.03, 0.30, 0.04),
+      kernel("RedistributeAtoms", 0.20, 1.80, 0.60, 0.05, 0.50, 0.12, 0.80,
+             0.30, 0.35, 0.70, 0.20, 0.12),
+      kernel("BuildNeighborList", 0.50, 1.40, 0.85, 0.10, 0.45, 0.20, 0.70,
+             0.35, 0.30, 0.60, 0.30, 0.12),
+      kernel("ComputeKineticEnergy", 0.10, 2.00, 0.95, 0.40, 0.05, 0.35,
+             0.30, 0.35, 0.08, 0.10, 0.40, 0.03),
+      kernel("HaloExchange", 0.12, 2.20, 0.50, 0.05, 0.40, 0.10, 0.60,
+             0.30, 0.25, 0.65, 0.15, 0.10),
+  };
+  // The EAM potential nearly doubles the force work, adds table lookups
+  // (slightly worse divergence) and improves arithmetic density a bit.
+  bench.inputs = {
+      {"LJ", 1.00, 0.00, 0.00},
+      {"EAM", 1.80, -0.03, +0.05},
+  };
+  return bench;
+}
+
+}  // namespace acsel::workloads

@@ -1,0 +1,38 @@
+// Internal helper shared by the benchmark definition files: builds a
+// validated KernelSpec from a positional characteristic list so the tables
+// in lulesh.cpp / comd.cpp / smc.cpp / lu.cpp stay one line per kernel.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "workloads/workload.h"
+
+namespace acsel::workloads::detail {
+
+inline KernelSpec make_kernel(std::string name, double work_gflop,
+                              double bytes_per_flop, double parallel,
+                              double vector, double divergence,
+                              double gpu_eff, double launch_ms,
+                              double locality, double tlb,
+                              double irregularity, double fpu,
+                              double time_share) {
+  KernelSpec spec;
+  spec.name = std::move(name);
+  spec.traits.work_gflop = work_gflop;
+  spec.traits.bytes_per_flop = bytes_per_flop;
+  spec.traits.parallel_fraction = parallel;
+  spec.traits.vector_fraction = vector;
+  spec.traits.branch_divergence = divergence;
+  spec.traits.gpu_efficiency = gpu_eff;
+  spec.traits.launch_overhead_ms = launch_ms;
+  spec.traits.cache_locality = locality;
+  spec.traits.tlb_pressure = tlb;
+  spec.traits.irregularity = irregularity;
+  spec.traits.fpu_intensity = fpu;
+  spec.time_share = time_share;
+  spec.traits.validate();
+  return spec;
+}
+
+}  // namespace acsel::workloads::detail

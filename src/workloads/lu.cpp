@@ -1,0 +1,36 @@
+// LU: the Rodinia LU decomposition benchmark ("lud"), chosen by the paper
+// for its relevance to LINPACK (§IV-B). A single dense-linear-algebra
+// kernel that is extremely GPU-friendly: nearly fully parallel, regular,
+// compute-bound. Its CPU implementation vectorizes only modestly, which is
+// what produces the paper's dramatic device gap — on LU Small the frontier
+// jumps from 10.4% to 89.0% of peak performance between 17.2 W (best
+// feasible CPU configuration) and 17.6 W (first GPU configuration), and on
+// LU Large GPU+FL exceeds oracle performance 92x when it blows the cap
+// (§V-D). Three input sizes stress the launch-overhead/amortization
+// trade-off.
+#include "workloads/kernel_builder.h"
+#include "workloads/workload.h"
+
+namespace acsel::workloads {
+
+namespace {
+constexpr auto kernel = detail::make_kernel;
+}  // namespace
+
+BenchmarkSpec lu_benchmark() {
+  BenchmarkSpec bench;
+  bench.name = "LU";
+  // name, GF, B/F, par, vec, div, gpu, launch, loc, tlb, irr, fpu, share
+  bench.kernels = {
+      kernel("lud", 2.00, 0.05, 0.995, 0.12, 0.03, 0.80, 0.50, 0.60, 0.10,
+             0.06, 0.70, 1.00),
+  };
+  bench.inputs = {
+      {"Small", 0.20, +0.15, 0.0},
+      {"Medium", 0.80, +0.05, 0.0},
+      {"Large", 3.00, -0.05, 0.0},
+  };
+  return bench;
+}
+
+}  // namespace acsel::workloads

@@ -1,0 +1,72 @@
+// LULESH: the Livermore Unstructured Lagrangian Explicit Shock
+// Hydrodynamics proxy application (Karlin 2012), the paper's largest
+// benchmark with 20 significant kernels. The characteristics below encode
+// the well-known structure of its kernels: element-centered force and EOS
+// kernels carry most of the flops with moderate vectorization; the
+// node-centered integration kernels are streaming and firmly memory-bound;
+// the monotonic-Q limiter and constraint reductions are branchy; the
+// boundary-condition kernel is tiny and irregular.
+#include "workloads/kernel_builder.h"
+#include "workloads/workload.h"
+
+namespace acsel::workloads {
+
+using detail::make_kernel;
+namespace {
+constexpr auto kernel = make_kernel;
+}  // namespace
+
+BenchmarkSpec lulesh_benchmark() {
+  BenchmarkSpec bench;
+  bench.name = "LULESH";
+  // name, GF, B/F, par, vec, div, gpu, launch, loc, tlb, irr, fpu, share
+  bench.kernels = {
+      kernel("CalcFBHourglassForce", 1.20, 1.30, 0.97, 0.35, 0.08, 0.55,
+             0.60, 0.35, 0.15, 0.15, 0.60, 0.18),
+      kernel("CalcHourglassControl", 0.90, 1.50, 0.96, 0.30, 0.10, 0.50,
+             0.50, 0.30, 0.20, 0.20, 0.55, 0.10),
+      kernel("IntegrateStressForElems", 0.80, 1.80, 0.97, 0.30, 0.05, 0.45,
+             0.50, 0.30, 0.15, 0.10, 0.50, 0.09),
+      kernel("CalcVolumeForceForElems", 0.70, 1.60, 0.96, 0.25, 0.07, 0.45,
+             0.45, 0.35, 0.15, 0.12, 0.50, 0.06),
+      kernel("CalcForceForNodes", 0.30, 2.20, 0.95, 0.15, 0.05, 0.08, 0.40,
+             0.25, 0.20, 0.10, 0.30, 0.04),
+      kernel("CalcAccelerationForNodes", 0.25, 2.40, 0.97, 0.40, 0.02, 0.40,
+             0.30, 0.30, 0.10, 0.05, 0.35, 0.03),
+      kernel("ApplyAccelerationBC", 0.06, 1.80, 0.90, 0.10, 0.30, 0.20,
+             0.30, 0.40, 0.05, 0.40, 0.20, 0.01),
+      kernel("CalcVelocityForNodes", 0.30, 2.30, 0.97, 0.45, 0.02, 0.42,
+             0.30, 0.30, 0.10, 0.05, 0.30, 0.03),
+      kernel("CalcPositionForNodes", 0.28, 2.30, 0.97, 0.45, 0.02, 0.42,
+             0.30, 0.30, 0.10, 0.05, 0.30, 0.03),
+      kernel("CalcKinematicsForElems", 1.50, 0.90, 0.97, 0.40, 0.06, 0.60,
+             0.55, 0.45, 0.15, 0.10, 0.65, 0.11),
+      kernel("CalcLagrangeElements", 0.50, 1.40, 0.96, 0.30, 0.05, 0.50,
+             0.40, 0.40, 0.10, 0.10, 0.50, 0.04),
+      kernel("CalcMonotonicQGradients", 0.90, 1.20, 0.96, 0.30, 0.08, 0.50,
+             0.50, 0.40, 0.15, 0.15, 0.55, 0.06),
+      kernel("CalcMonotonicQRegion", 0.70, 1.10, 0.95, 0.25, 0.25, 0.40,
+             0.50, 0.40, 0.15, 0.35, 0.50, 0.05),
+      kernel("CalcQForElems", 0.40, 1.30, 0.95, 0.25, 0.15, 0.45, 0.40,
+             0.40, 0.10, 0.20, 0.45, 0.03),
+      kernel("CalcPressureForElems", 0.60, 0.70, 0.97, 0.45, 0.05, 0.60,
+             0.40, 0.55, 0.10, 0.08, 0.60, 0.04),
+      kernel("CalcEnergyForElems", 1.10, 0.80, 0.96, 0.40, 0.12, 0.55, 0.50,
+             0.50, 0.10, 0.18, 0.60, 0.07),
+      kernel("CalcSoundSpeedForElems", 0.30, 0.90, 0.97, 0.40, 0.04, 0.55,
+             0.35, 0.50, 0.10, 0.08, 0.55, 0.02),
+      kernel("UpdateVolumesForElems", 0.15, 2.50, 0.98, 0.50, 0.01, 0.40,
+             0.25, 0.30, 0.08, 0.03, 0.25, 0.01),
+      kernel("CalcCourantConstraint", 0.25, 1.20, 0.90, 0.20, 0.30, 0.30,
+             0.40, 0.45, 0.10, 0.40, 0.40, 0.01),
+      kernel("CalcHydroConstraint", 0.20, 1.20, 0.90, 0.20, 0.28, 0.30,
+             0.40, 0.45, 0.10, 0.38, 0.40, 0.01),
+  };
+  bench.inputs = {
+      {"Small", 0.45, +0.08, 0.0},
+      {"Large", 2.20, -0.07, 0.0},
+  };
+  return bench;
+}
+
+}  // namespace acsel::workloads

@@ -1,0 +1,60 @@
+// Synthetic microbenchmark suite. Paper §III-B: "we use a cross-validation
+// scheme to select training kernels; however, the training set could be
+// composed of microbenchmarks or a standard benchmark suite."
+//
+// The generator sweeps a grid over the behaviour axes that drive
+// power/performance scaling — memory intensity, parallelism/divergence
+// (bundled as "regularity"), and vectorization — so a machine can be
+// characterized without any application code.
+// bench/microbench_training trains on this suite and validates on the
+// application suite.
+#include "workloads/microbench.h"
+
+#include <string>
+
+#include "util/error.h"
+#include "workloads/kernel_builder.h"
+
+namespace acsel::workloads {
+
+BenchmarkSpec microbenchmark_suite(std::size_t steps_per_axis) {
+  ACSEL_CHECK_MSG(steps_per_axis >= 2 && steps_per_axis <= 5,
+                  "microbenchmark grid wants 2..5 steps per axis");
+  BenchmarkSpec bench;
+  bench.name = "Micro";
+
+  const auto lerp = [&](double lo, double hi, std::size_t i) {
+    return lo + (hi - lo) * static_cast<double>(i) /
+                    static_cast<double>(steps_per_axis - 1);
+  };
+
+  for (std::size_t m = 0; m < steps_per_axis; ++m) {      // memory axis
+    for (std::size_t r = 0; r < steps_per_axis; ++r) {    // regularity
+      for (std::size_t v = 0; v < steps_per_axis; ++v) {  // vectorization
+        const double bytes_per_flop = lerp(0.05, 2.4, m);
+        const double regularity = lerp(0.1, 1.0, r);
+        const double vector = lerp(0.05, 0.7, v);
+        KernelSpec spec = detail::make_kernel(
+            "mb_m" + std::to_string(m) + "_r" + std::to_string(r) + "_v" +
+                std::to_string(v),
+            /*work_gflop=*/0.35 + 1.4 * regularity,
+            bytes_per_flop,
+            /*parallel=*/0.55 + 0.44 * regularity,
+            vector,
+            /*divergence=*/0.6 * (1.0 - regularity),
+            /*gpu_eff=*/0.10 + 0.65 * regularity,
+            /*launch_ms=*/0.3 + 0.5 * (1.0 - regularity),
+            /*locality=*/0.25 + 0.45 * (1.0 - bytes_per_flop / 2.4),
+            /*tlb=*/0.05 + 0.25 * bytes_per_flop / 2.4,
+            /*irregularity=*/0.7 * (1.0 - regularity),
+            /*fpu=*/0.3 + 0.5 * vector,
+            /*time_share=*/1.0);
+        bench.kernels.push_back(std::move(spec));
+      }
+    }
+  }
+  bench.inputs = {{"Default", 1.0, 0.0, 0.0}};
+  return bench;
+}
+
+}  // namespace acsel::workloads

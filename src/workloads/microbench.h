@@ -1,0 +1,16 @@
+// Synthetic microbenchmark training suite (paper §III-B: "the training set
+// could be composed of microbenchmarks"). See microbench.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "workloads/workload.h"
+
+namespace acsel::workloads {
+
+/// A grid of steps_per_axis^3 microbenchmarks sweeping memory intensity,
+/// regularity (parallelism/divergence/GPU affinity) and vectorization.
+/// The default 3 gives 27 kernels — comparable to the application suite.
+BenchmarkSpec microbenchmark_suite(std::size_t steps_per_axis = 3);
+
+}  // namespace acsel::workloads

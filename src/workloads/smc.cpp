@@ -1,0 +1,43 @@
+// SMC: a combustion (reacting compressible Navier-Stokes) proxy
+// application, 8 significant kernels. Chemistry-rate evaluation dominates
+// and is the most compute-dense kernel in the suite — it is the ~55 W
+// best-configuration kernel of paper §III-B. Flux stencils are mixed,
+// conversions are streaming, and the time-step reduction is branchy.
+#include "workloads/kernel_builder.h"
+#include "workloads/workload.h"
+
+namespace acsel::workloads {
+
+namespace {
+constexpr auto kernel = detail::make_kernel;
+}  // namespace
+
+BenchmarkSpec smc_benchmark() {
+  BenchmarkSpec bench;
+  bench.name = "SMC";
+  // name, GF, B/F, par, vec, div, gpu, launch, loc, tlb, irr, fpu, share
+  bench.kernels = {
+      kernel("ChemistryRates", 3.00, 0.12, 0.99, 0.60, 0.15, 0.70, 0.60,
+             0.70, 0.08, 0.20, 0.85, 0.40),
+      kernel("DiffusionFluxX", 0.90, 1.00, 0.97, 0.45, 0.04, 0.55, 0.45,
+             0.45, 0.12, 0.08, 0.60, 0.09),
+      kernel("DiffusionFluxY", 0.90, 1.00, 0.97, 0.45, 0.04, 0.55, 0.45,
+             0.45, 0.12, 0.08, 0.60, 0.09),
+      kernel("AdvectionFlux", 0.80, 1.10, 0.97, 0.40, 0.06, 0.50, 0.45,
+             0.40, 0.12, 0.10, 0.55, 0.08),
+      kernel("TransportCoefficients", 1.40, 0.30, 0.98, 0.50, 0.10, 0.60,
+             0.50, 0.60, 0.08, 0.15, 0.70, 0.12),
+      kernel("ConsToPrim", 0.30, 1.70, 0.98, 0.50, 0.03, 0.45, 0.30, 0.40,
+             0.10, 0.05, 0.45, 0.04),
+      kernel("PrimToCons", 0.30, 1.70, 0.98, 0.50, 0.03, 0.45, 0.30, 0.40,
+             0.10, 0.05, 0.45, 0.04),
+      kernel("ComputeDt", 0.20, 1.50, 0.85, 0.20, 0.20, 0.25, 0.40, 0.40,
+             0.10, 0.30, 0.35, 0.02),
+  };
+  bench.inputs = {
+      {"Default", 1.00, 0.00, 0.00},
+  };
+  return bench;
+}
+
+}  // namespace acsel::workloads

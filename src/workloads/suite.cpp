@@ -1,0 +1,85 @@
+#include "workloads/suite.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acsel::workloads {
+
+Suite Suite::standard() {
+  return Suite{{lulesh_benchmark(), comd_benchmark(), smc_benchmark(),
+                lu_benchmark()}};
+}
+
+Suite::Suite(std::vector<BenchmarkSpec> benchmarks) {
+  ACSEL_CHECK_MSG(!benchmarks.empty(), "Suite needs at least one benchmark");
+  for (const BenchmarkSpec& bench : benchmarks) {
+    ACSEL_CHECK_MSG(!bench.kernels.empty(),
+                    "benchmark has no kernels: " + bench.name);
+    ACSEL_CHECK_MSG(!bench.inputs.empty(),
+                    "benchmark has no inputs: " + bench.name);
+    benchmarks_.push_back(bench.name);
+    kernel_count_ += bench.kernels.size();
+
+    for (const InputSpec& input : bench.inputs) {
+      benchmark_inputs_.push_back(bench.name + " " + input.name);
+      double share_sum = 0.0;
+      for (const KernelSpec& spec : bench.kernels) {
+        ACSEL_CHECK_MSG(spec.time_share > 0.0,
+                        "time_share must be positive: " + spec.name);
+        share_sum += spec.time_share;
+      }
+      for (const KernelSpec& spec : bench.kernels) {
+        WorkloadInstance instance;
+        instance.benchmark = bench.name;
+        instance.input = input.name;
+        instance.kernel = spec.name;
+        instance.traits = apply_input(spec.traits, input);
+        instance.weight = spec.time_share / share_sum;
+        instances_.push_back(std::move(instance));
+      }
+    }
+  }
+  // Ids must be unique: the model keys its observations by them.
+  std::vector<std::string> ids;
+  ids.reserve(instances_.size());
+  for (const auto& instance : instances_) {
+    ids.push_back(instance.id());
+  }
+  std::sort(ids.begin(), ids.end());
+  ACSEL_CHECK_MSG(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+                  "duplicate workload instance id");
+}
+
+std::vector<std::size_t> Suite::instances_of_benchmark(
+    const std::string& benchmark) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].benchmark == benchmark) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> Suite::instances_of_group(
+    const std::string& benchmark_input) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].benchmark_input() == benchmark_input) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+const WorkloadInstance& Suite::instance(const std::string& id) const {
+  for (const auto& instance : instances_) {
+    if (instance.id() == id) {
+      return instance;
+    }
+  }
+  throw Error{"unknown workload instance: " + id};
+}
+
+}  // namespace acsel::workloads

@@ -1,0 +1,61 @@
+// The full benchmark suite: 36 kernels across LULESH, CoMD, SMC and LU,
+// instantiated with their input decks for 65 benchmark/input kernel
+// instances (paper §IV-B).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace acsel::workloads {
+
+class Suite {
+ public:
+  /// The paper's suite (see lulesh.cpp / comd.cpp / smc.cpp / lu.cpp).
+  static Suite standard();
+
+  /// Builds a suite from arbitrary benchmark specs (used by tests and the
+  /// ablation benches). Weights are normalized per benchmark/input group.
+  explicit Suite(std::vector<BenchmarkSpec> benchmarks);
+
+  /// All kernel instances (one per kernel per input of its benchmark).
+  const std::vector<WorkloadInstance>& instances() const {
+    return instances_;
+  }
+
+  std::size_t size() const { return instances_.size(); }
+
+  /// Distinct benchmark names, in definition order.
+  const std::vector<std::string>& benchmarks() const { return benchmarks_; }
+
+  /// Distinct "benchmark input" group labels, in definition order — the
+  /// grouping of the paper's per-benchmark figures (Figs. 5, 6, 8, 9).
+  const std::vector<std::string>& benchmark_inputs() const {
+    return benchmark_inputs_;
+  }
+
+  /// Number of distinct kernels (not multiplied by inputs).
+  std::size_t kernel_count() const { return kernel_count_; }
+
+  /// Instances belonging to one benchmark (any input).
+  std::vector<std::size_t> instances_of_benchmark(
+      const std::string& benchmark) const;
+
+  /// Instances belonging to one "benchmark input" group.
+  std::vector<std::size_t> instances_of_group(
+      const std::string& benchmark_input) const;
+
+  /// Finds an instance by id ("LULESH-Small/CalcFBHourglassForce");
+  /// throws acsel::Error if absent.
+  const WorkloadInstance& instance(const std::string& id) const;
+
+ private:
+  std::vector<WorkloadInstance> instances_;
+  std::vector<std::string> benchmarks_;
+  std::vector<std::string> benchmark_inputs_;
+  std::size_t kernel_count_ = 0;
+};
+
+}  // namespace acsel::workloads

@@ -1,0 +1,30 @@
+#include "workloads/workload.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acsel::workloads {
+
+std::string WorkloadInstance::id() const {
+  return benchmark + "-" + input + "/" + kernel;
+}
+
+std::string WorkloadInstance::benchmark_input() const {
+  return benchmark + " " + input;
+}
+
+soc::KernelCharacteristics apply_input(const soc::KernelCharacteristics& k,
+                                       const InputSpec& input) {
+  ACSEL_CHECK_MSG(input.work_scale > 0.0, "work_scale must be positive");
+  soc::KernelCharacteristics scaled = k;
+  scaled.work_gflop *= input.work_scale;
+  scaled.cache_locality =
+      std::clamp(scaled.cache_locality + input.locality_delta, 0.0, 1.0);
+  scaled.branch_divergence = std::clamp(
+      scaled.branch_divergence + input.divergence_delta, 0.0, 1.0);
+  scaled.validate();
+  return scaled;
+}
+
+}  // namespace acsel::workloads

@@ -1,0 +1,70 @@
+// Workload descriptions: the simulated equivalents of the paper's exascale
+// proxy benchmarks (§IV-B) — LULESH (20 significant kernels), CoMD (7),
+// SMC (8) and Rodinia LU (1), 36 kernels total, run with multiple inputs
+// for 65 benchmark/input kernel instances.
+//
+// Each kernel is a KernelSpec: a name plus the KernelCharacteristics the
+// simulator consumes and a time-share weight ("weighted by how much of the
+// benchmark time is spent in each kernel", §V-D). Inputs scale the work and
+// shift cache behaviour, which is what varies kernel behaviour across
+// input sizes in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/kernel.h"
+
+namespace acsel::workloads {
+
+/// One kernel of a benchmark, before input scaling.
+struct KernelSpec {
+  std::string name;
+  soc::KernelCharacteristics traits;
+  /// Relative share of benchmark runtime spent in this kernel (normalized
+  /// per benchmark/input by the Suite).
+  double time_share = 1.0;
+};
+
+/// An input deck for a benchmark: scales problem size and cache fit.
+struct InputSpec {
+  std::string name;           ///< "Small", "Large", "LJ", "EAM", ...
+  double work_scale = 1.0;    ///< multiplies work_gflop
+  double locality_delta = 0;  ///< added to cache_locality (clamped to [0,1])
+  double divergence_delta = 0;  ///< added to branch_divergence (clamped)
+};
+
+/// A benchmark: a named set of kernels and the inputs it runs with.
+struct BenchmarkSpec {
+  std::string name;  ///< "LULESH", "CoMD", "SMC", "LU"
+  std::vector<KernelSpec> kernels;
+  std::vector<InputSpec> inputs;
+};
+
+/// One concrete kernel instance: a kernel of a benchmark under an input.
+/// This is the unit the model clusters, predicts and schedules.
+struct WorkloadInstance {
+  std::string benchmark;
+  std::string input;
+  std::string kernel;
+  soc::KernelCharacteristics traits;  ///< after input scaling
+  double weight = 1.0;  ///< normalized time share within benchmark/input
+
+  /// "LULESH-Small/CalcFBHourglassForce" — unique across the suite.
+  std::string id() const;
+  /// "LULESH Small" — the grouping used by the paper's per-benchmark plots.
+  std::string benchmark_input() const;
+};
+
+/// Applies an input deck to a kernel, producing the scaled characteristics.
+soc::KernelCharacteristics apply_input(const soc::KernelCharacteristics& k,
+                                       const InputSpec& input);
+
+/// Benchmark definitions (one translation unit each; see DESIGN.md for the
+/// characterization rationale).
+BenchmarkSpec lulesh_benchmark();
+BenchmarkSpec comd_benchmark();
+BenchmarkSpec smc_benchmark();
+BenchmarkSpec lu_benchmark();
+
+}  // namespace acsel::workloads

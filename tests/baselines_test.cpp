@@ -1,0 +1,284 @@
+// Tests for the related-work baselines: the MLP classifier (ANNs,
+// §II-A), agglomerative clustering, the leading-loads DVFS predictor
+// (§II-B), and the Pack & Cap-style thread-packing method (§II-A).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/leading_loads.h"
+#include "eval/characterize.h"
+#include "eval/methods.h"
+#include "eval/oracle.h"
+#include "hw/config_space.h"
+#include "profile/profiler.h"
+#include "soc/machine.h"
+#include "stats/agglomerative.h"
+#include "stats/mlp.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workloads/suite.h"
+
+namespace acsel {
+namespace {
+
+// ------------------------------------------------------------------ mlp --
+
+TEST(Mlp, LearnsLinearlySeparableClasses) {
+  Rng rng{1};
+  const std::size_t n = 200;
+  linalg::Matrix x{n, 2};
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    labels[i] = x(i, 0) + x(i, 1) > 0.0 ? 1u : 0u;
+  }
+  const auto mlp = stats::MlpClassifier::fit(x, labels);
+  EXPECT_GT(mlp.training_accuracy(), 0.95);
+  EXPECT_EQ(mlp.class_count(), 2u);
+  EXPECT_EQ(mlp.predict(std::vector<double>{0.8, 0.8}), 1u);
+  EXPECT_EQ(mlp.predict(std::vector<double>{-0.8, -0.8}), 0u);
+}
+
+TEST(Mlp, LearnsNonlinearXor) {
+  // XOR is the classic case a linear model cannot fit but an MLP can.
+  Rng rng{2};
+  const std::size_t n = 400;
+  linalg::Matrix x{n, 2};
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    labels[i] = (x(i, 0) > 0.0) != (x(i, 1) > 0.0) ? 1u : 0u;
+  }
+  stats::MlpOptions options;
+  options.hidden_units = 24;
+  options.epochs = 800;
+  options.learning_rate = 0.01;  // momentum 0.9 wants a gentle step here
+  const auto mlp = stats::MlpClassifier::fit(x, labels, options);
+  EXPECT_GT(mlp.training_accuracy(), 0.9);
+}
+
+TEST(Mlp, ProbabilitiesSumToOne) {
+  Rng rng{3};
+  linalg::Matrix x{60, 3};
+  std::vector<std::size_t> labels(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t f = 0; f < 3; ++f) {
+      x(i, f) = rng.uniform(0.0, 1.0);
+    }
+    labels[i] = i % 3;
+  }
+  const auto mlp = stats::MlpClassifier::fit(x, labels);
+  const auto proba =
+      mlp.predict_proba(std::vector<double>{0.5, 0.5, 0.5});
+  ASSERT_EQ(proba.size(), 3u);
+  double sum = 0.0;
+  for (const double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Mlp, DeterministicForSameSeed) {
+  Rng rng{4};
+  linalg::Matrix x{50, 2};
+  std::vector<std::size_t> labels(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.uniform(0.0, 1.0);
+    x(i, 1) = rng.uniform(0.0, 1.0);
+    labels[i] = x(i, 0) > 0.5 ? 1u : 0u;
+  }
+  const auto a = stats::MlpClassifier::fit(x, labels);
+  const auto b = stats::MlpClassifier::fit(x, labels);
+  const std::vector<double> probe{0.3, 0.7};
+  EXPECT_EQ(a.predict(probe), b.predict(probe));
+  EXPECT_DOUBLE_EQ(a.predict_proba(probe)[0], b.predict_proba(probe)[0]);
+}
+
+TEST(Mlp, ValidatesInputs) {
+  linalg::Matrix x{3, 2};
+  const std::vector<std::size_t> labels{0, 1};
+  EXPECT_THROW(stats::MlpClassifier::fit(x, labels), Error);
+  const stats::MlpClassifier untrained;
+  EXPECT_THROW(untrained.predict(std::vector<double>{1.0}), Error);
+}
+
+// -------------------------------------------------------- agglomerative --
+
+linalg::Matrix distance_matrix_1d(const std::vector<double>& points) {
+  const std::size_t n = points.size();
+  linalg::Matrix d{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d(i, j) = std::abs(points[i] - points[j]);
+    }
+  }
+  return d;
+}
+
+TEST(Agglomerative, SeparatesObviousClusters) {
+  const auto d = distance_matrix_1d({0.0, 0.1, 0.2, 5.0, 5.1, 10.0, 10.1});
+  for (const auto linkage : {stats::Linkage::Single,
+                             stats::Linkage::Complete,
+                             stats::Linkage::Average}) {
+    const auto result = stats::agglomerative(d, 3, linkage);
+    EXPECT_EQ(result.assignment[0], result.assignment[1]);
+    EXPECT_EQ(result.assignment[1], result.assignment[2]);
+    EXPECT_EQ(result.assignment[3], result.assignment[4]);
+    EXPECT_EQ(result.assignment[5], result.assignment[6]);
+    std::set<std::size_t> labels(result.assignment.begin(),
+                                 result.assignment.end());
+    EXPECT_EQ(labels.size(), 3u);
+  }
+}
+
+TEST(Agglomerative, KEqualsNLeavesSingletons) {
+  const auto d = distance_matrix_1d({1.0, 2.0, 3.0});
+  const auto result = stats::agglomerative(d, 3);
+  EXPECT_TRUE(result.merge_heights.empty());
+  std::set<std::size_t> labels(result.assignment.begin(),
+                               result.assignment.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(Agglomerative, KEqualsOneMergesEverything) {
+  const auto d = distance_matrix_1d({1.0, 2.0, 8.0, 9.0});
+  const auto result = stats::agglomerative(d, 1);
+  EXPECT_EQ(result.merge_heights.size(), 3u);
+  for (const std::size_t label : result.assignment) {
+    EXPECT_EQ(label, 0u);
+  }
+}
+
+TEST(Agglomerative, AverageLinkageHeightsNonDecreasing) {
+  Rng rng{5};
+  std::vector<double> points(20);
+  for (auto& p : points) {
+    p = rng.uniform(0.0, 10.0);
+  }
+  const auto d = distance_matrix_1d(points);
+  const auto result = stats::agglomerative(d, 1, stats::Linkage::Complete);
+  for (std::size_t i = 1; i < result.merge_heights.size(); ++i) {
+    EXPECT_GE(result.merge_heights[i], result.merge_heights[i - 1] - 1e-12);
+  }
+}
+
+TEST(Agglomerative, ValidatesInputs) {
+  const auto d = distance_matrix_1d({1.0, 2.0});
+  EXPECT_THROW(stats::agglomerative(d, 0), Error);
+  EXPECT_THROW(stats::agglomerative(d, 3), Error);
+}
+
+// -------------------------------------------------------- leading loads --
+
+class LeadingLoadsTest : public ::testing::Test {
+ protected:
+  soc::Machine machine_{soc::MachineSpec{}, 88};
+  workloads::Suite suite_ = workloads::Suite::standard();
+  hw::ConfigSpace space_;
+
+  profile::KernelRecord record_at(const workloads::WorkloadInstance& inst,
+                                  std::size_t pstate) {
+    profile::Profiler profiler{machine_};
+    hw::Configuration config = space_.cpu_sample();
+    config.cpu_pstate = pstate;
+    return profiler.run(inst, config);
+  }
+};
+
+TEST_F(LeadingLoadsTest, PredictsFrequencyScalingOfCpuKernels) {
+  // One measurement at 2.4 GHz predicts the other five P-states within a
+  // few percent — the model's home turf.
+  for (const auto& id : {"SMC-Default/ChemistryRates",
+                         "LULESH-Large/UpdateVolumesForElems"}) {
+    const auto& instance = suite_.instance(id);
+    const auto base = record_at(instance, 2);
+    for (std::size_t p = 0; p < hw::kCpuPStateCount; ++p) {
+      hw::Configuration config = space_.cpu_sample();
+      config.cpu_pstate = p;
+      const double predicted = core::leading_loads_time_ms(
+          base, hw::cpu_pstates()[p].freq_ghz);
+      const double truth =
+          machine_.analytic(instance.traits, config).time_ms;
+      EXPECT_NEAR(predicted / truth, 1.0, 0.13) << id << " P" << p;
+    }
+  }
+}
+
+TEST_F(LeadingLoadsTest, SamePointIsExactUpToNoise) {
+  const auto& instance = suite_.instance("CoMD-LJ/ComputeForce");
+  const auto base = record_at(instance, 3);
+  const double predicted = core::leading_loads_time_ms(
+      base, base.config.cpu_freq_ghz());
+  EXPECT_NEAR(predicted / base.time_ms, 1.0, 1e-9);
+  EXPECT_NEAR(core::leading_loads_performance(
+                  base, base.config.cpu_freq_ghz()),
+              base.performance(), base.performance() * 1e-9);
+}
+
+TEST_F(LeadingLoadsTest, RejectsGpuRecords) {
+  profile::Profiler profiler{machine_};
+  const auto gpu_record = profiler.run(
+      suite_.instance("LU-Small/lud"), space_.gpu_sample());
+  EXPECT_THROW(core::leading_loads_time_ms(gpu_record, 2.4), Error);
+}
+
+// ------------------------------------------------------------- pack&cap --
+
+class PackCapTest : public ::testing::Test {
+ protected:
+  soc::Machine machine_{soc::MachineSpec{}, 909};
+  workloads::Suite suite_ = workloads::Suite::standard();
+};
+
+TEST_F(PackCapTest, PacksThreadsWhenFrequencyIsNotEnough) {
+  // LU Small: every 3-4 thread configuration exceeds the low caps
+  // (paper §V-D) — Pack&Cap must shed threads where CPU+FL cannot.
+  const auto& instance = suite_.instance("LU-Small/lud");
+  const eval::Oracle oracle = eval::build_oracle(machine_, instance);
+  const double low_cap = oracle.constraints()[1];
+  const auto packcap = run_method(machine_, instance, eval::Method::PackCap,
+                                  low_cap, nullptr);
+  EXPECT_EQ(packcap.final_config.device, hw::Device::Cpu);
+  EXPECT_LT(packcap.final_config.threads, hw::kCpuCores);
+  const auto cpufl = run_method(machine_, instance, eval::Method::CpuFL,
+                                low_cap, nullptr);
+  EXPECT_EQ(cpufl.final_config.threads, hw::kCpuCores);
+  // Thread packing meets caps that frequency limiting alone cannot.
+  EXPECT_TRUE(packcap.under_limit);
+  EXPECT_FALSE(cpufl.under_limit);
+}
+
+TEST_F(PackCapTest, StaysAtFullConfigWithGenerousCap) {
+  const auto& instance = suite_.instance("SMC-Default/DiffusionFluxX");
+  const auto outcome = run_method(machine_, instance,
+                                  eval::Method::PackCap, 200.0, nullptr);
+  EXPECT_EQ(outcome.final_config.threads, hw::kCpuCores);
+  EXPECT_EQ(outcome.final_config.cpu_pstate, hw::kCpuMaxPState);
+  EXPECT_TRUE(outcome.under_limit);
+}
+
+TEST_F(PackCapTest, StillCannotPickTheDevice) {
+  // The structural limit of every CPU-only method: on a GPU-dominant
+  // kernel at a generous cap it leaves the GPU's performance on the table.
+  const auto& instance = suite_.instance("LU-Large/lud");
+  const eval::Oracle oracle = eval::build_oracle(machine_, instance);
+  const double high_cap = oracle.constraints().back();
+  const auto outcome = run_method(machine_, instance,
+                                  eval::Method::PackCap, high_cap, nullptr);
+  const auto oracle_point = oracle.best_under(high_cap);
+  EXPECT_LT(outcome.measured_performance, 0.5 * oracle_point.performance);
+}
+
+TEST_F(PackCapTest, NotPartOfThePaperMethodSet) {
+  for (const auto method : eval::all_methods()) {
+    EXPECT_NE(method, eval::Method::PackCap);
+  }
+  EXPECT_STREQ(to_string(eval::Method::PackCap), "Pack&Cap");
+}
+
+}  // namespace
+}  // namespace acsel

@@ -1,0 +1,232 @@
+// Tests for the cluster power-management layer: nodes, allocation
+// policies, and the assembled cluster loop.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "cluster/cluster.h"
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel::cluster {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    soc::Machine machine{soc::MachineSpec{}, 777};
+    suite_ = new workloads::Suite{workloads::Suite::standard()};
+    const auto training = eval::characterize(machine, *suite_);
+    model_ = new core::TrainedModel{core::train(training)};
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete suite_;
+  }
+  static workloads::Suite* suite_;
+  static core::TrainedModel* model_;
+
+  Node::Work work(const std::string& id) {
+    const auto& instance = suite_->instance(id);
+    return Node::Work{
+        core::KernelKey{instance.kernel, instance.benchmark, 0}, instance};
+  }
+
+  /// A GPU-friendly node and a CPU-friendly node: heterogeneity the
+  /// marginal-gain policy can exploit.
+  std::vector<Node> two_nodes(double cap_each) {
+    std::vector<Node> nodes;
+    nodes.emplace_back("gpu-friendly", 11, *model_,
+                       std::vector<Node::Work>{work("LU-Large/lud")},
+                       cap_each);
+    nodes.emplace_back(
+        "cpu-friendly", 13, *model_,
+        std::vector<Node::Work>{work("CoMD-LJ/HaloExchange"),
+                                work("CoMD-LJ/RedistributeAtoms")},
+        cap_each);
+    return nodes;
+  }
+};
+
+workloads::Suite* ClusterTest::suite_ = nullptr;
+core::TrainedModel* ClusterTest::model_ = nullptr;
+
+// ------------------------------------------------------------------ node --
+
+TEST_F(ClusterTest, NodeStepRunsAllKernelsAndReportsTelemetry) {
+  std::vector<Node> nodes = two_nodes(30.0);
+  Node& node = nodes[1];
+  const NodeTelemetry first = node.step();
+  EXPECT_GT(first.timestep_ms, 0.0);
+  EXPECT_GT(first.energy_j, 0.0);
+  EXPECT_TRUE(first.sampling);  // first step runs CPU samples
+  const NodeTelemetry second = node.step();
+  EXPECT_TRUE(second.sampling);  // second step runs GPU samples
+  const NodeTelemetry third = node.step();
+  EXPECT_FALSE(third.sampling);  // now everything is scheduled
+}
+
+TEST_F(ClusterTest, NodePredictedLatencyDecreasesWithBudget) {
+  std::vector<Node> nodes = two_nodes(30.0);
+  Node& node = nodes[0];
+  node.step();
+  node.step();  // predictions now retained
+  const double tight = node.predicted_timestep_ms(14.0);
+  const double mid = node.predicted_timestep_ms(25.0);
+  const double loose = node.predicted_timestep_ms(60.0);
+  EXPECT_GE(tight, mid);
+  EXPECT_GE(mid, loose);
+  EXPECT_GT(node.predicted_min_cap_w(), 5.0);
+}
+
+TEST_F(ClusterTest, NodeCapChangesScheduling) {
+  std::vector<Node> nodes = two_nodes(40.0);
+  Node& node = nodes[0];
+  node.step();
+  node.step();
+  const double fast = node.step().timestep_ms;
+  node.set_cap(14.0);
+  const double slow = node.step().timestep_ms;
+  EXPECT_GT(slow, fast);
+}
+
+// ------------------------------------------------------------- allocate --
+
+NodeView flat_view(double demand, double latency_at_any_cap = 100.0) {
+  NodeView view;
+  view.recent_power_w = demand;
+  view.predicted_latency_ms = [latency_at_any_cap](double) {
+    return latency_at_any_cap;
+  };
+  return view;
+}
+
+TEST(Allocate, UniformSplitsEvenly) {
+  const std::vector<NodeView> nodes{flat_view(10.0), flat_view(30.0),
+                                    flat_view(20.0)};
+  const auto caps = allocate(AllocationPolicy::Uniform, 90.0, nodes);
+  ASSERT_EQ(caps.size(), 3u);
+  for (const double cap : caps) {
+    EXPECT_DOUBLE_EQ(cap, 30.0);
+  }
+}
+
+TEST(Allocate, DemandProportionalFavorsHungryNodes) {
+  const std::vector<NodeView> nodes{flat_view(10.0), flat_view(40.0)};
+  const auto caps =
+      allocate(AllocationPolicy::DemandProportional, 60.0, nodes);
+  EXPECT_LT(caps[0], caps[1]);
+  EXPECT_LE(caps[0] + caps[1], 60.0 + 1e-9);
+}
+
+TEST(Allocate, BudgetNeverExceeded) {
+  for (const auto policy :
+       {AllocationPolicy::Uniform, AllocationPolicy::DemandProportional}) {
+    const std::vector<NodeView> nodes{flat_view(5.0), flat_view(50.0),
+                                      flat_view(25.0)};
+    const auto caps = allocate(policy, 70.0, nodes);
+    EXPECT_LE(std::accumulate(caps.begin(), caps.end(), 0.0), 70.0 + 1e-9)
+        << to_string(policy);
+  }
+}
+
+TEST(Allocate, MarginalGainShiftsPowerToTheSteeperCurve) {
+  // Node 0 gains a lot from extra power; node 1 is flat (saturated).
+  NodeView steep;
+  steep.recent_power_w = 20.0;
+  steep.predicted_latency_ms = [](double cap) { return 4000.0 / cap; };
+  NodeView flat = flat_view(20.0, 100.0);
+  const auto caps = allocate(AllocationPolicy::MarginalGain, 60.0,
+                             {steep, flat});
+  EXPECT_GT(caps[0], caps[1]);
+  EXPECT_NEAR(caps[0] + caps[1], 60.0, 1e-9);
+}
+
+TEST(Allocate, MarginalGainRespectsMinCap) {
+  NodeView steep;
+  steep.predicted_latency_ms = [](double cap) { return 4000.0 / cap; };
+  NodeView flat = flat_view(20.0, 100.0);
+  flat.min_cap_w = 25.0;  // the flat node cannot go below 25 W
+  const auto caps = allocate(AllocationPolicy::MarginalGain, 60.0,
+                             {steep, flat});
+  EXPECT_GE(caps[1], 25.0 - 1e-9);
+}
+
+TEST(Allocate, ValidatesInputs) {
+  EXPECT_THROW(allocate(AllocationPolicy::Uniform, 10.0, {}), Error);
+  const std::vector<NodeView> nodes{flat_view(1.0)};
+  EXPECT_THROW(allocate(AllocationPolicy::Uniform, 0.0, nodes), Error);
+  // Marginal gain demands latency predictors.
+  NodeView no_predictor;
+  EXPECT_THROW(
+      allocate(AllocationPolicy::MarginalGain, 10.0, {no_predictor}),
+      Error);
+}
+
+TEST(Allocate, PolicyNames) {
+  EXPECT_STREQ(to_string(AllocationPolicy::Uniform), "uniform");
+  EXPECT_STREQ(to_string(AllocationPolicy::MarginalGain), "marginal-gain");
+}
+
+// -------------------------------------------------------------- cluster --
+
+TEST_F(ClusterTest, ClusterRespectsGlobalBudget) {
+  ClusterOptions options;
+  options.global_budget_w = 50.0;
+  options.policy = AllocationPolicy::Uniform;
+  Cluster cluster{two_nodes(25.0), options};
+  const auto report = cluster.run(4);
+  const double cap_total =
+      std::accumulate(report.caps_w.begin(), report.caps_w.end(), 0.0);
+  EXPECT_LE(cap_total, 50.0 + 1e-9);
+  EXPECT_GT(report.throughput, 0.0);
+}
+
+TEST_F(ClusterTest, MarginalGainBeatsUniformOnHeterogeneousNodes) {
+  // The GPU-friendly node converts watts to performance far better than
+  // the CPU-bound node; frontier-driven reallocation should exploit that.
+  ClusterOptions uniform;
+  uniform.global_budget_w = 46.0;
+  uniform.policy = AllocationPolicy::Uniform;
+  Cluster a{two_nodes(23.0), uniform};
+
+  ClusterOptions marginal = uniform;
+  marginal.policy = AllocationPolicy::MarginalGain;
+  Cluster b{two_nodes(23.0), marginal};
+
+  // Warm both clusters past the sampling phase, then compare.
+  a.run(3);
+  b.run(3);
+  const double uniform_throughput = a.run(2).throughput;
+  const double marginal_throughput = b.run(2).throughput;
+  EXPECT_GT(marginal_throughput, uniform_throughput * 1.05);
+}
+
+TEST_F(ClusterTest, BudgetCutPropagatesToNodes) {
+  ClusterOptions options;
+  options.global_budget_w = 60.0;
+  Cluster cluster{two_nodes(30.0), options};
+  cluster.run(3);
+  cluster.set_global_budget(32.0);
+  const auto report = cluster.step();
+  const double cap_total =
+      std::accumulate(report.caps_w.begin(), report.caps_w.end(), 0.0);
+  EXPECT_LE(cap_total, 32.0 + 1e-9);
+}
+
+TEST_F(ClusterTest, NodeAccessorsAndValidation) {
+  ClusterOptions options;
+  Cluster cluster{two_nodes(30.0), options};
+  EXPECT_EQ(cluster.size(), 2u);
+  EXPECT_EQ(cluster.node(0).name(), "gpu-friendly");
+  EXPECT_THROW(cluster.node(2), Error);
+  EXPECT_THROW(cluster.set_global_budget(0.0), Error);
+  EXPECT_THROW(Cluster(std::vector<Node>{}, options), Error);
+}
+
+}  // namespace
+}  // namespace acsel::cluster

@@ -1,0 +1,152 @@
+// Tests for feature construction and characterization plumbing.
+#include <gtest/gtest.h>
+
+#include "core/characterization.h"
+#include "core/features.h"
+#include "eval/characterize.h"
+#include "hw/config_space.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel::core {
+namespace {
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  soc::Machine machine_{soc::MachineSpec{}, 11};
+  workloads::Suite suite_ = workloads::Suite::standard();
+  hw::ConfigSpace space_;
+
+  SamplePair samples_for(const std::string& id) {
+    return eval::characterize_instance(machine_, suite_.instance(id))
+        .samples;
+  }
+};
+
+TEST_F(FeaturesTest, PowerFeatureCountMatchesNames) {
+  const auto samples = samples_for("LULESH-Small/CalcPressureForElems");
+  const auto f = power_features(space_.cpu_sample(), samples);
+  EXPECT_EQ(f.size(), power_feature_names().size());
+}
+
+TEST_F(FeaturesTest, PerfFeatureCountMatchesNames) {
+  const auto f = perf_features(space_.gpu_sample());
+  EXPECT_EQ(f.size(), perf_feature_names().size());
+}
+
+TEST_F(FeaturesTest, ClassificationFeatureCountMatchesNames) {
+  const auto samples = samples_for("CoMD-LJ/ComputeForce");
+  const auto f = classification_features(samples);
+  EXPECT_EQ(f.size(), classification_feature_names().size());
+}
+
+TEST_F(FeaturesTest, FeaturesAreOrderOne) {
+  const auto samples = samples_for("SMC-Default/ChemistryRates");
+  for (const auto& config : space_.all()) {
+    for (const double v : power_features(config, samples)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 5.0);
+    }
+    for (const double v : perf_features(config)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.5);
+    }
+  }
+}
+
+TEST_F(FeaturesTest, DeviceIndicatorAndParkedGpuFrequency) {
+  const auto samples = samples_for("LU-Small/lud");
+  const auto cpu_f = power_features(space_.cpu_sample(), samples);
+  const auto gpu_f = power_features(space_.gpu_sample(), samples);
+  EXPECT_EQ(cpu_f[0], 0.0);  // dev indicator
+  EXPECT_EQ(gpu_f[0], 1.0);
+  EXPECT_EQ(cpu_f[3], 0.0);  // parked GPU contributes no gpu_f signal
+  EXPECT_GT(gpu_f[3], 0.0);
+}
+
+TEST_F(FeaturesTest, PerfFeaturesVaryOnlyWithinDevice) {
+  // Same CPU config at two frequencies: only frequency-derived entries
+  // change; the constant stays 1.
+  hw::Configuration slow = space_.cpu_sample();
+  slow.cpu_pstate = 0;
+  const auto a = perf_features(space_.cpu_sample());
+  const auto b = perf_features(slow);
+  EXPECT_EQ(a[0], 1.0);
+  EXPECT_EQ(b[0], 1.0);
+  EXPECT_GT(a[1], b[1]);
+  EXPECT_EQ(a[2], b[2]);  // same thread count
+}
+
+TEST_F(FeaturesTest, GpuFriendlyKernelHasHighPerfRatioFeature) {
+  const auto lu = samples_for("LU-Large/lud");
+  const auto halo = samples_for("CoMD-LJ/HaloExchange");
+  const auto& names = classification_feature_names();
+  std::size_t ratio_index = names.size();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "gpu_cpu_perf_ratio") {
+      ratio_index = i;
+    }
+  }
+  ASSERT_LT(ratio_index, names.size());
+  const auto lu_f = classification_features(lu);
+  const auto halo_f = classification_features(halo);
+  EXPECT_GT(lu_f[ratio_index], halo_f[ratio_index]);
+}
+
+TEST_F(FeaturesTest, ClassificationRejectsSwappedSamples) {
+  auto samples = samples_for("LU-Small/lud");
+  std::swap(samples.cpu, samples.gpu);
+  EXPECT_THROW(classification_features(samples), Error);
+}
+
+// ------------------------------------------------------ characterization --
+
+TEST_F(FeaturesTest, CharacterizationCoversEveryConfig) {
+  const auto c = eval::characterize_instance(
+      machine_, suite_.instance("LULESH-Small/UpdateVolumesForElems"));
+  EXPECT_EQ(c.per_config.size(), space_.size());
+  EXPECT_NO_THROW(c.validate(space_.size()));
+  EXPECT_EQ(c.benchmark, "LULESH");
+  EXPECT_EQ(c.group, "LULESH Small");
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    EXPECT_EQ(c.per_config[i].config, space_.at(i));
+  }
+}
+
+TEST_F(FeaturesTest, CharacterizationFrontierIsPlausible) {
+  const auto c = eval::characterize_instance(
+      machine_, suite_.instance("LULESH-Large/CalcFBHourglassForce"));
+  const auto frontier = c.frontier();
+  EXPECT_GE(frontier.size(), 4u);
+  // Fig. 2 shape: the lowest-power frontier point is a CPU configuration,
+  // the highest-performance one is a GPU configuration.
+  EXPECT_EQ(space_.at(frontier.lowest_power().config_index).device,
+            hw::Device::Cpu);
+  EXPECT_EQ(space_.at(frontier.best_performance().config_index).device,
+            hw::Device::Gpu);
+}
+
+TEST_F(FeaturesTest, RepsReduceMeasurementScatter) {
+  eval::CharacterizeOptions one;
+  one.reps = 1;
+  eval::CharacterizeOptions many;
+  many.reps = 6;
+  const auto& instance = suite_.instance("SMC-Default/DiffusionFluxX");
+  const auto truth =
+      machine_.analytic(instance.traits, space_.cpu_sample());
+  const auto c =
+      eval::characterize_instance(machine_, instance, many);
+  const std::size_t i = space_.cpu_sample_index();
+  EXPECT_NEAR(c.per_config[i].time_ms / truth.time_ms, 1.0, 0.02);
+}
+
+TEST_F(FeaturesTest, ValidateCatchesIncompleteData) {
+  auto c = eval::characterize_instance(
+      machine_, suite_.instance("LU-Small/lud"));
+  c.per_config.pop_back();
+  EXPECT_THROW(c.validate(space_.size()), Error);
+}
+
+}  // namespace
+}  // namespace acsel::core

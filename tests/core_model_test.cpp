@@ -1,0 +1,239 @@
+// Tests for the offline trainer and the trained model's online path:
+// clustering, regression quality, classification, prediction, and
+// serialization. One shared characterization pass keeps the suite fast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "hw/config_space.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel::core {
+namespace {
+
+class ModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new soc::Machine{soc::MachineSpec{}, 7777};
+    suite_ = new workloads::Suite{workloads::Suite::standard()};
+    characterizations_ = new std::vector<KernelCharacterization>{
+        eval::characterize(*machine_, *suite_)};
+    report_ = new TrainingReport{};
+    model_ = new TrainedModel{
+        train(*characterizations_, TrainerOptions{}, report_)};
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete report_;
+    delete characterizations_;
+    delete suite_;
+    delete machine_;
+  }
+
+  static soc::Machine* machine_;
+  static workloads::Suite* suite_;
+  static std::vector<KernelCharacterization>* characterizations_;
+  static TrainingReport* report_;
+  static TrainedModel* model_;
+
+  const KernelCharacterization& characterization(const std::string& id) {
+    for (const auto& c : *characterizations_) {
+      if (c.instance_id == id) {
+        return c;
+      }
+    }
+    throw Error{"no characterization: " + id};
+  }
+};
+
+soc::Machine* ModelTest::machine_ = nullptr;
+workloads::Suite* ModelTest::suite_ = nullptr;
+std::vector<KernelCharacterization>* ModelTest::characterizations_ = nullptr;
+TrainingReport* ModelTest::report_ = nullptr;
+TrainedModel* ModelTest::model_ = nullptr;
+
+TEST_F(ModelTest, TrainsFiveClusters) {
+  EXPECT_EQ(model_->cluster_count(), 5u);  // §III-B
+  ASSERT_EQ(report_->cluster_sizes.size(), 5u);
+  for (const std::size_t size : report_->cluster_sizes) {
+    EXPECT_GE(size, 1u);
+  }
+}
+
+TEST_F(ModelTest, ClustersSpanMultipleBenchmarkInputs) {
+  // §III-B: "Each cluster contains kernels from at least three of the
+  // five benchmark/input combinations" — clusters must not be
+  // single-benchmark artifacts. Check each cluster spans >= 2 groups.
+  std::vector<std::set<std::string>> groups_in_cluster(
+      model_->cluster_count());
+  for (std::size_t i = 0; i < characterizations_->size(); ++i) {
+    groups_in_cluster[report_->clustering.assignment[i]].insert(
+        (*characterizations_)[i].group);
+  }
+  std::size_t multi_group = 0;
+  for (const auto& groups : groups_in_cluster) {
+    if (groups.size() >= 2) {
+      ++multi_group;
+    }
+  }
+  EXPECT_GE(multi_group, 4u);
+}
+
+TEST_F(ModelTest, PowerRegressionsFitWell) {
+  for (std::size_t c = 0; c < 5; ++c) {
+    EXPECT_GT(report_->power_r2[c], 0.6) << "cluster " << c;
+  }
+}
+
+TEST_F(ModelTest, PerfRegressionsCaptureScaling) {
+  double mean_cpu = 0.0;
+  double mean_gpu = 0.0;
+  for (std::size_t c = 0; c < 5; ++c) {
+    mean_cpu += report_->perf_cpu_r2[c];
+    mean_gpu += report_->perf_gpu_r2[c];
+  }
+  EXPECT_GT(mean_cpu / 5.0, 0.5);
+  EXPECT_GT(mean_gpu / 5.0, 0.5);
+}
+
+TEST_F(ModelTest, TreeClassifiesTrainingKernelsWell) {
+  EXPECT_GT(report_->tree_training_accuracy, 0.75);
+  EXPECT_GE(model_->tree().depth(), 2u);
+}
+
+TEST_F(ModelTest, ClassifyMatchesTrainingAssignmentMostly) {
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < characterizations_->size(); ++i) {
+    if (model_->classify((*characterizations_)[i].samples) ==
+        report_->clustering.assignment[i]) {
+      ++agree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) /
+                static_cast<double>(characterizations_->size()),
+            0.75);
+}
+
+TEST_F(ModelTest, PredictionCoversAllConfigs) {
+  const auto& c = characterization("LULESH-Large/CalcFBHourglassForce");
+  const Prediction prediction = model_->predict(c.samples);
+  const hw::ConfigSpace space;
+  EXPECT_EQ(prediction.per_config.size(), space.size());
+  EXPECT_LT(prediction.cluster, model_->cluster_count());
+  EXPECT_FALSE(prediction.frontier.empty());
+  for (const auto& estimate : prediction.per_config) {
+    EXPECT_GT(estimate.power_w, 0.0);
+    EXPECT_GT(estimate.performance, 0.0);
+    EXPECT_GE(estimate.power_sigma, 0.0);
+  }
+}
+
+TEST_F(ModelTest, PredictionsTrackTruthOnHeldInKernels) {
+  // Training kernels should be predicted with sane relative error: median
+  // per-config power error under 15%, performance within a factor ~2.
+  const auto& c = characterization("SMC-Default/DiffusionFluxX");
+  const Prediction prediction = model_->predict(c.samples);
+  const hw::ConfigSpace space;
+  std::size_t power_close = 0;
+  std::size_t perf_close = 0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const double true_power = c.per_config[i].total_power_w();
+    const double true_perf = c.per_config[i].performance();
+    if (std::abs(prediction.per_config[i].power_w - true_power) /
+            true_power <
+        0.15) {
+      ++power_close;
+    }
+    const double ratio = prediction.per_config[i].performance / true_perf;
+    if (ratio > 0.5 && ratio < 2.0) {
+      ++perf_close;
+    }
+  }
+  EXPECT_GT(power_close, space.size() / 2);
+  EXPECT_GT(perf_close, space.size() / 2);
+}
+
+TEST_F(ModelTest, PredictedFrontierOrdersDevicesSensibly) {
+  // For a strongly GPU-friendly kernel the predicted top-performance
+  // configuration must be a GPU one.
+  const auto& c = characterization("LU-Large/lud");
+  const Prediction prediction = model_->predict(c.samples);
+  const hw::ConfigSpace space;
+  EXPECT_EQ(
+      space.at(prediction.frontier.best_performance().config_index).device,
+      hw::Device::Gpu);
+}
+
+TEST_F(ModelTest, SerializeParseRoundTripsPredictions) {
+  const std::string text = model_->serialize();
+  const TrainedModel restored = TrainedModel::parse(text);
+  EXPECT_EQ(restored.cluster_count(), model_->cluster_count());
+  const auto& c = characterization("CoMD-EAM/ComputeForce");
+  const Prediction a = model_->predict(c.samples);
+  const Prediction b = restored.predict(c.samples);
+  EXPECT_EQ(a.cluster, b.cluster);
+  ASSERT_EQ(a.per_config.size(), b.per_config.size());
+  for (std::size_t i = 0; i < a.per_config.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_config[i].power_w, b.per_config[i].power_w);
+    EXPECT_DOUBLE_EQ(a.per_config[i].performance,
+                     b.per_config[i].performance);
+  }
+}
+
+TEST_F(ModelTest, SaveLoadFile) {
+  const std::string path = ::testing::TempDir() + "/acsel_model.txt";
+  model_->save(path);
+  const TrainedModel loaded = TrainedModel::load(path);
+  EXPECT_EQ(loaded.cluster_count(), model_->cluster_count());
+  EXPECT_THROW(TrainedModel::load("/nonexistent/model.txt"), Error);
+}
+
+TEST_F(ModelTest, ParseRejectsGarbage) {
+  EXPECT_THROW(TrainedModel::parse(""), Error);
+  EXPECT_THROW(TrainedModel::parse("not-a-model\n"), Error);
+  EXPECT_THROW(TrainedModel::parse("acsel-model v1\nclusters 0\ntree\n"),
+               Error);
+}
+
+TEST_F(ModelTest, TrainRejectsTooFewKernels) {
+  std::vector<KernelCharacterization> few(characterizations_->begin(),
+                                          characterizations_->begin() + 3);
+  TrainerOptions options;
+  options.clusters = 5;
+  EXPECT_THROW(train(few, options), Error);
+}
+
+TEST_F(ModelTest, VarianceStabilizingTransformTrains) {
+  // The §VI extension must train and predict without blowing up.
+  TrainerOptions options;
+  options.transform = linalg::ResponseTransform::Log1p;
+  const TrainedModel model = train(*characterizations_, options);
+  const auto& c = characterization("LU-Small/lud");
+  const Prediction prediction = model.predict(c.samples);
+  for (const auto& estimate : prediction.per_config) {
+    EXPECT_TRUE(std::isfinite(estimate.power_w));
+    EXPECT_TRUE(std::isfinite(estimate.performance));
+    EXPECT_GT(estimate.power_w, 0.0);
+  }
+}
+
+TEST_F(ModelTest, SingleClusterModelStillWorks) {
+  TrainerOptions options;
+  options.clusters = 1;
+  TrainingReport report;
+  const TrainedModel model = train(*characterizations_, options, &report);
+  EXPECT_EQ(model.cluster_count(), 1u);
+  EXPECT_DOUBLE_EQ(report.tree_training_accuracy, 1.0);  // trivial tree
+  const auto& c = characterization("SMC-Default/ChemistryRates");
+  EXPECT_EQ(model.classify(c.samples), 0u);
+}
+
+}  // namespace
+}  // namespace acsel::core

@@ -1,0 +1,159 @@
+// Tests for the counter-based power estimator and the regression
+// inference extensions (coefficient standard errors / t-statistics).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/power_estimator.h"
+#include "eval/characterize.h"
+#include "linalg/regression.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workloads/suite.h"
+
+namespace acsel::core {
+namespace {
+
+class PowerEstimatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new soc::Machine{soc::MachineSpec{}, 1212};
+    const auto suite = workloads::Suite::standard();
+    train_ = new std::vector<profile::KernelRecord>{};
+    test_ = new std::vector<profile::KernelRecord>{};
+    // Characterize a slice of the suite; split records into train/test.
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < suite.size(); i += 3) {
+      const auto c =
+          eval::characterize_instance(*machine_, suite.instances()[i]);
+      for (const auto& record : c.per_config) {
+        (++index % 5 == 0 ? *test_ : *train_).push_back(record);
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete test_;
+    delete train_;
+    delete machine_;
+  }
+  static soc::Machine* machine_;
+  static std::vector<profile::KernelRecord>* train_;
+  static std::vector<profile::KernelRecord>* test_;
+};
+
+soc::Machine* PowerEstimatorTest::machine_ = nullptr;
+std::vector<profile::KernelRecord>* PowerEstimatorTest::train_ = nullptr;
+std::vector<profile::KernelRecord>* PowerEstimatorTest::test_ = nullptr;
+
+TEST_F(PowerEstimatorTest, FitsWithGoodR2) {
+  const auto estimator = PowerEstimator::fit(*train_);
+  EXPECT_GT(estimator.cpu_r_squared(), 0.8);
+  EXPECT_GT(estimator.nbgpu_r_squared(), 0.8);
+}
+
+TEST_F(PowerEstimatorTest, HeldOutMapeIsSmall) {
+  const auto estimator = PowerEstimator::fit(*train_);
+  EXPECT_LT(estimator.mape(*test_), 12.0);
+}
+
+TEST_F(PowerEstimatorTest, EstimatesBothDomainsPositively) {
+  const auto estimator = PowerEstimator::fit(*train_);
+  for (const auto& record : *test_) {
+    const auto estimate = estimator.estimate(record);
+    EXPECT_GT(estimate.cpu_w, 0.0);
+    EXPECT_GT(estimate.nbgpu_w, 0.0);
+    EXPECT_LT(estimate.total(), 150.0);
+  }
+}
+
+TEST_F(PowerEstimatorTest, GpuRecordsShiftPowerToNbGpuDomain) {
+  const auto estimator = PowerEstimator::fit(*train_);
+  double cpu_dom = 0.0;
+  double gpu_dom = 0.0;
+  std::size_t cpu_n = 0;
+  std::size_t gpu_n = 0;
+  for (const auto& record : *test_) {
+    const auto estimate = estimator.estimate(record);
+    if (record.config.device == hw::Device::Cpu) {
+      cpu_dom += estimate.cpu_w / estimate.total();
+      ++cpu_n;
+    } else {
+      gpu_dom += estimate.nbgpu_w / estimate.total();
+      ++gpu_n;
+    }
+  }
+  ASSERT_GT(cpu_n, 0u);
+  ASSERT_GT(gpu_n, 0u);
+  EXPECT_GT(cpu_dom / static_cast<double>(cpu_n), 0.35);
+  EXPECT_GT(gpu_dom / static_cast<double>(gpu_n), 0.6);
+}
+
+TEST_F(PowerEstimatorTest, UnfittedAndTooFewRecordsRejected) {
+  const PowerEstimator empty;
+  EXPECT_THROW(empty.estimate(train_->front()), Error);
+  std::vector<profile::KernelRecord> few(train_->begin(),
+                                         train_->begin() + 5);
+  EXPECT_THROW(PowerEstimator::fit(few), Error);
+  const auto estimator = PowerEstimator::fit(*train_);
+  EXPECT_THROW(estimator.mape({}), Error);
+}
+
+// ------------------------------------------- regression inference (§VI) --
+
+TEST(RegressionInference, StandardErrorsMatchClosedForm) {
+  // Simple regression y = a + b x: se(b) = s / sqrt(Sxx).
+  Rng rng{99};
+  const std::size_t n = 200;
+  linalg::Matrix x{n, 1};
+  std::vector<double> y(n);
+  double sxx = 0.0;
+  double mean_x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0.0, 10.0);
+    mean_x += x(i, 0);
+    y[i] = 2.0 + 3.0 * x(i, 0) + rng.normal(0.0, 1.0);
+  }
+  mean_x /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (x(i, 0) - mean_x) * (x(i, 0) - mean_x);
+  }
+  const auto model = linalg::LinearModel::fit(x, y);
+  ASSERT_EQ(model.coefficient_stddev().size(), 1u);
+  const double expected_se = model.residual_stddev() / std::sqrt(sxx);
+  EXPECT_NEAR(model.coefficient_stddev()[0], expected_se,
+              0.1 * expected_se);
+  EXPECT_GT(model.intercept_stddev(), 0.0);
+}
+
+TEST(RegressionInference, StrongSlopeHasLargeTStatistic) {
+  Rng rng{7};
+  const std::size_t n = 150;
+  linalg::Matrix x{n, 2};
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0.0, 1.0);   // strong predictor
+    x(i, 1) = rng.uniform(0.0, 1.0);   // pure noise column
+    y[i] = 5.0 * x(i, 0) + rng.normal(0.0, 0.3);
+  }
+  const auto model = linalg::LinearModel::fit(x, y);
+  EXPECT_GT(std::abs(model.t_statistic(0)), 10.0);
+  EXPECT_LT(std::abs(model.t_statistic(1)), 4.0);
+  EXPECT_THROW(model.t_statistic(2), acsel::Error);
+}
+
+TEST(RegressionInference, ParsedModelReportsZeroT) {
+  linalg::Matrix x{4, 1};
+  x(0, 0) = 1;
+  x(1, 0) = 2;
+  x(2, 0) = 3;
+  x(3, 0) = 5;
+  const std::vector<double> y{2.1, 3.9, 6.2, 9.8};
+  const auto model = linalg::LinearModel::fit(x, y);
+  EXPECT_NE(model.t_statistic(0), 0.0);
+  const auto parsed = linalg::LinearModel::parse(model.serialize());
+  EXPECT_EQ(parsed.t_statistic(0), 0.0);  // SEs are not serialized
+}
+
+}  // namespace
+}  // namespace acsel::core

@@ -1,0 +1,219 @@
+// Tests for bootstrap confidence intervals, the DRAM power domain, and
+// execution-trace recording.
+#include <gtest/gtest.h>
+
+#include "eval/bootstrap.h"
+#include "hw/config_space.h"
+#include "soc/freq_limiter.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel::eval {
+namespace {
+
+CaseResult make_case(const std::string& instance, bool under, double perf,
+                     double power) {
+  CaseResult c;
+  c.instance_id = instance;
+  c.benchmark = "b";
+  c.group = "g";
+  c.weight = 1.0;
+  c.method = Method::Model;
+  c.cap_w = 20.0;
+  c.under_limit = under;
+  c.perf_vs_oracle = perf;
+  c.power_vs_oracle = power;
+  return c;
+}
+
+std::vector<CaseResult> synthetic_cases(std::size_t kernels,
+                                        std::size_t per_kernel) {
+  std::vector<CaseResult> cases;
+  for (std::size_t k = 0; k < kernels; ++k) {
+    for (std::size_t i = 0; i < per_kernel; ++i) {
+      const bool under = (k + i) % 3 != 0;  // ~2/3 under-limit
+      cases.push_back(make_case("kernel" + std::to_string(k), under,
+                                under ? 0.8 + 0.01 * static_cast<double>(k)
+                                      : 1.3,
+                                under ? 0.9 : 1.15));
+    }
+  }
+  return cases;
+}
+
+TEST(Bootstrap, IntervalContainsPointEstimate) {
+  const auto cases = synthetic_cases(12, 8);
+  const auto result = bootstrap_method(cases, Method::Model);
+  EXPECT_GE(result.pct_under_limit.point, result.pct_under_limit.lo);
+  EXPECT_LE(result.pct_under_limit.point, result.pct_under_limit.hi);
+  EXPECT_GE(result.under_perf_pct.point, result.under_perf_pct.lo);
+  EXPECT_LE(result.under_perf_pct.point, result.under_perf_pct.hi);
+  EXPECT_EQ(result.replicates, BootstrapOptions{}.replicates);
+}
+
+TEST(Bootstrap, DeterministicForSameSeed) {
+  const auto cases = synthetic_cases(10, 6);
+  const auto a = bootstrap_method(cases, Method::Model);
+  const auto b = bootstrap_method(cases, Method::Model);
+  EXPECT_DOUBLE_EQ(a.pct_under_limit.lo, b.pct_under_limit.lo);
+  EXPECT_DOUBLE_EQ(a.under_perf_pct.hi, b.under_perf_pct.hi);
+}
+
+TEST(Bootstrap, HomogeneousDataGivesTightIntervals) {
+  // Identical kernels -> every replicate aggregates the same values.
+  std::vector<CaseResult> cases;
+  for (int k = 0; k < 8; ++k) {
+    cases.push_back(
+        make_case("k" + std::to_string(k), true, 0.9, 0.95));
+  }
+  const auto result = bootstrap_method(cases, Method::Model);
+  EXPECT_NEAR(result.pct_under_limit.hi - result.pct_under_limit.lo, 0.0,
+              1e-9);
+  EXPECT_NEAR(result.under_perf_pct.hi - result.under_perf_pct.lo, 0.0,
+              1e-9);
+}
+
+TEST(Bootstrap, HeterogeneousKernelsWidenTheInterval) {
+  // Two kernel populations with very different under-limit performance.
+  std::vector<CaseResult> cases;
+  for (int k = 0; k < 6; ++k) {
+    cases.push_back(make_case("good" + std::to_string(k), true, 1.0, 0.9));
+    cases.push_back(make_case("bad" + std::to_string(k), true, 0.2, 0.9));
+  }
+  const auto result = bootstrap_method(cases, Method::Model);
+  EXPECT_GT(result.under_perf_pct.hi - result.under_perf_pct.lo, 5.0);
+}
+
+TEST(Bootstrap, ValidatesInputs) {
+  const auto cases = synthetic_cases(1, 5);  // single kernel: rejected
+  EXPECT_THROW(bootstrap_method(cases, Method::Model), Error);
+  BootstrapOptions bad;
+  bad.replicates = 3;
+  EXPECT_THROW(
+      bootstrap_method(synthetic_cases(5, 5), Method::Model, bad), Error);
+}
+
+}  // namespace
+}  // namespace acsel::eval
+
+namespace acsel::soc {
+namespace {
+
+KernelCharacteristics mem_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 0.8;
+  k.bytes_per_flop = 1.8;
+  k.parallel_fraction = 0.97;
+  return k;
+}
+
+// ---------------------------------------------------- DRAM power domain --
+
+TEST(DramPower, OffByDefault) {
+  Machine machine;
+  const hw::ConfigSpace space;
+  const auto state = machine.analytic(mem_kernel(), space.cpu_sample());
+  EXPECT_EQ(state.dram_power_w, 0.0);
+  EXPECT_DOUBLE_EQ(state.system_power_w(), state.total_power_w());
+}
+
+TEST(DramPower, TracksTrafficWhenEnabled) {
+  MachineSpec spec;
+  spec.model_dram_power = true;
+  Machine machine{spec, 1};
+  const hw::ConfigSpace space;
+  const auto mem = machine.analytic(mem_kernel(), space.cpu_sample());
+  KernelCharacteristics compute = mem_kernel();
+  compute.bytes_per_flop = 0.05;
+  const auto cpu = machine.analytic(compute, space.cpu_sample());
+  EXPECT_GT(mem.dram_power_w, spec.dram_background_w);
+  EXPECT_GT(mem.dram_power_w, cpu.dram_power_w);
+  EXPECT_NEAR(mem.dram_power_w,
+              spec.dram_background_w + spec.dram_w_per_gbs * mem.dram_gbs,
+              1e-9);
+  EXPECT_GT(mem.system_power_w(), mem.total_power_w());
+}
+
+TEST(DramPower, RunAccumulatesDramEnergy) {
+  MachineSpec spec;
+  spec.model_dram_power = true;
+  Machine machine{spec, 2};
+  const hw::ConfigSpace space;
+  const auto result = machine.run(mem_kernel(), space.cpu_sample());
+  const auto truth = machine.analytic(mem_kernel(), space.cpu_sample());
+  EXPECT_NEAR(result.avg_dram_power_w / truth.dram_power_w, 1.0, 0.03);
+}
+
+TEST(DramPower, MemoryPowerIsVolatileAcrossKernels) {
+  // §VI's motivation: "memory power is more volatile than network power"
+  // — DRAM power must vary strongly across kernels/configs.
+  MachineSpec spec;
+  spec.model_dram_power = true;
+  Machine machine{spec, 3};
+  const auto suite = workloads::Suite::standard();
+  const hw::ConfigSpace space;
+  double lo = 1e300;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < suite.size(); i += 5) {
+    const auto s = machine.analytic(suite.instances()[i].traits,
+                                    space.cpu_sample());
+    lo = std::min(lo, s.dram_power_w);
+    hi = std::max(hi, s.dram_power_w);
+  }
+  EXPECT_GT(hi / lo, 1.6);
+}
+
+// ---------------------------------------------------------------- trace --
+
+TEST(Trace, EmptyUnlessEnabled) {
+  Machine machine;
+  const hw::ConfigSpace space;
+  const auto result = machine.run(mem_kernel(), space.cpu_sample());
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(Trace, OnePointPerTickWithSaneContents) {
+  MachineSpec spec;
+  spec.record_trace = true;
+  spec.model_dram_power = true;
+  Machine machine{spec, 4};
+  const hw::ConfigSpace space;
+  const auto config = space.cpu_sample();
+  const auto result = machine.run(mem_kernel(), config);
+  ASSERT_FALSE(result.trace.empty());
+  // One point per ~1 ms tick.
+  EXPECT_NEAR(static_cast<double>(result.trace.size()), result.time_ms,
+              2.0);
+  double last_t = 0.0;
+  for (const auto& point : result.trace) {
+    EXPECT_GT(point.t_ms, last_t);
+    last_t = point.t_ms;
+    EXPECT_GT(point.cpu_w, 0.0);
+    EXPECT_GT(point.nbgpu_w, 0.0);
+    EXPECT_GT(point.dram_w, 0.0);
+    EXPECT_GE(point.temperature_c, machine.spec().thermal.ambient_c - 1.0);
+    EXPECT_EQ(point.cpu_pstate, config.cpu_pstate);
+    EXPECT_FALSE(point.boosted);
+  }
+}
+
+TEST(Trace, RecordsGovernorPStateChanges) {
+  MachineSpec spec;
+  spec.record_trace = true;
+  Machine machine{spec, 5};
+  const hw::ConfigSpace space;
+  auto k = mem_kernel();
+  k.work_gflop = 4.0;
+  soc::LimiterOptions options;
+  options.cap_w = 16.0;  // forces downclocking from the sample config
+  options.controlled = hw::Device::Cpu;
+  soc::FrequencyLimiter limiter{options};
+  const auto result = machine.run(k, space.cpu_sample(), &limiter);
+  ASSERT_GT(result.config_switches, 0u);
+  EXPECT_GT(result.trace.front().cpu_pstate,
+            result.trace.back().cpu_pstate);
+}
+
+}  // namespace
+}  // namespace acsel::soc

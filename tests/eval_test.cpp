@@ -1,0 +1,226 @@
+// Tests for the evaluation harness: oracle construction, the four
+// power-limiting methods, metric aggregation, and a full LOOCV run whose
+// aggregate shape must match the paper's Table III qualitatively.
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "eval/metrics.h"
+#include "eval/methods.h"
+#include "eval/oracle.h"
+#include "eval/protocol.h"
+#include "eval/tables.h"
+#include "hw/config_space.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel::eval {
+namespace {
+
+// ---------------------------------------------------------------- oracle --
+
+class OracleTest : public ::testing::Test {
+ protected:
+  soc::Machine machine_{soc::MachineSpec{}, 5150};
+  workloads::Suite suite_ = workloads::Suite::standard();
+  hw::ConfigSpace space_;
+};
+
+TEST_F(OracleTest, FrontierAndConstraintsConsistent) {
+  const auto& instance = suite_.instance("LULESH-Large/CalcFBHourglassForce");
+  const Oracle oracle = build_oracle(machine_, instance);
+  EXPECT_EQ(oracle.power_w.size(), space_.size());
+  const auto caps = oracle.constraints();
+  EXPECT_EQ(caps.size(), oracle.frontier.size());
+  // At each constraint the oracle achieves exactly that frontier point.
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const auto point = oracle.best_under(caps[i]);
+    EXPECT_DOUBLE_EQ(point.power_w, caps[i]);
+    EXPECT_DOUBLE_EQ(point.performance,
+                     oracle.frontier.points()[i].performance);
+  }
+}
+
+TEST_F(OracleTest, CapBelowFrontierThrows) {
+  const auto& instance = suite_.instance("LU-Small/lud");
+  const Oracle oracle = build_oracle(machine_, instance);
+  EXPECT_THROW(oracle.best_under(1.0), Error);
+}
+
+// --------------------------------------------------------------- methods --
+
+class MethodsTest : public ::testing::Test {
+ protected:
+  soc::Machine machine_{soc::MachineSpec{}, 616};
+  workloads::Suite suite_ = workloads::Suite::standard();
+  hw::ConfigSpace space_;
+};
+
+TEST_F(MethodsTest, CpuFlStaysOnCpuAndMeetsMidCap) {
+  const auto& instance = suite_.instance("LULESH-Large/CalcEnergyForElems");
+  const Oracle oracle = build_oracle(machine_, instance);
+  const double cap = oracle.constraints()[oracle.constraints().size() / 2];
+  const auto outcome =
+      run_method(machine_, instance, Method::CpuFL, cap, nullptr);
+  EXPECT_EQ(outcome.final_config.device, hw::Device::Cpu);
+  EXPECT_EQ(outcome.final_config.threads, hw::kCpuCores);  // §V-A
+}
+
+TEST_F(MethodsTest, GpuFlStaysOnGpuAndViolatesLowCaps) {
+  const auto& instance = suite_.instance("LULESH-Small/CalcForceForNodes");
+  const Oracle oracle = build_oracle(machine_, instance);
+  const double low_cap = oracle.constraints().front();  // CPU-only regime
+  const auto outcome =
+      run_method(machine_, instance, Method::GpuFL, low_cap, nullptr);
+  EXPECT_EQ(outcome.final_config.device, hw::Device::Gpu);
+  EXPECT_FALSE(outcome.under_limit);  // the GPU cannot reach CPU-low power
+}
+
+TEST_F(MethodsTest, ModelMethodsRequirePrediction) {
+  const auto& instance = suite_.instance("LU-Medium/lud");
+  EXPECT_THROW(
+      run_method(machine_, instance, Method::Model, 20.0, nullptr), Error);
+  EXPECT_THROW(
+      run_method(machine_, instance, Method::ModelFL, 20.0, nullptr),
+      Error);
+}
+
+TEST_F(MethodsTest, MethodNamesAndList) {
+  EXPECT_STREQ(to_string(Method::ModelFL), "Model+FL");
+  EXPECT_EQ(all_methods().size(), 4u);
+}
+
+// --------------------------------------------------------------- metrics --
+
+CaseResult make_case(Method method, const std::string& group, double weight,
+                     bool under, double perf, double power) {
+  CaseResult c;
+  c.instance_id = "k";
+  c.benchmark = "b";
+  c.group = group;
+  c.weight = weight;
+  c.method = method;
+  c.cap_w = 20.0;
+  c.under_limit = under;
+  c.perf_vs_oracle = perf;
+  c.power_vs_oracle = power;
+  return c;
+}
+
+TEST(Metrics, AggregateSplitsUnderAndOver) {
+  std::vector<CaseResult> cases{
+      make_case(Method::Model, "g", 1.0, true, 0.9, 0.95),
+      make_case(Method::Model, "g", 1.0, true, 0.7, 0.85),
+      make_case(Method::Model, "g", 2.0, false, 1.5, 1.2),
+      make_case(Method::CpuFL, "g", 1.0, true, 0.5, 0.9),  // other method
+  };
+  const auto agg = aggregate_method(cases, Method::Model);
+  EXPECT_EQ(agg.case_count, 3u);
+  EXPECT_NEAR(agg.pct_under_limit, 100.0 * 2.0 / 4.0, 1e-9);
+  EXPECT_NEAR(agg.under_perf_pct, 100.0 * (0.9 + 0.7) / 2.0, 1e-9);
+  EXPECT_NEAR(agg.over_perf_pct, 150.0, 1e-9);
+  EXPECT_NEAR(agg.over_power_pct, 120.0, 1e-9);
+}
+
+TEST(Metrics, WeightsShiftTheAverage) {
+  std::vector<CaseResult> cases{
+      make_case(Method::Model, "g", 9.0, true, 1.0, 1.0),
+      make_case(Method::Model, "g", 1.0, true, 0.0, 1.0),
+  };
+  const auto agg = aggregate_method(cases, Method::Model);
+  EXPECT_NEAR(agg.under_perf_pct, 90.0, 1e-9);
+}
+
+TEST(Metrics, GroupFilterIsolatesBenchmarks) {
+  std::vector<CaseResult> cases{
+      make_case(Method::Model, "LU Small", 1.0, true, 0.5, 1.0),
+      make_case(Method::Model, "SMC Default", 1.0, true, 1.0, 1.0),
+  };
+  const auto lu = aggregate_method_group(cases, Method::Model, "LU Small");
+  EXPECT_EQ(lu.case_count, 1u);
+  EXPECT_NEAR(lu.under_perf_pct, 50.0, 1e-9);
+  const auto none = aggregate_method_group(cases, Method::Model, "absent");
+  EXPECT_EQ(none.case_count, 0u);
+  EXPECT_DOUBLE_EQ(none.pct_under_limit, 0.0);
+}
+
+// ------------------------------------------------ full LOOCV shape check --
+
+class LoocvTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    soc::Machine machine{soc::MachineSpec{}, 90210};
+    const auto suite = workloads::Suite::standard();
+    result_ = new EvaluationResult{run_loocv(machine, suite)};
+    std::cout << "\n--- LOOCV Table III (for inspection) ---\n";
+    table3(*result_).print(std::cout);
+  }
+  static void TearDownTestSuite() { delete result_; }
+  static EvaluationResult* result_;
+};
+
+EvaluationResult* LoocvTest::result_ = nullptr;
+
+TEST_F(LoocvTest, EveryMethodHasCasesAndSaneRanges) {
+  for (const Method method : all_methods()) {
+    const auto agg = aggregate_method(result_->cases, method);
+    EXPECT_GT(agg.case_count, 100u) << to_string(method);
+    EXPECT_GE(agg.pct_under_limit, 0.0);
+    EXPECT_LE(agg.pct_under_limit, 100.0);
+    EXPECT_GT(agg.under_perf_pct, 0.0);
+    EXPECT_LE(agg.under_perf_pct, 115.0)
+        << to_string(method)
+        << ": under-limit cases cannot beat the oracle by much";
+  }
+}
+
+TEST_F(LoocvTest, TableIIIShapeHolds) {
+  const auto model = aggregate_method(result_->cases, Method::Model);
+  const auto model_fl = aggregate_method(result_->cases, Method::ModelFL);
+  const auto cpu_fl = aggregate_method(result_->cases, Method::CpuFL);
+  const auto gpu_fl = aggregate_method(result_->cases, Method::GpuFL);
+
+  // Frequency limiting makes the model respect caps more often
+  // (paper: 70% -> 88%).
+  EXPECT_GT(model_fl.pct_under_limit, model.pct_under_limit);
+  // Model+FL meets constraints more often than GPU+FL (88% vs 60%).
+  EXPECT_GT(model_fl.pct_under_limit, gpu_fl.pct_under_limit + 5.0);
+  // Model+FL keeps most of the oracle's performance (91%).
+  EXPECT_GT(model_fl.under_perf_pct, 70.0);
+  // CPU+FL sacrifices much more performance than Model+FL (69% vs 91%).
+  EXPECT_GT(model_fl.under_perf_pct, cpu_fl.under_perf_pct + 5.0);
+  // When GPU+FL blows the cap it blows it hard, with outsized performance
+  // (paper: 137% power, 1723% performance).
+  EXPECT_GT(gpu_fl.over_perf_pct, 200.0);
+  EXPECT_GT(gpu_fl.over_power_pct, model_fl.over_power_pct);
+}
+
+TEST_F(LoocvTest, ModelMeetsMostConstraints) {
+  const auto model_fl = aggregate_method(result_->cases, Method::ModelFL);
+  EXPECT_GT(model_fl.pct_under_limit, 65.0);
+}
+
+TEST_F(LoocvTest, GpuFlOverLimitPerfExplodesOnLu) {
+  // Fig. 9: the clipped bars — GPU+FL on LU reaches many times oracle
+  // performance in over-limit cases.
+  const auto lu_large =
+      aggregate_method_group(result_->cases, Method::GpuFL, "LU Large");
+  if (lu_large.case_count > 0 && lu_large.pct_under_limit < 100.0) {
+    EXPECT_GT(lu_large.over_perf_pct, 300.0);
+  }
+}
+
+TEST_F(LoocvTest, TablesRenderNonEmpty) {
+  EXPECT_EQ(table3(*result_).row_count(), 4u);
+  EXPECT_EQ(fig4_points(*result_).row_count(), 4u);
+  const auto fig5 = per_group_table(*result_, GroupMetric::UnderLimitPerfPct);
+  EXPECT_EQ(fig5.row_count(), result_->groups.size());
+  const auto fig6 = per_group_table(*result_, GroupMetric::PctUnderLimit);
+  EXPECT_EQ(fig6.row_count(), result_->groups.size());
+}
+
+}  // namespace
+}  // namespace acsel::eval

@@ -1,0 +1,208 @@
+// Tests for the configuration space: P-state tables, canonical form,
+// enumeration, sample configurations, and limiter stepping.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hw/config.h"
+#include "hw/config_space.h"
+#include "hw/pstate.h"
+#include "util/error.h"
+
+namespace acsel::hw {
+namespace {
+
+TEST(PStates, CpuTableMatchesPaper) {
+  const auto table = cpu_pstates();
+  ASSERT_EQ(table.size(), kCpuPStateCount);
+  EXPECT_DOUBLE_EQ(table.front().freq_ghz, 1.4);  // §IV-A: 1.4 to 3.7 GHz
+  EXPECT_DOUBLE_EQ(table.back().freq_ghz, 3.7);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GT(table[i].freq_ghz, table[i - 1].freq_ghz);
+    EXPECT_GT(table[i].voltage, table[i - 1].voltage);
+  }
+}
+
+TEST(PStates, GpuTableMatchesPaper) {
+  const auto table = gpu_pstates();
+  ASSERT_EQ(table.size(), kGpuPStateCount);  // §IV-A: 311, 649, 819 MHz
+  EXPECT_DOUBLE_EQ(table[0].freq_mhz, 311.0);
+  EXPECT_DOUBLE_EQ(table[1].freq_mhz, 649.0);
+  EXPECT_DOUBLE_EQ(table[2].freq_mhz, 819.0);
+}
+
+TEST(PStates, Names) {
+  EXPECT_EQ(cpu_pstate_name(0), "1.4 GHz");
+  EXPECT_EQ(cpu_pstate_name(5), "3.7 GHz");
+  EXPECT_EQ(gpu_pstate_name(0), "311 MHz");
+  EXPECT_THROW(cpu_pstate_name(6), Error);
+  EXPECT_THROW(gpu_pstate_name(3), Error);
+}
+
+TEST(PStates, Topology) {
+  EXPECT_EQ(kCpuCores, 4);       // two dual-core PileDriver modules
+  EXPECT_EQ(kCpuModules, 2);
+  EXPECT_EQ(kGpuCores, 384);     // §IV-A
+}
+
+TEST(Config, ActiveModulesCompact) {
+  Configuration c;
+  c.device = Device::Cpu;
+  c.mapping = CoreMapping::Compact;
+  c.threads = 1;
+  EXPECT_EQ(c.active_modules(), 1);
+  EXPECT_FALSE(c.has_shared_module());
+  c.threads = 2;
+  EXPECT_EQ(c.active_modules(), 1);
+  EXPECT_TRUE(c.has_shared_module());
+  c.threads = 3;
+  EXPECT_EQ(c.active_modules(), 2);
+  c.threads = 4;
+  EXPECT_EQ(c.active_modules(), 2);
+  EXPECT_TRUE(c.has_shared_module());
+}
+
+TEST(Config, ActiveModulesScatter) {
+  Configuration c;
+  c.device = Device::Cpu;
+  c.mapping = CoreMapping::Scatter;
+  c.threads = 2;
+  EXPECT_EQ(c.active_modules(), 2);
+  EXPECT_FALSE(c.has_shared_module());  // one thread per module
+  c.threads = 3;
+  EXPECT_EQ(c.active_modules(), 2);
+  EXPECT_TRUE(c.has_shared_module());   // third thread doubles up
+}
+
+TEST(Config, ValidationRejectsNonCanonicalForms) {
+  Configuration c;
+  c.device = Device::Cpu;
+  c.threads = 1;
+  c.mapping = CoreMapping::Scatter;  // indistinct from compact at 1 thread
+  EXPECT_THROW(c.validate(), Error);
+
+  Configuration g;
+  g.device = Device::Gpu;
+  g.threads = 2;  // GPU device uses exactly one host thread
+  EXPECT_THROW(g.validate(), Error);
+
+  Configuration parked;
+  parked.device = Device::Cpu;
+  parked.gpu_pstate = 1;  // CPU device keeps GPU at minimum
+  EXPECT_THROW(parked.validate(), Error);
+}
+
+TEST(Config, ToStringIsHumanReadable) {
+  Configuration c;
+  c.device = Device::Cpu;
+  c.cpu_pstate = 2;
+  c.threads = 3;
+  c.mapping = CoreMapping::Scatter;
+  EXPECT_EQ(c.to_string(), "CPU 2.4 GHz x3 scatter (GPU 311 MHz)");
+
+  Configuration g;
+  g.device = Device::Gpu;
+  g.cpu_pstate = 5;
+  g.gpu_pstate = 2;
+  EXPECT_EQ(g.to_string(), "GPU 819 MHz (host CPU 3.7 GHz)");
+}
+
+TEST(ConfigSpace, SizeAndUniqueness) {
+  const ConfigSpace space;
+  EXPECT_EQ(space.size(), kConfigCount);
+  EXPECT_EQ(space.size(), 54u);
+  std::set<std::string> seen;
+  for (const auto& config : space.all()) {
+    EXPECT_NO_THROW(config.validate());
+    seen.insert(config.to_string());
+  }
+  EXPECT_EQ(seen.size(), space.size()) << "all configurations distinct";
+}
+
+TEST(ConfigSpace, IndexOfRoundTrips) {
+  const ConfigSpace space;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto found = space.index_of(space.at(i));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, i);
+  }
+}
+
+TEST(ConfigSpace, IndexOfMissingConfig) {
+  const ConfigSpace space;
+  Configuration odd;
+  odd.device = Device::Cpu;
+  odd.cpu_pstate = 0;
+  odd.threads = 1;
+  odd.mapping = CoreMapping::Scatter;  // non-canonical, never enumerated
+  EXPECT_FALSE(space.index_of(odd).has_value());
+}
+
+TEST(ConfigSpace, AtOutOfRangeThrows) {
+  const ConfigSpace space;
+  EXPECT_THROW(space.at(space.size()), Error);
+}
+
+TEST(ConfigSpace, DeviceBlocks) {
+  const ConfigSpace space;
+  const auto cpu = space.indices_for(Device::Cpu);
+  const auto gpu = space.indices_for(Device::Gpu);
+  EXPECT_EQ(cpu.size(), 36u);  // 6 P-states x 6 placements
+  EXPECT_EQ(gpu.size(), 18u);  // 3 GPU P-states x 6 host P-states
+  EXPECT_EQ(cpu.size() + gpu.size(), space.size());
+}
+
+TEST(ConfigSpace, SampleConfigsMatchTableII) {
+  const ConfigSpace space;
+  const Configuration cpu = space.cpu_sample();
+  EXPECT_EQ(cpu.device, Device::Cpu);
+  EXPECT_DOUBLE_EQ(cpu.cpu_freq_ghz(), 3.7);
+  EXPECT_EQ(cpu.threads, 4);
+  EXPECT_DOUBLE_EQ(cpu.gpu_freq_mhz(), 311.0);
+
+  const Configuration gpu = space.gpu_sample();
+  EXPECT_EQ(gpu.device, Device::Gpu);
+  EXPECT_DOUBLE_EQ(gpu.cpu_freq_ghz(), 3.7);
+  EXPECT_EQ(gpu.threads, 1);
+  EXPECT_DOUBLE_EQ(gpu.gpu_freq_mhz(), 819.0);
+
+  EXPECT_EQ(space.at(space.cpu_sample_index()), cpu);
+  EXPECT_EQ(space.at(space.gpu_sample_index()), gpu);
+}
+
+TEST(ConfigSpace, StepDownStopsAtFloor) {
+  const ConfigSpace space;
+  Configuration c = space.cpu_sample();
+  int steps = 0;
+  while (auto next = ConfigSpace::step_down(c, Device::Cpu)) {
+    c = *next;
+    ++steps;
+  }
+  EXPECT_EQ(steps, 5);
+  EXPECT_EQ(c.cpu_pstate, 0u);
+  EXPECT_FALSE(ConfigSpace::step_down(c, Device::Cpu).has_value());
+}
+
+TEST(ConfigSpace, StepUpStopsAtCeiling) {
+  const ConfigSpace space;
+  Configuration c = space.gpu_sample();
+  EXPECT_FALSE(ConfigSpace::step_up(c, Device::Gpu).has_value());
+  c.gpu_pstate = 0;
+  const auto up = ConfigSpace::step_up(c, Device::Gpu);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->gpu_pstate, 1u);
+}
+
+TEST(ConfigSpace, StepPreservesOtherFields) {
+  const ConfigSpace space;
+  const Configuration c = space.gpu_sample();
+  const auto down = ConfigSpace::step_down(c, Device::Gpu);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(down->device, c.device);
+  EXPECT_EQ(down->threads, c.threads);
+  EXPECT_EQ(down->cpu_pstate, c.cpu_pstate);
+  EXPECT_EQ(down->gpu_pstate, c.gpu_pstate - 1);
+}
+
+}  // namespace
+}  // namespace acsel::hw

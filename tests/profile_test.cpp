@@ -1,0 +1,163 @@
+// Tests for the profiling library: record bookkeeping, history queries,
+// and CSV persistence round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hw/config_space.h"
+#include "profile/profiler.h"
+#include "soc/freq_limiter.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel::profile {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  soc::Machine machine_{soc::MachineSpec{}, 2024};
+  Profiler profiler_{machine_};
+  workloads::Suite suite_ = workloads::Suite::standard();
+  hw::ConfigSpace space_;
+
+  const workloads::WorkloadInstance& hourglass() {
+    return suite_.instance("LULESH-Small/CalcFBHourglassForce");
+  }
+};
+
+TEST_F(ProfilerTest, RunAppendsRecordWithIdentity) {
+  const auto& record = profiler_.run(hourglass(), space_.cpu_sample());
+  EXPECT_EQ(record.benchmark, "LULESH");
+  EXPECT_EQ(record.input, "Small");
+  EXPECT_EQ(record.kernel, "CalcFBHourglassForce");
+  EXPECT_EQ(record.instance_id(), hourglass().id());
+  EXPECT_GT(record.time_ms, 0.0);
+  EXPECT_GT(record.total_power_w(), 5.0);
+  EXPECT_GT(record.counters.instructions, 0.0);
+  EXPECT_EQ(profiler_.size(), 1u);
+}
+
+TEST_F(ProfilerTest, HistoryPreservesExecutionOrder) {
+  profiler_.run(hourglass(), space_.cpu_sample());
+  profiler_.run(hourglass(), space_.gpu_sample());
+  ASSERT_EQ(profiler_.history().size(), 2u);
+  EXPECT_EQ(profiler_.history()[0].config.device, hw::Device::Cpu);
+  EXPECT_EQ(profiler_.history()[1].config.device, hw::Device::Gpu);
+}
+
+TEST_F(ProfilerTest, RecordsForFiltersByInstance) {
+  const auto& other = suite_.instance("LU-Small/lud");
+  profiler_.run(hourglass(), space_.cpu_sample());
+  profiler_.run(other, space_.cpu_sample());
+  profiler_.run(hourglass(), space_.gpu_sample());
+  EXPECT_EQ(profiler_.records_for(hourglass().id()).size(), 2u);
+  EXPECT_EQ(profiler_.records_for(other.id()).size(), 1u);
+  EXPECT_TRUE(profiler_.records_for("missing/missing").empty());
+}
+
+TEST_F(ProfilerTest, LatestReturnsMostRecentMatchingRun) {
+  profiler_.run(hourglass(), space_.cpu_sample());
+  const auto& second = profiler_.run(hourglass(), space_.cpu_sample());
+  const auto found =
+      profiler_.latest(hourglass().id(), space_.cpu_sample());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(found->time_ms, second.time_ms);
+  EXPECT_FALSE(
+      profiler_.latest(hourglass().id(), space_.gpu_sample()).has_value());
+}
+
+TEST_F(ProfilerTest, AggregateAveragesRepeatedRuns) {
+  for (int i = 0; i < 4; ++i) {
+    profiler_.run(hourglass(), space_.cpu_sample());
+  }
+  const auto agg =
+      profiler_.aggregate(hourglass().id(), space_.cpu_sample());
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->runs, 4u);
+  const auto truth = machine_.analytic(hourglass().traits,
+                                       space_.cpu_sample());
+  EXPECT_NEAR(agg->mean_time_ms / truth.time_ms, 1.0, 0.05);
+  EXPECT_NEAR(agg->mean_power_w / truth.total_power_w(), 1.0, 0.05);
+}
+
+TEST_F(ProfilerTest, GovernedRunRecordsFinalConfig) {
+  soc::LimiterOptions options;
+  options.cap_w = 15.0;  // forces throttling at the CPU sample config
+  options.controlled = hw::Device::Cpu;
+  soc::FrequencyLimiter limiter{options};
+  const auto& record =
+      profiler_.run(hourglass(), space_.cpu_sample(), &limiter);
+  EXPECT_LT(record.config.cpu_pstate, hw::kCpuMaxPState);
+}
+
+TEST_F(ProfilerTest, CsvRoundTripPreservesHistory) {
+  profiler_.run(hourglass(), space_.cpu_sample());
+  profiler_.run(suite_.instance("CoMD-LJ/ComputeForce"),
+                space_.gpu_sample());
+  std::ostringstream os;
+  profiler_.write_csv(os);
+
+  Profiler restored{machine_};
+  restored.load_csv(os.str());
+  ASSERT_EQ(restored.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& a = profiler_.history()[i];
+    const auto& b = restored.history()[i];
+    EXPECT_EQ(a.instance_id(), b.instance_id());
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_DOUBLE_EQ(a.time_ms, b.time_ms);
+    EXPECT_DOUBLE_EQ(a.cpu_power_w, b.cpu_power_w);
+    EXPECT_DOUBLE_EQ(a.counters.dram_accesses, b.counters.dram_accesses);
+  }
+}
+
+TEST_F(ProfilerTest, LoadCsvRejectsWrongHeader) {
+  EXPECT_THROW(profiler_.load_csv("a,b,c\n1,2,3\n"), Error);
+}
+
+TEST_F(ProfilerTest, ClearEmptiesHistory) {
+  profiler_.run(hourglass(), space_.cpu_sample());
+  profiler_.clear();
+  EXPECT_EQ(profiler_.size(), 0u);
+}
+
+TEST(RecordCsv, RowRoundTrip) {
+  KernelRecord r;
+  r.benchmark = "LULESH";
+  r.input = "Large";
+  r.kernel = "CalcEnergyForElems";
+  r.config.device = hw::Device::Gpu;
+  r.config.cpu_pstate = 3;
+  r.config.threads = 1;
+  r.config.gpu_pstate = 2;
+  r.time_ms = 12.25;
+  r.cpu_power_w = 4.5;
+  r.nbgpu_power_w = 21.75;
+  r.energy_j = 0.32;
+  r.counters.instructions = 1e9;
+  r.counters.dram_accesses = 5e6;
+  const auto row = to_csv_row(r);
+  ASSERT_EQ(row.size(), record_csv_header().size());
+  const KernelRecord back = from_csv_row(row);
+  EXPECT_EQ(back.config, r.config);
+  EXPECT_DOUBLE_EQ(back.time_ms, r.time_ms);
+  EXPECT_DOUBLE_EQ(back.counters.instructions, r.counters.instructions);
+}
+
+TEST(RecordCsv, RejectsMalformedRows) {
+  EXPECT_THROW(from_csv_row({"too", "short"}), Error);
+  KernelRecord r;
+  r.benchmark = "X";
+  r.input = "Y";
+  r.kernel = "Z";
+  r.time_ms = 1.0;
+  auto row = to_csv_row(r);
+  row[3] = "apu";  // bad device
+  EXPECT_THROW(from_csv_row(row), Error);
+  row = to_csv_row(r);
+  row[8] = "-5.0";  // negative time
+  EXPECT_THROW(from_csv_row(row), Error);
+}
+
+}  // namespace
+}  // namespace acsel::profile

@@ -1,0 +1,127 @@
+// Suite-wide property sweeps: invariants that must hold for every one of
+// the 65 kernel instances — oracle structure, prediction sanity, and
+// method-outcome physicality. One shared characterization/training pass
+// keeps the sweep fast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "eval/methods.h"
+#include "eval/oracle.h"
+#include "hw/config_space.h"
+#include "soc/machine.h"
+#include "workloads/suite.h"
+
+namespace acsel {
+namespace {
+
+class SuiteSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new soc::Machine{soc::MachineSpec{}, 24601};
+    suite_ = new workloads::Suite{workloads::Suite::standard()};
+    characterizations_ = new std::vector<core::KernelCharacterization>{
+        eval::characterize(*machine_, *suite_)};
+    model_ = new core::TrainedModel{core::train(*characterizations_)};
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete characterizations_;
+    delete suite_;
+    delete machine_;
+  }
+  static soc::Machine* machine_;
+  static workloads::Suite* suite_;
+  static std::vector<core::KernelCharacterization>* characterizations_;
+  static core::TrainedModel* model_;
+};
+
+soc::Machine* SuiteSweep::machine_ = nullptr;
+workloads::Suite* SuiteSweep::suite_ = nullptr;
+std::vector<core::KernelCharacterization>* SuiteSweep::characterizations_ =
+    nullptr;
+core::TrainedModel* SuiteSweep::model_ = nullptr;
+
+TEST_P(SuiteSweep, OracleFrontierIsWellFormed) {
+  const auto& instance = suite_->instances()[GetParam()];
+  const eval::Oracle oracle = eval::build_oracle(*machine_, instance);
+  const hw::ConfigSpace space;
+  ASSERT_GE(oracle.frontier.size(), 3u) << instance.id();
+  // Strictly increasing in both axes along the frontier.
+  const auto& points = oracle.frontier.points();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].power_w, points[i - 1].power_w);
+    EXPECT_GT(points[i].performance, points[i - 1].performance);
+  }
+  // The frontier's low-power end is always a CPU configuration on this
+  // machine (the GPU plane cannot be fully powered off, Fig. 2).
+  EXPECT_EQ(space.at(points.front().config_index).device, hw::Device::Cpu)
+      << instance.id();
+  // Power levels stay within the chip's physical envelope.
+  EXPECT_GT(points.front().power_w, 8.0);
+  EXPECT_LT(points.back().power_w, 100.0);
+}
+
+TEST_P(SuiteSweep, PredictionIsSaneForEveryKernel) {
+  const auto& characterization = (*characterizations_)[GetParam()];
+  const core::Prediction prediction =
+      model_->predict(characterization.samples);
+  EXPECT_LT(prediction.cluster, model_->cluster_count());
+  EXPECT_GE(prediction.frontier.size(), 2u);
+  for (const auto& estimate : prediction.per_config) {
+    EXPECT_TRUE(std::isfinite(estimate.power_w));
+    EXPECT_TRUE(std::isfinite(estimate.performance));
+    EXPECT_GT(estimate.power_w, 0.0);
+    EXPECT_LT(estimate.power_w, 200.0);
+    EXPECT_GT(estimate.performance, 0.0);
+  }
+  // Predicted power at the measured sample configurations should be in
+  // the right ballpark (the model saw these powers as features).
+  const hw::ConfigSpace space;
+  const double predicted_cpu_sample =
+      prediction.per_config[space.cpu_sample_index()].power_w;
+  const double measured_cpu_sample =
+      characterization.samples.cpu.total_power_w();
+  EXPECT_NEAR(predicted_cpu_sample / measured_cpu_sample, 1.0, 0.5)
+      << characterization.instance_id;
+}
+
+TEST_P(SuiteSweep, MethodOutcomesRespectStructuralConstraints) {
+  const auto& instance = suite_->instances()[GetParam()];
+  const auto& characterization = (*characterizations_)[GetParam()];
+  const eval::Oracle oracle = eval::build_oracle(*machine_, instance);
+  const auto caps = oracle.constraints();
+  const double cap = caps[caps.size() / 2];
+  const core::Prediction prediction =
+      model_->predict(characterization.samples);
+  eval::MethodOptions fast;
+  fast.warm_iterations = 2;
+
+  for (const auto method : eval::all_methods()) {
+    const auto outcome = eval::run_method(*machine_, instance, method, cap,
+                                          &prediction, fast);
+    EXPECT_GT(outcome.measured_power_w, 5.0) << to_string(method);
+    EXPECT_LT(outcome.measured_power_w, 120.0) << to_string(method);
+    EXPECT_GT(outcome.measured_performance, 0.0) << to_string(method);
+    switch (method) {
+      case eval::Method::CpuFL:
+      case eval::Method::PackCap:
+        EXPECT_EQ(outcome.final_config.device, hw::Device::Cpu);
+        break;
+      case eval::Method::GpuFL:
+        EXPECT_EQ(outcome.final_config.device, hw::Device::Gpu);
+        break;
+      case eval::Method::Model:
+      case eval::Method::ModelFL:
+        break;  // free device choice
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInstances, SuiteSweep,
+                         ::testing::Range<std::size_t>(0, 65));
+
+}  // namespace
+}  // namespace acsel

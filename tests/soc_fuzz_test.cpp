@@ -1,0 +1,100 @@
+// Randomized robustness sweep of the simulator: uniformly random (but
+// valid) kernel characteristics across the whole trait space, checked
+// against physical invariants at every configuration. This is the
+// failure-injection net under everything the model pipeline consumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/config_space.h"
+#include "soc/counters.h"
+#include "soc/hybrid.h"
+#include "soc/machine.h"
+#include "util/rng.h"
+
+namespace acsel::soc {
+namespace {
+
+KernelCharacteristics random_kernel(Rng& rng) {
+  KernelCharacteristics k;
+  k.work_gflop = rng.uniform(0.01, 8.0);
+  k.bytes_per_flop = rng.uniform(0.0, 3.0);
+  k.parallel_fraction = rng.uniform(0.0, 1.0);
+  k.vector_fraction = rng.uniform(0.0, 1.0);
+  k.branch_divergence = rng.uniform(0.0, 1.0);
+  k.gpu_efficiency = rng.uniform(0.0, 1.0);
+  k.launch_overhead_ms = rng.uniform(0.0, 3.0);
+  k.cache_locality = rng.uniform(0.0, 1.0);
+  k.tlb_pressure = rng.uniform(0.0, 1.0);
+  k.irregularity = rng.uniform(0.0, 1.0);
+  k.fpu_intensity = rng.uniform(0.0, 1.0);
+  return k;
+}
+
+class FuzzKernel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzKernel, SteadyStateInvariantsAtEveryConfig) {
+  Rng rng{GetParam()};
+  const KernelCharacteristics k = random_kernel(rng);
+  const hw::ConfigSpace space;
+  const MachineSpec spec;
+  for (const auto& config : space.all()) {
+    const SteadyState s = evaluate_steady_state(spec, k, config);
+    ASSERT_TRUE(std::isfinite(s.time_ms));
+    ASSERT_GT(s.time_ms, 0.0);
+    ASSERT_TRUE(std::isfinite(s.total_power_w()));
+    ASSERT_GT(s.total_power_w(), 5.0);
+    ASSERT_LT(s.total_power_w(), 150.0);
+    ASSERT_GE(s.compute_utilization, 0.0);
+    ASSERT_LE(s.compute_utilization, 1.0);
+    ASSERT_GE(s.stall_fraction, 0.0);
+    ASSERT_LE(s.stall_fraction, 1.0);
+    ASSERT_GE(s.dram_gbs, 0.0);
+    ASSERT_LE(s.dram_gbs, spec.gpu_bw_gbs + 1e-9);
+    const CounterBlock counters = synthesize_counters(spec, k, config, s);
+    ASSERT_GE(counters.instructions, 0.0);
+    ASSERT_LE(counters.stalled_cycles,
+              counters.core_cycles * (1.0 + 1e-9));
+    for (const double f : counters.normalized()) {
+      ASSERT_TRUE(std::isfinite(f));
+      ASSERT_GE(f, 0.0);
+    }
+  }
+}
+
+TEST_P(FuzzKernel, MachineRunTerminatesAndMatchesAnalytic) {
+  Rng rng{GetParam() + 1000};
+  const KernelCharacteristics k = random_kernel(rng);
+  Machine machine{MachineSpec{}, GetParam()};
+  const hw::ConfigSpace space;
+  const auto& config =
+      space.at(static_cast<std::size_t>(rng.uniform_index(space.size())));
+  const auto truth = machine.analytic(k, config);
+  const auto run = machine.run(k, config);
+  ASSERT_GT(run.time_ms, 0.0);
+  // Thermal leakage can lift measured power a little above the cold
+  // analytic value; time matches within noise + tick quantization.
+  EXPECT_NEAR(run.time_ms / truth.time_ms, 1.0, 0.08);
+  EXPECT_NEAR(run.avg_power_w() / truth.total_power_w(), 1.0, 0.10);
+}
+
+TEST_P(FuzzKernel, HybridInvariantsAcrossSplits) {
+  Rng rng{GetParam() + 2000};
+  const KernelCharacteristics k = random_kernel(rng);
+  const MachineSpec spec;
+  for (const double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const HybridState hybrid = evaluate_hybrid(spec, k, f);
+    ASSERT_TRUE(std::isfinite(hybrid.time_ms));
+    ASSERT_GT(hybrid.time_ms, 0.0);
+    ASSERT_GT(hybrid.total_power_w(), 5.0);
+    ASSERT_LT(hybrid.total_power_w(), 150.0);
+    ASSERT_GE(hybrid.imbalance, 0.0);
+    ASSERT_LE(hybrid.imbalance, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzKernel,
+                         ::testing::Range<std::uint64_t>(3000, 3040));
+
+}  // namespace
+}  // namespace acsel::soc

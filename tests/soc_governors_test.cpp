@@ -1,0 +1,138 @@
+// Tests for the ACPI-style OS frequency governors.
+#include <gtest/gtest.h>
+
+#include "hw/config_space.h"
+#include "soc/governors.h"
+#include "soc/machine.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+namespace {
+
+using hw::ConfigSpace;
+using hw::Configuration;
+using hw::Device;
+
+KernelCharacteristics compute_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 3.0;
+  k.bytes_per_flop = 0.05;
+  k.parallel_fraction = 0.99;
+  k.vector_fraction = 0.6;
+  k.cache_locality = 0.8;
+  return k;
+}
+
+KernelCharacteristics streaming_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 0.5;
+  k.bytes_per_flop = 2.5;
+  k.parallel_fraction = 0.98;
+  k.vector_fraction = 0.4;
+  k.cache_locality = 0.25;
+  return k;
+}
+
+PowerView view_with_utilization(double utilization) {
+  PowerView view;
+  view.compute_utilization = utilization;
+  return view;
+}
+
+TEST(Governors, PerformanceClimbsToMax) {
+  PerformanceGovernor governor;
+  const ConfigSpace space;
+  Configuration c = space.cpu_sample();
+  c.cpu_pstate = 0;
+  int steps = 0;
+  while (auto next = governor.on_interval(PowerView{}, c)) {
+    c = *next;
+    ++steps;
+  }
+  EXPECT_EQ(c.cpu_pstate, hw::kCpuMaxPState);
+  EXPECT_EQ(steps, 5);
+}
+
+TEST(Governors, PowersaveDropsToFloor) {
+  PowersaveGovernor governor;
+  const ConfigSpace space;
+  Configuration c = space.cpu_sample();
+  while (auto next = governor.on_interval(PowerView{}, c)) {
+    c = *next;
+  }
+  EXPECT_EQ(c.cpu_pstate, 0u);
+}
+
+TEST(Governors, GovernorsControlTheActiveDevice) {
+  PerformanceGovernor governor;
+  const ConfigSpace space;
+  Configuration g = space.gpu_sample();
+  g.gpu_pstate = 0;
+  const auto next = governor.on_interval(PowerView{}, g);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->gpu_pstate, 1u);
+  EXPECT_EQ(next->cpu_pstate, g.cpu_pstate);  // host CPU untouched
+}
+
+TEST(Governors, OndemandRaisesOnHighUtilization) {
+  OndemandGovernor governor;
+  const ConfigSpace space;
+  Configuration c = space.cpu_sample();
+  c.cpu_pstate = 1;
+  const auto next = governor.on_interval(view_with_utilization(0.95), c);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->cpu_pstate, 2u);
+  EXPECT_EQ(governor.up_steps(), 1u);
+}
+
+TEST(Governors, OndemandLowersOnLowUtilization) {
+  OndemandGovernor governor;
+  const ConfigSpace space;
+  Configuration c = space.cpu_sample();
+  const auto next = governor.on_interval(view_with_utilization(0.1), c);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->cpu_pstate, hw::kCpuMaxPState - 1);
+  EXPECT_EQ(governor.down_steps(), 1u);
+}
+
+TEST(Governors, OndemandHoldsInTheDeadband) {
+  OndemandGovernor governor;
+  const ConfigSpace space;
+  const Configuration c = space.cpu_sample();
+  EXPECT_FALSE(
+      governor.on_interval(view_with_utilization(0.6), c).has_value());
+}
+
+TEST(Governors, OndemandValidatesThresholds) {
+  EXPECT_THROW(OndemandGovernor(0.4, 0.8), Error);  // inverted
+  EXPECT_THROW(OndemandGovernor(1.2, 0.4), Error);  // out of range
+}
+
+TEST(Governors, OndemandUpclocksComputeBoundRun) {
+  Machine machine;
+  const ConfigSpace space;
+  Configuration start = space.cpu_sample();
+  start.cpu_pstate = 0;
+  OndemandGovernor governor;
+  auto k = compute_kernel();
+  k.work_gflop = 8.0;  // long enough to climb the whole ladder
+  const auto result = machine.run(k, start, &governor);
+  EXPECT_GT(result.final_config.cpu_pstate, 2u);
+  EXPECT_GT(governor.up_steps(), 0u);
+}
+
+TEST(Governors, OndemandDownclocksMemoryBoundRun) {
+  // Memory-bound kernels stall at high frequency; ondemand should shed
+  // P-states — the organic version of the insight the model learns.
+  Machine machine;
+  const ConfigSpace space;
+  OndemandGovernor governor;
+  auto k = streaming_kernel();
+  k.work_gflop = 2.0;
+  const auto result = machine.run(k, space.cpu_sample(), &governor);
+  EXPECT_LT(result.final_config.cpu_pstate, hw::kCpuMaxPState);
+  EXPECT_GT(governor.down_steps(), 0u);
+}
+
+}  // namespace
+}  // namespace acsel::soc

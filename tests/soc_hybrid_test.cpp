@@ -1,0 +1,149 @@
+// Tests for the hybrid co-execution model and the §III-A efficiency
+// argument it supports.
+#include <gtest/gtest.h>
+
+#include "eval/oracle.h"
+#include "hw/config_space.h"
+#include "soc/hybrid.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel::soc {
+namespace {
+
+const MachineSpec kSpec{};
+
+KernelCharacteristics balanced_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 1.5;
+  k.bytes_per_flop = 0.3;
+  k.parallel_fraction = 0.97;
+  k.vector_fraction = 0.4;
+  k.gpu_efficiency = 0.45;
+  k.launch_overhead_ms = 0.5;
+  k.cache_locality = 0.5;
+  return k;
+}
+
+TEST(Hybrid, ZeroFractionMatchesCpuOnly) {
+  const auto k = balanced_kernel();
+  const auto hybrid = evaluate_hybrid(kSpec, k, 0.0);
+  hw::Configuration cpu;
+  cpu.device = hw::Device::Cpu;
+  cpu.cpu_pstate = hw::kCpuMaxPState;
+  cpu.threads = hw::kCpuCores;
+  const auto single = evaluate_steady_state(kSpec, k, cpu);
+  EXPECT_NEAR(hybrid.time_ms, single.time_ms, 1e-9);
+  EXPECT_NEAR(hybrid.total_power_w(), single.total_power_w(), 1e-9);
+}
+
+TEST(Hybrid, FullFractionMatchesGpuForParallelPart) {
+  auto k = balanced_kernel();
+  k.parallel_fraction = 1.0;  // no serial residue on the CPU
+  const auto hybrid = evaluate_hybrid(kSpec, k, 1.0);
+  hw::Configuration gpu;
+  gpu.device = hw::Device::Gpu;
+  gpu.cpu_pstate = hw::kCpuMaxPState;
+  gpu.gpu_pstate = hw::kGpuMaxPState;
+  const auto single = evaluate_steady_state(kSpec, k, gpu);
+  EXPECT_NEAR(hybrid.time_ms, single.time_ms, 1e-9);
+  EXPECT_NEAR(hybrid.total_power_w(), single.total_power_w(), 1e-9);
+}
+
+TEST(Hybrid, TrueHybridPaysMergeOverhead) {
+  const auto k = balanced_kernel();
+  HybridOptions options;
+  options.merge_overhead_ms = 5.0;
+  const auto cheap = evaluate_hybrid(kSpec, k, 0.5);
+  const auto costly = evaluate_hybrid(kSpec, k, 0.5, options);
+  EXPECT_NEAR(costly.time_ms - cheap.time_ms, 5.0 - 0.4, 1e-9);
+}
+
+TEST(Hybrid, BothDevicesPoweredCostsMoreThanEitherAlone) {
+  const auto k = balanced_kernel();
+  const auto cpu_only = evaluate_hybrid(kSpec, k, 0.0);
+  const auto gpu_only = evaluate_hybrid(kSpec, k, 1.0);
+  const auto split = evaluate_hybrid(kSpec, k, 0.5);
+  EXPECT_GT(split.total_power_w(),
+            std::min(cpu_only.total_power_w(), gpu_only.total_power_w()));
+}
+
+TEST(Hybrid, ImbalanceReportsSkewedSplits) {
+  const auto k = balanced_kernel();
+  // Almost everything on the CPU: the GPU finishes long before the CPU.
+  const auto skewed = evaluate_hybrid(kSpec, k, 0.05);
+  EXPECT_GT(skewed.imbalance, 0.5);
+}
+
+TEST(Hybrid, SomeBalancedSplitBeatsSkewedOnes) {
+  const auto k = balanced_kernel();
+  double best_mid = 0.0;
+  for (int pct = 20; pct <= 80; pct += 10) {
+    best_mid = std::max(
+        best_mid, evaluate_hybrid(kSpec, k, pct / 100.0).performance());
+  }
+  EXPECT_GT(best_mid, evaluate_hybrid(kSpec, k, 0.05).performance());
+}
+
+TEST(Hybrid, RejectsBadInputs) {
+  const auto k = balanced_kernel();
+  EXPECT_THROW(evaluate_hybrid(kSpec, k, -0.1), Error);
+  EXPECT_THROW(evaluate_hybrid(kSpec, k, 1.1), Error);
+  HybridOptions bad;
+  bad.threads = 5;
+  EXPECT_THROW(evaluate_hybrid(kSpec, k, 0.5, bad), Error);
+}
+
+TEST(Hybrid, PaperClaimHybridNeverBeatsBestSingleOnEfficiency) {
+  // §III-A: "it will strictly lower power-efficiency compared to the best
+  // single device". Check across the application suite.
+  Machine machine{MachineSpec{}, 3131};
+  const auto suite = workloads::Suite::standard();
+  const hw::ConfigSpace space;
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < suite.size(); i += 7) {  // sample the suite
+    const auto& instance = suite.instances()[i];
+    // Best single-device efficiency over the whole configuration space.
+    double best_single_eff = 0.0;
+    for (const auto& config : space.all()) {
+      const auto s = machine.analytic(instance.traits, config);
+      best_single_eff =
+          std::max(best_single_eff, s.performance() / s.total_power_w());
+    }
+    for (int pct = 10; pct <= 90; pct += 20) {
+      const auto hybrid =
+          evaluate_hybrid(machine.spec(), instance.traits, pct / 100.0);
+      EXPECT_LT(hybrid.performance_per_watt(), best_single_eff)
+          << instance.id() << " at " << pct << "%";
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 9u);
+}
+
+TEST(Hybrid, PaperClaimSpeedupBoundedByTwo) {
+  // §III-A: "In the best possible case, hybrid execution will increase
+  // performance by a factor of two over the best single device."
+  Machine machine{MachineSpec{}, 3232};
+  const auto suite = workloads::Suite::standard();
+  const hw::ConfigSpace space;
+  for (std::size_t i = 0; i < suite.size(); i += 9) {
+    const auto& instance = suite.instances()[i];
+    double best_single = 0.0;
+    for (const auto& config : space.all()) {
+      best_single = std::max(
+          best_single,
+          machine.analytic(instance.traits, config).performance());
+    }
+    for (int pct = 0; pct <= 100; pct += 10) {
+      const auto hybrid =
+          evaluate_hybrid(machine.spec(), instance.traits, pct / 100.0);
+      EXPECT_LT(hybrid.performance(), 2.0 * best_single)
+          << instance.id() << " at " << pct << "%";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acsel::soc

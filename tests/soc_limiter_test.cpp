@@ -1,0 +1,240 @@
+// Tests for the RAPL-style frequency limiter in its three roles
+// (CPU+FL, GPU+FL, Model+FL safety net).
+#include <gtest/gtest.h>
+
+#include "hw/config_space.h"
+#include "soc/freq_limiter.h"
+#include "soc/machine.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+namespace {
+
+using hw::ConfigSpace;
+using hw::Configuration;
+using hw::Device;
+
+KernelCharacteristics long_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 4.0;  // long enough for the control loop to settle
+  k.bytes_per_flop = 0.3;
+  k.parallel_fraction = 0.95;
+  k.vector_fraction = 0.5;
+  k.gpu_efficiency = 0.5;
+  k.launch_overhead_ms = 0.5;
+  return k;
+}
+
+Configuration cpu_fl_start() {
+  // CPU+FL: all cores enabled, GPU at minimum frequency (paper §V-A).
+  Configuration c;
+  c.device = Device::Cpu;
+  c.cpu_pstate = hw::kCpuMaxPState;
+  c.threads = hw::kCpuCores;
+  return c;
+}
+
+Configuration gpu_fl_start() {
+  // GPU+FL: CPU at minimum, GPU at maximum (paper §V-A).
+  Configuration c;
+  c.device = Device::Gpu;
+  c.cpu_pstate = 0;
+  c.threads = 1;
+  c.gpu_pstate = hw::kGpuMaxPState;
+  return c;
+}
+
+/// Runs `iterations` back-to-back invocations with a persistent limiter
+/// (the limiter keeps its learned ceilings across iterations, as in a real
+/// iterative application) and returns the last result.
+ExecutionResult run_with_limiter(Machine& machine,
+                                 const KernelCharacteristics& k,
+                                 Configuration start,
+                                 FrequencyLimiter& limiter,
+                                 int iterations = 3) {
+  ExecutionResult result;
+  for (int i = 0; i < iterations; ++i) {
+    result = machine.run(k, start, &limiter);
+    start = result.final_config;  // configuration persists across calls
+  }
+  return result;
+}
+
+TEST(Limiter, CpuFlThrottlesDownToMeetCap) {
+  Machine machine;
+  const auto k = long_kernel();
+  // Find a cap between the floor and ceiling of the CPU+FL trajectory.
+  const double floor_w =
+      machine.analytic(k, Configuration{Device::Cpu, 0, 4, 0,
+                                        hw::CoreMapping::Compact})
+          .total_power_w();
+  const double ceil_w =
+      machine.analytic(k, cpu_fl_start()).total_power_w();
+  const double cap = 0.5 * (floor_w + ceil_w);
+
+  LimiterOptions options;
+  options.cap_w = cap;
+  options.controlled = Device::Cpu;
+  FrequencyLimiter limiter{options};
+  const auto result = run_with_limiter(machine, k, cpu_fl_start(), limiter);
+  EXPECT_GT(limiter.down_steps(), 0u);
+  EXPECT_LE(result.avg_power_w(), cap * 1.05);  // settles at/below the cap
+  EXPECT_LT(result.final_config.cpu_pstate, hw::kCpuMaxPState);
+}
+
+TEST(Limiter, CpuFlSaturatesWhenCapUnreachable) {
+  Machine machine;
+  const auto k = long_kernel();
+  LimiterOptions options;
+  options.cap_w = 5.0;  // below even the lowest CPU P-state at 4 threads
+  options.controlled = Device::Cpu;
+  FrequencyLimiter limiter{options};
+  const auto result = run_with_limiter(machine, k, cpu_fl_start(), limiter);
+  EXPECT_EQ(result.final_config.cpu_pstate, 0u);
+  EXPECT_TRUE(limiter.saturated_over_cap());
+  EXPECT_GT(result.avg_power_w(), options.cap_w);  // over-limit case
+}
+
+TEST(Limiter, CpuFlStepsUpWithGenerousCap) {
+  Machine machine;
+  const auto k = long_kernel();
+  LimiterOptions options;
+  options.cap_w = 200.0;  // unconstrained
+  options.controlled = Device::Cpu;
+  FrequencyLimiter limiter{options};
+  Configuration start = cpu_fl_start();
+  start.cpu_pstate = 0;  // begin at the floor; limiter should climb
+  const auto result = run_with_limiter(machine, k, start, limiter, 5);
+  EXPECT_EQ(result.final_config.cpu_pstate, hw::kCpuMaxPState);
+  EXPECT_GT(limiter.up_steps(), 0u);
+}
+
+TEST(Limiter, GpuFlThrottlesGpuThenRaisesCpu) {
+  Machine machine;
+  const auto k = long_kernel();
+  const double mid_cap =
+      machine.analytic(k, gpu_fl_start()).total_power_w() - 1.5;
+  LimiterOptions options;
+  options.cap_w = mid_cap;
+  options.controlled = Device::Gpu;
+  options.manage_host_cpu = true;
+  FrequencyLimiter limiter{options};
+  const auto result = run_with_limiter(machine, k, gpu_fl_start(), limiter, 5);
+  // Must still be a GPU configuration; the limiter cannot change device.
+  EXPECT_EQ(result.final_config.device, Device::Gpu);
+  EXPECT_LE(result.avg_power_w(), mid_cap * 1.06);
+}
+
+TEST(Limiter, GpuFlUsesHeadroomForHostCpu) {
+  Machine machine;
+  const auto k = long_kernel();
+  LimiterOptions options;
+  options.cap_w = 200.0;  // plenty of headroom
+  options.controlled = Device::Gpu;
+  options.manage_host_cpu = true;
+  FrequencyLimiter limiter{options};
+  const auto result = run_with_limiter(machine, k, gpu_fl_start(), limiter, 5);
+  // GPU already at max; headroom goes to the host CPU (paper §V-A).
+  EXPECT_EQ(result.final_config.gpu_pstate, hw::kGpuMaxPState);
+  EXPECT_GT(result.final_config.cpu_pstate, 0u);
+}
+
+TEST(Limiter, ModelFlRespectsModelChosenCeiling) {
+  Machine machine;
+  const auto k = long_kernel();
+  LimiterOptions options;
+  options.cap_w = 200.0;
+  options.controlled = Device::Cpu;
+  options.max_cpu_pstate = 2;  // the model selected P-state 2
+  FrequencyLimiter limiter{options};
+  Configuration start = cpu_fl_start();
+  start.cpu_pstate = 2;
+  const auto result = run_with_limiter(machine, k, start, limiter, 4);
+  // With infinite headroom the limiter must not exceed the model's choice.
+  EXPECT_LE(result.final_config.cpu_pstate, 2u);
+}
+
+TEST(Limiter, SetCapResetsLearnedCeilings) {
+  LimiterOptions options;
+  options.cap_w = 20.0;
+  options.controlled = Device::Cpu;
+  FrequencyLimiter limiter{options};
+  // Simulate an over-cap interval to learn a ceiling.
+  PowerView over;
+  over.window_avg_w = 25.0;
+  Configuration c = cpu_fl_start();
+  const auto stepped = limiter.on_interval(over, c);
+  ASSERT_TRUE(stepped.has_value());
+  EXPECT_EQ(stepped->cpu_pstate, c.cpu_pstate - 1);
+  limiter.set_cap(40.0);
+  EXPECT_DOUBLE_EQ(limiter.cap_w(), 40.0);
+  EXPECT_FALSE(limiter.saturated_over_cap());
+}
+
+TEST(Limiter, CooldownSuppressesImmediateFollowUp) {
+  LimiterOptions options;
+  options.cap_w = 20.0;
+  options.controlled = Device::Cpu;
+  options.cooldown_intervals = 2;
+  FrequencyLimiter limiter{options};
+  PowerView over;
+  over.window_avg_w = 30.0;
+  Configuration c = cpu_fl_start();
+  const auto first = limiter.on_interval(over, c);
+  ASSERT_TRUE(first.has_value());
+  c = *first;
+  // The next two intervals are cooldown: no action even though still over.
+  EXPECT_FALSE(limiter.on_interval(over, c).has_value());
+  EXPECT_FALSE(limiter.on_interval(over, c).has_value());
+  EXPECT_TRUE(limiter.on_interval(over, c).has_value());
+}
+
+TEST(Limiter, HysteresisPreventsUpStepNearCap) {
+  LimiterOptions options;
+  options.cap_w = 20.0;
+  options.controlled = Device::Cpu;
+  options.headroom_margin_w = 2.0;
+  FrequencyLimiter limiter{options};
+  Configuration c = cpu_fl_start();
+  c.cpu_pstate = 1;
+  PowerView just_under;
+  just_under.window_avg_w = 19.0;  // under cap but within the margin
+  EXPECT_FALSE(limiter.on_interval(just_under, c).has_value());
+  PowerView well_under;
+  well_under.window_avg_w = 10.0;
+  EXPECT_TRUE(limiter.on_interval(well_under, c).has_value());
+}
+
+TEST(Limiter, DoesNotClimbPastLearnedCeiling) {
+  LimiterOptions options;
+  options.cap_w = 20.0;
+  options.controlled = Device::Cpu;
+  options.cooldown_intervals = 0;
+  FrequencyLimiter limiter{options};
+  Configuration c = cpu_fl_start();  // P-state 5
+  PowerView over;
+  over.window_avg_w = 30.0;
+  c = *limiter.on_interval(over, c);  // learned: 5 violates, ceiling = 4
+  c = *limiter.on_interval(over, c);  // ceiling = 3
+  EXPECT_EQ(c.cpu_pstate, 3u);
+  PowerView way_under;
+  way_under.window_avg_w = 5.0;
+  // May climb back only to the learned ceiling (3), not beyond.
+  while (const auto next = limiter.on_interval(way_under, c)) {
+    c = *next;
+    ASSERT_LE(c.cpu_pstate, 3u);
+  }
+  EXPECT_EQ(c.cpu_pstate, 3u);
+}
+
+TEST(Limiter, ValidatesOptions) {
+  LimiterOptions bad;
+  bad.cap_w = -1.0;
+  EXPECT_THROW(FrequencyLimiter{bad}, Error);
+  bad = LimiterOptions{};
+  bad.max_cpu_pstate = hw::kCpuPStateCount;
+  EXPECT_THROW(FrequencyLimiter{bad}, Error);
+}
+
+}  // namespace
+}  // namespace acsel::soc

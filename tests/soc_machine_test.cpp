@@ -1,0 +1,203 @@
+// Tests for the SMU sampler and the tick-based machine execution engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/config_space.h"
+#include "soc/machine.h"
+#include "soc/smu.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+namespace {
+
+using hw::ConfigSpace;
+using hw::Configuration;
+using hw::Device;
+
+KernelCharacteristics test_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 1.0;
+  k.bytes_per_flop = 0.4;
+  k.parallel_fraction = 0.95;
+  k.vector_fraction = 0.4;
+  k.gpu_efficiency = 0.5;
+  k.launch_overhead_ms = 0.5;
+  return k;
+}
+
+// ------------------------------------------------------------------ smu --
+
+TEST(Smu, IntegratesEnergyExactlyWithoutNoise) {
+  Smu smu{0.0, 10.0, Rng{1}};
+  for (int i = 0; i < 100; ++i) {
+    smu.sample(10.0, 20.0, 1.0);  // 30 W for 100 ms
+  }
+  EXPECT_NEAR(smu.total_energy_j(), 3.0, 1e-9);
+  EXPECT_NEAR(smu.avg_cpu_w(), 10.0, 1e-9);
+  EXPECT_NEAR(smu.avg_nbgpu_w(), 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(smu.elapsed_ms(), 100.0);
+  EXPECT_EQ(smu.sample_count(), 100u);
+}
+
+TEST(Smu, NoisyAverageConvergesToTruth) {
+  Smu smu{0.05, 10.0, Rng{2}};
+  for (int i = 0; i < 20000; ++i) {
+    smu.sample(15.0, 10.0, 1.0);
+  }
+  EXPECT_NEAR(smu.avg_total_w(), 25.0, 0.1);
+}
+
+TEST(Smu, WindowViewTracksRecentSamplesOnly) {
+  Smu smu{0.0, 10.0, Rng{3}};
+  for (int i = 0; i < 50; ++i) {
+    smu.sample(5.0, 5.0, 1.0);
+  }
+  for (int i = 0; i < 20; ++i) {
+    smu.sample(20.0, 20.0, 1.0);
+  }
+  const PowerView view = smu.window_view();
+  // The 10 ms window contains only the 40 W regime.
+  EXPECT_NEAR(view.window_avg_w, 40.0, 1e-9);
+  EXPECT_DOUBLE_EQ(view.elapsed_ms, 70.0);
+}
+
+TEST(Smu, EmptyWindowIsZero) {
+  Smu smu{0.0, 10.0, Rng{4}};
+  EXPECT_DOUBLE_EQ(smu.window_view().window_avg_w, 0.0);
+  EXPECT_DOUBLE_EQ(smu.avg_total_w(), 0.0);
+}
+
+TEST(Smu, RejectsInvalidSamples) {
+  Smu smu{0.0, 10.0, Rng{5}};
+  EXPECT_THROW(smu.sample(-1.0, 0.0, 1.0), Error);
+  EXPECT_THROW(smu.sample(1.0, 1.0, 0.0), Error);
+}
+
+// -------------------------------------------------------------- machine --
+
+TEST(Machine, RunMatchesAnalyticWithinNoise) {
+  Machine machine;
+  const ConfigSpace space;
+  const auto k = test_kernel();
+  const auto config = space.cpu_sample();
+  const auto truth = machine.analytic(k, config);
+  const auto result = machine.run(k, config);
+  EXPECT_NEAR(result.time_ms / truth.time_ms, 1.0, 0.05);
+  EXPECT_NEAR(result.avg_power_w() / truth.total_power_w(), 1.0, 0.05);
+  EXPECT_EQ(result.final_config, config);
+  EXPECT_EQ(result.config_switches, 0u);
+}
+
+TEST(Machine, DeterministicForSameSeed) {
+  const auto k = test_kernel();
+  const ConfigSpace space;
+  Machine a{MachineSpec{}, 99};
+  Machine b{MachineSpec{}, 99};
+  const auto ra = a.run(k, space.cpu_sample());
+  const auto rb = b.run(k, space.cpu_sample());
+  EXPECT_DOUBLE_EQ(ra.time_ms, rb.time_ms);
+  EXPECT_DOUBLE_EQ(ra.energy_j, rb.energy_j);
+}
+
+TEST(Machine, RepeatedRunsVaryButOnlySlightly) {
+  Machine machine;
+  const ConfigSpace space;
+  const auto k = test_kernel();
+  const auto r1 = machine.run(k, space.cpu_sample());
+  const auto r2 = machine.run(k, space.cpu_sample());
+  EXPECT_NE(r1.time_ms, r2.time_ms);  // noise present
+  EXPECT_NEAR(r1.time_ms / r2.time_ms, 1.0, 0.1);
+}
+
+TEST(Machine, EnergyEqualsAveragePowerTimesTime) {
+  Machine machine;
+  const ConfigSpace space;
+  const auto result = machine.run(test_kernel(), space.gpu_sample());
+  EXPECT_NEAR(result.energy_j,
+              result.avg_power_w() * result.time_ms * 1e-3, 1e-9);
+}
+
+TEST(Machine, CountersAccumulateFullKernel) {
+  Machine machine{MachineSpec{}, 7};
+  const ConfigSpace space;
+  const auto k = test_kernel();
+  const auto config = space.cpu_sample();
+  const auto result = machine.run(k, config);
+  const auto expected =
+      synthesize_counters(machine.spec(), k, config,
+                          machine.analytic(k, config));
+  // Tick accumulation should reproduce the per-invocation totals closely.
+  EXPECT_NEAR(result.counters.instructions / expected.instructions, 1.0,
+              0.02);
+  EXPECT_NEAR(result.counters.dram_accesses / expected.dram_accesses, 1.0,
+              0.02);
+}
+
+/// Governor that forces the CPU to the lowest P-state at the first
+/// opportunity, for testing mid-run retargeting.
+class DropToFloor : public Governor {
+ public:
+  std::optional<hw::Configuration> on_interval(
+      const PowerView&, const hw::Configuration& current) override {
+    if (current.cpu_pstate == 0) {
+      return std::nullopt;
+    }
+    hw::Configuration next = current;
+    next.cpu_pstate = 0;
+    return next;
+  }
+};
+
+TEST(Machine, GovernorRetargetsMidRun) {
+  Machine machine;
+  const ConfigSpace space;
+  auto k = test_kernel();
+  k.work_gflop = 3.0;  // long enough to straddle several control intervals
+  DropToFloor governor;
+  const auto result = machine.run(k, space.cpu_sample(), &governor);
+  EXPECT_EQ(result.final_config.cpu_pstate, 0u);
+  EXPECT_EQ(result.config_switches, 1u);
+  // Slower than the un-governed run at the sample config.
+  const auto ungoverned = machine.analytic(k, space.cpu_sample());
+  EXPECT_GT(result.time_ms, ungoverned.time_ms);
+}
+
+/// Governor that illegally changes thread count; the machine must reject.
+class IllegalGovernor : public Governor {
+ public:
+  std::optional<hw::Configuration> on_interval(
+      const PowerView&, const hw::Configuration& current) override {
+    hw::Configuration next = current;
+    next.threads = 1;
+    return next;
+  }
+};
+
+TEST(Machine, RejectsNonDvfsGovernorChanges) {
+  Machine machine;
+  const ConfigSpace space;
+  auto k = test_kernel();
+  k.work_gflop = 3.0;
+  IllegalGovernor governor;
+  EXPECT_THROW(machine.run(k, space.cpu_sample(), &governor), Error);
+}
+
+TEST(Machine, ShortKernelsStillComplete) {
+  Machine machine;
+  const ConfigSpace space;
+  auto k = test_kernel();
+  k.work_gflop = 0.001;  // sub-tick kernel
+  const auto result = machine.run(k, space.gpu_sample());
+  EXPECT_GT(result.time_ms, 0.0);
+  EXPECT_GT(result.avg_power_w(), 0.0);
+}
+
+TEST(Machine, PerformanceIsInverseTime) {
+  ExecutionResult r;
+  r.time_ms = 50.0;
+  EXPECT_DOUBLE_EQ(r.performance(), 20.0);
+}
+
+}  // namespace
+}  // namespace acsel::soc

@@ -1,0 +1,408 @@
+// Tests for the analytic performance/power models and counter synthesis:
+// the qualitative shapes the paper reports must hold on the simulated APU.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/config_space.h"
+#include "soc/counters.h"
+#include "soc/kernel.h"
+#include "soc/perf_model.h"
+#include "soc/power_model.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+namespace {
+
+using hw::ConfigSpace;
+using hw::Configuration;
+using hw::CoreMapping;
+using hw::Device;
+
+KernelCharacteristics memory_bound_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 0.4;
+  k.bytes_per_flop = 1.6;
+  k.parallel_fraction = 0.97;
+  k.vector_fraction = 0.3;
+  k.branch_divergence = 0.1;
+  k.gpu_efficiency = 0.5;
+  k.launch_overhead_ms = 0.6;
+  k.cache_locality = 0.3;
+  return k;
+}
+
+KernelCharacteristics compute_bound_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 2.0;
+  k.bytes_per_flop = 0.05;
+  k.parallel_fraction = 0.99;
+  k.vector_fraction = 0.7;
+  k.branch_divergence = 0.05;
+  k.gpu_efficiency = 0.7;
+  k.launch_overhead_ms = 0.4;
+  k.cache_locality = 0.8;
+  return k;
+}
+
+KernelCharacteristics serial_divergent_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 0.5;
+  k.bytes_per_flop = 0.3;
+  k.parallel_fraction = 0.55;
+  k.vector_fraction = 0.05;
+  k.branch_divergence = 0.85;
+  k.gpu_efficiency = 0.25;
+  k.launch_overhead_ms = 1.5;
+  k.cache_locality = 0.5;
+  k.irregularity = 0.8;
+  return k;
+}
+
+Configuration cpu_config(std::size_t pstate, int threads,
+                         CoreMapping mapping = CoreMapping::Compact) {
+  Configuration c;
+  c.device = Device::Cpu;
+  c.cpu_pstate = pstate;
+  c.threads = threads;
+  c.mapping = mapping;
+  return c;
+}
+
+Configuration gpu_config(std::size_t gpu_pstate, std::size_t cpu_pstate) {
+  Configuration c;
+  c.device = Device::Gpu;
+  c.gpu_pstate = gpu_pstate;
+  c.cpu_pstate = cpu_pstate;
+  return c;
+}
+
+const MachineSpec kSpec{};
+
+// ------------------------------------------------------------- validate --
+
+TEST(Kernel, ValidateAcceptsDefaults) {
+  EXPECT_NO_THROW(KernelCharacteristics{}.validate());
+}
+
+TEST(Kernel, ValidateRejectsOutOfRange) {
+  KernelCharacteristics k;
+  k.parallel_fraction = 1.2;
+  EXPECT_THROW(k.validate(), Error);
+  k = KernelCharacteristics{};
+  k.work_gflop = 0.0;
+  EXPECT_THROW(k.validate(), Error);
+  k = KernelCharacteristics{};
+  k.bytes_per_flop = -0.1;
+  EXPECT_THROW(k.validate(), Error);
+}
+
+// --------------------------------------------------------- perf scaling --
+
+TEST(PerfModel, CpuFrequencyHelpsComputeBoundKernels) {
+  const auto k = compute_bound_kernel();
+  const auto slow = evaluate_steady_state(kSpec, k, cpu_config(0, 4));
+  const auto fast = evaluate_steady_state(kSpec, k, cpu_config(5, 4));
+  // Compute-bound: performance should scale nearly with frequency.
+  const double speedup = slow.time_ms / fast.time_ms;
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, 3.7 / 1.4 + 0.1);
+}
+
+TEST(PerfModel, CpuFrequencyBarelyHelpsMemoryBoundKernels) {
+  const auto k = memory_bound_kernel();
+  const auto slow = evaluate_steady_state(kSpec, k, cpu_config(0, 4));
+  const auto fast = evaluate_steady_state(kSpec, k, cpu_config(5, 4));
+  const double speedup = slow.time_ms / fast.time_ms;
+  EXPECT_LT(speedup, 1.4);  // far below the 2.64x frequency ratio
+}
+
+TEST(PerfModel, ThreadScalingMonotonic) {
+  const auto k = compute_bound_kernel();
+  double prev = evaluate_steady_state(kSpec, k, cpu_config(3, 1)).time_ms;
+  for (int threads = 2; threads <= 4; ++threads) {
+    const double t =
+        evaluate_steady_state(kSpec, k, cpu_config(3, threads)).time_ms;
+    EXPECT_LT(t, prev) << threads << " threads";
+    prev = t;
+  }
+}
+
+TEST(PerfModel, AmdahlLimitsSerialKernelScaling) {
+  const auto k = serial_divergent_kernel();  // parallel fraction 0.55
+  const double t1 =
+      evaluate_steady_state(kSpec, k, cpu_config(3, 1)).time_ms;
+  const double t4 =
+      evaluate_steady_state(kSpec, k, cpu_config(3, 4)).time_ms;
+  EXPECT_LT(t1 / t4, 1.0 / (0.45 + 0.55 / 4.0) + 0.1);
+}
+
+TEST(PerfModel, ScatterBeatsCompactForFpuHeavyTwoThreads) {
+  auto k = compute_bound_kernel();
+  k.fpu_intensity = 1.0;
+  const auto compact = evaluate_steady_state(
+      kSpec, k, cpu_config(3, 2, CoreMapping::Compact));
+  const auto scatter = evaluate_steady_state(
+      kSpec, k, cpu_config(3, 2, CoreMapping::Scatter));
+  EXPECT_LT(scatter.time_ms, compact.time_ms);
+}
+
+TEST(PerfModel, MappingIrrelevantForMemoryBoundTwoThreads) {
+  auto k = memory_bound_kernel();
+  k.fpu_intensity = 1.0;
+  const auto compact = evaluate_steady_state(
+      kSpec, k, cpu_config(3, 2, CoreMapping::Compact));
+  const auto scatter = evaluate_steady_state(
+      kSpec, k, cpu_config(3, 2, CoreMapping::Scatter));
+  // Bandwidth-limited either way: same roofline.
+  EXPECT_NEAR(scatter.time_ms / compact.time_ms, 1.0, 0.05);
+}
+
+TEST(PerfModel, GpuPStateQuantizesGpuPerformance) {
+  const auto k = compute_bound_kernel();
+  const double t0 = evaluate_steady_state(kSpec, k, gpu_config(0, 5)).time_ms;
+  const double t1 = evaluate_steady_state(kSpec, k, gpu_config(1, 5)).time_ms;
+  const double t2 = evaluate_steady_state(kSpec, k, gpu_config(2, 5)).time_ms;
+  EXPECT_GT(t0, t1);
+  EXPECT_GT(t1, t2);
+}
+
+TEST(PerfModel, HostCpuFrequencyAffectsGpuRuns) {
+  // Paper Table I: GPU configurations vary in CPU frequency because launch
+  // overhead runs in the driver on the CPU.
+  const auto k = memory_bound_kernel();
+  const double slow_host =
+      evaluate_steady_state(kSpec, k, gpu_config(2, 0)).time_ms;
+  const double fast_host =
+      evaluate_steady_state(kSpec, k, gpu_config(2, 5)).time_ms;
+  EXPECT_GT(slow_host, fast_host);
+}
+
+TEST(PerfModel, GpuWinsBigOnGpuFriendlyKernels) {
+  const auto k = compute_bound_kernel();
+  const double best_cpu =
+      evaluate_steady_state(kSpec, k, cpu_config(5, 4)).time_ms;
+  const double gpu =
+      evaluate_steady_state(kSpec, k, gpu_config(2, 5)).time_ms;
+  EXPECT_GT(best_cpu / gpu, 3.0);
+}
+
+TEST(PerfModel, CpuCompetitiveOnDivergentSerialKernels) {
+  const auto k = serial_divergent_kernel();
+  const double best_cpu =
+      evaluate_steady_state(kSpec, k, cpu_config(5, 4)).time_ms;
+  const double gpu =
+      evaluate_steady_state(kSpec, k, gpu_config(2, 5)).time_ms;
+  EXPECT_LT(best_cpu, gpu);  // the CPU should win here
+}
+
+TEST(PerfModel, MemoryBoundGpuGainsLittleFromTopPState) {
+  // Paper Table I: CalcFBHourGlass "does not benefit from running the GPU
+  // at its highest frequency".
+  const auto k = memory_bound_kernel();
+  const double t1 = evaluate_steady_state(kSpec, k, gpu_config(1, 5)).time_ms;
+  const double t2 = evaluate_steady_state(kSpec, k, gpu_config(2, 5)).time_ms;
+  EXPECT_LT(t1 / t2, 1.12);  // under 12% gain for the 26% clock increase
+}
+
+// ----------------------------------------------------------- power model --
+
+TEST(PowerModel, MoreThreadsMorePower) {
+  const auto k = memory_bound_kernel();
+  double prev = 0.0;
+  for (int threads = 1; threads <= 4; ++threads) {
+    const auto s = evaluate_steady_state(kSpec, k, cpu_config(2, threads));
+    EXPECT_GT(s.total_power_w(), prev);
+    prev = s.total_power_w();
+  }
+}
+
+TEST(PowerModel, HigherCpuPStateMorePower) {
+  const auto k = compute_bound_kernel();
+  double prev = 0.0;
+  for (std::size_t p = 0; p < hw::kCpuPStateCount; ++p) {
+    const auto s = evaluate_steady_state(kSpec, k, cpu_config(p, 4));
+    EXPECT_GT(s.total_power_w(), prev);
+    prev = s.total_power_w();
+  }
+}
+
+TEST(PowerModel, VoltageMakesPowerSuperlinearInFrequency) {
+  const auto k = compute_bound_kernel();
+  const auto lo = evaluate_steady_state(kSpec, k, cpu_config(0, 4));
+  const auto hi = evaluate_steady_state(kSpec, k, cpu_config(5, 4));
+  const double power_ratio = hi.total_power_w() / lo.total_power_w();
+  const double freq_ratio = 3.7 / 1.4;
+  EXPECT_GT(power_ratio, freq_ratio * 0.8);  // V^2 scaling bites
+}
+
+TEST(PowerModel, CpuReachesLowerPowerThanGpu) {
+  // Paper Fig. 2: "the CPU is able to reach lower power limits".
+  const auto k = memory_bound_kernel();
+  const ConfigSpace space;
+  double min_cpu = 1e9;
+  double min_gpu = 1e9;
+  for (const auto& config : space.all()) {
+    const double w =
+        evaluate_steady_state(kSpec, k, config).total_power_w();
+    (config.device == Device::Cpu ? min_cpu : min_gpu) =
+        std::min(config.device == Device::Cpu ? min_cpu : min_gpu, w);
+  }
+  EXPECT_LT(min_cpu, min_gpu);
+}
+
+TEST(PowerModel, TableIPowerBracketsRoughlyHold) {
+  // Paper Table I levels: lightest CPU config ~12.5 W, heaviest GPU
+  // frontier config ~30 W. Within a factor-ish band on the simulator.
+  const auto k = memory_bound_kernel();
+  const auto lightest = evaluate_steady_state(kSpec, k, cpu_config(0, 1));
+  EXPECT_GT(lightest.total_power_w(), 8.0);
+  EXPECT_LT(lightest.total_power_w(), 18.0);
+  const auto gpu_high = evaluate_steady_state(kSpec, k, gpu_config(1, 5));
+  EXPECT_GT(gpu_high.total_power_w(), 20.0);
+  EXPECT_LT(gpu_high.total_power_w(), 40.0);
+}
+
+TEST(PowerModel, MemoryBoundGpuPowerRisesSlowlyWithClock) {
+  // The activity factor must fall as a memory-bound kernel stalls more at
+  // higher GPU clocks (paper Table I: 24.2 W -> 25.2 W for 311 -> 649 MHz).
+  const auto k = memory_bound_kernel();
+  const auto lo = evaluate_steady_state(kSpec, k, gpu_config(0, 0));
+  const auto hi = evaluate_steady_state(kSpec, k, gpu_config(1, 0));
+  const double ratio = hi.total_power_w() / lo.total_power_w();
+  EXPECT_LT(ratio, 1.45);
+  EXPECT_GT(ratio, 1.0);
+}
+
+TEST(PowerModel, IdleBelowAnyActiveConfig) {
+  const auto k = memory_bound_kernel();
+  const double idle = idle_power(kSpec).total();
+  const ConfigSpace space;
+  for (const auto& config : space.all()) {
+    EXPECT_LT(idle,
+              evaluate_steady_state(kSpec, k, config).total_power_w());
+  }
+}
+
+TEST(PowerModel, KernelPowerVarianceAcrossKernels) {
+  // §III-B: "one kernel uses 19 watts, while another uses 55" at their
+  // best-performing configurations. Check the simulator spans a wide band.
+  const auto heavy = compute_bound_kernel();
+  const auto light = serial_divergent_kernel();
+  const double heavy_w =
+      evaluate_steady_state(kSpec, heavy, gpu_config(2, 5)).total_power_w();
+  const double light_w =
+      evaluate_steady_state(kSpec, light, cpu_config(1, 1)).total_power_w();
+  EXPECT_GT(heavy_w / light_w, 2.0);
+}
+
+// ------------------------------------------------------------- counters --
+
+TEST(Counters, NormalizedFeatureCountMatchesNames) {
+  const CounterBlock block;
+  EXPECT_EQ(block.normalized().size(), CounterBlock::feature_names().size());
+}
+
+TEST(Counters, ZeroBlockNormalizesSafely) {
+  const CounterBlock block;
+  for (const double v : block.normalized()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(Counters, MemoryBoundKernelHasHighStallAndDram) {
+  const auto mem = memory_bound_kernel();
+  const auto comp = compute_bound_kernel();
+  const auto cfg = cpu_config(5, 4);
+  const auto mem_state = evaluate_steady_state(kSpec, mem, cfg);
+  const auto comp_state = evaluate_steady_state(kSpec, comp, cfg);
+  const auto mem_c = synthesize_counters(kSpec, mem, cfg, mem_state);
+  const auto comp_c = synthesize_counters(kSpec, comp, cfg, comp_state);
+  const auto mem_f = mem_c.normalized();
+  const auto comp_f = comp_c.normalized();
+  const auto& names = CounterBlock::feature_names();
+  const auto index_of = [&](const std::string& name) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), name) - names.begin());
+  };
+  EXPECT_GT(mem_f[index_of("stall_frac")], comp_f[index_of("stall_frac")]);
+  EXPECT_GT(mem_f[index_of("dram_per_kinst")],
+            comp_f[index_of("dram_per_kinst")]);
+  EXPECT_GT(comp_f[index_of("vector_rate")], mem_f[index_of("vector_rate")]);
+}
+
+TEST(Counters, GpuRunsShowDriverOnlyCpuActivity) {
+  const auto k = compute_bound_kernel();
+  const auto cpu_cfg = cpu_config(5, 4);
+  const auto gpu_cfg = gpu_config(2, 5);
+  const auto cpu_state = evaluate_steady_state(kSpec, k, cpu_cfg);
+  const auto gpu_state = evaluate_steady_state(kSpec, k, gpu_cfg);
+  const auto on_cpu = synthesize_counters(kSpec, k, cpu_cfg, cpu_state);
+  const auto on_gpu = synthesize_counters(kSpec, k, gpu_cfg, gpu_state);
+  EXPECT_LT(on_gpu.instructions, 0.05 * on_cpu.instructions);
+  EXPECT_EQ(on_gpu.vector_insts, 0.0);
+  // The northbridge PMU still sees the kernel's DRAM traffic.
+  EXPECT_GT(on_gpu.dram_accesses, 0.1 * on_cpu.dram_accesses);
+}
+
+TEST(Counters, ScaleAndAccumulate) {
+  CounterBlock a;
+  a.instructions = 10.0;
+  a.branches = 2.0;
+  CounterBlock b = 2.0 * a;
+  EXPECT_DOUBLE_EQ(b.instructions, 20.0);
+  b += a;
+  EXPECT_DOUBLE_EQ(b.instructions, 30.0);
+  EXPECT_DOUBLE_EQ(b.branches, 6.0);
+}
+
+TEST(Counters, CyclesConsistentWithTimeAndFrequency) {
+  const auto k = memory_bound_kernel();
+  const auto cfg = cpu_config(2, 3);
+  const auto state = evaluate_steady_state(kSpec, k, cfg);
+  const auto c = synthesize_counters(kSpec, k, cfg, state);
+  const double expected =
+      state.time_ms * 1e-3 * cfg.cpu_freq_ghz() * 1e9 * 3;
+  EXPECT_NEAR(c.core_cycles / expected, 1.0, 1e-9);
+  EXPECT_NEAR(c.reference_cycles / (state.time_ms * 1e-3 * 100e6), 1.0,
+              1e-9);
+}
+
+// Property sweep: every (kernel archetype, configuration) pair produces
+// physically sane outputs.
+class ModelProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ModelProperty, SteadyStateSane) {
+  const ConfigSpace space;
+  const auto& config = space.at(GetParam());
+  for (const auto& kernel :
+       {memory_bound_kernel(), compute_bound_kernel(),
+        serial_divergent_kernel()}) {
+    const auto s = evaluate_steady_state(kSpec, kernel, config);
+    EXPECT_GT(s.time_ms, 0.0);
+    EXPECT_LT(s.time_ms, 60000.0);
+    EXPECT_GT(s.total_power_w(), 5.0);
+    EXPECT_LT(s.total_power_w(), 120.0);  // within chip TDP territory
+    EXPECT_GE(s.compute_utilization, 0.0);
+    EXPECT_LE(s.compute_utilization, 1.0);
+    EXPECT_GE(s.stall_fraction, 0.0);
+    EXPECT_LE(s.stall_fraction, 1.0);
+    EXPECT_GE(s.dram_gbs, 0.0);
+    EXPECT_LT(s.dram_gbs, 30.0);
+
+    const auto counters = synthesize_counters(kSpec, kernel, config, s);
+    EXPECT_GE(counters.instructions, 0.0);
+    EXPECT_GE(counters.stalled_cycles, 0.0);
+    EXPECT_LE(counters.stalled_cycles, counters.core_cycles * (1 + 1e-9));
+    for (const double f : counters.normalized()) {
+      EXPECT_TRUE(std::isfinite(f));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ModelProperty,
+                         ::testing::Range<std::size_t>(0, 54));
+
+}  // namespace
+}  // namespace acsel::soc

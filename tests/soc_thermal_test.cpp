@@ -1,0 +1,207 @@
+// Tests for the thermal model and opportunistic overclocking (§VI boost).
+#include <gtest/gtest.h>
+
+#include "hw/config_space.h"
+#include "soc/machine.h"
+#include "soc/thermal.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+namespace {
+
+KernelCharacteristics hot_kernel() {
+  KernelCharacteristics k;
+  k.work_gflop = 3.0;
+  k.bytes_per_flop = 0.05;
+  k.parallel_fraction = 0.99;
+  k.vector_fraction = 0.7;
+  k.gpu_efficiency = 0.6;
+  k.fpu_intensity = 0.9;
+  return k;
+}
+
+TEST(Thermal, StartsAtAmbient) {
+  const ThermalSpec spec;
+  const ThermalState state{spec};
+  EXPECT_DOUBLE_EQ(state.temperature_c(), spec.ambient_c);
+}
+
+TEST(Thermal, ConvergesToSteadyStateTemperature) {
+  ThermalSpec spec;
+  ThermalState state{spec};
+  const double power = 40.0;
+  for (int i = 0; i < 20000; ++i) {  // 20 s >> tau
+    state.advance(power, 1e-3);
+  }
+  EXPECT_NEAR(state.temperature_c(),
+              spec.ambient_c + spec.r_th_c_per_w * power, 0.01);
+}
+
+TEST(Thermal, HeatsWithFirstOrderDynamics) {
+  ThermalSpec spec;
+  ThermalState state{spec};
+  // After one time constant, ~63% of the step is covered.
+  const double power = 40.0;
+  const double target = spec.ambient_c + spec.r_th_c_per_w * power;
+  const int ticks = static_cast<int>(spec.tau_s * 1000.0);
+  for (int i = 0; i < ticks; ++i) {
+    state.advance(power, 1e-3);
+  }
+  const double progress =
+      (state.temperature_c() - spec.ambient_c) / (target - spec.ambient_c);
+  EXPECT_NEAR(progress, 0.632, 0.01);
+}
+
+TEST(Thermal, CoolsWhenPowerDrops) {
+  ThermalSpec spec;
+  ThermalState state{spec};
+  for (int i = 0; i < 10000; ++i) {
+    state.advance(50.0, 1e-3);
+  }
+  const double hot = state.temperature_c();
+  for (int i = 0; i < 10000; ++i) {
+    state.advance(10.0, 1e-3);
+  }
+  EXPECT_LT(state.temperature_c(), hot);
+}
+
+TEST(Thermal, LeakageGrowsWithTemperature) {
+  ThermalSpec spec;
+  ThermalState state{spec};
+  const double cold = state.leakage_factor();
+  for (int i = 0; i < 20000; ++i) {
+    state.advance(60.0, 1e-3);
+  }
+  EXPECT_GT(state.leakage_factor(), cold);
+  EXPECT_GT(state.leakage_factor(), 1.0);
+}
+
+TEST(Thermal, ResetReturnsToAmbient) {
+  ThermalSpec spec;
+  ThermalState state{spec};
+  for (int i = 0; i < 5000; ++i) {
+    state.advance(60.0, 1e-3);
+  }
+  state.reset();
+  EXPECT_DOUBLE_EQ(state.temperature_c(), spec.ambient_c);
+}
+
+TEST(Thermal, BoostDisabledByDefault) {
+  ThermalSpec spec;
+  ThermalState state{spec};
+  EXPECT_FALSE(state.boost_allowed());
+}
+
+TEST(Thermal, BoostHysteresis) {
+  ThermalSpec spec;
+  spec.enable_boost = true;
+  spec.boost_cutoff_c = 78.0;
+  spec.boost_hysteresis_c = 3.0;
+  ThermalState state{spec};
+  EXPECT_TRUE(state.boost_allowed());  // cold: boost available
+  // Heat past the cutoff.
+  while (state.temperature_c() < 79.0) {
+    state.advance(80.0, 1e-3);
+  }
+  EXPECT_FALSE(state.boost_allowed());
+  // Cooling to just below the cutoff is not enough (hysteresis band).
+  while (state.temperature_c() > 76.5) {
+    state.advance(5.0, 1e-3);
+  }
+  EXPECT_FALSE(state.boost_allowed());
+  // Cooling below cutoff - hysteresis re-arms boost.
+  while (state.temperature_c() > 74.5) {
+    state.advance(5.0, 1e-3);
+  }
+  EXPECT_TRUE(state.boost_allowed());
+}
+
+TEST(Thermal, AdvanceValidatesInputs) {
+  ThermalSpec spec;
+  ThermalState state{spec};
+  EXPECT_THROW(state.advance(-1.0, 1e-3), Error);
+  EXPECT_THROW(state.advance(10.0, 0.0), Error);
+}
+
+// ---------------------------------------------------- machine integration --
+
+TEST(MachineThermal, TemperatureRisesDuringHeavyRun) {
+  Machine machine;
+  const hw::ConfigSpace space;
+  auto k = hot_kernel();
+  k.work_gflop = 20.0;  // a long, hot run
+  const auto result = machine.run(k, space.cpu_sample());
+  EXPECT_GT(result.avg_temperature_c, machine.spec().thermal.ambient_c);
+  EXPECT_GT(machine.die_temperature_c(), machine.spec().thermal.ambient_c);
+}
+
+TEST(MachineThermal, HeatPersistsAcrossRunsUntilReset) {
+  Machine machine;
+  const hw::ConfigSpace space;
+  machine.run(hot_kernel(), space.cpu_sample());
+  const double warm = machine.die_temperature_c();
+  EXPECT_GT(warm, machine.spec().thermal.ambient_c);
+  machine.reset_thermal();
+  EXPECT_DOUBLE_EQ(machine.die_temperature_c(),
+                   machine.spec().thermal.ambient_c);
+}
+
+TEST(MachineThermal, BoostSpeedsUpComputeBoundKernelsWhenCool) {
+  MachineSpec boosted_spec;
+  boosted_spec.thermal.enable_boost = true;
+  boosted_spec.perf_noise_frac = 0.0;
+  boosted_spec.power_noise_frac = 0.0;
+  MachineSpec plain_spec = boosted_spec;
+  plain_spec.thermal.enable_boost = false;
+
+  Machine boosted{boosted_spec, 5};
+  Machine plain{plain_spec, 5};
+  const hw::ConfigSpace space;
+  const auto k = hot_kernel();
+  const auto fast = boosted.run(k, space.cpu_sample());
+  const auto base = plain.run(k, space.cpu_sample());
+  EXPECT_GT(fast.boost_fraction, 0.5);
+  EXPECT_EQ(base.boost_fraction, 0.0);
+  EXPECT_LT(fast.time_ms, base.time_ms);
+  // Boost costs power (higher f and V).
+  EXPECT_GT(fast.avg_power_w(), base.avg_power_w());
+}
+
+TEST(MachineThermal, BoostOnlyAtTopPState) {
+  MachineSpec spec;
+  spec.thermal.enable_boost = true;
+  Machine machine{spec, 6};
+  const hw::ConfigSpace space;
+  hw::Configuration mid = space.cpu_sample();
+  mid.cpu_pstate = 2;
+  const auto result = machine.run(hot_kernel(), mid);
+  EXPECT_EQ(result.boost_fraction, 0.0);
+}
+
+TEST(MachineThermal, BoostBacksOffWhenDieHeatsUp) {
+  MachineSpec spec;
+  spec.thermal.enable_boost = true;
+  // Aggressive thermals so the run crosses the cutoff quickly.
+  spec.thermal.tau_s = 0.05;
+  spec.thermal.r_th_c_per_w = 1.2;
+  spec.thermal.boost_cutoff_c = 70.0;
+  Machine machine{spec, 7};
+  const hw::ConfigSpace space;
+  auto k = hot_kernel();
+  k.work_gflop = 30.0;  // long enough to saturate thermally
+  const auto result = machine.run(k, space.cpu_sample());
+  EXPECT_GT(result.boost_fraction, 0.0);  // boosted at the cold start
+  EXPECT_LT(result.boost_fraction, 0.9);  // but not the whole run
+}
+
+TEST(MachineThermal, GpuRunsNeverBoost) {
+  MachineSpec spec;
+  spec.thermal.enable_boost = true;
+  Machine machine{spec, 8};
+  const hw::ConfigSpace space;
+  const auto result = machine.run(hot_kernel(), space.gpu_sample());
+  EXPECT_EQ(result.boost_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace acsel::soc

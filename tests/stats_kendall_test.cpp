@@ -1,0 +1,178 @@
+// Tests for Kendall rank correlation, the frontier-order similarity measure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/kendall.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acsel::stats {
+namespace {
+
+TEST(KendallTauA, IdenticalOrderIsOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(kendall_tau_a(x, x), 1.0);
+}
+
+TEST(KendallTauA, ReversedOrderIsMinusOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(kendall_tau_a(x, y), -1.0);
+}
+
+TEST(KendallTauA, HandComputedExample) {
+  // Pairs: (1,2): C, (1,3): C, (2,3): D -> tau = (2-1)/3.
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{1, 3, 2};
+  EXPECT_NEAR(kendall_tau_a(x, y), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauA, TiesCountedAsNeither) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{1, 1, 2, 3};  // one tied pair in y
+  // Pairs: 6 total, 5 concordant, 0 discordant, 1 tie -> tau_a = 5/6.
+  EXPECT_NEAR(kendall_tau_a(x, y), 5.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTauA, InvarianceUnderMonotoneTransform) {
+  const std::vector<double> x{0.3, 1.4, 2.4, 3.7};
+  const std::vector<double> y{12.5, 13.7, 24.2, 29.8};
+  std::vector<double> x2(x.size());
+  std::transform(x.begin(), x.end(), x2.begin(),
+                 [](double v) { return v * v * v + 7.0; });
+  EXPECT_DOUBLE_EQ(kendall_tau_a(x, y), kendall_tau_a(x2, y));
+}
+
+TEST(KendallTauA, RejectsBadInput) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(kendall_tau_a(one, one), Error);
+  EXPECT_THROW(kendall_tau_a(two, one), Error);
+}
+
+TEST(KendallTauB, MatchesTauAWithoutTies) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 1, 4, 3, 5};
+  EXPECT_NEAR(kendall_tau_b(x, y), kendall_tau_a(x, y), 1e-12);
+}
+
+TEST(KendallTauB, TieCorrectionRaisesMagnitude) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{1, 1, 2, 3};
+  EXPECT_GT(kendall_tau_b(x, y), kendall_tau_a(x, y));
+  EXPECT_NEAR(kendall_tau_b(x, y), 5.0 / std::sqrt(6.0 * 5.0), 1e-12);
+}
+
+TEST(KendallTauB, ConstantInputThrows) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> c{5, 5, 5};
+  EXPECT_THROW(kendall_tau_b(x, c), Error);
+}
+
+TEST(KendallFast, MatchesNaiveOnRandomPermutations) {
+  Rng rng{99};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(50);
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    std::iota(x.begin(), x.end(), 0.0);
+    std::iota(y.begin(), y.end(), 0.0);
+    rng.shuffle(x);
+    rng.shuffle(y);
+    EXPECT_NEAR(kendall_tau_fast(x, y), kendall_tau_a(x, y), 1e-12);
+  }
+}
+
+TEST(KendallFast, FallsBackOnTies) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{1, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(kendall_tau_fast(x, y), kendall_tau_a(x, y));
+}
+
+TEST(KendallDistance, ZeroForIdenticalOrders) {
+  const std::vector<std::size_t> a{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(kendall_distance(a, a), 0.0);
+}
+
+TEST(KendallDistance, OneForReversedOrders) {
+  const std::vector<std::size_t> a{0, 1, 2, 3};
+  const std::vector<std::size_t> b{3, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(kendall_distance(a, b), 1.0);
+}
+
+TEST(KendallDistance, SingleAdjacentSwap) {
+  const std::vector<std::size_t> a{0, 1, 2, 3};
+  const std::vector<std::size_t> b{1, 0, 2, 3};
+  EXPECT_DOUBLE_EQ(kendall_distance(a, b), 1.0 / 6.0);
+}
+
+TEST(KendallDistance, SymmetricInArguments) {
+  Rng rng{5};
+  std::vector<std::size_t> a(10);
+  std::vector<std::size_t> b(10);
+  std::iota(a.begin(), a.end(), std::size_t{0});
+  std::iota(b.begin(), b.end(), std::size_t{0});
+  rng.shuffle(a);
+  rng.shuffle(b);
+  EXPECT_DOUBLE_EQ(kendall_distance(a, b), kendall_distance(b, a));
+}
+
+TEST(KendallDistance, EquivalentToTauOfRanks) {
+  // d = (1 - tau)/2 for permutations without ties.
+  Rng rng{6};
+  std::vector<std::size_t> a(12);
+  std::vector<std::size_t> b(12);
+  std::iota(a.begin(), a.end(), std::size_t{0});
+  std::iota(b.begin(), b.end(), std::size_t{0});
+  rng.shuffle(a);
+  rng.shuffle(b);
+  // Rank of item i within each order.
+  std::vector<double> rank_a(12);
+  std::vector<double> rank_b(12);
+  for (std::size_t pos = 0; pos < 12; ++pos) {
+    rank_a[a[pos]] = static_cast<double>(pos);
+    rank_b[b[pos]] = static_cast<double>(pos);
+  }
+  const double tau = kendall_tau_a(rank_a, rank_b);
+  EXPECT_NEAR(kendall_distance(a, b), (1.0 - tau) / 2.0, 1e-12);
+}
+
+TEST(KendallDistance, RejectsNonPermutations) {
+  const std::vector<std::size_t> a{0, 1, 5};  // 5 out of range
+  const std::vector<std::size_t> b{0, 1, 2};
+  EXPECT_THROW(kendall_distance(a, b), Error);
+  EXPECT_THROW(kendall_distance(b, a), Error);
+}
+
+// Property sweep: tau bounds and antisymmetry over random data.
+class KendallProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KendallProperty, TauWithinBoundsAndAntisymmetric) {
+  Rng rng{GetParam()};
+  const std::size_t n = 3 + rng.uniform_index(40);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-10.0, 10.0);
+    y[i] = rng.uniform(-10.0, 10.0);
+  }
+  const double tau = kendall_tau_a(x, y);
+  EXPECT_GE(tau, -1.0);
+  EXPECT_LE(tau, 1.0);
+  // Reversing y's comparisons by negation flips the sign exactly
+  // (continuous values: ties have probability zero).
+  std::vector<double> neg_y(n);
+  std::transform(y.begin(), y.end(), neg_y.begin(),
+                 [](double v) { return -v; });
+  EXPECT_NEAR(kendall_tau_a(x, neg_y), -tau, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallProperty,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace acsel::stats

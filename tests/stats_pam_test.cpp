@@ -1,0 +1,199 @@
+// Tests for PAM k-medoids relational clustering and silhouette widths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "linalg/matrix.h"
+#include "stats/pam.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acsel::stats {
+namespace {
+
+using linalg::Matrix;
+
+/// Euclidean distance matrix for 1-D points.
+Matrix distance_matrix(const std::vector<double>& points) {
+  const std::size_t n = points.size();
+  Matrix d{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d(i, j) = std::abs(points[i] - points[j]);
+    }
+  }
+  return d;
+}
+
+TEST(Pam, SingleClusterPicksMedianLikeMedoid) {
+  const auto d = distance_matrix({0.0, 1.0, 2.0, 3.0, 100.0});
+  const auto result = pam(d, 1);
+  ASSERT_EQ(result.medoids.size(), 1u);
+  EXPECT_EQ(result.medoids[0], 2u);  // point 2.0 minimizes total distance
+  for (const std::size_t a : result.assignment) {
+    EXPECT_EQ(a, 0u);
+  }
+}
+
+TEST(Pam, SeparatesTwoObviousClusters) {
+  const auto d = distance_matrix({0.0, 0.1, 0.2, 10.0, 10.1, 10.2});
+  const auto result = pam(d, 2);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[1], result.assignment[2]);
+  EXPECT_EQ(result.assignment[3], result.assignment[4]);
+  EXPECT_EQ(result.assignment[4], result.assignment[5]);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+}
+
+TEST(Pam, MedoidsAssignedToOwnCluster) {
+  Rng rng{4242};
+  std::vector<double> points(30);
+  for (auto& p : points) {
+    p = rng.uniform(0.0, 100.0);
+  }
+  const auto d = distance_matrix(points);
+  const auto result = pam(d, 4);
+  for (std::size_t m = 0; m < result.medoids.size(); ++m) {
+    EXPECT_EQ(result.assignment[result.medoids[m]], m);
+  }
+}
+
+TEST(Pam, EveryItemAssignedToNearestMedoid) {
+  Rng rng{808};
+  std::vector<double> points(25);
+  for (auto& p : points) {
+    p = rng.uniform(0.0, 50.0);
+  }
+  const auto d = distance_matrix(points);
+  const auto result = pam(d, 3);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double assigned = d(i, result.medoids[result.assignment[i]]);
+    for (const std::size_t m : result.medoids) {
+      EXPECT_LE(assigned, d(i, m) + 1e-12);
+    }
+  }
+}
+
+TEST(Pam, KEqualsNMakesEveryItemAMedoid) {
+  const auto d = distance_matrix({1.0, 5.0, 9.0});
+  const auto result = pam(d, 3);
+  EXPECT_EQ(result.total_cost, 0.0);
+  std::set<std::size_t> medoids(result.medoids.begin(), result.medoids.end());
+  EXPECT_EQ(medoids.size(), 3u);
+}
+
+TEST(Pam, CostIsSumOfAssignedDistances) {
+  const auto d = distance_matrix({0.0, 1.0, 10.0, 11.0});
+  const auto result = pam(d, 2);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    expected += d(i, result.medoids[result.assignment[i]]);
+  }
+  EXPECT_DOUBLE_EQ(result.total_cost, expected);
+  EXPECT_DOUBLE_EQ(result.total_cost, 2.0);
+}
+
+TEST(Pam, MoreClustersNeverIncreaseCost) {
+  Rng rng{31337};
+  std::vector<double> points(40);
+  for (auto& p : points) {
+    p = rng.uniform(0.0, 1.0);
+  }
+  const auto d = distance_matrix(points);
+  double prev = pam(d, 1).total_cost;
+  for (std::size_t k = 2; k <= 8; ++k) {
+    const double cost = pam(d, k).total_cost;
+    EXPECT_LE(cost, prev + 1e-12) << "k=" << k;
+    prev = cost;
+  }
+}
+
+TEST(Pam, RejectsInvalidK) {
+  const auto d = distance_matrix({1.0, 2.0});
+  EXPECT_THROW(pam(d, 0), Error);
+  EXPECT_THROW(pam(d, 3), Error);
+}
+
+TEST(Pam, RejectsAsymmetricMatrix) {
+  Matrix d{2, 2};
+  d(0, 1) = 1.0;
+  d(1, 0) = 2.0;
+  EXPECT_THROW(pam(d, 1), Error);
+}
+
+TEST(Pam, RejectsNonZeroDiagonal) {
+  Matrix d{2, 2};
+  d(0, 0) = 0.5;
+  EXPECT_THROW(pam(d, 1), Error);
+}
+
+TEST(Pam, RejectsNegativeEntries) {
+  Matrix d{2, 2};
+  d(0, 1) = -1.0;
+  d(1, 0) = -1.0;
+  EXPECT_THROW(pam(d, 1), Error);
+}
+
+TEST(Silhouette, PerfectSeparationNearOne) {
+  const auto d = distance_matrix({0.0, 0.01, 10.0, 10.01});
+  const auto result = pam(d, 2);
+  EXPECT_GT(silhouette(d, result.assignment), 0.95);
+}
+
+TEST(Silhouette, WorseForWrongK) {
+  // Three well-separated groups: k=3 should beat k=2.
+  const auto d =
+      distance_matrix({0.0, 0.1, 5.0, 5.1, 10.0, 10.1});
+  const auto two = pam(d, 2);
+  const auto three = pam(d, 3);
+  EXPECT_GT(silhouette(d, three.assignment), silhouette(d, two.assignment));
+}
+
+TEST(Silhouette, SingletonsContributeZero) {
+  const auto d = distance_matrix({0.0, 10.0});
+  const std::vector<std::size_t> assignment{0, 1};
+  EXPECT_DOUBLE_EQ(silhouette(d, assignment), 0.0);
+}
+
+TEST(Silhouette, ValidatesAssignmentSize) {
+  const auto d = distance_matrix({0.0, 1.0, 2.0});
+  const std::vector<std::size_t> wrong{0, 1};
+  EXPECT_THROW(silhouette(d, wrong), Error);
+}
+
+// Property sweep: PAM invariants over random instances.
+class PamProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PamProperty, InvariantsHold) {
+  Rng rng{GetParam()};
+  const std::size_t n = 5 + rng.uniform_index(30);
+  const std::size_t k = 1 + rng.uniform_index(std::min<std::size_t>(n, 6));
+  std::vector<double> points(n);
+  for (auto& p : points) {
+    p = rng.uniform(0.0, 100.0);
+  }
+  const auto d = distance_matrix(points);
+  const auto result = pam(d, k);
+
+  ASSERT_EQ(result.medoids.size(), k);
+  ASSERT_EQ(result.assignment.size(), n);
+  // Medoids are distinct.
+  std::set<std::size_t> distinct(result.medoids.begin(),
+                                 result.medoids.end());
+  EXPECT_EQ(distinct.size(), k);
+  // Labels in range; every cluster non-empty (its medoid belongs to it).
+  for (const std::size_t label : result.assignment) {
+    EXPECT_LT(label, k);
+  }
+  for (std::size_t m = 0; m < k; ++m) {
+    EXPECT_EQ(result.assignment[result.medoids[m]], m);
+  }
+  EXPECT_GE(result.total_cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PamProperty,
+                         ::testing::Range<std::uint64_t>(500, 525));
+
+}  // namespace
+}  // namespace acsel::stats

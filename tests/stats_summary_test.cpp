@@ -1,0 +1,168 @@
+// Tests for descriptive statistics and cross-validation fold construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/crossval.h"
+#include "stats/summary.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acsel::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, SingleValueHasZeroStddev) {
+  const std::vector<double> v{3.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  EXPECT_THROW(summarize({}), Error);
+  EXPECT_THROW(mean({}), Error);
+  EXPECT_THROW(median({}), Error);
+}
+
+TEST(WeightedMean, MatchesHandComputation) {
+  const std::vector<double> v{1.0, 10.0};
+  const std::vector<double> w{9.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(v, w), 1.9);
+}
+
+TEST(WeightedMean, UniformWeightsEqualMean) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(v, w), mean(v));
+}
+
+TEST(WeightedMean, RejectsBadWeights) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(weighted_mean(v, std::vector<double>{-1.0, 1.0}), Error);
+  EXPECT_THROW(weighted_mean(v, std::vector<double>{0.0, 0.0}), Error);
+  EXPECT_THROW(weighted_mean(v, std::vector<double>{1.0}), Error);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(GeometricMean, HandChecked) {
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{1.0, 4.0}), 2.0);
+  EXPECT_THROW(geometric_mean(std::vector<double>{1.0, 0.0}), Error);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z{6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputThrows) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_THROW(pearson(x, c), Error);
+}
+
+TEST(MinMaxNormalize, MapsToUnitInterval) {
+  const auto out = min_max_normalize(std::vector<double>{10.0, 20.0, 15.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(MinMaxNormalize, ConstantInputMapsToZero) {
+  const auto out = min_max_normalize(std::vector<double>{7.0, 7.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+// ------------------------------------------------------------- crossval --
+
+TEST(LeaveOneGroupOut, OneFoldPerBenchmark) {
+  const std::vector<std::string> groups{"lulesh", "lulesh", "comd",
+                                        "smc",    "comd",   "lu"};
+  const auto folds = leave_one_group_out(groups);
+  ASSERT_EQ(folds.size(), 4u);  // four distinct benchmarks
+  // Fold 0 holds out "lulesh" (first appearance order).
+  EXPECT_EQ(folds[0].test, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(folds[0].train, (std::vector<std::size_t>{2, 3, 4, 5}));
+  // Every fold partitions all items.
+  for (const auto& fold : folds) {
+    std::set<std::size_t> all(fold.train.begin(), fold.train.end());
+    all.insert(fold.test.begin(), fold.test.end());
+    EXPECT_EQ(all.size(), groups.size());
+    EXPECT_FALSE(fold.test.empty());
+    EXPECT_FALSE(fold.train.empty());
+  }
+}
+
+TEST(LeaveOneGroupOut, TestItemsShareGroupAndNeverTrain) {
+  const std::vector<std::string> groups{"a", "b", "a", "c", "b"};
+  const auto folds = leave_one_group_out(groups);
+  for (const auto& fold : folds) {
+    const std::string& g = groups[fold.test.front()];
+    for (const std::size_t t : fold.test) {
+      EXPECT_EQ(groups[t], g);
+    }
+    for (const std::size_t t : fold.train) {
+      EXPECT_NE(groups[t], g);
+    }
+  }
+}
+
+TEST(LeaveOneGroupOut, SingleGroupThrows) {
+  EXPECT_THROW(leave_one_group_out({"only", "only"}), Error);
+  EXPECT_THROW(leave_one_group_out({}), Error);
+}
+
+TEST(KFold, PartitionsAllItems) {
+  Rng rng{10};
+  const auto folds = k_fold(23, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<std::size_t> seen;
+  for (const auto& fold : folds) {
+    seen.insert(seen.end(), fold.test.begin(), fold.test.end());
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 23u);
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 23u);
+  for (std::size_t i = 0; i < 23; ++i) {
+    EXPECT_EQ(seen[i], i);
+  }
+}
+
+TEST(KFold, FoldSizesDifferByAtMostOne) {
+  Rng rng{11};
+  const auto folds = k_fold(10, 3, rng);
+  std::size_t lo = 10;
+  std::size_t hi = 0;
+  for (const auto& fold : folds) {
+    lo = std::min(lo, fold.test.size());
+    hi = std::max(hi, fold.test.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(KFold, RejectsInvalidK) {
+  Rng rng{12};
+  EXPECT_THROW(k_fold(5, 1, rng), Error);
+  EXPECT_THROW(k_fold(5, 6, rng), Error);
+}
+
+}  // namespace
+}  // namespace acsel::stats

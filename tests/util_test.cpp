@@ -1,0 +1,352 @@
+// Tests for the util substrate: errors, RNG determinism and distribution
+// sanity, string helpers, CSV round-trips, table rendering, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace acsel {
+namespace {
+
+// ---------------------------------------------------------------- error --
+
+TEST(Error, CheckPassesOnTrue) { EXPECT_NO_THROW(ACSEL_CHECK(1 + 1 == 2)); }
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(ACSEL_CHECK(1 + 1 == 3), Error);
+}
+
+TEST(Error, CheckMessageContainsExpressionAndLocation) {
+  try {
+    ACSEL_CHECK_MSG(false, "extra context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("extra context"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng{0};
+  // SplitMix64 seeding guarantees a non-degenerate state even for seed 0.
+  EXPECT_NE(rng.next_u64(), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{13};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng{1};
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng{17};
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) {
+    seen[rng.uniform_index(5)] = true;
+  }
+  for (const bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng{1};
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{19};
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng{23};
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng{1};
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent{29};
+  Rng child = parent.split();
+  // The child stream should not reproduce the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += parent.next_u64() == child.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{31};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng{37};
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) {
+    v[static_cast<std::size_t>(i)] = i;
+  }
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+// -------------------------------------------------------------- strings --
+
+TEST(Strings, SplitBasic) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,c,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, SplitEmptyStringYieldsOneField) {
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("configuration", "config"));
+  EXPECT_FALSE(starts_with("conf", "config"));
+}
+
+TEST(Strings, FormatParseRoundTrip) {
+  const double values[] = {0.0, 1.0, -2.5, 3.14159265358979,
+                           1e-300, 1e300, 12.5};
+  for (const double v : values) {
+    EXPECT_DOUBLE_EQ(parse_double(format_double(v, 17)), v) << v;
+  }
+}
+
+TEST(Strings, ParseDoubleRejectsGarbage) {
+  EXPECT_THROW(parse_double("not-a-number"), Error);
+  EXPECT_THROW(parse_double("1.5x"), Error);
+  EXPECT_THROW(parse_double(""), Error);
+}
+
+TEST(Strings, ParseSizeBasic) {
+  EXPECT_EQ(parse_size("42"), 42u);
+  EXPECT_THROW(parse_size("-1"), Error);
+  EXPECT_THROW(parse_size("abc"), Error);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+// ------------------------------------------------------------------ csv --
+
+TEST(Csv, WriteSimpleRows) {
+  std::ostringstream os;
+  CsvWriter writer{os};
+  writer.header({"kernel", "power_w"});
+  writer.row({"lulesh.hourglass", "24.2"});
+  EXPECT_EQ(os.str(), "kernel,power_w\nlulesh.hourglass,24.2\n");
+  EXPECT_EQ(writer.rows_written(), 1u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter writer{os};
+  writer.row({"with,comma", "with\"quote", "plain"});
+  EXPECT_EQ(os.str(), "\"with,comma\",\"with\"\"quote\",plain\n");
+}
+
+TEST(Csv, RowWidthMustMatchHeader) {
+  std::ostringstream os;
+  CsvWriter writer{os};
+  writer.header({"a", "b"});
+  EXPECT_THROW(writer.row({"only-one"}), Error);
+}
+
+TEST(Csv, ParseRoundTrip) {
+  std::ostringstream os;
+  CsvWriter writer{os};
+  writer.header({"name", "value"});
+  writer.row({"x,y", "1.5"});
+  writer.row({"line\nbreak", "-2"});
+  const CsvDocument doc = parse_csv(os.str());
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "x,y");
+  EXPECT_EQ(doc.rows[1][0], "line\nbreak");
+  EXPECT_EQ(doc.column("value"), 1u);
+  EXPECT_THROW(doc.column("missing"), Error);
+}
+
+TEST(Csv, ParseHandlesCrLf) {
+  const CsvDocument doc = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, ParseRejectsRaggedRows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), Error);
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("a\n\"unterminated\n"), Error);
+}
+
+TEST(Csv, ParseEmptyInput) {
+  const CsvDocument doc = parse_csv("");
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv"), Error);
+}
+
+// ---------------------------------------------------------------- table --
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table;
+  table.set_header({"Method", "% Under-limit"});
+  table.add_row({"Model", "70"});
+  table.add_row({"Model+FL", "88"});
+  std::ostringstream os;
+  table.print(os, "Comparison");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Comparison"), std::string::npos);
+  EXPECT_NE(text.find("| Model    |"), std::string::npos);
+  EXPECT_NE(text.find("| Model+FL |"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatting) {
+  TextTable table;
+  table.set_header({"bench", "a", "b"});
+  table.add_numeric_row("lulesh", {91.0, 1723.456}, 4);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("91"), std::string::npos);
+  EXPECT_NE(os.str().find("1723"), std::string::npos);
+}
+
+TEST(Table, RowWidthValidated) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(Table, EmptyTablePrintsNothing) {
+  TextTable table;
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+// ------------------------------------------------------------------ log --
+
+TEST(Log, LevelThresholdRespected) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Off);
+  ACSEL_LOG_WARN("this must not be evaluated: " << [] {
+    []() { FAIL() << "log expression evaluated below threshold"; }();
+    return 0;
+  }());
+  set_log_level(old);
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(old);
+}
+
+}  // namespace
+}  // namespace acsel

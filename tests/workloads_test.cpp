@@ -1,0 +1,215 @@
+// Tests for the benchmark suite: the paper's kernel counts, input
+// instantiation, weighting, and the headline behavioural contrasts the
+// suite must exhibit on the simulated machine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "hw/config_space.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel::workloads {
+namespace {
+
+TEST(Benchmarks, PaperKernelCounts) {
+  EXPECT_EQ(lulesh_benchmark().kernels.size(), 20u);  // §IV-B
+  EXPECT_EQ(comd_benchmark().kernels.size(), 7u);
+  EXPECT_EQ(smc_benchmark().kernels.size(), 8u);
+  EXPECT_EQ(lu_benchmark().kernels.size(), 1u);
+}
+
+TEST(Suite, ThirtySixKernelsSixtyFiveInstances) {
+  const Suite suite = Suite::standard();
+  EXPECT_EQ(suite.kernel_count(), 36u);   // §IV-B: 36 kernels
+  EXPECT_EQ(suite.size(), 65u);           // §IV-B: 65 benchmark/input combos
+  EXPECT_EQ(suite.benchmarks().size(), 4u);
+}
+
+TEST(Suite, GroupsCoverPaperFigures) {
+  const Suite suite = Suite::standard();
+  const auto& groups = suite.benchmark_inputs();
+  // The groups charted in Figs. 5/6/8/9 (plus LU Medium, which exists in
+  // the 65-instance population but is not charted).
+  for (const char* expected :
+       {"LULESH Small", "LULESH Large", "CoMD LJ", "CoMD EAM",
+        "SMC Default", "LU Small", "LU Large"}) {
+    EXPECT_NE(std::find(groups.begin(), groups.end(), expected),
+              groups.end())
+        << expected;
+  }
+}
+
+TEST(Suite, InstanceIdsUnique) {
+  const Suite suite = Suite::standard();
+  std::set<std::string> ids;
+  for (const auto& instance : suite.instances()) {
+    ids.insert(instance.id());
+  }
+  EXPECT_EQ(ids.size(), suite.size());
+}
+
+TEST(Suite, WeightsNormalizedPerGroup) {
+  const Suite suite = Suite::standard();
+  for (const auto& group : suite.benchmark_inputs()) {
+    double sum = 0.0;
+    for (const std::size_t i : suite.instances_of_group(group)) {
+      sum += suite.instances()[i].weight;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << group;
+  }
+}
+
+TEST(Suite, AllTraitsValid) {
+  const Suite suite = Suite::standard();
+  for (const auto& instance : suite.instances()) {
+    EXPECT_NO_THROW(instance.traits.validate()) << instance.id();
+  }
+}
+
+TEST(Suite, LookupById) {
+  const Suite suite = Suite::standard();
+  const auto& instance =
+      suite.instance("LULESH-Small/CalcFBHourglassForce");
+  EXPECT_EQ(instance.benchmark, "LULESH");
+  EXPECT_EQ(instance.input, "Small");
+  EXPECT_THROW(suite.instance("nope/nope"), Error);
+}
+
+TEST(Suite, BenchmarkInstanceCounts) {
+  const Suite suite = Suite::standard();
+  EXPECT_EQ(suite.instances_of_benchmark("LULESH").size(), 40u);  // 20 x 2
+  EXPECT_EQ(suite.instances_of_benchmark("CoMD").size(), 14u);    // 7 x 2
+  EXPECT_EQ(suite.instances_of_benchmark("SMC").size(), 8u);      // 8 x 1
+  EXPECT_EQ(suite.instances_of_benchmark("LU").size(), 3u);       // 1 x 3
+}
+
+TEST(ApplyInput, ScalesWorkAndClampsLocality) {
+  soc::KernelCharacteristics k;
+  k.work_gflop = 2.0;
+  k.cache_locality = 0.95;
+  const InputSpec input{"Big", 3.0, +0.2, 0.0};
+  const auto scaled = apply_input(k, input);
+  EXPECT_DOUBLE_EQ(scaled.work_gflop, 6.0);
+  EXPECT_DOUBLE_EQ(scaled.cache_locality, 1.0);  // clamped
+}
+
+TEST(ApplyInput, RejectsNonPositiveScale) {
+  soc::KernelCharacteristics k;
+  EXPECT_THROW(apply_input(k, InputSpec{"bad", 0.0, 0.0, 0.0}), Error);
+}
+
+TEST(Suite, EmptySuiteRejected) {
+  EXPECT_THROW(Suite{std::vector<BenchmarkSpec>{}}, Error);
+  BenchmarkSpec no_kernels;
+  no_kernels.name = "empty";
+  no_kernels.inputs = {{"x", 1.0, 0.0, 0.0}};
+  EXPECT_THROW(Suite{{no_kernels}}, Error);
+}
+
+// ----- behavioural contrasts the paper's evaluation depends on ----------
+
+class SuiteBehaviour : public ::testing::Test {
+ protected:
+  soc::Machine machine_;
+  workloads::Suite suite_ = Suite::standard();
+  hw::ConfigSpace space_;
+
+  double best_time(const WorkloadInstance& instance, hw::Device device) {
+    double best = 1e300;
+    for (const std::size_t i : space_.indices_for(device)) {
+      best = std::min(
+          best, machine_.analytic(instance.traits, space_.at(i)).time_ms);
+    }
+    return best;
+  }
+};
+
+TEST_F(SuiteBehaviour, LuIsDramaticallyGpuFriendly) {
+  const auto& lu = suite_.instance("LU-Large/lud");
+  const double cpu = best_time(lu, hw::Device::Cpu);
+  const double gpu = best_time(lu, hw::Device::Gpu);
+  EXPECT_GT(cpu / gpu, 6.0);  // the device gap behind Figs. 7 and 9
+}
+
+TEST_F(SuiteBehaviour, SomeKernelsPreferTheCpu) {
+  // Accelerators "do not benefit all parallel code" (§II-A): the suite must
+  // contain kernels whose best CPU configuration beats their best GPU one.
+  std::size_t cpu_wins = 0;
+  for (const auto& instance : suite_.instances()) {
+    if (best_time(instance, hw::Device::Cpu) <
+        best_time(instance, hw::Device::Gpu)) {
+      ++cpu_wins;
+    }
+  }
+  EXPECT_GE(cpu_wins, 5u);
+  EXPECT_LE(cpu_wins, suite_.size() - 20);  // and the GPU wins plenty too
+}
+
+TEST_F(SuiteBehaviour, PerKernelPerformanceRangeSpansPaperBand) {
+  // §III-B: "One kernel's best performance is 367 times that of its worst,
+  // while another kernel spans a range of only 1.62". Check the suite
+  // spans two orders of magnitude of best/worst ratios.
+  double widest = 0.0;
+  double narrowest = 1e300;
+  for (const auto& instance : suite_.instances()) {
+    double best = 1e300;
+    double worst = 0.0;
+    for (const auto& config : space_.all()) {
+      const double t = machine_.analytic(instance.traits, config).time_ms;
+      best = std::min(best, t);
+      worst = std::max(worst, t);
+    }
+    const double range = worst / best;
+    widest = std::max(widest, range);
+    narrowest = std::min(narrowest, range);
+  }
+  EXPECT_GT(widest, 50.0);
+  EXPECT_LT(narrowest, 8.0);
+}
+
+TEST_F(SuiteBehaviour, BestConfigPowerVariesWidelyAcrossKernels) {
+  // §III-B: best-performing-configuration power spans ~19 W to ~55 W.
+  // "Best-performing" is read as the frontier's top end: the cheapest
+  // configuration achieving >= 95% of the kernel's best performance
+  // (memory-bound kernels plateau, so many configurations tie at the top).
+  double lo = 1e300;
+  double hi = 0.0;
+  for (const auto& instance : suite_.instances()) {
+    double best_time_ms = 1e300;
+    for (const auto& config : space_.all()) {
+      best_time_ms = std::min(
+          best_time_ms, machine_.analytic(instance.traits, config).time_ms);
+    }
+    double cheapest = 1e300;
+    for (const auto& config : space_.all()) {
+      const auto s = machine_.analytic(instance.traits, config);
+      if (s.time_ms <= best_time_ms / 0.95) {
+        cheapest = std::min(cheapest, s.total_power_w());
+      }
+    }
+    lo = std::min(lo, cheapest);
+    hi = std::max(hi, cheapest);
+  }
+  EXPECT_LT(lo, 30.0);
+  EXPECT_GT(hi, 38.0);
+  EXPECT_GT(hi / lo, 1.7);
+}
+
+TEST_F(SuiteBehaviour, KernelTimesSuitTheControlLoop) {
+  // Sample-configuration runs must straddle several 5 ms control
+  // intervals so frequency limiting can act within an invocation.
+  const auto cpu_sample = space_.cpu_sample();
+  for (const auto& instance : suite_.instances()) {
+    const double t =
+        machine_.analytic(instance.traits, cpu_sample).time_ms;
+    EXPECT_GT(t, 2.0) << instance.id();
+    EXPECT_LT(t, 5000.0) << instance.id();
+  }
+}
+
+}  // namespace
+}  // namespace acsel::workloads
