@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,10 @@ struct Prediction {
   pareto::ParetoFrontier frontier;
 };
 
+/// A trained model is immutable after construction, and every const
+/// member below is safe to call concurrently from many threads — the
+/// serving layer relies on this to apply one shared model from a whole
+/// worker pool without locking.
 class TrainedModel {
  public:
   TrainedModel() = default;
@@ -49,6 +54,11 @@ class TrainedModel {
   static TrainedModel parse(const std::string& text);
   void save(const std::string& path) const;
   static TrainedModel load(const std::string& path);
+
+  /// load() into shared ownership — the form hot-swapping services want:
+  /// in-flight users keep their reference while a registry moves on.
+  static std::shared_ptr<const TrainedModel> load_shared(
+      const std::string& path);
 
  private:
   std::vector<ClusterModel> clusters_;

@@ -1,0 +1,352 @@
+#include "serve/codec.h"
+
+#include <cstring>
+#include <string>
+
+#include "util/error.h"
+
+namespace acsel::serve {
+namespace {
+
+// ---- primitive writers (little-endian) ---------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  ACSEL_CHECK_MSG(s.size() <= 0xffff, "wire string too long: " + s);
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// ---- primitive readers --------------------------------------------------
+
+/// Internal decode failure; caught at the frame boundary and mapped to
+/// DecodeStatus::MalformedPayload. Never escapes this file.
+struct PayloadError {};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::string string() {
+    const std::uint16_t n = u16();
+    need(n);
+    std::string s{reinterpret_cast<const char*>(data_.data() + pos_), n};
+    pos_ += n;
+    return s;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (data_.size() - pos_ < n) {
+      throw PayloadError{};
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- record / request / response payloads ------------------------------
+
+void put_record(std::vector<std::uint8_t>& out,
+                const profile::KernelRecord& record) {
+  put_string(out, record.benchmark);
+  put_string(out, record.input);
+  put_string(out, record.kernel);
+  put_u8(out, record.config.device == hw::Device::Gpu ? 1 : 0);
+  put_u8(out, static_cast<std::uint8_t>(record.config.cpu_pstate));
+  put_u8(out, static_cast<std::uint8_t>(record.config.threads));
+  put_u8(out, static_cast<std::uint8_t>(record.config.gpu_pstate));
+  put_u8(out, record.config.mapping == hw::CoreMapping::Scatter ? 1 : 0);
+  put_f64(out, record.time_ms);
+  put_f64(out, record.cpu_power_w);
+  put_f64(out, record.nbgpu_power_w);
+  put_f64(out, record.energy_j);
+  const soc::CounterBlock& c = record.counters;
+  for (const double v :
+       {c.instructions, c.l1d_misses, c.l2d_misses, c.tlb_misses, c.branches,
+        c.vector_insts, c.stalled_cycles, c.core_cycles, c.reference_cycles,
+        c.idle_fpu_cycles, c.interrupts, c.dram_accesses}) {
+    put_f64(out, v);
+  }
+}
+
+profile::KernelRecord read_record(Reader& r) {
+  profile::KernelRecord record;
+  record.benchmark = r.string();
+  record.input = r.string();
+  record.kernel = r.string();
+  const std::uint8_t device = r.u8();
+  if (device > 1) {
+    throw PayloadError{};
+  }
+  record.config.device = device == 1 ? hw::Device::Gpu : hw::Device::Cpu;
+  record.config.cpu_pstate = r.u8();
+  record.config.threads = r.u8();
+  record.config.gpu_pstate = r.u8();
+  const std::uint8_t mapping = r.u8();
+  if (mapping > 1) {
+    throw PayloadError{};
+  }
+  record.config.mapping =
+      mapping == 1 ? hw::CoreMapping::Scatter : hw::CoreMapping::Compact;
+  try {
+    record.config.validate();
+  } catch (const Error&) {
+    throw PayloadError{};
+  }
+  record.time_ms = r.f64();
+  record.cpu_power_w = r.f64();
+  record.nbgpu_power_w = r.f64();
+  record.energy_j = r.f64();
+  soc::CounterBlock& c = record.counters;
+  for (double* v :
+       {&c.instructions, &c.l1d_misses, &c.l2d_misses, &c.tlb_misses,
+        &c.branches, &c.vector_insts, &c.stalled_cycles, &c.core_cycles,
+        &c.reference_cycles, &c.idle_fpu_cycles, &c.interrupts,
+        &c.dram_accesses}) {
+    *v = r.f64();
+  }
+  return record;
+}
+
+void put_request_payload(std::vector<std::uint8_t>& out,
+                         const SelectRequest& request) {
+  put_u64(out, request.request_id);
+  put_u64(out, request.model_version);
+  put_u8(out, static_cast<std::uint8_t>(request.goal));
+  put_u8(out, request.cap_w.has_value() ? 1 : 0);
+  put_f64(out, request.cap_w.value_or(0.0));
+  put_record(out, request.samples.cpu);
+  put_record(out, request.samples.gpu);
+}
+
+SelectRequest read_request_payload(Reader& r) {
+  SelectRequest request;
+  request.request_id = r.u64();
+  request.model_version = r.u64();
+  const std::uint8_t goal = r.u8();
+  if (goal > static_cast<std::uint8_t>(
+                 core::SchedulingGoal::MinEnergyDelay)) {
+    throw PayloadError{};
+  }
+  request.goal = static_cast<core::SchedulingGoal>(goal);
+  const std::uint8_t has_cap = r.u8();
+  if (has_cap > 1) {
+    throw PayloadError{};
+  }
+  const double cap = r.f64();
+  if (has_cap == 1) {
+    request.cap_w = cap;
+  }
+  request.samples.cpu = read_record(r);
+  request.samples.gpu = read_record(r);
+  return request;
+}
+
+void put_response_payload(std::vector<std::uint8_t>& out,
+                          const SelectResponse& response) {
+  put_u64(out, response.request_id);
+  put_u8(out, static_cast<std::uint8_t>(response.status));
+  put_u64(out, response.model_version);
+  put_u32(out, response.config_index);
+  put_f64(out, response.predicted_power_w);
+  put_f64(out, response.predicted_performance);
+  put_u8(out, response.predicted_feasible ? 1 : 0);
+}
+
+SelectResponse read_response_payload(Reader& r) {
+  SelectResponse response;
+  response.request_id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(ResponseStatus::InternalError)) {
+    throw PayloadError{};
+  }
+  response.status = static_cast<ResponseStatus>(status);
+  response.model_version = r.u64();
+  response.config_index = r.u32();
+  response.predicted_power_w = r.f64();
+  response.predicted_performance = r.f64();
+  const std::uint8_t feasible = r.u8();
+  if (feasible > 1) {
+    throw PayloadError{};
+  }
+  response.predicted_feasible = feasible == 1;
+  return response;
+}
+
+void put_frame(std::vector<std::uint8_t>& out, MessageType type,
+               const std::vector<std::uint8_t>& payload) {
+  ACSEL_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+                  "encoded payload exceeds kMaxPayloadBytes");
+  put_u32(out, kWireMagic);
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::Ok:
+      return "Ok";
+    case DecodeStatus::NeedMoreData:
+      return "NeedMoreData";
+    case DecodeStatus::BadMagic:
+      return "BadMagic";
+    case DecodeStatus::UnsupportedVersion:
+      return "UnsupportedVersion";
+    case DecodeStatus::OversizedFrame:
+      return "OversizedFrame";
+    case DecodeStatus::UnknownType:
+      return "UnknownType";
+    case DecodeStatus::MalformedPayload:
+      return "MalformedPayload";
+  }
+  return "?";
+}
+
+void encode_request(const SelectRequest& request,
+                    std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(512);
+  put_request_payload(payload, request);
+  put_frame(out, MessageType::SelectRequest, payload);
+}
+
+void encode_response(const SelectResponse& response,
+                     std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(64);
+  put_response_payload(payload, response);
+  put_frame(out, MessageType::SelectResponse, payload);
+}
+
+Decoded decode_frame(std::span<const std::uint8_t> buffer) {
+  Decoded result;
+  if (buffer.size() < kFrameHeaderBytes) {
+    result.status = DecodeStatus::NeedMoreData;
+    return result;
+  }
+  Reader header{buffer.first(kFrameHeaderBytes)};
+  if (header.u32() != kWireMagic) {
+    result.status = DecodeStatus::BadMagic;
+    return result;
+  }
+  if (header.u8() != kWireVersion) {
+    result.status = DecodeStatus::UnsupportedVersion;
+    return result;
+  }
+  const std::uint8_t raw_type = header.u8();
+  header.u16();  // reserved
+  const std::uint32_t payload_size = header.u32();
+  if (payload_size > kMaxPayloadBytes) {
+    result.status = DecodeStatus::OversizedFrame;
+    return result;
+  }
+  if (raw_type != static_cast<std::uint8_t>(MessageType::SelectRequest) &&
+      raw_type != static_cast<std::uint8_t>(MessageType::SelectResponse)) {
+    result.status = DecodeStatus::UnknownType;
+    return result;
+  }
+  result.type = static_cast<MessageType>(raw_type);
+  const std::size_t frame_size = kFrameHeaderBytes + payload_size;
+  if (buffer.size() < frame_size) {
+    result.status = DecodeStatus::NeedMoreData;
+    return result;
+  }
+  Reader payload{buffer.subspan(kFrameHeaderBytes, payload_size)};
+  try {
+    if (result.type == MessageType::SelectRequest) {
+      result.request = read_request_payload(payload);
+    } else {
+      result.response = read_response_payload(payload);
+    }
+    if (!payload.exhausted()) {
+      throw PayloadError{};
+    }
+    result.status = DecodeStatus::Ok;
+  } catch (const PayloadError&) {
+    result.status = DecodeStatus::MalformedPayload;
+  }
+  result.bytes_consumed = frame_size;
+  return result;
+}
+
+}  // namespace acsel::serve

@@ -1,0 +1,76 @@
+// Length-prefixed binary wire codec for the selection service, so the
+// server can later sit behind a real socket. Framing:
+//
+//   u32  magic          "ACSL" (0x4C534341 little-endian)
+//   u8   protocol version (currently 1)
+//   u8   message type   (1 = SelectRequest, 2 = SelectResponse)
+//   u16  reserved       (must be 0)
+//   u32  payload length (hard-capped at kMaxPayloadBytes)
+//   ...  payload
+//
+// All integers are little-endian; doubles travel as their IEEE-754 bit
+// patterns, so predictions round-trip bit-exactly. Decoding never throws:
+// short input reports NeedMoreData (the streaming "read more bytes" case)
+// and every malformed condition maps to an explicit status so a server can
+// reject without dying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/message.h"
+
+namespace acsel::serve {
+
+inline constexpr std::uint32_t kWireMagic = 0x4C534341u;  // "ACSL"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// A sample pair encodes in well under 1 KiB; anything near this limit is
+/// garbage or an attack, not a request.
+inline constexpr std::size_t kMaxPayloadBytes = 64 * 1024;
+
+enum class MessageType : std::uint8_t {
+  SelectRequest = 1,
+  SelectResponse = 2,
+};
+
+enum class DecodeStatus {
+  Ok,
+  /// The buffer holds a valid prefix of a frame; read more and retry.
+  NeedMoreData,
+  BadMagic,
+  UnsupportedVersion,
+  /// Declared payload length exceeds kMaxPayloadBytes.
+  OversizedFrame,
+  UnknownType,
+  /// Frame was complete but its payload did not parse (truncated field,
+  /// out-of-range enum, trailing bytes, invalid configuration).
+  MalformedPayload,
+};
+
+const char* to_string(DecodeStatus status);
+
+/// Appends one complete frame carrying `request` / `response` to `out`.
+void encode_request(const SelectRequest& request,
+                    std::vector<std::uint8_t>& out);
+void encode_response(const SelectResponse& response,
+                     std::vector<std::uint8_t>& out);
+
+struct Decoded {
+  DecodeStatus status = DecodeStatus::NeedMoreData;
+  MessageType type = MessageType::SelectRequest;
+  /// Bytes to remove from the front of the stream: the full frame for Ok
+  /// and MalformedPayload (a framed-but-bad payload is skippable), 0 for
+  /// everything else (header-level corruption — resynchronization is the
+  /// transport's problem, typically "drop the connection").
+  std::size_t bytes_consumed = 0;
+  SelectRequest request;    ///< valid when status == Ok, type == SelectRequest
+  SelectResponse response;  ///< valid when status == Ok, type == SelectResponse
+};
+
+/// Decodes the frame at the front of `buffer`.
+Decoded decode_frame(std::span<const std::uint8_t> buffer);
+
+}  // namespace acsel::serve

@@ -1,0 +1,62 @@
+// Request/response types of the configuration-selection service. A
+// SelectRequest carries everything the online stage needs about a kernel —
+// its two sample-configuration measurements (§III-C) — plus the scheduling
+// goal and power cap; a SelectResponse carries the selected configuration
+// and the predictions it was chosen on, tagged with the model version that
+// produced them so clients can reason about hot-swaps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/characterization.h"
+#include "core/scheduler.h"
+
+namespace acsel::serve {
+
+/// Outcome of serving one request.
+enum class ResponseStatus : std::uint8_t {
+  Ok = 0,
+  /// Rejected at the door: the request queue was full (backpressure —
+  /// the server sheds rather than growing without bound).
+  Shed = 1,
+  /// The wire frame decoded but violated the request contract.
+  MalformedRequest = 2,
+  /// The request pinned a model version the registry does not hold.
+  UnknownModelVersion = 3,
+  /// No model has been published to the registry yet.
+  NoModelPublished = 4,
+  /// Prediction/selection threw (e.g. a corrupt model).
+  InternalError = 5,
+};
+
+const char* to_string(ResponseStatus status);
+
+struct SelectRequest {
+  /// Client-chosen correlation id, echoed back verbatim.
+  std::uint64_t request_id = 0;
+  /// Model version to serve with; 0 means "the registry's current
+  /// version at processing time" (the common case).
+  std::uint64_t model_version = 0;
+  core::SchedulingGoal goal = core::SchedulingGoal::MaxPerformance;
+  /// Power cap in watts; nullopt selects unconstrained.
+  std::optional<double> cap_w;
+  /// The kernel's two sample runs — the online stage's whole world.
+  core::SamplePair samples;
+};
+
+struct SelectResponse {
+  std::uint64_t request_id = 0;
+  ResponseStatus status = ResponseStatus::Ok;
+  /// The model version that actually served the request (resolved from
+  /// "current" for version-0 requests); 0 when no model was applied.
+  std::uint64_t model_version = 0;
+  /// Index into hw::ConfigSpace order.
+  std::uint32_t config_index = 0;
+  double predicted_power_w = 0.0;
+  double predicted_performance = 0.0;
+  /// Mirrors core::Scheduler::Choice::predicted_feasible.
+  bool predicted_feasible = false;
+};
+
+}  // namespace acsel::serve

@@ -1,0 +1,113 @@
+// Serving observability: lock-free counters plus a log-bucketed latency
+// histogram, all updated on the hot path with relaxed atomics (each cell
+// is independent; snapshots tolerate being a few events torn, which is the
+// standard histogram trade for zero hot-path locking). Snapshots are
+// dumpable through the repo's existing table/CSV writers so bench output
+// matches every other artifact in the repo.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+#include "util/csv.h"
+
+namespace acsel::serve {
+
+/// Latency histogram with four buckets per power-of-two octave (quarter-
+/// octave resolution: quantile estimates overshoot by at most ~19%).
+/// Covers 1 ns .. ~9 s; larger samples clamp into the last bucket.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 132;  // 33 octaves * 4
+
+  LatencyHistogram();
+
+  /// Records one sample. Wait-free; safe from any thread.
+  void record(std::uint64_t nanos);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  Snapshot snapshot() const;
+
+  /// Zeroes all cells. Not atomic against concurrent record(); callers
+  /// reset between measurement windows, while the server is quiescent.
+  void reset();
+
+  /// Bucket index for a sample (exposed for the tests).
+  static std::size_t bucket_of(std::uint64_t nanos);
+  /// Inclusive upper bound of a bucket in nanoseconds — the value
+  /// quantiles report for samples landing in it.
+  static std::uint64_t bucket_upper_nanos(std::size_t bucket);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_;
+  std::atomic<std::uint64_t> max_nanos_{0};
+};
+
+/// Everything the server counts. One instance per Server.
+class ServerMetrics {
+ public:
+  ServerMetrics();
+
+  // -- hot-path updates --------------------------------------------------
+  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  void on_batch(std::size_t size) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(size, std::memory_order_relaxed);
+  }
+  void on_completed(std::uint64_t latency_nanos) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    latency_.record(latency_nanos);
+  }
+
+  struct Snapshot {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  ///< includes error responses, not sheds
+    std::uint64_t shed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t batches = 0;
+    double mean_batch = 0.0;  ///< completed requests per worker batch
+    double qps = 0.0;         ///< completed / elapsed
+    double elapsed_s = 0.0;   ///< since construction or last reset
+    LatencyHistogram::Snapshot latency;
+    std::size_t queue_depth = 0;  ///< sampled at snapshot time
+  };
+
+  Snapshot snapshot(std::size_t queue_depth) const;
+
+  /// Zeroes counters and histogram and restarts the QPS clock. For use
+  /// between measurement windows, while the server is quiescent.
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  LatencyHistogram latency_;
+  std::chrono::steady_clock::time_point window_start_;
+};
+
+/// Renders a snapshot as an aligned text table (util::TextTable style).
+void print_metrics(const ServerMetrics::Snapshot& snapshot,
+                   std::ostream& out);
+
+/// CSV dump: one labeled row per snapshot, matching metrics_csv_header().
+const std::vector<std::string>& metrics_csv_header();
+void write_metrics_row(CsvWriter& writer, const std::string& label,
+                       const ServerMetrics::Snapshot& snapshot);
+
+}  // namespace acsel::serve

@@ -1,0 +1,104 @@
+// Bounded multi-producer multi-consumer queue, the server's admission
+// point. Capacity is a hard limit: try_push fails (sheds) when the queue
+// is full instead of growing without bound, which keeps worst-case queueing
+// latency proportional to capacity. A mutex + condition variable is
+// deliberate — at the service's request rates (tens of microseconds of
+// model work per item, amortized further by batch pops) lock hold times
+// are nanoseconds and a lock-free ring would buy nothing measurable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acsel::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    ACSEL_CHECK_MSG(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed; returns whether the
+  /// item was accepted. Never blocks.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained; returns whether `out` was filled.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock{mu_};
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return false;
+    }
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Blocks for the first item, then drains up to `max_items` without
+  /// further waiting — the batching primitive. Appends to `out` and
+  /// returns the number of items taken (0 only when closed and drained).
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
+    ACSEL_CHECK_MSG(max_items >= 1, "batch size must be >= 1");
+    std::unique_lock<std::mutex> lock{mu_};
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    std::size_t taken = 0;
+    while (taken < max_items && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// Closing rejects future pushes and wakes all poppers; already-queued
+  /// items remain poppable so shutdown drains rather than drops.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock{mu_};
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock{mu_};
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace acsel::serve

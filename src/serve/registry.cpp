@@ -1,0 +1,78 @@
+#include "serve/registry.h"
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace acsel::serve {
+
+std::uint64_t ModelRegistry::publish(core::TrainedModel model) {
+  return publish(
+      std::make_shared<const core::TrainedModel>(std::move(model)));
+}
+
+std::uint64_t ModelRegistry::publish(
+    std::shared_ptr<const core::TrainedModel> model) {
+  ACSEL_CHECK_MSG(model != nullptr, "cannot publish a null model");
+  std::uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    version = history_.empty() ? 1 : history_.back().version + 1;
+    history_.push_back(VersionedModel{version, std::move(model)});
+    current_index_ = history_.size() - 1;
+  }
+  ACSEL_LOG_INFO("ModelRegistry: published model version " << version);
+  return version;
+}
+
+std::uint64_t ModelRegistry::publish_file(const std::string& path) {
+  return publish(core::TrainedModel::load_shared(path));
+}
+
+VersionedModel ModelRegistry::current() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (history_.empty()) {
+    return VersionedModel{};
+  }
+  return history_[current_index_];
+}
+
+std::shared_ptr<const core::TrainedModel> ModelRegistry::get(
+    std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  for (const VersionedModel& entry : history_) {
+    if (entry.version == version) {
+      return entry.model;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t ModelRegistry::rollback() {
+  std::uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    ACSEL_CHECK_MSG(!history_.empty() && current_index_ > 0,
+                    "rollback: no earlier model version");
+    --current_index_;
+    version = history_[current_index_].version;
+  }
+  ACSEL_LOG_WARN("ModelRegistry: rolled back to model version " << version);
+  return version;
+}
+
+std::size_t ModelRegistry::version_count() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return history_.size();
+}
+
+std::vector<std::uint64_t> ModelRegistry::versions() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  std::vector<std::uint64_t> out;
+  out.reserve(history_.size());
+  for (const VersionedModel& entry : history_) {
+    out.push_back(entry.version);
+  }
+  return out;
+}
+
+}  // namespace acsel::serve

@@ -1,0 +1,65 @@
+// Versioned model storage with atomic hot-swap. The serving loop must
+// never pause for a retrain: publishing a new model is a pointer swap
+// under a mutex held for nanoseconds, and in-flight requests keep the
+// shared_ptr they already resolved, so old and new versions serve side by
+// side until the last old-version request completes. Every published
+// version is retained, which makes rollback (operator judgement overrides
+// a bad retrain) the same cheap swap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace acsel::serve {
+
+/// A model plus the registry version it was published as. `model` is null
+/// only in the "nothing published yet" current() result (version 0).
+struct VersionedModel {
+  std::uint64_t version = 0;
+  std::shared_ptr<const core::TrainedModel> model;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Publishes a model as the new current version; returns its version.
+  /// Versions are assigned 1, 2, 3, ... in publish order.
+  std::uint64_t publish(core::TrainedModel model);
+  std::uint64_t publish(std::shared_ptr<const core::TrainedModel> model);
+
+  /// Loads a serialized model from disk (the retrain hand-off path:
+  /// trainer writes with TrainedModel::save, server picks it up here
+  /// without restarting) and publishes it.
+  std::uint64_t publish_file(const std::string& path);
+
+  /// The current serving version; {0, nullptr} before the first publish.
+  VersionedModel current() const;
+
+  /// The model published as `version`, or nullptr if unknown.
+  std::shared_ptr<const core::TrainedModel> get(std::uint64_t version) const;
+
+  /// Makes the version published immediately before the current one
+  /// current again; returns the now-current version. Repeated rollbacks
+  /// step further back. Throws acsel::Error when there is nothing earlier.
+  std::uint64_t rollback();
+
+  std::size_t version_count() const;
+
+  /// All published versions, oldest first.
+  std::vector<std::uint64_t> versions() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<VersionedModel> history_;  // publish order; never shrinks
+  std::size_t current_index_ = 0;        // into history_, valid when non-empty
+};
+
+}  // namespace acsel::serve

@@ -1,0 +1,219 @@
+#include "serve/server.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/codec.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace acsel::serve {
+
+namespace {
+
+/// Batch-local memo key for the prediction cache: the wire encoding of a
+/// request's sample pair is a canonical, bit-exact byte representation of
+/// everything predict() consumes, so identical samples — and only
+/// identical samples — collide.
+std::string sample_key(const SelectRequest& request) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(512);
+  SelectRequest samples_only;
+  samples_only.samples = request.samples;
+  encode_request(samples_only, bytes);
+  return std::string{reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size()};
+}
+
+}  // namespace
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::Ok:
+      return "Ok";
+    case ResponseStatus::Shed:
+      return "Shed";
+    case ResponseStatus::MalformedRequest:
+      return "MalformedRequest";
+    case ResponseStatus::UnknownModelVersion:
+      return "UnknownModelVersion";
+    case ResponseStatus::NoModelPublished:
+      return "NoModelPublished";
+    case ResponseStatus::InternalError:
+      return "InternalError";
+  }
+  return "?";
+}
+
+SelectResponse serve_with_model(const core::TrainedModel& model,
+                                std::uint64_t model_version,
+                                const SelectRequest& request,
+                                const core::SchedulerOptions& scheduler) {
+  const core::Prediction prediction = model.predict(request.samples);
+  const core::Scheduler walker{prediction, scheduler};
+  const core::Scheduler::Choice choice =
+      walker.select_goal(request.goal, request.cap_w);
+
+  SelectResponse response;
+  response.request_id = request.request_id;
+  response.status = ResponseStatus::Ok;
+  response.model_version = model_version;
+  response.config_index = static_cast<std::uint32_t>(choice.config_index);
+  response.predicted_power_w = choice.predicted_power_w;
+  response.predicted_performance = choice.predicted_performance;
+  response.predicted_feasible = choice.predicted_feasible;
+  return response;
+}
+
+Server::Server(ModelRegistry& registry, ServerOptions options)
+    : registry_(&registry),
+      options_(options),
+      queue_(options.queue_capacity) {
+  ACSEL_CHECK_MSG(options_.workers >= 1, "server needs >= 1 worker");
+  ACSEL_CHECK_MSG(options_.max_batch >= 1, "server needs max_batch >= 1");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  ACSEL_LOG_INFO("serve: started " << options_.workers
+                                   << " workers, queue capacity "
+                                   << options_.queue_capacity);
+}
+
+Server::~Server() { stop(); }
+
+std::future<SelectResponse> Server::submit(SelectRequest request) {
+  metrics_.on_submitted();
+  Job job;
+  job.request = std::move(request);
+  job.enqueued = std::chrono::steady_clock::now();
+  const std::uint64_t request_id = job.request.request_id;
+  std::future<SelectResponse> future = job.promise.get_future();
+  if (!queue_.try_push(std::move(job))) {
+    // Shed: resolve immediately so the caller never blocks on a request
+    // the server refused to queue.
+    metrics_.on_shed();
+    SelectResponse response;
+    response.request_id = request_id;
+    response.status = ResponseStatus::Shed;
+    std::promise<SelectResponse> rejected;
+    future = rejected.get_future();
+    rejected.set_value(response);
+  }
+  return future;
+}
+
+SelectResponse Server::select(SelectRequest request) {
+  return submit(std::move(request)).get();
+}
+
+std::vector<std::uint8_t> Server::serve_frame(
+    std::span<const std::uint8_t> frame) {
+  const Decoded decoded = decode_frame(frame);
+  SelectResponse response;
+  if (decoded.status != DecodeStatus::Ok ||
+      decoded.type != MessageType::SelectRequest) {
+    response.status = ResponseStatus::MalformedRequest;
+    if (decoded.status == DecodeStatus::Ok) {
+      // A well-formed frame of the wrong type still echoes nothing useful.
+      ACSEL_LOG_WARN("serve_frame: non-request frame rejected");
+    }
+  } else {
+    response = select(decoded.request);
+  }
+  std::vector<std::uint8_t> out;
+  encode_response(response, out);
+  return out;
+}
+
+void Server::stop() {
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+ServerMetrics::Snapshot Server::metrics_snapshot() const {
+  return metrics_.snapshot(queue_.size());
+}
+
+void Server::worker_loop() {
+  std::vector<Job> batch;
+  batch.reserve(options_.max_batch);
+  while (true) {
+    batch.clear();
+    if (queue_.pop_batch(batch, options_.max_batch) == 0) {
+      return;  // closed and drained
+    }
+    metrics_.on_batch(batch.size());
+
+    // Per-batch caches: model resolution per requested version, and the
+    // full prediction per (resolved version, sample pair).
+    std::unordered_map<std::uint64_t, VersionedModel> models;
+    std::unordered_map<std::string, core::Prediction> predictions;
+
+    for (Job& job : batch) {
+      const SelectRequest& request = job.request;
+      SelectResponse response;
+      response.request_id = request.request_id;
+      try {
+        auto resolved = models.find(request.model_version);
+        if (resolved == models.end()) {
+          VersionedModel vm;
+          if (request.model_version == 0) {
+            vm = registry_->current();
+          } else {
+            vm.version = request.model_version;
+            vm.model = registry_->get(request.model_version);
+          }
+          resolved = models.emplace(request.model_version, std::move(vm))
+                         .first;
+        }
+        const VersionedModel& vm = resolved->second;
+        if (vm.model == nullptr) {
+          response.status = request.model_version == 0
+                                ? ResponseStatus::NoModelPublished
+                                : ResponseStatus::UnknownModelVersion;
+          metrics_.on_error();
+        } else {
+          const std::string key =
+              std::to_string(vm.version) + '|' + sample_key(request);
+          auto prediction = predictions.find(key);
+          if (prediction == predictions.end()) {
+            prediction =
+                predictions.emplace(key, vm.model->predict(request.samples))
+                    .first;
+          }
+          const core::Scheduler walker{prediction->second,
+                                       options_.scheduler};
+          const core::Scheduler::Choice choice =
+              walker.select_goal(request.goal, request.cap_w);
+          response.status = ResponseStatus::Ok;
+          response.model_version = vm.version;
+          response.config_index =
+              static_cast<std::uint32_t>(choice.config_index);
+          response.predicted_power_w = choice.predicted_power_w;
+          response.predicted_performance = choice.predicted_performance;
+          response.predicted_feasible = choice.predicted_feasible;
+        }
+      } catch (const Error& error) {
+        response.status = ResponseStatus::InternalError;
+        metrics_.on_error();
+        ACSEL_LOG_WARN("serve: request " << request.request_id
+                                         << " failed: " << error.what());
+      }
+      const auto now = std::chrono::steady_clock::now();
+      const auto nanos =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - job.enqueued)
+              .count();
+      job.promise.set_value(response);
+      metrics_.on_completed(static_cast<std::uint64_t>(nanos));
+    }
+  }
+}
+
+}  // namespace acsel::serve

@@ -1,0 +1,105 @@
+// The concurrent configuration-selection service. A fixed pool of worker
+// threads drains a bounded request queue; admission is shed-with-error
+// once the queue is full (bounded memory, bounded queueing delay — the
+// client retries or backs off). Workers pop *batches* and memoize the
+// expensive online step (classify + per-configuration model application +
+// frontier build, §IV-C) per (model version, sample pair) within the
+// batch, so bursts of requests about the same kernel — the common shape
+// when a cluster-level controller re-evaluates caps fleet-wide — pay for
+// one prediction and many cheap frontier walks.
+//
+// Model access goes through the ModelRegistry: version 0 requests resolve
+// "current" at processing time, so a publish() hot-swaps the serving model
+// between batches without pausing the pool, and responses always name the
+// version that produced them.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "serve/message.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+#include "serve/registry.h"
+
+namespace acsel::serve {
+
+struct ServerOptions {
+  /// Worker threads draining the queue.
+  std::size_t workers = 4;
+  /// Bounded queue capacity; submissions beyond it are shed.
+  std::size_t queue_capacity = 1024;
+  /// Maximum requests a worker drains per pop (the batching window).
+  std::size_t max_batch = 32;
+  /// Applied to every selection (e.g. risk aversion, §VI).
+  core::SchedulerOptions scheduler;
+};
+
+class Server {
+ public:
+  /// `registry` must outlive the server. Workers start immediately.
+  explicit Server(ModelRegistry& registry, ServerOptions options = {});
+
+  /// Stops and joins the workers; queued requests are drained first.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Asynchronous submission. The future always yields a response: a
+  /// selection on success, or a response whose status explains the
+  /// failure (Shed when the queue was full — resolved immediately,
+  /// without queueing).
+  std::future<SelectResponse> submit(SelectRequest request);
+
+  /// Convenience synchronous path: submit and wait.
+  SelectResponse select(SelectRequest request);
+
+  /// Wire-level entry point: decodes one request frame, serves it through
+  /// the queue, and returns the encoded response frame. Malformed input
+  /// yields a MalformedRequest response frame rather than an exception,
+  /// so a socket loop can always answer.
+  std::vector<std::uint8_t> serve_frame(
+      std::span<const std::uint8_t> frame);
+
+  /// Closes the queue and joins the workers. Idempotent. Submissions
+  /// after stop() are shed.
+  void stop();
+
+  ServerMetrics::Snapshot metrics_snapshot() const;
+
+  /// Zeroes metrics between measurement windows (call while quiescent).
+  void reset_metrics() { metrics_.reset(); }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    SelectRequest request;
+    std::promise<SelectResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+
+  ModelRegistry* registry_;
+  ServerOptions options_;
+  ServerMetrics metrics_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+};
+
+/// Serves one request against a specific model — the single-threaded
+/// reference semantics the concurrent server must reproduce byte for
+/// byte. Exposed so tests and clients can verify responses independently.
+SelectResponse serve_with_model(const core::TrainedModel& model,
+                                std::uint64_t model_version,
+                                const SelectRequest& request,
+                                const core::SchedulerOptions& scheduler);
+
+}  // namespace acsel::serve

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace acsel {
 
@@ -33,7 +34,18 @@ LogLevel log_level() {
 
 namespace detail {
 void emit_log(LogLevel level, const std::string& message) {
-  std::cerr << "[acsel:" << level_name(level) << "] " << message << '\n';
+  // Worker threads log concurrently: format the whole line first, then
+  // write it under a mutex in a single call so lines never interleave.
+  static std::mutex mu;
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[acsel:";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock{mu};
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 }  // namespace detail
 

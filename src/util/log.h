@@ -1,5 +1,7 @@
 // Leveled logging to stderr. Default level is Warn so library users see
 // nothing unless something is wrong; benches and examples raise it.
+// Thread-safe: the level is atomic and each message is emitted as one
+// write, so concurrent lines never interleave.
 #pragma once
 
 #include <sstream>

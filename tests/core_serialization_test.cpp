@@ -1,0 +1,160 @@
+// TrainedModel serialization round-trip: a model trained on a small suite
+// must serialize -> parse into a model with *identical* predictions on
+// every configuration (coefficients travel with 17 significant digits, so
+// doubles survive bit-exactly), and truncated/corrupt input must fail
+// loudly with acsel::Error rather than yield a silently different model.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "hw/config_space.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "workloads/suite.h"
+
+namespace acsel::core {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    soc::Machine machine{soc::MachineSpec{}, 1313};
+    const auto suite = workloads::Suite::standard();
+    characterizations_ = new std::vector<KernelCharacterization>{};
+    for (const auto& instance : suite.instances()) {
+      characterizations_->push_back(
+          eval::characterize_instance(machine, instance));
+      if (characterizations_->size() == 8) {
+        break;
+      }
+    }
+    TrainerOptions options;
+    options.clusters = 3;
+    model_ = new TrainedModel{train(*characterizations_, options)};
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete characterizations_;
+  }
+
+  static std::vector<KernelCharacterization>* characterizations_;
+  static TrainedModel* model_;
+};
+
+std::vector<KernelCharacterization>* SerializationTest::characterizations_ =
+    nullptr;
+TrainedModel* SerializationTest::model_ = nullptr;
+
+TEST_F(SerializationTest, RoundTripPredictsIdenticallyOnEveryConfig) {
+  const TrainedModel restored = TrainedModel::parse(model_->serialize());
+  ASSERT_EQ(restored.cluster_count(), model_->cluster_count());
+  const hw::ConfigSpace space;
+  for (const auto& characterization : *characterizations_) {
+    const Prediction original = model_->predict(characterization.samples);
+    const Prediction parsed = restored.predict(characterization.samples);
+    EXPECT_EQ(original.cluster, parsed.cluster)
+        << characterization.instance_id;
+    ASSERT_EQ(original.per_config.size(), space.size());
+    ASSERT_EQ(parsed.per_config.size(), space.size());
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      // Exact equality, not near-equality: serialization must not move
+      // a single bit of any prediction.
+      EXPECT_EQ(original.per_config[i].power_w,
+                parsed.per_config[i].power_w)
+          << characterization.instance_id << " config " << i;
+      EXPECT_EQ(original.per_config[i].performance,
+                parsed.per_config[i].performance)
+          << characterization.instance_id << " config " << i;
+      EXPECT_EQ(original.per_config[i].power_sigma,
+                parsed.per_config[i].power_sigma);
+      EXPECT_EQ(original.per_config[i].performance_sigma,
+                parsed.per_config[i].performance_sigma);
+    }
+    // Identical estimates imply identical frontiers; spot-check anyway.
+    ASSERT_EQ(original.frontier.size(), parsed.frontier.size());
+    for (std::size_t p = 0; p < original.frontier.size(); ++p) {
+      EXPECT_EQ(original.frontier.points()[p].config_index,
+                parsed.frontier.points()[p].config_index);
+    }
+  }
+}
+
+TEST_F(SerializationTest, SecondRoundTripIsTextuallyStable) {
+  // serialize(parse(serialize(m))) == serialize(m): the format is a
+  // fixed point, so repeated save/load cycles cannot drift.
+  const std::string once = model_->serialize();
+  const std::string twice = TrainedModel::parse(once).serialize();
+  EXPECT_EQ(once, twice);
+}
+
+TEST_F(SerializationTest, TruncatedInputIsRejected) {
+  const std::string text = model_->serialize();
+  // Cutting the text anywhere — mid-header, mid-cluster, mid-tree — must
+  // throw, never construct a partial model.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, text.size() / 4, text.size() / 2,
+        3 * text.size() / 4}) {
+    EXPECT_THROW(TrainedModel::parse(text.substr(0, keep)), Error)
+        << "kept " << keep << " of " << text.size() << " bytes";
+  }
+}
+
+TEST_F(SerializationTest, CorruptInputIsRejected) {
+  const std::string text = model_->serialize();
+  {
+    std::string bad = text;
+    bad[0] = 'x';  // wrong header magic
+    EXPECT_THROW(TrainedModel::parse(bad), Error);
+  }
+  {
+    // Claim more clusters than the payload holds.
+    std::string bad = text;
+    const std::size_t pos = bad.find("clusters ");
+    bad.replace(pos, bad.find('\n', pos) - pos, "clusters 99");
+    EXPECT_THROW(TrainedModel::parse(bad), Error);
+  }
+  {
+    // Non-numeric garbage inside a coefficient line.
+    std::string bad = text;
+    const std::size_t line_start = bad.find('\n', bad.find("clusters")) + 1;
+    const std::size_t field = bad.find(' ', line_start + 2);
+    bad.replace(field + 1, 3, "zzz");
+    EXPECT_THROW(TrainedModel::parse(bad), Error);
+  }
+  {
+    // Drop the tree section entirely.
+    std::string bad = text.substr(0, text.find("tree\n"));
+    EXPECT_THROW(TrainedModel::parse(bad), Error);
+  }
+}
+
+TEST_F(SerializationTest, TruncatedFileFailsToLoad) {
+  const std::string path =
+      ::testing::TempDir() + "/acsel_truncated_model.txt";
+  const std::string text = model_->serialize();
+  {
+    std::ofstream out{path, std::ios::binary};
+    out << text.substr(0, text.size() / 3);
+  }
+  EXPECT_THROW(TrainedModel::load(path), Error);
+  EXPECT_THROW(TrainedModel::load_shared(path), Error);
+}
+
+TEST_F(SerializationTest, LoadSharedMatchesLoad) {
+  const std::string path = ::testing::TempDir() + "/acsel_shared_model.txt";
+  model_->save(path);
+  const auto shared = TrainedModel::load_shared(path);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->cluster_count(), model_->cluster_count());
+  const auto& samples = (*characterizations_)[0].samples;
+  EXPECT_EQ(shared->classify(samples), model_->classify(samples));
+}
+
+}  // namespace
+}  // namespace acsel::core

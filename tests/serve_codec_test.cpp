@@ -1,0 +1,251 @@
+// Wire-codec tests: encode/decode round-trips and table-driven rejection
+// of malformed frames — no sockets involved, the codec is pure bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/config_space.h"
+#include "serve/codec.h"
+
+namespace acsel::serve {
+namespace {
+
+profile::KernelRecord make_record(const hw::Configuration& config,
+                                  double seed) {
+  profile::KernelRecord record;
+  record.benchmark = "LULESH";
+  record.input = "Large";
+  record.kernel = "CalcFBHourglassForce";
+  record.config = config;
+  record.time_ms = 1.25 * seed;
+  record.cpu_power_w = 13.5 + seed;
+  record.nbgpu_power_w = 9.75 + seed;
+  record.energy_j = 0.03125 * seed;
+  record.counters.instructions = 1e9 * seed;
+  record.counters.l1d_misses = 3e6 * seed;
+  record.counters.l2d_misses = 7e5 * seed;
+  record.counters.tlb_misses = 1.5e4 * seed;
+  record.counters.branches = 2e8 * seed;
+  record.counters.vector_insts = 4e7 * seed;
+  record.counters.stalled_cycles = 6e8 * seed;
+  record.counters.core_cycles = 3.7e9 * seed;
+  record.counters.reference_cycles = 3.7e9 * seed;
+  record.counters.idle_fpu_cycles = 1e8 * seed;
+  record.counters.interrupts = 123.0 * seed;
+  record.counters.dram_accesses = 5e6 * seed;
+  return record;
+}
+
+SelectRequest make_request() {
+  const hw::ConfigSpace space;
+  SelectRequest request;
+  request.request_id = 0xfeedfacecafebeefULL;
+  request.model_version = 7;
+  request.goal = core::SchedulingGoal::MinEnergy;
+  request.cap_w = 27.25;
+  request.samples.cpu = make_record(space.cpu_sample(), 1.0);
+  request.samples.gpu = make_record(space.gpu_sample(), 2.0);
+  return request;
+}
+
+TEST(ServeCodec, RequestRoundTrip) {
+  const SelectRequest request = make_request();
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.type, MessageType::SelectRequest);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+
+  const SelectRequest& out = decoded.request;
+  EXPECT_EQ(out.request_id, request.request_id);
+  EXPECT_EQ(out.model_version, request.model_version);
+  EXPECT_EQ(out.goal, request.goal);
+  ASSERT_TRUE(out.cap_w.has_value());
+  EXPECT_EQ(*out.cap_w, *request.cap_w);  // bit-exact by construction
+  EXPECT_EQ(out.samples.cpu.benchmark, request.samples.cpu.benchmark);
+  EXPECT_EQ(out.samples.cpu.kernel, request.samples.cpu.kernel);
+  EXPECT_EQ(out.samples.cpu.config, request.samples.cpu.config);
+  EXPECT_EQ(out.samples.gpu.config, request.samples.gpu.config);
+  EXPECT_EQ(out.samples.cpu.time_ms, request.samples.cpu.time_ms);
+  EXPECT_EQ(out.samples.gpu.cpu_power_w, request.samples.gpu.cpu_power_w);
+  EXPECT_EQ(out.samples.cpu.counters.dram_accesses,
+            request.samples.cpu.counters.dram_accesses);
+  EXPECT_EQ(out.samples.gpu.counters.instructions,
+            request.samples.gpu.counters.instructions);
+}
+
+TEST(ServeCodec, RequestWithoutCapRoundTrips) {
+  SelectRequest request = make_request();
+  request.cap_w.reset();
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_FALSE(decoded.request.cap_w.has_value());
+}
+
+TEST(ServeCodec, ResponseRoundTrip) {
+  SelectResponse response;
+  response.request_id = 42;
+  response.status = ResponseStatus::Ok;
+  response.model_version = 3;
+  response.config_index = 17;
+  response.predicted_power_w = 23.4375;
+  response.predicted_performance = 812.5;
+  response.predicted_feasible = true;
+
+  std::vector<std::uint8_t> bytes;
+  encode_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.type, MessageType::SelectResponse);
+  EXPECT_EQ(decoded.response.request_id, response.request_id);
+  EXPECT_EQ(decoded.response.status, response.status);
+  EXPECT_EQ(decoded.response.model_version, response.model_version);
+  EXPECT_EQ(decoded.response.config_index, response.config_index);
+  EXPECT_EQ(decoded.response.predicted_power_w, response.predicted_power_w);
+  EXPECT_EQ(decoded.response.predicted_performance,
+            response.predicted_performance);
+  EXPECT_TRUE(decoded.response.predicted_feasible);
+}
+
+TEST(ServeCodec, BackToBackFramesDecodeInSequence) {
+  const SelectRequest request = make_request();
+  std::vector<std::uint8_t> stream;
+  encode_request(request, stream);
+  const std::size_t first_size = stream.size();
+  encode_request(request, stream);
+
+  const Decoded first = decode_frame(stream);
+  ASSERT_EQ(first.status, DecodeStatus::Ok);
+  EXPECT_EQ(first.bytes_consumed, first_size);
+  const Decoded second = decode_frame(
+      std::span<const std::uint8_t>{stream}.subspan(first.bytes_consumed));
+  ASSERT_EQ(second.status, DecodeStatus::Ok);
+  EXPECT_EQ(second.request.request_id, request.request_id);
+}
+
+TEST(ServeCodec, ShortReadsReportNeedMoreData) {
+  const SelectRequest request = make_request();
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+  // Every strict prefix is either an incomplete header or an incomplete
+  // payload — never an error, never a successful decode.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{1}, kFrameHeaderBytes - 1,
+        kFrameHeaderBytes, kFrameHeaderBytes + 5, bytes.size() - 1}) {
+    const Decoded decoded =
+        decode_frame(std::span<const std::uint8_t>{bytes.data(), cut});
+    EXPECT_EQ(decoded.status, DecodeStatus::NeedMoreData)
+        << "prefix length " << cut;
+    EXPECT_EQ(decoded.bytes_consumed, 0u) << "prefix length " << cut;
+  }
+}
+
+// Table-driven header corruption: each case mutates one header field and
+// names the status the decoder must report.
+struct HeaderCase {
+  const char* name;
+  std::size_t offset;
+  std::uint8_t value;
+  DecodeStatus expected;
+};
+
+class ServeCodecHeader : public ::testing::TestWithParam<HeaderCase> {};
+
+TEST_P(ServeCodecHeader, RejectsCorruptHeader) {
+  const HeaderCase& test = GetParam();
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes);
+  bytes[test.offset] = test.value;
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, test.expected);
+  if (test.expected != DecodeStatus::MalformedPayload) {
+    EXPECT_EQ(decoded.bytes_consumed, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corruptions, ServeCodecHeader,
+    ::testing::Values(
+        HeaderCase{"bad_magic_byte0", 0, 0x00, DecodeStatus::BadMagic},
+        HeaderCase{"bad_magic_byte3", 3, 0xff, DecodeStatus::BadMagic},
+        HeaderCase{"future_version", 4, 99,
+                   DecodeStatus::UnsupportedVersion},
+        HeaderCase{"unknown_type_0", 5, 0, DecodeStatus::UnknownType},
+        HeaderCase{"unknown_type_200", 5, 200, DecodeStatus::UnknownType},
+        // Oversized: setting the length's high byte declares ~4 GiB.
+        HeaderCase{"oversized_frame", 11, 0xff,
+                   DecodeStatus::OversizedFrame}),
+    [](const ::testing::TestParamInfo<HeaderCase>& param_info) {
+      return std::string{param_info.param.name};
+    });
+
+TEST(ServeCodec, RejectsTruncatedPayloadDeclaredShort) {
+  // Shrink the declared payload length: decode sees a complete (shorter)
+  // frame whose payload no longer parses.
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes);
+  const std::size_t payload = bytes.size() - kFrameHeaderBytes;
+  const std::size_t shortened = payload - 8;
+  bytes[8] = static_cast<std::uint8_t>(shortened & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((shortened >> 8) & 0xff);
+  bytes.resize(kFrameHeaderBytes + shortened);
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+TEST(ServeCodec, RejectsTrailingGarbageInPayload) {
+  // Grow the declared payload length and append bytes: the payload must
+  // be fully consumed, so trailing garbage is malformed.
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes);
+  const std::size_t payload = bytes.size() - kFrameHeaderBytes + 4;
+  bytes[8] = static_cast<std::uint8_t>(payload & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((payload >> 8) & 0xff);
+  bytes.insert(bytes.end(), {1, 2, 3, 4});
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, RejectsOutOfRangeEnumsInPayload) {
+  // goal byte sits right after request_id + model_version.
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes);
+  bytes[kFrameHeaderBytes + 16] = 77;  // goal out of range
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, RejectsInvalidConfigurationInPayload) {
+  // Find the CPU sample record's device byte by re-encoding with a
+  // poisoned device value: corrupt the config's cpu_pstate to 250, which
+  // Configuration::validate() rejects.
+  SelectRequest request = make_request();
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+  // Locate the first record: payload starts with 8+8+1+1+8 = 26 fixed
+  // bytes, then benchmark "LULESH" (2+6), input "Large" (2+5), kernel
+  // "CalcFBHourglassForce" (2+20), then the 5 config bytes (device,
+  // cpu_pstate, threads, gpu_pstate, mapping).
+  const std::size_t record_start = kFrameHeaderBytes + 26;
+  const std::size_t config_offset = record_start + 2 + 6 + 2 + 5 + 2 + 20;
+  bytes[config_offset + 1] = 250;  // cpu_pstate far out of range
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, ToStringCoversStatuses) {
+  EXPECT_STREQ(to_string(DecodeStatus::Ok), "Ok");
+  EXPECT_STREQ(to_string(DecodeStatus::BadMagic), "BadMagic");
+  EXPECT_STREQ(to_string(DecodeStatus::OversizedFrame), "OversizedFrame");
+  EXPECT_STREQ(to_string(ResponseStatus::Shed), "Shed");
+  EXPECT_STREQ(to_string(ResponseStatus::MalformedRequest),
+               "MalformedRequest");
+}
+
+}  // namespace
+}  // namespace acsel::serve

@@ -1,0 +1,427 @@
+// Tests for the concurrent configuration-selection service: registry
+// hot-swap/rollback, bounded-queue shedding, the latency histogram, and —
+// the core contract — N worker threads returning byte-identical decisions
+// to the single-threaded reference loop, including across a mid-stream
+// model hot-swap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "serve/codec.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+#include "soc/machine.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel::serve {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  // One characterization pass shared by every test; two differently-shaped
+  // models so a hot-swap visibly changes decisions.
+  static void SetUpTestSuite() {
+    soc::Machine machine{soc::MachineSpec{}, 4242};
+    const auto suite = workloads::Suite::standard();
+    characterizations_ = new std::vector<core::KernelCharacterization>{};
+    for (const auto& instance : suite.instances()) {
+      characterizations_->push_back(
+          eval::characterize_instance(machine, instance));
+      if (characterizations_->size() == 12) {
+        break;
+      }
+    }
+    core::TrainerOptions options_a;
+    options_a.clusters = 3;
+    model_a_ = new core::TrainedModel{core::train(*characterizations_,
+                                                  options_a)};
+    core::TrainerOptions options_b;
+    options_b.clusters = 2;
+    model_b_ = new core::TrainedModel{core::train(*characterizations_,
+                                                  options_b)};
+  }
+
+  static void TearDownTestSuite() {
+    delete model_b_;
+    delete model_a_;
+    delete characterizations_;
+  }
+
+  /// A deterministic mixed request stream: rotates kernels, goals and
+  /// caps. `salt` decorrelates streams of different tests.
+  static SelectRequest make_request(std::uint64_t id, std::uint64_t salt) {
+    static const double caps[] = {18.0, 22.0, 26.0, 30.0, 40.0};
+    const std::uint64_t mix = id * 2654435761u + salt;
+    SelectRequest request;
+    request.request_id = id;
+    request.samples =
+        (*characterizations_)[mix % characterizations_->size()].samples;
+    request.goal = static_cast<core::SchedulingGoal>(mix % 3);
+    if (mix % 7 != 0) {  // every 7th request is unconstrained
+      request.cap_w = caps[mix % 5];
+    }
+    return request;
+  }
+
+  static std::vector<core::KernelCharacterization>* characterizations_;
+  static core::TrainedModel* model_a_;
+  static core::TrainedModel* model_b_;
+};
+
+std::vector<core::KernelCharacterization>* ServeTest::characterizations_ =
+    nullptr;
+core::TrainedModel* ServeTest::model_a_ = nullptr;
+core::TrainedModel* ServeTest::model_b_ = nullptr;
+
+// ---- registry ----------------------------------------------------------
+
+TEST_F(ServeTest, RegistryPublishesAndResolvesVersions) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.current().version, 0u);
+  EXPECT_EQ(registry.current().model, nullptr);
+  EXPECT_EQ(registry.get(1), nullptr);
+
+  const std::uint64_t v1 = registry.publish(*model_a_);
+  const std::uint64_t v2 = registry.publish(*model_b_);
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(registry.current().version, v2);
+  EXPECT_EQ(registry.version_count(), 2u);
+  EXPECT_EQ(registry.get(v1)->cluster_count(), model_a_->cluster_count());
+  EXPECT_EQ(registry.get(v2)->cluster_count(), model_b_->cluster_count());
+  EXPECT_EQ(registry.versions(), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST_F(ServeTest, RegistryRollbackStepsBack) {
+  ModelRegistry registry;
+  registry.publish(*model_a_);
+  const std::uint64_t v2 = registry.publish(*model_b_);
+  EXPECT_EQ(registry.current().version, v2);
+  EXPECT_EQ(registry.rollback(), 1u);
+  EXPECT_EQ(registry.current().version, 1u);
+  // The rolled-back-from version stays resolvable for pinned requests.
+  EXPECT_NE(registry.get(v2), nullptr);
+  EXPECT_THROW(registry.rollback(), Error);
+  // Publishing after a rollback continues the version sequence.
+  EXPECT_EQ(registry.publish(*model_b_), 3u);
+  EXPECT_EQ(registry.current().version, 3u);
+}
+
+TEST_F(ServeTest, RegistryPublishFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/serve_registry_model.txt";
+  model_a_->save(path);
+  ModelRegistry registry;
+  const std::uint64_t version = registry.publish_file(path);
+  const auto loaded = registry.get(version);
+  ASSERT_NE(loaded, nullptr);
+  // The loaded model must reproduce the original's predictions exactly
+  // (17-significant-digit serialization round-trips doubles bit-exactly).
+  const auto& samples = (*characterizations_)[0].samples;
+  const core::Prediction a = model_a_->predict(samples);
+  const core::Prediction b = loaded->predict(samples);
+  ASSERT_EQ(a.per_config.size(), b.per_config.size());
+  for (std::size_t i = 0; i < a.per_config.size(); ++i) {
+    EXPECT_EQ(a.per_config[i].power_w, b.per_config[i].power_w);
+    EXPECT_EQ(a.per_config[i].performance, b.per_config[i].performance);
+  }
+}
+
+// ---- bounded queue -----------------------------------------------------
+
+TEST(ServeQueue, ShedsWhenFullAndDrainsOnClose) {
+  BoundedQueue<int> queue{2};
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full -> shed
+  EXPECT_EQ(queue.size(), 2u);
+
+  queue.close();
+  EXPECT_FALSE(queue.try_push(4));  // closed -> shed
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  std::vector<int> batch;
+  EXPECT_EQ(queue.pop_batch(batch, 8), 1u);  // drains the remainder
+  EXPECT_EQ(batch, (std::vector<int>{2}));
+  EXPECT_EQ(queue.pop_batch(batch, 8), 0u);  // closed and empty
+}
+
+TEST(ServeQueue, PopBatchTakesAtMostMaxItems) {
+  BoundedQueue<int> queue{8};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.try_push(i));
+  }
+  std::vector<int> batch;
+  EXPECT_EQ(queue.pop_batch(batch, 3), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+// ---- latency histogram -------------------------------------------------
+
+TEST(ServeMetrics, HistogramBucketBoundsContainSamples) {
+  for (const std::uint64_t nanos :
+       {0ull, 1ull, 3ull, 4ull, 7ull, 100ull, 999ull, 1000ull, 123456ull,
+        1000000ull, 987654321ull}) {
+    const std::size_t bucket = LatencyHistogram::bucket_of(nanos);
+    EXPECT_LE(nanos, LatencyHistogram::bucket_upper_nanos(bucket))
+        << nanos;
+    if (bucket + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_LT(LatencyHistogram::bucket_upper_nanos(bucket),
+                LatencyHistogram::bucket_upper_nanos(bucket + 1));
+    }
+  }
+}
+
+TEST(ServeMetrics, HistogramQuantilesAreOrderedAndTight) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 99; ++i) {
+    histogram.record(1000);  // ~1 us
+  }
+  histogram.record(1000000);  // one 1 ms outlier
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  // Quarter-octave buckets overestimate by < 28%.
+  EXPECT_GE(snap.p50_us, 1.0);
+  EXPECT_LE(snap.p50_us, 1.28);
+  EXPECT_LE(snap.p50_us, snap.p99_us);
+  EXPECT_EQ(snap.max_us, 1000.0);  // max is exact, not bucketed
+}
+
+// ---- server ------------------------------------------------------------
+
+TEST_F(ServeTest, ServesNoModelPublishedWhenRegistryEmpty) {
+  ModelRegistry registry;
+  ServerOptions options;
+  options.workers = 1;
+  Server server{registry, options};
+  const SelectResponse response = server.select(make_request(1, 0));
+  EXPECT_EQ(response.status, ResponseStatus::NoModelPublished);
+  EXPECT_EQ(response.request_id, 1u);
+}
+
+TEST_F(ServeTest, ServesUnknownModelVersion) {
+  ModelRegistry registry;
+  registry.publish(*model_a_);
+  ServerOptions options;
+  options.workers = 1;
+  Server server{registry, options};
+  SelectRequest request = make_request(2, 0);
+  request.model_version = 99;
+  EXPECT_EQ(server.select(request).status,
+            ResponseStatus::UnknownModelVersion);
+}
+
+TEST_F(ServeTest, SingleRequestMatchesReferenceExactly) {
+  ModelRegistry registry;
+  const std::uint64_t version = registry.publish(*model_a_);
+  ServerOptions options;
+  options.workers = 2;
+  Server server{registry, options};
+  const SelectRequest request = make_request(3, 1);
+  const SelectResponse served = server.select(request);
+  const SelectResponse reference =
+      serve_with_model(*model_a_, version, request, {});
+  // Byte-identical: compare the encoded frames.
+  std::vector<std::uint8_t> served_bytes;
+  std::vector<std::uint8_t> reference_bytes;
+  encode_response(served, served_bytes);
+  encode_response(reference, reference_bytes);
+  EXPECT_EQ(served_bytes, reference_bytes);
+}
+
+TEST_F(ServeTest, ConcurrentStreamMatchesReferenceAcrossHotSwap) {
+  ModelRegistry registry;
+  const std::uint64_t v1 = registry.publish(*model_a_);
+
+  ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 4096;
+  options.max_batch = 16;
+  Server server{registry, options};
+
+  constexpr std::uint64_t kPerClient = 250;
+  constexpr std::size_t kClients = 4;
+  std::vector<std::pair<SelectRequest, std::future<SelectResponse>>>
+      in_flight[kClients];
+  std::atomic<std::uint64_t> submitted_count{0};
+  std::atomic<std::uint64_t> v2{0};
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::uint64_t i = 0; i < kPerClient; ++i) {
+        SelectRequest request =
+            make_request(c * kPerClient + i, 7 + c);
+        // A slice of requests pins version 1 explicitly — they must be
+        // served by v1 even after the swap.
+        if (i % 11 == 0) {
+          request.model_version = v1;
+        }
+        in_flight[c].emplace_back(request, server.submit(request));
+        ++submitted_count;
+      }
+    });
+  }
+  // Hot-swap mid-stream, once roughly half the requests are in.
+  std::thread swapper{[&] {
+    while (submitted_count.load() < kClients * kPerClient / 2) {
+      std::this_thread::yield();
+    }
+    v2.store(registry.publish(*model_b_));
+  }};
+  for (auto& client : clients) {
+    client.join();
+  }
+  swapper.join();
+
+  std::size_t served_by_v2 = 0;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (auto& [request, future] : in_flight[c]) {
+      const SelectResponse response = future.get();
+      ASSERT_EQ(response.status, ResponseStatus::Ok);
+      // Responses must name a version the registry holds...
+      const auto model = registry.get(response.model_version);
+      ASSERT_NE(model, nullptr) << "version " << response.model_version;
+      // ...honor explicit pins...
+      if (request.model_version != 0) {
+        EXPECT_EQ(response.model_version, request.model_version);
+      }
+      served_by_v2 += response.model_version == v2.load() ? 1 : 0;
+      // ...and match the single-threaded reference loop byte for byte.
+      const SelectResponse reference = serve_with_model(
+          *model, response.model_version, request, server.options().scheduler);
+      std::vector<std::uint8_t> served_bytes;
+      std::vector<std::uint8_t> reference_bytes;
+      encode_response(response, served_bytes);
+      encode_response(reference, reference_bytes);
+      ASSERT_EQ(served_bytes, reference_bytes)
+          << "request " << request.request_id;
+    }
+  }
+  // The swap happened mid-stream, so both versions must have served.
+  EXPECT_GT(served_by_v2, 0u);
+  EXPECT_LT(served_by_v2, kClients * kPerClient);
+
+  const auto snapshot = server.metrics_snapshot();
+  EXPECT_EQ(snapshot.submitted, kClients * kPerClient);
+  EXPECT_EQ(snapshot.completed + snapshot.shed, snapshot.submitted);
+  EXPECT_EQ(snapshot.shed, 0u);  // queue was deep enough for the stream
+  EXPECT_EQ(snapshot.errors, 0u);
+  EXPECT_GE(snapshot.batches, 1u);
+  EXPECT_GE(snapshot.mean_batch, 1.0);
+}
+
+TEST_F(ServeTest, ShedsWithErrorWhenQueueIsFull) {
+  ModelRegistry registry;
+  registry.publish(*model_a_);
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;  // nearly every burst submission sheds
+  options.max_batch = 1;
+  Server server{registry, options};
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::uint64_t kPerClient = 100;
+  std::atomic<std::uint64_t> shed_seen{0};
+  std::atomic<std::uint64_t> ok_seen{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<SelectResponse>> futures;
+      for (std::uint64_t i = 0; i < kPerClient; ++i) {
+        futures.push_back(server.submit(make_request(c * kPerClient + i, 3)));
+      }
+      for (auto& future : futures) {
+        const SelectResponse response = future.get();
+        if (response.status == ResponseStatus::Shed) {
+          ++shed_seen;
+        } else if (response.status == ResponseStatus::Ok) {
+          ++ok_seen;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  // Every request resolved one way or the other; nothing hung or vanished.
+  EXPECT_EQ(shed_seen + ok_seen, kClients * kPerClient);
+  EXPECT_GT(shed_seen.load(), 0u);
+  EXPECT_GT(ok_seen.load(), 0u);
+
+  const auto snapshot = server.metrics_snapshot();
+  EXPECT_EQ(snapshot.shed, shed_seen.load());
+  EXPECT_EQ(snapshot.completed, ok_seen.load());
+  EXPECT_EQ(snapshot.submitted, kClients * kPerClient);
+}
+
+TEST_F(ServeTest, SubmissionsAfterStopAreShed) {
+  ModelRegistry registry;
+  registry.publish(*model_a_);
+  ServerOptions options;
+  options.workers = 1;
+  Server server{registry, options};
+  server.stop();
+  EXPECT_EQ(server.select(make_request(5, 0)).status, ResponseStatus::Shed);
+}
+
+// ---- wire path ---------------------------------------------------------
+
+TEST_F(ServeTest, ServeFrameRoundTripsThroughTheWire) {
+  ModelRegistry registry;
+  const std::uint64_t version = registry.publish(*model_a_);
+  ServerOptions options;
+  options.workers = 2;
+  Server server{registry, options};
+
+  const SelectRequest request = make_request(6, 2);
+  std::vector<std::uint8_t> frame;
+  encode_request(request, frame);
+  const std::vector<std::uint8_t> reply = server.serve_frame(frame);
+
+  const Decoded decoded = decode_frame(reply);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  ASSERT_EQ(decoded.type, MessageType::SelectResponse);
+  EXPECT_EQ(decoded.response.request_id, request.request_id);
+  EXPECT_EQ(decoded.response.status, ResponseStatus::Ok);
+  EXPECT_EQ(decoded.response.model_version, version);
+
+  const SelectResponse reference =
+      serve_with_model(*model_a_, version, request, {});
+  EXPECT_EQ(decoded.response.config_index, reference.config_index);
+  EXPECT_EQ(decoded.response.predicted_power_w,
+            reference.predicted_power_w);
+}
+
+TEST_F(ServeTest, ServeFrameRejectsMalformedInput) {
+  ModelRegistry registry;
+  registry.publish(*model_a_);
+  ServerOptions options;
+  options.workers = 1;
+  Server server{registry, options};
+
+  const std::vector<std::uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8,
+                                          9, 10, 11, 12, 13};
+  const std::vector<std::uint8_t> reply = server.serve_frame(garbage);
+  const Decoded decoded = decode_frame(reply);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.response.status, ResponseStatus::MalformedRequest);
+
+  // A response frame sent to the request endpoint is equally rejected.
+  std::vector<std::uint8_t> response_frame;
+  encode_response(SelectResponse{}, response_frame);
+  const Decoded wrong_type = decode_frame(server.serve_frame(response_frame));
+  ASSERT_EQ(wrong_type.status, DecodeStatus::Ok);
+  EXPECT_EQ(wrong_type.response.status, ResponseStatus::MalformedRequest);
+}
+
+}  // namespace
+}  // namespace acsel::serve
