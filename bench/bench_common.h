@@ -9,6 +9,7 @@
 
 #include "eval/protocol.h"
 #include "soc/machine.h"
+#include "util/log.h"
 #include "workloads/suite.h"
 
 namespace acsel::bench {
@@ -30,6 +31,9 @@ inline eval::EvaluationResult run_paper_evaluation() {
 
 inline void print_header(const std::string& title,
                          const std::string& paper_ref) {
+  // Every bench calls this first, so ACSEL_LOG_LEVEL works across the
+  // whole bench suite without each bench wiring it up.
+  init_log_level_from_env();
   std::cout << "=== " << title << " ===\n"
             << "Reproduces: " << paper_ref << "\n"
             << "(simulated Trinity APU substrate — compare shapes, not "

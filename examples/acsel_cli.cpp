@@ -26,6 +26,7 @@
 #include "hw/config_space.h"
 #include "profile/profiler.h"
 #include "util/error.h"
+#include "util/log.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workloads/suite.h"
@@ -42,6 +43,7 @@ int usage() {
       "  acsel_cli train <profiles.csv> <model.txt>\n"
       "  acsel_cli predict <model.txt> <kernel-id>\n"
       "  acsel_cli schedule <model.txt> <kernel-id> <cap_w> [perf|energy|edp]\n"
+      "options: --log-level=debug|info|warn|off (or ACSEL_LOG_LEVEL env)\n"
       "kernel-id example: LULESH-Small/CalcFBHourglassForce\n";
   return 2;
 }
@@ -213,7 +215,11 @@ int cmd_schedule(const std::string& model_path, const std::string& id,
 
 int main(int argc, char** argv) {
   try {
-    const std::vector<std::string> args(argv + 1, argv + argc);
+    init_log_level_from_env();
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::erase_if(args, [](const std::string& arg) {
+      return consume_log_level_flag(arg);
+    });
     if (args.empty()) {
       return usage();
     }

@@ -5,17 +5,52 @@
 // kernel from distinct points in the application"). Mid-run, the cluster
 // power manager halves the node budget, and later the operator switches
 // the objective to energy efficiency.
+//
+// Observability flags:
+//   --trace=PATH     enable the span tracer and write a Chrome trace-event
+//                    JSON file (load in chrome://tracing or Perfetto)
+//   --metrics=PATH   write the global metric registry as CSV
+//   --log-level=...  debug|info|warn|off (also: ACSEL_LOG_LEVEL env)
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/runtime.h"
 #include "core/trainer.h"
 #include "eval/characterize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/log.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workloads/suite.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acsel;
+  init_log_level_from_env();
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (consume_log_level_flag(arg)) {
+      continue;
+    }
+    if (arg.starts_with("--trace=")) {
+      trace_path = arg.substr(8);
+    } else if (arg.starts_with("--metrics=")) {
+      metrics_path = arg.substr(10);
+    } else {
+      std::cerr << "usage: online_runtime_app [--trace=PATH]"
+                   " [--metrics=PATH] [--log-level=LEVEL]\n";
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::global().enable();
+  }
   soc::Machine machine;
   const auto suite = workloads::Suite::standard();
 
@@ -83,5 +118,26 @@ int main() {
             << " (the two ComputeForce call sites are separate).\n"
             << "Total profiled records: " << runtime.profiler().size()
             << '\n';
+
+  if (!trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.disable();
+    std::ofstream out{trace_path, std::ios::binary};
+    ACSEL_CHECK_MSG(out.good(), "cannot open for write: " + trace_path);
+    tracer.write_chrome_trace(out);
+    ACSEL_CHECK_MSG(out.good(), "failed writing trace: " + trace_path);
+    std::cout << "Trace: " << trace_path << " ("
+              << tracer.collected().size() << " events, "
+              << tracer.dropped() << " dropped)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out{metrics_path, std::ios::binary};
+    ACSEL_CHECK_MSG(out.good(), "cannot open for write: " + metrics_path);
+    CsvWriter writer{out};
+    writer.header(obs::registry_csv_header());
+    obs::write_registry_csv(writer, obs::Registry::global().snapshot());
+    ACSEL_CHECK_MSG(out.good(), "failed writing metrics: " + metrics_path);
+    std::cout << "Metrics: " << metrics_path << '\n';
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/features.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -24,6 +25,7 @@ const ClusterModel& TrainedModel::cluster(std::size_t index) const {
 }
 
 std::size_t TrainedModel::classify(const SamplePair& samples) const {
+  ACSEL_OBS_SPAN("classify", "model");
   const std::size_t label = tree_.predict(classification_features(samples));
   // The tree was trained on cluster labels; guard against a label that has
   // no model (can only happen with a corrupted deserialized model).
@@ -33,6 +35,7 @@ std::size_t TrainedModel::classify(const SamplePair& samples) const {
 }
 
 Prediction TrainedModel::predict(const SamplePair& samples) const {
+  ACSEL_OBS_SPAN("predict", "model");
   Prediction prediction;
   prediction.cluster = classify(samples);
   const ClusterModel& model = clusters_[prediction.cluster];

@@ -2,10 +2,32 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/log.h"
 
 namespace acsel::core {
+
+namespace {
+
+/// Runtime-level counters in the process-wide registry. Looked up once;
+/// the references stay valid for the process lifetime.
+struct RuntimeCounters {
+  obs::Counter& invocations =
+      obs::Registry::global().counter("runtime.invocations");
+  obs::Counter& behaviour_changes =
+      obs::Registry::global().counter("runtime.behaviour_changes");
+  obs::Counter& reselections =
+      obs::Registry::global().counter("runtime.reselections");
+
+  static RuntimeCounters& get() {
+    static RuntimeCounters counters;
+    return counters;
+  }
+};
+
+}  // namespace
 
 std::string KernelKey::str() const {
   std::string out = name;
@@ -37,10 +59,12 @@ OnlineRuntime::OnlineRuntime(soc::Machine& machine, TrainedModel model,
 const profile::KernelRecord& OnlineRuntime::invoke(
     const KernelKey& key, const workloads::WorkloadInstance& impl) {
   Tracked& tracked = kernels_[key];
+  RuntimeCounters::get().invocations.add();
 
   if (tracked.runs == 0) {
     // First iteration: CPU sample configuration (Table II).
     ++tracked.runs;
+    ACSEL_OBS_SPAN("sample_cpu", "runtime");
     const auto& record = profiler_.run(impl, space_.cpu_sample());
     tracked.samples.cpu = record;
     return record;
@@ -48,7 +72,10 @@ const profile::KernelRecord& OnlineRuntime::invoke(
   if (tracked.runs == 1) {
     // Second iteration: GPU sample configuration, then predict + select.
     ++tracked.runs;
-    const auto& record = profiler_.run(impl, space_.gpu_sample());
+    const auto& record = [&]() -> const profile::KernelRecord& {
+      ACSEL_OBS_SPAN("sample_gpu", "runtime");
+      return profiler_.run(impl, space_.gpu_sample());
+    }();
     tracked.samples.gpu = record;
     tracked.prediction = model_.predict(tracked.samples);
     reselect(tracked);
@@ -76,6 +103,8 @@ const profile::KernelRecord& OnlineRuntime::invoke(
         // Discard the profile: the next invocations re-sample.
         tracked = Tracked{};
         ++behaviour_changes_;
+        RuntimeCounters::get().behaviour_changes.add();
+        ACSEL_OBS_INSTANT("behaviour_change", "runtime");
         ACSEL_LOG_INFO("runtime: behaviour change on " << key.str()
                                                        << "; re-sampling");
       }
@@ -88,6 +117,9 @@ const profile::KernelRecord& OnlineRuntime::invoke(
 
 void OnlineRuntime::reselect(Tracked& tracked) {
   ACSEL_CHECK(tracked.prediction.has_value());
+  RuntimeCounters::get().reselections.add();
+  ACSEL_OBS_INSTANT("reselect", "runtime");
+  ACSEL_OBS_SPAN("select", "runtime");
   const Scheduler scheduler{*tracked.prediction, options_.scheduler};
   tracked.config_index =
       scheduler.select_goal(options_.goal, options_.power_cap_w)

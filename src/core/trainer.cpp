@@ -4,6 +4,7 @@
 
 #include "core/features.h"
 #include "hw/config_space.h"
+#include "obs/trace.h"
 #include "pareto/dissimilarity.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -97,44 +98,58 @@ TrainedModel train(std::span<const KernelCharacterization> kernels,
   }
 
   // 1. Pareto frontier per training kernel.
-  std::vector<pareto::ParetoFrontier> frontiers;
-  frontiers.reserve(kernels.size());
-  for (const auto& kernel : kernels) {
-    frontiers.push_back(kernel.frontier());
-  }
+  const std::vector<pareto::ParetoFrontier> frontiers = [&] {
+    ACSEL_OBS_SPAN("train.frontiers", "trainer");
+    std::vector<pareto::ParetoFrontier> out;
+    out.reserve(kernels.size());
+    for (const auto& kernel : kernels) {
+      out.push_back(kernel.frontier());
+    }
+    return out;
+  }();
 
   // 2. Frontier-order dissimilarity matrix; 3. PAM relational clustering.
-  const linalg::Matrix dissimilarity =
-      pareto::dissimilarity_matrix(frontiers, options.dissimilarity);
-  const stats::PamResult clustering = stats::pam(dissimilarity,
-                                                 options.clusters);
+  const linalg::Matrix dissimilarity = [&] {
+    ACSEL_OBS_SPAN("train.dissimilarity", "trainer");
+    return pareto::dissimilarity_matrix(frontiers, options.dissimilarity);
+  }();
+  const stats::PamResult clustering = [&] {
+    ACSEL_OBS_SPAN("train.cluster", "trainer");
+    return stats::pam(dissimilarity, options.clusters);
+  }();
 
   // 4. Per-cluster regressions.
   std::vector<std::vector<std::size_t>> members(options.clusters);
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     members[clustering.assignment[i]].push_back(i);
   }
-  std::vector<ClusterModel> cluster_models;
-  cluster_models.reserve(options.clusters);
-  for (std::size_t c = 0; c < options.clusters; ++c) {
-    ACSEL_CHECK_MSG(!members[c].empty(), "PAM produced an empty cluster");
-    cluster_models.push_back(
-        fit_cluster(kernels, members[c], space, options));
-  }
+  std::vector<ClusterModel> cluster_models = [&] {
+    ACSEL_OBS_SPAN("train.regressions", "trainer");
+    std::vector<ClusterModel> out;
+    out.reserve(options.clusters);
+    for (std::size_t c = 0; c < options.clusters; ++c) {
+      ACSEL_CHECK_MSG(!members[c].empty(), "PAM produced an empty cluster");
+      out.push_back(fit_cluster(kernels, members[c], space, options));
+    }
+    return out;
+  }();
 
   // 5. Classification tree on sample-run features -> cluster label.
-  linalg::Matrix tree_x{kernels.size(),
-                        classification_feature_names().size()};
-  std::vector<std::size_t> tree_labels(kernels.size());
-  for (std::size_t i = 0; i < kernels.size(); ++i) {
-    const auto features = classification_features(kernels[i].samples);
-    for (std::size_t j = 0; j < features.size(); ++j) {
-      tree_x(i, j) = features[j];
+  stats::Cart tree = [&] {
+    ACSEL_OBS_SPAN("train.cart", "trainer");
+    linalg::Matrix tree_x{kernels.size(),
+                          classification_feature_names().size()};
+    std::vector<std::size_t> tree_labels(kernels.size());
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      const auto features = classification_features(kernels[i].samples);
+      for (std::size_t j = 0; j < features.size(); ++j) {
+        tree_x(i, j) = features[j];
+      }
+      tree_labels[i] = clustering.assignment[i];
     }
-    tree_labels[i] = clustering.assignment[i];
-  }
-  stats::Cart tree = stats::Cart::fit(tree_x, tree_labels, options.tree,
-                                      classification_feature_names());
+    return stats::Cart::fit(tree_x, tree_labels, options.tree,
+                            classification_feature_names());
+  }();
 
   if (report != nullptr) {
     report->clustering = clustering;

@@ -1,0 +1,217 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace acsel::obs {
+
+namespace {
+
+// Each tracer gets a process-unique id. The per-thread ring cache is
+// keyed by it, so a cached pointer can never be mistaken for a ring of a
+// different (possibly destroyed) tracer — ids are never reused.
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      tracer_id_(next_tracer_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  // Leaked on purpose: instrumented code may run on worker threads during
+  // static destruction, and a destroyed tracer would be a use-after-free.
+  static Tracer* const instance = new Tracer{};
+  return *instance;
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  // One mutex acquisition per thread per tracer; subsequent records hit
+  // the thread-local cache. The cache is validated by tracer id, never by
+  // address, so it cannot alias a ring of another tracer.
+  thread_local std::uint64_t cached_tracer_id =
+      ~static_cast<std::uint64_t>(0);
+  thread_local Ring* cached_ring = nullptr;
+  if (cached_tracer_id == tracer_id_ && cached_ring != nullptr) {
+    return *cached_ring;
+  }
+  std::lock_guard<std::mutex> lock{rings_mu_};
+  auto [it, inserted] =
+      rings_.try_emplace(std::this_thread::get_id(), nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Ring>();
+    it->second->events.reserve(ring_capacity_);
+    it->second->tid = next_tid_++;
+  }
+  cached_tracer_id = tracer_id_;
+  cached_ring = it->second.get();
+  return *cached_ring;
+}
+
+void Tracer::push(TraceEvent event) {
+  Ring& ring = ring_for_this_thread();
+  event.tid = ring.tid;
+  std::lock_guard<std::mutex> lock{ring.mu};
+  if (ring.events.size() < ring_capacity_) {
+    ring.events.push_back(std::move(event));
+    return;
+  }
+  // Full: overwrite the oldest event and advance the cursor.
+  ring.events[ring.next] = std::move(event);
+  ring.next = (ring.next + 1) % ring_capacity_;
+  ++ring.dropped;
+}
+
+void Tracer::record_complete(std::string name, std::string category,
+                             std::uint64_t start_ns, std::uint64_t dur_ns) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.type = TraceEventType::Complete;
+  event.ts_ns = start_ns;
+  event.dur_ns = dur_ns;
+  push(std::move(event));
+}
+
+void Tracer::record_instant(std::string name, std::string category) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.type = TraceEventType::Instant;
+  event.ts_ns = now_ns();
+  push(std::move(event));
+}
+
+void Tracer::record_counter(std::string name, double value) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.type = TraceEventType::Counter;
+  event.ts_ns = now_ns();
+  event.value = value;
+  push(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::collected() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> rings_lock{rings_mu_};
+    for (const auto& [thread_id, ring] : rings_) {
+      std::lock_guard<std::mutex> ring_lock{ring->mu};
+      // Oldest-first: the cursor points at the oldest element once the
+      // ring has wrapped.
+      for (std::size_t i = 0; i < ring->events.size(); ++i) {
+        out.push_back(ring->events[(ring->next + i) % ring->events.size()]);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> rings_lock{rings_mu_};
+  std::uint64_t total = 0;
+  for (const auto& [thread_id, ring] : rings_) {
+    std::lock_guard<std::mutex> ring_lock{ring->mu};
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> rings_lock{rings_mu_};
+  for (auto& [thread_id, ring] : rings_) {
+    std::lock_guard<std::mutex> ring_lock{ring->mu};
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+namespace {
+
+/// Renders nanoseconds as microseconds with exactly three decimals
+/// ("12345.678") — integer arithmetic, no floating-point rounding.
+std::string ns_as_us(std::uint64_t nanos) {
+  std::string out = std::to_string(nanos / 1000);
+  const std::uint64_t frac = nanos % 1000;
+  out += '.';
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + (frac / 10) % 10);
+  out += static_cast<char>('0' + frac % 10);
+  return out;
+}
+
+void write_event_json(const TraceEvent& event, std::ostream& out) {
+  out << "{\"name\": \"" << json_escape(event.name) << "\", \"ph\": \"";
+  switch (event.type) {
+    case TraceEventType::Complete:
+      out << 'X';
+      break;
+    case TraceEventType::Instant:
+      out << 'i';
+      break;
+    case TraceEventType::Counter:
+      out << 'C';
+      break;
+  }
+  out << "\", \"ts\": " << ns_as_us(event.ts_ns);
+  switch (event.type) {
+    case TraceEventType::Complete:
+      out << ", \"dur\": " << ns_as_us(event.dur_ns);
+      break;
+    case TraceEventType::Instant:
+      out << ", \"s\": \"t\"";  // thread-scoped instant
+      break;
+    case TraceEventType::Counter: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "%.17g", event.value);
+      out << ", \"args\": {\"value\": " << buffer << "}";
+      break;
+    }
+  }
+  if (!event.category.empty()) {
+    out << ", \"cat\": \"" << json_escape(event.category) << "\"";
+  }
+  out << ", \"pid\": 1, \"tid\": " << event.tid << "}";
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : collected()) {
+    out << (first ? "\n" : ",\n") << "  ";
+    write_event_json(event, out);
+    first = false;
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace acsel::obs

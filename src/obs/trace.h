@@ -1,0 +1,170 @@
+// Span tracer: RAII scoped spans, instant events and counter tracks
+// recorded into per-thread ring buffers and exported as Chrome
+// trace-event JSON — the file chrome://tracing and Perfetto load
+// directly. Built for "always compiled in, almost always off":
+//
+//   * runtime-off fast path — every record first checks one relaxed
+//     atomic bool and returns; a disabled tracer costs a load+branch;
+//   * compile-out — building with ACSEL_OBS_NO_TRACING (CMake option
+//     ACSEL_OBS_TRACING=OFF) turns the ACSEL_OBS_* macros into no-ops,
+//     removing even that load from instrumented call sites;
+//   * bounded memory — each thread writes a fixed-capacity ring;
+//     overflow overwrites the oldest events and counts the drops, so a
+//     day-long run can leave tracing on and still export the tail.
+//
+// Timestamps are monotonic nanoseconds since the tracer's construction
+// (steady_clock), exported as microseconds per the trace-event spec.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace acsel::obs {
+
+enum class TraceEventType : std::uint8_t {
+  Complete,  ///< a span: ts + duration ("ph":"X")
+  Instant,   ///< a point event ("ph":"i")
+  Counter,   ///< one sample of a counter track ("ph":"C")
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  TraceEventType type = TraceEventType::Instant;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< Complete only
+  double value = 0.0;        ///< Counter only
+  int tid = 0;               ///< small per-thread id assigned by the tracer
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t ring_capacity = kDefaultRingCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer the instrumentation macros record into
+  /// (never destroyed; starts disabled).
+  static Tracer& global();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Monotonic nanoseconds since construction — the timebase of every
+  /// recorded event.
+  std::uint64_t now_ns() const;
+
+  /// Records a finished span [start_ns, start_ns + dur_ns). No-op while
+  /// disabled.
+  void record_complete(std::string name, std::string category,
+                       std::uint64_t start_ns, std::uint64_t dur_ns);
+  /// Records a point event at now. No-op while disabled.
+  void record_instant(std::string name, std::string category);
+  /// Records one sample of the counter track `name` at now. No-op while
+  /// disabled.
+  void record_counter(std::string name, double value);
+
+  /// All buffered events from every thread, sorted by timestamp.
+  std::vector<TraceEvent> collected() const;
+  /// Events overwritten by ring overflow, across all threads.
+  std::uint64_t dropped() const;
+  /// Empties every ring (buffers stay allocated; references stay valid).
+  void clear();
+
+  /// Writes {"traceEvents": [...], "displayTimeUnit": "ms"} — the Chrome
+  /// trace-event JSON object format.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;  // circular once at capacity
+    std::size_t next = 0;            // overwrite cursor
+    std::uint64_t dropped = 0;
+    int tid = 0;
+  };
+
+  Ring& ring_for_this_thread();
+  void push(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  const std::size_t ring_capacity_;
+  const std::uint64_t tracer_id_;  // process-unique, for thread caches
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex rings_mu_;
+  std::map<std::thread::id, std::unique_ptr<Ring>> rings_;
+  int next_tid_ = 1;
+};
+
+/// RAII span: samples the clock on construction (when the tracer is
+/// enabled) and records a Complete event on destruction. Cheap to place
+/// on hot paths — a disabled tracer reduces it to one relaxed load.
+class Span {
+ public:
+  Span(Tracer& tracer, std::string name, std::string category)
+      : tracer_(tracer.enabled() ? &tracer : nullptr) {
+    if (tracer_ != nullptr) {
+      name_ = std::move(name);
+      category_ = std::move(category);
+      start_ns_ = tracer_->now_ns();
+    }
+  }
+
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->record_complete(std::move(name_), std::move(category_),
+                               start_ns_, tracer_->now_ns() - start_ns_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_;  // nullptr when the tracer was disabled at entry
+  std::string name_;
+  std::string category_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace acsel::obs
+
+// Instrumentation macros. Compile to nothing under ACSEL_OBS_NO_TRACING;
+// otherwise record into Tracer::global() with a one-load fast path while
+// tracing is off.
+#ifdef ACSEL_OBS_NO_TRACING
+#define ACSEL_OBS_SPAN(name, category) \
+  do {                                 \
+  } while (false)
+#define ACSEL_OBS_INSTANT(name, category) \
+  do {                                    \
+  } while (false)
+#define ACSEL_OBS_COUNTER(name, value) \
+  do {                                 \
+  } while (false)
+#else
+#define ACSEL_OBS_CONCAT_INNER(a, b) a##b
+#define ACSEL_OBS_CONCAT(a, b) ACSEL_OBS_CONCAT_INNER(a, b)
+#define ACSEL_OBS_SPAN(name, category)                        \
+  ::acsel::obs::Span ACSEL_OBS_CONCAT(acsel_obs_span_,        \
+                                      __LINE__){              \
+      ::acsel::obs::Tracer::global(), name, category}
+#define ACSEL_OBS_INSTANT(name, category) \
+  ::acsel::obs::Tracer::global().record_instant(name, category)
+#define ACSEL_OBS_COUNTER(name, value) \
+  ::acsel::obs::Tracer::global().record_counter(name, value)
+#endif

@@ -248,6 +248,67 @@ SelectResponse read_response_payload(Reader& r) {
   return response;
 }
 
+void put_stats_request_payload(std::vector<std::uint8_t>& out,
+                               const StatsRequest& request) {
+  put_u64(out, request.request_id);
+}
+
+StatsRequest read_stats_request_payload(Reader& r) {
+  StatsRequest request;
+  request.request_id = r.u64();
+  return request;
+}
+
+void put_stats_response_payload(std::vector<std::uint8_t>& out,
+                                const StatsResponse& response) {
+  put_u64(out, response.request_id);
+  put_u8(out, static_cast<std::uint8_t>(response.status));
+  put_u32(out, static_cast<std::uint32_t>(response.metrics.size()));
+  for (const obs::MetricSnapshot& metric : response.metrics) {
+    put_string(out, metric.name);
+    put_u8(out, static_cast<std::uint8_t>(metric.kind));
+    put_u64(out, metric.count);
+    put_f64(out, metric.value);
+    put_f64(out, metric.p50_us);
+    put_f64(out, metric.p99_us);
+    put_f64(out, metric.max_us);
+  }
+}
+
+StatsResponse read_stats_response_payload(Reader& r) {
+  StatsResponse response;
+  response.request_id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(ResponseStatus::InternalError)) {
+    throw PayloadError{};
+  }
+  response.status = static_cast<ResponseStatus>(status);
+  const std::uint32_t count = r.u32();
+  // A metric entry is at least 43 bytes on the wire; a count the payload
+  // cannot possibly hold is malformed (and would otherwise let a 4-byte
+  // field demand gigabytes of vector).
+  if (count > kMaxPayloadBytes / 43) {
+    throw PayloadError{};
+  }
+  response.metrics.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    obs::MetricSnapshot metric;
+    metric.name = r.string();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(obs::MetricKind::Histogram)) {
+      throw PayloadError{};
+    }
+    metric.kind = static_cast<obs::MetricKind>(kind);
+    metric.count = r.u64();
+    metric.value = r.f64();
+    metric.p50_us = r.f64();
+    metric.p99_us = r.f64();
+    metric.max_us = r.f64();
+    response.metrics.push_back(std::move(metric));
+  }
+  return response;
+}
+
 void put_frame(std::vector<std::uint8_t>& out, MessageType type,
                const std::vector<std::uint8_t>& payload) {
   ACSEL_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
@@ -298,6 +359,22 @@ void encode_response(const SelectResponse& response,
   put_frame(out, MessageType::SelectResponse, payload);
 }
 
+void encode_stats_request(const StatsRequest& request,
+                          std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8);
+  put_stats_request_payload(payload, request);
+  put_frame(out, MessageType::StatsRequest, payload);
+}
+
+void encode_stats_response(const StatsResponse& response,
+                           std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(64 + response.metrics.size() * 80);
+  put_stats_response_payload(payload, response);
+  put_frame(out, MessageType::StatsResponse, payload);
+}
+
 Decoded decode_frame(std::span<const std::uint8_t> buffer) {
   Decoded result;
   if (buffer.size() < kFrameHeaderBytes) {
@@ -320,8 +397,8 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
     result.status = DecodeStatus::OversizedFrame;
     return result;
   }
-  if (raw_type != static_cast<std::uint8_t>(MessageType::SelectRequest) &&
-      raw_type != static_cast<std::uint8_t>(MessageType::SelectResponse)) {
+  if (raw_type < static_cast<std::uint8_t>(MessageType::SelectRequest) ||
+      raw_type > static_cast<std::uint8_t>(MessageType::StatsResponse)) {
     result.status = DecodeStatus::UnknownType;
     return result;
   }
@@ -333,10 +410,19 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
   }
   Reader payload{buffer.subspan(kFrameHeaderBytes, payload_size)};
   try {
-    if (result.type == MessageType::SelectRequest) {
-      result.request = read_request_payload(payload);
-    } else {
-      result.response = read_response_payload(payload);
+    switch (result.type) {
+      case MessageType::SelectRequest:
+        result.request = read_request_payload(payload);
+        break;
+      case MessageType::SelectResponse:
+        result.response = read_response_payload(payload);
+        break;
+      case MessageType::StatsRequest:
+        result.stats_request = read_stats_request_payload(payload);
+        break;
+      case MessageType::StatsResponse:
+        result.stats_response = read_stats_response_payload(payload);
+        break;
     }
     if (!payload.exhausted()) {
       throw PayloadError{};

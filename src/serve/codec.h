@@ -3,7 +3,8 @@
 //
 //   u32  magic          "ACSL" (0x4C534341 little-endian)
 //   u8   protocol version (currently 1)
-//   u8   message type   (1 = SelectRequest, 2 = SelectResponse)
+//   u8   message type   (1 = SelectRequest, 2 = SelectResponse,
+//                        3 = StatsRequest, 4 = StatsResponse)
 //   u16  reserved       (must be 0)
 //   u32  payload length (hard-capped at kMaxPayloadBytes)
 //   ...  payload
@@ -34,6 +35,8 @@ inline constexpr std::size_t kMaxPayloadBytes = 64 * 1024;
 enum class MessageType : std::uint8_t {
   SelectRequest = 1,
   SelectResponse = 2,
+  StatsRequest = 3,
+  StatsResponse = 4,
 };
 
 enum class DecodeStatus {
@@ -57,6 +60,10 @@ void encode_request(const SelectRequest& request,
                     std::vector<std::uint8_t>& out);
 void encode_response(const SelectResponse& response,
                      std::vector<std::uint8_t>& out);
+void encode_stats_request(const StatsRequest& request,
+                          std::vector<std::uint8_t>& out);
+void encode_stats_response(const StatsResponse& response,
+                           std::vector<std::uint8_t>& out);
 
 struct Decoded {
   DecodeStatus status = DecodeStatus::NeedMoreData;
@@ -68,6 +75,8 @@ struct Decoded {
   std::size_t bytes_consumed = 0;
   SelectRequest request;    ///< valid when status == Ok, type == SelectRequest
   SelectResponse response;  ///< valid when status == Ok, type == SelectResponse
+  StatsRequest stats_request;    ///< valid when Ok, type == StatsRequest
+  StatsResponse stats_response;  ///< valid when Ok, type == StatsResponse
 };
 
 /// Decodes the frame at the front of `buffer`.

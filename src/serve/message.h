@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/characterization.h"
 #include "core/scheduler.h"
+#include "obs/metrics.h"
 
 namespace acsel::serve {
 
@@ -57,6 +59,21 @@ struct SelectResponse {
   double predicted_performance = 0.0;
   /// Mirrors core::Scheduler::Choice::predicted_feasible.
   bool predicted_feasible = false;
+};
+
+/// Pulls the server's metric registry over the wire. Answered inline at
+/// the frame layer — a stats scrape never enters the request queue, so
+/// monitoring cannot add latency to (or be shed by) the select hot path.
+struct StatsRequest {
+  /// Client-chosen correlation id, echoed back verbatim.
+  std::uint64_t request_id = 0;
+};
+
+struct StatsResponse {
+  std::uint64_t request_id = 0;
+  ResponseStatus status = ResponseStatus::Ok;
+  /// The registry snapshot, sorted by metric name (obs::Registry order).
+  std::vector<obs::MetricSnapshot> metrics;
 };
 
 }  // namespace acsel::serve

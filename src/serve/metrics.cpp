@@ -1,122 +1,56 @@
 #include "serve/metrics.h"
 
-#include <bit>
-#include <string>
-#include <vector>
+#include <chrono>
 
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace acsel::serve {
 
-LatencyHistogram::LatencyHistogram() { reset(); }
-
-std::size_t LatencyHistogram::bucket_of(std::uint64_t nanos) {
-  if (nanos < 4) {
-    return nanos;  // buckets 0..3 hold the degenerate first octaves
-  }
-  const int octave = static_cast<int>(std::bit_width(nanos)) - 1;  // >= 2
-  const std::uint64_t sub = (nanos >> (octave - 2)) & 3;  // quarter-octave
-  const std::size_t index =
-      static_cast<std::size_t>(octave) * 4 + static_cast<std::size_t>(sub);
-  return index < kBuckets ? index : kBuckets - 1;
-}
-
-std::uint64_t LatencyHistogram::bucket_upper_nanos(std::size_t bucket) {
-  if (bucket < 4) {
-    return bucket;
-  }
-  const std::uint64_t octave = bucket / 4;
-  const std::uint64_t sub = bucket % 4;
-  // Largest value whose top bits are (1, sub): next quarter boundary - 1.
-  return ((4 + sub + 1) << (octave - 2)) - 1;
-}
-
-void LatencyHistogram::record(std::uint64_t nanos) {
-  buckets_[bucket_of(nanos)].fetch_add(1, std::memory_order_relaxed);
-  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
-  while (nanos > seen && !max_nanos_.compare_exchange_weak(
-                             seen, nanos, std::memory_order_relaxed)) {
-  }
-}
-
-LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
-  std::array<std::uint64_t, kBuckets> counts;
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  Snapshot snap;
-  snap.count = total;
-  snap.max_us =
-      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e3;
-  if (total == 0) {
-    return snap;
-  }
-  const auto quantile_us = [&](double q) {
-    const double target = q * static_cast<double>(total);
-    std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      cumulative += counts[i];
-      if (static_cast<double>(cumulative) >= target) {
-        // Bucket upper bound, clamped so a quantile never exceeds the
-        // exact observed maximum.
-        const double upper = static_cast<double>(bucket_upper_nanos(i)) / 1e3;
-        return upper < snap.max_us ? upper : snap.max_us;
-      }
-    }
-    return snap.max_us;
-  };
-  snap.p50_us = quantile_us(0.50);
-  snap.p99_us = quantile_us(0.99);
-  return snap;
-}
-
-void LatencyHistogram::reset() {
-  for (auto& bucket : buckets_) {
-    bucket.store(0, std::memory_order_relaxed);
-  }
-  max_nanos_.store(0, std::memory_order_relaxed);
-}
-
 ServerMetrics::ServerMetrics()
-    : window_start_(std::chrono::steady_clock::now()) {}
+    : submitted_(&registry_.counter("serve.submitted")),
+      completed_(&registry_.counter("serve.completed")),
+      shed_(&registry_.counter("serve.shed")),
+      errors_(&registry_.counter("serve.errors")),
+      batches_(&registry_.counter("serve.batches")),
+      batched_requests_(&registry_.counter("serve.batched_requests")),
+      latency_(&registry_.histogram("serve.latency_ns")),
+      queue_depth_(&registry_.gauge("serve.queue_depth")),
+      window_start_ns_(steady_now_ns()) {}
+
+std::int64_t ServerMetrics::steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 ServerMetrics::Snapshot ServerMetrics::snapshot(
     std::size_t queue_depth) const {
+  queue_depth_->set(static_cast<double>(queue_depth));
   Snapshot snap;
-  snap.submitted = submitted_.load(std::memory_order_relaxed);
-  snap.completed = completed_.load(std::memory_order_relaxed);
-  snap.shed = shed_.load(std::memory_order_relaxed);
-  snap.errors = errors_.load(std::memory_order_relaxed);
-  snap.batches = batches_.load(std::memory_order_relaxed);
-  const std::uint64_t batched =
-      batched_requests_.load(std::memory_order_relaxed);
+  snap.submitted = submitted_->value();
+  snap.completed = completed_->value();
+  snap.shed = shed_->value();
+  snap.errors = errors_->value();
+  snap.batches = batches_->value();
+  const std::uint64_t batched = batched_requests_->value();
   snap.mean_batch = snap.batches == 0
                         ? 0.0
                         : static_cast<double>(batched) /
                               static_cast<double>(snap.batches);
-  snap.elapsed_s = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - window_start_)
-                       .count();
+  const std::int64_t start = window_start_ns_.load(std::memory_order_relaxed);
+  snap.elapsed_s = static_cast<double>(steady_now_ns() - start) / 1e9;
   snap.qps = snap.elapsed_s > 0.0
                  ? static_cast<double>(snap.completed) / snap.elapsed_s
                  : 0.0;
-  snap.latency = latency_.snapshot();
+  snap.latency = latency_->snapshot();
   snap.queue_depth = queue_depth;
   return snap;
 }
 
 void ServerMetrics::reset() {
-  submitted_.store(0, std::memory_order_relaxed);
-  completed_.store(0, std::memory_order_relaxed);
-  shed_.store(0, std::memory_order_relaxed);
-  errors_.store(0, std::memory_order_relaxed);
-  batches_.store(0, std::memory_order_relaxed);
-  batched_requests_.store(0, std::memory_order_relaxed);
-  latency_.reset();
-  window_start_ = std::chrono::steady_clock::now();
+  registry_.reset();
+  window_start_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 }
 
 void print_metrics(const ServerMetrics::Snapshot& snapshot,

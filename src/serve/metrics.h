@@ -1,74 +1,51 @@
-// Serving observability: lock-free counters plus a log-bucketed latency
-// histogram, all updated on the hot path with relaxed atomics (each cell
-// is independent; snapshots tolerate being a few events torn, which is the
-// standard histogram trade for zero hot-path locking). Snapshots are
-// dumpable through the repo's existing table/CSV writers so bench output
-// matches every other artifact in the repo.
+// Serving observability, backed by the shared obs metric registry: every
+// counter the server keeps is a named obs metric, so the same rows appear
+// in the text table, the CSV artifact, the JSON dump, and the wire
+// protocol's StatsResponse. Hot-path updates go through cached metric
+// references (relaxed atomics, no lock, no name lookup); snapshots
+// tolerate being a few events torn, which is the standard trade for zero
+// hot-path locking.
 #pragma once
 
-#include <array>
 #include <atomic>
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <ostream>
+#include <string>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "util/csv.h"
 
 namespace acsel::serve {
 
-/// Latency histogram with four buckets per power-of-two octave (quarter-
-/// octave resolution: quantile estimates overshoot by at most ~19%).
-/// Covers 1 ns .. ~9 s; larger samples clamp into the last bucket.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 132;  // 33 octaves * 4
+/// The serving layer's latency histogram is the shared obs histogram
+/// (promoted out of this header; alias kept for source compatibility).
+using LatencyHistogram = obs::Histogram;
 
-  LatencyHistogram();
-
-  /// Records one sample. Wait-free; safe from any thread.
-  void record(std::uint64_t nanos);
-
-  struct Snapshot {
-    std::uint64_t count = 0;
-    double p50_us = 0.0;
-    double p99_us = 0.0;
-    double max_us = 0.0;
-  };
-
-  Snapshot snapshot() const;
-
-  /// Zeroes all cells. Not atomic against concurrent record(); callers
-  /// reset between measurement windows, while the server is quiescent.
-  void reset();
-
-  /// Bucket index for a sample (exposed for the tests).
-  static std::size_t bucket_of(std::uint64_t nanos);
-  /// Inclusive upper bound of a bucket in nanoseconds — the value
-  /// quantiles report for samples landing in it.
-  static std::uint64_t bucket_upper_nanos(std::size_t bucket);
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_;
-  std::atomic<std::uint64_t> max_nanos_{0};
-};
-
-/// Everything the server counts. One instance per Server.
+/// Everything the server counts. One instance per Server, each with its
+/// own registry so two servers in one process never share rows.
 class ServerMetrics {
  public:
   ServerMetrics();
 
   // -- hot-path updates --------------------------------------------------
-  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
-  void on_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
-  void on_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  void on_submitted() { submitted_->add(); }
+  void on_shed() { shed_->add(); }
+  void on_error() { errors_->add(); }
   void on_batch(std::size_t size) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_requests_.fetch_add(size, std::memory_order_relaxed);
+    batches_->add();
+    batched_requests_->add(size);
   }
   void on_completed(std::uint64_t latency_nanos) {
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    latency_.record(latency_nanos);
+    completed_->add();
+    latency_->record(latency_nanos);
+  }
+  /// Publishes the instantaneous queue depth to the registry gauge (also
+  /// done by snapshot(); exposed for the wire scrape path, which reads
+  /// the registry without building a Snapshot).
+  void publish_queue_depth(std::size_t depth) {
+    queue_depth_->set(static_cast<double>(depth));
   }
 
   struct Snapshot {
@@ -84,21 +61,35 @@ class ServerMetrics {
     std::size_t queue_depth = 0;  ///< sampled at snapshot time
   };
 
+  /// Also publishes `queue_depth` to the "serve.queue_depth" gauge, so a
+  /// registry scrape taken after a snapshot sees the same depth.
   Snapshot snapshot(std::size_t queue_depth) const;
 
   /// Zeroes counters and histogram and restarts the QPS clock. For use
   /// between measurement windows, while the server is quiescent.
   void reset();
 
+  /// The registry backing these metrics — what the wire stats scrape and
+  /// the obs exporters read.
+  const obs::Registry& registry() const { return registry_; }
+
  private:
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> batched_requests_{0};
-  LatencyHistogram latency_;
-  std::chrono::steady_clock::time_point window_start_;
+  static std::int64_t steady_now_ns();
+
+  obs::Registry registry_;
+  // Cached references into registry_ (stable for its lifetime).
+  obs::Counter* submitted_;
+  obs::Counter* completed_;
+  obs::Counter* shed_;
+  obs::Counter* errors_;
+  obs::Counter* batches_;
+  obs::Counter* batched_requests_;
+  obs::Histogram* latency_;
+  obs::Gauge* queue_depth_;
+  // Window start in steady-clock nanoseconds. Atomic so reset() racing a
+  // snapshot() hands the snapshot either the old window or the new one —
+  // never a torn time_point and never a negative elapsed.
+  std::atomic<std::int64_t> window_start_ns_;
 };
 
 /// Renders a snapshot as an aligned text table (util::TextTable style).

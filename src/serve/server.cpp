@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.h"
 #include "serve/codec.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -111,6 +112,20 @@ SelectResponse Server::select(SelectRequest request) {
 std::vector<std::uint8_t> Server::serve_frame(
     std::span<const std::uint8_t> frame) {
   const Decoded decoded = decode_frame(frame);
+  std::vector<std::uint8_t> out;
+  if (decoded.status == DecodeStatus::Ok &&
+      decoded.type == MessageType::StatsRequest) {
+    // Stats scrapes are answered inline at the frame layer: they never
+    // enter the queue, so monitoring cannot be shed by — or add latency
+    // to — the selection hot path.
+    metrics_.publish_queue_depth(queue_.size());
+    StatsResponse stats;
+    stats.request_id = decoded.stats_request.request_id;
+    stats.status = ResponseStatus::Ok;
+    stats.metrics = metrics_.registry().snapshot();
+    encode_stats_response(stats, out);
+    return out;
+  }
   SelectResponse response;
   if (decoded.status != DecodeStatus::Ok ||
       decoded.type != MessageType::SelectRequest) {
@@ -122,7 +137,6 @@ std::vector<std::uint8_t> Server::serve_frame(
   } else {
     response = select(decoded.request);
   }
-  std::vector<std::uint8_t> out;
   encode_response(response, out);
   return out;
 }
@@ -148,6 +162,7 @@ void Server::worker_loop() {
     if (queue_.pop_batch(batch, options_.max_batch) == 0) {
       return;  // closed and drained
     }
+    ACSEL_OBS_SPAN("serve.batch", "serve");
     metrics_.on_batch(batch.size());
 
     // Per-batch caches: model resolution per requested version, and the
@@ -157,6 +172,22 @@ void Server::worker_loop() {
 
     for (Job& job : batch) {
       const SelectRequest& request = job.request;
+#ifndef ACSEL_OBS_NO_TRACING
+      // Each request's time in the queue, backdated onto the trace
+      // timeline so the wait span abuts the processing span.
+      if (obs::Tracer& tracer = obs::Tracer::global(); tracer.enabled()) {
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - job.enqueued)
+                .count();
+        const std::uint64_t wait_ns = static_cast<std::uint64_t>(waited);
+        const std::uint64_t end_ns = tracer.now_ns();
+        tracer.record_complete("serve.queue_wait", "serve",
+                               end_ns > wait_ns ? end_ns - wait_ns : 0,
+                               wait_ns);
+      }
+#endif
+      ACSEL_OBS_SPAN("serve.request", "serve");
       SelectResponse response;
       response.request_id = request.request_id;
       try {
@@ -210,8 +241,10 @@ void Server::worker_loop() {
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               now - job.enqueued)
               .count();
-      job.promise.set_value(response);
+      // Metrics first, promise second: once a client observes its
+      // response, any stats scrape it issues already counts the request.
       metrics_.on_completed(static_cast<std::uint64_t>(nanos));
+      job.promise.set_value(response);
     }
   }
 }

@@ -73,6 +73,11 @@ class Server {
 
   ServerMetrics::Snapshot metrics_snapshot() const;
 
+  /// The metric registry backing this server's counters — what a wire
+  /// StatsRequest scrapes. Exposed so in-process callers (tests, the
+  /// stats parity check) can read the same rows.
+  const obs::Registry& stats_registry() const { return metrics_.registry(); }
+
   /// Zeroes metrics between measurement windows (call while quiescent).
   void reset_metrics() { metrics_.reset(); }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace acsel::soc {
@@ -69,6 +70,10 @@ ExecutionResult Machine::run(const KernelCharacteristics& kernel,
                 synthesize_counters(spec_, kernel, config, steady);
 
     thermal_.advance(steady.total_power_w(), dt_ms * 1e-3);
+    // Counter tracks: one sample per simulator tick, so the trace shows
+    // the machine's power and die temperature alongside the spans.
+    ACSEL_OBS_COUNTER("machine.power_w", steady.total_power_w());
+    ACSEL_OBS_COUNTER("machine.temperature_c", thermal_.temperature_c());
     temp_integral += thermal_.temperature_c() * dt_ms;
     boost_ms += boosted ? dt_ms : 0.0;
     dram_energy_j += steady.dram_power_w * dt_ms * 1e-3;

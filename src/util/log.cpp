@@ -1,13 +1,19 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+
+#include "util/error.h"
 
 namespace acsel {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::atomic<void (*)(const std::string&)> g_sink{nullptr};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,6 +28,21 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Uptime of the logging subsystem — the timestamps on every line count
+/// from the first log-related call in the process.
+double uptime_seconds() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+char ascii_lower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -32,21 +53,84 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += ascii_lower(c);
+  }
+  if (lower == "debug") {
+    return LogLevel::Debug;
+  }
+  if (lower == "info") {
+    return LogLevel::Info;
+  }
+  if (lower == "warn") {
+    return LogLevel::Warn;
+  }
+  if (lower == "off") {
+    return LogLevel::Off;
+  }
+  return std::nullopt;
+}
+
+void init_log_level_from_env() {
+  const char* value = std::getenv("ACSEL_LOG_LEVEL");
+  if (value == nullptr) {
+    return;
+  }
+  if (const auto level = parse_log_level(value)) {
+    set_log_level(*level);
+  }
+}
+
+bool consume_log_level_flag(std::string_view arg) {
+  constexpr std::string_view kPrefix = "--log-level=";
+  if (arg.substr(0, kPrefix.size()) != kPrefix) {
+    return false;
+  }
+  const std::string_view name = arg.substr(kPrefix.size());
+  const auto level = parse_log_level(name);
+  ACSEL_CHECK_MSG(level.has_value(),
+                  "unknown log level \"" + std::string{name} +
+                      "\" (expected debug|info|warn|off)");
+  set_log_level(*level);
+  return true;
+}
+
+void set_log_sink(void (*sink)(const std::string& line)) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
 namespace detail {
+
+std::string format_log_line(LogLevel level, double uptime_s,
+                            const std::string& message) {
+  char stamp[48];
+  std::snprintf(stamp, sizeof stamp, "[%.3fs %s] ", uptime_s,
+                level_name(level));
+  std::string line;
+  line.reserve(message.size() + 24);
+  line += stamp;
+  line += message;
+  line += '\n';
+  return line;
+}
+
 void emit_log(LogLevel level, const std::string& message) {
   // Worker threads log concurrently: format the whole line first, then
   // write it under a mutex in a single call so lines never interleave.
   static std::mutex mu;
-  std::string line;
-  line.reserve(message.size() + 16);
-  line += "[acsel:";
-  line += level_name(level);
-  line += "] ";
-  line += message;
-  line += '\n';
+  const std::string line = format_log_line(level, uptime_seconds(), message);
   std::lock_guard<std::mutex> lock{mu};
+  if (void (*sink)(const std::string&) =
+          g_sink.load(std::memory_order_relaxed)) {
+    sink(line);
+    return;
+  }
   std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
+
 }  // namespace detail
 
 }  // namespace acsel

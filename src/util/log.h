@@ -1,11 +1,14 @@
 // Leveled logging to stderr. Default level is Warn so library users see
 // nothing unless something is wrong; benches and examples raise it.
 // Thread-safe: the level is atomic and each message is emitted as one
-// write, so concurrent lines never interleave.
+// write, so concurrent lines never interleave. Every line carries a
+// monotonic uptime stamp and a level tag: "[12.345s INFO] message".
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace acsel {
 
@@ -15,9 +18,33 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses a level name ("debug", "info", "warn", "off"; case-insensitive).
+/// nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Applies the ACSEL_LOG_LEVEL environment variable when it is set to a
+/// valid level name (anything else is ignored — an env typo must not
+/// break the program). Call once at program start; every bench and
+/// example does.
+void init_log_level_from_env();
+
+/// Recognizes "--log-level=NAME": applies the level and returns true.
+/// Returns false for any other argument; throws acsel::Error when the
+/// flag is present but names an unknown level.
+bool consume_log_level_flag(std::string_view arg);
+
+/// Redirects fully-formatted log lines to `sink` instead of stderr
+/// (nullptr restores stderr). For tests; the sink is called under the
+/// emission mutex, one complete line ("[...] message\n") per call.
+void set_log_sink(void (*sink)(const std::string& line));
+
 namespace detail {
+/// Renders one line: "[<uptime_s>s LEVEL] message\n", uptime with
+/// millisecond resolution. Exposed so tests can pin the format.
+std::string format_log_line(LogLevel level, double uptime_s,
+                            const std::string& message);
 void emit_log(LogLevel level, const std::string& message);
-}
+}  // namespace detail
 
 }  // namespace acsel
 

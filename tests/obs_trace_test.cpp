@@ -1,0 +1,244 @@
+// Tests for the span tracer: enable/disable fast path, RAII span
+// recording, ring overflow accounting, multi-thread rings, and the Chrome
+// trace-event JSON export — emitted, parsed back with the obs JSON
+// parser, and checked for spec fields and span-nesting invariants.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace acsel::obs {
+namespace {
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer;
+  tracer.record_instant("ignored", "test");
+  {
+    Span span{tracer, "also ignored", "test"};
+  }
+  tracer.record_counter("ignored", 1.0);
+  EXPECT_TRUE(tracer.collected().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, SpanRecordsCompleteEventWithDuration) {
+  Tracer tracer;
+  tracer.enable();
+  const std::uint64_t before = tracer.now_ns();
+  {
+    Span span{tracer, "work", "test"};
+  }
+  const auto events = tracer.collected();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].type, TraceEventType::Complete);
+  EXPECT_GE(events[0].ts_ns, before);
+  EXPECT_GE(events[0].ts_ns + events[0].dur_ns, events[0].ts_ns);
+}
+
+TEST(Tracer, CollectedIsSortedByTimestamp) {
+  Tracer tracer;
+  tracer.enable();
+  for (int i = 0; i < 100; ++i) {
+    tracer.record_instant("e" + std::to_string(i), "test");
+  }
+  const auto events = tracer.collected();
+  ASSERT_EQ(events.size(), 100u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+  }
+}
+
+TEST(Tracer, RingOverflowDropsOldestAndCounts) {
+  Tracer tracer{8};
+  tracer.enable();
+  for (int i = 0; i < 20; ++i) {
+    tracer.record_instant("e" + std::to_string(i), "test");
+  }
+  const auto events = tracer.collected();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  // The survivors are the 8 newest events, oldest-first.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].name,
+              "e" + std::to_string(12 + i));
+  }
+}
+
+TEST(Tracer, ClearEmptiesRingsAndResetsDropCount) {
+  Tracer tracer{4};
+  tracer.enable();
+  for (int i = 0; i < 10; ++i) {
+    tracer.record_instant("e", "test");
+  }
+  tracer.clear();
+  EXPECT_TRUE(tracer.collected().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.record_instant("after", "test");
+  EXPECT_EQ(tracer.collected().size(), 1u);
+}
+
+TEST(Tracer, ThreadsGetDistinctTids) {
+  Tracer tracer;
+  tracer.enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < 500; ++i) {
+        Span span{tracer, "worker", "test"};
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const auto events = tracer.collected();
+  ASSERT_EQ(events.size(), 1500u);
+  std::map<int, int> per_tid;
+  for (const TraceEvent& event : events) {
+    ++per_tid[event.tid];
+  }
+  ASSERT_EQ(per_tid.size(), 3u);
+  for (const auto& [tid, count] : per_tid) {
+    EXPECT_EQ(count, 500);
+  }
+}
+
+/// Emits a known event mix and parses the export back with the obs JSON
+/// parser, checking the Chrome trace-event contract field by field.
+TEST(ChromeTrace, RoundTripsThroughJsonParser) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    Span outer{tracer, "outer", "test"};
+    {
+      Span inner{tracer, "inner \"quoted\"", "test"};
+      tracer.record_instant("tick", "test");
+    }
+    tracer.record_counter("power_w", 17.25);
+  }
+  tracer.disable();
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const JsonValue doc = JsonValue::parse(out.str());
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_EQ(events.size(), 4u);
+
+  std::map<std::string, const JsonValue*> by_name;
+  for (const JsonValue& event : events) {
+    by_name[event.at("name").as_string()] = &event;
+    // Every event carries the required spec fields.
+    EXPECT_NO_THROW(event.at("ph"));
+    EXPECT_NO_THROW(event.at("ts"));
+    EXPECT_NO_THROW(event.at("pid"));
+    EXPECT_NO_THROW(event.at("tid"));
+  }
+  ASSERT_EQ(by_name.size(), 4u);
+  EXPECT_EQ(by_name.at("outer")->at("ph").as_string(), "X");
+  EXPECT_NO_THROW(by_name.at("outer")->at("dur"));
+  EXPECT_EQ(by_name.at("inner \"quoted\"")->at("ph").as_string(), "X");
+  EXPECT_EQ(by_name.at("tick")->at("ph").as_string(), "i");
+  EXPECT_EQ(by_name.at("tick")->at("s").as_string(), "t");
+  EXPECT_EQ(by_name.at("power_w")->at("ph").as_string(), "C");
+  EXPECT_DOUBLE_EQ(
+      by_name.at("power_w")->at("args").at("value").as_number(), 17.25);
+}
+
+/// Same-thread spans must nest: for any two complete events on one tid,
+/// their [ts, ts+dur] intervals are either disjoint or one contains the
+/// other — the invariant that makes the trace render as a flame graph.
+TEST(ChromeTrace, SameThreadSpansNest) {
+  Tracer tracer;
+  tracer.enable();
+  for (int i = 0; i < 10; ++i) {
+    Span a{tracer, "a", "test"};
+    Span b{tracer, "b", "test"};
+    { Span c{tracer, "c", "test"}; }
+    { Span d{tracer, "d", "test"}; }
+  }
+  tracer.disable();
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const JsonValue doc = JsonValue::parse(out.str());
+  struct Interval {
+    double begin;
+    double end;
+  };
+  std::vector<Interval> spans;
+  for (const JsonValue& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() == "X") {
+      const double ts = event.at("ts").as_number();
+      spans.push_back({ts, ts + event.at("dur").as_number()});
+    }
+  }
+  ASSERT_EQ(spans.size(), 40u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (std::size_t j = i + 1; j < spans.size(); ++j) {
+      const Interval& a = spans[i];
+      const Interval& b = spans[j];
+      const bool disjoint = a.end <= b.begin || b.end <= a.begin;
+      const bool a_in_b = b.begin <= a.begin && a.end <= b.end;
+      const bool b_in_a = a.begin <= b.begin && b.end <= a.end;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << "[" << a.begin << "," << a.end << ") vs [" << b.begin << ","
+          << b.end << ")";
+    }
+  }
+}
+
+TEST(ChromeTrace, TimestampsAreMicrosecondsWithNanoPrecision) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record_complete("fixed", "test", 1234567, 890);
+  tracer.disable();
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  // 1234567 ns = 1234.567 us; 890 ns = 0.890 us — exact digits, no
+  // floating-point rounding.
+  EXPECT_NE(out.str().find("\"ts\": 1234.567"), std::string::npos);
+  EXPECT_NE(out.str().find("\"dur\": 0.890"), std::string::npos);
+}
+
+#ifndef ACSEL_OBS_NO_TRACING
+TEST(Macros, RecordIntoGlobalTracer) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  {
+    ACSEL_OBS_SPAN("macro_span", "test");
+    ACSEL_OBS_INSTANT("macro_instant", "test");
+  }
+  ACSEL_OBS_COUNTER("macro_counter", 2.5);
+  tracer.disable();
+  const auto events = tracer.collected();
+  tracer.clear();
+  ASSERT_EQ(events.size(), 3u);
+  bool saw_span = false;
+  bool saw_instant = false;
+  bool saw_counter = false;
+  for (const TraceEvent& event : events) {
+    saw_span |= event.name == "macro_span" &&
+                event.type == TraceEventType::Complete;
+    saw_instant |= event.name == "macro_instant" &&
+                   event.type == TraceEventType::Instant;
+    saw_counter |=
+        event.name == "macro_counter" && event.value == 2.5;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+}
+#endif
+
+}  // namespace
+}  // namespace acsel::obs

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hw/config_space.h"
+#include "obs/metrics.h"
 #include "serve/codec.h"
 
 namespace acsel::serve {
@@ -237,6 +238,133 @@ TEST(ServeCodec, RejectsInvalidConfigurationInPayload) {
   bytes[config_offset + 1] = 250;  // cpu_pstate far out of range
   EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
 }
+
+// ----------------------------------------------------------- stats ------
+
+obs::MetricSnapshot make_metric(const char* name, obs::MetricKind kind) {
+  obs::MetricSnapshot metric;
+  metric.name = name;
+  metric.kind = kind;
+  return metric;
+}
+
+StatsResponse make_stats_response() {
+  StatsResponse response;
+  response.request_id = 99;
+  response.status = ResponseStatus::Ok;
+  obs::MetricSnapshot counter =
+      make_metric("serve.submitted", obs::MetricKind::Counter);
+  counter.count = 12345;
+  obs::MetricSnapshot gauge =
+      make_metric("serve.queue_depth", obs::MetricKind::Gauge);
+  gauge.value = 17.5;
+  obs::MetricSnapshot hist =
+      make_metric("serve.latency_ns", obs::MetricKind::Histogram);
+  hist.count = 1000;
+  hist.p50_us = 12.625;
+  hist.p99_us = 99.5;
+  hist.max_us = 130.0;
+  response.metrics = {counter, gauge, hist};
+  return response;
+}
+
+TEST(ServeCodec, StatsRequestRoundTrip) {
+  StatsRequest request;
+  request.request_id = 0x1122334455667788ULL;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_request(request, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.type, MessageType::StatsRequest);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+  EXPECT_EQ(decoded.stats_request.request_id, request.request_id);
+}
+
+TEST(ServeCodec, StatsResponseRoundTripIsExact) {
+  const StatsResponse response = make_stats_response();
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.type, MessageType::StatsResponse);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+  EXPECT_EQ(decoded.stats_response.request_id, response.request_id);
+  EXPECT_EQ(decoded.stats_response.status, response.status);
+  // Doubles travel as IEEE-754 bits, so the whole snapshot compares
+  // bit-exactly through MetricSnapshot's fieldwise equality.
+  EXPECT_EQ(decoded.stats_response.metrics, response.metrics);
+}
+
+TEST(ServeCodec, EmptyStatsResponseRoundTrips) {
+  StatsResponse response;
+  response.request_id = 1;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_TRUE(decoded.stats_response.metrics.empty());
+}
+
+TEST(ServeCodec, RejectsShortStatsRequestPayload) {
+  StatsRequest request;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_request(request, bytes);
+  bytes[8] = 4;  // declare a 4-byte payload; request_id needs 8
+  bytes.resize(kFrameHeaderBytes + 4);
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+TEST(ServeCodec, RejectsTrailingGarbageInStatsRequest) {
+  StatsRequest request;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_request(request, bytes);
+  bytes[8] = 12;  // 8 real bytes + 4 garbage
+  bytes.insert(bytes.end(), {1, 2, 3, 4});
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+// Table-driven stats-payload corruption, mirroring the header table: each
+// case pokes one byte of an encoded single-metric StatsResponse. Payload
+// layout: request_id u64 @12, status u8 @20, count u32 @21, then the
+// metric (name len u16 @25, name "m" @27, kind u8 @28, count u64 @29,
+// four f64s @37).
+struct StatsCase {
+  const char* name;
+  std::size_t offset;
+  std::uint8_t value;
+};
+
+class ServeCodecStats : public ::testing::TestWithParam<StatsCase> {};
+
+TEST_P(ServeCodecStats, RejectsCorruptStatsPayload) {
+  StatsResponse response;
+  response.request_id = 7;
+  response.metrics = {make_metric("m", obs::MetricKind::Counter)};
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const StatsCase& test = GetParam();
+  bytes[test.offset] = test.value;
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corruptions, ServeCodecStats,
+    ::testing::Values(
+        StatsCase{"status_out_of_range", 20, 200},
+        StatsCase{"kind_out_of_range", 28, 9},
+        StatsCase{"count_exceeds_metrics_present", 21, 2},
+        // count's high byte declares ~16M metrics — more than any
+        // payload under the size cap can hold.
+        StatsCase{"absurd_metric_count", 24, 0xff},
+        // name length beyond the remaining payload.
+        StatsCase{"name_overruns_payload", 26, 0xff}),
+    [](const ::testing::TestParamInfo<StatsCase>& param_info) {
+      return std::string{param_info.param.name};
+    });
 
 TEST(ServeCodec, ToStringCoversStatuses) {
   EXPECT_STREQ(to_string(DecodeStatus::Ok), "Ok");

@@ -423,5 +423,51 @@ TEST_F(ServeTest, ServeFrameRejectsMalformedInput) {
   EXPECT_EQ(wrong_type.response.status, ResponseStatus::MalformedRequest);
 }
 
+/// A StatsRequest frame answered over the wire returns the exact snapshot
+/// the in-process registry reports — the remote-scrape parity contract.
+TEST_F(ServeTest, StatsScrapeMatchesRegistry) {
+  ModelRegistry registry;
+  registry.publish(*model_a_);
+  ServerOptions options;
+  options.workers = 2;
+  Server server{registry, options};
+
+  // Drive some traffic so the scraped counters are non-trivial.
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(server.select(make_request(i, 9)).status, ResponseStatus::Ok);
+  }
+
+  StatsRequest stats_request;
+  stats_request.request_id = 77;
+  std::vector<std::uint8_t> frame;
+  encode_stats_request(stats_request, frame);
+  const std::vector<std::uint8_t> reply = server.serve_frame(frame);
+
+  const Decoded decoded = decode_frame(reply);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  ASSERT_EQ(decoded.type, MessageType::StatsResponse);
+  EXPECT_EQ(decoded.stats_response.request_id, 77u);
+  EXPECT_EQ(decoded.stats_response.status, ResponseStatus::Ok);
+  // The server is idle (select() waited for each future), so the wire
+  // snapshot and a fresh in-process snapshot must agree fieldwise.
+  EXPECT_EQ(decoded.stats_response.metrics,
+            server.stats_registry().snapshot());
+
+  // Sanity: the scrape carried the real counters.
+  bool saw_completed = false;
+  for (const auto& metric : decoded.stats_response.metrics) {
+    if (metric.name == "serve.completed") {
+      saw_completed = true;
+      EXPECT_EQ(metric.count, 16u);
+    }
+  }
+  EXPECT_TRUE(saw_completed);
+
+  // Scraping is read-only: a second scrape returns the same counters.
+  const Decoded again = decode_frame(server.serve_frame(frame));
+  ASSERT_EQ(again.status, DecodeStatus::Ok);
+  EXPECT_EQ(again.stats_response.metrics, decoded.stats_response.metrics);
+}
+
 }  // namespace
 }  // namespace acsel::serve

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/error.h"
@@ -345,6 +347,55 @@ TEST(Log, SetAndGetRoundTrip) {
   const LogLevel old = log_level();
   set_log_level(LogLevel::Debug);
   EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(old);
+}
+
+TEST(Log, FormatLineStampsUptimeAndLevel) {
+  EXPECT_EQ(detail::format_log_line(LogLevel::Info, 12.345, "hello"),
+            "[12.345s INFO] hello\n");
+  EXPECT_EQ(detail::format_log_line(LogLevel::Warn, 0.0, "x"),
+            "[0.000s WARN] x\n");
+  EXPECT_EQ(detail::format_log_line(LogLevel::Debug, 1.0004, ""),
+            "[1.000s DEBUG] \n");
+}
+
+TEST(Log, ParseLevelNamesCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+std::vector<std::string>& sink_lines() {
+  static std::vector<std::string> lines;
+  return lines;
+}
+void test_sink(const std::string& line) { sink_lines().push_back(line); }
+
+TEST(Log, SinkReceivesCompleteFormattedLines) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Info);
+  sink_lines().clear();
+  set_log_sink(&test_sink);
+  ACSEL_LOG_INFO("captured " << 42);
+  ACSEL_LOG_DEBUG("below threshold, never emitted");
+  set_log_sink(nullptr);
+  set_log_level(old);
+  ASSERT_EQ(sink_lines().size(), 1u);
+  const std::string& line = sink_lines().front();
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_NE(line.find("s INFO] captured 42\n"), std::string::npos);
+}
+
+TEST(Log, ConsumeFlagAppliesLevelAndRejectsUnknown) {
+  const LogLevel old = log_level();
+  EXPECT_FALSE(consume_log_level_flag("--other=3"));
+  EXPECT_FALSE(consume_log_level_flag("train"));
+  EXPECT_TRUE(consume_log_level_flag("--log-level=debug"));
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  EXPECT_THROW(consume_log_level_flag("--log-level=loud"), Error);
   set_log_level(old);
 }
 
