@@ -26,16 +26,18 @@ struct Variant {
 
 void run_variants(const std::vector<Variant>& variants,
                   const std::string& title) {
-  soc::Machine machine = bench::make_machine();
+  const soc::Machine machine = bench::make_machine();
   const auto suite = workloads::Suite::standard();
-  const auto characterizations = eval::characterize(machine, suite);
+  const auto characterizations =
+      eval::characterize(machine, suite, {}, bench::bench_executor());
 
   TextTable table;
   table.set_header({"Variant", "Model+FL % under", "Model+FL % perf (under)",
                     "Model % under", "Model % perf (under)"});
   for (const Variant& variant : variants) {
     const auto result = eval::run_loocv_characterized(
-        machine, suite, characterizations, variant.options);
+        {.machine = machine, .executor = bench::bench_executor()}, suite,
+        characterizations, variant.options);
     const auto model_fl =
         eval::aggregate_method(result.cases, eval::Method::ModelFL);
     const auto model =

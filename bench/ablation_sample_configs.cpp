@@ -28,11 +28,13 @@ int main() {
     table.set_header({"Sample iters/device", "Model+FL % under",
                       "Model+FL % perf (under)", "Sampling iterations"});
     for (const int reps : {1, 2, 4}) {
-      soc::Machine machine = bench::make_machine();
+      const soc::Machine machine = bench::make_machine();
       eval::ProtocolOptions options;
       options.methods = {eval::Method::ModelFL};
       options.characterize.sample_reps = reps;
-      const auto result = eval::run_loocv(machine, suite, options);
+      const auto result = eval::run_loocv(
+          {.machine = machine, .executor = bench::bench_executor()}, suite,
+          options);
       const auto agg =
           eval::aggregate_method(result.cases, eval::Method::ModelFL);
       table.add_row({
@@ -50,8 +52,9 @@ int main() {
   }
 
   {
-    soc::Machine machine = bench::make_machine();
-    const auto characterizations = eval::characterize(machine, suite);
+    const soc::Machine machine = bench::make_machine();
+    const auto characterizations =
+        eval::characterize(machine, suite, {}, bench::bench_executor());
     TextTable table;
     table.set_header({"Risk aversion (sigma)", "Model % under",
                       "Model % perf (under)"});
@@ -60,7 +63,8 @@ int main() {
       options.methods = {eval::Method::Model};
       options.method.risk_aversion = risk;
       const auto result = eval::run_loocv_characterized(
-          machine, suite, characterizations, options);
+          {.machine = machine, .executor = bench::bench_executor()}, suite,
+          characterizations, options);
       const auto agg =
           eval::aggregate_method(result.cases, eval::Method::Model);
       table.add_row({

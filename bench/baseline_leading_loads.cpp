@@ -28,7 +28,7 @@ int main() {
   const auto suite = workloads::Suite::standard();
   const hw::ConfigSpace space;
   const auto characterizations = eval::characterize(machine, suite);
-  const auto model = core::train(characterizations);
+  const auto model = core::train(characterizations).model;
 
   TextTable table;
   table.set_header({"Kernel", "LL MAPE, f-sweep", "Model MAPE, f-sweep",

@@ -17,13 +17,15 @@ int main() {
   bench::print_header("Pack & Cap baseline",
                       "§II-A Cochran et al. prior work (extension)");
 
-  soc::Machine machine = bench::make_machine();
+  const soc::Machine machine = bench::make_machine();
   const auto suite = workloads::Suite::standard();
 
   eval::ProtocolOptions options;
   options.methods = {eval::Method::ModelFL, eval::Method::CpuFL,
                      eval::Method::PackCap};
-  const auto result = eval::run_loocv(machine, suite, options);
+  const auto result = eval::run_loocv(
+      {.machine = machine, .executor = bench::bench_executor()}, suite,
+      options);
 
   TextTable table;
   table.set_header({"Method", "% Under-limit", "% Oracle Perf. (under)",

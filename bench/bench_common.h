@@ -1,6 +1,7 @@
 // Shared plumbing for the reproduction benches: one canonical machine
-// seed so every figure is computed from the same simulated experiment, and
-// a helper that prints our rows next to the paper's reported values.
+// seed so every figure is computed from the same simulated experiment, a
+// shared thread pool sized from ACSEL_THREADS, and a helper that prints
+// our rows next to the paper's reported values.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +9,8 @@
 #include <string>
 
 #include "eval/protocol.h"
+#include "exec/executor.h"
+#include "exec/thread_pool.h"
 #include "soc/machine.h"
 #include "util/log.h"
 #include "workloads/suite.h"
@@ -22,18 +25,32 @@ inline soc::Machine make_machine() {
   return soc::Machine{soc::MachineSpec{}, kBenchSeed};
 }
 
+/// The pool every bench shares, sized on first use from the ACSEL_THREADS
+/// default (hardware concurrency unless overridden). ACSEL_THREADS=1
+/// builds a worker-less pool — the serial path through the same call
+/// sites. Results do not depend on the size (see exec/executor.h).
+inline exec::Executor& bench_executor() {
+  static exec::ThreadPool pool{
+      exec::default_threads() == 1 ? 0 : exec::default_threads()};
+  return pool;
+}
+
 /// Runs the paper's full LOOCV evaluation (§V) on a fresh machine.
 inline eval::EvaluationResult run_paper_evaluation() {
-  soc::Machine machine = make_machine();
+  const soc::Machine machine = make_machine();
   const auto suite = workloads::Suite::standard();
-  return eval::run_loocv(machine, suite);
+  return eval::run_loocv({.machine = machine, .executor = bench_executor()},
+                         suite);
 }
 
 inline void print_header(const std::string& title,
                          const std::string& paper_ref) {
-  // Every bench calls this first, so ACSEL_LOG_LEVEL works across the
-  // whole bench suite without each bench wiring it up.
+  // Every bench calls this first, so ACSEL_LOG_LEVEL and ACSEL_THREADS
+  // work across the whole bench suite without each bench wiring them up.
+  // (Call it before the first bench_executor() use — the pool is sized
+  // once.)
   init_log_level_from_env();
+  exec::init_threads_from_env();
   std::cout << "=== " << title << " ===\n"
             << "Reproduces: " << paper_ref << "\n"
             << "(simulated Trinity APU substrate — compare shapes, not "

@@ -23,7 +23,7 @@ int main() {
   soc::Machine trainer_machine = bench::make_machine();
   const auto suite = workloads::Suite::standard();
   const auto model =
-      core::train(eval::characterize(trainer_machine, suite));
+      core::train(eval::characterize(trainer_machine, suite)).model;
 
   const auto work = [&](const std::string& id) {
     const auto& instance = suite.instance(id);

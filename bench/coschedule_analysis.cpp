@@ -31,7 +31,7 @@ int main() {
   const auto suite = workloads::Suite::standard();
   const hw::ConfigSpace space;
   const auto characterizations = eval::characterize(machine, suite);
-  const auto model = core::train(characterizations);
+  const auto model = core::train(characterizations).model;
 
   const auto prediction_of = [&](const std::string& id) {
     for (const auto& c : characterizations) {

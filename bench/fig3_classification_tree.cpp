@@ -13,13 +13,13 @@ int main() {
   bench::print_header("Cluster classification tree",
                       "paper Fig. 3 (example tree)");
 
-  soc::Machine machine = bench::make_machine();
+  const soc::Machine machine = bench::make_machine();
   const auto suite = workloads::Suite::standard();
-  const auto characterizations = eval::characterize(machine, suite);
+  const auto characterizations =
+      eval::characterize(machine, suite, {}, bench::bench_executor());
 
-  core::TrainingReport report;
-  const core::TrainedModel model =
-      core::train(characterizations, core::TrainerOptions{}, &report);
+  const auto [model, report] = core::train(
+      characterizations, core::TrainerOptions{}, bench::bench_executor());
 
   std::cout << model.tree().describe() << '\n';
   std::cout << "Tree depth: " << model.tree().depth()

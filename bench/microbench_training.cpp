@@ -80,7 +80,7 @@ int main() {
   {
     const workloads::Suite micro{{workloads::microbenchmark_suite(3)}};
     const auto training = eval::characterize(machine, micro);
-    const auto model = core::train(training);
+    const auto model = core::train(training).model;
     std::vector<eval::CaseResult> cases;
     evaluate_fixed_model(machine, apps, model, cases);
     add_row("27 microbenchmarks", cases);
@@ -89,7 +89,9 @@ int main() {
   {
     eval::ProtocolOptions options;
     options.methods = {eval::Method::Model, eval::Method::ModelFL};
-    const auto result = eval::run_loocv(machine, apps, options);
+    const auto result = eval::run_loocv(
+        {.machine = machine, .executor = bench::bench_executor()}, apps,
+        options);
     add_row("applications (LOOCV)", result.cases);
   }
   table.print(std::cout);

@@ -34,7 +34,7 @@ struct Offline {
     soc::Machine machine = bench::make_machine();
     const auto suite = workloads::Suite::standard();
     characterizations = eval::characterize(machine, suite);
-    model = core::train(characterizations);
+    model = core::train(characterizations).model;
     prediction = model.predict(characterizations.front().samples);
   }
 };

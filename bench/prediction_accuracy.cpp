@@ -40,7 +40,7 @@ int main() {
     for (const std::size_t i : fold.train) {
       training.push_back(characterizations[i]);
     }
-    const auto model = core::train(training);
+    const auto model = core::train(training).model;
     std::vector<eval::PredictionAccuracy> fold_assessments;
     for (const std::size_t i : fold.test) {
       const auto& instance =

@@ -64,8 +64,9 @@ int main() {
                     "Model+FL still best?"});
   const auto suite = workloads::Suite::standard();
   for (const Variant& variant : variants) {
-    soc::Machine machine{variant.spec, bench::kBenchSeed};
-    const auto result = eval::run_loocv(machine, suite);
+    const soc::Machine machine{variant.spec, bench::kBenchSeed};
+    const auto result = eval::run_loocv(
+        {.machine = machine, .executor = bench::bench_executor()}, suite);
     const auto model_fl =
         eval::aggregate_method(result.cases, eval::Method::ModelFL);
     const auto gpu_fl =

@@ -17,12 +17,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "core/scheduler.h"
 #include "core/trainer.h"
 #include "eval/characterize.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 #include "hw/config_space.h"
 #include "profile/profiler.h"
 #include "util/error.h"
@@ -44,6 +47,7 @@ int usage() {
       "  acsel_cli predict <model.txt> <kernel-id>\n"
       "  acsel_cli schedule <model.txt> <kernel-id> <cap_w> [perf|energy|edp]\n"
       "options: --log-level=debug|info|warn|off (or ACSEL_LOG_LEVEL env)\n"
+      "         --threads=N (or ACSEL_THREADS env; default: hardware)\n"
       "kernel-id example: LULESH-Small/CalcFBHourglassForce\n";
   return 2;
 }
@@ -60,19 +64,38 @@ int cmd_suite() {
 }
 
 int cmd_characterize(const std::string& csv_path) {
-  soc::Machine machine;
+  const soc::Machine machine;
   const auto suite = workloads::Suite::standard();
-  profile::Profiler profiler{machine};
   const hw::ConfigSpace space;
+  exec::ThreadPool pool{exec::default_threads()};
   std::cout << "Profiling " << suite.size() << " instances x "
-            << space.size() << " configurations...\n";
-  for (const auto& instance : suite.instances()) {
-    for (std::size_t i = 0; i < space.size(); ++i) {
-      profiler.run(instance, space.at(i));
+            << space.size() << " configurations on "
+            << pool.concurrency() << " thread(s)...\n";
+
+  // Each instance sweeps on its own cloned machine with its own profiler;
+  // histories merge back in instance order, so the CSV is identical at
+  // any thread count.
+  const auto& instances = suite.instances();
+  std::vector<soc::Machine> machines;
+  machines.reserve(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    machines.push_back(machine.clone(i));
+  }
+  std::vector<std::optional<profile::Profiler>> profilers(instances.size());
+  exec::parallel_for(pool, instances.size(), [&](std::size_t i) {
+    profile::Profiler& task_profiler = profilers[i].emplace(machines[i]);
+    for (std::size_t c = 0; c < space.size(); ++c) {
+      task_profiler.run(instances[i], space.at(c));
     }
     // The two online-style sample runs round out each instance's data.
-    profiler.run(instance, space.cpu_sample());
-    profiler.run(instance, space.gpu_sample());
+    task_profiler.run(instances[i], space.cpu_sample());
+    task_profiler.run(instances[i], space.gpu_sample());
+  });
+
+  soc::Machine csv_machine;
+  profile::Profiler profiler{csv_machine};
+  for (const auto& task_profiler : profilers) {
+    profiler.extend(*task_profiler);
   }
   std::ofstream out{csv_path, std::ios::binary};
   ACSEL_CHECK_MSG(out.good(), "cannot open for write: " + csv_path);
@@ -129,9 +152,9 @@ std::vector<core::KernelCharacterization> characterizations_from_csv(
 
 int cmd_train(const std::string& csv_path, const std::string& model_path) {
   const auto characterizations = characterizations_from_csv(csv_path);
-  core::TrainingReport report;
-  const auto model =
-      core::train(characterizations, core::TrainerOptions{}, &report);
+  exec::ThreadPool pool{exec::default_threads()};
+  const auto [model, report] =
+      core::train(characterizations, core::TrainerOptions{}, pool);
   model.save(model_path);
   std::cout << "Trained on " << characterizations.size()
             << " kernels; tree accuracy "
@@ -216,9 +239,10 @@ int cmd_schedule(const std::string& model_path, const std::string& id,
 int main(int argc, char** argv) {
   try {
     init_log_level_from_env();
+    exec::init_threads_from_env();
     std::vector<std::string> args(argv + 1, argv + argc);
     std::erase_if(args, [](const std::string& arg) {
-      return consume_log_level_flag(arg);
+      return consume_log_level_flag(arg) || exec::consume_threads_flag(arg);
     });
     if (args.empty()) {
       return usage();

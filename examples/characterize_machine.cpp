@@ -11,6 +11,7 @@
 
 #include "core/trainer.h"
 #include "eval/characterize.h"
+#include "exec/thread_pool.h"
 #include "profile/profiler.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -18,6 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace acsel;
+  exec::init_threads_from_env();
   const std::string out_dir = argc > 1 ? argv[1] : ".";
 
   soc::Machine machine;
@@ -25,11 +27,12 @@ int main(int argc, char** argv) {
   std::cout << "Characterizing " << suite.size()
             << " kernel instances across every configuration "
             << "(paper §IV-C: <2 h on hardware; seconds here)...\n";
-  const auto characterizations = eval::characterize(machine, suite);
+  exec::ThreadPool pool{exec::default_threads()};
+  const auto characterizations =
+      eval::characterize(machine, suite, {}, pool);
 
-  core::TrainingReport report;
-  const core::TrainedModel model =
-      core::train(characterizations, core::TrainerOptions{}, &report);
+  const auto [model, report] =
+      core::train(characterizations, core::TrainerOptions{}, pool);
 
   TextTable table;
   table.set_header({"Cluster", "Kernels", "Power R2", "CPU perf R2",

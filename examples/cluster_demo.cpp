@@ -20,7 +20,7 @@ int main() {
   const auto suite = workloads::Suite::standard();
   std::cout << "Training the machine model once (shared by all nodes)...\n";
   const auto model =
-      core::train(eval::characterize(trainer_machine, suite));
+      core::train(eval::characterize(trainer_machine, suite)).model;
 
   const auto work = [&](const std::string& id) {
     const auto& instance = suite.instance(id);

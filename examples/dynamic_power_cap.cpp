@@ -33,7 +33,7 @@ int main() {
       training.push_back(eval::characterize_instance(machine, instance));
     }
   }
-  const core::TrainedModel model = core::train(training);
+  const core::TrainedModel model = core::train(training).model;
 
   const auto& kernel = suite.instance("CoMD-LJ/ComputeForce");
   profile::Profiler profiler{machine};

@@ -11,6 +11,8 @@
 //                    JSON file (load in chrome://tracing or Perfetto)
 //   --metrics=PATH   write the global metric registry as CSV
 //   --log-level=...  debug|info|warn|off (also: ACSEL_LOG_LEVEL env)
+//   --threads=N      offline-training parallelism (also: ACSEL_THREADS
+//                    env; default: hardware concurrency)
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,6 +21,7 @@
 #include "core/runtime.h"
 #include "core/trainer.h"
 #include "eval/characterize.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/csv.h"
@@ -31,11 +34,12 @@
 int main(int argc, char** argv) {
   using namespace acsel;
   init_log_level_from_env();
+  exec::init_threads_from_env();
   std::string trace_path;
   std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (consume_log_level_flag(arg)) {
+    if (consume_log_level_flag(arg) || exec::consume_threads_flag(arg)) {
       continue;
     }
     if (arg.starts_with("--trace=")) {
@@ -44,7 +48,7 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else {
       std::cerr << "usage: online_runtime_app [--trace=PATH]"
-                   " [--metrics=PATH] [--log-level=LEVEL]\n";
+                   " [--metrics=PATH] [--log-level=LEVEL] [--threads=N]\n";
       return 2;
     }
   }
@@ -56,10 +60,13 @@ int main(int argc, char** argv) {
 
   // Offline model (trained on everything; this example is about the
   // runtime mechanics, not cross-validation).
-  const auto training = eval::characterize(machine, suite);
+  const auto training = [&] {
+    exec::ThreadPool pool{exec::default_threads()};
+    return eval::characterize(machine, suite, {}, pool);
+  }();
   core::OnlineRuntime::Options options;
   options.power_cap_w = 32.0;
-  core::OnlineRuntime runtime{machine, core::train(training), options};
+  core::OnlineRuntime runtime{machine, core::train(training).model, options};
 
   // The "application": per timestep, a force kernel called from two call
   // sites with different input sizes, plus a chemistry kernel.

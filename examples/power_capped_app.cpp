@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
       training.push_back(eval::characterize_instance(machine, instance));
     }
   }
-  const core::TrainedModel model = core::train(training);
+  const core::TrainedModel model = core::train(training).model;
 
   std::cout << "Running LULESH Large under a " << cap_w
             << " W node power cap (model trained without LULESH).\n\n";

@@ -31,7 +31,7 @@ int main() {
       training.push_back(eval::characterize_instance(machine, instance));
     }
   }
-  const core::TrainedModel model = core::train(training);
+  const core::TrainedModel model = core::train(training).model;
   std::cout << "Trained " << model.cluster_count() << " clusters from "
             << training.size() << " kernels.\n";
 

@@ -34,7 +34,7 @@ int main() {
     }
   }
   serve::ModelRegistry registry;
-  const std::uint64_t v1 = registry.publish(core::train(training));
+  const std::uint64_t v1 = registry.publish(core::train(training).model);
   std::cout << "Published model version " << v1 << ".\n";
 
   // -- online: sample the unseen kernels once per device -----------------
@@ -93,7 +93,8 @@ int main() {
   // -- hot-swap: retrain (different shape), publish, keep serving --------
   core::TrainerOptions retrain;
   retrain.clusters = 3;
-  const std::uint64_t v2 = registry.publish(core::train(training, retrain));
+  const std::uint64_t v2 =
+      registry.publish(core::train(training, retrain).model);
   serve::SelectRequest after_swap = wire_request;
   after_swap.request_id = 1000;
   const auto swapped = server.select(after_swap);

@@ -30,11 +30,15 @@ struct RuntimeCounters {
 }  // namespace
 
 std::string KernelKey::str() const {
+  // Appends rather than `const char* + std::string` temporaries: GCC 12's
+  // -Wrestrict false-positives on those chains (PR 105651).
   std::string out = name;
   if (!context.empty()) {
-    out += "@" + context;
+    out += "@";
+    out += context;
   }
-  out += "#" + std::to_string(size_bucket);
+  out += "#";
+  out += std::to_string(size_bucket);
   return out;
 }
 

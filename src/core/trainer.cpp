@@ -1,8 +1,12 @@
 #include "core/trainer.h"
 
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/features.h"
+#include "exec/parallel_for.h"
+#include "exec/task_group.h"
 #include "hw/config_space.h"
 #include "obs/trace.h"
 #include "pareto/dissimilarity.h"
@@ -87,8 +91,9 @@ ClusterModel fit_cluster(
 
 }  // namespace
 
-TrainedModel train(std::span<const KernelCharacterization> kernels,
-                   const TrainerOptions& options, TrainingReport* report) {
+TrainingResult train(std::span<const KernelCharacterization> kernels,
+                     const TrainerOptions& options,
+                     exec::Executor& executor) {
   const hw::ConfigSpace space;
   ACSEL_CHECK_MSG(kernels.size() >= options.clusters,
                   "need at least as many training kernels as clusters");
@@ -100,79 +105,90 @@ TrainedModel train(std::span<const KernelCharacterization> kernels,
   // 1. Pareto frontier per training kernel.
   const std::vector<pareto::ParetoFrontier> frontiers = [&] {
     ACSEL_OBS_SPAN("train.frontiers", "trainer");
-    std::vector<pareto::ParetoFrontier> out;
-    out.reserve(kernels.size());
-    for (const auto& kernel : kernels) {
-      out.push_back(kernel.frontier());
-    }
-    return out;
+    return exec::parallel_map(executor, kernels.size(), [&](std::size_t i) {
+      return kernels[i].frontier();
+    });
   }();
 
   // 2. Frontier-order dissimilarity matrix; 3. PAM relational clustering.
+  // The O(K²·C²) Kendall comparisons dominate; the matrix build
+  // distributes rows over the executor.
   const linalg::Matrix dissimilarity = [&] {
     ACSEL_OBS_SPAN("train.dissimilarity", "trainer");
-    return pareto::dissimilarity_matrix(frontiers, options.dissimilarity);
+    return pareto::dissimilarity_matrix(frontiers, options.dissimilarity,
+                                        executor);
   }();
   const stats::PamResult clustering = [&] {
     ACSEL_OBS_SPAN("train.cluster", "trainer");
     return stats::pam(dissimilarity, options.clusters);
   }();
 
-  // 4. Per-cluster regressions.
+  // 4. Per-cluster regressions and 5. the classification tree are
+  // independent given the clustering, so they run concurrently: each fit
+  // writes only its own slot and results are collected in cluster order.
   std::vector<std::vector<std::size_t>> members(options.clusters);
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     members[clustering.assignment[i]].push_back(i);
   }
-  std::vector<ClusterModel> cluster_models = [&] {
-    ACSEL_OBS_SPAN("train.regressions", "trainer");
-    std::vector<ClusterModel> out;
-    out.reserve(options.clusters);
-    for (std::size_t c = 0; c < options.clusters; ++c) {
-      ACSEL_CHECK_MSG(!members[c].empty(), "PAM produced an empty cluster");
-      out.push_back(fit_cluster(kernels, members[c], space, options));
-    }
-    return out;
-  }();
-
-  // 5. Classification tree on sample-run features -> cluster label.
-  stats::Cart tree = [&] {
-    ACSEL_OBS_SPAN("train.cart", "trainer");
-    linalg::Matrix tree_x{kernels.size(),
-                          classification_feature_names().size()};
-    std::vector<std::size_t> tree_labels(kernels.size());
-    for (std::size_t i = 0; i < kernels.size(); ++i) {
-      const auto features = classification_features(kernels[i].samples);
-      for (std::size_t j = 0; j < features.size(); ++j) {
-        tree_x(i, j) = features[j];
-      }
-      tree_labels[i] = clustering.assignment[i];
-    }
-    return stats::Cart::fit(tree_x, tree_labels, options.tree,
-                            classification_feature_names());
-  }();
-
-  if (report != nullptr) {
-    report->clustering = clustering;
-    report->silhouette =
-        options.clusters > 1
-            ? stats::silhouette(dissimilarity, clustering.assignment)
-            : 0.0;
-    report->cluster_sizes.clear();
-    report->power_r2.clear();
-    report->perf_cpu_r2.clear();
-    report->perf_gpu_r2.clear();
-    for (std::size_t c = 0; c < options.clusters; ++c) {
-      report->cluster_sizes.push_back(members[c].size());
-      report->power_r2.push_back(cluster_models[c].power.r_squared());
-      report->perf_cpu_r2.push_back(cluster_models[c].perf_cpu.r_squared());
-      report->perf_gpu_r2.push_back(cluster_models[c].perf_gpu.r_squared());
-    }
-    report->tree_training_accuracy = tree.training_accuracy();
+  for (std::size_t c = 0; c < options.clusters; ++c) {
+    ACSEL_CHECK_MSG(!members[c].empty(), "PAM produced an empty cluster");
   }
+
+  std::vector<std::optional<ClusterModel>> fit_slots(options.clusters);
+  std::optional<stats::Cart> tree_slot;
+  {
+    ACSEL_OBS_SPAN("train.fits", "trainer");
+    exec::TaskGroup group{executor};
+    for (std::size_t c = 0; c < options.clusters; ++c) {
+      group.spawn([&, c] {
+        ACSEL_OBS_SPAN("train.regression", "trainer");
+        fit_slots[c].emplace(fit_cluster(kernels, members[c], space, options));
+      });
+    }
+    group.spawn([&] {
+      ACSEL_OBS_SPAN("train.cart", "trainer");
+      linalg::Matrix tree_x{kernels.size(),
+                            classification_feature_names().size()};
+      std::vector<std::size_t> tree_labels(kernels.size());
+      for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const auto features = classification_features(kernels[i].samples);
+        for (std::size_t j = 0; j < features.size(); ++j) {
+          tree_x(i, j) = features[j];
+        }
+        tree_labels[i] = clustering.assignment[i];
+      }
+      tree_slot.emplace(stats::Cart::fit(tree_x, tree_labels, options.tree,
+                                         classification_feature_names()));
+    });
+    group.wait();
+  }
+
+  std::vector<ClusterModel> cluster_models;
+  cluster_models.reserve(options.clusters);
+  for (std::size_t c = 0; c < options.clusters; ++c) {
+    cluster_models.push_back(std::move(*fit_slots[c]));
+  }
+  stats::Cart tree = std::move(*tree_slot);
+
+  TrainingReport report;
+  report.clustering = clustering;
+  report.silhouette =
+      options.clusters > 1
+          ? stats::silhouette(dissimilarity, clustering.assignment)
+          : 0.0;
+  for (std::size_t c = 0; c < options.clusters; ++c) {
+    report.cluster_sizes.push_back(members[c].size());
+    report.power_r2.push_back(cluster_models[c].power.r_squared());
+    report.perf_cpu_r2.push_back(cluster_models[c].perf_cpu.r_squared());
+    report.perf_gpu_r2.push_back(cluster_models[c].perf_gpu.r_squared());
+  }
+  report.tree_training_accuracy = tree.training_accuracy();
 
   ACSEL_LOG_INFO("trained model: " << options.clusters << " clusters from "
                                    << kernels.size() << " kernels");
-  return TrainedModel{std::move(cluster_models), std::move(tree)};
+  return TrainingResult{TrainedModel{std::move(cluster_models),
+                                     std::move(tree)},
+                        std::move(report)};
 }
 
 }  // namespace acsel::core

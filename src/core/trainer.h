@@ -11,6 +11,7 @@
 
 #include "core/characterization.h"
 #include "core/model.h"
+#include "exec/executor.h"
 #include "linalg/regression.h"
 #include "pareto/dissimilarity.h"
 #include "stats/cart.h"
@@ -47,11 +48,21 @@ struct TrainingReport {
   double tree_training_accuracy = 0.0;
 };
 
+/// What a training run produces: the model plus its diagnostics.
+/// Callers that only want the model write `train(kernels).model`.
+struct TrainingResult {
+  TrainedModel model;
+  TrainingReport report;
+};
+
 /// Trains a model from fully-characterized kernels. Requires at least
-/// `options.clusters` kernels. `report`, if non-null, receives
-/// diagnostics.
-TrainedModel train(std::span<const KernelCharacterization> kernels,
-                   const TrainerOptions& options = {},
-                   TrainingReport* report = nullptr);
+/// `options.clusters` kernels. The frontier derivation, dissimilarity
+/// matrix, per-cluster regressions and CART fit are distributed over
+/// `executor`; results are bitwise-identical at every thread count (each
+/// parallel unit writes only its own slot and all reductions are made in
+/// index order on the caller).
+TrainingResult train(std::span<const KernelCharacterization> kernels,
+                     const TrainerOptions& options = {},
+                     exec::Executor& executor = exec::inline_executor());
 
 }  // namespace acsel::core

@@ -1,8 +1,11 @@
 #include "eval/bootstrap.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
 
+#include "exec/parallel_for.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -29,7 +32,9 @@ Interval percentile_interval(std::vector<double>& samples, double point,
 
 BootstrapAggregate bootstrap_method(const std::vector<CaseResult>& cases,
                                     Method method,
-                                    const BootstrapOptions& options) {
+                                    const BootstrapOptions& options,
+                                    exec::Executor& executor) {
+  ACSEL_OBS_SPAN("eval.bootstrap", "eval");
   ACSEL_CHECK(options.replicates >= 10);
   ACSEL_CHECK(options.confidence > 0.0 && options.confidence < 1.0);
 
@@ -50,25 +55,32 @@ BootstrapAggregate bootstrap_method(const std::vector<CaseResult>& cases,
 
   const MethodAggregate point = aggregate_method(cases, method);
 
-  Rng rng{options.seed};
+  // Replicate b resamples from its own stream, a pure function of
+  // (options.seed, b) — no shared RNG state between replicates.
+  const auto replicate_aggs = exec::parallel_map(
+      executor, options.replicates, [&](std::size_t b) {
+        Rng rng{Rng::mix_seeds(options.seed, b)};
+        std::vector<CaseResult> replicate;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          const auto& chosen = *groups[rng.uniform_index(groups.size())];
+          replicate.insert(replicate.end(), chosen.begin(), chosen.end());
+        }
+        const MethodAggregate agg = aggregate_method(replicate, method);
+        return std::array<double, 3>{agg.pct_under_limit,
+                                     agg.under_perf_pct,
+                                     agg.over_power_pct};
+      });
+
   std::vector<double> under_samples;
   std::vector<double> perf_samples;
   std::vector<double> over_power_samples;
   under_samples.reserve(options.replicates);
   perf_samples.reserve(options.replicates);
   over_power_samples.reserve(options.replicates);
-
-  std::vector<CaseResult> replicate;
-  for (std::size_t b = 0; b < options.replicates; ++b) {
-    replicate.clear();
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const auto& chosen = *groups[rng.uniform_index(groups.size())];
-      replicate.insert(replicate.end(), chosen.begin(), chosen.end());
-    }
-    const MethodAggregate agg = aggregate_method(replicate, method);
-    under_samples.push_back(agg.pct_under_limit);
-    perf_samples.push_back(agg.under_perf_pct);
-    over_power_samples.push_back(agg.over_power_pct);
+  for (const auto& agg : replicate_aggs) {
+    under_samples.push_back(agg[0]);
+    perf_samples.push_back(agg[1]);
+    over_power_samples.push_back(agg[2]);
   }
 
   BootstrapAggregate result;

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "eval/metrics.h"
+#include "exec/executor.h"
 
 namespace acsel::eval {
 
@@ -34,8 +35,13 @@ struct BootstrapOptions {
 };
 
 /// Cluster-bootstraps the aggregates of one method over `cases`.
+/// Replicate b draws from its own RNG stream derived purely from
+/// (options.seed, b), so resamples distribute over `executor` with
+/// results identical at every thread count.
 BootstrapAggregate bootstrap_method(const std::vector<CaseResult>& cases,
                                     Method method,
-                                    const BootstrapOptions& options = {});
+                                    const BootstrapOptions& options = {},
+                                    exec::Executor& executor =
+                                        exec::inline_executor());
 
 }  // namespace acsel::eval

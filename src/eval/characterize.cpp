@@ -1,12 +1,18 @@
 #include "eval/characterize.h"
 
+#include "exec/parallel_for.h"
 #include "hw/config_space.h"
+#include "obs/trace.h"
 #include "profile/profiler.h"
 #include "util/error.h"
 
 namespace acsel::eval {
 
 namespace {
+
+/// Clone-stream namespace for characterization sweeps, disjoint from the
+/// LOOCV per-case namespace in protocol.cpp.
+constexpr std::uint64_t kSweepStreamBase = 0x0C0DE000;
 
 /// Mean-aggregates repeated records of one (instance, configuration).
 profile::KernelRecord mean_record(
@@ -78,14 +84,14 @@ core::KernelCharacterization characterize_instance(
 }
 
 std::vector<core::KernelCharacterization> characterize(
-    soc::Machine& machine, const workloads::Suite& suite,
-    const CharacterizeOptions& options) {
-  std::vector<core::KernelCharacterization> out;
-  out.reserve(suite.size());
-  for (const auto& instance : suite.instances()) {
-    out.push_back(characterize_instance(machine, instance, options));
-  }
-  return out;
+    const soc::Machine& machine, const workloads::Suite& suite,
+    const CharacterizeOptions& options, exec::Executor& executor) {
+  ACSEL_OBS_SPAN("eval.characterize", "eval");
+  const auto& instances = suite.instances();
+  return exec::parallel_map(executor, instances.size(), [&](std::size_t i) {
+    soc::Machine sweep_machine = machine.clone(kSweepStreamBase + i);
+    return characterize_instance(sweep_machine, instances[i], options);
+  });
 }
 
 }  // namespace acsel::eval

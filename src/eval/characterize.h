@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/characterization.h"
+#include "exec/executor.h"
 #include "soc/machine.h"
 #include "workloads/suite.h"
 
@@ -29,8 +30,12 @@ core::KernelCharacterization characterize_instance(
 
 /// Characterizes every instance of the suite (the paper's "less than two
 /// hours" of training-kernel runs, §IV-C — seconds on the simulator).
+/// Instance i sweeps on its own `machine.clone(...)` — clones are a pure
+/// function of (machine.seed(), i), so the result is bitwise-identical at
+/// every thread count, including the serial inline executor.
 std::vector<core::KernelCharacterization> characterize(
-    soc::Machine& machine, const workloads::Suite& suite,
-    const CharacterizeOptions& options = {});
+    const soc::Machine& machine, const workloads::Suite& suite,
+    const CharacterizeOptions& options = {},
+    exec::Executor& executor = exec::inline_executor());
 
 }  // namespace acsel::eval

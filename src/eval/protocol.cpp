@@ -1,24 +1,40 @@
 #include "eval/protocol.h"
 
+#include <mutex>
+#include <utility>
+
 #include "eval/oracle.h"
+#include "exec/parallel_for.h"
+#include "obs/trace.h"
 #include "stats/crossval.h"
 #include "util/error.h"
 #include "util/log.h"
 
 namespace acsel::eval {
 
-EvaluationResult run_loocv(soc::Machine& machine,
+namespace {
+
+/// Clone-stream namespace for LOOCV test cases, keyed by the kernel's
+/// global characterization index so the per-case machine is the same
+/// whatever fold order or thread count runs it. Disjoint from the sweep
+/// namespace in characterize.cpp.
+constexpr std::uint64_t kCaseStreamBase = 0x10CA5E00;
+
+}  // namespace
+
+EvaluationResult run_loocv(const EvalContext& context,
                            const workloads::Suite& suite,
                            const ProtocolOptions& options) {
-  const auto characterizations =
-      characterize(machine, suite, options.characterize);
-  return run_loocv_characterized(machine, suite, characterizations, options);
+  const auto characterizations = characterize(
+      context.machine, suite, options.characterize, context.executor);
+  return run_loocv_characterized(context, suite, characterizations, options);
 }
 
 EvaluationResult run_loocv_characterized(
-    soc::Machine& machine, const workloads::Suite& suite,
+    const EvalContext& context, const workloads::Suite& suite,
     const std::vector<core::KernelCharacterization>& characterizations,
     const ProtocolOptions& options) {
+  ACSEL_OBS_SPAN("eval.loocv", "eval");
   ACSEL_CHECK_MSG(characterizations.size() == suite.size(),
                   "characterization does not cover the suite");
 
@@ -32,46 +48,83 @@ EvaluationResult run_loocv_characterized(
   EvaluationResult result;
   result.groups = suite.benchmark_inputs();
 
-  for (const auto& fold : folds) {
-    // Train on every other benchmark's kernels (§V-C).
-    std::vector<core::KernelCharacterization> training;
-    training.reserve(fold.train.size());
-    for (const std::size_t i : fold.train) {
-      training.push_back(characterizations[i]);
-    }
-    const core::TrainedModel model = core::train(training, options.trainer);
-    ACSEL_LOG_INFO("LOOCV fold: held out "
-                   << characterizations[fold.test.front()].benchmark << ", "
-                   << fold.train.size() << " training kernels");
+  std::mutex progress_mu;
+  std::size_t folds_done = 0;
 
-    for (const std::size_t i : fold.test) {
-      const auto& characterization = characterizations[i];
-      const auto& instance =
-          suite.instance(characterization.instance_id);
-      const Oracle oracle = build_oracle(machine, instance);
-      // The online stage: two sample runs -> cluster -> predictions.
-      const core::Prediction prediction =
-          model.predict(characterization.samples);
-
-      for (const double cap_w : oracle.constraints()) {
-        const auto oracle_point = oracle.best_under(cap_w);
-        for (const Method method : options.methods) {
-          const MethodOutcome outcome = run_method(
-              machine, instance, method, cap_w, &prediction, options.method);
-          CaseResult c;
-          c.instance_id = characterization.instance_id;
-          c.benchmark = characterization.benchmark;
-          c.group = characterization.group;
-          c.weight = characterization.weight;
-          c.method = method;
-          c.cap_w = cap_w;
-          c.under_limit = outcome.under_limit;
-          c.perf_vs_oracle =
-              outcome.measured_performance / oracle_point.performance;
-          c.power_vs_oracle = outcome.measured_power_w / oracle_point.power_w;
-          result.cases.push_back(std::move(c));
+  // One task per fold; each fold trains and evaluates its held-out
+  // kernels through the same executor (nested parallelism). Cases are
+  // collected per fold and concatenated in fold order below, so the
+  // result sequence does not depend on scheduling.
+  const auto fold_cases = exec::parallel_map(
+      context.executor, folds.size(), [&](std::size_t f) {
+        const auto& fold = folds[f];
+        // Train on every other benchmark's kernels (§V-C).
+        std::vector<core::KernelCharacterization> training;
+        training.reserve(fold.train.size());
+        for (const std::size_t i : fold.train) {
+          training.push_back(characterizations[i]);
         }
-      }
+        const core::TrainedModel model =
+            core::train(training, options.trainer, context.executor).model;
+        ACSEL_LOG_INFO("LOOCV fold: held out "
+                       << characterizations[fold.test.front()].benchmark
+                       << ", " << fold.train.size() << " training kernels");
+
+        const auto case_lists = exec::parallel_map(
+            context.executor, fold.test.size(), [&](std::size_t t) {
+              const std::size_t i = fold.test[t];
+              const auto& characterization = characterizations[i];
+              const auto& instance =
+                  suite.instance(characterization.instance_id);
+              // All of this case's runs happen on a clone owned by the
+              // task, keyed by the kernel's global index.
+              soc::Machine machine =
+                  context.machine.clone(kCaseStreamBase + i);
+              const Oracle oracle = build_oracle(machine, instance);
+              // The online stage: two sample runs -> cluster ->
+              // predictions.
+              const core::Prediction prediction =
+                  model.predict(characterization.samples);
+
+              std::vector<CaseResult> cases;
+              for (const double cap_w : oracle.constraints()) {
+                const auto oracle_point = oracle.best_under(cap_w);
+                for (const Method method : options.methods) {
+                  const MethodOutcome outcome =
+                      run_method(machine, instance, method, cap_w,
+                                 &prediction, options.method);
+                  CaseResult c;
+                  c.instance_id = characterization.instance_id;
+                  c.benchmark = characterization.benchmark;
+                  c.group = characterization.group;
+                  c.weight = characterization.weight;
+                  c.method = method;
+                  c.cap_w = cap_w;
+                  c.under_limit = outcome.under_limit;
+                  c.perf_vs_oracle = outcome.measured_performance /
+                                     oracle_point.performance;
+                  c.power_vs_oracle =
+                      outcome.measured_power_w / oracle_point.power_w;
+                  cases.push_back(std::move(c));
+                }
+              }
+              return cases;
+            });
+
+        std::vector<CaseResult> flat;
+        for (const auto& list : case_lists) {
+          flat.insert(flat.end(), list.begin(), list.end());
+        }
+        if (context.progress) {
+          std::lock_guard<std::mutex> lock{progress_mu};
+          context.progress(++folds_done, folds.size());
+        }
+        return flat;
+      });
+
+  for (auto& list : fold_cases) {
+    for (auto& c : list) {
+      result.cases.push_back(std::move(c));
     }
   }
   return result;

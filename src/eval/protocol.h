@@ -3,11 +3,14 @@
 // at every oracle-frontier power constraint of every validation kernel.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "core/trainer.h"
 #include "eval/characterize.h"
 #include "eval/metrics.h"
+#include "exec/executor.h"
 #include "soc/machine.h"
 #include "workloads/suite.h"
 
@@ -20,6 +23,20 @@ struct ProtocolOptions {
   std::vector<Method> methods = all_methods();
 };
 
+/// Where an evaluation runs: the machine every kernel executes on (each
+/// parallel unit works on its own clone — the machine itself is never
+/// mutated), the executor the folds and per-case sweeps are distributed
+/// over, and an optional progress hook.
+struct EvalContext {
+  const soc::Machine& machine;
+  exec::Executor& executor = exec::inline_executor();
+  /// Invoked after each completed LOOCV fold with (folds_done, total).
+  /// Calls are serialized but may arrive from worker threads, and
+  /// completion order is scheduling-dependent; only the count is
+  /// monotone.
+  std::function<void(std::size_t, std::size_t)> progress = {};
+};
+
 struct EvaluationResult {
   std::vector<CaseResult> cases;
   /// Distinct group labels present, in suite order.
@@ -29,15 +46,18 @@ struct EvaluationResult {
 /// Runs leave-one-benchmark-out cross-validation (§V-C): for each
 /// benchmark, trains on all kernels from the *other* benchmarks, then
 /// evaluates every method on the held-out benchmark's kernels at each
-/// oracle-frontier constraint.
-EvaluationResult run_loocv(soc::Machine& machine,
+/// oracle-frontier constraint. Folds, training and per-case runs are
+/// distributed over `context.executor`; `result.cases` is in
+/// (fold, test-kernel, constraint, method) order and bitwise-identical at
+/// every thread count.
+EvaluationResult run_loocv(const EvalContext& context,
                            const workloads::Suite& suite,
                            const ProtocolOptions& options = {});
 
 /// Same protocol with a pre-computed characterization (so benches that
 /// vary only trainer options can reuse one characterization pass).
 EvaluationResult run_loocv_characterized(
-    soc::Machine& machine, const workloads::Suite& suite,
+    const EvalContext& context, const workloads::Suite& suite,
     const std::vector<core::KernelCharacterization>& characterizations,
     const ProtocolOptions& options = {});
 

@@ -1,0 +1,79 @@
+#include "exec/executor.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "util/error.h"
+
+namespace acsel::exec {
+
+namespace {
+
+class SerialExecutor final : public Executor {
+ public:
+  std::size_t concurrency() const override { return 1; }
+  bool try_submit(std::function<void()> /*task*/) override { return false; }
+  bool try_run_one() override { return false; }
+};
+
+std::atomic<std::size_t> g_default_threads{0};  // 0 = hardware
+
+std::optional<std::size_t> parse_thread_count(std::string_view text) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value == 0) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+Executor& inline_executor() {
+  static SerialExecutor executor;
+  return executor;
+}
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void set_default_threads(std::size_t n) {
+  g_default_threads.store(n, std::memory_order_relaxed);
+}
+
+std::size_t default_threads() {
+  const std::size_t n = g_default_threads.load(std::memory_order_relaxed);
+  return n == 0 ? hardware_threads() : n;
+}
+
+void init_threads_from_env() {
+  const char* value = std::getenv("ACSEL_THREADS");
+  if (value == nullptr) {
+    return;
+  }
+  if (const auto n = parse_thread_count(value)) {
+    set_default_threads(*n);
+  }
+}
+
+bool consume_threads_flag(std::string_view arg) {
+  constexpr std::string_view kPrefix = "--threads=";
+  if (!arg.starts_with(kPrefix)) {
+    return false;
+  }
+  const auto n = parse_thread_count(arg.substr(kPrefix.size()));
+  ACSEL_CHECK_MSG(n.has_value(),
+                  "--threads expects a positive integer: " +
+                      std::string{arg});
+  set_default_threads(*n);
+  return true;
+}
+
+}  // namespace acsel::exec

@@ -1,0 +1,75 @@
+// Execution abstraction for the offline pipeline's fan-out. An Executor
+// is where parallel stages (characterization sweeps, dissimilarity rows,
+// per-cluster fits, LOOCV folds, bootstrap replicates) hand off work.
+//
+// The contract is deliberately non-blocking, which is what makes *nested*
+// parallelism (a parallel LOOCV fold calling the parallel trainer on the
+// same pool) deadlock-free:
+//
+//   * try_submit() never blocks — it either hands the task to another
+//     thread or declines, in which case the caller runs the task inline;
+//   * try_run_one() lets a waiting caller steal queued work instead of
+//     sleeping, so a saturated pool always makes progress.
+//
+// Determinism is the callers' job and follows one rule: a task may write
+// only to state it owns (its result slot, its cloned soc::Machine, its own
+// Rng stream), and reductions happen on the caller in index order. Under
+// that rule every thread count — including the serial inline executor —
+// produces bitwise-identical results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+namespace acsel::exec {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Number of threads executing handed-off tasks (>= 1; 1 means the
+  /// caller is on its own). parallel_for sizes its chunking from this.
+  virtual std::size_t concurrency() const = 0;
+
+  /// Attempts to hand `task` to another thread. Returns false when the
+  /// executor declines (serial executor, queue full, shutting down) — the
+  /// caller must then run the task itself. Never blocks.
+  virtual bool try_submit(std::function<void()> task) = 0;
+
+  /// Runs one queued task on the calling thread, if any is pending.
+  /// Waiters call this in a loop ("help first, sleep second") so a full
+  /// pool of blocked parents can never starve their children.
+  virtual bool try_run_one() = 0;
+};
+
+/// The process-wide serial executor: declines every submission, so all
+/// work runs inline on the calling thread in submission order. This is
+/// the default for every redesigned offline entry point.
+Executor& inline_executor();
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing, mirroring util/log.h's log-level plumbing: a
+// process-wide default consulted by benches/examples when sizing pools.
+
+/// max(1, std::thread::hardware_concurrency()).
+std::size_t hardware_threads();
+
+/// Overrides the process default (n >= 1); 0 restores "hardware".
+void set_default_threads(std::size_t n);
+
+/// The configured default: the last set_default_threads value, else
+/// hardware_threads().
+std::size_t default_threads();
+
+/// Applies the ACSEL_THREADS environment variable when it parses as a
+/// positive integer (anything else is ignored — an env typo must not
+/// break the program). Call once at program start.
+void init_threads_from_env();
+
+/// Recognizes "--threads=N": applies the count and returns true. Returns
+/// false for any other argument; throws acsel::Error when the flag is
+/// present but N is not a positive integer.
+bool consume_threads_flag(std::string_view arg);
+
+}  // namespace acsel::exec

@@ -1,0 +1,76 @@
+// Deterministic data-parallel loops over an Executor.
+//
+// parallel_for(executor, n, body) calls body(i) once for every
+// i in [0, n), distributing contiguous chunks across the executor and
+// blocking until all complete. Determinism rule: body(i) writes only to
+// state indexed by i (its result slot, its cloned machine, its own Rng
+// stream). Under that rule the outcome is bitwise-identical at every
+// thread count, because no result depends on chunking or interleaving.
+//
+// parallel_map(executor, n, fn) is the ordered-reduction form: it returns
+// {fn(0), fn(1), ..., fn(n-1)} as a vector, each element computed in
+// parallel into its own slot and collected in index order on the caller.
+//
+// Exceptions: the first exception thrown by any body/fn call propagates
+// out; remaining chunks are cancelled cooperatively (chunks check the
+// group's flag between indices).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/task_group.h"
+
+namespace acsel::exec {
+
+template <typename Body>
+void parallel_for(Executor& executor, std::size_t n, Body&& body) {
+  if (n == 0) {
+    return;
+  }
+  const std::size_t workers = executor.concurrency();
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // More chunks than workers so an unlucky chunk (e.g. the long rows of a
+  // triangular loop) doesn't serialize the tail.
+  const std::size_t chunks = n < workers * 4 ? n : workers * 4;
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  TaskGroup group{executor};
+  std::size_t start = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = start;
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    start = end;
+    group.spawn([&group, &body, begin, end] {
+      for (std::size_t i = begin; i < end && !group.cancelled(); ++i) {
+        body(i);
+      }
+    });
+  }
+  group.wait();
+}
+
+template <typename Fn>
+auto parallel_map(Executor& executor, std::size_t n, Fn&& fn) {
+  using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  // Optional slots avoid requiring R to be default-constructible.
+  std::vector<std::optional<R>> slots(n);
+  parallel_for(executor, n,
+               [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<R> out;
+  out.reserve(n);
+  for (auto& slot : slots) {
+    out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace acsel::exec

@@ -1,0 +1,94 @@
+#include "exec/task_group.h"
+
+#include <chrono>
+#include <utility>
+
+namespace acsel::exec {
+
+TaskGroup::~TaskGroup() {
+  // Join without throwing; the group must not outlive-race its tasks.
+  while (!all_done()) {
+    if (executor_.try_run_one()) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock{mu_};
+    cv_.wait_for(lock, std::chrono::milliseconds{1},
+                 [this] { return pending_ == 0; });
+  }
+}
+
+void TaskGroup::spawn(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    ++pending_;
+  }
+  std::function<void()> wrapped =
+      [this, task = std::move(task)]() mutable { run_wrapped(task); };
+  // Submit a copy so the decline path still owns a live callable
+  // (try_submit takes its argument by value).
+  if (!executor_.try_submit(wrapped)) {
+    wrapped();  // declined: the caller is the executor
+  }
+}
+
+void TaskGroup::wait() {
+  while (!all_done()) {
+    // Help first: a waiting parent runs queued tasks (often its own
+    // children) instead of sleeping — this is what keeps nested
+    // parallelism on a saturated pool live.
+    if (executor_.try_run_one()) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock{mu_};
+    // The timeout is a belt-and-braces guard: every task of *this* group
+    // was spawned before wait() began, so anything still pending is
+    // either queued (we help) or running (its finish notifies cv_); the
+    // poll covers helpers racing the queue-empty check.
+    cv_.wait_for(lock, std::chrono::milliseconds{1},
+                 [this] { return pending_ == 0; });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskGroup::run_wrapped(std::function<void()>& task) {
+  if (!cancelled()) {
+    try {
+      task();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock{mu_};
+        if (first_error_ == nullptr) {
+          first_error_ = std::current_exception();
+        }
+      }
+      request_cancel();
+    }
+  }
+  finish_one();
+}
+
+void TaskGroup::finish_one() {
+  // Notify while still holding mu_: the waiter may destroy the group the
+  // instant the predicate turns true, so an unlocked notify could touch a
+  // dead condition variable. Notifying under the lock is safe — waiters
+  // only need to have been notified before ~condition_variable, not to
+  // have left wait().
+  std::lock_guard<std::mutex> lock{mu_};
+  if (--pending_ == 0) {
+    cv_.notify_all();
+  }
+}
+
+bool TaskGroup::all_done() {
+  std::lock_guard<std::mutex> lock{mu_};
+  return pending_ == 0;
+}
+
+}  // namespace acsel::exec

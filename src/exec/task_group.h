@@ -1,0 +1,77 @@
+// Structured concurrency: a TaskGroup owns a set of spawned tasks and
+// joins them before it goes away, so parallelism never leaks past the
+// scope that created it.
+//
+//   exec::TaskGroup group{executor};
+//   group.spawn([&] { fits[0] = fit(...); });
+//   group.spawn([&] { tree = build_tree(...); });
+//   group.wait();  // rethrows the first task exception, if any
+//
+// Error handling: the first exception a task throws is captured and the
+// group is cancelled; tasks not yet started become no-ops and tasks that
+// poll cancelled() can bail out early (cooperative cancellation — nothing
+// is interrupted mid-flight). wait() rethrows the captured exception once
+// every task has finished, so destructors never race live tasks.
+//
+// wait() "helps": while tasks are pending it drains the executor's queue
+// on the calling thread before sleeping. Combined with non-blocking
+// submission this makes nested groups on one pool deadlock-free — a full
+// pool of waiting parents executes its own children.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+
+#include "exec/executor.h"
+
+namespace acsel::exec {
+
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor& executor) : executor_(executor) {}
+
+  /// Joins outstanding tasks without rethrowing (call wait() to observe
+  /// failures; a group destroyed without wait() logs nothing and drops
+  /// the captured exception).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Runs `task` on the executor — or inline, right now, when the
+  /// executor declines (serial executor, full queue). Task exceptions are
+  /// captured, not propagated from spawn().
+  void spawn(std::function<void()> task);
+
+  /// Blocks until every spawned task finished, helping the executor run
+  /// queued work meanwhile. Rethrows the first captured task exception.
+  void wait();
+
+  /// Asks running tasks to finish early; spawned-but-unstarted tasks
+  /// become no-ops. Also set by the first task exception.
+  void request_cancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run_wrapped(std::function<void()>& task);
+  void finish_one();
+  bool all_done();
+
+  Executor& executor_;
+  std::atomic<bool> cancelled_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;          // under mu_
+  std::exception_ptr first_error_;   // under mu_
+};
+
+}  // namespace acsel::exec

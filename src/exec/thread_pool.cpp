@@ -1,0 +1,106 @@
+#include "exec/thread_pool.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace acsel::exec {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      submitted_(obs::Registry::global().counter("exec.pool.submitted")),
+      executed_(obs::Registry::global().counter("exec.pool.executed")),
+      helped_(obs::Registry::global().counter("exec.pool.helped")),
+      declined_(obs::Registry::global().counter("exec.pool.declined")),
+      depth_gauge_(obs::Registry::global().gauge("exec.pool.queue_depth")) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  // Workers drain the queue before exiting, so nothing is left behind;
+  // this also means every spawned TaskGroup task completed.
+}
+
+std::size_t ThreadPool::concurrency() const {
+  return workers_.empty() ? 1 : workers_.size();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    if (stopping_ || workers_.empty() || queue_.size() >= capacity_) {
+      declined_.add();
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    depth_gauge_.set(static_cast<double>(queue_.size()));
+  }
+  submitted_.add();
+  cv_.notify_one();
+  return true;
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    if (queue_.empty()) {
+      return false;
+    }
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    depth_gauge_.set(static_cast<double>(queue_.size()));
+  }
+  run_task(task, helped_);
+  return true;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      depth_gauge_.set(static_cast<double>(queue_.size()));
+    }
+    run_task(task, executed_);
+  }
+}
+
+void ThreadPool::run_task(std::function<void()>& task,
+                          obs::Counter& counter) {
+  // Tasks are TaskGroup wrappers and never throw; a raw task that does is
+  // a caller bug we contain rather than letting it terminate the pool.
+  try {
+    task();
+  } catch (const std::exception& e) {
+    ACSEL_LOG_WARN("thread pool task threw (submit via TaskGroup to "
+                   "propagate): " << e.what());
+  } catch (...) {
+    ACSEL_LOG_WARN("thread pool task threw a non-exception");
+  }
+  counter.add();
+}
+
+}  // namespace acsel::exec

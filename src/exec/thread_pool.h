@@ -1,0 +1,79 @@
+// Fixed-size worker pool with a bounded task queue. The pool is the
+// parallel backend of the offline pipeline: parallel_for / TaskGroup hand
+// chunks to it and run declined chunks inline, so submission never blocks
+// and nesting never deadlocks (see executor.h for the contract).
+//
+// A mutex + condition variable protect the queue on purpose: pipeline
+// tasks are milliseconds of simulation or regression work, so lock hold
+// times (queue push/pop) are noise — the same trade serve::BoundedQueue
+// makes, and TSan can actually verify it.
+//
+// The pool instruments itself into obs::Registry::global():
+//   exec.pool.submitted    tasks accepted onto the queue
+//   exec.pool.executed     tasks run by pool workers
+//   exec.pool.helped       queued tasks stolen by waiting submitters
+//                          (TaskGroup::wait's help-first loop)
+//   exec.pool.declined     submissions declined (queue full -> caller
+//                          ran the task inline)
+//   exec.pool.queue_depth  gauge, sampled at each push/pop
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/metrics.h"
+
+namespace acsel::exec {
+
+class ThreadPool final : public Executor {
+ public:
+  static constexpr std::size_t kDefaultQueueCapacity = 1024;
+
+  /// `threads == 0` builds an inline pool: no workers, every submission
+  /// declined — byte-for-byte the serial executor, useful for forcing the
+  /// serial path through the same call sites.
+  explicit ThreadPool(std::size_t threads,
+                      std::size_t queue_capacity = kDefaultQueueCapacity);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t concurrency() const override;
+  bool try_submit(std::function<void()> task) override;
+  bool try_run_one() override;
+
+  std::size_t thread_count() const { return workers_.size(); }
+  std::size_t queue_capacity() const { return capacity_; }
+  /// Queued (not yet started) tasks, for tests and metrics.
+  std::size_t queue_depth() const;
+
+ private:
+  void worker_loop();
+  void run_task(std::function<void()>& task, obs::Counter& counter);
+
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+
+  // Cached registry references (registration mutex paid once, here).
+  obs::Counter& submitted_;
+  obs::Counter& executed_;
+  obs::Counter& helped_;
+  obs::Counter& declined_;
+  obs::Gauge& depth_gauge_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace acsel::exec

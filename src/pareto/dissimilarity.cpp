@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "exec/parallel_for.h"
 #include "stats/kendall.h"
 #include "util/error.h"
 
@@ -56,18 +57,21 @@ double frontier_dissimilarity(const ParetoFrontier& a,
 }
 
 linalg::Matrix dissimilarity_matrix(std::span<const ParetoFrontier> fronts,
-                                    const DissimilarityOptions& options) {
+                                    const DissimilarityOptions& options,
+                                    exec::Executor& executor) {
   ACSEL_CHECK_MSG(!fronts.empty(), "dissimilarity_matrix: no frontiers");
   const std::size_t n = fronts.size();
   linalg::Matrix d{n, n};
-  for (std::size_t i = 0; i < n; ++i) {
+  // Row i owns cells (i, j>i) and their mirrors, so tasks never write the
+  // same cell; parallel_for's over-chunking balances the triangle.
+  exec::parallel_for(executor, n, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double value =
           frontier_dissimilarity(fronts[i], fronts[j], options);
       d(i, j) = value;
       d(j, i) = value;
     }
-  }
+  });
   return d;
 }
 

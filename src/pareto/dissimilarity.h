@@ -17,6 +17,7 @@
 
 #include <span>
 
+#include "exec/executor.h"
 #include "linalg/matrix.h"
 #include "pareto/frontier.h"
 
@@ -44,8 +45,13 @@ double frontier_dissimilarity(const ParetoFrontier& a,
                               const DissimilarityOptions& options = {});
 
 /// Symmetric zero-diagonal dissimilarity matrix over a set of kernels'
-/// frontiers — the input to PAM relational clustering.
-linalg::Matrix dissimilarity_matrix(std::span<const ParetoFrontier> fronts,
-                                    const DissimilarityOptions& options = {});
+/// frontiers — the input to PAM relational clustering. The O(K²·C²)
+/// pairwise Kendall comparisons are distributed row-wise over `executor`;
+/// each cell is a pure function of its two frontiers, so the matrix is
+/// identical at every thread count.
+linalg::Matrix dissimilarity_matrix(
+    std::span<const ParetoFrontier> fronts,
+    const DissimilarityOptions& options = {},
+    exec::Executor& executor = exec::inline_executor());
 
 }  // namespace acsel::pareto

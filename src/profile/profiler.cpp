@@ -69,6 +69,11 @@ std::optional<Profiler::Aggregate> Profiler::aggregate(
   return agg;
 }
 
+void Profiler::extend(const Profiler& other) {
+  history_.insert(history_.end(), other.history_.begin(),
+                  other.history_.end());
+}
+
 void Profiler::write_csv(std::ostream& out) const {
   CsvWriter writer{out};
   writer.header(record_csv_header());

@@ -21,6 +21,10 @@ namespace acsel::profile {
 class Profiler {
  public:
   /// Profiles on `machine`, which must outlive the profiler.
+  ///
+  /// Thread-safety: none — a Profiler wraps one Machine and mutates its
+  /// history on every run(). Parallel sweeps use one Profiler per cloned
+  /// Machine and merge histories afterwards with extend().
   explicit Profiler(soc::Machine& machine);
 
   /// Runs one invocation of `instance` at `config` (optionally governed,
@@ -54,6 +58,12 @@ class Profiler {
 
   std::size_t size() const { return history_.size(); }
   void clear() { history_.clear(); }
+
+  /// Appends another profiler's history to this one — how per-task
+  /// profilers from a parallel sweep are folded back into one history
+  /// (append in task-index order to keep the merged history
+  /// deterministic).
+  void extend(const Profiler& other);
 
   /// Writes the history as CSV (paper §III-D: "written to disk after the
   /// application completes").

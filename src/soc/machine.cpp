@@ -8,7 +8,11 @@
 namespace acsel::soc {
 
 Machine::Machine(MachineSpec spec, std::uint64_t seed)
-    : spec_(spec), rng_(seed), thermal_(spec.thermal) {}
+    : spec_(spec), seed_(seed), rng_(seed), thermal_(spec.thermal) {}
+
+Machine Machine::clone(std::uint64_t stream) const {
+  return Machine{spec_, Rng::mix_seeds(seed_, stream)};
+}
 
 SteadyState Machine::analytic(const KernelCharacteristics& kernel,
                               const hw::Configuration& config) const {

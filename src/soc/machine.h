@@ -72,6 +72,23 @@ class Machine {
  public:
   explicit Machine(MachineSpec spec = {}, std::uint64_t seed = 0x5eed);
 
+  // Copy semantics: a Machine is a value — copies share no mutable state
+  // (thermal, RNG), so concurrent runs on *distinct* Machine objects are
+  // safe. But a plain copy *duplicates* the noise stream and carries the
+  // warm thermal state; for parallel sweeps use clone(), which derives an
+  // independent per-task machine instead. A single Machine object is not
+  // thread-safe: run() mutates it (analytic() is const and safe to call
+  // concurrently).
+
+  /// Deterministic fork for parallel sweeps: same spec, cold thermal
+  /// state, RNG seeded from (this machine's construction seed, stream).
+  /// Pure function of (seed(), stream) — task i can clone(i) from any
+  /// thread and the fleet of machines is identical at every thread count.
+  Machine clone(std::uint64_t stream) const;
+
+  /// The seed this machine was constructed with (clone() mixes it).
+  std::uint64_t seed() const { return seed_; }
+
   const MachineSpec& spec() const { return spec_; }
 
   /// Noise-free steady state — the ground truth used by the evaluation
@@ -102,6 +119,7 @@ class Machine {
 
  private:
   MachineSpec spec_;
+  std::uint64_t seed_;
   Rng rng_;
   ThermalState thermal_;
 };

@@ -243,17 +243,31 @@ void Cart::describe_node(std::size_t index, std::size_t indent,
                          std::string& out) const {
   const Node& node = nodes_[index];
   const std::string pad(indent * 2, ' ');
+  // Appends rather than temporary-chaining operator+: GCC 12's -Wrestrict
+  // false-positives on `const char* + std::string&&` chains (PR 105651).
   if (node.leaf) {
-    out += pad + "-> cluster " + std::to_string(node.label) + "\n";
+    out += pad;
+    out += "-> cluster ";
+    out += std::to_string(node.label);
+    out += "\n";
     return;
   }
-  const std::string name = feature_names_.empty()
-                               ? "x" + std::to_string(node.feature)
-                               : feature_names_[node.feature];
-  out += pad + "if (" + name + " < " + format_double(node.threshold, 4) +
-         ")\n";
+  std::string name;
+  if (feature_names_.empty()) {
+    name = "x";
+    name += std::to_string(node.feature);
+  } else {
+    name = feature_names_[node.feature];
+  }
+  out += pad;
+  out += "if (";
+  out += name;
+  out += " < ";
+  out += format_double(node.threshold, 4);
+  out += ")\n";
   describe_node(node.left, indent + 1, out);
-  out += pad + "else\n";
+  out += pad;
+  out += "else\n";
   describe_node(node.right, indent + 1, out);
 }
 

@@ -81,4 +81,11 @@ double Rng::normal(double mean, double stddev) {
 
 Rng Rng::split() { return Rng{next_u64()}; }
 
+std::uint64_t Rng::mix_seeds(std::uint64_t base, std::uint64_t stream) {
+  // One golden-ratio step per stream index, then the SplitMix64
+  // finalizer — the same mixing the seeding path uses.
+  std::uint64_t x = base + (stream + 1) * 0x9e3779b97f4a7c15ull;
+  return splitmix64(x);
+}
+
 }  // namespace acsel

@@ -44,6 +44,13 @@ class Rng {
   /// output, so parallel consumers don't share a sequence.
   Rng split();
 
+  /// Derives a seed for stream `stream` of a family rooted at `base`
+  /// (SplitMix64 finalizer over the pair, so adjacent streams
+  /// decorrelate). Unlike split(), this is a pure function — the way
+  /// parallel tasks get independent, *order-free* deterministic streams:
+  /// task i seeds Rng{mix_seeds(base, i)} no matter which thread runs it.
+  static std::uint64_t mix_seeds(std::uint64_t base, std::uint64_t stream);
+
   /// Fisher–Yates shuffle of `items` (any random-access container of size()).
   template <typename Vec>
   void shuffle(Vec& items) {

@@ -21,7 +21,7 @@ class ClusterTest : public ::testing::Test {
     soc::Machine machine{soc::MachineSpec{}, 777};
     suite_ = new workloads::Suite{workloads::Suite::standard()};
     const auto training = eval::characterize(machine, *suite_);
-    model_ = new core::TrainedModel{core::train(training)};
+    model_ = new core::TrainedModel{core::train(training).model};
   }
   static void TearDownTestSuite() {
     delete model_;

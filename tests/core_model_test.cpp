@@ -24,9 +24,9 @@ class ModelTest : public ::testing::Test {
     suite_ = new workloads::Suite{workloads::Suite::standard()};
     characterizations_ = new std::vector<KernelCharacterization>{
         eval::characterize(*machine_, *suite_)};
-    report_ = new TrainingReport{};
-    model_ = new TrainedModel{
-        train(*characterizations_, TrainerOptions{}, report_)};
+    TrainingResult result = train(*characterizations_);
+    report_ = new TrainingReport{std::move(result.report)};
+    model_ = new TrainedModel{std::move(result.model)};
   }
 
   static void TearDownTestSuite() {
@@ -214,7 +214,7 @@ TEST_F(ModelTest, VarianceStabilizingTransformTrains) {
   // The §VI extension must train and predict without blowing up.
   TrainerOptions options;
   options.transform = linalg::ResponseTransform::Log1p;
-  const TrainedModel model = train(*characterizations_, options);
+  const TrainedModel model = train(*characterizations_, options).model;
   const auto& c = characterization("LU-Small/lud");
   const Prediction prediction = model.predict(c.samples);
   for (const auto& estimate : prediction.per_config) {
@@ -227,8 +227,7 @@ TEST_F(ModelTest, VarianceStabilizingTransformTrains) {
 TEST_F(ModelTest, SingleClusterModelStillWorks) {
   TrainerOptions options;
   options.clusters = 1;
-  TrainingReport report;
-  const TrainedModel model = train(*characterizations_, options, &report);
+  const auto [model, report] = train(*characterizations_, options);
   EXPECT_EQ(model.cluster_count(), 1u);
   EXPECT_DOUBLE_EQ(report.tree_training_accuracy, 1.0);  // trivial tree
   const auto& c = characterization("SMC-Default/ChemistryRates");

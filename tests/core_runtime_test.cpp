@@ -28,7 +28,7 @@ class RuntimeTest : public ::testing::Test {
             eval::characterize_instance(*machine_, instance));
       }
     }
-    model_ = new TrainedModel{train(training)};
+    model_ = new TrainedModel{train(training).model};
   }
   static void TearDownTestSuite() {
     delete model_;

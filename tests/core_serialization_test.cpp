@@ -35,7 +35,7 @@ class SerializationTest : public ::testing::Test {
     }
     TrainerOptions options;
     options.clusters = 3;
-    model_ = new TrainedModel{train(*characterizations_, options)};
+    model_ = new TrainedModel{train(*characterizations_, options).model};
   }
 
   static void TearDownTestSuite() {

@@ -12,6 +12,7 @@
 #include "eval/oracle.h"
 #include "eval/protocol.h"
 #include "eval/tables.h"
+#include "exec/thread_pool.h"
 #include "hw/config_space.h"
 #include "soc/machine.h"
 #include "util/error.h"
@@ -152,9 +153,14 @@ TEST(Metrics, GroupFilterIsolatesBenchmarks) {
 class LoocvTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    soc::Machine machine{soc::MachineSpec{}, 90210};
+    const soc::Machine machine{soc::MachineSpec{}, 90210};
     const auto suite = workloads::Suite::standard();
-    result_ = new EvaluationResult{run_loocv(machine, suite)};
+    // ACSEL_THREADS steers the pool size (the CI TSan job sets 2); the
+    // result is identical at any size, so the assertions below don't care.
+    exec::init_threads_from_env();
+    static exec::ThreadPool pool{exec::default_threads()};
+    result_ = new EvaluationResult{
+        run_loocv({.machine = machine, .executor = pool}, suite)};
     std::cout << "\n--- LOOCV Table III (for inspection) ---\n";
     table3(*result_).print(std::cout);
   }

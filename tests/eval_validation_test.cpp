@@ -151,7 +151,7 @@ TEST(Microbench, ModelTrainedOnMicrobenchmarksPredictsApps) {
   soc::Machine machine{soc::MachineSpec{}, 6};
   const workloads::Suite micro{{workloads::microbenchmark_suite(3)}};
   const auto training = characterize(machine, micro);
-  const auto model = core::train(training);
+  const auto model = core::train(training).model;
 
   const auto apps = workloads::Suite::standard();
   std::vector<PredictionAccuracy> assessments;

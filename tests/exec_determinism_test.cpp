@@ -1,0 +1,209 @@
+// The determinism contract of the parallel offline pipeline: every stage
+// distributed over an Executor — characterization sweeps, the
+// dissimilarity matrix, training, LOOCV, bootstrap — must produce
+// *bitwise-identical* results at every thread count, because each task
+// derives its state purely from its index (cloned machine, own Rng
+// stream) and reductions happen on the caller in index order.
+//
+// Each check runs the same stage serially (inline executor), on a
+// worker-less pool, and on pools of 1, 2 and 8 threads, then compares
+// doubles by bit pattern and models by serialized text. Any scheduling
+// dependence — a shared RNG, an unordered reduction, a task writing
+// outside its slot — shows up here as a hard failure.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "eval/bootstrap.h"
+#include "eval/characterize.h"
+#include "eval/protocol.h"
+#include "exec/thread_pool.h"
+#include "pareto/dissimilarity.h"
+#include "soc/machine.h"
+#include "workloads/suite.h"
+
+namespace acsel::exec {
+namespace {
+
+// Reduced two-benchmark suite: enough kernels for clustering and a
+// two-fold LOOCV while keeping five full pipeline runs fast.
+workloads::Suite reduced_suite() {
+  return workloads::Suite{
+      {workloads::smc_benchmark(), workloads::comd_benchmark()}};
+}
+
+constexpr std::uint64_t kSeed = 90210;
+
+/// Exact comparison that distinguishes 0.0 from -0.0 and never tolerates
+/// an ULP: "deterministic" here means the same bits, not close values.
+std::uint64_t bits(double value) {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+/// Thread counts under test; 0 is the worker-less inline pool.
+const std::size_t kThreadCounts[] = {0, 1, 2, 8};
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  // The serial-executor run is the reference every pool is held to.
+  static void SetUpTestSuite() {
+    machine_ = new soc::Machine{soc::MachineSpec{}, kSeed};
+    suite_ = new workloads::Suite{reduced_suite()};
+    reference_ = new std::vector<core::KernelCharacterization>{
+        eval::characterize(*machine_, *suite_)};
+  }
+  static void TearDownTestSuite() {
+    delete reference_;
+    delete suite_;
+    delete machine_;
+  }
+
+  static soc::Machine* machine_;
+  static workloads::Suite* suite_;
+  static std::vector<core::KernelCharacterization>* reference_;
+};
+
+soc::Machine* DeterminismTest::machine_ = nullptr;
+workloads::Suite* DeterminismTest::suite_ = nullptr;
+std::vector<core::KernelCharacterization>* DeterminismTest::reference_ =
+    nullptr;
+
+TEST_F(DeterminismTest, CharacterizationIsBitwiseIdentical) {
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool{threads};
+    const auto parallel =
+        eval::characterize(*machine_, *suite_, {}, pool);
+    ASSERT_EQ(parallel.size(), reference_->size()) << threads;
+    for (std::size_t k = 0; k < parallel.size(); ++k) {
+      const auto& serial_kernel = (*reference_)[k];
+      const auto& parallel_kernel = parallel[k];
+      EXPECT_EQ(parallel_kernel.instance_id, serial_kernel.instance_id);
+      const auto serial_powers = serial_kernel.powers();
+      const auto parallel_powers = parallel_kernel.powers();
+      const auto serial_perf = serial_kernel.performances();
+      const auto parallel_perf = parallel_kernel.performances();
+      ASSERT_EQ(parallel_powers.size(), serial_powers.size());
+      for (std::size_t c = 0; c < serial_powers.size(); ++c) {
+        EXPECT_EQ(bits(parallel_powers[c]), bits(serial_powers[c]))
+            << threads << " threads, " << serial_kernel.instance_id
+            << " config " << c;
+        EXPECT_EQ(bits(parallel_perf[c]), bits(serial_perf[c]))
+            << threads << " threads, " << serial_kernel.instance_id
+            << " config " << c;
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismTest, DissimilarityMatrixIsBitwiseIdentical) {
+  std::vector<pareto::ParetoFrontier> fronts;
+  fronts.reserve(reference_->size());
+  for (const auto& kernel : *reference_) {
+    fronts.push_back(kernel.frontier());
+  }
+  const linalg::Matrix serial = pareto::dissimilarity_matrix(fronts);
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool{threads};
+    const linalg::Matrix parallel =
+        pareto::dissimilarity_matrix(fronts, {}, pool);
+    ASSERT_EQ(parallel.rows(), serial.rows());
+    ASSERT_EQ(parallel.cols(), serial.cols());
+    const auto serial_data = serial.data();
+    const auto parallel_data = parallel.data();
+    for (std::size_t i = 0; i < serial_data.size(); ++i) {
+      EXPECT_EQ(bits(parallel_data[i]), bits(serial_data[i]))
+          << threads << " threads, cell " << i;
+    }
+  }
+}
+
+TEST_F(DeterminismTest, SerializedTrainedModelIsByteIdentical) {
+  // serialize() prints coefficients with 17 significant digits, so equal
+  // text means equal doubles: the whole frontier -> cluster -> fit -> CART
+  // pipeline is scheduling-independent.
+  const std::string serial = core::train(*reference_).model.serialize();
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool{threads};
+    const std::string parallel =
+        core::train(*reference_, {}, pool).model.serialize();
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST_F(DeterminismTest, LoocvCaseTableIsBitwiseIdentical) {
+  const eval::EvaluationResult serial =
+      eval::run_loocv({.machine = *machine_}, *suite_);
+  ASSERT_FALSE(serial.cases.empty());
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool{threads};
+    const eval::EvaluationResult parallel =
+        eval::run_loocv({.machine = *machine_, .executor = pool}, *suite_);
+    EXPECT_EQ(parallel.groups, serial.groups);
+    ASSERT_EQ(parallel.cases.size(), serial.cases.size()) << threads;
+    for (std::size_t i = 0; i < serial.cases.size(); ++i) {
+      const eval::CaseResult& a = serial.cases[i];
+      const eval::CaseResult& b = parallel.cases[i];
+      EXPECT_EQ(b.instance_id, a.instance_id)
+          << threads << " threads, case " << i;
+      EXPECT_EQ(b.method, a.method);
+      EXPECT_EQ(bits(b.cap_w), bits(a.cap_w));
+      EXPECT_EQ(b.under_limit, a.under_limit);
+      EXPECT_EQ(bits(b.perf_vs_oracle), bits(a.perf_vs_oracle))
+          << threads << " threads, case " << i << " ("
+          << a.instance_id << ")";
+      EXPECT_EQ(bits(b.power_vs_oracle), bits(a.power_vs_oracle))
+          << threads << " threads, case " << i << " ("
+          << a.instance_id << ")";
+    }
+  }
+}
+
+TEST_F(DeterminismTest, BootstrapIntervalsAreBitwiseIdentical) {
+  const eval::EvaluationResult result =
+      eval::run_loocv({.machine = *machine_}, *suite_);
+  eval::BootstrapOptions options;
+  options.replicates = 100;
+  const eval::BootstrapAggregate serial =
+      eval::bootstrap_method(result.cases, eval::Method::Model, options);
+  for (const std::size_t threads : kThreadCounts) {
+    ThreadPool pool{threads};
+    const eval::BootstrapAggregate parallel = eval::bootstrap_method(
+        result.cases, eval::Method::Model, options, pool);
+    for (const auto& [a, b] :
+         {std::pair{serial.pct_under_limit, parallel.pct_under_limit},
+          std::pair{serial.under_perf_pct, parallel.under_perf_pct},
+          std::pair{serial.over_power_pct, parallel.over_power_pct}}) {
+      EXPECT_EQ(bits(b.point), bits(a.point)) << threads << " threads";
+      EXPECT_EQ(bits(b.lo), bits(a.lo)) << threads << " threads";
+      EXPECT_EQ(bits(b.hi), bits(a.hi)) << threads << " threads";
+    }
+  }
+}
+
+TEST_F(DeterminismTest, ProgressCallbackCountsEveryFold) {
+  // The callback arrives from worker threads in scheduling order, but the
+  // count is monotone and ends at the fold total.
+  ThreadPool pool{4};
+  std::size_t last_done = 0;
+  std::size_t total = 0;
+  const eval::EvaluationResult result = eval::run_loocv(
+      {.machine = *machine_,
+       .executor = pool,
+       .progress =
+           [&](std::size_t done, std::size_t folds) {
+             EXPECT_EQ(done, last_done + 1) << "count must be monotone";
+             last_done = done;
+             total = folds;
+           }},
+      *suite_);
+  EXPECT_EQ(total, suite_->benchmarks().size());
+  EXPECT_EQ(last_done, total);
+  EXPECT_FALSE(result.cases.empty());
+}
+
+}  // namespace
+}  // namespace acsel::exec

@@ -1,0 +1,380 @@
+// Tests for the exec subsystem: the non-blocking Executor contract
+// (inline executor, zero-thread pool, bounded-queue declines, work
+// stealing via try_run_one), TaskGroup joining / exception propagation /
+// cooperative cancellation, parallel_for / parallel_map coverage and
+// ordering, nested parallelism on a saturated pool, the pool's obs
+// accounting invariant, and the thread-count plumbing (env + flag).
+// The multi-thread tests double as the TSan workload for the subsystem.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/parallel_for.h"
+#include "exec/task_group.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace acsel::exec {
+namespace {
+
+TEST(InlineExecutor, DeclinesEverythingAndIsSerial) {
+  Executor& executor = inline_executor();
+  EXPECT_EQ(executor.concurrency(), 1u);
+  bool ran = false;
+  EXPECT_FALSE(executor.try_submit([&] { ran = true; }));
+  EXPECT_FALSE(ran) << "a declined task must not run inside try_submit";
+  EXPECT_FALSE(executor.try_run_one());
+}
+
+TEST(ThreadPool, ZeroThreadsBehavesLikeInlineExecutor) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.thread_count(), 0u);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  EXPECT_FALSE(pool.try_submit([] {}));
+  EXPECT_FALSE(pool.try_run_one());
+  // TaskGroup on a worker-less pool degrades to serial inline execution,
+  // in spawn order.
+  std::vector<int> order;
+  TaskGroup group{pool};
+  for (int i = 0; i < 4; ++i) {
+    group.spawn([&order, i] { order.push_back(i); });
+  }
+  group.wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, RunsSubmittedTasksOnWorkers) {
+  ThreadPool pool{2};
+  EXPECT_EQ(pool.thread_count(), 2u);
+  EXPECT_EQ(pool.concurrency(), 2u);
+  std::atomic<int> ran{0};
+  TaskGroup group{pool};
+  for (int i = 0; i < 64; ++i) {
+    group.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, FullQueueDeclinesWithoutBlocking) {
+  ThreadPool pool{1, /*queue_capacity=*/2};
+  EXPECT_EQ(pool.queue_capacity(), 2u);
+
+  // Park the single worker on a gate so the queue can be filled behind it.
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ASSERT_TRUE(pool.try_submit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+
+  // Worker is busy: two submissions fill the queue, the third declines.
+  std::atomic<int> ran{0};
+  const auto count = [&ran] { ran.fetch_add(1); };
+  ASSERT_TRUE(pool.try_submit(count));
+  ASSERT_TRUE(pool.try_submit(count));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  EXPECT_FALSE(pool.try_submit(count)) << "full queue must decline";
+
+  // A waiter can steal queued work instead of sleeping.
+  EXPECT_TRUE(pool.try_run_one());
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.queue_depth(), 1u);
+
+  release.set_value();
+  // Destruction drains the remaining queued task before joining.
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{1};
+    for (int i = 0; i < 16; ++i) {
+      pool.try_submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  // Every accepted task ran before the workers joined.
+  EXPECT_GT(ran.load(), 0);
+}
+
+TEST(ThreadPool, ObsCountersBalance) {
+  auto& registry = obs::Registry::global();
+  const std::uint64_t submitted0 =
+      registry.counter("exec.pool.submitted").value();
+  const std::uint64_t executed0 =
+      registry.counter("exec.pool.executed").value();
+  const std::uint64_t helped0 = registry.counter("exec.pool.helped").value();
+  const std::uint64_t declined0 =
+      registry.counter("exec.pool.declined").value();
+
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool{2, /*queue_capacity=*/8};
+    TaskGroup group{pool};
+    for (int i = 0; i < kTasks; ++i) {
+      group.spawn([&ran] { ran.fetch_add(1); });
+    }
+    group.wait();
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+
+  // Every spawn was either accepted or declined, and every accepted task
+  // was run by a worker or stolen by a helper — nothing lost, nothing
+  // double-counted.
+  const std::uint64_t submitted =
+      registry.counter("exec.pool.submitted").value() - submitted0;
+  const std::uint64_t executed =
+      registry.counter("exec.pool.executed").value() - executed0;
+  const std::uint64_t helped =
+      registry.counter("exec.pool.helped").value() - helped0;
+  const std::uint64_t declined =
+      registry.counter("exec.pool.declined").value() - declined0;
+  EXPECT_EQ(submitted + declined, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(executed + helped, submitted);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstTaskException) {
+  ThreadPool pool{2};
+  TaskGroup group{pool};
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    group.spawn([&ran] { ran.fetch_add(1); });
+  }
+  group.spawn([] { throw std::runtime_error{"task failed"}; });
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  EXPECT_TRUE(group.cancelled())
+      << "a task exception cancels the rest of the group";
+}
+
+TEST(TaskGroup, ExceptionCancelsTasksSpawnedAfterIt) {
+  // On the serial executor everything runs inline at spawn time, so the
+  // sequence is deterministic: the throwing task cancels the group and the
+  // tasks spawned after it must be no-ops.
+  TaskGroup group{inline_executor()};
+  bool before = false;
+  bool after = false;
+  group.spawn([&before] { before = true; });
+  group.spawn([] { throw std::runtime_error{"boom"}; });
+  group.spawn([&after] { after = true; });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_TRUE(before);
+  EXPECT_FALSE(after) << "tasks spawned after the failure must not run";
+}
+
+TEST(TaskGroup, CooperativeCancellationStopsPolledTasks) {
+  ThreadPool pool{2};
+  TaskGroup group{pool};
+  std::atomic<int> iterations{0};
+  for (int i = 0; i < 2; ++i) {
+    group.spawn([&group, &iterations] {
+      while (!group.cancelled()) {
+        iterations.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    });
+  }
+  // Without cancellation the tasks above never finish; request_cancel is
+  // the only thing that lets wait() return.
+  group.request_cancel();
+  group.wait();
+  EXPECT_TRUE(group.cancelled());
+}
+
+TEST(TaskGroup, SecondWaitIsIdempotent) {
+  ThreadPool pool{2};
+  TaskGroup group{pool};
+  std::atomic<int> ran{0};
+  group.spawn([&ran] { ran.fetch_add(1); });
+  group.wait();
+  group.wait();  // nothing pending, no exception to re-throw
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(pool, kN,
+               [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroAndOneIterationEdgeCases) {
+  ThreadPool pool{4};
+  int calls = 0;
+  parallel_for(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(pool, 1, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool{4};
+  EXPECT_THROW(parallel_for(pool, 256,
+                            [](std::size_t i) {
+                              if (i == 37) {
+                                throw std::runtime_error{"index 37"};
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, ReturnsResultsInIndexOrder) {
+  ThreadPool pool{8};
+  const auto squares = parallel_map(
+      pool, 500, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 500u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelMap, SupportsNonDefaultConstructibleResults) {
+  struct Tagged {
+    explicit Tagged(std::size_t i) : tag(i) {}
+    std::size_t tag;
+  };
+  ThreadPool pool{4};
+  const auto tags =
+      parallel_map(pool, 64, [](std::size_t i) { return Tagged{i}; });
+  ASSERT_EQ(tags.size(), 64u);
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    EXPECT_EQ(tags[i].tag, i);
+  }
+}
+
+TEST(ParallelMap, InlineExecutorMatchesThreadPool) {
+  const auto fn = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5 + 1.0;
+  };
+  const auto serial = parallel_map(inline_executor(), 128, fn);
+  ThreadPool pool{8};
+  const auto parallel = parallel_map(pool, 128, fn);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(NestedParallelism, SaturatedPoolDoesNotDeadlock) {
+  // Every outer task runs an inner parallel_map on the *same* pool. With
+  // blocking submission or sleeping waiters this wedges once the outer
+  // tasks occupy all workers; the help-first contract keeps it live.
+  ThreadPool pool{2, /*queue_capacity=*/4};
+  const auto totals = parallel_map(pool, 16, [&pool](std::size_t outer) {
+    const auto inner = parallel_map(pool, 32, [outer](std::size_t i) {
+      return outer * 1000 + i;
+    });
+    std::size_t sum = 0;
+    for (const std::size_t v : inner) {
+      sum += v;
+    }
+    return sum;
+  });
+  ASSERT_EQ(totals.size(), 16u);
+  for (std::size_t outer = 0; outer < totals.size(); ++outer) {
+    EXPECT_EQ(totals[outer], outer * 1000 * 32 + 32 * 31 / 2);
+  }
+}
+
+TEST(Stress, ConcurrentGroupsOnOnePool) {
+  // TSan workload: several threads drive independent TaskGroups against
+  // one shared pool, mixing accepted, declined and stolen tasks.
+  ThreadPool pool{4, /*queue_capacity=*/16};
+  std::atomic<int> total{0};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 20; ++round) {
+        TaskGroup group{pool};
+        for (int i = 0; i < 25; ++i) {
+          group.spawn([&total] {
+            total.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+        group.wait();
+      }
+    });
+  }
+  for (std::thread& driver : drivers) {
+    driver.join();
+  }
+  EXPECT_EQ(total.load(), 4 * 20 * 25);
+}
+
+class ThreadCountTest : public ::testing::Test {
+ protected:
+  // Every path below mutates the process-wide default; restore "hardware"
+  // so test order cannot matter.
+  void TearDown() override {
+    set_default_threads(0);
+    ::unsetenv("ACSEL_THREADS");
+  }
+};
+
+TEST_F(ThreadCountTest, DefaultIsHardwareConcurrency) {
+  EXPECT_GE(hardware_threads(), 1u);
+  set_default_threads(0);
+  EXPECT_EQ(default_threads(), hardware_threads());
+}
+
+TEST_F(ThreadCountTest, SetDefaultOverridesAndZeroRestores) {
+  set_default_threads(3);
+  EXPECT_EQ(default_threads(), 3u);
+  set_default_threads(0);
+  EXPECT_EQ(default_threads(), hardware_threads());
+}
+
+TEST_F(ThreadCountTest, EnvVariableAppliesWhenValid) {
+  ::setenv("ACSEL_THREADS", "5", 1);
+  init_threads_from_env();
+  EXPECT_EQ(default_threads(), 5u);
+}
+
+TEST_F(ThreadCountTest, InvalidEnvValueIsIgnored) {
+  set_default_threads(2);
+  for (const char* bad : {"", "0", "-1", "abc", "4x", "1.5"}) {
+    ::setenv("ACSEL_THREADS", bad, 1);
+    init_threads_from_env();
+    EXPECT_EQ(default_threads(), 2u) << "ACSEL_THREADS=" << bad;
+  }
+}
+
+TEST_F(ThreadCountTest, ThreadsFlagParses) {
+  EXPECT_TRUE(consume_threads_flag("--threads=7"));
+  EXPECT_EQ(default_threads(), 7u);
+  EXPECT_FALSE(consume_threads_flag("--seed=7"));
+  EXPECT_FALSE(consume_threads_flag("--thread=7"));
+  EXPECT_EQ(default_threads(), 7u) << "unrelated flags must not change it";
+}
+
+TEST_F(ThreadCountTest, ThreadsFlagRejectsBadCounts) {
+  for (const char* bad :
+       {"--threads=", "--threads=0", "--threads=-2", "--threads=abc",
+        "--threads=2x"}) {
+    EXPECT_THROW(consume_threads_flag(bad), Error) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace acsel::exec

@@ -78,7 +78,11 @@ TEST(Json, AccessorsThrowOnTypeMismatch) {
 
 TEST(Json, EscapeRoundTripsThroughParser) {
   const std::string nasty = "a\"b\\c\nd\te\rf\x01g";
-  const std::string doc = "\"" + json_escape(nasty) + "\"";
+  // Built with appends: GCC 12's -Wrestrict false-positives on
+  // `const char* + std::string&&` chains (PR 105651).
+  std::string doc = "\"";
+  doc += json_escape(nasty);
+  doc += "\"";
   EXPECT_EQ(JsonValue::parse(doc).as_string(), nasty);
 }
 

@@ -48,7 +48,9 @@ TEST(Tracer, CollectedIsSortedByTimestamp) {
   Tracer tracer;
   tracer.enable();
   for (int i = 0; i < 100; ++i) {
-    tracer.record_instant("e" + std::to_string(i), "test");
+    // std::string{} + ...: GCC 12's -Wrestrict false-positives on
+    // `const char* + std::string&&` chains (PR 105651).
+    tracer.record_instant(std::string{"e"} + std::to_string(i), "test");
   }
   const auto events = tracer.collected();
   ASSERT_EQ(events.size(), 100u);
@@ -61,7 +63,7 @@ TEST(Tracer, RingOverflowDropsOldestAndCounts) {
   Tracer tracer{8};
   tracer.enable();
   for (int i = 0; i < 20; ++i) {
-    tracer.record_instant("e" + std::to_string(i), "test");
+    tracer.record_instant(std::string{"e"} + std::to_string(i), "test");
   }
   const auto events = tracer.collected();
   ASSERT_EQ(events.size(), 8u);

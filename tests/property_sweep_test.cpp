@@ -24,7 +24,8 @@ class SuiteSweep : public ::testing::TestWithParam<std::size_t> {
     suite_ = new workloads::Suite{workloads::Suite::standard()};
     characterizations_ = new std::vector<core::KernelCharacterization>{
         eval::characterize(*machine_, *suite_)};
-    model_ = new core::TrainedModel{core::train(*characterizations_)};
+    model_ =
+        new core::TrainedModel{core::train(*characterizations_).model};
   }
   static void TearDownTestSuite() {
     delete model_;

@@ -40,12 +40,12 @@ class ServeTest : public ::testing::Test {
     }
     core::TrainerOptions options_a;
     options_a.clusters = 3;
-    model_a_ = new core::TrainedModel{core::train(*characterizations_,
-                                                  options_a)};
+    model_a_ = new core::TrainedModel{
+        core::train(*characterizations_, options_a).model};
     core::TrainerOptions options_b;
     options_b.clusters = 2;
-    model_b_ = new core::TrainedModel{core::train(*characterizations_,
-                                                  options_b)};
+    model_b_ = new core::TrainedModel{
+        core::train(*characterizations_, options_b).model};
   }
 
   static void TearDownTestSuite() {
