@@ -11,6 +11,7 @@
 #include "eval/protocol.h"
 #include "exec/executor.h"
 #include "exec/thread_pool.h"
+#include "fault/fault.h"
 #include "soc/machine.h"
 #include "util/log.h"
 #include "workloads/suite.h"
@@ -22,7 +23,12 @@ namespace acsel::bench {
 constexpr std::uint64_t kBenchSeed = 90210;
 
 inline soc::Machine make_machine() {
-  return soc::Machine{soc::MachineSpec{}, kBenchSeed};
+  soc::MachineSpec spec;
+  // Chaos runs (ACSEL_FAULTS) arm SMU fault sites; the sensor guard is
+  // the defense layer those faults exercise, so it comes on with them.
+  // Clean runs keep it off — telemetry stays bitwise identical.
+  spec.sensor_guard = fault::Injector::global().any_armed();
+  return soc::Machine{spec, kBenchSeed};
 }
 
 /// The pool every bench shares, sized on first use from the ACSEL_THREADS
@@ -45,12 +51,13 @@ inline eval::EvaluationResult run_paper_evaluation() {
 
 inline void print_header(const std::string& title,
                          const std::string& paper_ref) {
-  // Every bench calls this first, so ACSEL_LOG_LEVEL and ACSEL_THREADS
-  // work across the whole bench suite without each bench wiring them up.
-  // (Call it before the first bench_executor() use — the pool is sized
-  // once.)
+  // Every bench calls this first, so ACSEL_LOG_LEVEL, ACSEL_THREADS and
+  // ACSEL_FAULTS work across the whole bench suite without each bench
+  // wiring them up. (Call it before the first bench_executor() use — the
+  // pool is sized once.)
   init_log_level_from_env();
   exec::init_threads_from_env();
+  fault::init_from_env();
   std::cout << "=== " << title << " ===\n"
             << "Reproduces: " << paper_ref << "\n"
             << "(simulated Trinity APU substrate — compare shapes, not "

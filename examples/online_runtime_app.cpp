@@ -13,6 +13,13 @@
 //   --log-level=...  debug|info|warn|off (also: ACSEL_LOG_LEVEL env)
 //   --threads=N      offline-training parallelism (also: ACSEL_THREADS
 //                    env; default: hardware concurrency)
+//
+// Robustness flags:
+//   --guardrails     enable the runtime's graceful-degradation guardrails
+//                    (implausible-sample rejection, cap-violation fallback)
+//                    and the SMU sensor guard on the machine
+//   ACSEL_FAULTS     comma-separated fault presets to arm (e.g.
+//                    "smu_noise,frame_corrupt") — chaos-test the run
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -22,6 +29,7 @@
 #include "core/trainer.h"
 #include "eval/characterize.h"
 #include "exec/thread_pool.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/csv.h"
@@ -35,8 +43,10 @@ int main(int argc, char** argv) {
   using namespace acsel;
   init_log_level_from_env();
   exec::init_threads_from_env();
+  fault::init_from_env();
   std::string trace_path;
   std::string metrics_path;
+  bool guardrails = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (consume_log_level_flag(arg) || exec::consume_threads_flag(arg)) {
@@ -46,16 +56,21 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(8);
     } else if (arg.starts_with("--metrics=")) {
       metrics_path = arg.substr(10);
+    } else if (arg == "--guardrails") {
+      guardrails = true;
     } else {
       std::cerr << "usage: online_runtime_app [--trace=PATH]"
-                   " [--metrics=PATH] [--log-level=LEVEL] [--threads=N]\n";
+                   " [--metrics=PATH] [--log-level=LEVEL] [--threads=N]"
+                   " [--guardrails]\n";
       return 2;
     }
   }
   if (!trace_path.empty()) {
     obs::Tracer::global().enable();
   }
-  soc::Machine machine;
+  soc::MachineSpec spec;
+  spec.sensor_guard = guardrails;
+  soc::Machine machine{spec};
   const auto suite = workloads::Suite::standard();
 
   // Offline model (trained on everything; this example is about the
@@ -66,6 +81,7 @@ int main(int argc, char** argv) {
   }();
   core::OnlineRuntime::Options options;
   options.power_cap_w = 32.0;
+  options.guardrails.enabled = guardrails;
   core::OnlineRuntime runtime{machine, core::train(training).model, options};
 
   // The "application": per timestep, a force kernel called from two call
@@ -125,6 +141,13 @@ int main(int argc, char** argv) {
             << " (the two ComputeForce call sites are separate).\n"
             << "Total profiled records: " << runtime.profiler().size()
             << '\n';
+  if (guardrails) {
+    std::cout << "Guardrails: " << runtime.guard_rejected_samples()
+              << " samples rejected, " << runtime.guard_cap_violations()
+              << " cap violations, " << runtime.guard_fallbacks()
+              << " fallbacks, " << runtime.guard_resamples()
+              << " re-samples\n";
+  }
 
   if (!trace_path.empty()) {
     obs::Tracer& tracer = obs::Tracer::global();

@@ -2,7 +2,8 @@
 //
 //  1. Train a model offline and publish it to a ModelRegistry.
 //  2. Start a Server: worker pool + bounded queue + request batching.
-//  3. Hit it from concurrent clients (direct API and the wire codec).
+//  3. Hit it from concurrent clients (direct API and the retrying wire
+//     Client, which frames requests and backs off on transient failures).
 //  4. Retrain, hot-swap the new version mid-traffic, then roll back —
 //     all without pausing a single in-flight request.
 //  5. Dump the server metrics table.
@@ -15,6 +16,7 @@
 #include "eval/characterize.h"
 #include "hw/config_space.h"
 #include "profile/profiler.h"
+#include "serve/client.h"
 #include "serve/codec.h"
 #include "serve/server.h"
 #include "util/strings.h"
@@ -75,20 +77,22 @@ int main() {
     client.join();
   }
 
-  // -- one request over the wire, as a socket front-end would send it ----
+  // -- one request over the wire, through the retrying Client (the same
+  //    path a socket front-end would use; the transport is pluggable) ----
+  serve::Client wire_client{[&](std::span<const std::uint8_t> frame) {
+    return server.serve_frame(frame);
+  }};
   serve::SelectRequest wire_request;
   wire_request.request_id = 999;
   wire_request.samples = kernels.front();
   wire_request.cap_w = 28.0;
-  std::vector<std::uint8_t> frame;
-  serve::encode_request(wire_request, frame);
-  const auto reply = server.serve_frame(frame);
-  const auto decoded = serve::decode_frame(reply);
+  const serve::SelectResponse wire_response = wire_client.select(wire_request);
   std::cout << "Wire request -> "
-            << space.at(decoded.response.config_index).to_string()
+            << space.at(wire_response.config_index).to_string()
             << " (predicted "
-            << format_double(decoded.response.predicted_power_w, 4)
-            << " W, model v" << decoded.response.model_version << ")\n";
+            << format_double(wire_response.predicted_power_w, 4)
+            << " W, model v" << wire_response.model_version << ", "
+            << wire_client.retries() << " retries)\n";
 
   // -- hot-swap: retrain (different shape), publish, keep serving --------
   core::TrainerOptions retrain;

@@ -1,5 +1,6 @@
 #include "core/runtime.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/metrics.h"
@@ -20,6 +21,14 @@ struct RuntimeCounters {
       obs::Registry::global().counter("runtime.behaviour_changes");
   obs::Counter& reselections =
       obs::Registry::global().counter("runtime.reselections");
+  obs::Counter& guard_rejected =
+      obs::Registry::global().counter("runtime.guard.rejected_samples");
+  obs::Counter& guard_violations =
+      obs::Registry::global().counter("runtime.guard.cap_violations");
+  obs::Counter& guard_fallbacks =
+      obs::Registry::global().counter("runtime.guard.fallbacks");
+  obs::Counter& guard_resamples =
+      obs::Registry::global().counter("runtime.guard.resamples");
 
   static RuntimeCounters& get() {
     static RuntimeCounters counters;
@@ -57,7 +66,23 @@ OnlineRuntime::OnlineRuntime(soc::Machine& machine, TrainedModel model,
       model_(std::move(model)),
       options_(options),
       profiler_(machine) {
-  ACSEL_CHECK(options.power_cap_w > 0.0);
+  ACSEL_CHECK_MSG(std::isfinite(options.power_cap_w) &&
+                      options.power_cap_w > 0.0,
+                  "power cap must be finite and positive");
+  ACSEL_CHECK(options.guardrails.max_plausible_power_w > 0.0);
+  ACSEL_CHECK(options.guardrails.cap_tolerance >= 0.0);
+  ACSEL_CHECK(options.guardrails.cap_patience >= 1);
+  ACSEL_CHECK(options.guardrails.backoff_initial >= 1);
+  ACSEL_CHECK(options.guardrails.backoff_max >=
+              options.guardrails.backoff_initial);
+}
+
+bool OnlineRuntime::plausible(const profile::KernelRecord& record) const {
+  return std::isfinite(record.time_ms) && record.time_ms > 0.0 &&
+         std::isfinite(record.cpu_power_w) && record.cpu_power_w >= 0.0 &&
+         std::isfinite(record.nbgpu_power_w) && record.nbgpu_power_w >= 0.0 &&
+         record.total_power_w() <=
+             options_.guardrails.max_plausible_power_w;
 }
 
 const profile::KernelRecord& OnlineRuntime::invoke(
@@ -65,21 +90,38 @@ const profile::KernelRecord& OnlineRuntime::invoke(
   Tracked& tracked = kernels_[key];
   RuntimeCounters::get().invocations.add();
 
+  const Guardrails& guard = options_.guardrails;
   if (tracked.runs == 0) {
     // First iteration: CPU sample configuration (Table II).
-    ++tracked.runs;
     ACSEL_OBS_SPAN("sample_cpu", "runtime");
     const auto& record = profiler_.run(impl, space_.cpu_sample());
+    if (guard.enabled && !plausible(record)) {
+      // Don't commit a garbage sample into the profile: the run is not
+      // counted and the next invocation re-samples this phase.
+      ++guard_rejected_;
+      RuntimeCounters::get().guard_rejected.add();
+      ACSEL_LOG_WARN("runtime: rejected implausible CPU sample of "
+                     << key.str());
+      return record;
+    }
+    ++tracked.runs;
     tracked.samples.cpu = record;
     return record;
   }
   if (tracked.runs == 1) {
     // Second iteration: GPU sample configuration, then predict + select.
-    ++tracked.runs;
     const auto& record = [&]() -> const profile::KernelRecord& {
       ACSEL_OBS_SPAN("sample_gpu", "runtime");
       return profiler_.run(impl, space_.gpu_sample());
     }();
+    if (guard.enabled && !plausible(record)) {
+      ++guard_rejected_;
+      RuntimeCounters::get().guard_rejected.add();
+      ACSEL_LOG_WARN("runtime: rejected implausible GPU sample of "
+                     << key.str());
+      return record;
+    }
+    ++tracked.runs;
     tracked.samples.gpu = record;
     tracked.prediction = model_.predict(tracked.samples);
     reselect(tracked);
@@ -94,7 +136,18 @@ const profile::KernelRecord& OnlineRuntime::invoke(
   ACSEL_CHECK(tracked.config_index.has_value());
   const auto& record = profiler_.run(impl, space_.at(*tracked.config_index));
 
-  if (options_.detect_behaviour_change) {
+  if (guard.enabled) {
+    observe_scheduled(key, tracked, record);
+    if (tracked.runs == 0 || tracked.in_fallback) {
+      // Profile discarded for re-sampling, or degraded to the safe
+      // configuration — either way prediction-based detection below would
+      // be judging the wrong configuration.
+      return record;
+    }
+  }
+
+  if (options_.detect_behaviour_change &&
+      (!guard.enabled || plausible(record))) {
     // §VI behaviour-change detection: a scheduled kernel whose measured
     // time departs from its prediction has probably changed input.
     const double expected_ms =
@@ -130,8 +183,86 @@ void OnlineRuntime::reselect(Tracked& tracked) {
           .config_index;
 }
 
+std::size_t OnlineRuntime::safe_config_index(const Tracked& tracked) const {
+  ACSEL_CHECK(tracked.prediction.has_value());
+  // The predicted lowest-power frontier point is the known-safe
+  // configuration to degrade to: whatever is wrong — bad prediction, bad
+  // telemetry — nothing else is predicted to draw less.
+  return tracked.prediction->frontier.lowest_power().config_index;
+}
+
+void OnlineRuntime::enter_fallback(const KernelKey& key, Tracked& tracked) {
+  const Guardrails& guard = options_.guardrails;
+  tracked.in_fallback = true;
+  tracked.cap_violation_streak = 0;
+  tracked.clean_streak = 0;
+  tracked.backoff_len = tracked.backoff_len == 0
+                            ? guard.backoff_initial
+                            : std::min(guard.backoff_max,
+                                       tracked.backoff_len * 2);
+  tracked.backoff_left = tracked.backoff_len;
+  tracked.config_index = safe_config_index(tracked);
+  ++guard_fallbacks_;
+  RuntimeCounters::get().guard_fallbacks.add();
+  ACSEL_OBS_INSTANT("guard_fallback", "runtime");
+  ACSEL_LOG_WARN("runtime: " << key.str()
+                             << " kept violating the power cap; degraded to"
+                                " safe configuration for "
+                             << tracked.backoff_len << " invocations");
+}
+
+void OnlineRuntime::observe_scheduled(const KernelKey& key, Tracked& tracked,
+                                      const profile::KernelRecord& record) {
+  const Guardrails& guard = options_.guardrails;
+  if (tracked.in_fallback) {
+    if (tracked.backoff_left > 0) {
+      --tracked.backoff_left;
+    }
+    if (tracked.backoff_left == 0) {
+      // Backoff served: discard the profile and re-sample from scratch.
+      // The backoff length survives the reset so a persistent fault backs
+      // off exponentially longer each round.
+      const std::size_t backoff_len = tracked.backoff_len;
+      tracked = Tracked{};
+      tracked.backoff_len = backoff_len;
+      ++guard_resamples_;
+      RuntimeCounters::get().guard_resamples.add();
+      ACSEL_OBS_INSTANT("guard_resample", "runtime");
+      ACSEL_LOG_INFO("runtime: backoff served for " << key.str()
+                                                    << "; re-sampling");
+    }
+    return;
+  }
+  if (!plausible(record)) {
+    // A garbage reading says nothing about the cap; reject it but leave
+    // the violation streak alone.
+    ++guard_rejected_;
+    RuntimeCounters::get().guard_rejected.add();
+    return;
+  }
+  if (record.total_power_w() >
+      options_.power_cap_w * (1.0 + guard.cap_tolerance)) {
+    ++guard_violations_;
+    RuntimeCounters::get().guard_violations.add();
+    tracked.clean_streak = 0;
+    if (++tracked.cap_violation_streak >= guard.cap_patience) {
+      enter_fallback(key, tracked);
+    }
+    return;
+  }
+  tracked.cap_violation_streak = 0;
+  if (tracked.backoff_len > 0 &&
+      ++tracked.clean_streak >= guard.recovery_patience) {
+    // Fully recovered: the next fallback (if any) starts from the initial
+    // backoff again.
+    tracked.backoff_len = 0;
+    tracked.clean_streak = 0;
+  }
+}
+
 void OnlineRuntime::set_power_cap(double cap_w) {
-  ACSEL_CHECK(cap_w > 0.0);
+  ACSEL_CHECK_MSG(std::isfinite(cap_w) && cap_w > 0.0,
+                  "power cap must be finite and positive");
   options_.power_cap_w = cap_w;
   for (auto& [key, tracked] : kernels_) {
     if (tracked.prediction.has_value()) {
@@ -164,6 +295,11 @@ std::optional<hw::Configuration> OnlineRuntime::scheduled_config(
     return std::nullopt;
   }
   return space_.at(*it->second.config_index);
+}
+
+bool OnlineRuntime::in_fallback(const KernelKey& key) const {
+  const auto it = kernels_.find(key);
+  return it != kernels_.end() && it->second.in_fallback;
 }
 
 const Prediction* OnlineRuntime::prediction(const KernelKey& key) const {

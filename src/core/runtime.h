@@ -51,6 +51,33 @@ std::size_t bucket_for(std::size_t input_bytes);
 
 class OnlineRuntime {
  public:
+  /// Graceful-degradation guardrails. The runtime's inputs — SMU-derived
+  /// records — can go bad (stuck estimator, spikes, dropouts); with
+  /// guardrails enabled the runtime refuses to commit implausible samples
+  /// into a kernel's profile, and falls back to the known-safe (lowest
+  /// predicted power) configuration when measured power keeps violating
+  /// the cap, re-sampling after a capped exponential backoff. Disabled by
+  /// default: clean-run behaviour is bitwise unchanged.
+  struct Guardrails {
+    bool enabled = false;
+    /// A record with non-finite or non-positive time, non-finite or
+    /// negative power, or total power above this bound is implausible and
+    /// is never committed as a sample.
+    double max_plausible_power_w = 1000.0;
+    /// Measured power may exceed the cap by this relative tolerance
+    /// (noise headroom) before an invocation counts as a violation.
+    double cap_tolerance = 0.15;
+    /// Consecutive violations before falling back to the safe config.
+    int cap_patience = 3;
+    /// Invocations spent at the safe configuration before the profile is
+    /// discarded and the kernel re-sampled. Doubles on each repeated
+    /// fallback of the same kernel (persistent fault), capped at
+    /// backoff_max; resets after recovery_patience clean invocations.
+    std::size_t backoff_initial = 4;
+    std::size_t backoff_max = 64;
+    int recovery_patience = 8;
+  };
+
   struct Options {
     double power_cap_w = 1e9;  ///< effectively uncapped by default
     SchedulingGoal goal = SchedulingGoal::MaxPerformance;
@@ -64,6 +91,7 @@ class OnlineRuntime {
     bool detect_behaviour_change = false;
     double phase_threshold = 0.5;
     int phase_patience = 2;
+    Guardrails guardrails;
   };
 
   /// `machine` must outlive the runtime; the model is copied in.
@@ -105,6 +133,18 @@ class OnlineRuntime {
     return behaviour_changes_;
   }
 
+  // -- guardrail introspection (all zero when guardrails are disabled) ----
+  /// Whether a kernel is currently degraded to its safe configuration.
+  bool in_fallback(const KernelKey& key) const;
+  /// Sample records rejected as implausible (never committed).
+  std::size_t guard_rejected_samples() const { return guard_rejected_; }
+  /// Scheduled invocations whose measured power violated the cap.
+  std::size_t guard_cap_violations() const { return guard_violations_; }
+  /// Transitions into the safe-fallback configuration.
+  std::size_t guard_fallbacks() const { return guard_fallbacks_; }
+  /// Profiles discarded for re-sampling after a served backoff.
+  std::size_t guard_resamples() const { return guard_resamples_; }
+
  private:
   struct Tracked {
     SamplePair samples;
@@ -112,9 +152,22 @@ class OnlineRuntime {
     std::optional<Prediction> prediction;
     std::optional<std::size_t> config_index;
     int deviant_streak = 0;
+    // Guardrail state.
+    int cap_violation_streak = 0;
+    int clean_streak = 0;
+    bool in_fallback = false;
+    std::size_t backoff_left = 0;
+    /// Current backoff length; survives the profile reset so a recurring
+    /// fault backs off exponentially longer each round.
+    std::size_t backoff_len = 0;
   };
 
   void reselect(Tracked& tracked);
+  std::size_t safe_config_index(const Tracked& tracked) const;
+  void enter_fallback(const KernelKey& key, Tracked& tracked);
+  void observe_scheduled(const KernelKey& key, Tracked& tracked,
+                         const profile::KernelRecord& record);
+  bool plausible(const profile::KernelRecord& record) const;
 
   soc::Machine* machine_;
   TrainedModel model_;
@@ -123,6 +176,10 @@ class OnlineRuntime {
   profile::Profiler profiler_;
   std::map<KernelKey, Tracked> kernels_;
   std::size_t behaviour_changes_ = 0;
+  std::size_t guard_rejected_ = 0;
+  std::size_t guard_violations_ = 0;
+  std::size_t guard_fallbacks_ = 0;
+  std::size_t guard_resamples_ = 0;
 };
 
 }  // namespace acsel::core

@@ -1,0 +1,170 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace acsel::fault {
+
+namespace {
+
+/// FNV-1a over the site name: a stable, platform-independent stream id,
+/// so a site's decisions depend only on (injector seed, site name, query
+/// index).
+std::uint64_t site_stream(std::string_view site) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : site) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Rng site_rng(std::uint64_t seed, const std::string& site) {
+  return Rng{Rng::mix_seeds(seed, site_stream(site))};
+}
+
+}  // namespace
+
+Injector::Injector(std::uint64_t seed) : seed_(seed) {}
+
+Injector& Injector::global() {
+  static Injector* injector = new Injector;  // never destroyed
+  return *injector;
+}
+
+void Injector::arm(const std::string& site, FaultSpec spec) {
+  ACSEL_CHECK_MSG(spec.probability >= 0.0 && spec.probability <= 1.0,
+                  "fault probability must be in [0, 1]");
+  ACSEL_CHECK_MSG(spec.burst_length >= 1, "fault burst_length must be >= 1");
+  std::lock_guard<std::mutex> lock{mu_};
+  Site& entry = sites_[site];
+  entry.spec = spec;
+  entry.rng = site_rng(seed_, site);
+  entry.burst_left = 0;
+  entry.fires = 0;
+  if (entry.fired_counter == nullptr) {
+    entry.fired_counter =
+        &obs::Registry::global().counter("fault." + site + ".fired");
+  }
+  armed_count_.store(sites_.size(), std::memory_order_relaxed);
+}
+
+void Injector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock{mu_};
+  sites_.erase(site);
+  armed_count_.store(sites_.size(), std::memory_order_relaxed);
+}
+
+void Injector::disarm_all() {
+  std::lock_guard<std::mutex> lock{mu_};
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool Injector::armed(const std::string& site) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return sites_.find(site) != sites_.end();
+}
+
+bool Injector::should_fire(const std::string& site) {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return false;
+  }
+  Site& entry = it->second;
+  bool fires = false;
+  if (entry.burst_left > 0) {
+    // Mid-burst: fire unconditionally, without consuming a draw, so a
+    // burst's length never depends on the probability stream.
+    --entry.burst_left;
+    fires = true;
+  } else if (entry.rng.uniform() < entry.spec.probability) {
+    entry.burst_left = entry.spec.burst_length - 1;
+    fires = true;
+  }
+  if (fires) {
+    ++entry.fires;
+    entry.fired_counter->add();
+  }
+  return fires;
+}
+
+double Injector::magnitude(const std::string& site) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0.0 : it->second.spec.magnitude;
+}
+
+std::uint64_t Injector::fire_count(const std::string& site) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+void Injector::rewind() {
+  std::lock_guard<std::mutex> lock{mu_};
+  for (auto& [site, entry] : sites_) {
+    entry.rng = site_rng(seed_, site);
+    entry.burst_left = 0;
+    entry.fires = 0;
+  }
+}
+
+std::vector<std::string> Injector::arm_presets(std::string_view list) {
+  std::vector<std::string> armed_names;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string_view name =
+        list.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                         : comma - pos);
+    pos = comma == std::string_view::npos ? list.size() + 1 : comma + 1;
+    if (name.empty()) {
+      continue;
+    }
+    // Preset shapes: stuck-at runs long (a wedged estimator), spikes are
+    // short bursts of large error, dropouts read zero for a few samples,
+    // delay lags the telemetry, frame corruption is per-frame.
+    if (name == "smu_stuck") {
+      arm("smu.stuck", {0.01, 40, 1.0});
+    } else if (name == "smu_spike") {
+      arm("smu.spike", {0.05, 3, 4.0});
+    } else if (name == "smu_dropout") {
+      arm("smu.dropout", {0.02, 5, 1.0});
+    } else if (name == "smu_noise") {
+      arm("smu.spike", {0.05, 3, 4.0});
+      arm("smu.dropout", {0.02, 5, 1.0});
+    } else if (name == "smu_delay") {
+      arm("smu.delay", {0.05, 8, 6.0});
+    } else if (name == "frame_corrupt") {
+      arm("wire.corrupt", {0.05, 1, 1.0});
+    } else {
+      ACSEL_LOG_WARN("fault: unknown preset '" << std::string{name}
+                                               << "' ignored");
+      continue;
+    }
+    armed_names.emplace_back(name);
+  }
+  return armed_names;
+}
+
+std::vector<std::string> Injector::arm_from_env() {
+  const char* env = std::getenv("ACSEL_FAULTS");
+  if (env == nullptr || *env == '\0') {
+    return {};
+  }
+  return arm_presets(env);
+}
+
+void init_from_env() {
+  const std::vector<std::string> armed = Injector::global().arm_from_env();
+  for (const std::string& name : armed) {
+    ACSEL_LOG_WARN("fault: armed preset '" << name << "' (ACSEL_FAULTS)");
+  }
+}
+
+}  // namespace acsel::fault

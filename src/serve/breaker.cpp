@@ -1,0 +1,123 @@
+#include "serve/breaker.h"
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace acsel::serve {
+
+Breaker::Breaker(BreakerOptions options) : options_(options) {
+  ACSEL_CHECK(options.failure_threshold >= 1);
+  ACSEL_CHECK(options.open_requests >= 1);
+  ACSEL_CHECK(options.half_open_probes >= 1);
+}
+
+bool Breaker::allow() {
+  if (!options_.enabled) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock{mu_};
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (--open_left_ <= 0) {
+        state_ = State::HalfOpen;
+        probes_outstanding_ = 0;
+        probe_successes_ = 0;
+        ACSEL_LOG_INFO("breaker: open window served; probing");
+      }
+      return false;
+    case State::HalfOpen:
+      if (probes_outstanding_ >= options_.half_open_probes) {
+        return false;  // probe quota in flight; keep rerouting
+      }
+      ++probes_outstanding_;
+      return true;
+  }
+  return true;
+}
+
+void Breaker::on_success(std::uint64_t latency_ns) {
+  if (!options_.enabled) {
+    return;
+  }
+  if (options_.latency_budget_ns != 0 &&
+      latency_ns > options_.latency_budget_ns) {
+    on_failure();
+    return;
+  }
+  std::lock_guard<std::mutex> lock{mu_};
+  switch (state_) {
+    case State::Closed:
+      failure_streak_ = 0;
+      break;
+    case State::Open:
+      break;  // stale outcome from before the trip; ignore
+    case State::HalfOpen:
+      if (probes_outstanding_ > 0) {
+        --probes_outstanding_;
+      }
+      if (++probe_successes_ >= options_.half_open_probes) {
+        state_ = State::Closed;
+        failure_streak_ = 0;
+        ACSEL_LOG_INFO("breaker: probes healthy; closed");
+      }
+      break;
+  }
+}
+
+void Breaker::on_failure() {
+  if (!options_.enabled) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock{mu_};
+  switch (state_) {
+    case State::Closed:
+      if (++failure_streak_ >= options_.failure_threshold) {
+        trip_locked();
+      }
+      break;
+    case State::Open:
+      break;
+    case State::HalfOpen:
+      // One bad probe re-opens: the protected model is still unhealthy.
+      trip_locked();
+      break;
+  }
+}
+
+void Breaker::trip_locked() {
+  state_ = State::Open;
+  open_left_ = options_.open_requests;
+  failure_streak_ = 0;
+  probes_outstanding_ = 0;
+  probe_successes_ = 0;
+  ++trips_;
+  ACSEL_LOG_WARN("breaker: tripped open (trip #" << trips_ << "); next "
+                                                 << options_.open_requests
+                                                 << " requests reroute");
+}
+
+Breaker::State Breaker::state() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return state_;
+}
+
+std::uint64_t Breaker::trips() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return trips_;
+}
+
+const char* to_string(Breaker::State state) {
+  switch (state) {
+    case Breaker::State::Closed:
+      return "Closed";
+    case Breaker::State::Open:
+      return "Open";
+    case Breaker::State::HalfOpen:
+      return "HalfOpen";
+  }
+  return "?";
+}
+
+}  // namespace acsel::serve

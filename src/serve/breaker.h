@@ -1,0 +1,69 @@
+// Circuit breaker around the currently-published model version. A bad
+// publish (corrupt file, broken retrain) turns every version-0 request
+// into an InternalError; the breaker notices the failure streak, opens,
+// and the server reroutes to the previously-published version until the
+// current one proves healthy again — the half-open probe cycle.
+//
+// Deliberately clockless: the Open state lasts a fixed number of
+// *requests* rather than a wall-clock cooldown, so trip/probe/recover
+// cycles replay deterministically in tests and under fault injection.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace acsel::serve {
+
+struct BreakerOptions {
+  bool enabled = false;
+  /// Consecutive failures (InternalError, or latency over budget) that
+  /// trip the breaker.
+  int failure_threshold = 5;
+  /// Requests routed away while Open before probing again (the clockless
+  /// analogue of a cooldown interval).
+  int open_requests = 64;
+  /// Consecutive successful probes in HalfOpen before closing.
+  int half_open_probes = 3;
+  /// Per-request processing-latency budget in nanoseconds; a slower
+  /// request counts as a failure. 0 disables the latency criterion.
+  std::uint64_t latency_budget_ns = 0;
+};
+
+class Breaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  explicit Breaker(BreakerOptions options = {});
+
+  /// Per-request gate: true routes the request to the protected (current)
+  /// model, false tells the caller to reroute. Open-state calls count
+  /// down the rejection window; HalfOpen admits up to half_open_probes
+  /// outstanding probes.
+  bool allow();
+
+  /// Outcome of a request that allow() admitted.
+  void on_success(std::uint64_t latency_ns);
+  void on_failure();
+
+  State state() const;
+  /// Closed -> Open transitions since construction.
+  std::uint64_t trips() const;
+
+  const BreakerOptions& options() const { return options_; }
+
+ private:
+  void trip_locked();
+
+  BreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::Closed;
+  int failure_streak_ = 0;
+  int open_left_ = 0;         ///< rejections remaining while Open
+  int probes_outstanding_ = 0;
+  int probe_successes_ = 0;
+  std::uint64_t trips_ = 0;
+};
+
+const char* to_string(Breaker::State state);
+
+}  // namespace acsel::serve

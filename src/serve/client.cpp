@@ -1,0 +1,114 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "fault/fault.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace acsel::serve {
+
+Client::Client(Transport transport, ClientOptions options)
+    : transport_(std::move(transport)),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  ACSEL_CHECK_MSG(transport_ != nullptr, "client needs a transport");
+  ACSEL_CHECK(options_.max_attempts >= 1);
+  ACSEL_CHECK(options_.backoff_base.count() >= 0);
+  ACSEL_CHECK(options_.backoff_max >= options_.backoff_base);
+}
+
+bool Client::conclusive(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::Ok:
+    case ResponseStatus::UnknownModelVersion:
+    case ResponseStatus::NoModelPublished:
+    case ResponseStatus::InternalError:
+      return true;  // retrying would return the same answer
+    case ResponseStatus::Shed:
+    case ResponseStatus::MalformedRequest:
+    case ResponseStatus::DeadlineExceeded:
+      return false;  // transient: queue pressure or wire corruption
+  }
+  return true;
+}
+
+std::chrono::microseconds Client::backoff_delay(int attempt) {
+  std::chrono::microseconds delay = options_.backoff_base;
+  for (int i = 0; i < attempt && delay < options_.backoff_max; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.backoff_max);
+  const double jitter = 0.5 + rng_.uniform();  // [0.5, 1.5)
+  return std::chrono::microseconds{static_cast<std::int64_t>(
+      static_cast<double>(delay.count()) * jitter)};
+}
+
+void Client::wait(std::chrono::microseconds delay) {
+  if (options_.sleep) {
+    options_.sleep(delay);
+  } else {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+SelectResponse Client::select(const SelectRequest& request) {
+  SelectResponse last;
+  last.request_id = request.request_id;
+  last.status = ResponseStatus::MalformedRequest;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      wait(backoff_delay(attempt - 1));
+    }
+    std::vector<std::uint8_t> frame;
+    encode_request(request, frame);
+    if (ACSEL_FAULT_ARMED() && ACSEL_FAULT_FIRE("wire.corrupt")) {
+      frame[0] ^= 0xff;  // ruin the magic: the server sees BadMagic
+    }
+    const std::vector<std::uint8_t> reply = transport_(frame);
+    const Decoded decoded = decode_frame(reply);
+    if (decoded.status != DecodeStatus::Ok ||
+        decoded.type != MessageType::SelectResponse) {
+      ACSEL_LOG_DEBUG("client: undecodable reply (attempt " << attempt
+                                                            << "); retrying");
+      continue;
+    }
+    last = decoded.response;
+    if (conclusive(last.status)) {
+      return last;
+    }
+    ACSEL_LOG_DEBUG("client: transient " << to_string(last.status)
+                                         << " (attempt " << attempt << ")");
+  }
+  return last;
+}
+
+StatsResponse Client::stats(const StatsRequest& request) {
+  StatsResponse last;
+  last.request_id = request.request_id;
+  last.status = ResponseStatus::MalformedRequest;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      wait(backoff_delay(attempt - 1));
+    }
+    std::vector<std::uint8_t> frame;
+    encode_stats_request(request, frame);
+    const std::vector<std::uint8_t> reply = transport_(frame);
+    const Decoded decoded = decode_frame(reply);
+    if (decoded.status != DecodeStatus::Ok ||
+        decoded.type != MessageType::StatsResponse) {
+      continue;
+    }
+    last = decoded.stats_response;
+    if (conclusive(last.status)) {
+      return last;
+    }
+  }
+  return last;
+}
+
+}  // namespace acsel::serve

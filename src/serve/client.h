@@ -1,0 +1,75 @@
+// Wire client for the selection service: frames requests, decodes
+// responses, and retries transient failures (shed, deadline-shed,
+// corrupted frames) with jittered exponential backoff so a fleet of
+// clients hammered by the same shed wave doesn't retry in lockstep.
+//
+// The transport is a callable (request frame bytes -> response frame
+// bytes), so the same client drives an in-process Server::serve_frame
+// today and a socket tomorrow. The sleep hook is injectable for the same
+// reason: tests record the backoff schedule instead of waiting it out.
+//
+// Fault site "wire.corrupt": when armed, the first byte of an outgoing
+// request frame is flipped before transmission — the server sees a
+// BadMagic frame and answers MalformedRequest, which the client treats as
+// a transient wire fault and retries.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "serve/codec.h"
+#include "serve/message.h"
+#include "util/rng.h"
+
+namespace acsel::serve {
+
+/// Sends one request frame, returns the response frame.
+using Transport =
+    std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+
+struct ClientOptions {
+  /// Total attempts per request (first try + retries).
+  int max_attempts = 4;
+  /// Backoff before retry k is min(base * 2^k, max), scaled by a jitter
+  /// factor uniform in [0.5, 1.5).
+  std::chrono::microseconds backoff_base{200};
+  std::chrono::microseconds backoff_max{5000};
+  /// Seeds the jitter stream (deterministic per client).
+  std::uint64_t seed = 0xc11e57ull;
+  /// Called to wait out a backoff; defaults to sleep_for. Tests inject a
+  /// recorder so retry schedules are assertable without real sleeping.
+  std::function<void(std::chrono::microseconds)> sleep;
+};
+
+class Client {
+ public:
+  explicit Client(Transport transport, ClientOptions options = {});
+
+  /// Selects with retry. Returns the first conclusive response; after
+  /// max_attempts inconclusive tries, returns the last failure (a
+  /// MalformedRequest status when not even one response frame decoded).
+  SelectResponse select(const SelectRequest& request);
+
+  /// Stats scrape with the same retry policy (no fault injection — the
+  /// scrape path is for diagnosing the faults).
+  StatsResponse stats(const StatsRequest& request);
+
+  /// Retries performed across all calls so far.
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  /// Whether a decoded response settles the call (false = retry).
+  static bool conclusive(ResponseStatus status);
+  std::chrono::microseconds backoff_delay(int attempt);
+  void wait(std::chrono::microseconds delay);
+
+  Transport transport_;
+  ClientOptions options_;
+  Rng rng_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace acsel::serve

@@ -1,5 +1,6 @@
 #include "serve/codec.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
@@ -232,7 +233,7 @@ SelectResponse read_response_payload(Reader& r) {
   SelectResponse response;
   response.request_id = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(ResponseStatus::InternalError)) {
+  if (status > static_cast<std::uint8_t>(ResponseStatus::DeadlineExceeded)) {
     throw PayloadError{};
   }
   response.status = static_cast<ResponseStatus>(status);
@@ -279,7 +280,7 @@ StatsResponse read_stats_response_payload(Reader& r) {
   StatsResponse response;
   response.request_id = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(ResponseStatus::InternalError)) {
+  if (status > static_cast<std::uint8_t>(ResponseStatus::DeadlineExceeded)) {
     throw PayloadError{};
   }
   response.status = static_cast<ResponseStatus>(status);
@@ -375,7 +376,9 @@ void encode_stats_response(const StatsResponse& response,
   put_frame(out, MessageType::StatsResponse, payload);
 }
 
-Decoded decode_frame(std::span<const std::uint8_t> buffer) {
+Decoded decode_frame(std::span<const std::uint8_t> buffer,
+                     std::size_t max_payload_bytes) {
+  const std::size_t payload_cap = std::min(max_payload_bytes, kMaxPayloadBytes);
   Decoded result;
   if (buffer.size() < kFrameHeaderBytes) {
     result.status = DecodeStatus::NeedMoreData;
@@ -393,7 +396,11 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
   const std::uint8_t raw_type = header.u8();
   header.u16();  // reserved
   const std::uint32_t payload_size = header.u32();
-  if (payload_size > kMaxPayloadBytes) {
+  // Rejected from the header alone — an adversarial length prefix (up to
+  // the full 4 GiB a u32 can declare) never causes buffering or
+  // allocation, and all-0xff prefixes cannot overflow the size math
+  // below, which is done in 64 bits.
+  if (payload_size > payload_cap) {
     result.status = DecodeStatus::OversizedFrame;
     return result;
   }
@@ -403,7 +410,8 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
     return result;
   }
   result.type = static_cast<MessageType>(raw_type);
-  const std::size_t frame_size = kFrameHeaderBytes + payload_size;
+  const std::uint64_t frame_size =
+      std::uint64_t{kFrameHeaderBytes} + payload_size;
   if (buffer.size() < frame_size) {
     result.status = DecodeStatus::NeedMoreData;
     return result;

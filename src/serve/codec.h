@@ -79,7 +79,11 @@ struct Decoded {
   StatsResponse stats_response;  ///< valid when Ok, type == StatsResponse
 };
 
-/// Decodes the frame at the front of `buffer`.
-Decoded decode_frame(std::span<const std::uint8_t> buffer);
+/// Decodes the frame at the front of `buffer`. `max_payload_bytes`
+/// (clamped to kMaxPayloadBytes) lets a deployment tighten the size cap:
+/// an adversarial length prefix is rejected as OversizedFrame from the
+/// 12-byte header alone, before any payload is buffered or allocated.
+Decoded decode_frame(std::span<const std::uint8_t> buffer,
+                     std::size_t max_payload_bytes = kMaxPayloadBytes);
 
 }  // namespace acsel::serve

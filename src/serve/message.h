@@ -30,6 +30,9 @@ enum class ResponseStatus : std::uint8_t {
   NoModelPublished = 4,
   /// Prediction/selection threw (e.g. a corrupt model).
   InternalError = 5,
+  /// The request's deadline expired before a worker picked it up; the
+  /// server shed it instead of serving a stale answer.
+  DeadlineExceeded = 6,
 };
 
 const char* to_string(ResponseStatus status);

@@ -11,6 +11,8 @@ ServerMetrics::ServerMetrics()
     : submitted_(&registry_.counter("serve.submitted")),
       completed_(&registry_.counter("serve.completed")),
       shed_(&registry_.counter("serve.shed")),
+      deadline_shed_(&registry_.counter("serve.deadline_shed")),
+      breaker_rerouted_(&registry_.counter("serve.breaker_rerouted")),
       errors_(&registry_.counter("serve.errors")),
       batches_(&registry_.counter("serve.batches")),
       batched_requests_(&registry_.counter("serve.batched_requests")),
@@ -31,6 +33,8 @@ ServerMetrics::Snapshot ServerMetrics::snapshot(
   snap.submitted = submitted_->value();
   snap.completed = completed_->value();
   snap.shed = shed_->value();
+  snap.deadline_shed = deadline_shed_->value();
+  snap.breaker_rerouted = breaker_rerouted_->value();
   snap.errors = errors_->value();
   snap.batches = batches_->value();
   const std::uint64_t batched = batched_requests_->value();
@@ -60,6 +64,9 @@ void print_metrics(const ServerMetrics::Snapshot& snapshot,
   table.add_row({"submitted", std::to_string(snapshot.submitted)});
   table.add_row({"completed", std::to_string(snapshot.completed)});
   table.add_row({"shed", std::to_string(snapshot.shed)});
+  table.add_row({"deadline shed", std::to_string(snapshot.deadline_shed)});
+  table.add_row(
+      {"breaker rerouted", std::to_string(snapshot.breaker_rerouted)});
   table.add_row({"errors", std::to_string(snapshot.errors)});
   table.add_row({"batches", std::to_string(snapshot.batches)});
   table.add_row({"mean batch", format_double(snapshot.mean_batch, 4)});
@@ -74,6 +81,7 @@ void print_metrics(const ServerMetrics::Snapshot& snapshot,
 const std::vector<std::string>& metrics_csv_header() {
   static const std::vector<std::string> header{
       "label",   "submitted", "completed", "shed",
+      "deadline_shed", "breaker_rerouted",
       "errors",  "batches",   "mean_batch", "qps",
       "p50_us",  "p99_us",    "max_us",     "queue_depth",
       "elapsed_s"};
@@ -84,7 +92,10 @@ void write_metrics_row(CsvWriter& writer, const std::string& label,
                        const ServerMetrics::Snapshot& snapshot) {
   writer.row({label, std::to_string(snapshot.submitted),
               std::to_string(snapshot.completed),
-              std::to_string(snapshot.shed), std::to_string(snapshot.errors),
+              std::to_string(snapshot.shed),
+              std::to_string(snapshot.deadline_shed),
+              std::to_string(snapshot.breaker_rerouted),
+              std::to_string(snapshot.errors),
               std::to_string(snapshot.batches),
               format_double(snapshot.mean_batch, 6),
               format_double(snapshot.qps, 6),

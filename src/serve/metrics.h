@@ -32,6 +32,8 @@ class ServerMetrics {
   // -- hot-path updates --------------------------------------------------
   void on_submitted() { submitted_->add(); }
   void on_shed() { shed_->add(); }
+  void on_deadline_shed() { deadline_shed_->add(); }
+  void on_breaker_rerouted() { breaker_rerouted_->add(); }
   void on_error() { errors_->add(); }
   void on_batch(std::size_t size) {
     batches_->add();
@@ -52,6 +54,12 @@ class ServerMetrics {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;  ///< includes error responses, not sheds
     std::uint64_t shed = 0;
+    /// Requests whose deadline expired in the queue (answered
+    /// DeadlineExceeded, never served).
+    std::uint64_t deadline_shed = 0;
+    /// Version-0 requests the circuit breaker routed to the previous
+    /// model version.
+    std::uint64_t breaker_rerouted = 0;
     std::uint64_t errors = 0;
     std::uint64_t batches = 0;
     double mean_batch = 0.0;  ///< completed requests per worker batch
@@ -81,6 +89,8 @@ class ServerMetrics {
   obs::Counter* submitted_;
   obs::Counter* completed_;
   obs::Counter* shed_;
+  obs::Counter* deadline_shed_;
+  obs::Counter* breaker_rerouted_;
   obs::Counter* errors_;
   obs::Counter* batches_;
   obs::Counter* batched_requests_;

@@ -47,6 +47,16 @@ std::shared_ptr<const core::TrainedModel> ModelRegistry::get(
   return nullptr;
 }
 
+VersionedModel ModelRegistry::previous_of(std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  for (std::size_t i = 1; i < history_.size(); ++i) {
+    if (history_[i].version == version) {
+      return history_[i - 1];
+    }
+  }
+  return VersionedModel{};
+}
+
 std::uint64_t ModelRegistry::rollback() {
   std::uint64_t version = 0;
   {

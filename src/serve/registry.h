@@ -46,6 +46,12 @@ class ModelRegistry {
   /// The model published as `version`, or nullptr if unknown.
   std::shared_ptr<const core::TrainedModel> get(std::uint64_t version) const;
 
+  /// The version published immediately before `version` (publish order),
+  /// or {0, nullptr} when `version` is unknown or the oldest — the
+  /// known-good model a circuit breaker reroutes to while the current one
+  /// is suspect.
+  VersionedModel previous_of(std::uint64_t version) const;
+
   /// Makes the version published immediately before the current one
   /// current again; returns the now-current version. Repeated rollbacks
   /// step further back. Throws acsel::Error when there is nothing earlier.

@@ -43,6 +43,8 @@ const char* to_string(ResponseStatus status) {
       return "NoModelPublished";
     case ResponseStatus::InternalError:
       return "InternalError";
+    case ResponseStatus::DeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "?";
 }
@@ -70,6 +72,7 @@ SelectResponse serve_with_model(const core::TrainedModel& model,
 Server::Server(ModelRegistry& registry, ServerOptions options)
     : registry_(&registry),
       options_(options),
+      breaker_(options.breaker),
       queue_(options.queue_capacity) {
   ACSEL_CHECK_MSG(options_.workers >= 1, "server needs >= 1 worker");
   ACSEL_CHECK_MSG(options_.max_batch >= 1, "server needs max_batch >= 1");
@@ -190,6 +193,24 @@ void Server::worker_loop() {
       ACSEL_OBS_SPAN("serve.request", "serve");
       SelectResponse response;
       response.request_id = request.request_id;
+
+      // Deadline shed: a request that expired while queued is answered,
+      // never served — under overload the pool must not burn worker time
+      // on answers nobody is waiting for anymore.
+      if (options_.request_deadline.count() > 0 &&
+          std::chrono::steady_clock::now() - job.enqueued >
+              options_.request_deadline) {
+        response.status = ResponseStatus::DeadlineExceeded;
+        metrics_.on_deadline_shed();
+        job.promise.set_value(response);
+        continue;
+      }
+
+      // The breaker only guards "serve with the current model" requests;
+      // pinned-version requests asked for that exact model and get it.
+      const bool guarded =
+          request.model_version == 0 && options_.breaker.enabled;
+      bool feed_breaker = false;
       try {
         auto resolved = models.find(request.model_version);
         if (resolved == models.end()) {
@@ -203,19 +224,35 @@ void Server::worker_loop() {
           resolved = models.emplace(request.model_version, std::move(vm))
                          .first;
         }
-        const VersionedModel& vm = resolved->second;
-        if (vm.model == nullptr) {
+        const VersionedModel* vm = &resolved->second;
+        if (guarded && vm->model != nullptr) {
+          feed_breaker = breaker_.allow();
+          if (!feed_breaker) {
+            // Open (or probing at quota): reroute to the version
+            // published before the suspect one, when there is one.
+            const VersionedModel previous =
+                registry_->previous_of(vm->version);
+            if (previous.model != nullptr) {
+              vm = &models.emplace(previous.version, previous).first->second;
+              metrics_.on_breaker_rerouted();
+            } else {
+              feed_breaker = true;  // nowhere to go; serve current
+            }
+          }
+        }
+        if (vm->model == nullptr) {
           response.status = request.model_version == 0
                                 ? ResponseStatus::NoModelPublished
                                 : ResponseStatus::UnknownModelVersion;
           metrics_.on_error();
         } else {
+          const auto serve_start = std::chrono::steady_clock::now();
           const std::string key =
-              std::to_string(vm.version) + '|' + sample_key(request);
+              std::to_string(vm->version) + '|' + sample_key(request);
           auto prediction = predictions.find(key);
           if (prediction == predictions.end()) {
             prediction =
-                predictions.emplace(key, vm.model->predict(request.samples))
+                predictions.emplace(key, vm->model->predict(request.samples))
                     .first;
           }
           const core::Scheduler walker{prediction->second,
@@ -223,16 +260,26 @@ void Server::worker_loop() {
           const core::Scheduler::Choice choice =
               walker.select_goal(request.goal, request.cap_w);
           response.status = ResponseStatus::Ok;
-          response.model_version = vm.version;
+          response.model_version = vm->version;
           response.config_index =
               static_cast<std::uint32_t>(choice.config_index);
           response.predicted_power_w = choice.predicted_power_w;
           response.predicted_performance = choice.predicted_performance;
           response.predicted_feasible = choice.predicted_feasible;
+          if (feed_breaker) {
+            const auto served_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - serve_start)
+                    .count();
+            breaker_.on_success(static_cast<std::uint64_t>(served_ns));
+          }
         }
       } catch (const Error& error) {
         response.status = ResponseStatus::InternalError;
         metrics_.on_error();
+        if (feed_breaker) {
+          breaker_.on_failure();
+        }
         ACSEL_LOG_WARN("serve: request " << request.request_id
                                          << " failed: " << error.what());
       }

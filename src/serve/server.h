@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/breaker.h"
 #include "serve/message.h"
 #include "serve/metrics.h"
 #include "serve/queue.h"
@@ -38,6 +39,14 @@ struct ServerOptions {
   std::size_t max_batch = 32;
   /// Applied to every selection (e.g. risk aversion, §VI).
   core::SchedulerOptions scheduler;
+  /// Per-request queueing deadline: a request that waited longer than
+  /// this before a worker picked it up is answered DeadlineExceeded
+  /// instead of served — under overload, work nobody is still waiting
+  /// for is shed rather than processed. Zero disables.
+  std::chrono::nanoseconds request_deadline{0};
+  /// Circuit breaker around the current model version (version-0
+  /// requests); disabled by default.
+  BreakerOptions breaker;
 };
 
 class Server {
@@ -83,6 +92,9 @@ class Server {
 
   const ServerOptions& options() const { return options_; }
 
+  /// The circuit breaker guarding the current model version.
+  const Breaker& breaker() const { return breaker_; }
+
  private:
   struct Job {
     SelectRequest request;
@@ -95,6 +107,7 @@ class Server {
   ModelRegistry* registry_;
   ServerOptions options_;
   ServerMetrics metrics_;
+  Breaker breaker_;
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;
 };

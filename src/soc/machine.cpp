@@ -30,6 +30,11 @@ ExecutionResult Machine::run(const KernelCharacteristics& kernel,
       std::max(0.5, 1.0 + rng_.normal(0.0, spec_.perf_noise_frac));
 
   Smu smu{spec_.power_noise_frac, kPowerWindowMs, rng_.split()};
+  if (spec_.sensor_guard) {
+    smu.enable_guard({.median_window = spec_.guard_median_window,
+                      .min_plausible_w = spec_.guard_min_plausible_w,
+                      .max_plausible_w = spec_.guard_max_plausible_w});
+  }
 
   // The steady state is refreshed whenever the configuration, the boost
   // decision, or the die temperature (through leakage) changes enough to

@@ -69,6 +69,16 @@ struct MachineSpec {
   double power_noise_frac = 0.012;
   /// Relative run-to-run performance noise.
   double perf_noise_frac = 0.006;
+  /// Interpose a soc::SensorGuard per SMU domain: implausible readings
+  /// (non-finite, outside the band below) are replaced by the median of
+  /// recently accepted ones. Off by default so clean-run telemetry is
+  /// bitwise unchanged; turn on when injecting SMU faults.
+  bool sensor_guard = false;
+  /// Leakage keeps every true per-domain reading above ~1 W, so a small
+  /// positive floor distinguishes a dropout (0 W) from a quiet domain.
+  double guard_min_plausible_w = 0.5;
+  double guard_max_plausible_w = 500.0;
+  std::size_t guard_median_window = 5;
 
   // -- thermal / boost (paper §VI future work; boost off by default) -------
   ThermalSpec thermal;

@@ -1,0 +1,46 @@
+#include "soc/sensor_guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace acsel::soc {
+
+SensorGuard::SensorGuard(SensorGuardOptions options)
+    : options_(options),
+      rejected_counter_(&obs::Registry::global().counter("soc.guard.rejected")) {
+  ACSEL_CHECK(options.median_window >= 1);
+  ACSEL_CHECK(options.min_plausible_w <= options.max_plausible_w);
+}
+
+double SensorGuard::filter(double reading_w) {
+  const bool plausible = std::isfinite(reading_w) &&
+                         reading_w >= options_.min_plausible_w &&
+                         reading_w <= options_.max_plausible_w;
+  if (plausible) {
+    ++accepted_;
+    history_.push_back(reading_w);
+    while (history_.size() > options_.median_window) {
+      history_.pop_front();
+    }
+    return reading_w;
+  }
+  ++rejected_;
+  rejected_counter_->add();
+  if (history_.empty()) {
+    // Nothing accepted yet: the best estimate is the band edge nearest
+    // the reading (NaN pins to the lower edge).
+    return reading_w > options_.max_plausible_w ? options_.max_plausible_w
+                                                : options_.min_plausible_w;
+  }
+  std::vector<double> sorted{history_.begin(), history_.end()};
+  const std::size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sorted.end());
+  return sorted[mid];
+}
+
+}  // namespace acsel::soc

@@ -1,0 +1,50 @@
+// Sanity filter in front of a power-telemetry stream. Real SMU firmware
+// occasionally reports garbage — NaNs from a race in the estimator, a
+// spike from an ADC glitch, zeros while the microcontroller reboots. A
+// SensorGuard sits between the raw reading and whoever integrates it
+// (energy accounting, frequency limiter, runtime cap enforcement) and
+// replaces implausible readings with the median of recently accepted
+// ones, so one bad sample cannot swing a windowed average or trip a cap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace acsel::obs {
+class Counter;
+}  // namespace acsel::obs
+
+namespace acsel::soc {
+
+struct SensorGuardOptions {
+  /// Accepted-reading history used for the median replacement.
+  std::size_t median_window = 5;
+  /// Plausibility band, watts. A reading outside [min, max] — or any
+  /// non-finite reading — is rejected.
+  double min_plausible_w = 0.0;
+  double max_plausible_w = 500.0;
+};
+
+/// Filters one scalar telemetry channel (one guard per power domain).
+class SensorGuard {
+ public:
+  explicit SensorGuard(SensorGuardOptions options = {});
+
+  /// Returns `reading_w` when plausible; otherwise the median of the last
+  /// accepted readings (clamped into the plausibility band when no
+  /// reading has been accepted yet).
+  double filter(double reading_w);
+
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  SensorGuardOptions options_;
+  std::deque<double> history_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  obs::Counter* rejected_counter_;  // "soc.guard.rejected"
+};
+
+}  // namespace acsel::soc

@@ -1,5 +1,8 @@
 #include "soc/smu.h"
 
+#include <cstdint>
+
+#include "fault/fault.h"
 #include "util/error.h"
 
 namespace acsel::soc {
@@ -8,6 +11,48 @@ Smu::Smu(double noise_frac, double window_ms, Rng rng)
     : noise_frac_(noise_frac), window_ms_(window_ms), rng_(rng) {
   ACSEL_CHECK(noise_frac >= 0.0);
   ACSEL_CHECK(window_ms > 0.0);
+}
+
+void Smu::enable_guard(SensorGuardOptions options) {
+  ACSEL_CHECK_MSG(samples_seen_ == 0, "enable_guard before the first sample");
+  cpu_guard_.emplace(options);
+  nbgpu_guard_.emplace(options);
+}
+
+std::uint64_t Smu::guard_rejections() const {
+  if (!cpu_guard_.has_value()) {
+    return 0;
+  }
+  return cpu_guard_->rejected() + nbgpu_guard_->rejected();
+}
+
+void Smu::apply_faults(PowerSample& sample) {
+  fault::Injector& injector = fault::Injector::global();
+  // Draw every site's decision up front so each stream advances exactly
+  // once per sample — which fault wins never perturbs another site's
+  // firing pattern.
+  const bool stuck = ACSEL_FAULT_FIRE("smu.stuck");
+  const bool dropout = ACSEL_FAULT_FIRE("smu.dropout");
+  const bool spike = ACSEL_FAULT_FIRE("smu.spike");
+  const bool delay = ACSEL_FAULT_FIRE("smu.delay");
+  if (stuck && has_last_) {
+    sample.cpu_w = last_reported_.cpu_w;
+    sample.nbgpu_w = last_reported_.nbgpu_w;
+  } else if (dropout) {
+    sample.cpu_w = 0.0;
+    sample.nbgpu_w = 0.0;
+  } else if (spike) {
+    const double gain = 1.0 + injector.magnitude("smu.spike");
+    sample.cpu_w *= gain;
+    sample.nbgpu_w *= gain;
+  } else if (delay) {
+    const auto lag = static_cast<std::size_t>(injector.magnitude("smu.delay"));
+    if (lag >= 1 && window_.size() >= lag) {
+      const PowerSample& past = window_[window_.size() - lag];
+      sample.cpu_w = past.cpu_w;
+      sample.nbgpu_w = past.nbgpu_w;
+    }
+  }
 }
 
 void Smu::sample(double true_cpu_w, double true_nbgpu_w, double dt_ms) {
@@ -21,6 +66,16 @@ void Smu::sample(double true_cpu_w, double true_nbgpu_w, double dt_ms) {
   sample.nbgpu_w = true_nbgpu_w * (1.0 + rng_.normal(0.0, noise_frac_));
   sample.cpu_w = sample.cpu_w < 0.0 ? 0.0 : sample.cpu_w;
   sample.nbgpu_w = sample.nbgpu_w < 0.0 ? 0.0 : sample.nbgpu_w;
+
+  if (ACSEL_FAULT_ARMED()) {
+    apply_faults(sample);
+  }
+  if (cpu_guard_.has_value()) {
+    sample.cpu_w = cpu_guard_->filter(sample.cpu_w);
+    sample.nbgpu_w = nbgpu_guard_->filter(sample.nbgpu_w);
+  }
+  last_reported_ = sample;
+  has_last_ = true;
 
   const double dt_s = dt_ms * 1e-3;
   cpu_energy_j_ += sample.cpu_w * dt_s;

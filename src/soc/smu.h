@@ -6,7 +6,9 @@
 
 #include <cstddef>
 #include <deque>
+#include <optional>
 
+#include "soc/sensor_guard.h"
 #include "util/rng.h"
 
 namespace acsel::soc {
@@ -41,8 +43,19 @@ class Smu {
   /// `window_ms` bounds the history kept for window_view().
   Smu(double noise_frac, double window_ms, Rng rng);
 
+  /// Interposes a SensorGuard per domain between the raw estimate and
+  /// everything downstream (energy, windowed averages). Call before the
+  /// first sample().
+  void enable_guard(SensorGuardOptions options);
+
   /// Records one sample of duration `dt_ms` at the given true powers.
+  /// Honours the armed fault sites "smu.stuck" (repeat the previous
+  /// reported sample), "smu.dropout" (read 0 W), "smu.spike" (scale by
+  /// 1 + magnitude) and "smu.delay" (report the reading from `magnitude`
+  /// samples ago) — all no-ops unless armed via fault::Injector.
   void sample(double true_cpu_w, double true_nbgpu_w, double dt_ms);
+
+  std::uint64_t guard_rejections() const;
 
   /// Integrated energy per domain, joules.
   double cpu_energy_j() const { return cpu_energy_j_; }
@@ -62,6 +75,8 @@ class Smu {
   std::size_t sample_count() const { return samples_seen_; }
 
  private:
+  void apply_faults(PowerSample& sample);
+
   double noise_frac_;
   double window_ms_;
   Rng rng_;
@@ -70,6 +85,10 @@ class Smu {
   double elapsed_ms_ = 0.0;
   std::size_t samples_seen_ = 0;
   std::deque<PowerSample> window_;
+  PowerSample last_reported_;
+  bool has_last_ = false;
+  std::optional<SensorGuard> cpu_guard_;
+  std::optional<SensorGuard> nbgpu_guard_;
 };
 
 }  // namespace acsel::soc

@@ -1,0 +1,572 @@
+// Graceful-degradation tests across the defense layers: the SensorGuard
+// median filter, the Smu fault sites, the OnlineRuntime cap-violation
+// fallback/backoff/re-sample cycle, the serving circuit breaker, deadline
+// shedding, and the retrying wire client. Everything runs against the
+// process-global fault::Injector, so each test disarms on exit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "fault/fault.h"
+#include "hw/config_space.h"
+#include "serve/breaker.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "soc/machine.h"
+#include "soc/sensor_guard.h"
+#include "soc/smu.h"
+#include "util/error.h"
+#include "workloads/suite.h"
+
+namespace acsel {
+namespace {
+
+/// Every test leaves the global injector clean, whatever happens.
+class DegradationTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Injector::global().disarm_all(); }
+};
+
+// ---- SensorGuard -------------------------------------------------------
+
+TEST_F(DegradationTest, SensorGuardPassesPlausibleReadings) {
+  soc::SensorGuard guard{{.median_window = 3,
+                          .min_plausible_w = 0.0,
+                          .max_plausible_w = 100.0}};
+  EXPECT_EQ(guard.filter(10.0), 10.0);
+  EXPECT_EQ(guard.filter(20.0), 20.0);
+  EXPECT_EQ(guard.accepted(), 2u);
+  EXPECT_EQ(guard.rejected(), 0u);
+}
+
+TEST_F(DegradationTest, SensorGuardReplacesGarbageWithTheMedian) {
+  soc::SensorGuard guard{{.median_window = 5,
+                          .min_plausible_w = 0.0,
+                          .max_plausible_w = 100.0}};
+  guard.filter(10.0);
+  guard.filter(30.0);
+  guard.filter(20.0);
+  EXPECT_EQ(guard.filter(std::numeric_limits<double>::quiet_NaN()), 20.0);
+  EXPECT_EQ(guard.filter(1e9), 20.0);
+  EXPECT_EQ(guard.filter(-5.0), 20.0);
+  EXPECT_EQ(guard.rejected(), 3u);
+  // Rejected readings never enter the history.
+  EXPECT_EQ(guard.accepted(), 3u);
+}
+
+TEST_F(DegradationTest, SensorGuardClampsWhenNoHistoryExists) {
+  soc::SensorGuard guard{{.median_window = 3,
+                          .min_plausible_w = 1.0,
+                          .max_plausible_w = 100.0}};
+  EXPECT_EQ(guard.filter(1e9), 100.0);
+  EXPECT_EQ(guard.filter(std::numeric_limits<double>::quiet_NaN()), 1.0);
+  EXPECT_EQ(guard.filter(-3.0), 1.0);
+}
+
+// ---- Smu fault sites ---------------------------------------------------
+
+TEST_F(DegradationTest, SmuDropoutReadsZero) {
+  fault::Injector::global().arm("smu.dropout", {1.0, 1, 1.0});
+  soc::Smu smu{0.0, 100.0, Rng{1}};
+  smu.sample(50.0, 30.0, 1.0);
+  EXPECT_EQ(smu.window_view().window_avg_w, 0.0);
+  EXPECT_EQ(smu.total_energy_j(), 0.0);
+}
+
+TEST_F(DegradationTest, SmuSpikeScalesTheReading) {
+  fault::Injector::global().arm("smu.spike", {1.0, 1, 4.0});
+  soc::Smu smu{0.0, 100.0, Rng{1}};
+  smu.sample(50.0, 30.0, 1.0);
+  EXPECT_DOUBLE_EQ(smu.window_view().window_avg_w, 5.0 * 80.0);
+}
+
+TEST_F(DegradationTest, SmuStuckRepeatsTheLastReportedSample) {
+  fault::Injector::global().arm("smu.stuck", {1.0, 100, 1.0});
+  soc::Smu smu{0.0, 100.0, Rng{1}};
+  smu.sample(50.0, 30.0, 1.0);  // nothing to be stuck at yet: reported as-is
+  smu.sample(80.0, 40.0, 1.0);  // stuck: repeats (50, 30)
+  smu.sample(10.0, 5.0, 1.0);   // still stuck
+  const soc::PowerView view = smu.window_view();
+  EXPECT_DOUBLE_EQ(view.window_avg_cpu_w, 50.0);
+  EXPECT_DOUBLE_EQ(view.window_avg_nbgpu_w, 30.0);
+}
+
+TEST_F(DegradationTest, SmuDelayLagsTheTelemetry) {
+  fault::Injector::global().arm("smu.delay", {1.0, 1, 2.0});
+  soc::Smu smu{0.0, 1000.0, Rng{1}};
+  smu.sample(10.0, 0.0, 1.0);  // too little history: reported as-is
+  smu.sample(20.0, 0.0, 1.0);  // still too little
+  smu.sample(30.0, 0.0, 1.0);  // lag 2: reports the first sample again
+  EXPECT_DOUBLE_EQ(smu.window_view().window_avg_cpu_w, (10.0 + 20.0 + 10.0) / 3.0);
+}
+
+TEST_F(DegradationTest, SmuGuardFiltersInjectedSpikes) {
+  soc::Smu smu{0.0, 1000.0, Rng{1}};
+  smu.enable_guard({.median_window = 5,
+                    .min_plausible_w = 0.0,
+                    .max_plausible_w = 100.0});
+  for (int i = 0; i < 3; ++i) {
+    smu.sample(20.0, 20.0, 1.0);
+  }
+  fault::Injector::global().arm("smu.spike", {1.0, 1, 9.0});
+  smu.sample(20.0, 20.0, 1.0);  // 10x spike -> 200 W/domain, rejected
+  EXPECT_EQ(smu.guard_rejections(), 2u);  // both domains
+  // The spike was replaced by the per-domain median (20 W), so the
+  // window average never saw it.
+  EXPECT_DOUBLE_EQ(smu.window_view().window_avg_w, 40.0);
+}
+
+TEST_F(DegradationTest, MachineSurvivesChaosWithGuardEnabled) {
+  fault::Injector::global().arm_presets("smu_noise,smu_stuck");
+  soc::MachineSpec spec;
+  spec.sensor_guard = true;
+  spec.guard_max_plausible_w = 200.0;
+  soc::Machine machine{spec, 77};
+  const auto suite = workloads::Suite::standard();
+  const auto result = machine.run(suite.instances().front().traits,
+                                  hw::ConfigSpace{}.cpu_sample());
+  EXPECT_TRUE(std::isfinite(result.time_ms));
+  EXPECT_TRUE(std::isfinite(result.avg_cpu_power_w));
+  EXPECT_GE(result.avg_cpu_power_w, 0.0);
+}
+
+// ---- circuit breaker (unit) --------------------------------------------
+
+serve::BreakerOptions small_breaker() {
+  serve::BreakerOptions options;
+  options.enabled = true;
+  options.failure_threshold = 3;
+  options.open_requests = 4;
+  options.half_open_probes = 2;
+  return options;
+}
+
+TEST_F(DegradationTest, BreakerTripsProbesAndRecovers) {
+  serve::Breaker breaker{small_breaker()};
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::Closed);
+  EXPECT_TRUE(breaker.allow());
+
+  // A success resets the failure streak.
+  breaker.on_failure();
+  breaker.on_failure();
+  breaker.on_success(0);
+  breaker.on_failure();
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::Closed);
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::Open);
+  EXPECT_EQ(breaker.trips(), 1u);
+
+  // The open window rejects a fixed number of requests (no wall clock).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(breaker.allow()) << i;
+  }
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::HalfOpen);
+
+  // Half-open admits a bounded probe quota...
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());
+  // ...and closes after enough successful probes.
+  breaker.on_success(0);
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::HalfOpen);
+  breaker.on_success(0);
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::Closed);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST_F(DegradationTest, BreakerReopensOnFailedProbe) {
+  serve::Breaker breaker{small_breaker()};
+  for (int i = 0; i < 3; ++i) {
+    breaker.on_failure();
+  }
+  for (int i = 0; i < 4; ++i) {
+    breaker.allow();
+  }
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::HalfOpen);
+  EXPECT_TRUE(breaker.allow());
+  breaker.on_failure();  // one bad probe reopens immediately
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::Open);
+  EXPECT_EQ(breaker.trips(), 2u);
+}
+
+TEST_F(DegradationTest, BreakerCountsLatencyBudgetViolationsAsFailures) {
+  serve::BreakerOptions options = small_breaker();
+  options.latency_budget_ns = 1000;
+  serve::Breaker breaker{options};
+  for (int i = 0; i < 3; ++i) {
+    breaker.on_success(5000);  // over budget
+  }
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::Open);
+}
+
+TEST_F(DegradationTest, DisabledBreakerAlwaysAllows) {
+  serve::Breaker breaker;  // enabled = false
+  for (int i = 0; i < 100; ++i) {
+    breaker.on_failure();
+  }
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), serve::Breaker::State::Closed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+// ---- served degradation (integration) ----------------------------------
+
+class ServeDegradationTest : public DegradationTest {
+ protected:
+  static void SetUpTestSuite() {
+    soc::Machine machine{soc::MachineSpec{}, 4242};
+    const auto suite = workloads::Suite::standard();
+    characterizations_ = new std::vector<core::KernelCharacterization>{};
+    for (const auto& instance : suite.instances()) {
+      characterizations_->push_back(
+          eval::characterize_instance(machine, instance));
+      if (characterizations_->size() == 12) {
+        break;
+      }
+    }
+    model_ = new core::TrainedModel{core::train(*characterizations_).model};
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete characterizations_;
+  }
+
+  static serve::SelectRequest make_request(std::uint64_t id) {
+    serve::SelectRequest request;
+    request.request_id = id;
+    request.samples =
+        (*characterizations_)[id % characterizations_->size()].samples;
+    request.cap_w = 30.0;
+    return request;
+  }
+
+  static std::vector<core::KernelCharacterization>* characterizations_;
+  static core::TrainedModel* model_;
+};
+
+std::vector<core::KernelCharacterization>*
+    ServeDegradationTest::characterizations_ = nullptr;
+core::TrainedModel* ServeDegradationTest::model_ = nullptr;
+
+TEST_F(ServeDegradationTest, BreakerReroutesToPreviousVersionAndRecovers) {
+  serve::ModelRegistry registry;
+  registry.publish(*model_);              // v1: healthy
+  registry.publish(core::TrainedModel{});  // v2: corrupt (predict throws)
+
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.max_batch = 1;
+  options.breaker = small_breaker();
+  serve::Server server{registry, options};
+
+  // The corrupt current model fails requests until the breaker trips.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.select(make_request(i)).status,
+              serve::ResponseStatus::InternalError);
+  }
+  EXPECT_EQ(server.breaker().state(), serve::Breaker::State::Open);
+  EXPECT_EQ(server.breaker().trips(), 1u);
+
+  // The open window reroutes version-0 requests to the previous version.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const serve::SelectResponse response = server.select(make_request(i));
+    EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(response.model_version, 1u);
+  }
+  EXPECT_EQ(server.metrics_snapshot().breaker_rerouted, 4u);
+  EXPECT_EQ(server.breaker().state(), serve::Breaker::State::HalfOpen);
+
+  // The next request probes the still-corrupt current model and re-trips.
+  EXPECT_EQ(server.select(make_request(9)).status,
+            serve::ResponseStatus::InternalError);
+  EXPECT_EQ(server.breaker().state(), serve::Breaker::State::Open);
+  EXPECT_EQ(server.breaker().trips(), 2u);
+
+  // Operator rolls back; the current model is healthy again. With no
+  // earlier version to reroute to, open-window requests serve current —
+  // and succeed — then the probes close the breaker.
+  registry.rollback();
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const serve::SelectResponse response = server.select(make_request(i));
+    EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(response.model_version, 1u);
+  }
+  EXPECT_EQ(server.breaker().state(), serve::Breaker::State::HalfOpen);
+  EXPECT_EQ(server.select(make_request(20)).status,
+            serve::ResponseStatus::Ok);
+  EXPECT_EQ(server.select(make_request(21)).status,
+            serve::ResponseStatus::Ok);
+  EXPECT_EQ(server.breaker().state(), serve::Breaker::State::Closed);
+}
+
+TEST_F(ServeDegradationTest, ExpiredRequestsAreShedNotServed) {
+  serve::ModelRegistry registry;
+  registry.publish(*model_);
+  serve::ServerOptions options;
+  options.workers = 1;
+  // Any queue wait exceeds a 1 ns deadline, so every request expires
+  // before a worker reaches it — deterministic total shedding.
+  options.request_deadline = std::chrono::nanoseconds{1};
+  serve::Server server{registry, options};
+
+  std::vector<std::future<serve::SelectResponse>> futures;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    futures.push_back(server.submit(make_request(i)));
+  }
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, serve::ResponseStatus::DeadlineExceeded);
+  }
+  const auto snapshot = server.metrics_snapshot();
+  EXPECT_EQ(snapshot.submitted, 16u);
+  EXPECT_EQ(snapshot.deadline_shed, 16u);
+  EXPECT_EQ(snapshot.completed, 0u);  // shed work is answered, not served
+}
+
+TEST_F(ServeDegradationTest, GenerousDeadlinesServeNormally) {
+  serve::ModelRegistry registry;
+  registry.publish(*model_);
+  serve::ServerOptions options;
+  options.request_deadline = std::chrono::seconds{10};
+  serve::Server server{registry, options};
+  EXPECT_EQ(server.select(make_request(1)).status,
+            serve::ResponseStatus::Ok);
+  EXPECT_EQ(server.metrics_snapshot().deadline_shed, 0u);
+}
+
+TEST_F(ServeDegradationTest, ClientRetriesUndecodableRepliesWithBackoff) {
+  serve::ModelRegistry registry;
+  registry.publish(*model_);
+  serve::Server server{registry, {}};
+
+  int calls = 0;
+  const serve::Transport flaky =
+      [&](std::span<const std::uint8_t> frame) -> std::vector<std::uint8_t> {
+    if (++calls <= 2) {
+      return {0xde, 0xad};  // line noise
+    }
+    return server.serve_frame(frame);
+  };
+  std::vector<std::chrono::microseconds> slept;
+  serve::ClientOptions options;
+  options.max_attempts = 4;
+  options.backoff_base = std::chrono::microseconds{100};
+  options.backoff_max = std::chrono::microseconds{400};
+  options.sleep = [&](std::chrono::microseconds d) { slept.push_back(d); };
+  serve::Client client{flaky, options};
+
+  EXPECT_EQ(client.select(make_request(5)).status,
+            serve::ResponseStatus::Ok);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(client.retries(), 2u);
+  // Jittered exponential backoff: delay k is min(base * 2^k, max) scaled
+  // by [0.5, 1.5).
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_GE(slept[0].count(), 50);
+  EXPECT_LT(slept[0].count(), 150);
+  EXPECT_GE(slept[1].count(), 100);
+  EXPECT_LT(slept[1].count(), 300);
+}
+
+TEST_F(ServeDegradationTest, ClientGivesUpAfterMaxAttemptsUnderWireFaults) {
+  serve::ModelRegistry registry;
+  registry.publish(*model_);
+  serve::Server server{registry, {}};
+  fault::Injector::global().arm("wire.corrupt", {1.0, 1, 1.0});
+
+  std::vector<std::chrono::microseconds> slept;
+  serve::ClientOptions options;
+  options.max_attempts = 3;
+  options.sleep = [&](std::chrono::microseconds d) { slept.push_back(d); };
+  serve::Client client{[&](std::span<const std::uint8_t> frame) {
+                         return server.serve_frame(frame);
+                       },
+                       options};
+
+  // Every attempt's frame is corrupted, the server answers
+  // MalformedRequest each time, and the client surfaces the last one.
+  EXPECT_EQ(client.select(make_request(7)).status,
+            serve::ResponseStatus::MalformedRequest);
+  EXPECT_EQ(client.retries(), 2u);
+  EXPECT_EQ(slept.size(), 2u);
+  EXPECT_EQ(fault::Injector::global().fire_count("wire.corrupt"), 3u);
+}
+
+TEST_F(ServeDegradationTest, ClientRecoversOncePerRequestFaultsClear) {
+  serve::ModelRegistry registry;
+  registry.publish(*model_);
+  serve::Server server{registry, {}};
+
+  serve::ClientOptions options;
+  options.sleep = [](std::chrono::microseconds) {};
+  serve::Client client{[&](std::span<const std::uint8_t> frame) {
+                         return server.serve_frame(frame);
+                       },
+                       options};
+  fault::Injector::global().arm("wire.corrupt", {1.0, 1, 1.0});
+  EXPECT_EQ(client.select(make_request(3)).status,
+            serve::ResponseStatus::MalformedRequest);
+  fault::Injector::global().disarm_all();
+  EXPECT_EQ(client.select(make_request(3)).status,
+            serve::ResponseStatus::Ok);
+}
+
+// ---- runtime degradation (integration) ---------------------------------
+
+class RuntimeDegradationTest : public DegradationTest {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new soc::Machine{soc::MachineSpec{}, 4242};
+    suite_ = new workloads::Suite{workloads::Suite::standard()};
+    std::vector<core::KernelCharacterization> training;
+    for (const auto& instance : suite_->instances()) {
+      training.push_back(eval::characterize_instance(*machine_, instance));
+    }
+    model_ = new core::TrainedModel{core::train(training).model};
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete suite_;
+    delete machine_;
+  }
+
+  static core::OnlineRuntime::Options guarded_options(double cap_w) {
+    core::OnlineRuntime::Options options;
+    options.power_cap_w = cap_w;
+    options.guardrails.enabled = true;
+    options.guardrails.cap_tolerance = 0.2;
+    options.guardrails.cap_patience = 2;
+    options.guardrails.backoff_initial = 3;
+    return options;
+  }
+
+  static soc::Machine* machine_;
+  static workloads::Suite* suite_;
+  static core::TrainedModel* model_;
+};
+
+soc::Machine* RuntimeDegradationTest::machine_ = nullptr;
+workloads::Suite* RuntimeDegradationTest::suite_ = nullptr;
+core::TrainedModel* RuntimeDegradationTest::model_ = nullptr;
+
+TEST_F(RuntimeDegradationTest, CapArgumentsMustBeFiniteAndPositive) {
+  core::OnlineRuntime runtime{*machine_, *model_};
+  EXPECT_THROW(runtime.set_power_cap(std::nan("")), Error);
+  EXPECT_THROW(
+      runtime.set_power_cap(std::numeric_limits<double>::infinity()), Error);
+  EXPECT_THROW(runtime.set_power_cap(-10.0), Error);
+  EXPECT_THROW(runtime.set_power_cap(0.0), Error);
+
+  core::OnlineRuntime::Options options;
+  options.power_cap_w = std::nan("");
+  EXPECT_THROW((core::OnlineRuntime{*machine_, *model_, options}), Error);
+}
+
+TEST_F(RuntimeDegradationTest, ImplausibleSamplesAreNeverCommitted) {
+  // A 1 W plausibility bound rejects every real record, so the kernel
+  // can never leave the sampling phase — and never poisons a profile.
+  core::OnlineRuntime::Options options = guarded_options(30.0);
+  options.guardrails.max_plausible_power_w = 1.0;
+  core::OnlineRuntime runtime{*machine_, *model_, options};
+  const auto& instance = suite_->instances().front();
+  const core::KernelKey key{instance.kernel, "main", 10};
+  for (int i = 0; i < 4; ++i) {
+    runtime.invoke(key, instance);
+  }
+  EXPECT_EQ(runtime.phase(key), core::OnlineRuntime::Phase::Unseen);
+  EXPECT_EQ(runtime.guard_rejected_samples(), 4u);
+}
+
+TEST_F(RuntimeDegradationTest, StuckSmuTriggersFallbackBackoffAndRecovery) {
+  core::OnlineRuntime runtime{*machine_, *model_, guarded_options(30.0)};
+  const auto& instance = suite_->instances().front();
+  const core::KernelKey key{instance.kernel, "main", 10};
+
+  // Clean warm-up: two samples, then scheduled steady state.
+  for (int i = 0; i < 6; ++i) {
+    runtime.invoke(key, instance);
+  }
+  ASSERT_EQ(runtime.phase(key), core::OnlineRuntime::Phase::Scheduled);
+  ASSERT_FALSE(runtime.in_fallback(key));
+  ASSERT_EQ(runtime.guard_fallbacks(), 0u);
+
+  // SMU spikes 5x: every measured power violates the cap. After
+  // cap_patience violations the runtime degrades to the safe config.
+  fault::Injector::global().arm("smu.spike", {1.0, 1, 4.0});
+  runtime.invoke(key, instance);
+  EXPECT_FALSE(runtime.in_fallback(key));
+  runtime.invoke(key, instance);
+  EXPECT_TRUE(runtime.in_fallback(key));
+  EXPECT_EQ(runtime.guard_fallbacks(), 1u);
+  EXPECT_EQ(runtime.guard_cap_violations(), 2u);
+
+  // The fallback configuration is the predicted lowest-power point.
+  const auto safe = runtime.scheduled_config(key);
+  ASSERT_TRUE(safe.has_value());
+
+  // Serve the backoff at the safe configuration, then re-sample.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(runtime.in_fallback(key));
+    runtime.invoke(key, instance);
+  }
+  EXPECT_EQ(runtime.phase(key), core::OnlineRuntime::Phase::Unseen);
+  EXPECT_EQ(runtime.guard_resamples(), 1u);
+  EXPECT_FALSE(runtime.in_fallback(key));
+
+  // Faults clear; the kernel re-samples and converges back to a
+  // cap-respecting steady state.
+  fault::Injector::global().disarm_all();
+  for (int i = 0; i < 6; ++i) {
+    const auto& record = runtime.invoke(key, instance);
+    if (runtime.phase(key) == core::OnlineRuntime::Phase::Scheduled &&
+        i >= 2) {
+      EXPECT_LE(record.total_power_w(), 30.0 * 1.2);
+    }
+  }
+  EXPECT_EQ(runtime.phase(key), core::OnlineRuntime::Phase::Scheduled);
+  EXPECT_FALSE(runtime.in_fallback(key));
+  EXPECT_EQ(runtime.guard_fallbacks(), 1u);  // no relapse after recovery
+}
+
+TEST_F(RuntimeDegradationTest, RepeatedFallbacksBackOffExponentially) {
+  core::OnlineRuntime::Options options = guarded_options(30.0);
+  options.guardrails.backoff_initial = 2;
+  options.guardrails.backoff_max = 8;
+  core::OnlineRuntime runtime{*machine_, *model_, options};
+  const auto& instance = suite_->instances().front();
+  const core::KernelKey key{instance.kernel, "main", 10};
+
+  // Persistent fault: the spike never clears, so every re-sampled profile
+  // violates again and the backoff doubles (2, 4, 8, capped at 8).
+  fault::Injector::global().arm("smu.spike", {1.0, 1, 4.0});
+  std::vector<std::size_t> fallback_runs;
+  std::size_t invocations_at_fallback = 0;
+  std::size_t invocations = 0;
+  std::uint64_t last_fallbacks = 0;
+  for (int i = 0; i < 80 && runtime.guard_resamples() < 3; ++i) {
+    runtime.invoke(key, instance);
+    ++invocations;
+    if (runtime.guard_fallbacks() > last_fallbacks) {
+      last_fallbacks = runtime.guard_fallbacks();
+      invocations_at_fallback = invocations;
+    }
+    if (runtime.guard_resamples() == fallback_runs.size() + 1) {
+      fallback_runs.push_back(invocations - invocations_at_fallback);
+    }
+  }
+  ASSERT_GE(fallback_runs.size(), 3u);
+  EXPECT_EQ(fallback_runs[0], 2u);
+  EXPECT_EQ(fallback_runs[1], 4u);
+  EXPECT_EQ(fallback_runs[2], 8u);
+}
+
+}  // namespace
+}  // namespace acsel

@@ -12,12 +12,15 @@
 namespace acsel::eval {
 namespace {
 
-CaseResult make_case(const std::string& instance, bool under, double perf,
-                     double power) {
+// noinline + move-assigns: GCC 12's -Wrestrict misfires on the inlined
+// string copies here at -O2 and above.
+[[gnu::noinline]] CaseResult make_case(const std::string& instance,
+                                       bool under, double perf,
+                                       double power) {
   CaseResult c;
   c.instance_id = instance;
-  c.benchmark = "b";
-  c.group = "g";
+  c.benchmark = std::string{"b"};
+  c.group = std::string{"g"};
   c.weight = 1.0;
   c.method = Method::Model;
   c.cap_w = 20.0;
@@ -65,7 +68,7 @@ TEST(Bootstrap, HomogeneousDataGivesTightIntervals) {
   std::vector<CaseResult> cases;
   for (int k = 0; k < 8; ++k) {
     cases.push_back(
-        make_case("k" + std::to_string(k), true, 0.9, 0.95));
+        make_case(std::string{"k"} + std::to_string(k), true, 0.9, 0.95));
   }
   const auto result = bootstrap_method(cases, Method::Model);
   EXPECT_NEAR(result.pct_under_limit.hi - result.pct_under_limit.lo, 0.0,

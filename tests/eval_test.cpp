@@ -99,8 +99,10 @@ TEST_F(MethodsTest, MethodNamesAndList) {
 CaseResult make_case(Method method, const std::string& group, double weight,
                      bool under, double perf, double power) {
   CaseResult c;
-  c.instance_id = "k";
-  c.benchmark = "b";
+  // Move-assign: GCC 12's -Wrestrict misfires on operator=(const char*)
+  // here at -O2 and above.
+  c.instance_id = std::string{"k"};
+  c.benchmark = std::string{"b"};
   c.group = group;
   c.weight = weight;
   c.method = method;

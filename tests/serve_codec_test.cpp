@@ -373,6 +373,69 @@ TEST(ServeCodec, ToStringCoversStatuses) {
   EXPECT_STREQ(to_string(ResponseStatus::Shed), "Shed");
   EXPECT_STREQ(to_string(ResponseStatus::MalformedRequest),
                "MalformedRequest");
+  EXPECT_STREQ(to_string(ResponseStatus::DeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+// ---- adversarial length prefixes ---------------------------------------
+
+/// A header-only frame with an arbitrary declared payload length.
+std::vector<std::uint8_t> make_header(MessageType type,
+                                      std::uint32_t payload_length) {
+  std::vector<std::uint8_t> frame;
+  const auto put_u32 = [&frame](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      frame.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put_u32(kWireMagic);
+  frame.push_back(kWireVersion);
+  frame.push_back(static_cast<std::uint8_t>(type));
+  frame.push_back(0);  // reserved
+  frame.push_back(0);
+  put_u32(payload_length);
+  return frame;
+}
+
+TEST(ServeCodec, AllOnesLengthPrefixIsRejectedFromTheHeaderAlone) {
+  // 0xffffffff declared payload: must be rejected before any buffering,
+  // and the 64-bit frame-size math must not wrap into "NeedMoreData".
+  const auto frame = make_header(MessageType::SelectRequest, 0xffffffffu);
+  const Decoded decoded = decode_frame(frame);
+  EXPECT_EQ(decoded.status, DecodeStatus::OversizedFrame);
+  EXPECT_EQ(decoded.bytes_consumed, 0u);
+}
+
+TEST(ServeCodec, ZeroLengthSelectRequestIsMalformedPayload) {
+  // A complete frame whose payload is empty: framed (and therefore
+  // skippable), but the payload cannot parse.
+  const auto frame = make_header(MessageType::SelectRequest, 0);
+  const Decoded decoded = decode_frame(frame);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, kFrameHeaderBytes);
+}
+
+TEST(ServeCodec, ZeroLengthStatsRequestIsMalformedPayload) {
+  const auto frame = make_header(MessageType::StatsRequest, 0);
+  const Decoded decoded = decode_frame(frame);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, kFrameHeaderBytes);
+}
+
+TEST(ServeCodec, ConfigurableMaxFrameBytesTightensTheCap) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes);
+  // Well-formed under the default cap...
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::Ok);
+  // ...but rejected, from the header alone, under a tightened one.
+  const Decoded tightened = decode_frame(bytes, 16);
+  EXPECT_EQ(tightened.status, DecodeStatus::OversizedFrame);
+  EXPECT_EQ(tightened.bytes_consumed, 0u);
+  // A cap beyond kMaxPayloadBytes is clamped, never widened.
+  const auto huge = make_header(MessageType::SelectRequest,
+                                static_cast<std::uint32_t>(kMaxPayloadBytes) + 1);
+  EXPECT_EQ(decode_frame(huge, std::size_t{1} << 40).status,
+            DecodeStatus::OversizedFrame);
 }
 
 }  // namespace
