@@ -1,0 +1,117 @@
+// Shadow/canary evaluation: the gate between "a retrain produced a
+// candidate model" and "that model serves traffic". The candidate
+// shadow-predicts a configurable fraction of live labelled requests
+// alongside the incumbent; both are scored against the measured truth
+// (selection error and cap-violation rate), and only a candidate that
+// beats the incumbent by margin is accepted. A candidate whose predict()
+// throws even once is rejected outright — a corrupted model must never
+// reach the registry, however good its numbers elsewhere look.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/characterization.h"
+#include "core/model.h"
+#include "core/scheduler.h"
+
+namespace acsel::adapt {
+
+/// How one model's selection fared against one kernel's measured truth.
+struct SelectionQuality {
+  /// Relative performance loss vs. the best measured cap-feasible
+  /// configuration: 0 is oracle-equal, 1 is total loss.
+  double error = 0.0;
+  /// Whether the selected configuration's *measured* power exceeded the
+  /// cap while some configuration could have met it.
+  bool violation = false;
+  /// Whether the model failed outright (predict threw).
+  bool failed = false;
+};
+
+/// Scores one model's goal-directed selection for `truth`: predict from
+/// the kernel's sample pair, select under `cap_w`, then judge the chosen
+/// configuration by the kernel's measured per-configuration arrays.
+SelectionQuality selection_quality(const core::TrainedModel& model,
+                                   const core::KernelCharacterization& truth,
+                                   std::optional<double> cap_w,
+                                   core::SchedulingGoal goal,
+                                   const core::SchedulerOptions& scheduler);
+
+struct CanaryOptions {
+  /// Fraction of labelled live requests the canary scores (deterministic
+  /// per-observation coin from `seed`, not modulo arithmetic, so any
+  /// request pattern is sampled uniformly).
+  double shadow_fraction = 0.5;
+  /// Scored labelled observations required before a verdict.
+  std::size_t min_evals = 12;
+  /// Required relative improvement: candidate error must undercut the
+  /// incumbent's by at least this fraction of the incumbent's error.
+  double error_margin = 0.05;
+  /// Candidate cap-violation rate may exceed the incumbent's by at most
+  /// this much.
+  double violation_margin = 0.0;
+  /// Observations (scored or skipped) after which an undecided canary is
+  /// rejected for insufficient evidence rather than held open forever.
+  std::size_t max_observations = 512;
+  std::uint64_t seed = 0xca9a11e5ull;
+};
+
+struct CanaryVerdict {
+  bool decided = false;
+  bool accepted = false;
+  std::size_t evals = 0;
+  double candidate_error = 0.0;
+  double incumbent_error = 0.0;
+  double candidate_violation_rate = 0.0;
+  double incumbent_violation_rate = 0.0;
+  std::size_t candidate_failures = 0;
+  std::string reason;
+};
+
+/// One candidate's trial. Not thread-safe — the controller serializes
+/// access under its own lock.
+class CanaryEvaluator {
+ public:
+  CanaryEvaluator(std::shared_ptr<const core::TrainedModel> candidate,
+                  std::shared_ptr<const core::TrainedModel> incumbent,
+                  const CanaryOptions& options = {});
+
+  /// Offers one labelled live observation. Scores it with probability
+  /// shadow_fraction (both models, same truth); may decide the verdict.
+  /// Returns whether the observation was scored.
+  bool offer_labelled(const core::KernelCharacterization& truth,
+                      std::optional<double> cap_w, core::SchedulingGoal goal,
+                      const core::SchedulerOptions& scheduler);
+
+  /// Offers one unlabelled live request: the candidate shadow-predicts
+  /// only (failure detection — no truth to score against). Returns
+  /// whether the candidate was exercised.
+  bool offer_shadow(const core::SamplePair& samples);
+
+  bool decided() const { return verdict_.decided; }
+  const CanaryVerdict& verdict() const { return verdict_; }
+  const std::shared_ptr<const core::TrainedModel>& candidate() const {
+    return candidate_;
+  }
+
+ private:
+  void decide_if_ready();
+  void decide(bool accepted, std::string reason);
+
+  std::shared_ptr<const core::TrainedModel> candidate_;
+  std::shared_ptr<const core::TrainedModel> incumbent_;
+  CanaryOptions options_;
+  CanaryVerdict verdict_;
+  std::uint64_t labelled_offers_ = 0;
+  std::uint64_t shadow_offers_ = 0;
+  double candidate_error_sum_ = 0.0;
+  double incumbent_error_sum_ = 0.0;
+  std::size_t candidate_violations_ = 0;
+  std::size_t incumbent_violations_ = 0;
+};
+
+}  // namespace acsel::adapt

@@ -1,0 +1,75 @@
+#include "adapt/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace acsel::adapt {
+
+DriftDetector::DriftDetector() : DriftDetector(Options{}) {}
+
+DriftDetector::DriftDetector(const Options& options) : options_(options) {
+  ACSEL_CHECK_MSG(std::isfinite(options.threshold) && options.threshold > 0.0,
+                  "drift threshold must be finite and positive");
+  ACSEL_CHECK_MSG(std::isfinite(options.delta) && options.delta >= 0.0,
+                  "drift delta must be finite and >= 0");
+}
+
+bool DriftDetector::feed(double residual) {
+  if (!std::isfinite(residual)) {
+    ++rejected_;
+    return fired_;
+  }
+  ++samples_;
+  switch (options_.method) {
+    case Method::PageHinkley: {
+      // Running mean first, then cumulative deviations from it: a
+      // constant stream keeps every deviation at zero, so only a
+      // change-point accumulates.
+      mean_ += (residual - mean_) / static_cast<double>(samples_);
+      mt_up_ += residual - mean_ - options_.delta;
+      min_up_ = std::min(min_up_, mt_up_);
+      mt_down_ += residual - mean_ + options_.delta;
+      max_down_ = std::max(max_down_, mt_down_);
+      break;
+    }
+    case Method::Cusum: {
+      sum_high_ = std::max(0.0, sum_high_ + residual - options_.delta);
+      sum_low_ = std::max(0.0, sum_low_ - residual - options_.delta);
+      break;
+    }
+  }
+  if (!fired_ && samples_ > options_.grace_samples &&
+      statistic() > options_.threshold) {
+    fired_ = true;
+  }
+  return fired_;
+}
+
+double DriftDetector::statistic() const {
+  switch (options_.method) {
+    case Method::PageHinkley:
+      return std::max(mt_up_ - min_up_, max_down_ - mt_down_);
+    case Method::Cusum:
+      return std::max(sum_high_, sum_low_);
+  }
+  return 0.0;
+}
+
+double DriftDetector::score() const { return statistic() / options_.threshold; }
+
+void DriftDetector::reset() {
+  mean_ = 0.0;
+  mt_up_ = 0.0;
+  min_up_ = 0.0;
+  mt_down_ = 0.0;
+  max_down_ = 0.0;
+  sum_high_ = 0.0;
+  sum_low_ = 0.0;
+  samples_ = 0;
+  rejected_ = 0;
+  fired_ = false;
+}
+
+}  // namespace acsel::adapt

@@ -1,0 +1,90 @@
+// Sequential drift detection on signed prediction residuals. The offline
+// model is trained once (§III-B) and applied online; when kernel
+// behaviour shifts away from the training distribution, its predictions
+// go stale silently — selection quality degrades without any error being
+// raised. A DriftDetector watches the stream of signed relative residuals
+// (measured vs. predicted power or performance) and fires when their
+// distribution moves, which is the adapt loop's cue to retrain.
+//
+// Two classic sequential change detectors are provided:
+//
+//   * PageHinkley tracks the running residual mean and accumulates
+//     deviations from it, so a *constant* bias present from the start is
+//     absorbed as "the norm" and only a genuine change-point fires.
+//   * Cusum accumulates deviations from zero (the residual stream of a
+//     well-calibrated model), so a sustained bias in either direction
+//     fires even when it was there from the first sample.
+//
+// Both are two-sided, O(1) per sample, and deterministic. Residuals that
+// are not finite are rejected and counted, never folded into the
+// statistics — the same convention as the PR 4 guardrails (a garbage
+// reading says nothing about drift).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace acsel::adapt {
+
+class DriftDetector {
+ public:
+  enum class Method { PageHinkley, Cusum };
+
+  struct Options {
+    Method method = Method::PageHinkley;
+    /// The detector fires when its test statistic strictly exceeds this.
+    double threshold = 5.0;
+    /// Magnitude tolerance: per-sample slack subtracted from deviations,
+    /// so noise around the mean never accumulates into a firing.
+    double delta = 0.005;
+    /// Cold-start grace period: the detector never fires before this many
+    /// accepted samples (the first residuals of a freshly promoted model
+    /// are judged against statistics that barely exist).
+    std::size_t grace_samples = 30;
+  };
+
+  /// Default options (out-of-line: a nested class's member initializers
+  /// cannot feed a default argument inside its enclosing class).
+  DriftDetector();
+  explicit DriftDetector(const Options& options);
+
+  /// Feeds one signed residual; returns fired(). Non-finite residuals are
+  /// rejected (counted, statistics untouched). Once fired the detector
+  /// stays fired until reset().
+  bool feed(double residual);
+
+  bool fired() const { return fired_; }
+
+  /// Test statistic normalized by the threshold: 1.0 is the firing
+  /// boundary, so scores are comparable across detectors with different
+  /// thresholds.
+  double score() const;
+
+  /// Returns the detector to its just-constructed state — called after a
+  /// promotion (the new model owes a fresh judgement) and after a
+  /// rejected canary (the drift evidence was spent on that candidate).
+  void reset();
+
+  std::size_t samples() const { return samples_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  double statistic() const;
+
+  Options options_;
+  // Page-Hinkley state: running mean plus the two one-sided cumulative
+  // deviation walks and their extrema.
+  double mean_ = 0.0;
+  double mt_up_ = 0.0;
+  double min_up_ = 0.0;
+  double mt_down_ = 0.0;
+  double max_down_ = 0.0;
+  // CUSUM state: one-sided cumulative sums clamped at zero.
+  double sum_high_ = 0.0;
+  double sum_low_ = 0.0;
+  std::size_t samples_ = 0;
+  std::uint64_t rejected_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace acsel::adapt

@@ -1,0 +1,40 @@
+#include "adapt/reservoir.h"
+
+#include <utility>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acsel::adapt {
+
+SampleReservoir::SampleReservoir(const ReservoirOptions& options)
+    : options_(options) {
+  ACSEL_CHECK_MSG(options.capacity > 0, "reservoir capacity must be > 0");
+  items_.reserve(options.capacity);
+}
+
+bool SampleReservoir::offer(core::KernelCharacterization sample) {
+  const std::uint64_t n = seen_++;
+  if (items_.size() < options_.capacity) {
+    items_.push_back(std::move(sample));
+    return true;
+  }
+  // Algorithm R: offer n (0-based) lands in a uniformly random slot of
+  // [0, n], kept only if that slot is inside the reservoir. The draw is a
+  // one-shot stream keyed by the offer index, so it does not depend on
+  // who else consumed randomness before this call.
+  Rng rng{Rng::mix_seeds(options_.seed, n)};
+  const auto j = static_cast<std::size_t>(rng.uniform_index(n + 1));
+  if (j < options_.capacity) {
+    items_[j] = std::move(sample);
+    return true;
+  }
+  return false;
+}
+
+void SampleReservoir::clear() {
+  items_.clear();
+  seen_ = 0;
+}
+
+}  // namespace acsel::adapt

@@ -1,0 +1,51 @@
+// Bounded, deterministic reservoir of recent labelled samples — the
+// retrain data a drift event is answered with. Classic Algorithm R, but
+// every replacement decision for offer n comes from its own one-shot
+// stream Rng{mix_seeds(seed, n)}: a pure function of (seed, offer index),
+// independent of which thread offers and of any other random consumer in
+// the process. That matches the exec determinism contract — the reservoir
+// contents after N offers are bitwise-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/characterization.h"
+
+namespace acsel::adapt {
+
+struct ReservoirOptions {
+  /// Maximum samples retained; offers beyond it displace uniformly.
+  std::size_t capacity = 64;
+  /// Base of the per-offer decision streams.
+  std::uint64_t seed = 0x5ee0d5a3ull;
+};
+
+class SampleReservoir {
+ public:
+  explicit SampleReservoir(const ReservoirOptions& options = {});
+
+  /// Offers one labelled sample; returns whether it was stored. Every
+  /// sample ever offered has the same capacity/seen() probability of
+  /// being present — a uniform sample of the stream, so a retrain sees
+  /// both the freshest behaviour and stragglers from before the shift.
+  bool offer(core::KernelCharacterization sample);
+
+  const std::vector<core::KernelCharacterization>& items() const {
+    return items_;
+  }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return options_.capacity; }
+  /// Total samples ever offered.
+  std::uint64_t seen() const { return seen_; }
+
+  void clear();
+
+ private:
+  ReservoirOptions options_;
+  std::vector<core::KernelCharacterization> items_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace acsel::adapt

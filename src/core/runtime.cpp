@@ -29,6 +29,8 @@ struct RuntimeCounters {
       obs::Registry::global().counter("runtime.guard.fallbacks");
   obs::Counter& guard_resamples =
       obs::Registry::global().counter("runtime.guard.resamples");
+  obs::Counter& model_adoptions =
+      obs::Registry::global().counter("runtime.model_adoptions");
 
   static RuntimeCounters& get() {
     static RuntimeCounters counters;
@@ -144,6 +146,25 @@ const profile::KernelRecord& OnlineRuntime::invoke(
       // be judging the wrong configuration.
       return record;
     }
+  }
+
+  if (options_.on_feedback && (!guard.enabled || plausible(record))) {
+    // Residual stream for the adapt loop: what this configuration was
+    // predicted to do vs. what it measurably did. Implausible records are
+    // withheld under the same convention as the guardrails — garbage
+    // telemetry is not drift evidence.
+    const ClusterModel::Estimate& estimate =
+        tracked.prediction->per_config[*tracked.config_index];
+    PredictionFeedback feedback;
+    feedback.key = key;
+    feedback.cluster = tracked.prediction->cluster;
+    feedback.samples = tracked.samples;
+    feedback.predicted_power_w = estimate.power_w;
+    feedback.predicted_performance = estimate.performance;
+    feedback.measured_power_w = record.total_power_w();
+    feedback.measured_performance = record.performance();
+    feedback.cap_w = options_.power_cap_w;
+    options_.on_feedback(feedback);
   }
 
   if (options_.detect_behaviour_change &&
@@ -269,6 +290,31 @@ void OnlineRuntime::set_power_cap(double cap_w) {
       reselect(tracked);
     }
   }
+}
+
+std::size_t OnlineRuntime::adopt_model(TrainedModel model) {
+  model_ = std::move(model);
+  std::size_t repredicted = 0;
+  for (auto& [key, tracked] : kernels_) {
+    if (!tracked.prediction.has_value()) {
+      continue;  // still sampling; the new model will predict it anyway
+    }
+    tracked.prediction = model_.predict(tracked.samples);
+    tracked.deviant_streak = 0;
+    if (tracked.in_fallback) {
+      // Stay degraded until the backoff is served, but at the new
+      // model's idea of the safe configuration.
+      tracked.config_index = safe_config_index(tracked);
+    } else {
+      reselect(tracked);
+    }
+    ++repredicted;
+  }
+  RuntimeCounters::get().model_adoptions.add();
+  ACSEL_OBS_INSTANT("model_adoption", "runtime");
+  ACSEL_LOG_INFO("runtime: adopted new model; re-predicted " << repredicted
+                                                             << " kernels");
+  return repredicted;
 }
 
 void OnlineRuntime::set_goal(SchedulingGoal goal) {

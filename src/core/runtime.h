@@ -23,6 +23,7 @@
 #include <compare>
 #include <utility>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -48,6 +49,20 @@ struct KernelKey {
 /// Log2 bucketing of an input size: invocations whose sizes land in the
 /// same power-of-two bucket share a profile.
 std::size_t bucket_for(std::size_t input_bytes);
+
+/// One steady-state invocation's predicted-vs-measured pair, emitted to
+/// Options::on_feedback — the residual stream the adapt subsystem's drift
+/// detectors consume.
+struct PredictionFeedback {
+  KernelKey key;
+  std::size_t cluster = 0;
+  SamplePair samples;
+  double predicted_power_w = 0.0;
+  double predicted_performance = 0.0;
+  double measured_power_w = 0.0;
+  double measured_performance = 0.0;
+  double cap_w = 0.0;
+};
 
 class OnlineRuntime {
  public:
@@ -92,6 +107,12 @@ class OnlineRuntime {
     double phase_threshold = 0.5;
     int phase_patience = 2;
     Guardrails guardrails;
+    /// Called after every plausible steady-state invocation with the
+    /// prediction the configuration was chosen on and the measurement
+    /// that came back. Invoked on the invoke() caller's thread; keep it
+    /// cheap or hand off (adapt::AdaptController::observe is the
+    /// intended consumer).
+    std::function<void(const PredictionFeedback&)> on_feedback;
   };
 
   /// `machine` must outlive the runtime; the model is copied in.
@@ -113,6 +134,14 @@ class OnlineRuntime {
 
   /// Changes the scheduling goal (also a pure re-selection).
   void set_goal(SchedulingGoal goal);
+
+  /// Hot-swaps the model (the adapt loop's promotion hand-off): every
+  /// tracked kernel with a prediction is re-predicted from its retained
+  /// samples and re-selected under the current cap and goal — no
+  /// re-sampling, no pause. Kernels in guardrail fallback stay degraded
+  /// (at the new model's safe configuration) until their backoff is
+  /// served. Returns the number of kernels re-predicted.
+  std::size_t adopt_model(TrainedModel model);
 
   /// Lifecycle of a tracked kernel.
   enum class Phase { Unseen, SampledCpu, Scheduled };

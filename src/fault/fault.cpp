@@ -142,6 +142,11 @@ std::vector<std::string> Injector::arm_presets(std::string_view list) {
       arm("smu.delay", {0.05, 8, 6.0});
     } else if (name == "frame_corrupt") {
       arm("wire.corrupt", {0.05, 1, 1.0});
+    } else if (name == "workload_shift") {
+      // Once it starts, the shift persists for the rest of the run (the
+      // burst outlives any bench): kernels do ~60% more work with worse
+      // locality — the mid-run phase change the adapt loop must catch.
+      arm("soc.kernel_shift", {0.02, 100000, 1.6});
     } else {
       ACSEL_LOG_WARN("fault: unknown preset '" << std::string{name}
                                                << "' ignored");

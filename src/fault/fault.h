@@ -95,7 +95,8 @@ class Injector {
 
   /// Arms the presets named in a comma-separated list ("smu_stuck",
   /// "smu_spike", "smu_dropout", "smu_noise" = spike + dropout,
-  /// "smu_delay", "frame_corrupt"). Unknown names are logged and skipped
+  /// "smu_delay", "frame_corrupt", "workload_shift"). Unknown names are
+  /// logged and skipped
   /// (an env typo must not break the program). Returns the preset names
   /// actually armed.
   std::vector<std::string> arm_presets(std::string_view list);

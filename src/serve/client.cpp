@@ -26,6 +26,7 @@ bool Client::conclusive(ResponseStatus status) {
     case ResponseStatus::UnknownModelVersion:
     case ResponseStatus::NoModelPublished:
     case ResponseStatus::InternalError:
+    case ResponseStatus::Unsupported:
       return true;  // retrying would return the same answer
     case ResponseStatus::Shed:
     case ResponseStatus::MalformedRequest:

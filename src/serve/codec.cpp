@@ -1,6 +1,7 @@
 #include "serve/codec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
 
@@ -233,7 +234,7 @@ SelectResponse read_response_payload(Reader& r) {
   SelectResponse response;
   response.request_id = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(ResponseStatus::DeadlineExceeded)) {
+  if (status > static_cast<std::uint8_t>(ResponseStatus::Unsupported)) {
     throw PayloadError{};
   }
   response.status = static_cast<ResponseStatus>(status);
@@ -274,13 +275,27 @@ void put_stats_response_payload(std::vector<std::uint8_t>& out,
     put_f64(out, metric.p99_us);
     put_f64(out, metric.max_us);
   }
+  // Adaptation block, appended after the metrics array so the metric
+  // rows keep their historical offsets.
+  const AdaptStats& adapt = response.adapt;
+  put_u8(out, adapt.attached ? 1 : 0);
+  put_u8(out, adapt.canary_active ? 1 : 0);
+  put_u8(out, adapt.retrain_inflight ? 1 : 0);
+  put_f64(out, adapt.max_drift_score);
+  for (const std::uint64_t v :
+       {adapt.observations, adapt.rejected_residuals, adapt.drift_events,
+        adapt.retrains, adapt.retrain_failures, adapt.reservoir_size,
+        adapt.canary_evals, adapt.shadow_evals, adapt.canary_accepted,
+        adapt.canary_rejected, adapt.promotions, adapt.rollbacks}) {
+    put_u64(out, v);
+  }
 }
 
 StatsResponse read_stats_response_payload(Reader& r) {
   StatsResponse response;
   response.request_id = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(ResponseStatus::DeadlineExceeded)) {
+  if (status > static_cast<std::uint8_t>(ResponseStatus::Unsupported)) {
     throw PayloadError{};
   }
   response.status = static_cast<ResponseStatus>(status);
@@ -307,6 +322,104 @@ StatsResponse read_stats_response_payload(Reader& r) {
     metric.max_us = r.f64();
     response.metrics.push_back(std::move(metric));
   }
+  AdaptStats& adapt = response.adapt;
+  const std::uint8_t attached = r.u8();
+  if (attached > 1) {
+    throw PayloadError{};
+  }
+  adapt.attached = attached == 1;
+  const std::uint8_t canary_active = r.u8();
+  if (canary_active > 1) {
+    throw PayloadError{};
+  }
+  adapt.canary_active = canary_active == 1;
+  const std::uint8_t retrain_inflight = r.u8();
+  if (retrain_inflight > 1) {
+    throw PayloadError{};
+  }
+  adapt.retrain_inflight = retrain_inflight == 1;
+  adapt.max_drift_score = r.f64();
+  if (!std::isfinite(adapt.max_drift_score) || adapt.max_drift_score < 0.0) {
+    throw PayloadError{};
+  }
+  for (std::uint64_t* v :
+       {&adapt.observations, &adapt.rejected_residuals, &adapt.drift_events,
+        &adapt.retrains, &adapt.retrain_failures, &adapt.reservoir_size,
+        &adapt.canary_evals, &adapt.shadow_evals, &adapt.canary_accepted,
+        &adapt.canary_rejected, &adapt.promotions, &adapt.rollbacks}) {
+    *v = r.u64();
+  }
+  return response;
+}
+
+void put_feedback_request_payload(std::vector<std::uint8_t>& out,
+                                  const FeedbackRequest& feedback) {
+  put_u64(out, feedback.request_id);
+  put_u64(out, feedback.model_version);
+  put_u8(out, static_cast<std::uint8_t>(feedback.goal));
+  put_u8(out, feedback.cap_w.has_value() ? 1 : 0);
+  put_f64(out, feedback.cap_w.value_or(0.0));
+  put_f64(out, feedback.predicted_power_w);
+  put_f64(out, feedback.predicted_performance);
+  put_f64(out, feedback.measured_power_w);
+  put_f64(out, feedback.measured_performance);
+  put_record(out, feedback.samples.cpu);
+  put_record(out, feedback.samples.gpu);
+}
+
+FeedbackRequest read_feedback_request_payload(Reader& r) {
+  FeedbackRequest feedback;
+  feedback.request_id = r.u64();
+  feedback.model_version = r.u64();
+  const std::uint8_t goal = r.u8();
+  if (goal > static_cast<std::uint8_t>(
+                 core::SchedulingGoal::MinEnergyDelay)) {
+    throw PayloadError{};
+  }
+  feedback.goal = static_cast<core::SchedulingGoal>(goal);
+  const std::uint8_t has_cap = r.u8();
+  if (has_cap > 1) {
+    throw PayloadError{};
+  }
+  const double cap = r.f64();
+  if (has_cap == 1) {
+    if (!std::isfinite(cap)) {
+      throw PayloadError{};
+    }
+    feedback.cap_w = cap;
+  }
+  // Non-finite residual inputs are rejected at the wire — the adapt loop
+  // would discard them anyway, and a NaN here is a client bug, not drift.
+  feedback.predicted_power_w = r.f64();
+  feedback.predicted_performance = r.f64();
+  feedback.measured_power_w = r.f64();
+  feedback.measured_performance = r.f64();
+  for (const double v :
+       {feedback.predicted_power_w, feedback.predicted_performance,
+        feedback.measured_power_w, feedback.measured_performance}) {
+    if (!std::isfinite(v)) {
+      throw PayloadError{};
+    }
+  }
+  feedback.samples.cpu = read_record(r);
+  feedback.samples.gpu = read_record(r);
+  return feedback;
+}
+
+void put_feedback_response_payload(std::vector<std::uint8_t>& out,
+                                   const FeedbackResponse& response) {
+  put_u64(out, response.request_id);
+  put_u8(out, static_cast<std::uint8_t>(response.status));
+}
+
+FeedbackResponse read_feedback_response_payload(Reader& r) {
+  FeedbackResponse response;
+  response.request_id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(ResponseStatus::Unsupported)) {
+    throw PayloadError{};
+  }
+  response.status = static_cast<ResponseStatus>(status);
   return response;
 }
 
@@ -376,6 +489,22 @@ void encode_stats_response(const StatsResponse& response,
   put_frame(out, MessageType::StatsResponse, payload);
 }
 
+void encode_feedback_request(const FeedbackRequest& feedback,
+                             std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(512);
+  put_feedback_request_payload(payload, feedback);
+  put_frame(out, MessageType::FeedbackRequest, payload);
+}
+
+void encode_feedback_response(const FeedbackResponse& response,
+                              std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(16);
+  put_feedback_response_payload(payload, response);
+  put_frame(out, MessageType::FeedbackResponse, payload);
+}
+
 Decoded decode_frame(std::span<const std::uint8_t> buffer,
                      std::size_t max_payload_bytes) {
   const std::size_t payload_cap = std::min(max_payload_bytes, kMaxPayloadBytes);
@@ -405,7 +534,7 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer,
     return result;
   }
   if (raw_type < static_cast<std::uint8_t>(MessageType::SelectRequest) ||
-      raw_type > static_cast<std::uint8_t>(MessageType::StatsResponse)) {
+      raw_type > static_cast<std::uint8_t>(MessageType::FeedbackResponse)) {
     result.status = DecodeStatus::UnknownType;
     return result;
   }
@@ -430,6 +559,12 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer,
         break;
       case MessageType::StatsResponse:
         result.stats_response = read_stats_response_payload(payload);
+        break;
+      case MessageType::FeedbackRequest:
+        result.feedback = read_feedback_request_payload(payload);
+        break;
+      case MessageType::FeedbackResponse:
+        result.feedback_response = read_feedback_response_payload(payload);
         break;
     }
     if (!payload.exhausted()) {

@@ -4,7 +4,8 @@
 //   u32  magic          "ACSL" (0x4C534341 little-endian)
 //   u8   protocol version (currently 1)
 //   u8   message type   (1 = SelectRequest, 2 = SelectResponse,
-//                        3 = StatsRequest, 4 = StatsResponse)
+//                        3 = StatsRequest, 4 = StatsResponse,
+//                        5 = FeedbackRequest, 6 = FeedbackResponse)
 //   u16  reserved       (must be 0)
 //   u32  payload length (hard-capped at kMaxPayloadBytes)
 //   ...  payload
@@ -37,6 +38,8 @@ enum class MessageType : std::uint8_t {
   SelectResponse = 2,
   StatsRequest = 3,
   StatsResponse = 4,
+  FeedbackRequest = 5,
+  FeedbackResponse = 6,
 };
 
 enum class DecodeStatus {
@@ -64,6 +67,10 @@ void encode_stats_request(const StatsRequest& request,
                           std::vector<std::uint8_t>& out);
 void encode_stats_response(const StatsResponse& response,
                            std::vector<std::uint8_t>& out);
+void encode_feedback_request(const FeedbackRequest& feedback,
+                             std::vector<std::uint8_t>& out);
+void encode_feedback_response(const FeedbackResponse& response,
+                              std::vector<std::uint8_t>& out);
 
 struct Decoded {
   DecodeStatus status = DecodeStatus::NeedMoreData;
@@ -77,6 +84,8 @@ struct Decoded {
   SelectResponse response;  ///< valid when status == Ok, type == SelectResponse
   StatsRequest stats_request;    ///< valid when Ok, type == StatsRequest
   StatsResponse stats_response;  ///< valid when Ok, type == StatsResponse
+  FeedbackRequest feedback;      ///< valid when Ok, type == FeedbackRequest
+  FeedbackResponse feedback_response;  ///< valid when Ok, FeedbackResponse
 };
 
 /// Decodes the frame at the front of `buffer`. `max_payload_bytes`

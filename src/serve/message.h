@@ -33,6 +33,9 @@ enum class ResponseStatus : std::uint8_t {
   /// The request's deadline expired before a worker picked it up; the
   /// server shed it instead of serving a stale answer.
   DeadlineExceeded = 6,
+  /// The server understood the message but has no handler for it (e.g. a
+  /// FeedbackRequest with no adapt sink attached).
+  Unsupported = 7,
 };
 
 const char* to_string(ResponseStatus status);
@@ -72,11 +75,82 @@ struct StatsRequest {
   std::uint64_t request_id = 0;
 };
 
+/// A client reporting what actually happened after acting on a selection:
+/// the predictions it was handed and the powers/performance it then
+/// measured, plus the sample pair so the adapt loop can re-classify. This
+/// is the residual stream that drives drift detection server-side.
+struct FeedbackRequest {
+  /// Client-chosen correlation id, echoed back verbatim.
+  std::uint64_t request_id = 0;
+  /// The model version whose prediction this feedback judges.
+  std::uint64_t model_version = 0;
+  core::SchedulingGoal goal = core::SchedulingGoal::MaxPerformance;
+  /// The cap the selection was made under; nullopt = unconstrained.
+  std::optional<double> cap_w;
+  double predicted_power_w = 0.0;
+  double predicted_performance = 0.0;
+  double measured_power_w = 0.0;
+  double measured_performance = 0.0;
+  /// The kernel's sample runs, for cluster attribution of the residual.
+  core::SamplePair samples;
+};
+
+struct FeedbackResponse {
+  std::uint64_t request_id = 0;
+  ResponseStatus status = ResponseStatus::Ok;
+};
+
+/// Adaptation-loop state reported in a StatsResponse. All zeros (with
+/// attached = false) when no adapt sink is wired to the server.
+struct AdaptStats {
+  bool attached = false;
+  bool canary_active = false;
+  bool retrain_inflight = false;
+  /// Highest drift score across cluster detectors (1.0 = firing boundary).
+  double max_drift_score = 0.0;
+  std::uint64_t observations = 0;
+  std::uint64_t rejected_residuals = 0;
+  std::uint64_t drift_events = 0;
+  std::uint64_t retrains = 0;
+  std::uint64_t retrain_failures = 0;
+  std::uint64_t reservoir_size = 0;
+  std::uint64_t canary_evals = 0;
+  std::uint64_t shadow_evals = 0;
+  std::uint64_t canary_accepted = 0;
+  std::uint64_t canary_rejected = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rollbacks = 0;
+
+  bool operator==(const AdaptStats&) const = default;
+};
+
 struct StatsResponse {
   std::uint64_t request_id = 0;
   ResponseStatus status = ResponseStatus::Ok;
   /// The registry snapshot, sorted by metric name (obs::Registry order).
   std::vector<obs::MetricSnapshot> metrics;
+  /// Adaptation-loop state (zeros when no sink is attached).
+  AdaptStats adapt;
+};
+
+/// What the server calls into when adaptation is wired up — implemented
+/// by adapt::AdaptController. Defined here (not in adapt) so serve never
+/// depends on the adapt library; the dependency points the other way.
+/// Implementations must be safe to call from any server worker thread.
+class AdaptSink {
+ public:
+  virtual ~AdaptSink();
+
+  /// A client's measured-vs-predicted feedback arrived on the wire.
+  virtual void on_feedback(const FeedbackRequest& feedback) = 0;
+
+  /// A request was served Ok; a live canary may shadow-predict it.
+  /// Returns whether the candidate actually exercised this request.
+  virtual bool on_served(const SelectRequest& request,
+                         const SelectResponse& response) = 0;
+
+  /// Snapshot for the stats scrape path.
+  virtual AdaptStats adapt_stats() const = 0;
 };
 
 }  // namespace acsel::serve

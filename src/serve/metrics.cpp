@@ -13,6 +13,8 @@ ServerMetrics::ServerMetrics()
       shed_(&registry_.counter("serve.shed")),
       deadline_shed_(&registry_.counter("serve.deadline_shed")),
       breaker_rerouted_(&registry_.counter("serve.breaker_rerouted")),
+      feedback_(&registry_.counter("serve.feedback")),
+      shadowed_(&registry_.counter("serve.shadowed")),
       errors_(&registry_.counter("serve.errors")),
       batches_(&registry_.counter("serve.batches")),
       batched_requests_(&registry_.counter("serve.batched_requests")),
@@ -35,6 +37,8 @@ ServerMetrics::Snapshot ServerMetrics::snapshot(
   snap.shed = shed_->value();
   snap.deadline_shed = deadline_shed_->value();
   snap.breaker_rerouted = breaker_rerouted_->value();
+  snap.feedback = feedback_->value();
+  snap.shadowed = shadowed_->value();
   snap.errors = errors_->value();
   snap.batches = batches_->value();
   const std::uint64_t batched = batched_requests_->value();
@@ -67,6 +71,8 @@ void print_metrics(const ServerMetrics::Snapshot& snapshot,
   table.add_row({"deadline shed", std::to_string(snapshot.deadline_shed)});
   table.add_row(
       {"breaker rerouted", std::to_string(snapshot.breaker_rerouted)});
+  table.add_row({"feedback", std::to_string(snapshot.feedback)});
+  table.add_row({"shadowed", std::to_string(snapshot.shadowed)});
   table.add_row({"errors", std::to_string(snapshot.errors)});
   table.add_row({"batches", std::to_string(snapshot.batches)});
   table.add_row({"mean batch", format_double(snapshot.mean_batch, 4)});
@@ -82,6 +88,7 @@ const std::vector<std::string>& metrics_csv_header() {
   static const std::vector<std::string> header{
       "label",   "submitted", "completed", "shed",
       "deadline_shed", "breaker_rerouted",
+      "feedback", "shadowed",
       "errors",  "batches",   "mean_batch", "qps",
       "p50_us",  "p99_us",    "max_us",     "queue_depth",
       "elapsed_s"};
@@ -95,6 +102,8 @@ void write_metrics_row(CsvWriter& writer, const std::string& label,
               std::to_string(snapshot.shed),
               std::to_string(snapshot.deadline_shed),
               std::to_string(snapshot.breaker_rerouted),
+              std::to_string(snapshot.feedback),
+              std::to_string(snapshot.shadowed),
               std::to_string(snapshot.errors),
               std::to_string(snapshot.batches),
               format_double(snapshot.mean_batch, 6),

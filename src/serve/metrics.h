@@ -34,6 +34,8 @@ class ServerMetrics {
   void on_shed() { shed_->add(); }
   void on_deadline_shed() { deadline_shed_->add(); }
   void on_breaker_rerouted() { breaker_rerouted_->add(); }
+  void on_feedback() { feedback_->add(); }
+  void on_shadowed() { shadowed_->add(); }
   void on_error() { errors_->add(); }
   void on_batch(std::size_t size) {
     batches_->add();
@@ -60,6 +62,10 @@ class ServerMetrics {
     /// Version-0 requests the circuit breaker routed to the previous
     /// model version.
     std::uint64_t breaker_rerouted = 0;
+    /// Feedback frames handed to the adapt sink.
+    std::uint64_t feedback = 0;
+    /// Served requests a live canary candidate shadow-predicted.
+    std::uint64_t shadowed = 0;
     std::uint64_t errors = 0;
     std::uint64_t batches = 0;
     double mean_batch = 0.0;  ///< completed requests per worker batch
@@ -91,6 +97,8 @@ class ServerMetrics {
   obs::Counter* shed_;
   obs::Counter* deadline_shed_;
   obs::Counter* breaker_rerouted_;
+  obs::Counter* feedback_;
+  obs::Counter* shadowed_;
   obs::Counter* errors_;
   obs::Counter* batches_;
   obs::Counter* batched_requests_;

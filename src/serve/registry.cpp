@@ -1,5 +1,7 @@
 #include "serve/registry.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 #include "util/log.h"
 
@@ -19,6 +21,17 @@ std::uint64_t ModelRegistry::publish(
     version = history_.empty() ? 1 : history_.back().version + 1;
     history_.push_back(VersionedModel{version, std::move(model)});
     current_index_ = history_.size() - 1;
+    if (options_.retain_limit > 0) {
+      // Keep at least the current version and its rollback target;
+      // pruning from the front can never touch them because the newest
+      // publish put current at the back.
+      const std::size_t limit = std::max<std::size_t>(options_.retain_limit, 2);
+      while (history_.size() > limit && current_index_ >= 2) {
+        history_.erase(history_.begin());
+        --current_index_;
+        ++pruned_;
+      }
+    }
   }
   ACSEL_LOG_INFO("ModelRegistry: published model version " << version);
   return version;
@@ -73,6 +86,11 @@ std::uint64_t ModelRegistry::rollback() {
 std::size_t ModelRegistry::version_count() const {
   std::lock_guard<std::mutex> lock{mu_};
   return history_.size();
+}
+
+std::uint64_t ModelRegistry::pruned() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return pruned_;
 }
 
 std::vector<std::uint64_t> ModelRegistry::versions() const {

@@ -2,9 +2,11 @@
 // never pause for a retrain: publishing a new model is a pointer swap
 // under a mutex held for nanoseconds, and in-flight requests keep the
 // shared_ptr they already resolved, so old and new versions serve side by
-// side until the last old-version request completes. Every published
-// version is retained, which makes rollback (operator judgement overrides
-// a bad retrain) the same cheap swap.
+// side until the last old-version request completes. Rollback (operator
+// judgement or the promoter's probation overriding a bad retrain) is the
+// same cheap swap. A retention limit bounds history under continual
+// retraining — old versions are pruned, but the current version and the
+// breaker's previous_of(current) rollback target always survive.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +26,17 @@ struct VersionedModel {
   std::shared_ptr<const core::TrainedModel> model;
 };
 
+struct RegistryOptions {
+  /// Maximum versions retained; 0 means unbounded (the pre-adapt
+  /// behaviour). Values below 2 are treated as 2 — the current version
+  /// and its rollback target are never pruned.
+  std::size_t retain_limit = 0;
+};
+
 class ModelRegistry {
  public:
   ModelRegistry() = default;
+  explicit ModelRegistry(const RegistryOptions& options) : options_(options) {}
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
 
@@ -62,10 +72,15 @@ class ModelRegistry {
   /// All published versions, oldest first.
   std::vector<std::uint64_t> versions() const;
 
+  /// Versions pruned by the retention limit over this registry's life.
+  std::uint64_t pruned() const;
+
  private:
   mutable std::mutex mu_;
-  std::vector<VersionedModel> history_;  // publish order; never shrinks
+  RegistryOptions options_;
+  std::vector<VersionedModel> history_;  // retained versions, publish order
   std::size_t current_index_ = 0;        // into history_, valid when non-empty
+  std::uint64_t pruned_ = 0;
 };
 
 }  // namespace acsel::serve

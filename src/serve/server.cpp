@@ -29,6 +29,8 @@ std::string sample_key(const SelectRequest& request) {
 
 }  // namespace
 
+AdaptSink::~AdaptSink() = default;
+
 const char* to_string(ResponseStatus status) {
   switch (status) {
     case ResponseStatus::Ok:
@@ -45,6 +47,8 @@ const char* to_string(ResponseStatus status) {
       return "InternalError";
     case ResponseStatus::DeadlineExceeded:
       return "DeadlineExceeded";
+    case ResponseStatus::Unsupported:
+      return "Unsupported";
   }
   return "?";
 }
@@ -126,7 +130,27 @@ std::vector<std::uint8_t> Server::serve_frame(
     stats.request_id = decoded.stats_request.request_id;
     stats.status = ResponseStatus::Ok;
     stats.metrics = metrics_.registry().snapshot();
+    if (const AdaptSink* sink = adapt_sink_.load(std::memory_order_acquire)) {
+      stats.adapt = sink->adapt_stats();
+      stats.adapt.attached = true;
+    }
     encode_stats_response(stats, out);
+    return out;
+  }
+  if (decoded.status == DecodeStatus::Ok &&
+      decoded.type == MessageType::FeedbackRequest) {
+    // Feedback is answered inline like stats: it carries no work for the
+    // worker pool, only residuals for the adapt loop.
+    FeedbackResponse ack;
+    ack.request_id = decoded.feedback.request_id;
+    if (AdaptSink* sink = adapt_sink_.load(std::memory_order_acquire)) {
+      sink->on_feedback(decoded.feedback);
+      metrics_.on_feedback();
+      ack.status = ResponseStatus::Ok;
+    } else {
+      ack.status = ResponseStatus::Unsupported;
+    }
+    encode_feedback_response(ack, out);
     return out;
   }
   SelectResponse response;
@@ -282,6 +306,13 @@ void Server::worker_loop() {
         }
         ACSEL_LOG_WARN("serve: request " << request.request_id
                                          << " failed: " << error.what());
+      }
+      if (response.status == ResponseStatus::Ok) {
+        if (AdaptSink* sink = adapt_sink_.load(std::memory_order_acquire)) {
+          if (sink->on_served(request, response)) {
+            metrics_.on_shadowed();
+          }
+        }
       }
       const auto now = std::chrono::steady_clock::now();
       const auto nanos =

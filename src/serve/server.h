@@ -14,6 +14,7 @@
 // version that produced them.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -95,6 +96,15 @@ class Server {
   /// The circuit breaker guarding the current model version.
   const Breaker& breaker() const { return breaker_; }
 
+  /// Attaches (or, with nullptr, detaches) the adaptation sink: feedback
+  /// frames are forwarded to it, served requests are offered for canary
+  /// shadowing, and stats scrapes report its state. The sink must outlive
+  /// the server or be detached before it dies; it is called from worker
+  /// threads and the serve_frame caller concurrently.
+  void set_adapt_sink(AdaptSink* sink) {
+    adapt_sink_.store(sink, std::memory_order_release);
+  }
+
  private:
   struct Job {
     SelectRequest request;
@@ -108,6 +118,7 @@ class Server {
   ServerOptions options_;
   ServerMetrics metrics_;
   Breaker breaker_;
+  std::atomic<AdaptSink*> adapt_sink_{nullptr};
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;
 };

@@ -1,7 +1,9 @@
 #include "soc/machine.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "fault/fault.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -19,8 +21,21 @@ SteadyState Machine::analytic(const KernelCharacteristics& kernel,
   return evaluate_steady_state(spec_, kernel, config);
 }
 
-ExecutionResult Machine::run(const KernelCharacteristics& kernel,
+ExecutionResult Machine::run(const KernelCharacteristics& kernel_in,
                              hw::Configuration config, Governor* governor) {
+  // Workload-shift fault site: when armed, the kernel behaves as a
+  // heavier, less cache-friendly variant of itself — the mid-run phase
+  // change the adapt loop exists to catch. Analytic queries (analytic())
+  // are unaffected; only actual executions shift.
+  KernelCharacteristics kernel = kernel_in;
+  if (ACSEL_FAULT_ARMED() && ACSEL_FAULT_FIRE("soc.kernel_shift")) {
+    const double m = std::max(
+        1.0, fault::Injector::global().magnitude("soc.kernel_shift"));
+    kernel.work_gflop *= m;
+    kernel.bytes_per_flop *= m;
+    kernel.cache_locality =
+        std::max(0.0, kernel.cache_locality - 0.2 * (m - 1.0));
+  }
   kernel.validate();
   config.validate();
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -361,10 +362,71 @@ INSTANTIATE_TEST_SUITE_P(
         // payload under the size cap can hold.
         StatsCase{"absurd_metric_count", 24, 0xff},
         // name length beyond the remaining payload.
-        StatsCase{"name_overruns_payload", 26, 0xff}),
+        StatsCase{"name_overruns_payload", 26, 0xff},
+        // Adaptation block: appended after the single 44-byte metric, so
+        // it starts at payload offset 57 (absolute 69). Three boolean
+        // bytes, then max_drift_score.
+        StatsCase{"adapt_attached_not_boolean", 69, 2},
+        StatsCase{"adapt_canary_active_not_boolean", 70, 2},
+        StatsCase{"adapt_retrain_inflight_not_boolean", 71, 2},
+        // Smashing the f64's top byte turns the (zero) drift score into
+        // a large negative value; scores must be >= 0.
+        StatsCase{"adapt_negative_drift_score", 79, 0xff}),
     [](const ::testing::TestParamInfo<StatsCase>& param_info) {
       return std::string{param_info.param.name};
     });
+
+TEST(ServeCodec, StatsResponseCarriesTheAdaptBlockExactly) {
+  StatsResponse response = make_stats_response();
+  response.adapt.attached = true;
+  response.adapt.canary_active = true;
+  response.adapt.retrain_inflight = true;
+  response.adapt.max_drift_score = 1.375;
+  response.adapt.observations = 1000;
+  response.adapt.rejected_residuals = 3;
+  response.adapt.drift_events = 2;
+  response.adapt.retrains = 2;
+  response.adapt.retrain_failures = 1;
+  response.adapt.reservoir_size = 96;
+  response.adapt.canary_evals = 24;
+  response.adapt.shadow_evals = 7;
+  response.adapt.canary_accepted = 1;
+  response.adapt.canary_rejected = 1;
+  response.adapt.promotions = 1;
+  response.adapt.rollbacks = 0;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.stats_response.adapt, response.adapt);
+  EXPECT_EQ(decoded.stats_response.metrics, response.metrics);
+}
+
+TEST(ServeCodec, NaNDriftScoreIsRejected) {
+  StatsResponse response;
+  response.request_id = 5;
+  response.adapt.max_drift_score = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, StatsResponseTruncatedInsideTheAdaptBlockIsMalformed) {
+  // Cut the declared payload mid-way through the adapt counters: the
+  // block is not optional, so a short frame must not silently decode to
+  // a zeroed AdaptStats.
+  StatsResponse response;
+  response.request_id = 6;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const std::size_t shortened = bytes.size() - kFrameHeaderBytes - 16;
+  bytes[8] = static_cast<std::uint8_t>(shortened & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((shortened >> 8) & 0xff);
+  bytes.resize(kFrameHeaderBytes + shortened);
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
 
 TEST(ServeCodec, ToStringCoversStatuses) {
   EXPECT_STREQ(to_string(DecodeStatus::Ok), "Ok");
@@ -375,6 +437,173 @@ TEST(ServeCodec, ToStringCoversStatuses) {
                "MalformedRequest");
   EXPECT_STREQ(to_string(ResponseStatus::DeadlineExceeded),
                "DeadlineExceeded");
+}
+
+// ---- feedback ----------------------------------------------------------
+
+FeedbackRequest make_feedback() {
+  const hw::ConfigSpace space;
+  FeedbackRequest feedback;
+  feedback.request_id = 0xabad1deaU;
+  feedback.model_version = 4;
+  feedback.goal = core::SchedulingGoal::MaxPerformance;
+  feedback.cap_w = 22.5;
+  feedback.predicted_power_w = 19.25;
+  feedback.predicted_performance = 640.0;
+  feedback.measured_power_w = 21.0;
+  feedback.measured_performance = 587.5;
+  feedback.samples.cpu = make_record(space.cpu_sample(), 1.0);
+  feedback.samples.gpu = make_record(space.gpu_sample(), 2.0);
+  return feedback;
+}
+
+TEST(ServeCodec, FeedbackRequestRoundTrip) {
+  const FeedbackRequest feedback = make_feedback();
+  std::vector<std::uint8_t> bytes;
+  encode_feedback_request(feedback, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.type, MessageType::FeedbackRequest);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+  const FeedbackRequest& out = decoded.feedback;
+  EXPECT_EQ(out.request_id, feedback.request_id);
+  EXPECT_EQ(out.model_version, feedback.model_version);
+  EXPECT_EQ(out.goal, feedback.goal);
+  ASSERT_TRUE(out.cap_w.has_value());
+  EXPECT_EQ(*out.cap_w, *feedback.cap_w);
+  EXPECT_EQ(out.predicted_power_w, feedback.predicted_power_w);
+  EXPECT_EQ(out.predicted_performance, feedback.predicted_performance);
+  EXPECT_EQ(out.measured_power_w, feedback.measured_power_w);
+  EXPECT_EQ(out.measured_performance, feedback.measured_performance);
+  EXPECT_EQ(out.samples.cpu.kernel, feedback.samples.cpu.kernel);
+  EXPECT_EQ(out.samples.gpu.config, feedback.samples.gpu.config);
+  EXPECT_EQ(out.samples.cpu.counters.instructions,
+            feedback.samples.cpu.counters.instructions);
+}
+
+TEST(ServeCodec, FeedbackRequestWithoutCapRoundTrips) {
+  FeedbackRequest feedback = make_feedback();
+  feedback.cap_w.reset();
+  std::vector<std::uint8_t> bytes;
+  encode_feedback_request(feedback, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_FALSE(decoded.feedback.cap_w.has_value());
+}
+
+TEST(ServeCodec, FeedbackResponseRoundTripsEveryStatus) {
+  for (const ResponseStatus status :
+       {ResponseStatus::Ok, ResponseStatus::Shed,
+        ResponseStatus::MalformedRequest, ResponseStatus::UnknownModelVersion,
+        ResponseStatus::NoModelPublished, ResponseStatus::InternalError,
+        ResponseStatus::DeadlineExceeded, ResponseStatus::Unsupported}) {
+    FeedbackResponse response;
+    response.request_id = 11;
+    response.status = status;
+    std::vector<std::uint8_t> bytes;
+    encode_feedback_response(response, bytes);
+    const Decoded decoded = decode_frame(bytes);
+    ASSERT_EQ(decoded.status, DecodeStatus::Ok) << to_string(status);
+    EXPECT_EQ(decoded.type, MessageType::FeedbackResponse);
+    EXPECT_EQ(decoded.feedback_response.request_id, 11u);
+    EXPECT_EQ(decoded.feedback_response.status, status);
+  }
+}
+
+TEST(ServeCodec, FeedbackResponseRejectsAStatusBeyondTheEnum) {
+  FeedbackResponse response;
+  std::vector<std::uint8_t> bytes;
+  encode_feedback_response(response, bytes);
+  bytes[kFrameHeaderBytes + 8] = 8;  // one past Unsupported
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+// Non-finite measurements are a client bug, not drift — the codec rejects
+// them so the adapt loop never has to. Each case poisons one field.
+struct FeedbackNonFiniteCase {
+  const char* name;
+  double FeedbackRequest::* field;
+};
+
+class ServeCodecFeedbackNonFinite
+    : public ::testing::TestWithParam<FeedbackNonFiniteCase> {};
+
+TEST_P(ServeCodecFeedbackNonFinite, IsRejected) {
+  for (const double poison :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    FeedbackRequest feedback = make_feedback();
+    feedback.*GetParam().field = poison;
+    std::vector<std::uint8_t> bytes;
+    encode_feedback_request(feedback, bytes);
+    const Decoded decoded = decode_frame(bytes);
+    EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+    EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, ServeCodecFeedbackNonFinite,
+    ::testing::Values(
+        FeedbackNonFiniteCase{"predicted_power",
+                              &FeedbackRequest::predicted_power_w},
+        FeedbackNonFiniteCase{"predicted_performance",
+                              &FeedbackRequest::predicted_performance},
+        FeedbackNonFiniteCase{"measured_power",
+                              &FeedbackRequest::measured_power_w},
+        FeedbackNonFiniteCase{"measured_performance",
+                              &FeedbackRequest::measured_performance}),
+    [](const ::testing::TestParamInfo<FeedbackNonFiniteCase>& param_info) {
+      return std::string{param_info.param.name};
+    });
+
+TEST(ServeCodec, FeedbackRequestRejectsANonFiniteCap) {
+  FeedbackRequest feedback = make_feedback();
+  feedback.cap_w = std::numeric_limits<double>::infinity();
+  std::vector<std::uint8_t> bytes;
+  encode_feedback_request(feedback, bytes);
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, FeedbackRequestRejectsCorruptEnumBytes) {
+  // Payload layout: request_id u64, model_version u64, goal u8 @ +16,
+  // has_cap u8 @ +17.
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_feedback_request(make_feedback(), bytes);
+    bytes[kFrameHeaderBytes + 16] = 3;  // goal past MinEnergyDelay
+    EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_feedback_request(make_feedback(), bytes);
+    bytes[kFrameHeaderBytes + 17] = 2;  // has_cap is a boolean
+    EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+  }
+}
+
+TEST(ServeCodec, FeedbackRequestDeclaredShortIsMalformed) {
+  std::vector<std::uint8_t> bytes;
+  encode_feedback_request(make_feedback(), bytes);
+  const std::size_t payload = bytes.size() - kFrameHeaderBytes;
+  const std::size_t shortened = payload - 8;
+  bytes[8] = static_cast<std::uint8_t>(shortened & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((shortened >> 8) & 0xff);
+  bytes.resize(kFrameHeaderBytes + shortened);
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+TEST(ServeCodec, FeedbackRequestWithTrailingBytesIsMalformed) {
+  std::vector<std::uint8_t> bytes;
+  encode_feedback_request(make_feedback(), bytes);
+  const std::size_t payload = bytes.size() - kFrameHeaderBytes + 4;
+  bytes[8] = static_cast<std::uint8_t>(payload & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((payload >> 8) & 0xff);
+  bytes.insert(bytes.end(), {9, 9, 9, 9});
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
 }
 
 // ---- adversarial length prefixes ---------------------------------------
