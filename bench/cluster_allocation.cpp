@@ -5,18 +5,36 @@
 // Marginal-gain allocation — water-filling on the nodes' retained
 // predicted Pareto frontiers — should beat uniform and demand-based
 // splits.
+//
+// Each (budget, policy) grid cell builds its own Cluster from the shared
+// trained model and runs through the bench pool, so the sweep honours
+// --threads=N / ACSEL_THREADS like the rest of the suite; rows are
+// collected in index order, so output is identical at every thread count.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "cluster/cluster.h"
 #include "core/trainer.h"
 #include "eval/characterize.h"
+#include "exec/executor.h"
+#include "exec/parallel_for.h"
+#include "util/log.h"
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acsel;
   using namespace acsel::cluster;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!exec::consume_threads_flag(arg) && !consume_log_level_flag(arg)) {
+      std::cerr << "usage: " << argv[0]
+                << " [--threads=N] [--log-level=LEVEL]\n";
+      return 2;
+    }
+  }
   bench::print_header("Cluster power allocation",
                       "§I multi-node motivation (extension experiment)");
 
@@ -53,32 +71,41 @@ int main() {
     return nodes;
   };
 
+  const std::vector<double> budgets{70.0, 100.0, 140.0};
+  const std::vector<AllocationPolicy> policies{
+      AllocationPolicy::Uniform, AllocationPolicy::DemandProportional,
+      AllocationPolicy::MarginalGain};
+
+  const auto rows = exec::parallel_map(
+      bench::bench_executor(), budgets.size() * policies.size(),
+      [&](std::size_t cell) {
+        const double budget = budgets[cell / policies.size()];
+        const auto policy = policies[cell % policies.size()];
+        ClusterOptions options;
+        options.global_budget_w = budget;
+        options.policy = policy;
+        Cluster cluster{make_nodes(), options};
+        cluster.run(3);  // sampling + settling
+        const auto report = cluster.run(3);
+        std::string caps;
+        for (const double cap : report.caps_w) {
+          caps += (caps.empty() ? "" : "/") + format_double(cap, 3);
+        }
+        return std::vector<std::string>{
+            format_double(budget, 4),
+            to_string(policy),
+            format_double(report.throughput, 4),
+            format_double(report.total_power_w, 4),
+            std::to_string(report.violations),
+            caps,
+        };
+      });
+
   TextTable table;
   table.set_header({"Budget (W)", "Policy", "Throughput (steps/s)",
                     "Power used (W)", "Violations", "Caps (W)"});
-  for (const double budget : {70.0, 100.0, 140.0}) {
-    for (const auto policy :
-         {AllocationPolicy::Uniform, AllocationPolicy::DemandProportional,
-          AllocationPolicy::MarginalGain}) {
-      ClusterOptions options;
-      options.global_budget_w = budget;
-      options.policy = policy;
-      Cluster cluster{make_nodes(), options};
-      cluster.run(3);  // sampling + settling
-      const auto report = cluster.run(3);
-      std::string caps;
-      for (const double cap : report.caps_w) {
-        caps += (caps.empty() ? "" : "/") + format_double(cap, 3);
-      }
-      table.add_row({
-          format_double(budget, 4),
-          to_string(policy),
-          format_double(report.throughput, 4),
-          format_double(report.total_power_w, 4),
-          std::to_string(report.violations),
-          caps,
-      });
-    }
+  for (const auto& row : rows) {
+    table.add_row(row);
   }
   table.print(std::cout);
   std::cout << "\nExpected: marginal-gain finds the GPU-friendly nodes' "

@@ -147,6 +147,18 @@ std::vector<std::string> Injector::arm_presets(std::string_view list) {
       // burst outlives any bench): kernels do ~60% more work with worse
       // locality — the mid-run phase change the adapt loop must catch.
       arm("soc.kernel_shift", {0.02, 100000, 1.6});
+    } else if (name == "node_loss") {
+      // Each fire permanently kills one fleet replica (drawn per replica
+      // per tick) — low probability, because losses accumulate.
+      arm("fleet.node_loss", {0.004, 1, 1.0});
+    } else if (name == "partition") {
+      // Bursts of dropped heartbeats: long enough to push nodes through
+      // Suspect toward Dead, short enough that some recover.
+      arm("fleet.partition", {0.02, 5, 1.0});
+    } else if (name == "slow_node") {
+      // A replica's call runs `magnitude` times slower for the burst —
+      // the straggler the hedging layer exists to cut off.
+      arm("fleet.slow_node", {0.05, 4, 8.0});
     } else {
       ACSEL_LOG_WARN("fault: unknown preset '" << std::string{name}
                                                << "' ignored");

@@ -1,0 +1,89 @@
+#include "fleet/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace acsel::fleet {
+
+BudgetBalancer::BudgetBalancer(std::size_t shards,
+                               const BudgetOptions& options)
+    : options_(options), shards_(shards) {
+  ACSEL_CHECK_MSG(shards >= 1, "budget balancer needs >= 1 shard");
+  ACSEL_CHECK_MSG(options_.global_budget_w > 0.0,
+                  "global power budget must be positive");
+  ACSEL_CHECK_MSG(options_.nominal_cap_w > options_.allocator.floor_w,
+                  "nominal cap must exceed the allocation floor");
+  for (ShardBudget& shard : shards_) {
+    shard.cap_w = options_.nominal_cap_w;
+    shard.latency_scale = 1.0;
+  }
+}
+
+void BudgetBalancer::set_global_budget(double budget_w) {
+  ACSEL_CHECK_MSG(std::isfinite(budget_w) && budget_w > 0.0,
+                  "global power budget must be finite and positive");
+  options_.global_budget_w = budget_w;
+}
+
+double BudgetBalancer::latency_scale_at(double cap_w) const {
+  // Service time vs power follows the frontier shape the paper reports:
+  // steep gains just above the floor, diminishing returns toward the top
+  // of the range. t(cap) = 1 + k / (cap - floor), normalized so
+  // t(nominal) = 1.0 exactly.
+  const double floor = options_.allocator.floor_w;
+  const double k = 0.5 * (options_.nominal_cap_w - floor);
+  const double clamped = std::max(cap_w, floor + 0.5);
+  const double raw = 1.0 + k / (clamped - floor);
+  const double at_nominal = 1.0 + k / (options_.nominal_cap_w - floor);
+  return raw / at_nominal;
+}
+
+void BudgetBalancer::rebalance(const std::vector<std::uint64_t>& demand,
+                               const std::vector<bool>& dead) {
+  ACSEL_CHECK_MSG(demand.size() == shards_.size() &&
+                      dead.size() == shards_.size(),
+                  "rebalance: demand/dead size mismatch");
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : demand) {
+    total += n;
+  }
+
+  std::vector<cluster::NodeView> views(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const double share =
+        total == 0 ? 1.0 / static_cast<double>(shards_.size())
+                   : static_cast<double>(demand[s]) /
+                         static_cast<double>(total);
+    cluster::NodeView& view = views[s];
+    // A dead shard draws idle power and gains nothing from budget; the
+    // allocator naturally starves it toward the floor.
+    view.recent_power_w =
+        dead[s] ? options_.idle_power_w
+                : options_.idle_power_w + share * options_.active_power_w;
+    view.min_cap_w = options_.allocator.floor_w;
+    const double load = dead[s] ? 0.0 : share;
+    view.predicted_latency_ms = [this, load](double budget_w) {
+      // Marginal gain weights shards by how much load their latency
+      // curve carries; a dead shard's flat curve attracts nothing.
+      return latency_scale_at(budget_w) * (0.1 + load);
+    };
+  }
+
+  const std::vector<double> caps = cluster::allocate(
+      options_.policy, options_.global_budget_w, views, options_.allocator);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].cap_w = caps[s];
+    shards_[s].recent_requests = demand[s];
+    shards_[s].latency_scale = latency_scale_at(caps[s]);
+  }
+  ++rebalances_;
+  ACSEL_LOG_DEBUG("fleet: rebalanced "
+                  << options_.global_budget_w << " W across "
+                  << shards_.size() << " shards (" << total
+                  << " requests in window)");
+}
+
+}  // namespace acsel::fleet

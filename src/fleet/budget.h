@@ -1,0 +1,83 @@
+// Cluster-wide power reallocation across shard machines. The fleet
+// treats the facility power budget as one global resource (Chen et al.'s
+// heterogeneous cloud-edge framing) rather than a per-machine constant:
+// every `rebalance_period` ticks the balancer rebuilds a
+// cluster::NodeView per shard — demand from the shard's delivered
+// requests since the last rebalance, latency curve from the shard's
+// analytic power model — and runs the existing cluster::allocate
+// policies (uniform / demand-proportional / marginal-gain water-filling)
+// over them.
+//
+// The resulting caps feed back into serving: a shard starved of power
+// serves slower (its latency scale rises along its power curve), which
+// the hedging layer then routes around — the same coupling a real fleet
+// sees between its power manager and its tail latency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/power_manager.h"
+
+namespace acsel::fleet {
+
+struct BudgetOptions {
+  /// Facility budget split across shard machines, W.
+  double global_budget_w = 240.0;
+  cluster::AllocationPolicy policy =
+      cluster::AllocationPolicy::DemandProportional;
+  cluster::AllocatorOptions allocator;
+  /// Idle draw of a shard machine, W (the demand floor).
+  double idle_power_w = 12.0;
+  /// Additional draw of a fully loaded shard machine, W.
+  double active_power_w = 28.0;
+  /// Nominal per-shard cap used to normalize the latency scale: at this
+  /// cap a shard serves at 1.0x.
+  double nominal_cap_w = 30.0;
+};
+
+/// One shard machine's view for allocation, plus the serving-side effect
+/// of its current cap.
+struct ShardBudget {
+  double cap_w = 0.0;
+  /// Requests delivered in the last demand window (the allocation signal).
+  std::uint64_t recent_requests = 0;
+  /// Simulated service-time multiplier implied by cap_w (1.0 at the
+  /// nominal cap; rises as the cap drops toward the floor).
+  double latency_scale = 1.0;
+};
+
+class BudgetBalancer {
+ public:
+  BudgetBalancer(std::size_t shards, const BudgetOptions& options);
+
+  /// Reallocates the global budget from one demand window: `demand[s]`
+  /// is the requests shard s delivered since the last rebalance (the
+  /// caller owns the counters — the fleet keeps them on atomics so this
+  /// stays a pure function of its inputs). Dead shards report zero
+  /// demand and their budget flows to the survivors.
+  void rebalance(const std::vector<std::uint64_t>& demand,
+                 const std::vector<bool>& dead);
+
+  /// The shard's current allocation (nominal cap before first rebalance).
+  const ShardBudget& shard(std::uint32_t s) const { return shards_[s]; }
+  std::size_t size() const { return shards_.size(); }
+  std::uint64_t rebalances() const { return rebalances_; }
+  double global_budget_w() const { return options_.global_budget_w; }
+
+  /// The facility operator's knob; applies at the next rebalance.
+  void set_global_budget(double budget_w);
+
+  /// The analytic latency model: predicted service-time scale of a shard
+  /// at `cap_w` (non-increasing in cap; 1.0 at nominal). Exposed so the
+  /// demo can plot it.
+  double latency_scale_at(double cap_w) const;
+
+ private:
+  BudgetOptions options_;
+  std::vector<ShardBudget> shards_;
+  std::uint64_t rebalances_ = 0;
+};
+
+}  // namespace acsel::fleet

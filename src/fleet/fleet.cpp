@@ -1,0 +1,486 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "exec/task_group.h"
+#include "fault/fault.h"
+#include "obs/trace.h"
+#include "serve/codec.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace acsel::fleet {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Fleet::Fleet(const FleetOptions& options)
+    : options_(options),
+      ring_(options.ring_vnodes),
+      membership_(options.membership),
+      balancer_(options.shards, options.budget),
+      metrics_(options.shards) {
+  ACSEL_CHECK_MSG(options_.shards >= 1, "fleet needs >= 1 shard");
+  ACSEL_CHECK_MSG(options_.replicas >= 1,
+                  "fleet needs >= 1 replica per shard");
+  ACSEL_CHECK_MSG(options_.rebalance_period >= 1,
+                  "rebalance period must be >= 1 tick");
+  ACSEL_CHECK_MSG(options_.replica_timeout_ns >= 1,
+                  "replica timeout must be >= 1 ns");
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    ring_.add(static_cast<std::uint32_t>(s));
+    auto group = std::make_unique<ShardGroup>();
+    group->hedge_delay_ns.store(options_.replica_timeout_ns,
+                                std::memory_order_relaxed);
+    group->replicas.reserve(options_.replicas);
+    for (std::size_t r = 0; r < options_.replicas; ++r) {
+      auto replica = std::make_unique<Replica>();
+      replica->id = NodeId{static_cast<std::uint32_t>(s),
+                           static_cast<std::uint32_t>(r)};
+      replica->server =
+          std::make_unique<serve::Server>(replica->registry, options_.server);
+      serve::ClientOptions client_options = options_.client;
+      // Decorrelate each replica link's retry jitter stream.
+      client_options.seed = Rng::mix_seeds(
+          client_options.seed, (std::uint64_t{replica->id.shard} << 32) |
+                                   replica->id.replica);
+      serve::Server* server = replica->server.get();
+      replica->client = std::make_unique<serve::Client>(
+          [server](std::span<const std::uint8_t> frame) {
+            return server->serve_frame(frame);
+          },
+          client_options);
+      membership_.join(replica->id);
+      group->replicas.push_back(std::move(replica));
+    }
+    shards_.push_back(std::move(group));
+  }
+  metrics_.set_alive_replicas(options_.shards * options_.replicas);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    metrics_.set_shard_cap(static_cast<std::uint32_t>(s),
+                           balancer_.shard(static_cast<std::uint32_t>(s)).cap_w);
+  }
+  ACSEL_LOG_INFO("fleet: started " << options_.shards << " shards x "
+                                   << options_.replicas << " replicas");
+}
+
+Fleet::~Fleet() { stop(); }
+
+void Fleet::stop() {
+  for (auto& group : shards_) {
+    for (auto& replica : group->replicas) {
+      replica->server->stop();
+    }
+  }
+}
+
+std::uint64_t Fleet::publish(core::TrainedModel model) {
+  return publish(std::make_shared<const core::TrainedModel>(std::move(model)));
+}
+
+std::uint64_t Fleet::publish(
+    std::shared_ptr<const core::TrainedModel> model) {
+  ACSEL_CHECK_MSG(model != nullptr, "fleet: cannot publish a null model");
+  const std::uint64_t version =
+      version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  {
+    std::lock_guard<std::mutex> lock{model_mu_};
+    current_model_ = model;
+  }
+  for (auto& group : shards_) {
+    for (auto& replica : group->replicas) {
+      if (replica->failed.load(std::memory_order_acquire)) {
+        continue;  // a dead node misses the publish; revive catches it up
+      }
+      adopt_on_replica(*replica, version, model);
+    }
+  }
+  ACSEL_LOG_INFO("fleet: published model as fleet version " << version);
+  return version;
+}
+
+void Fleet::adopt_on_replica(
+    Replica& replica, std::uint64_t version,
+    const std::shared_ptr<const core::TrainedModel>& model) {
+  try {
+    replica.registry.adopt_model(version, model);
+  } catch (const Error& error) {
+    // The skew guard refusing is the correct outcome for a stale replay;
+    // the replica keeps serving its newer model.
+    ACSEL_LOG_WARN("fleet: node " << replica.id.shard << "/"
+                                  << replica.id.replica
+                                  << " refused version " << version << ": "
+                                  << error.what());
+  }
+}
+
+std::uint64_t Fleet::route_key(const serve::SelectRequest& request) {
+  // The kernel-cluster identity: requests about the same kernel land on
+  // the same shard, which is what makes the per-batch prediction memo in
+  // serve::Server pay off fleet-wide.
+  const profile::KernelRecord& record = request.samples.cpu;
+  std::string key;
+  key.reserve(record.benchmark.size() + record.input.size() +
+              record.kernel.size() + 2);
+  key += record.benchmark;
+  key += '\x1f';
+  key += record.input;
+  key += '\x1f';
+  key += record.kernel;
+  return hash_bytes(key);
+}
+
+std::uint32_t Fleet::shard_of(const serve::SelectRequest& request) const {
+  return ring_.owner(route_key(request));
+}
+
+serve::SelectResponse Fleet::select(const serve::SelectRequest& request) {
+  ACSEL_OBS_SPAN("fleet.route", "fleet");
+  metrics_.on_routed();
+  const std::vector<std::uint32_t> candidates =
+      ring_.owners(route_key(request), 1 + options_.reroute_fallbacks);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    serve::SelectResponse response;
+    if (serve_on_shard(candidates[i], request, response)) {
+      if (i > 0) {
+        metrics_.on_rerouted();
+      }
+      return response;
+    }
+  }
+  // Owner and every fallback unreachable: shed explicitly — the caller
+  // gets an answer, and the loss is a counted decision, not a drop.
+  metrics_.on_shed();
+  serve::SelectResponse shed;
+  shed.request_id = request.request_id;
+  shed.status = serve::ResponseStatus::Shed;
+  return shed;
+}
+
+Fleet::Slot Fleet::call_replica(ShardGroup& group, std::size_t replica_index,
+                                const serve::SelectRequest& request) {
+  Slot slot;
+  slot.replica = replica_index;
+  Replica& replica = *group.replicas[replica_index];
+  if (replica.failed.load(std::memory_order_acquire)) {
+    // A lost node answers nothing; its slot costs the timeout.
+    slot.sim_ns = options_.replica_timeout_ns;
+    metrics_.on_replica_timeout();
+    return slot;
+  }
+  const std::uint64_t start_ns = steady_now_ns();
+  {
+    std::lock_guard<std::mutex> lock{replica.client_mu};
+    slot.response = replica.client->select(request);
+  }
+  const std::uint64_t measured_ns =
+      std::max<std::uint64_t>(steady_now_ns() - start_ns, 1);
+  std::uint64_t sim_ns = options_.latency_model
+                             ? options_.latency_model(replica.id, measured_ns)
+                             : measured_ns;
+  if (ACSEL_FAULT_ARMED() && ACSEL_FAULT_FIRE("fleet.slow_node")) {
+    const double magnitude =
+        fault::Injector::global().magnitude("fleet.slow_node");
+    sim_ns = static_cast<std::uint64_t>(
+        static_cast<double>(sim_ns) * std::max(magnitude, 1.0));
+  }
+  // A power-starved shard serves slower (its cap's latency scale).
+  sim_ns = static_cast<std::uint64_t>(
+      static_cast<double>(sim_ns) *
+      group.latency_scale.load(std::memory_order_relaxed));
+  slot.sim_ns = std::max<std::uint64_t>(sim_ns, 1);
+  slot.replied = true;
+  return slot;
+}
+
+bool Fleet::serve_on_shard(std::uint32_t shard,
+                           const serve::SelectRequest& request,
+                           serve::SelectResponse& out) {
+  ACSEL_OBS_SPAN("fleet.fanout", "fleet");
+  ShardGroup& group = *shards_[shard];
+  std::vector<std::size_t> routable;
+  {
+    std::lock_guard<std::mutex> lock{membership_mu_};
+    for (std::size_t r = 0; r < group.replicas.size(); ++r) {
+      if (membership_.routable(group.replicas[r]->id)) {
+        routable.push_back(r);
+      }
+    }
+  }
+  if (routable.empty()) {
+    return false;  // detected-dead shard: reroute without paying timeouts
+  }
+
+  // Fan out to every routable replica (slot-per-index writes keep the
+  // round deterministic whatever the executor interleaving).
+  std::vector<Slot> slots(routable.size());
+  if (options_.executor != nullptr && routable.size() > 1) {
+    exec::TaskGroup fanout{*options_.executor};
+    for (std::size_t i = 0; i < routable.size(); ++i) {
+      fanout.spawn([this, &group, &request, &slots, &routable, i] {
+        slots[i] = call_replica(group, routable[i], request);
+      });
+    }
+    fanout.wait();
+  } else {
+    for (std::size_t i = 0; i < routable.size(); ++i) {
+      slots[i] = call_replica(group, routable[i], request);
+    }
+  }
+
+  std::vector<ReplicaReply> replies;
+  std::uint64_t fastest_ns = 0;
+  for (const Slot& slot : slots) {
+    if (!slot.replied) {
+      continue;
+    }
+    replies.push_back(ReplicaReply{slot.replica, slot.response});
+    fastest_ns = fastest_ns == 0 ? slot.sim_ns
+                                 : std::min(fastest_ns, slot.sim_ns);
+  }
+  if (replies.empty()) {
+    return false;  // nothing answered (undetected loss): reroute
+  }
+
+  const VoteVerdict verdict = Voter::vote(replies);
+  metrics_.on_vote(verdict.disagreement, verdict.median_fallback);
+
+  // Hedging in simulated time: a slot slower than the p95-derived delay
+  // is re-issued to the fastest replica and completes at hedge_delay +
+  // that replica's time ("send to a second replica, take the first
+  // response"). Votes above came from the replies that actually arrived;
+  // hedging governs *when* the quorum completes, not what it says.
+  const std::uint64_t hedge_delay =
+      group.hedge_delay_ns.load(std::memory_order_relaxed);
+  const bool hedging = options_.hedge_p95_multiplier > 0.0;
+  std::vector<std::uint64_t> effective_ns;
+  effective_ns.reserve(slots.size());
+  for (const Slot& slot : slots) {
+    std::uint64_t effective = slot.sim_ns;
+    if (hedging && slot.sim_ns > hedge_delay) {
+      const std::uint64_t hedged = hedge_delay + fastest_ns;
+      if (hedged < slot.sim_ns) {
+        effective = hedged;
+        metrics_.on_hedge_fired(shard);
+      }
+    }
+    effective_ns.push_back(effective);
+  }
+  std::sort(effective_ns.begin(), effective_ns.end());
+  const std::size_t quorum = slots.size() / 2 + 1;
+  const std::uint64_t service_ns = effective_ns[quorum - 1];
+
+  group.service_latency.record(service_ns);
+  group.busy_ns.fetch_add(service_ns, std::memory_order_relaxed);
+  group.window_delivered.fetch_add(1, std::memory_order_relaxed);
+  metrics_.on_delivered(shard, service_ns);
+
+  out = verdict.response;
+  out.request_id = request.request_id;
+  return true;
+}
+
+void Fleet::tick() {
+  ++ticks_;
+  const bool chaos = ACSEL_FAULT_ARMED();
+
+  // 1. Node-loss chaos: a fired draw silences one more replica.
+  if (chaos) {
+    for (auto& group : shards_) {
+      for (auto& replica : group->replicas) {
+        if (!replica->failed.load(std::memory_order_acquire) &&
+            ACSEL_FAULT_FIRE("fleet.node_loss")) {
+          replica->failed.store(true, std::memory_order_release);
+          ACSEL_LOG_WARN("fleet: chaos killed node "
+                         << replica->id.shard << "/" << replica->id.replica);
+        }
+      }
+    }
+  }
+
+  // 2. Heartbeats (partition chaos drops some) + failure detection.
+  std::size_t alive = 0;
+  {
+    std::lock_guard<std::mutex> lock{membership_mu_};
+    for (auto& group : shards_) {
+      for (auto& replica : group->replicas) {
+        if (replica->failed.load(std::memory_order_acquire)) {
+          continue;  // a dead node heartbeats nobody
+        }
+        if (chaos && ACSEL_FAULT_FIRE("fleet.partition")) {
+          metrics_.on_heartbeat_dropped();
+          continue;
+        }
+        membership_.heartbeat(replica->id);
+      }
+    }
+    membership_.tick();
+    metrics_.set_membership_transitions(membership_.transitions());
+    for (auto& group : shards_) {
+      for (auto& replica : group->replicas) {
+        if (membership_.alive(replica->id)) {
+          ++alive;
+        }
+      }
+    }
+  }
+  metrics_.set_alive_replicas(alive);
+
+  // 3. Refresh per-shard hedge delays from the service-latency p95.
+  if (options_.hedge_p95_multiplier > 0.0) {
+    for (auto& group : shards_) {
+      // Hold the timeout-derived default until the tracker has enough
+      // samples for a meaningful tail.
+      if (group->service_latency.count() >= 32) {
+        const double p95 = static_cast<double>(
+            group->service_latency.quantile_nanos(0.95));
+        const std::uint64_t delay = std::max(
+            options_.hedge_min_delay_ns,
+            static_cast<std::uint64_t>(p95 * options_.hedge_p95_multiplier));
+        group->hedge_delay_ns.store(delay, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // 4. Power-budget reallocation when due.
+  if (ticks_ % options_.rebalance_period == 0) {
+    std::vector<std::uint64_t> demand(shards_.size(), 0);
+    std::vector<bool> dead(shards_.size(), false);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      demand[s] = shards_[s]->window_delivered.exchange(
+          0, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock{membership_mu_};
+      dead[s] = membership_
+                    .routable_replicas(static_cast<std::uint32_t>(s))
+                    .empty();
+    }
+    std::lock_guard<std::mutex> lock{balancer_mu_};
+    balancer_.rebalance(demand, dead);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const ShardBudget& budget =
+          balancer_.shard(static_cast<std::uint32_t>(s));
+      metrics_.set_shard_cap(static_cast<std::uint32_t>(s), budget.cap_w);
+      shards_[s]->latency_scale.store(budget.latency_scale,
+                                      std::memory_order_relaxed);
+    }
+  }
+}
+
+void Fleet::fail_node(NodeId node) {
+  ACSEL_CHECK_MSG(node.shard < shards_.size() &&
+                      node.replica < shards_[node.shard]->replicas.size(),
+                  "fail_node: unknown node");
+  shards_[node.shard]->replicas[node.replica]->failed.store(
+      true, std::memory_order_release);
+}
+
+void Fleet::revive_node(NodeId node) {
+  ACSEL_CHECK_MSG(node.shard < shards_.size() &&
+                      node.replica < shards_[node.shard]->replicas.size(),
+                  "revive_node: unknown node");
+  Replica& replica = *shards_[node.shard]->replicas[node.replica];
+  replica.failed.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock{membership_mu_};
+    membership_.revive(node);
+  }
+  // Catch the rejoining node up to the fleet's current model. The skew
+  // guard makes this safe to race with a concurrent publish: whichever
+  // version is newer wins, the older adopt is refused.
+  std::shared_ptr<const core::TrainedModel> model;
+  {
+    std::lock_guard<std::mutex> lock{model_mu_};
+    model = current_model_;
+  }
+  if (model != nullptr) {
+    adopt_on_replica(replica, version_.load(std::memory_order_acquire),
+                     model);
+  }
+}
+
+serve::FleetStats Fleet::stats() const {
+  serve::FleetStats stats;
+  stats.attached = true;
+  stats.shards = static_cast<std::uint32_t>(options_.shards);
+  stats.replicas =
+      static_cast<std::uint32_t>(options_.shards * options_.replicas);
+  {
+    std::lock_guard<std::mutex> lock{membership_mu_};
+    std::uint32_t alive = 0;
+    for (const auto& group : shards_) {
+      for (const auto& replica : group->replicas) {
+        if (membership_.routable(replica->id)) {
+          ++alive;
+        }
+      }
+    }
+    stats.replicas_alive = alive;
+    stats.membership_transitions = membership_.transitions();
+  }
+  stats.routed = metrics_.routed();
+  stats.delivered = metrics_.delivered();
+  stats.shed = metrics_.shed();
+  stats.rerouted = metrics_.rerouted();
+  stats.hedges_fired = metrics_.hedges_fired();
+  stats.vote_disagreements = metrics_.vote_disagreements();
+  stats.median_fallbacks = metrics_.median_fallbacks();
+  stats.heartbeats_dropped = metrics_.heartbeats_dropped();
+  stats.replica_timeouts = metrics_.replica_timeouts();
+  {
+    std::lock_guard<std::mutex> lock{balancer_mu_};
+    stats.rebalances = balancer_.rebalances();
+    stats.global_budget_w = balancer_.global_budget_w();
+  }
+  return stats;
+}
+
+std::vector<std::uint8_t> Fleet::serve_frame(
+    std::span<const std::uint8_t> frame) {
+  const serve::Decoded decoded = serve::decode_frame(frame);
+  std::vector<std::uint8_t> out;
+  if (decoded.status == serve::DecodeStatus::Ok &&
+      decoded.type == serve::MessageType::StatsRequest) {
+    serve::StatsResponse response;
+    response.request_id = decoded.stats_request.request_id;
+    response.status = serve::ResponseStatus::Ok;
+    response.metrics = metrics_.registry().snapshot();
+    response.fleet = stats();
+    serve::encode_stats_response(response, out);
+    return out;
+  }
+  if (decoded.status == serve::DecodeStatus::Ok &&
+      decoded.type == serve::MessageType::FeedbackRequest) {
+    // The fleet router holds no adapt sink; feedback belongs on the
+    // replica servers it fronts.
+    serve::FeedbackResponse ack;
+    ack.request_id = decoded.feedback.request_id;
+    ack.status = serve::ResponseStatus::Unsupported;
+    serve::encode_feedback_response(ack, out);
+    return out;
+  }
+  serve::SelectResponse response;
+  if (decoded.status != serve::DecodeStatus::Ok ||
+      decoded.type != serve::MessageType::SelectRequest) {
+    response.status = serve::ResponseStatus::MalformedRequest;
+  } else {
+    response = select(decoded.request);
+  }
+  serve::encode_response(response, out);
+  return out;
+}
+
+}  // namespace acsel::fleet

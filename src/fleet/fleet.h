@@ -1,0 +1,230 @@
+// The sharded multi-node serving fleet in front of serve::Server: a
+// consistent-hash Router spreads kernel clusters over shard groups, each
+// group is an N-replica set voted through fleet::Voter, membership is
+// heartbeat-driven with deterministic failure detection, slow replica
+// slots are hedged after a p95-derived delay, and a BudgetBalancer
+// periodically reallocates the facility power budget across the shards'
+// simulated machines.
+//
+// In-process multi-node model: every replica is a full serving node —
+// its own ModelRegistry (so version skew between nodes is a real state,
+// guarded by ModelRegistry::adopt_model), its own serve::Server, and a
+// serve::Client for transport (wire codec + retry/backoff, the exact
+// bytes a socket deployment would move). Because the replicas of a group
+// — and the groups of a fleet — are separate machines in deployment,
+// per-request service time is modelled in *simulated* time: a request's
+// shard latency is the quorum-completion point over its replica
+// latencies (majority of routable replicas), hedged slots complete at
+// hedge_delay + fastest-replica time, and a shard's busy time is the sum
+// of its requests' service times. Benches project fleet-aggregate
+// throughput from those per-shard busy clocks; wall-clock on one box
+// only bounds how fast the bench itself runs.
+//
+// Failure semantics (the contract the chaos tests pin):
+//   * a failed replica answers nothing; its slot times out at
+//     replica_timeout_ns and contributes no vote. Hedging caps the slot
+//     at hedge_delay + fastest live replica.
+//   * a request whose owner shard has no routable replica, or whose
+//     fan-out produced zero replies, is rerouted to the next distinct
+//     shards on the ring (reroute_fallbacks of them);
+//   * when every fallback fails too, the request is answered Shed —
+//     every select() returns a response; nothing is silently lost.
+//
+// Fault sites (armed via ACSEL_FAULTS presets "node_loss", "partition",
+// "slow_node"): "fleet.node_loss" permanently fails one replica per
+// fire (drawn at tick time), "fleet.partition" drops heartbeats,
+// "fleet.slow_node" multiplies a replica call's simulated latency by the
+// site magnitude.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/model.h"
+#include "exec/executor.h"
+#include "fleet/budget.h"
+#include "fleet/hash_ring.h"
+#include "fleet/membership.h"
+#include "fleet/metrics.h"
+#include "fleet/voter.h"
+#include "serve/client.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace acsel::fleet {
+
+struct FleetOptions {
+  /// Shard groups on the ring.
+  std::size_t shards = 4;
+  /// Replicas per shard group (NMR width; 3 = classic TMR).
+  std::size_t replicas = 3;
+  /// Ring points per shard.
+  std::size_t ring_vnodes = 64;
+  /// Distinct fallback shards the router walks when the owner is down.
+  std::size_t reroute_fallbacks = 2;
+  /// Per-replica server options (workers default 1: one node, one lane;
+  /// the fleet's parallelism is across nodes).
+  serve::ServerOptions server = [] {
+    serve::ServerOptions o;
+    o.workers = 1;
+    return o;
+  }();
+  /// Per-replica transport client (retry/backoff) options.
+  serve::ClientOptions client;
+  MembershipOptions membership;
+  BudgetOptions budget;
+  /// Rebalance the power budget every this many ticks.
+  std::uint64_t rebalance_period = 4;
+  /// Hedge a slow replica slot after max(hedge_min_delay_ns,
+  /// hedge_p95_multiplier * p95(shard service latency)). 0 multiplier
+  /// disables hedging.
+  double hedge_p95_multiplier = 1.5;
+  std::uint64_t hedge_min_delay_ns = 100'000;
+  /// Simulated cost of a replica slot that never answers.
+  std::uint64_t replica_timeout_ns = 10'000'000;
+  /// Optional executor for the replica fan-out (nullptr = inline). The
+  /// benches pass the shared pool; correctness never depends on it.
+  exec::Executor* executor = nullptr;
+  /// Maps a replica call's measured wall nanoseconds to simulated
+  /// nanoseconds (identity by default). Tests inject fixed schedules to
+  /// pin hedging and quorum arithmetic; must be thread-safe.
+  std::function<std::uint64_t(NodeId, std::uint64_t)> latency_model;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetOptions& options);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Publishes a model fleet-wide under the next fleet version: every
+  /// non-failed replica adopts it through its registry's version-skew
+  /// guard. Returns the fleet version assigned.
+  std::uint64_t publish(core::TrainedModel model);
+  std::uint64_t publish(std::shared_ptr<const core::TrainedModel> model);
+
+  /// Routes, fans out, votes, and returns the verdict. Always returns a
+  /// response; unroutable requests come back status Shed.
+  serve::SelectResponse select(const serve::SelectRequest& request);
+
+  /// Wire entry point: SelectRequest frames are routed through select(),
+  /// StatsRequest frames are answered with the fleet registry plus the
+  /// FleetStats block, anything else is rejected the way
+  /// Server::serve_frame rejects it.
+  std::vector<std::uint8_t> serve_frame(std::span<const std::uint8_t> frame);
+
+  /// One logical heartbeat period: draws node-loss chaos, delivers
+  /// heartbeats (minus partition drops), advances failure detection,
+  /// refreshes per-shard hedge delays, and rebalances the power budget
+  /// when due. Call from one driver thread; safe against concurrent
+  /// select().
+  void tick();
+
+  /// Kill switch (demo and chaos hook): permanently fails one replica.
+  void fail_node(NodeId node);
+  /// Operator revive: restarts heartbeats and re-publishes the current
+  /// fleet model to the replica (catching up any missed versions).
+  void revive_node(NodeId node);
+
+  /// The shard a request routes to (before liveness rerouting).
+  std::uint32_t shard_of(const serve::SelectRequest& request) const;
+
+  /// Routing key: the kernel-cluster identity of a request (hash of the
+  /// sample kernel's benchmark/input/kernel names).
+  static std::uint64_t route_key(const serve::SelectRequest& request);
+
+  serve::FleetStats stats() const;
+  const obs::Registry& stats_registry() const { return metrics_.registry(); }
+  const Membership& membership() const { return membership_; }
+  const BudgetBalancer& budget() const { return balancer_; }
+  std::uint64_t current_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Simulated busy nanoseconds of a shard: the sum of its requests'
+  /// quorum-completion times (what the bench projects aggregate
+  /// throughput from).
+  std::uint64_t shard_busy_ns(std::uint32_t shard) const {
+    return shards_[shard]->busy_ns.load(std::memory_order_relaxed);
+  }
+  /// Current hedge delay of a shard (refreshed each tick).
+  std::uint64_t hedge_delay_ns(std::uint32_t shard) const {
+    return shards_[shard]->hedge_delay_ns.load(std::memory_order_relaxed);
+  }
+  /// Requests delivered by / hedges fired on one shard.
+  std::uint64_t shard_requests(std::uint32_t shard) const {
+    return metrics_.shard_requests(shard);
+  }
+  std::uint64_t shard_hedges(std::uint32_t shard) const {
+    return metrics_.shard_hedges(shard);
+  }
+
+  const FleetOptions& options() const { return options_; }
+
+  /// Stops every replica server. Idempotent.
+  void stop();
+
+ private:
+  struct Replica {
+    NodeId id;
+    serve::ModelRegistry registry;
+    std::unique_ptr<serve::Server> server;
+    std::unique_ptr<serve::Client> client;
+    std::mutex client_mu;  // serve::Client is not thread-safe
+    std::atomic<bool> failed{false};
+  };
+
+  struct ShardGroup {
+    std::vector<std::unique_ptr<Replica>> replicas;
+    LatencyTracker service_latency;
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> hedge_delay_ns{0};
+    std::atomic<std::uint64_t> window_delivered{0};
+    /// Service-time multiplier from the shard's current power cap
+    /// (written at rebalance, read on the request path).
+    std::atomic<double> latency_scale{1.0};
+  };
+
+  /// One replica slot's outcome in a fan-out round.
+  struct Slot {
+    std::size_t replica = 0;
+    bool replied = false;
+    serve::SelectResponse response;
+    std::uint64_t sim_ns = 0;
+  };
+
+  /// Fans one request out to a shard's routable replicas and votes.
+  /// Returns false when the shard produced no reply at all (caller
+  /// reroutes).
+  bool serve_on_shard(std::uint32_t shard, const serve::SelectRequest& request,
+                      serve::SelectResponse& out);
+
+  Slot call_replica(ShardGroup& group, std::size_t replica_index,
+                    const serve::SelectRequest& request);
+
+  void adopt_on_replica(Replica& replica, std::uint64_t version,
+                        const std::shared_ptr<const core::TrainedModel>& model);
+
+  FleetOptions options_;
+  HashRing ring_;
+  mutable std::mutex membership_mu_;
+  Membership membership_;
+  mutable std::mutex balancer_mu_;
+  BudgetBalancer balancer_;
+  FleetMetrics metrics_;
+  std::vector<std::unique_ptr<ShardGroup>> shards_;
+  std::atomic<std::uint64_t> version_{0};
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const core::TrainedModel> current_model_;  // model_mu_
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace acsel::fleet

@@ -1,0 +1,107 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acsel::fleet {
+
+namespace {
+
+/// SplitMix64 finalizer: bijective, well-mixed — adjacent (shard, vnode)
+/// pairs land on uncorrelated ring points.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t hash_bytes(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64-bit offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  // One finalizer round: FNV mixes low bits poorly, and the ring compares
+  // full 64-bit values.
+  return mix64(h);
+}
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes) {
+  ACSEL_CHECK_MSG(vnodes >= 1, "hash ring needs >= 1 vnode per shard");
+}
+
+void HashRing::add(std::uint32_t shard) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  if (it != shards_.end() && *it == shard) {
+    return;
+  }
+  shards_.insert(it, shard);
+  rebuild();
+}
+
+void HashRing::remove(std::uint32_t shard) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  if (it == shards_.end() || *it != shard) {
+    return;
+  }
+  shards_.erase(it);
+  rebuild();
+}
+
+bool HashRing::contains(std::uint32_t shard) const {
+  return std::binary_search(shards_.begin(), shards_.end(), shard);
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  points_.reserve(shards_.size() * vnodes_);
+  for (const std::uint32_t shard : shards_) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      // Point position is a pure function of (shard, vnode): rings built
+      // by different routers, in different orders, are identical.
+      const std::uint64_t h =
+          mix64((std::uint64_t{shard} << 32) | std::uint64_t{v});
+      points_.push_back(Point{h, shard});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    // Shard id breaks (astronomically unlikely) point collisions, so the
+    // ring order never depends on sort stability.
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+std::uint32_t HashRing::owner(std::uint64_t key_hash) const {
+  ACSEL_CHECK_MSG(!points_.empty(), "owner() on an empty hash ring");
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), key_hash,
+      [](const Point& p, std::uint64_t h) { return p.hash < h; });
+  return it == points_.end() ? points_.front().shard : it->shard;
+}
+
+std::vector<std::uint32_t> HashRing::owners(std::uint64_t key_hash,
+                                            std::size_t count) const {
+  ACSEL_CHECK_MSG(!points_.empty(), "owners() on an empty hash ring");
+  std::vector<std::uint32_t> out;
+  out.reserve(std::min(count, shards_.size()));
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key_hash,
+      [](const Point& p, std::uint64_t h) { return p.hash < h; });
+  for (std::size_t walked = 0;
+       walked < points_.size() && out.size() < count && out.size() < shards_.size();
+       ++walked, ++it) {
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    if (std::find(out.begin(), out.end(), it->shard) == out.end()) {
+      out.push_back(it->shard);
+    }
+  }
+  return out;
+}
+
+}  // namespace acsel::fleet

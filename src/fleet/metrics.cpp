@@ -1,0 +1,68 @@
+#include "fleet/metrics.h"
+
+#include <algorithm>
+
+namespace acsel::fleet {
+
+std::uint64_t LatencyTracker::quantile_nanos(double q) const {
+  std::uint64_t total = 0;
+  std::array<std::uint64_t, obs::Histogram::kBuckets> counts{};
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    counts[b] = cells_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) {
+    return 0;
+  }
+  // Rank of the quantile sample, 1-based, clamped into [1, total].
+  const double target = q * static_cast<double>(total);
+  std::uint64_t rank = static_cast<std::uint64_t>(target);
+  if (static_cast<double>(rank) < target) {
+    ++rank;
+  }
+  rank = rank == 0 ? 1 : std::min(rank, total);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      return obs::Histogram::bucket_upper_nanos(b);
+    }
+  }
+  return obs::Histogram::bucket_upper_nanos(counts.size() - 1);
+}
+
+std::uint64_t LatencyTracker::count() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+FleetMetrics::FleetMetrics(std::size_t shards)
+    : routed_(&registry_.counter("fleet.routed")),
+      delivered_(&registry_.counter("fleet.delivered")),
+      shed_(&registry_.counter("fleet.shed")),
+      rerouted_(&registry_.counter("fleet.rerouted")),
+      hedges_(&registry_.counter("fleet.hedge_fired")),
+      votes_(&registry_.counter("fleet.votes")),
+      disagreements_(&registry_.counter("fleet.vote_disagreement")),
+      median_fallbacks_(&registry_.counter("fleet.vote_median_fallback")),
+      heartbeats_dropped_(&registry_.counter("fleet.heartbeat_dropped")),
+      replica_timeouts_(&registry_.counter("fleet.replica_timeout")),
+      membership_transitions_(
+          &registry_.gauge("fleet.membership_transitions")),
+      alive_replicas_(&registry_.gauge("fleet.alive_replicas")),
+      latency_(&registry_.histogram("fleet.latency")) {
+  shard_requests_.reserve(shards);
+  shard_hedges_.reserve(shards);
+  shard_caps_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string prefix = "fleet.shard" + std::to_string(s);
+    shard_requests_.push_back(&registry_.counter(prefix + ".requests"));
+    shard_hedges_.push_back(&registry_.counter(prefix + ".hedges"));
+    shard_caps_.push_back(&registry_.gauge(prefix + ".cap_w"));
+  }
+}
+
+}  // namespace acsel::fleet

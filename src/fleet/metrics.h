@@ -1,0 +1,135 @@
+// Fleet observability, following the ServerMetrics pattern: every counter
+// is a named row in the fleet's own obs::Registry (one registry per
+// Fleet, so a fleet and its replica servers never share rows), updated
+// through cached references on the routing hot path.
+//
+// LatencyTracker adds the one thing obs::Histogram's snapshot does not
+// expose: an arbitrary quantile. The hedging layer needs p95 — hedge
+// delay is p95-derived by spec — so the tracker reuses the histogram's
+// public bucket layout (obs::Histogram::bucket_of / bucket_upper_nanos)
+// over its own wait-free cells and reads any quantile from them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace acsel::fleet {
+
+/// Wait-free log-bucketed quantile tracker (nanosecond samples).
+class LatencyTracker {
+ public:
+  void record(std::uint64_t nanos) {
+    cells_[obs::Histogram::bucket_of(nanos)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// The smallest bucket upper bound covering fraction `q` of recorded
+  /// samples (0 when nothing recorded). q in [0, 1].
+  std::uint64_t quantile_nanos(double q) const;
+
+  std::uint64_t count() const;
+
+  void reset() {
+    for (auto& cell : cells_) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, obs::Histogram::kBuckets> cells_{};
+};
+
+/// Everything the fleet counts. Shard-indexed rows are named
+/// "fleet.shard<N>.*" so a registry scrape shows the per-shard split.
+class FleetMetrics {
+ public:
+  explicit FleetMetrics(std::size_t shards);
+
+  // -- hot-path updates --------------------------------------------------
+  void on_routed() { routed_->add(); }
+  void on_delivered(std::uint32_t shard, std::uint64_t service_nanos) {
+    delivered_->add();
+    shard_requests_[shard]->add();
+    latency_->record(service_nanos);
+  }
+  void on_shed() { shed_->add(); }
+  void on_rerouted() { rerouted_->add(); }
+  void on_hedge_fired(std::uint32_t shard) {
+    hedges_->add();
+    shard_hedges_[shard]->add();
+  }
+  void on_vote(bool disagreement, bool median_fallback) {
+    votes_->add();
+    if (disagreement) {
+      disagreements_->add();
+    }
+    if (median_fallback) {
+      median_fallbacks_->add();
+    }
+  }
+  void on_heartbeat_dropped() { heartbeats_dropped_->add(); }
+  void on_replica_timeout() { replica_timeouts_->add(); }
+
+  // -- tick-path updates -------------------------------------------------
+  void set_membership_transitions(std::uint64_t n) {
+    // Gauge, not counter: the Membership table owns the count.
+    membership_transitions_->set(static_cast<double>(n));
+  }
+  void set_alive_replicas(std::size_t n) {
+    alive_replicas_->set(static_cast<double>(n));
+  }
+  void set_shard_cap(std::uint32_t shard, double cap_w) {
+    shard_caps_[shard]->set(cap_w);
+  }
+
+  std::uint64_t routed() const { return routed_->value(); }
+  std::uint64_t delivered() const { return delivered_->value(); }
+  std::uint64_t shed() const { return shed_->value(); }
+  std::uint64_t rerouted() const { return rerouted_->value(); }
+  std::uint64_t hedges_fired() const { return hedges_->value(); }
+  std::uint64_t vote_disagreements() const { return disagreements_->value(); }
+  std::uint64_t median_fallbacks() const { return median_fallbacks_->value(); }
+  std::uint64_t heartbeats_dropped() const {
+    return heartbeats_dropped_->value();
+  }
+  std::uint64_t replica_timeouts() const { return replica_timeouts_->value(); }
+  std::uint64_t shard_requests(std::uint32_t shard) const {
+    return shard_requests_[shard]->value();
+  }
+  std::uint64_t shard_hedges(std::uint32_t shard) const {
+    return shard_hedges_[shard]->value();
+  }
+
+  const obs::Registry& registry() const { return registry_; }
+  obs::Histogram::Snapshot latency_snapshot() const {
+    return latency_->snapshot();
+  }
+
+ private:
+  obs::Registry registry_;
+  // Cached references into registry_ (stable for its lifetime).
+  obs::Counter* routed_;
+  obs::Counter* delivered_;
+  obs::Counter* shed_;
+  obs::Counter* rerouted_;
+  obs::Counter* hedges_;
+  obs::Counter* votes_;
+  obs::Counter* disagreements_;
+  obs::Counter* median_fallbacks_;
+  obs::Counter* heartbeats_dropped_;
+  obs::Counter* replica_timeouts_;
+  obs::Gauge* membership_transitions_;
+  obs::Gauge* alive_replicas_;
+  obs::Histogram* latency_;
+  std::vector<obs::Counter*> shard_requests_;
+  std::vector<obs::Counter*> shard_hedges_;
+  std::vector<obs::Gauge*> shard_caps_;
+};
+
+}  // namespace acsel::fleet

@@ -1,0 +1,92 @@
+#include "fleet/voter.h"
+
+#include <algorithm>
+#include <map>
+
+namespace acsel::fleet {
+
+VoteVerdict Voter::vote(const std::vector<ReplicaReply>& replies) {
+  VoteVerdict verdict;
+  if (replies.empty()) {
+    verdict.response.status = serve::ResponseStatus::InternalError;
+    return verdict;
+  }
+
+  // Canonical order first: replica index is unique per round, so every
+  // permutation of the same replies votes identically.
+  std::vector<const ReplicaReply*> sorted;
+  sorted.reserve(replies.size());
+  for (const ReplicaReply& reply : replies) {
+    sorted.push_back(&reply);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ReplicaReply* a, const ReplicaReply* b) {
+              return a->replica < b->replica;
+            });
+
+  std::vector<const ReplicaReply*> ok;
+  for (const ReplicaReply* reply : sorted) {
+    if (reply->response.status == serve::ResponseStatus::Ok) {
+      ok.push_back(reply);
+    }
+  }
+  verdict.ok_replies = ok.size();
+  if (ok.empty()) {
+    // Nothing to vote on; surface the first failure explicitly rather
+    // than inventing an answer.
+    verdict.response = sorted.front()->response;
+    return verdict;
+  }
+
+  // Tally by selected configuration.
+  std::map<std::uint32_t, std::size_t> tally;
+  for (const ReplicaReply* reply : ok) {
+    ++tally[reply->response.config_index];
+  }
+  verdict.disagreement = tally.size() > 1;
+
+  std::size_t best_votes = 0;
+  for (const auto& [config, votes] : tally) {
+    best_votes = std::max(best_votes, votes);
+  }
+
+  const ReplicaReply* winner = nullptr;
+  if (best_votes * 2 > ok.size()) {
+    // Strict majority: publish the first (lowest replica index) reply
+    // naming the winning configuration, so echoed fields (version,
+    // predictions) come from one concrete replica deterministically.
+    for (const ReplicaReply* reply : ok) {
+      if (tally[reply->response.config_index] == best_votes) {
+        winner = reply;
+        break;
+      }
+    }
+  } else {
+    // No majority: median fallback over the Ok replies by predicted
+    // power (lower config index, then lower replica index, break exact
+    // power ties). With an even count the lower median wins — a fixed,
+    // documented choice rather than an average of two replies that no
+    // replica actually produced.
+    verdict.median_fallback = true;
+    std::vector<const ReplicaReply*> by_power = ok;
+    std::sort(by_power.begin(), by_power.end(),
+              [](const ReplicaReply* a, const ReplicaReply* b) {
+                if (a->response.predicted_power_w !=
+                    b->response.predicted_power_w) {
+                  return a->response.predicted_power_w <
+                         b->response.predicted_power_w;
+                }
+                if (a->response.config_index != b->response.config_index) {
+                  return a->response.config_index < b->response.config_index;
+                }
+                return a->replica < b->replica;
+              });
+    winner = by_power[(by_power.size() - 1) / 2];
+  }
+
+  verdict.response = winner->response;
+  verdict.agreeing = tally[winner->response.config_index];
+  return verdict;
+}
+
+}  // namespace acsel::fleet

@@ -289,6 +289,21 @@ void put_stats_response_payload(std::vector<std::uint8_t>& out,
         adapt.canary_rejected, adapt.promotions, adapt.rollbacks}) {
     put_u64(out, v);
   }
+  // Fleet block, appended after the adapt block — same layering rule: the
+  // earlier offsets never move.
+  const FleetStats& fleet = response.fleet;
+  put_u8(out, fleet.attached ? 1 : 0);
+  put_u32(out, fleet.shards);
+  put_u32(out, fleet.replicas);
+  put_u32(out, fleet.replicas_alive);
+  for (const std::uint64_t v :
+       {fleet.routed, fleet.delivered, fleet.shed, fleet.rerouted,
+        fleet.hedges_fired, fleet.vote_disagreements, fleet.median_fallbacks,
+        fleet.membership_transitions, fleet.heartbeats_dropped,
+        fleet.replica_timeouts, fleet.rebalances}) {
+    put_u64(out, v);
+  }
+  put_f64(out, fleet.global_budget_w);
 }
 
 StatsResponse read_stats_response_payload(Reader& r) {
@@ -348,6 +363,32 @@ StatsResponse read_stats_response_payload(Reader& r) {
         &adapt.canary_evals, &adapt.shadow_evals, &adapt.canary_accepted,
         &adapt.canary_rejected, &adapt.promotions, &adapt.rollbacks}) {
     *v = r.u64();
+  }
+  FleetStats& fleet = response.fleet;
+  const std::uint8_t fleet_attached = r.u8();
+  if (fleet_attached > 1) {
+    throw PayloadError{};
+  }
+  fleet.attached = fleet_attached == 1;
+  fleet.shards = r.u32();
+  fleet.replicas = r.u32();
+  fleet.replicas_alive = r.u32();
+  // A replica count that cannot belong to the declared topology is a
+  // corrupt frame, not a big fleet.
+  if (fleet.replicas_alive > fleet.replicas) {
+    throw PayloadError{};
+  }
+  for (std::uint64_t* v :
+       {&fleet.routed, &fleet.delivered, &fleet.shed, &fleet.rerouted,
+        &fleet.hedges_fired, &fleet.vote_disagreements,
+        &fleet.median_fallbacks, &fleet.membership_transitions,
+        &fleet.heartbeats_dropped, &fleet.replica_timeouts,
+        &fleet.rebalances}) {
+    *v = r.u64();
+  }
+  fleet.global_budget_w = r.f64();
+  if (!std::isfinite(fleet.global_budget_w) || fleet.global_budget_w < 0.0) {
+    throw PayloadError{};
   }
   return response;
 }

@@ -124,6 +124,34 @@ struct AdaptStats {
   bool operator==(const AdaptStats&) const = default;
 };
 
+/// Fleet-layer state reported in a StatsResponse. All zeros (with
+/// attached = false) when the scrape was answered by a single server
+/// rather than a fleet router. Defined here (not in fleet) for the same
+/// reason AdaptStats is: the codec must encode it, and serve never
+/// depends on the layers above it.
+struct FleetStats {
+  bool attached = false;
+  std::uint32_t shards = 0;
+  /// Replicas configured / currently not Dead.
+  std::uint32_t replicas = 0;
+  std::uint32_t replicas_alive = 0;
+  std::uint64_t routed = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rerouted = 0;
+  std::uint64_t hedges_fired = 0;
+  std::uint64_t vote_disagreements = 0;
+  std::uint64_t median_fallbacks = 0;
+  std::uint64_t membership_transitions = 0;
+  std::uint64_t heartbeats_dropped = 0;
+  std::uint64_t replica_timeouts = 0;
+  std::uint64_t rebalances = 0;
+  /// Facility budget currently being split across shards, W.
+  double global_budget_w = 0.0;
+
+  bool operator==(const FleetStats&) const = default;
+};
+
 struct StatsResponse {
   std::uint64_t request_id = 0;
   ResponseStatus status = ResponseStatus::Ok;
@@ -131,6 +159,8 @@ struct StatsResponse {
   std::vector<obs::MetricSnapshot> metrics;
   /// Adaptation-loop state (zeros when no sink is attached).
   AdaptStats adapt;
+  /// Fleet-router state (zeros when the responder is a plain server).
+  FleetStats fleet;
 };
 
 /// What the server calls into when adaptation is wired up — implemented

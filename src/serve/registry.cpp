@@ -41,6 +41,61 @@ std::uint64_t ModelRegistry::publish_file(const std::string& path) {
   return publish(core::TrainedModel::load_shared(path));
 }
 
+std::uint64_t ModelRegistry::adopt_model(
+    std::uint64_t version, std::shared_ptr<const core::TrainedModel> model,
+    bool allow_rollback) {
+  ACSEL_CHECK_MSG(model != nullptr, "cannot adopt a null model");
+  ACSEL_CHECK_MSG(version >= 1, "adopted versions start at 1");
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    const std::uint64_t current_version =
+        history_.empty() ? 0 : history_[current_index_].version;
+    if (version == current_version) {
+      return version;  // idempotent re-adopt of what already serves
+    }
+    // The version-skew guard: without an explicit rollback override, time
+    // only moves forward — a lagging fleet replica replaying an old
+    // publish must not displace the newer model.
+    ACSEL_CHECK_MSG(version > current_version || allow_rollback,
+                    "adopt_model: version " + std::to_string(version) +
+                        " is older than current " +
+                        std::to_string(current_version) +
+                        " (set allow_rollback to override)");
+    // Insert in version order (history stays sorted, so previous_of and
+    // rollback keep their publish-order meaning), or re-point at a
+    // retained copy of that version.
+    auto it = std::lower_bound(
+        history_.begin(), history_.end(), version,
+        [](const VersionedModel& entry, std::uint64_t v) {
+          return entry.version < v;
+        });
+    if (it == history_.end() || it->version != version) {
+      it = history_.insert(it, VersionedModel{version, std::move(model)});
+    }
+    current_index_ = static_cast<std::size_t>(it - history_.begin());
+    if (options_.retain_limit > 0) {
+      const std::size_t limit =
+          std::max<std::size_t>(options_.retain_limit, 2);
+      while (history_.size() > limit && current_index_ >= 2) {
+        history_.erase(history_.begin());
+        --current_index_;
+        ++pruned_;
+      }
+    }
+  }
+  ACSEL_LOG_INFO("ModelRegistry: adopted model version " << version);
+  return version;
+}
+
+std::uint64_t ModelRegistry::adopt_model(std::uint64_t version,
+                                         core::TrainedModel model,
+                                         bool allow_rollback) {
+  return adopt_model(version,
+                     std::make_shared<const core::TrainedModel>(
+                         std::move(model)),
+                     allow_rollback);
+}
+
 VersionedModel ModelRegistry::current() const {
   std::lock_guard<std::mutex> lock{mu_};
   if (history_.empty()) {

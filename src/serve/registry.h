@@ -50,6 +50,21 @@ class ModelRegistry {
   /// without restarting) and publishes it.
   std::uint64_t publish_file(const std::string& path);
 
+  /// Adopts a model under an *externally assigned* version — the fleet
+  /// hand-off path, where a coordinator numbers versions cluster-wide
+  /// and every replica node adopts them. The version-skew guard: a
+  /// version older than the current one is rejected (throws
+  /// acsel::Error) unless `allow_rollback` is set, so a lagging replica
+  /// rejoining the fleet can never re-publish a stale model over a newer
+  /// one. Re-adopting the current version is an idempotent no-op.
+  /// Adopted versions and publish() versions share one ordered history;
+  /// publish() after adopt_model(v) assigns v+1.
+  std::uint64_t adopt_model(std::uint64_t version,
+                            std::shared_ptr<const core::TrainedModel> model,
+                            bool allow_rollback = false);
+  std::uint64_t adopt_model(std::uint64_t version, core::TrainedModel model,
+                            bool allow_rollback = false);
+
   /// The current serving version; {0, nullptr} before the first publish.
   VersionedModel current() const;
 

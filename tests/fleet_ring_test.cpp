@@ -1,0 +1,181 @@
+// Consistent-hash ring properties the fleet's routing leans on: stability
+// under membership churn (one shard's arrival or departure moves ~1/N of
+// the keys, never a reshuffle), order-independence (two routers agreeing
+// on the shard set agree on every owner), and distinct-fallback walks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet/hash_ring.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace acsel;
+using fleet::HashRing;
+
+/// A seeded population of kernel-cluster keys, hashed the way the router
+/// hashes them (benchmark/input/kernel strings).
+std::vector<std::uint64_t> seeded_keys(std::uint64_t seed, std::size_t n) {
+  Rng rng{seed};
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string name = "bench" + std::to_string(rng.uniform_index(40)) +
+                             "\x1finput" + std::to_string(i) + "\x1fkernel" +
+                             std::to_string(rng.uniform_index(1000));
+    keys.push_back(fleet::hash_bytes(name));
+  }
+  return keys;
+}
+
+HashRing ring_of(std::size_t shards, std::size_t vnodes = 64) {
+  HashRing ring{vnodes};
+  for (std::size_t s = 0; s < shards; ++s) {
+    ring.add(static_cast<std::uint32_t>(s));
+  }
+  return ring;
+}
+
+TEST(FleetRing, OwnerIsDeterministicAndOrderIndependent) {
+  const auto keys = seeded_keys(1, 500);
+  HashRing forward{64};
+  HashRing backward{64};
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    forward.add(s);
+    backward.add(7 - s);
+  }
+  for (const std::uint64_t key : keys) {
+    EXPECT_EQ(forward.owner(key), backward.owner(key));
+  }
+}
+
+TEST(FleetRing, RemovedShardRejoinsIdentically) {
+  const auto keys = seeded_keys(2, 500);
+  HashRing ring = ring_of(8);
+  std::vector<std::uint32_t> before;
+  for (const std::uint64_t key : keys) {
+    before.push_back(ring.owner(key));
+  }
+  ring.remove(3);
+  ring.add(3);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(ring.owner(keys[i]), before[i]);
+  }
+}
+
+// The tentpole property, as a property test over seeded key populations:
+// adding one shard to an N-shard ring moves about 1/(N+1) of the keys —
+// and every move goes *to* the new shard, never between old shards.
+TEST(FleetRing, AddingOneShardMovesAboutOneNthOfKeys) {
+  constexpr std::size_t kKeys = 4000;
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    const auto keys = seeded_keys(seed, kKeys);
+    for (const std::size_t shards : {4u, 8u, 16u}) {
+      HashRing ring = ring_of(shards);
+      std::vector<std::uint32_t> before;
+      before.reserve(keys.size());
+      for (const std::uint64_t key : keys) {
+        before.push_back(ring.owner(key));
+      }
+      ring.add(static_cast<std::uint32_t>(shards));
+      std::size_t moved = 0;
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        const std::uint32_t now = ring.owner(keys[i]);
+        if (now != before[i]) {
+          ++moved;
+          // A key never moves between pre-existing shards.
+          EXPECT_EQ(now, static_cast<std::uint32_t>(shards));
+        }
+      }
+      const double expected =
+          static_cast<double>(kKeys) / static_cast<double>(shards + 1);
+      // Consistent hashing is statistical: allow a factor-2 band around
+      // the ideal share (a naive mod-N rehash moves (N-1)/N of the keys
+      // and lands orders of magnitude outside this band).
+      EXPECT_GT(static_cast<double>(moved), expected * 0.5)
+          << "seed " << seed << ", shards " << shards;
+      EXPECT_LT(static_cast<double>(moved), expected * 2.0)
+          << "seed " << seed << ", shards " << shards;
+    }
+  }
+}
+
+TEST(FleetRing, RemovingOneShardMovesOnlyItsKeys) {
+  constexpr std::size_t kKeys = 4000;
+  for (const std::uint64_t seed : {7u, 17u, 27u}) {
+    const auto keys = seeded_keys(seed, kKeys);
+    HashRing ring = ring_of(8);
+    std::vector<std::uint32_t> before;
+    before.reserve(keys.size());
+    for (const std::uint64_t key : keys) {
+      before.push_back(ring.owner(key));
+    }
+    ring.remove(5);
+    std::size_t orphaned = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const std::uint32_t now = ring.owner(keys[i]);
+      if (before[i] == 5) {
+        ++orphaned;
+        EXPECT_NE(now, 5u);
+      } else {
+        // Keys the departed shard never owned do not move at all.
+        EXPECT_EQ(now, before[i]);
+      }
+    }
+    const double expected = static_cast<double>(kKeys) / 8.0;
+    EXPECT_GT(static_cast<double>(orphaned), expected * 0.5);
+    EXPECT_LT(static_cast<double>(orphaned), expected * 2.0);
+  }
+}
+
+TEST(FleetRing, LoadSpreadIsBounded) {
+  const auto keys = seeded_keys(99, 8000);
+  HashRing ring = ring_of(8, 128);
+  std::map<std::uint32_t, std::size_t> load;
+  for (const std::uint64_t key : keys) {
+    ++load[ring.owner(key)];
+  }
+  ASSERT_EQ(load.size(), 8u);  // every shard owns something
+  const double ideal = 8000.0 / 8.0;
+  for (const auto& [shard, count] : load) {
+    EXPECT_GT(static_cast<double>(count), ideal * 0.5) << "shard " << shard;
+    EXPECT_LT(static_cast<double>(count), ideal * 1.5) << "shard " << shard;
+  }
+}
+
+TEST(FleetRing, OwnersReturnsDistinctShardsOwnerFirst) {
+  const auto keys = seeded_keys(5, 200);
+  HashRing ring = ring_of(6);
+  for (const std::uint64_t key : keys) {
+    const auto owners = ring.owners(key, 3);
+    ASSERT_EQ(owners.size(), 3u);
+    EXPECT_EQ(owners[0], ring.owner(key));
+    std::vector<std::uint32_t> sorted = owners;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  }
+  // Asking for more shards than exist returns them all, once each.
+  const auto all = ring.owners(keys[0], 99);
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(FleetRing, AddAndRemoveAbsentAreNoOps) {
+  HashRing ring = ring_of(4);
+  const auto keys = seeded_keys(3, 100);
+  std::vector<std::uint32_t> before;
+  for (const std::uint64_t key : keys) {
+    before.push_back(ring.owner(key));
+  }
+  ring.add(2);      // already present
+  ring.remove(77);  // never added
+  EXPECT_EQ(ring.shard_count(), 4u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(ring.owner(keys[i]), before[i]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,382 @@
+// End-to-end fleet tests: routing stability, fleet-wide publish with the
+// version-skew guard catching up revived nodes, node loss -> reroute ->
+// deterministic failure detection, p95-derived hedging, demand-driven
+// budget rebalancing, the wire stats scrape, and the delivery accounting
+// contract (routed == delivered + shed, always).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/trainer.h"
+#include "eval/characterize.h"
+#include "exec/thread_pool.h"
+#include "fleet/fleet.h"
+#include "serve/codec.h"
+#include "soc/machine.h"
+#include "workloads/suite.h"
+
+namespace acsel::fleet {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    soc::Machine machine{soc::MachineSpec{}, 4242};
+    const auto suite = workloads::Suite::standard();
+    characterizations_ = new std::vector<core::KernelCharacterization>{};
+    for (const auto& instance : suite.instances()) {
+      characterizations_->push_back(
+          eval::characterize_instance(machine, instance));
+      if (characterizations_->size() == 12) {
+        break;
+      }
+    }
+    core::TrainerOptions options_a;
+    options_a.clusters = 3;
+    model_a_ = new core::TrainedModel{
+        core::train(*characterizations_, options_a).model};
+    core::TrainerOptions options_b;
+    options_b.clusters = 2;
+    model_b_ = new core::TrainedModel{
+        core::train(*characterizations_, options_b).model};
+  }
+
+  static void TearDownTestSuite() {
+    delete model_b_;
+    delete model_a_;
+    delete characterizations_;
+  }
+
+  static serve::SelectRequest make_request(std::uint64_t id,
+                                           std::uint64_t salt = 0) {
+    static const double caps[] = {18.0, 22.0, 26.0, 30.0, 40.0};
+    const std::uint64_t mix = id * 2654435761u + salt;
+    serve::SelectRequest request;
+    request.request_id = id;
+    request.samples =
+        (*characterizations_)[mix % characterizations_->size()].samples;
+    request.goal = static_cast<core::SchedulingGoal>(mix % 3);
+    if (mix % 7 != 0) {
+      request.cap_w = caps[mix % 5];
+    }
+    return request;
+  }
+
+  static FleetOptions small_fleet() {
+    FleetOptions options;
+    options.shards = 4;
+    options.replicas = 3;
+    return options;
+  }
+
+  static void expect_nothing_lost(const serve::FleetStats& stats) {
+    EXPECT_EQ(stats.routed, stats.delivered + stats.shed);
+  }
+
+  static std::vector<core::KernelCharacterization>* characterizations_;
+  static core::TrainedModel* model_a_;
+  static core::TrainedModel* model_b_;
+};
+
+std::vector<core::KernelCharacterization>* FleetTest::characterizations_ =
+    nullptr;
+core::TrainedModel* FleetTest::model_a_ = nullptr;
+core::TrainedModel* FleetTest::model_b_ = nullptr;
+
+// ---- routing -----------------------------------------------------------
+
+TEST_F(FleetTest, RoutesDeterministicallyAndDeliversEverything) {
+  Fleet fleet{small_fleet()};
+  fleet.publish(*model_a_);
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const auto request = make_request(i);
+    const std::uint32_t home = fleet.shard_of(request);
+    EXPECT_EQ(home, fleet.shard_of(request));  // pure function of the key
+    const auto response = fleet.select(request);
+    EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(response.request_id, request.request_id);
+  }
+  const auto stats = fleet.stats();
+  EXPECT_EQ(stats.routed, 60u);
+  EXPECT_EQ(stats.delivered, 60u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.rerouted, 0u);
+  // Healthy TMR on identical models: every vote unanimous.
+  EXPECT_EQ(stats.vote_disagreements, 0u);
+  expect_nothing_lost(stats);
+}
+
+TEST_F(FleetTest, SameKernelAlwaysLandsOnItsHomeShard) {
+  Fleet fleet{small_fleet()};
+  fleet.publish(*model_a_);
+  const auto request = make_request(3);
+  const std::uint32_t home = fleet.shard_of(request);
+  for (int i = 0; i < 10; ++i) {
+    (void)fleet.select(request);
+  }
+  EXPECT_EQ(fleet.shard_requests(home), 10u);
+}
+
+// ---- publish / version skew -------------------------------------------
+
+TEST_F(FleetTest, PublishAssignsMonotonicFleetVersions) {
+  Fleet fleet{small_fleet()};
+  EXPECT_EQ(fleet.current_version(), 0u);
+  EXPECT_EQ(fleet.publish(*model_a_), 1u);
+  EXPECT_EQ(fleet.publish(*model_b_), 2u);
+  EXPECT_EQ(fleet.current_version(), 2u);
+  const auto response = fleet.select(make_request(1));
+  EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+  EXPECT_EQ(response.model_version, 2u);
+}
+
+TEST_F(FleetTest, RevivedNodeCatchesUpToCurrentModel) {
+  Fleet fleet{small_fleet()};
+  fleet.publish(*model_a_);
+  // The node misses a publish while down...
+  fleet.fail_node(NodeId{0, 1});
+  fleet.publish(*model_b_);
+  // ...and is caught up by revive: every reply fleet-wide must carry the
+  // current fleet version, or the revived replica would lose votes.
+  fleet.revive_node(NodeId{0, 1});
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const auto response = fleet.select(make_request(i, 7));
+    EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(response.model_version, 2u);
+  }
+  EXPECT_EQ(fleet.stats().vote_disagreements, 0u);
+}
+
+// ---- node loss / membership -------------------------------------------
+
+TEST_F(FleetTest, DeadShardReroutesUntilDetectedThenSkipsFanout) {
+  FleetOptions options = small_fleet();
+  Fleet fleet{options};
+  fleet.publish(*model_a_);
+  const auto request = make_request(5);
+  const std::uint32_t home = fleet.shard_of(request);
+  for (std::uint32_t r = 0; r < options.replicas; ++r) {
+    fleet.fail_node(NodeId{home, r});
+  }
+
+  // Before detection: the shard is still routable, its fan-out produces
+  // zero replies, and the router falls through to the next ring shard.
+  const auto response = fleet.select(request);
+  EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+  auto stats = fleet.stats();
+  EXPECT_EQ(stats.rerouted, 1u);
+  EXPECT_GT(stats.replica_timeouts, 0u);
+
+  // Failure detection is deterministic in logical ticks: silent through
+  // suspect_after -> Suspect, through dead_after -> Dead, sticky.
+  for (std::uint64_t t = 0; t < options.membership.suspect_after; ++t) {
+    fleet.tick();
+  }
+  EXPECT_EQ(fleet.membership().state(NodeId{home, 0}), NodeState::Suspect);
+  for (std::uint64_t t = options.membership.suspect_after;
+       t < options.membership.dead_after; ++t) {
+    fleet.tick();
+  }
+  EXPECT_EQ(fleet.membership().state(NodeId{home, 0}), NodeState::Dead);
+  EXPECT_TRUE(fleet.membership().routable_replicas(home).empty());
+  EXPECT_GT(fleet.stats().membership_transitions, 0u);
+
+  // After detection the reroute is free: no fan-out, no timeout slots.
+  const std::uint64_t timeouts_before = fleet.stats().replica_timeouts;
+  const auto rerouted = fleet.select(request);
+  EXPECT_EQ(rerouted.status, serve::ResponseStatus::Ok);
+  EXPECT_EQ(fleet.stats().replica_timeouts, timeouts_before);
+  expect_nothing_lost(fleet.stats());
+}
+
+TEST_F(FleetTest, WholeFleetDownShedsExplicitly) {
+  FleetOptions options = small_fleet();
+  options.shards = 2;
+  Fleet fleet{options};
+  fleet.publish(*model_a_);
+  for (std::uint32_t s = 0; s < options.shards; ++s) {
+    for (std::uint32_t r = 0; r < options.replicas; ++r) {
+      fleet.fail_node(NodeId{s, r});
+    }
+  }
+  const auto response = fleet.select(make_request(9));
+  // The answer is an explicit Shed, not a drop or a hang.
+  EXPECT_EQ(response.status, serve::ResponseStatus::Shed);
+  EXPECT_EQ(response.request_id, make_request(9).request_id);
+  const auto stats = fleet.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.delivered, 0u);
+  expect_nothing_lost(stats);
+}
+
+TEST_F(FleetTest, QuorumSurvivesMinorityLoss) {
+  Fleet fleet{small_fleet()};
+  fleet.publish(*model_a_);
+  const auto request = make_request(2);
+  const std::uint32_t home = fleet.shard_of(request);
+  fleet.fail_node(NodeId{home, 2});  // one of three replicas
+  const auto response = fleet.select(request);
+  EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+  const auto stats = fleet.stats();
+  EXPECT_EQ(stats.rerouted, 0u);  // the shard itself still answered
+  EXPECT_EQ(stats.delivered, 1u);
+}
+
+// ---- hedging -----------------------------------------------------------
+
+TEST_F(FleetTest, HedgeDelayDerivesFromP95AndCutsStragglers) {
+  FleetOptions options = small_fleet();
+  // Deterministic latency schedule: replica 2 of every shard is a
+  // straggler, two orders of magnitude slower than its peers.
+  options.latency_model = [](NodeId id, std::uint64_t) -> std::uint64_t {
+    return id.replica == 2 ? 20'000'000 : 150'000;
+  };
+  options.hedge_min_delay_ns = 100'000;
+  Fleet fleet{options};
+  fleet.publish(*model_a_);
+
+  // Warm-up one shard past the 32-sample threshold: hedging starts from
+  // the timeout-derived delay (effectively off) until the shard's
+  // tracker has a real p95.
+  const auto request = make_request(3);
+  const std::uint32_t home = fleet.shard_of(request);
+  EXPECT_EQ(fleet.hedge_delay_ns(home), FleetOptions{}.replica_timeout_ns);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    (void)fleet.select(request);
+  }
+  fleet.tick();  // refresh hedge delays from the observed p95
+  // Quorum latency is the 2nd of {150us, 150us, 20ms} = 150us; the
+  // p95-derived delay must be far below the straggler's 20 ms.
+  EXPECT_LT(fleet.hedge_delay_ns(home), 2'000'000u);
+
+  const std::uint64_t hedges_before = fleet.shard_hedges(home);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    (void)fleet.select(request);
+  }
+  // Every post-warm-up round hedges the straggler slot.
+  EXPECT_GE(fleet.shard_hedges(home), hedges_before + 20);
+  expect_nothing_lost(fleet.stats());
+}
+
+// ---- budget ------------------------------------------------------------
+
+TEST_F(FleetTest, BudgetFollowsDemandAcrossShards) {
+  FleetOptions options = small_fleet();
+  options.rebalance_period = 1;
+  options.budget.global_budget_w = 120.0;  // nominal 30 W x 4 shards
+  Fleet fleet{options};
+  fleet.publish(*model_a_);
+
+  // Drive all traffic at one kernel -> one hot shard.
+  const auto request = make_request(3);
+  const std::uint32_t hot = fleet.shard_of(request);
+  for (int i = 0; i < 50; ++i) {
+    (void)fleet.select(request);
+  }
+  fleet.tick();
+
+  const double hot_cap = fleet.budget().shard(hot).cap_w;
+  double cold_cap_sum = 0.0;
+  for (std::uint32_t s = 0; s < options.shards; ++s) {
+    if (s != hot) {
+      cold_cap_sum += fleet.budget().shard(s).cap_w;
+    }
+  }
+  // Demand-proportional allocation: the hot shard out-earns every idle
+  // shard's average.
+  EXPECT_GT(hot_cap, cold_cap_sum / 3.0);
+  EXPECT_GT(fleet.stats().rebalances, 0u);
+  // The global budget is conserved (within the allocator's quantum).
+  double total = hot_cap + cold_cap_sum;
+  EXPECT_LE(total, options.budget.global_budget_w + 1e-6);
+}
+
+// ---- wire scrape -------------------------------------------------------
+
+TEST_F(FleetTest, StatsScrapeCarriesFleetBlockOverTheWire) {
+  Fleet fleet{small_fleet()};
+  fleet.publish(*model_a_);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    (void)fleet.select(make_request(i));
+  }
+  serve::StatsRequest scrape;
+  scrape.request_id = 77;
+  std::vector<std::uint8_t> frame;
+  serve::encode_stats_request(scrape, frame);
+  const auto reply = fleet.serve_frame(frame);
+  const auto decoded = serve::decode_frame(reply);
+  ASSERT_EQ(decoded.status, serve::DecodeStatus::Ok);
+  ASSERT_EQ(decoded.type, serve::MessageType::StatsResponse);
+  const serve::FleetStats& wire = decoded.stats_response.fleet;
+  EXPECT_TRUE(wire.attached);
+  EXPECT_EQ(wire.shards, 4u);
+  EXPECT_EQ(wire.replicas, 12u);
+  EXPECT_EQ(wire.replicas_alive, 12u);
+  EXPECT_EQ(wire.routed, 10u);
+  EXPECT_EQ(wire.delivered, 10u);
+  EXPECT_EQ(wire.global_budget_w, fleet.stats().global_budget_w);
+  // The fleet's own registry rows travel alongside.
+  EXPECT_FALSE(decoded.stats_response.metrics.empty());
+}
+
+TEST_F(FleetTest, ServeFrameRoutesSelectAndRejectsLikeAServer) {
+  Fleet fleet{small_fleet()};
+  fleet.publish(*model_a_);
+  std::vector<std::uint8_t> frame;
+  serve::encode_request(make_request(4), frame);
+  const auto reply = fleet.serve_frame(frame);
+  const auto decoded = serve::decode_frame(reply);
+  ASSERT_EQ(decoded.status, serve::DecodeStatus::Ok);
+  ASSERT_EQ(decoded.type, serve::MessageType::SelectResponse);
+  EXPECT_EQ(decoded.response.status, serve::ResponseStatus::Ok);
+
+  // Feedback has no sink at the router; the reply is explicit.
+  serve::FeedbackRequest feedback;
+  feedback.request_id = 5;
+  feedback.samples = make_request(4).samples;
+  std::vector<std::uint8_t> feedback_frame;
+  serve::encode_feedback_request(feedback, feedback_frame);
+  const auto feedback_reply = fleet.serve_frame(feedback_frame);
+  const auto feedback_decoded = serve::decode_frame(feedback_reply);
+  ASSERT_EQ(feedback_decoded.status, serve::DecodeStatus::Ok);
+  EXPECT_EQ(feedback_decoded.feedback_response.status,
+            serve::ResponseStatus::Unsupported);
+
+  // Garbage comes back MalformedRequest, like Server::serve_frame.
+  const std::vector<std::uint8_t> garbage{1, 2, 3, 4};
+  const auto garbage_reply = fleet.serve_frame(garbage);
+  const auto garbage_decoded = serve::decode_frame(garbage_reply);
+  ASSERT_EQ(garbage_decoded.status, serve::DecodeStatus::Ok);
+  EXPECT_EQ(garbage_decoded.response.status,
+            serve::ResponseStatus::MalformedRequest);
+}
+
+// ---- executor fan-out --------------------------------------------------
+
+TEST_F(FleetTest, ParallelFanoutMatchesInlineDecisions) {
+  // The executor only changes *where* replica calls run, never the
+  // verdict: same requests, same configurations, with and without a pool.
+  FleetOptions inline_options = small_fleet();
+  Fleet inline_fleet{inline_options};
+  inline_fleet.publish(*model_a_);
+  std::vector<std::uint32_t> inline_configs;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    inline_configs.push_back(inline_fleet.select(make_request(i)).config_index);
+  }
+
+  exec::ThreadPool pool{2};
+  FleetOptions pooled_options = small_fleet();
+  pooled_options.executor = &pool;
+  Fleet pooled{pooled_options};
+  pooled.publish(*model_a_);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(pooled.select(make_request(i)).config_index, inline_configs[i]);
+  }
+  EXPECT_EQ(pooled.stats().vote_disagreements, 0u);
+  expect_nothing_lost(pooled.stats());
+}
+
+}  // namespace
+}  // namespace acsel::fleet

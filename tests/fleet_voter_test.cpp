@@ -1,0 +1,141 @@
+// NMR voting semantics: strict majority wins, the median-by-predicted-
+// power fallback breaks ties deterministically under any reply ordering,
+// and failure replies never outvote an Ok reply.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fleet/voter.h"
+
+namespace {
+
+using namespace acsel;
+using fleet::ReplicaReply;
+using fleet::Voter;
+using fleet::VoteVerdict;
+
+ReplicaReply ok_reply(std::size_t replica, std::uint32_t config,
+                      double power_w) {
+  ReplicaReply reply;
+  reply.replica = replica;
+  reply.response.status = serve::ResponseStatus::Ok;
+  reply.response.config_index = config;
+  reply.response.predicted_power_w = power_w;
+  reply.response.model_version = 1;
+  return reply;
+}
+
+ReplicaReply failed_reply(std::size_t replica, serve::ResponseStatus status) {
+  ReplicaReply reply;
+  reply.replica = replica;
+  reply.response.status = status;
+  return reply;
+}
+
+TEST(FleetVoter, UnanimousAgreement) {
+  const VoteVerdict verdict = Voter::vote(
+      {ok_reply(0, 7, 20.0), ok_reply(1, 7, 20.0), ok_reply(2, 7, 20.0)});
+  EXPECT_EQ(verdict.response.status, serve::ResponseStatus::Ok);
+  EXPECT_EQ(verdict.response.config_index, 7u);
+  EXPECT_EQ(verdict.ok_replies, 3u);
+  EXPECT_EQ(verdict.agreeing, 3u);
+  EXPECT_FALSE(verdict.disagreement);
+  EXPECT_FALSE(verdict.median_fallback);
+}
+
+TEST(FleetVoter, MajorityOutvotesOneFaultyReplica) {
+  // The CoreGuard scenario: one replica serves a stale/corrupt model and
+  // names a different configuration; the pair outvotes it.
+  const VoteVerdict verdict = Voter::vote(
+      {ok_reply(0, 4, 18.0), ok_reply(1, 12, 55.0), ok_reply(2, 4, 18.0)});
+  EXPECT_EQ(verdict.response.config_index, 4u);
+  EXPECT_TRUE(verdict.disagreement);
+  EXPECT_FALSE(verdict.median_fallback);
+  EXPECT_EQ(verdict.agreeing, 2u);
+}
+
+TEST(FleetVoter, ThreeWayTieFallsBackToMedianPower) {
+  // No majority: three distinct configurations. The median reply by
+  // predicted power wins — the outlier (55 W) can never be published.
+  const VoteVerdict verdict = Voter::vote(
+      {ok_reply(0, 3, 14.0), ok_reply(1, 9, 22.0), ok_reply(2, 12, 55.0)});
+  EXPECT_TRUE(verdict.median_fallback);
+  EXPECT_TRUE(verdict.disagreement);
+  EXPECT_EQ(verdict.response.config_index, 9u);
+  EXPECT_EQ(verdict.response.predicted_power_w, 22.0);
+}
+
+TEST(FleetVoter, VerdictIsInvariantUnderReplyPermutation) {
+  // Determinism under hedging: replies arrive in arbitrary order, the
+  // verdict must not depend on it. Exercise both the majority path and
+  // the tie path over all 6 permutations of 3 replies.
+  const std::vector<ReplicaReply> majority = {
+      ok_reply(0, 4, 18.0), ok_reply(1, 12, 55.0), ok_reply(2, 4, 18.5)};
+  const std::vector<ReplicaReply> tie = {
+      ok_reply(0, 3, 14.0), ok_reply(1, 9, 22.0), ok_reply(2, 12, 55.0)};
+  for (const auto& base : {majority, tie}) {
+    const VoteVerdict reference = Voter::vote(base);
+    std::vector<std::size_t> order = {0, 1, 2};
+    do {
+      std::vector<ReplicaReply> permuted;
+      for (const std::size_t i : order) {
+        permuted.push_back(base[i]);
+      }
+      const VoteVerdict verdict = Voter::vote(permuted);
+      EXPECT_EQ(verdict.response.config_index,
+                reference.response.config_index);
+      EXPECT_EQ(verdict.response.predicted_power_w,
+                reference.response.predicted_power_w);
+      EXPECT_EQ(verdict.median_fallback, reference.median_fallback);
+      EXPECT_EQ(verdict.disagreement, reference.disagreement);
+    } while (std::next_permutation(order.begin(), order.end()));
+  }
+}
+
+TEST(FleetVoter, EqualPowerTieBreaksByConfigThenReplica) {
+  // Two replies at identical predicted power: lower config index wins
+  // the median tie deterministically.
+  const VoteVerdict verdict =
+      Voter::vote({ok_reply(1, 8, 20.0), ok_reply(0, 5, 20.0)});
+  EXPECT_TRUE(verdict.median_fallback);
+  EXPECT_EQ(verdict.response.config_index, 5u);
+}
+
+TEST(FleetVoter, TwoReplicaSplitUsesLowerMedian) {
+  // Even count: the lower median (by power) is the published reply, so a
+  // two-replica disagreement picks the cheaper configuration.
+  const VoteVerdict verdict =
+      Voter::vote({ok_reply(0, 10, 30.0), ok_reply(1, 2, 16.0)});
+  EXPECT_TRUE(verdict.median_fallback);
+  EXPECT_EQ(verdict.response.config_index, 2u);
+}
+
+TEST(FleetVoter, FailureRepliesNeverOutvoteOk) {
+  // Two replicas error out, one answers: the single Ok reply is
+  // published (availability over redundancy — the caller can still see
+  // ok_replies == 1 and treat it as degraded).
+  const VoteVerdict verdict = Voter::vote(
+      {failed_reply(0, serve::ResponseStatus::InternalError),
+       ok_reply(1, 6, 21.0),
+       failed_reply(2, serve::ResponseStatus::DeadlineExceeded)});
+  EXPECT_EQ(verdict.response.status, serve::ResponseStatus::Ok);
+  EXPECT_EQ(verdict.response.config_index, 6u);
+  EXPECT_EQ(verdict.ok_replies, 1u);
+}
+
+TEST(FleetVoter, AllFailedSurfacesFirstFailure) {
+  const VoteVerdict verdict = Voter::vote(
+      {failed_reply(1, serve::ResponseStatus::DeadlineExceeded),
+       failed_reply(0, serve::ResponseStatus::Shed)});
+  // Sorted by replica index: replica 0's status surfaces.
+  EXPECT_EQ(verdict.response.status, serve::ResponseStatus::Shed);
+  EXPECT_EQ(verdict.ok_replies, 0u);
+}
+
+TEST(FleetVoter, EmptyRoundIsInternalError) {
+  const VoteVerdict verdict = Voter::vote({});
+  EXPECT_EQ(verdict.response.status, serve::ResponseStatus::InternalError);
+}
+
+}  // namespace

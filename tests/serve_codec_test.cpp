@@ -411,15 +411,118 @@ TEST(ServeCodec, NaNDriftScoreIsRejected) {
   EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
 }
 
-TEST(ServeCodec, StatsResponseTruncatedInsideTheAdaptBlockIsMalformed) {
-  // Cut the declared payload mid-way through the adapt counters: the
+TEST(ServeCodec, StatsResponseCarriesTheFleetBlockExactly) {
+  StatsResponse response = make_stats_response();
+  response.fleet.attached = true;
+  response.fleet.shards = 16;
+  response.fleet.replicas = 48;
+  response.fleet.replicas_alive = 45;
+  response.fleet.routed = 100000;
+  response.fleet.delivered = 99850;
+  response.fleet.shed = 150;
+  response.fleet.rerouted = 820;
+  response.fleet.hedges_fired = 512;
+  response.fleet.vote_disagreements = 9;
+  response.fleet.median_fallbacks = 3;
+  response.fleet.membership_transitions = 6;
+  response.fleet.heartbeats_dropped = 40;
+  response.fleet.replica_timeouts = 11;
+  response.fleet.rebalances = 25;
+  response.fleet.global_budget_w = 480.5;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.stats_response.fleet, response.fleet);
+  EXPECT_EQ(decoded.stats_response.metrics, response.metrics);
+}
+
+TEST(ServeCodec, DetachedFleetBlockRoundTripsAsZeros) {
+  StatsResponse response;
+  response.request_id = 3;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_FALSE(decoded.stats_response.fleet.attached);
+  EXPECT_EQ(decoded.stats_response.fleet, FleetStats{});
+}
+
+// Fleet-block rejection rows. Layout of the single-metric response used
+// by the ServeCodecStats table: the adapt block spans absolute offsets
+// [69, 176), so the fleet block starts at 176 — attached u8 @176, three
+// u32s @177/@181/@185, eleven u64s @189, global_budget_w f64 @277.
+TEST(ServeCodec, FleetAttachedMustBeBoolean) {
+  StatsResponse response;
+  response.request_id = 7;
+  response.metrics = {make_metric("m", obs::MetricKind::Counter)};
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  bytes[176] = 2;
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+TEST(ServeCodec, FleetAliveExceedingReplicasIsRejected) {
+  StatsResponse response;
+  response.request_id = 7;
+  response.metrics = {make_metric("m", obs::MetricKind::Counter)};
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  // replicas stays 0; replicas_alive becomes 1 — a topology no fleet can
+  // report, so it is a corrupt frame.
+  bytes[185] = 1;
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, NegativeGlobalBudgetIsRejected) {
+  StatsResponse response;
+  response.request_id = 7;
+  response.metrics = {make_metric("m", obs::MetricKind::Counter)};
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  // Smash the f64's sign/exponent byte: the (zero) budget goes negative.
+  bytes[284] = 0xff;
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, NaNGlobalBudgetIsRejected) {
+  StatsResponse response;
+  response.request_id = 5;
+  response.fleet.global_budget_w = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, StatsResponseTruncatedInsideTheFleetBlockIsMalformed) {
+  // Cut the declared payload mid-way through the fleet counters: the
   // block is not optional, so a short frame must not silently decode to
-  // a zeroed AdaptStats.
+  // a zeroed FleetStats.
   StatsResponse response;
   response.request_id = 6;
   std::vector<std::uint8_t> bytes;
   encode_stats_response(response, bytes);
-  const std::size_t shortened = bytes.size() - kFrameHeaderBytes - 16;
+  const std::size_t shortened = bytes.size() - kFrameHeaderBytes - 20;
+  bytes[8] = static_cast<std::uint8_t>(shortened & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((shortened >> 8) & 0xff);
+  bytes.resize(kFrameHeaderBytes + shortened);
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+TEST(ServeCodec, StatsResponseTruncatedInsideTheAdaptBlockIsMalformed) {
+  // Cut the declared payload mid-way through the adapt counters (the
+  // fleet block appended after it is 109 bytes, so the cut must reach
+  // past it): the block is not optional, so a short frame must not
+  // silently decode to a zeroed AdaptStats.
+  StatsResponse response;
+  response.request_id = 6;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const std::size_t shortened = bytes.size() - kFrameHeaderBytes - 125;
   bytes[8] = static_cast<std::uint8_t>(shortened & 0xff);
   bytes[9] = static_cast<std::uint8_t>((shortened >> 8) & 0xff);
   bytes.resize(kFrameHeaderBytes + shortened);

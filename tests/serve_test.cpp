@@ -99,6 +99,54 @@ TEST_F(ServeTest, RegistryPublishesAndResolvesVersions) {
   EXPECT_EQ(registry.versions(), (std::vector<std::uint64_t>{1, 2}));
 }
 
+TEST_F(ServeTest, AdoptModelAcceptsNewerVersionsAndInterleavesWithPublish) {
+  ModelRegistry registry;
+  // Fleet hand-off: a coordinator assigns version numbers; the replica
+  // adopts them as-is.
+  EXPECT_EQ(registry.adopt_model(5, *model_a_), 5u);
+  EXPECT_EQ(registry.current().version, 5u);
+  EXPECT_EQ(registry.adopt_model(9, *model_b_), 9u);
+  EXPECT_EQ(registry.current().version, 9u);
+  EXPECT_EQ(registry.versions(), (std::vector<std::uint64_t>{5, 9}));
+  // publish() continues from the adopted history.
+  EXPECT_EQ(registry.publish(*model_a_), 10u);
+  // previous_of keeps its version-order meaning across adopted entries.
+  EXPECT_EQ(registry.previous_of(10).version, 9u);
+}
+
+TEST_F(ServeTest, AdoptModelRejectsOlderVersionWithoutRollbackFlag) {
+  ModelRegistry registry;
+  registry.adopt_model(7, *model_a_);
+  // The version-skew guard: a lagging fleet node replaying an old
+  // publish must not displace the newer model.
+  EXPECT_THROW(registry.adopt_model(3, *model_b_), Error);
+  EXPECT_EQ(registry.current().version, 7u);
+  EXPECT_EQ(registry.version_count(), 1u);
+}
+
+TEST_F(ServeTest, AdoptModelAllowRollbackOverridesTheGuard) {
+  ModelRegistry registry;
+  registry.adopt_model(7, *model_a_);
+  // Explicit operator override: the older version is adopted and becomes
+  // current, inserted in version order.
+  EXPECT_EQ(registry.adopt_model(3, *model_b_, /*allow_rollback=*/true), 3u);
+  EXPECT_EQ(registry.current().version, 3u);
+  EXPECT_EQ(registry.versions(), (std::vector<std::uint64_t>{3, 7}));
+  // The newer model is still resolvable; re-adopting it moves forward.
+  EXPECT_EQ(registry.adopt_model(7, *model_a_), 7u);
+  EXPECT_EQ(registry.current().version, 7u);
+  EXPECT_EQ(registry.version_count(), 2u);  // re-pointed, not duplicated
+}
+
+TEST_F(ServeTest, AdoptModelReAdoptingCurrentIsIdempotent) {
+  ModelRegistry registry;
+  registry.adopt_model(4, *model_a_);
+  EXPECT_EQ(registry.adopt_model(4, *model_b_), 4u);  // no-op, keeps model
+  EXPECT_EQ(registry.version_count(), 1u);
+  EXPECT_EQ(registry.current().model->cluster_count(),
+            model_a_->cluster_count());
+}
+
 TEST_F(ServeTest, RegistryRollbackStepsBack) {
   ModelRegistry registry;
   registry.publish(*model_a_);
