@@ -17,6 +17,7 @@
 // bench exits non-zero if any request is lost, in any mode.
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "exec/parallel_for.h"
 #include "fleet/fleet.h"
 #include "hw/config_space.h"
+#include "obs/collector.h"
+#include "obs/trace.h"
 #include "profile/profiler.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -62,9 +65,11 @@ serve::SelectRequest make_request(
 /// budget rebalance — exactly what a deployment's control plane does on
 /// its own cadence).
 RunStats drive(fleet::Fleet& fleet, std::size_t total, std::size_t batch,
-               const std::vector<core::SamplePair>& pool) {
+               const std::vector<core::SamplePair>& pool,
+               const std::function<void(std::size_t)>& on_tick = nullptr) {
   exec::Executor& pool_exec = bench::bench_executor();
   std::size_t sent = 0;
+  std::size_t ticks = 0;
   while (sent < total) {
     const std::size_t n = std::min(batch, total - sent);
     const std::size_t base = sent;
@@ -72,6 +77,9 @@ RunStats drive(fleet::Fleet& fleet, std::size_t total, std::size_t batch,
       (void)fleet.select(make_request(base + i, pool));
     });
     sent += n;
+    if (on_tick) {
+      on_tick(++ticks);
+    }
     fleet.tick();
   }
   RunStats stats;
@@ -147,6 +155,12 @@ int main(int argc, char** argv) {
   constexpr std::size_t kFleetRequests = 4800;
   constexpr std::size_t kBaselineRequests = 1200;
   constexpr std::size_t kBatch = 100;
+  // Deterministic chaos script (chaos mode only): black out one whole
+  // shard a third into the run, revive everything two thirds in — the
+  // delivered SLO must fire during the blackout and clear after.
+  constexpr std::size_t kBlackoutTick = 16;
+  constexpr std::size_t kReviveTick = 32;
+  constexpr std::uint32_t kBlackoutShard = 3;
 
   // -- baseline: one shard, one replica, its own nominal power cap -------
   fleet::FleetOptions baseline_options;
@@ -175,9 +189,38 @@ int main(int argc, char** argv) {
   // 1.0x, and a dead shard's share visibly flows to the survivors.
   options.budget.global_budget_w =
       static_cast<double>(kShards) * options.budget.nominal_cap_w;
+  // Observability: 1% head-based trace sampling plus the SLO engine.
+  // Objectives are bench-scale: the delivered SLO is the one the chaos
+  // script exercises; p99/cap objectives sit above this host's noise so
+  // a clean run stays alert-free.
+  options.trace_sample_den = 100;
+  options.slo.enabled = true;
+  options.slo.p99_objective_us = 50'000.0;
+  options.slo.cap_exceedance_target = 0.9;
+  options.slo.error_budget = 0.01;
+  obs::Tracer::global().enable();
   fleet::Fleet fleet{options};
   fleet.publish(model);
-  const RunStats run = drive(fleet, kFleetRequests, kBatch, pool);
+  const auto chaos_script = [&fleet, chaos](std::size_t tick) {
+    if (!chaos) {
+      return;
+    }
+    if (tick == kBlackoutTick) {
+      for (std::uint32_t r = 0; r < kReplicas; ++r) {
+        fleet.fail_node(fleet::NodeId{kBlackoutShard, r});
+      }
+    } else if (tick == kReviveTick) {
+      // Revive the blacked-out shard and every node the armed fault
+      // preset killed along the way: the recovery leg of the SLO story.
+      for (std::uint32_t s = 0; s < kShards; ++s) {
+        for (std::uint32_t r = 0; r < kReplicas; ++r) {
+          fleet.revive_node(fleet::NodeId{s, r});
+        }
+      }
+    }
+  };
+  const RunStats run = drive(fleet, kFleetRequests, kBatch, pool, chaos_script);
+  obs::Tracer::global().disable();
 
   const serve::FleetStats& fs = run.fleet;
   const std::uint64_t lost = fs.routed - fs.delivered - fs.shed;
@@ -216,6 +259,41 @@ int main(int argc, char** argv) {
             << fs.membership_transitions << "\n  targets: >= 8x speedup "
             << "(clean run), lost == 0 (always)\n";
 
+  // -- SLO verdicts and the merged distributed trace ----------------------
+  const std::vector<obs::Alert> alerts = fleet.alerts();
+  bool delivered_fired = false;
+  bool delivered_cleared = false;
+  std::size_t active_alerts = 0;
+  for (const obs::Alert& alert : alerts) {
+    active_alerts += alert.active();
+    if (alert.slo == "fleet.delivered") {
+      delivered_fired = true;
+      delivered_cleared = delivered_cleared || !alert.active();
+    }
+    std::cout << "  SLO alert: " << alert.slo << " fired tick "
+              << alert.fired_tick << ", "
+              << (alert.active()
+                      ? "still active"
+                      : "cleared tick " + std::to_string(alert.cleared_tick))
+              << ", " << alert.exemplar_trace_ids.size() << " exemplars, "
+              << static_cast<std::uint64_t>(alert.membership_transitions)
+              << " membership transitions\n";
+  }
+  if (alerts.empty()) {
+    std::cout << "  SLO alerts: none (all objectives held)\n";
+  }
+
+  obs::Collector collector;
+  collector.ingest(obs::Tracer::global(), "fleet");
+  {
+    std::ofstream trace_out{"fleet_trace.json"};
+    collector.write_chrome_trace(trace_out);
+  }
+  std::cout << "  traces: " << collector.trace_ids().size() << " sampled (1/"
+            << options.trace_sample_den << " of " << kFleetRequests
+            << " requests), " << collector.size()
+            << " events -> fleet_trace.json\n";
+
   // -- BENCH_fleet.json ---------------------------------------------------
   std::ofstream json{"BENCH_fleet.json"};
   json << "{\n  \"bench\": \"fleet_throughput\",\n  \"seed\": "
@@ -246,12 +324,39 @@ int main(int argc, char** argv) {
        << ", \"vote_disagreements\": " << fs.vote_disagreements
        << ", \"median_fallbacks\": " << fs.median_fallbacks
        << ", \"membership_transitions\": " << fs.membership_transitions
-       << ", \"target_speedup\": 8, \"target_lost\": 0}\n}\n";
+       << ", \"target_speedup\": 8, \"target_lost\": 0},\n  \"slo\": {"
+       << "\"alerts\": " << alerts.size() << ", \"active\": " << active_alerts
+       << ", \"delivered_alert_fired\": " << (delivered_fired ? "true" : "false")
+       << ", \"delivered_alert_cleared\": "
+       << (delivered_cleared ? "true" : "false")
+       << ", \"sampled_traces\": " << collector.trace_ids().size()
+       << ", \"alert_list\": [";
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    json << (i > 0 ? ", " : "") << "{\"slo\": \"" << alerts[i].slo
+         << "\", \"fired_tick\": " << alerts[i].fired_tick
+         << ", \"cleared_tick\": " << alerts[i].cleared_tick
+         << ", \"exemplars\": " << alerts[i].exemplar_trace_ids.size() << "}";
+  }
+  json << "]}\n}\n";
   std::cout << "Wrote BENCH_fleet.json\n";
 
   if (lost != 0) {
     std::cerr << "FAIL: " << lost
               << " requests lost (neither delivered nor shed)\n";
+    return 1;
+  }
+  // SLO verdicts are part of the bench contract: a clean run must hold
+  // every objective; the chaos script must burn the delivered SLO during
+  // the blackout and drain it after the revive.
+  if (!chaos && !alerts.empty()) {
+    std::cerr << "FAIL: clean run raised " << alerts.size()
+              << " SLO alert(s)\n";
+    return 1;
+  }
+  if (chaos && !(delivered_fired && delivered_cleared)) {
+    std::cerr << "FAIL: chaos run delivered-SLO alert fired="
+              << delivered_fired << " cleared=" << delivered_cleared
+              << " (want both)\n";
     return 1;
   }
   return 0;

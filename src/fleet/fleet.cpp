@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -32,7 +33,9 @@ Fleet::Fleet(const FleetOptions& options)
       ring_(options.ring_vnodes),
       membership_(options.membership),
       balancer_(options.shards, options.budget),
-      metrics_(options.shards) {
+      metrics_(options.shards),
+      series_(options.slo.series_capacity),
+      slo_engine_(options.slo.burn) {
   ACSEL_CHECK_MSG(options_.shards >= 1, "fleet needs >= 1 shard");
   ACSEL_CHECK_MSG(options_.replicas >= 1,
                   "fleet needs >= 1 replica per shard");
@@ -73,6 +76,34 @@ Fleet::Fleet(const FleetOptions& options)
   for (std::size_t s = 0; s < options_.shards; ++s) {
     metrics_.set_shard_cap(static_cast<std::uint32_t>(s),
                            balancer_.shard(static_cast<std::uint32_t>(s)).cap_w);
+  }
+  if (options_.slo.enabled) {
+    obs::Slo delivered;
+    delivered.name = "fleet.delivered";
+    delivered.kind = obs::SloKind::RatioAtLeast;
+    delivered.numerator = "fleet.delivered_ok";
+    delivered.denominator = "fleet.routed";
+    delivered.objective = options_.slo.delivered_objective;
+    delivered.error_budget = options_.slo.error_budget;
+    delivered.exemplar_metric = "fleet.latency";
+    slo_engine_.add(std::move(delivered));
+
+    obs::Slo p99;
+    p99.name = "fleet.p99";
+    p99.kind = obs::SloKind::ValueBelow;
+    p99.numerator = "fleet.window_p99_us";
+    p99.objective = options_.slo.p99_objective_us;
+    p99.error_budget = options_.slo.error_budget;
+    p99.exemplar_metric = "fleet.latency";
+    slo_engine_.add(std::move(p99));
+
+    obs::Slo cap;
+    cap.name = "fleet.cap_exceedance";
+    cap.kind = obs::SloKind::ValueAtMost;
+    cap.numerator = "fleet.window_cap_exceedance";
+    cap.objective = options_.slo.cap_exceedance_target;
+    cap.error_budget = options_.slo.error_budget;
+    slo_engine_.add(std::move(cap));
   }
   ACSEL_LOG_INFO("fleet: started " << options_.shards << " shards x "
                                    << options_.replicas << " replicas");
@@ -149,6 +180,20 @@ std::uint32_t Fleet::shard_of(const serve::SelectRequest& request) const {
 }
 
 serve::SelectResponse Fleet::select(const serve::SelectRequest& request) {
+  // Root a sampled trace at the router when the request brought none and
+  // head-based sampling selects it (deterministic in the request id, so a
+  // replayed run traces the same requests).
+  obs::TraceContext root = obs::current_trace_context();
+  if (!root.active() && options_.trace_sample_den > 0 &&
+      request.request_id % options_.trace_sample_den == 0) {
+    root = obs::TraceContext{};
+    root.trace_id = Rng::mix_seeds(0xf1ee7u, request.request_id);
+    if (root.trace_id == 0) {
+      root.trace_id = 1;
+    }
+    root.sampled = true;
+  }
+  const obs::ScopedTraceContext rooted{root};
   ACSEL_OBS_SPAN("fleet.route", "fleet");
   metrics_.on_routed();
   const std::vector<std::uint32_t> candidates =
@@ -158,6 +203,16 @@ serve::SelectResponse Fleet::select(const serve::SelectRequest& request) {
     if (serve_on_shard(candidates[i], request, response)) {
       if (i > 0) {
         metrics_.on_rerouted();
+        ACSEL_OBS_INSTANT("fleet.reroute", "fleet");
+      } else {
+        // Owner shard, first try: the delivered-fraction SLO numerator.
+        metrics_.on_delivered_ok();
+      }
+      if (request.cap_w.has_value()) {
+        window_capped_.fetch_add(1, std::memory_order_relaxed);
+        if (!response.predicted_feasible) {
+          window_cap_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       return response;
     }
@@ -210,7 +265,24 @@ Fleet::Slot Fleet::call_replica(ShardGroup& group, std::size_t replica_index,
 bool Fleet::serve_on_shard(std::uint32_t shard,
                            const serve::SelectRequest& request,
                            serve::SelectResponse& out) {
-  ACSEL_OBS_SPAN("fleet.fanout", "fleet");
+  // Sim-time trace overlay: the fan-out span and its replica slots are
+  // recorded post-hoc with *simulated* durations (the timing the fleet
+  // actually reasons about), so the merged trace shows quorum mechanics —
+  // the fan-out span closes at quorum completion, slots slower than the
+  // quorum outlive it and fall off the Collector's critical path, and a
+  // hedge that rescued a slot ends exactly when the slot does.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const obs::TraceContext parent = obs::current_trace_context();
+  const bool traced = tracer.enabled() && parent.active();
+  obs::TraceContext fan_ctx;
+  std::uint64_t fan_start_ns = 0;
+  if (traced) {
+    fan_ctx.trace_id = parent.trace_id;
+    fan_ctx.span_id = obs::Tracer::new_span_id();
+    fan_ctx.parent_id = parent.span_id;
+    fan_ctx.sampled = true;
+    fan_start_ns = tracer.now_ns();
+  }
   ShardGroup& group = *shards_[shard];
   std::vector<std::size_t> routable;
   {
@@ -226,18 +298,33 @@ bool Fleet::serve_on_shard(std::uint32_t shard,
   }
 
   // Fan out to every routable replica (slot-per-index writes keep the
-  // round deterministic whatever the executor interleaving).
+  // round deterministic whatever the executor interleaving). Each slot
+  // gets its own span ids up front so the wire frame it encodes carries
+  // them — the replica server's spans chain under its slot.
   std::vector<Slot> slots(routable.size());
+  std::vector<obs::TraceContext> slot_ctx(routable.size());
+  if (traced) {
+    for (obs::TraceContext& ctx : slot_ctx) {
+      ctx.trace_id = fan_ctx.trace_id;
+      ctx.span_id = obs::Tracer::new_span_id();
+      ctx.parent_id = fan_ctx.span_id;
+      ctx.sampled = true;
+    }
+  }
   if (options_.executor != nullptr && routable.size() > 1) {
     exec::TaskGroup fanout{*options_.executor};
     for (std::size_t i = 0; i < routable.size(); ++i) {
-      fanout.spawn([this, &group, &request, &slots, &routable, i] {
+      fanout.spawn([this, &group, &request, &slots, &routable, &slot_ctx,
+                    &parent, traced, i] {
+        const obs::ScopedTraceContext slot_scope{traced ? slot_ctx[i]
+                                                        : parent};
         slots[i] = call_replica(group, routable[i], request);
       });
     }
     fanout.wait();
   } else {
     for (std::size_t i = 0; i < routable.size(); ++i) {
+      const obs::ScopedTraceContext slot_scope{traced ? slot_ctx[i] : parent};
       slots[i] = call_replica(group, routable[i], request);
     }
   }
@@ -256,38 +343,79 @@ bool Fleet::serve_on_shard(std::uint32_t shard,
     return false;  // nothing answered (undetected loss): reroute
   }
 
-  const VoteVerdict verdict = Voter::vote(replies);
+  VoteVerdict verdict;
+  {
+    // The vote belongs to the fan-out, not the route: as a sibling of the
+    // slot spans it never shadows the quorum slot on the critical path.
+    const obs::ScopedTraceContext vote_scope{traced ? fan_ctx : parent};
+    ACSEL_OBS_SPAN("fleet.vote", "fleet");
+    verdict = Voter::vote(replies);
+  }
   metrics_.on_vote(verdict.disagreement, verdict.median_fallback);
 
   // Hedging in simulated time: a slot slower than the p95-derived delay
   // is re-issued to the fastest replica and completes at hedge_delay +
   // that replica's time ("send to a second replica, take the first
   // response"). Votes above came from the replies that actually arrived;
-  // hedging governs *when* the quorum completes, not what it says.
+  // hedging governs *when* the quorum completes, not what it says. A
+  // request deadline bounds hedging: a hedge launching at or past the
+  // deadline cannot help the caller, so it is clipped (counted), and the
+  // slot keeps its unhedged completion time.
   const std::uint64_t hedge_delay =
       group.hedge_delay_ns.load(std::memory_order_relaxed);
   const bool hedging = options_.hedge_p95_multiplier > 0.0;
-  std::vector<std::uint64_t> effective_ns;
-  effective_ns.reserve(slots.size());
-  for (const Slot& slot : slots) {
-    std::uint64_t effective = slot.sim_ns;
-    if (hedging && slot.sim_ns > hedge_delay) {
-      const std::uint64_t hedged = hedge_delay + fastest_ns;
-      if (hedged < slot.sim_ns) {
-        effective = hedged;
-        metrics_.on_hedge_fired(shard);
+  const bool deadline_blocks_hedge =
+      request.deadline_ns > 0 && hedge_delay >= request.deadline_ns;
+  std::vector<std::uint64_t> slot_effective(slots.size());
+  std::vector<bool> slot_hedged(slots.size(), false);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    std::uint64_t effective = slots[i].sim_ns;
+    if (hedging && slots[i].sim_ns > hedge_delay) {
+      if (deadline_blocks_hedge) {
+        metrics_.on_hedge_deadline_clipped();
+      } else {
+        const std::uint64_t hedged = hedge_delay + fastest_ns;
+        if (hedged < slots[i].sim_ns) {
+          effective = hedged;
+          slot_hedged[i] = true;
+          metrics_.on_hedge_fired(shard);
+        }
       }
     }
-    effective_ns.push_back(effective);
+    slot_effective[i] = effective;
   }
-  std::sort(effective_ns.begin(), effective_ns.end());
+  std::vector<std::uint64_t> sorted_ns = slot_effective;
+  std::sort(sorted_ns.begin(), sorted_ns.end());
   const std::size_t quorum = slots.size() / 2 + 1;
-  const std::uint64_t service_ns = effective_ns[quorum - 1];
+  const std::uint64_t service_ns = sorted_ns[quorum - 1];
+
+  if (traced) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const NodeId id = group.replicas[routable[i]]->id;
+      tracer.record_complete("fleet.replica " + std::to_string(id.shard) +
+                                 "/" + std::to_string(id.replica),
+                             "fleet", fan_start_ns, slot_effective[i],
+                             slot_ctx[i]);
+      if (slot_hedged[i]) {
+        obs::TraceContext hedge_ctx;
+        hedge_ctx.trace_id = fan_ctx.trace_id;
+        hedge_ctx.span_id = obs::Tracer::new_span_id();
+        hedge_ctx.parent_id = slot_ctx[i].span_id;
+        hedge_ctx.sampled = true;
+        tracer.record_complete("fleet.hedge", "fleet",
+                               fan_start_ns + hedge_delay, fastest_ns,
+                               hedge_ctx);
+      }
+    }
+    tracer.record_complete("fleet.fanout s" + std::to_string(shard), "fleet",
+                           fan_start_ns, service_ns, fan_ctx);
+  }
 
   group.service_latency.record(service_ns);
+  window_latency_.record(service_ns);
   group.busy_ns.fetch_add(service_ns, std::memory_order_relaxed);
   group.window_delivered.fetch_add(1, std::memory_order_relaxed);
-  metrics_.on_delivered(shard, service_ns);
+  metrics_.on_delivered(shard, service_ns, traced ? parent.trace_id : 0);
 
   out = verdict.response;
   out.request_id = request.request_id;
@@ -378,6 +506,35 @@ void Fleet::tick() {
                                       std::memory_order_relaxed);
     }
   }
+
+  // 5. SLO engine: close the per-tick windows into gauges the SLIs can
+  // recover from (unlike the cumulative histogram), snapshot the registry
+  // into the series store, and evaluate burn rates.
+  if (options_.slo.enabled) {
+    const std::uint64_t p99_ns = window_latency_.count() > 0
+                                     ? window_latency_.quantile_nanos(0.99)
+                                     : 0;
+    metrics_.set_window_p99_us(static_cast<double>(p99_ns) / 1e3);
+    window_latency_.reset();
+    const std::uint64_t capped =
+        window_capped_.exchange(0, std::memory_order_relaxed);
+    const std::uint64_t exceeded =
+        window_cap_exceeded_.exchange(0, std::memory_order_relaxed);
+    metrics_.set_window_cap_exceedance(
+        capped > 0
+            ? static_cast<double>(exceeded) / static_cast<double>(capped)
+            : 0.0);
+    std::lock_guard<std::mutex> lock{slo_mu_};
+    series_.observe(metrics_.registry().snapshot());
+    for (const obs::Alert& alert :
+         slo_engine_.evaluate(series_, &metrics_.mutable_registry())) {
+      ACSEL_LOG_WARN("fleet: SLO \"" << alert.slo << "\" alert fired (fast="
+                                     << alert.fast_burn
+                                     << "x, slow=" << alert.slow_burn
+                                     << "x, worst=" << alert.worst_value
+                                     << ")");
+    }
+  }
 }
 
 void Fleet::fail_node(NodeId node) {
@@ -448,9 +605,89 @@ serve::FleetStats Fleet::stats() const {
   return stats;
 }
 
+serve::SeriesStats Fleet::series_stats() const {
+  serve::SeriesStats out;
+  if (!options_.slo.enabled) {
+    return out;  // attached = false
+  }
+  std::lock_guard<std::mutex> lock{slo_mu_};
+  out.attached = true;
+  out.ticks = series_.ticks();
+  out.capacity = series_.capacity();
+  // Only the SLO-referenced series go on the wire (the scrape is a frame,
+  // not a dump; the full registry snapshot already rides alongside).
+  std::set<std::string> names;
+  for (const obs::Slo& slo : slo_engine_.slos()) {
+    names.insert(slo.numerator);
+    if (!slo.denominator.empty()) {
+      names.insert(slo.denominator);
+    }
+  }
+  const std::uint64_t window = slo_engine_.burn_options().slow_window;
+  for (const std::string& name : names) {
+    serve::SeriesRollupStats row;
+    row.name = name;
+    row.latest = series_.latest(name).value_or(0.0);
+    const obs::SeriesRollup rollup = series_.rollup(name, window);
+    row.points = rollup.points;
+    row.sum = rollup.sum;
+    row.min = rollup.min;
+    row.max = rollup.max;
+    row.avg = rollup.avg;
+    out.series.push_back(std::move(row));
+  }
+  return out;
+}
+
+serve::SloStats Fleet::slo_stats() const {
+  serve::SloStats out;
+  if (!options_.slo.enabled) {
+    return out;  // attached = false
+  }
+  std::lock_guard<std::mutex> lock{slo_mu_};
+  out.attached = true;
+  out.slos = static_cast<std::uint32_t>(slo_engine_.slos().size());
+  std::uint32_t active = 0;
+  for (const obs::Alert& alert : slo_engine_.alerts()) {
+    if (alert.active()) {
+      ++active;
+    }
+    serve::AlertSnapshot snap;
+    snap.slo = alert.slo;
+    snap.fired_tick = alert.fired_tick;
+    snap.cleared_tick = alert.cleared_tick;
+    snap.fast_burn = alert.fast_burn;
+    snap.slow_burn = alert.slow_burn;
+    snap.worst_value = alert.worst_value;
+    snap.membership_transitions = alert.membership_transitions;
+    snap.promotions = alert.promotions;
+    snap.rollbacks = alert.rollbacks;
+    snap.exemplar_trace_ids = alert.exemplar_trace_ids;
+    out.alerts.push_back(std::move(snap));
+  }
+  out.active = active;
+  return out;
+}
+
+std::vector<obs::Alert> Fleet::alerts() const {
+  std::lock_guard<std::mutex> lock{slo_mu_};
+  return slo_engine_.alerts();
+}
+
+std::vector<obs::SloState> Fleet::slo_states() const {
+  std::lock_guard<std::mutex> lock{slo_mu_};
+  return slo_engine_.states();
+}
+
 std::vector<std::uint8_t> Fleet::serve_frame(
     std::span<const std::uint8_t> frame) {
   const serve::Decoded decoded = serve::decode_frame(frame);
+  // Adopt the caller's trace context for this frame and echo it on the
+  // response, exactly like serve::Server — the router is one more hop of
+  // the same distributed trace.
+  const obs::ScopedTraceContext traced{
+      decoded.has_trace ? decoded.trace : obs::current_trace_context()};
+  const obs::TraceContext* echo = decoded.has_trace ? &decoded.trace : nullptr;
   std::vector<std::uint8_t> out;
   if (decoded.status == serve::DecodeStatus::Ok &&
       decoded.type == serve::MessageType::StatsRequest) {
@@ -459,7 +696,9 @@ std::vector<std::uint8_t> Fleet::serve_frame(
     response.status = serve::ResponseStatus::Ok;
     response.metrics = metrics_.registry().snapshot();
     response.fleet = stats();
-    serve::encode_stats_response(response, out);
+    response.series = series_stats();
+    response.slo = slo_stats();
+    serve::encode_stats_response(response, out, echo);
     return out;
   }
   if (decoded.status == serve::DecodeStatus::Ok &&
@@ -469,7 +708,7 @@ std::vector<std::uint8_t> Fleet::serve_frame(
     serve::FeedbackResponse ack;
     ack.request_id = decoded.feedback.request_id;
     ack.status = serve::ResponseStatus::Unsupported;
-    serve::encode_feedback_response(ack, out);
+    serve::encode_feedback_response(ack, out, echo);
     return out;
   }
   serve::SelectResponse response;
@@ -479,7 +718,7 @@ std::vector<std::uint8_t> Fleet::serve_frame(
   } else {
     response = select(decoded.request);
   }
-  serve::encode_response(response, out);
+  serve::encode_response(response, out, echo);
   return out;
 }
 

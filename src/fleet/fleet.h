@@ -49,6 +49,9 @@
 #include "core/model.h"
 #include "exec/executor.h"
 #include "fleet/budget.h"
+#include "obs/series.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "fleet/hash_ring.h"
 #include "fleet/membership.h"
 #include "fleet/metrics.h"
@@ -58,6 +61,30 @@
 #include "serve/server.h"
 
 namespace acsel::fleet {
+
+/// SLO-engine wiring for a fleet. When enabled, every tick() snapshots
+/// the fleet registry into a SeriesStore and evaluates three objectives
+/// with multi-window burn-rate alerting:
+///   * "fleet.delivered"       — fraction of routed requests delivered by
+///                               their owner shard first try >= objective;
+///   * "fleet.p99"             — per-tick windowed service p99 (us) below
+///                               objective;
+///   * "fleet.cap_exceedance"  — per-tick fraction of capped requests
+///                               answered infeasible <= objective.
+struct SloConfig {
+  bool enabled = false;
+  /// Retained ticks per series.
+  std::size_t series_capacity = obs::SeriesStore::kDefaultCapacity;
+  obs::BurnRateOptions burn;
+  /// Service p99 objective, microseconds (1ms default).
+  double p99_objective_us = 1000.0;
+  /// Owner-shard delivered fraction objective.
+  double delivered_objective = 0.999;
+  /// Allowed fraction of capped requests answered predicted-infeasible.
+  double cap_exceedance_target = 0.05;
+  /// Fraction of ticks each SLO may be bad (burn = bad fraction / this).
+  double error_budget = 0.001;
+};
 
 struct FleetOptions {
   /// Shard groups on the ring.
@@ -95,6 +122,14 @@ struct FleetOptions {
   /// nanoseconds (identity by default). Tests inject fixed schedules to
   /// pin hedging and quorum arithmetic; must be thread-safe.
   std::function<std::uint64_t(NodeId, std::uint64_t)> latency_model;
+  /// Distributed-tracing sample rate at the router: requests entering
+  /// select()/serve_frame with no trace attached root one when their id
+  /// is divisible by this (1 = all, 100 = 1%); 0 disables rooting.
+  /// Requests arriving with a trace (e.g. from a tracing serve::Client)
+  /// always join it.
+  std::uint64_t trace_sample_den = 0;
+  /// SLO engine (off by default; benches and the demo turn it on).
+  SloConfig slo;
 };
 
 class Fleet {
@@ -142,6 +177,21 @@ class Fleet {
   static std::uint64_t route_key(const serve::SelectRequest& request);
 
   serve::FleetStats stats() const;
+  /// Wire form of the SeriesStore: the rollups of every SLO-referenced
+  /// series over the slow burn window (attached = false when the SLO
+  /// engine is off).
+  serve::SeriesStats series_stats() const;
+  /// Wire form of the SLO engine: configured/active counts plus every
+  /// alert fired so far (attached = false when off).
+  serve::SloStats slo_stats() const;
+  /// Alerts fired so far (empty when the SLO engine is off).
+  std::vector<obs::Alert> alerts() const;
+  /// Per-SLO live state as of the last tick.
+  std::vector<obs::SloState> slo_states() const;
+  /// Service-latency exemplars (slowest traced requests), slowest first.
+  std::vector<obs::Histogram::Exemplar> latency_exemplars() const {
+    return metrics_.latency_exemplars();
+  }
   const obs::Registry& stats_registry() const { return metrics_.registry(); }
   const Membership& membership() const { return membership_; }
   const BudgetBalancer& budget() const { return balancer_; }
@@ -225,6 +275,17 @@ class Fleet {
   mutable std::mutex model_mu_;
   std::shared_ptr<const core::TrainedModel> current_model_;  // model_mu_
   std::uint64_t ticks_ = 0;
+  /// Per-tick latency window backing the fleet.window_p99_us gauge
+  /// (reset every tick, unlike the cumulative fleet.latency histogram).
+  LatencyTracker window_latency_;
+  /// Per-tick cap-exceedance window: capped requests seen / answered
+  /// predicted-infeasible since the last tick.
+  std::atomic<std::uint64_t> window_capped_{0};
+  std::atomic<std::uint64_t> window_cap_exceeded_{0};
+  /// SLO engine state (slo_mu_ orders tick-path writes against scrapes).
+  mutable std::mutex slo_mu_;
+  obs::SeriesStore series_;
+  obs::SloEngine slo_engine_;
 };
 
 }  // namespace acsel::fleet

@@ -42,6 +42,9 @@ std::uint64_t LatencyTracker::count() const {
 FleetMetrics::FleetMetrics(std::size_t shards)
     : routed_(&registry_.counter("fleet.routed")),
       delivered_(&registry_.counter("fleet.delivered")),
+      delivered_ok_(&registry_.counter("fleet.delivered_ok")),
+      hedge_deadline_clipped_(
+          &registry_.counter("fleet.hedge_deadline_clipped")),
       shed_(&registry_.counter("fleet.shed")),
       rerouted_(&registry_.counter("fleet.rerouted")),
       hedges_(&registry_.counter("fleet.hedge_fired")),
@@ -53,6 +56,8 @@ FleetMetrics::FleetMetrics(std::size_t shards)
       membership_transitions_(
           &registry_.gauge("fleet.membership_transitions")),
       alive_replicas_(&registry_.gauge("fleet.alive_replicas")),
+      window_p99_(&registry_.gauge("fleet.window_p99_us")),
+      window_cap_exceedance_(&registry_.gauge("fleet.window_cap_exceedance")),
       latency_(&registry_.histogram("fleet.latency")) {
   shard_requests_.reserve(shards);
   shard_hedges_.reserve(shards);

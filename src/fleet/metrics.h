@@ -53,12 +53,20 @@ class FleetMetrics {
 
   // -- hot-path updates --------------------------------------------------
   void on_routed() { routed_->add(); }
-  void on_delivered(std::uint32_t shard, std::uint64_t service_nanos) {
+  /// `trace_id` (when nonzero) offers the sample as a latency exemplar —
+  /// the slowest traced requests stay resolvable from the histogram.
+  void on_delivered(std::uint32_t shard, std::uint64_t service_nanos,
+                    std::uint64_t trace_id = 0) {
     delivered_->add();
     shard_requests_[shard]->add();
-    latency_->record(service_nanos);
+    latency_->record(service_nanos, trace_id);
   }
+  /// Delivered by the owner shard, first try — the numerator of the
+  /// delivered-fraction SLO (a reroute keeps the request alive but burns
+  /// the objective; a shed burns it harder).
+  void on_delivered_ok() { delivered_ok_->add(); }
   void on_shed() { shed_->add(); }
+  void on_hedge_deadline_clipped() { hedge_deadline_clipped_->add(); }
   void on_rerouted() { rerouted_->add(); }
   void on_hedge_fired(std::uint32_t shard) {
     hedges_->add();
@@ -87,9 +95,19 @@ class FleetMetrics {
   void set_shard_cap(std::uint32_t shard, double cap_w) {
     shard_caps_[shard]->set(cap_w);
   }
+  /// Per-tick windowed gauges: the SLO engine needs SLIs that recover
+  /// once a condition ends, which the cumulative histogram cannot do.
+  void set_window_p99_us(double p99_us) { window_p99_->set(p99_us); }
+  void set_window_cap_exceedance(double fraction) {
+    window_cap_exceedance_->set(fraction);
+  }
 
   std::uint64_t routed() const { return routed_->value(); }
   std::uint64_t delivered() const { return delivered_->value(); }
+  std::uint64_t delivered_ok() const { return delivered_ok_->value(); }
+  std::uint64_t hedge_deadline_clipped() const {
+    return hedge_deadline_clipped_->value();
+  }
   std::uint64_t shed() const { return shed_->value(); }
   std::uint64_t rerouted() const { return rerouted_->value(); }
   std::uint64_t hedges_fired() const { return hedges_->value(); }
@@ -107,8 +125,15 @@ class FleetMetrics {
   }
 
   const obs::Registry& registry() const { return registry_; }
+  /// Mutable registry access for the SLO engine (it pulls exemplars from
+  /// histograms by name, and lookup registers-on-miss).
+  obs::Registry& mutable_registry() { return registry_; }
   obs::Histogram::Snapshot latency_snapshot() const {
     return latency_->snapshot();
+  }
+  /// Exemplars of the fleet service-latency histogram, slowest first.
+  std::vector<obs::Histogram::Exemplar> latency_exemplars() const {
+    return latency_->exemplars();
   }
 
  private:
@@ -116,6 +141,8 @@ class FleetMetrics {
   // Cached references into registry_ (stable for its lifetime).
   obs::Counter* routed_;
   obs::Counter* delivered_;
+  obs::Counter* delivered_ok_;
+  obs::Counter* hedge_deadline_clipped_;
   obs::Counter* shed_;
   obs::Counter* rerouted_;
   obs::Counter* hedges_;
@@ -126,6 +153,8 @@ class FleetMetrics {
   obs::Counter* replica_timeouts_;
   obs::Gauge* membership_transitions_;
   obs::Gauge* alive_replicas_;
+  obs::Gauge* window_p99_;
+  obs::Gauge* window_cap_exceedance_;
   obs::Histogram* latency_;
   std::vector<obs::Counter*> shard_requests_;
   std::vector<obs::Counter*> shard_hedges_;

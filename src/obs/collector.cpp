@@ -1,0 +1,168 @@
+#include "obs/collector.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "obs/json.h"
+
+namespace acsel::obs {
+
+void Collector::ingest(const Tracer& tracer, const std::string& process) {
+  ingest(tracer.collected(), process);
+}
+
+void Collector::ingest(std::span<const TraceEvent> events,
+                       const std::string& process) {
+  const std::uint32_t pid = static_cast<std::uint32_t>(processes_.size());
+  processes_.push_back(process);
+  events_.reserve(events_.size() + events.size());
+  for (const TraceEvent& event : events) {
+    events_.push_back(CollectedEvent{event, pid});
+  }
+}
+
+std::vector<std::uint64_t> Collector::trace_ids() const {
+  std::set<std::uint64_t> ids;
+  for (const CollectedEvent& collected : events_) {
+    if (collected.event.trace_id != 0) {
+      ids.insert(collected.event.trace_id);
+    }
+  }
+  return {ids.begin(), ids.end()};
+}
+
+MergedTrace Collector::assemble(std::uint64_t trace_id) const {
+  MergedTrace trace;
+  trace.trace_id = trace_id;
+  if (trace_id == 0) {
+    return trace;
+  }
+  for (const CollectedEvent& collected : events_) {
+    if (collected.event.trace_id == trace_id) {
+      trace.events.push_back(collected);
+    }
+  }
+  if (trace.events.empty()) {
+    return trace;
+  }
+  // Deterministic order whatever order the rings were ingested in: by
+  // timestamp, span id breaking ties. Rings are per-thread and
+  // per-process, so arrival order carries no meaning.
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const CollectedEvent& a, const CollectedEvent& b) {
+              if (a.event.ts_ns != b.event.ts_ns) {
+                return a.event.ts_ns < b.event.ts_ns;
+              }
+              return a.event.span_id < b.event.span_id;
+            });
+
+  // Index the spans and resolve parents. A span whose parent id is
+  // nonzero but absent (overwritten by ring overflow, or its process was
+  // never ingested) is an orphan: it still assembles, as a root.
+  std::map<std::uint64_t, std::size_t> by_span_id;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& event = trace.events[i].event;
+    if (event.type == TraceEventType::Complete && event.span_id != 0) {
+      by_span_id.emplace(event.span_id, i);
+    }
+  }
+  std::vector<std::size_t> roots;
+  std::map<std::size_t, std::vector<std::size_t>> children;
+  trace.begin_ns = trace.events.front().event.ts_ns;
+  trace.end_ns = trace.begin_ns;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& event = trace.events[i].event;
+    trace.begin_ns = std::min(trace.begin_ns, event.ts_ns);
+    trace.end_ns = std::max(trace.end_ns, event.ts_ns + event.dur_ns);
+    if (event.type != TraceEventType::Complete || event.span_id == 0) {
+      continue;
+    }
+    const auto parent = by_span_id.find(event.parent_id);
+    if (event.parent_id == 0 || parent == by_span_id.end() ||
+        parent->second == i) {
+      if (event.parent_id != 0) {
+        ++trace.orphan_spans;
+      }
+      roots.push_back(i);
+    } else {
+      children[parent->second].push_back(i);
+    }
+  }
+  if (roots.empty()) {
+    // Every Complete span had a resolvable parent — a cycle, which only
+    // corrupt ids produce. No root, no critical path.
+    trace.root = trace.events.size();
+    return trace;
+  }
+  // The root is the candidate whose interval extends furthest — the span
+  // that covers the request end to end (ties: earliest start wins, which
+  // the sort already guarantees).
+  trace.root = roots.front();
+  for (const std::size_t candidate : roots) {
+    const TraceEvent& best = trace.events[trace.root].event;
+    const TraceEvent& event = trace.events[candidate].event;
+    if (event.ts_ns + event.dur_ns > best.ts_ns + best.dur_ns) {
+      trace.root = candidate;
+    }
+  }
+
+  // Critical path: descend into the child that completed last without
+  // outliving its parent. Children that ended after the parent closed
+  // (slots slower than the quorum, losing hedges) are skipped — they did
+  // not determine the parent's latency.
+  std::size_t at = trace.root;
+  trace.critical_path.push_back(at);
+  while (true) {
+    const auto kids = children.find(at);
+    if (kids == children.end()) {
+      break;
+    }
+    const TraceEvent& parent = trace.events[at].event;
+    const std::uint64_t parent_end = parent.ts_ns + parent.dur_ns;
+    std::size_t next = trace.events.size();
+    std::uint64_t next_end = 0;
+    for (const std::size_t child : kids->second) {
+      const TraceEvent& event = trace.events[child].event;
+      const std::uint64_t end = event.ts_ns + event.dur_ns;
+      if (end <= parent_end && end >= next_end) {
+        next = child;
+        next_end = end;
+      }
+    }
+    if (next == trace.events.size()) {
+      break;  // every child outlived the parent; the parent is the leaf
+    }
+    trace.critical_path.push_back(next);
+    at = next;
+  }
+  return trace;
+}
+
+void Collector::write_chrome_trace(std::ostream& out) const {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  // Metadata records name each process track (Perfetto renders them as
+  // group labels). pids are 1-based: pid 0 renders as "(unknown)".
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    out << (first ? "\n" : ",\n") << "  "
+        << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << p + 1
+        << ", \"tid\": 0, \"args\": {\"name\": \""
+        << json_escape(processes_[p]) << "\"}}";
+    first = false;
+  }
+  std::vector<CollectedEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const CollectedEvent& a, const CollectedEvent& b) {
+                     return a.event.ts_ns < b.event.ts_ns;
+                   });
+  for (const CollectedEvent& collected : sorted) {
+    out << (first ? "\n" : ",\n") << "  ";
+    write_trace_event_json(collected.event,
+                           static_cast<int>(collected.process) + 1, out);
+    first = false;
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace acsel::obs

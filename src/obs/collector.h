@@ -1,0 +1,97 @@
+// Cross-process trace assembly: merges the per-process (per-Tracer) event
+// rings of a distributed request path into end-to-end traces keyed by
+// trace_id, computes each trace's critical path, and exports the merged
+// set as one Chrome/Perfetto JSON file with a pid per ingested process.
+//
+// The collector is an offline tool, not a hot-path object: benches and
+// the demo ingest rings after (or between) measurement windows, and tests
+// feed hand-built event sets. It is deliberately tolerant of the messes a
+// real fleet produces — events arrive out of timestamp order (rings are
+// per-thread and per-process), spans may reference parents whose events
+// were overwritten by ring overflow (orphans are treated as roots), and a
+// shard's ring may be missing entirely (the trace assembles from what
+// survived).
+//
+// Critical path: starting from the trace's root span (the span whose
+// parent is absent and whose interval extends furthest), repeatedly
+// descend into the child that completed last *without outliving its
+// parent* — children that finished after the parent closed (a replica
+// slot slower than the voting quorum, a hedge that lost the race) did not
+// determine the parent's latency and are skipped. The resulting chain is
+// exactly "which replica's reply, or which hedge, made this request as
+// slow as it was".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace acsel::obs {
+
+class Tracer;
+
+/// One ingested event plus the process it came from.
+struct CollectedEvent {
+  TraceEvent event;
+  std::uint32_t process = 0;  ///< index into Collector::processes()
+};
+
+/// One assembled end-to-end trace.
+struct MergedTrace {
+  std::uint64_t trace_id = 0;
+  /// Every ingested event of the trace, sorted by (ts, span_id).
+  std::vector<CollectedEvent> events;
+  /// Index into `events` of the root span (the Complete event chosen as
+  /// the trace's origin); events.size() when the trace has no Complete
+  /// event at all.
+  std::size_t root = 0;
+  /// Indices into `events` of the critical path, root first.
+  std::vector<std::size_t> critical_path;
+  /// Extent of the trace on its timeline.
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  /// Spans whose parent_id resolved to no ingested span (ring overflow or
+  /// a missing process) — they are attached as additional roots.
+  std::size_t orphan_spans = 0;
+
+  bool empty() const { return events.empty(); }
+};
+
+class Collector {
+ public:
+  /// Copies every event out of `tracer`'s rings under the process name.
+  /// Repeat per process (per replica, per node) to merge a fleet.
+  void ingest(const Tracer& tracer, const std::string& process);
+  /// Ingests an explicit event set (tests, pre-collected rings).
+  void ingest(std::span<const TraceEvent> events, const std::string& process);
+
+  /// Distinct trace ids seen so far, ascending.
+  std::vector<std::uint64_t> trace_ids() const;
+
+  /// Assembles the merged trace for `trace_id` (empty result when the id
+  /// was never seen). Events without trace ids are never part of a trace.
+  MergedTrace assemble(std::uint64_t trace_id) const;
+
+  /// Process names in ingestion order; CollectedEvent::process and the
+  /// export's pids (index + 1) refer to this table.
+  const std::vector<std::string>& processes() const { return processes_; }
+
+  std::size_t size() const { return events_.size(); }
+
+  /// Writes every ingested event — traced or not — as one Chrome
+  /// trace-event JSON object, pid-separated per process and annotated
+  /// with process_name metadata records, so Perfetto renders the fleet
+  /// as one timeline with a track group per process.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> processes_;
+  std::vector<CollectedEvent> events_;
+};
+
+}  // namespace acsel::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "obs/json.h"
@@ -38,6 +39,48 @@ void Histogram::record(std::uint64_t nanos) {
   while (nanos > seen && !max_nanos_.compare_exchange_weak(
                              seen, nanos, std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::record(std::uint64_t nanos, std::uint64_t trace_id) {
+  record(nanos);
+  if (trace_id == 0 ||
+      nanos < exemplar_floor_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock{exemplar_mu_};
+  // Replace the fastest slot when this sample beats it (empty slots have
+  // nanos 0 and lose immediately).
+  std::size_t fastest = 0;
+  for (std::size_t i = 1; i < kExemplarSlots; ++i) {
+    if (exemplar_slots_[i].nanos < exemplar_slots_[fastest].nanos) {
+      fastest = i;
+    }
+  }
+  if (nanos < exemplar_slots_[fastest].nanos) {
+    return;  // lost the race to a concurrent slower sample
+  }
+  exemplar_slots_[fastest] = Exemplar{nanos, trace_id};
+  std::uint64_t floor = exemplar_slots_[0].nanos;
+  for (std::size_t i = 1; i < kExemplarSlots; ++i) {
+    floor = std::min(floor, exemplar_slots_[i].nanos);
+  }
+  exemplar_floor_.store(floor, std::memory_order_relaxed);
+}
+
+std::vector<Histogram::Exemplar> Histogram::exemplars() const {
+  std::vector<Exemplar> out;
+  {
+    std::lock_guard<std::mutex> lock{exemplar_mu_};
+    for (const Exemplar& exemplar : exemplar_slots_) {
+      if (exemplar.trace_id != 0) {
+        out.push_back(exemplar);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Exemplar& a, const Exemplar& b) {
+    return a.nanos > b.nanos;
+  });
+  return out;
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -94,6 +137,11 @@ void Histogram::reset() {
     bucket.store(0, std::memory_order_relaxed);
   }
   max_nanos_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock{exemplar_mu_};
+    exemplar_slots_.fill(Exemplar{});
+  }
+  exemplar_floor_.store(0, std::memory_order_relaxed);
 }
 
 const char* to_string(MetricKind kind) {

@@ -62,11 +62,32 @@ class Gauge {
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 132;  // 33 octaves * 4
+  /// Exemplars retained per histogram (the slowest samples seen).
+  static constexpr std::size_t kExemplarSlots = 4;
 
   Histogram();
 
   /// Records one sample. Wait-free; safe from any thread.
   void record(std::uint64_t nanos);
+
+  /// A sample annotated with the distributed trace that produced it —
+  /// the link from "p99 is burning" to "this exact request was slow".
+  struct Exemplar {
+    std::uint64_t nanos = 0;
+    std::uint64_t trace_id = 0;
+
+    friend bool operator==(const Exemplar&, const Exemplar&) = default;
+  };
+
+  /// Records one sample and, when `trace_id` is nonzero, offers it as an
+  /// exemplar: the histogram keeps the kExemplarSlots slowest traced
+  /// samples. Near-wait-free — the exemplar lock is only taken when the
+  /// sample beats the current floor, which stops happening almost
+  /// immediately on a steady workload.
+  void record(std::uint64_t nanos, std::uint64_t trace_id);
+
+  /// The slowest traced samples, slowest first.
+  std::vector<Exemplar> exemplars() const;
 
   /// Adds every cell of `other` into this histogram (e.g. folding
   /// per-shard histograms into a total). Safe against concurrent
@@ -97,6 +118,11 @@ class Histogram {
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_;
   std::atomic<std::uint64_t> max_nanos_{0};
+  /// Slowest traced sample admitted so far that would NOT make the
+  /// exemplar table — the lock-free gate in front of exemplar_mu_.
+  std::atomic<std::uint64_t> exemplar_floor_{0};
+  mutable std::mutex exemplar_mu_;
+  std::array<Exemplar, kExemplarSlots> exemplar_slots_{};  // exemplar_mu_
 };
 
 enum class MetricKind : std::uint8_t {

@@ -1,0 +1,191 @@
+#include "obs/series.h"
+
+#include <algorithm>
+
+namespace acsel::obs {
+
+Series::Series(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity == 0 ? 1 : capacity) {
+  points_.reserve(capacity_);
+}
+
+void Series::append(std::uint64_t tick, double value) {
+  if (points_.size() < capacity_) {
+    points_.push_back(SeriesPoint{tick, value});
+    next_ = points_.size() % capacity_;
+    return;
+  }
+  points_[next_] = SeriesPoint{tick, value};
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SeriesPoint> Series::points() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(points_.size());
+  if (points_.size() < capacity_) {
+    out = points_;
+    return out;
+  }
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    out.push_back(points_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::optional<double> Series::latest() const {
+  if (points_.empty()) {
+    return std::nullopt;
+  }
+  const std::size_t newest =
+      points_.size() < capacity_ ? points_.size() - 1
+                                 : (next_ + capacity_ - 1) % capacity_;
+  return points_[newest].value;
+}
+
+std::optional<double> Series::at_tick(std::uint64_t tick) const {
+  for (const SeriesPoint& point : points_) {
+    if (point.tick == tick) {
+      return point.value;
+    }
+  }
+  return std::nullopt;
+}
+
+SeriesRollup Series::rollup(std::uint64_t window,
+                            std::uint64_t now_tick) const {
+  SeriesRollup out;
+  const std::uint64_t lo = window >= now_tick ? 0 : now_tick - window;
+  for (const SeriesPoint& point : points_) {
+    if (point.tick <= lo || point.tick > now_tick) {
+      continue;
+    }
+    if (out.points == 0) {
+      out.min = out.max = point.value;
+    } else {
+      out.min = std::min(out.min, point.value);
+      out.max = std::max(out.max, point.value);
+    }
+    out.sum += point.value;
+    ++out.points;
+  }
+  if (out.points != 0) {
+    out.avg = out.sum / static_cast<double>(out.points);
+  }
+  return out;
+}
+
+double Series::delta(std::uint64_t window, std::uint64_t now_tick) const {
+  const std::uint64_t lo = window >= now_tick ? 0 : now_tick - window;
+  bool any = false;
+  SeriesPoint oldest;
+  SeriesPoint newest;
+  for (const SeriesPoint& point : points_) {
+    if (point.tick <= lo || point.tick > now_tick) {
+      continue;
+    }
+    if (!any) {
+      oldest = newest = point;
+      any = true;
+      continue;
+    }
+    if (point.tick < oldest.tick) {
+      oldest = point;
+    }
+    if (point.tick > newest.tick) {
+      newest = point;
+    }
+  }
+  if (!any || oldest.tick == newest.tick) {
+    return 0.0;
+  }
+  return newest.value - oldest.value;
+}
+
+SeriesStore::SeriesStore(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Series& SeriesStore::series_for(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, Series{name, capacity_}).first;
+  }
+  return it->second;
+}
+
+std::uint64_t SeriesStore::observe(
+    const std::vector<MetricSnapshot>& snapshot) {
+  std::lock_guard<std::mutex> lock{mu_};
+  const std::uint64_t tick = ++tick_;
+  for (const MetricSnapshot& metric : snapshot) {
+    switch (metric.kind) {
+      case MetricKind::Counter:
+        series_for(metric.name)
+            .append(tick, static_cast<double>(metric.count));
+        break;
+      case MetricKind::Gauge:
+        series_for(metric.name).append(tick, metric.value);
+        break;
+      case MetricKind::Histogram:
+        series_for(metric.name + ".count")
+            .append(tick, static_cast<double>(metric.count));
+        series_for(metric.name + ".p50_us").append(tick, metric.p50_us);
+        series_for(metric.name + ".p99_us").append(tick, metric.p99_us);
+        series_for(metric.name + ".max_us").append(tick, metric.max_us);
+        break;
+    }
+  }
+  return tick;
+}
+
+std::uint64_t SeriesStore::ticks() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return tick_;
+}
+
+std::vector<std::string> SeriesStore::names() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, series] : series_) {  // map order == ascending
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::optional<double> SeriesStore::latest(const std::string& series) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = series_.find(series);
+  return it == series_.end() ? std::nullopt : it->second.latest();
+}
+
+std::optional<double> SeriesStore::at_tick(const std::string& series,
+                                           std::uint64_t tick) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = series_.find(series);
+  return it == series_.end() ? std::nullopt : it->second.at_tick(tick);
+}
+
+SeriesRollup SeriesStore::rollup(const std::string& series,
+                                 std::uint64_t window) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = series_.find(series);
+  return it == series_.end() ? SeriesRollup{}
+                             : it->second.rollup(window, tick_);
+}
+
+double SeriesStore::delta(const std::string& series,
+                          std::uint64_t window) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = series_.find(series);
+  return it == series_.end() ? 0.0 : it->second.delta(window, tick_);
+}
+
+std::vector<SeriesPoint> SeriesStore::points(const std::string& series) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = series_.find(series);
+  return it == series_.end() ? std::vector<SeriesPoint>{}
+                             : it->second.points();
+}
+
+}  // namespace acsel::obs

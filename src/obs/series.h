@@ -1,0 +1,127 @@
+// Time-series store over the metric registry: observe() snapshots a
+// registry on the caller's tick cadence and appends one point per scalar
+// series into fixed-capacity ring buffers, so "what did this metric do
+// over the last minute" is answerable from inside the process — the SLO
+// engine's burn-rate windows, the stats scrape's series block, and the
+// benches' verdicts all read from here.
+//
+// Expansion rule (one MetricSnapshot row -> scalar series):
+//   counter "x"    -> series "x"        (cumulative count, as a double)
+//   gauge "x"      -> series "x"        (last written value)
+//   histogram "x"  -> "x.count", "x.p50_us", "x.p99_us", "x.max_us"
+//
+// Time is the observation tick (1-based, advanced by observe()), never a
+// wall clock — a chaos soak replays bit-for-bit under a fixed fault seed,
+// and so do the alerts computed from these rings. Memory is bounded by
+// construction: series_count * capacity points, oldest overwritten.
+//
+// Single-writer contract: observe() is called from one driver thread
+// (the fleet tick loop); readers take the same mutex, so scrapes may
+// interleave with ticks safely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace acsel::obs {
+
+/// One retained observation of one series.
+struct SeriesPoint {
+  std::uint64_t tick = 0;
+  double value = 0.0;
+
+  friend bool operator==(const SeriesPoint&, const SeriesPoint&) = default;
+};
+
+/// Aggregates over a window of retained points.
+struct SeriesRollup {
+  std::uint64_t points = 0;  ///< points aggregated (0 = empty window)
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double avg = 0.0;
+
+  friend bool operator==(const SeriesRollup&, const SeriesRollup&) = default;
+};
+
+/// One scalar series: a fixed-capacity ring of (tick, value) points.
+class Series {
+ public:
+  Series(std::string name, std::size_t capacity);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return points_.size(); }
+
+  void append(std::uint64_t tick, double value);
+
+  /// Retained points, oldest first.
+  std::vector<SeriesPoint> points() const;
+
+  /// The newest value (nullopt when nothing retained).
+  std::optional<double> latest() const;
+  /// The value at exactly `tick` (nullopt when not retained).
+  std::optional<double> at_tick(std::uint64_t tick) const;
+
+  /// Rollup over ticks in (now_tick - window, now_tick].
+  SeriesRollup rollup(std::uint64_t window, std::uint64_t now_tick) const;
+
+  /// Change over the window: value(now_tick) - value(oldest retained tick
+  /// > now_tick - window). For cumulative counters this is the per-window
+  /// delta; 0 when fewer than two points are in range.
+  double delta(std::uint64_t window, std::uint64_t now_tick) const;
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::vector<SeriesPoint> points_;  // circular once at capacity
+  std::size_t next_ = 0;             // overwrite cursor
+};
+
+class SeriesStore {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit SeriesStore(std::size_t capacity = kDefaultCapacity);
+  SeriesStore(const SeriesStore&) = delete;
+  SeriesStore& operator=(const SeriesStore&) = delete;
+
+  /// Appends one point per expanded series at the next tick; returns the
+  /// tick just recorded (1-based). Metrics appearing for the first time
+  /// start their series at the current tick (no backfill).
+  std::uint64_t observe(const std::vector<MetricSnapshot>& snapshot);
+
+  /// Ticks recorded so far (the tick of the newest point).
+  std::uint64_t ticks() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Expanded series names, ascending.
+  std::vector<std::string> names() const;
+
+  std::optional<double> latest(const std::string& series) const;
+  std::optional<double> at_tick(const std::string& series,
+                                std::uint64_t tick) const;
+  /// Rollup of `series` over the trailing `window` ticks (empty rollup
+  /// for an unknown series).
+  SeriesRollup rollup(const std::string& series, std::uint64_t window) const;
+  /// Per-window delta of `series` (0 for an unknown series).
+  double delta(const std::string& series, std::uint64_t window) const;
+  /// Retained points of `series`, oldest first (empty for unknown).
+  std::vector<SeriesPoint> points(const std::string& series) const;
+
+ private:
+  Series& series_for(const std::string& name);  // mu_ held by caller
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t tick_ = 0;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace acsel::obs

@@ -1,0 +1,174 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace acsel::obs {
+
+const char* to_string(SloKind kind) {
+  switch (kind) {
+    case SloKind::RatioAtLeast:
+      return "ratio_at_least";
+    case SloKind::ValueBelow:
+      return "value_below";
+    case SloKind::ValueAtMost:
+      return "value_at_most";
+  }
+  return "?";
+}
+
+SloEngine::SloEngine(BurnRateOptions burn) : burn_(burn) {
+  ACSEL_CHECK_MSG(burn_.fast_window > 0 && burn_.slow_window > 0,
+                  "burn-rate windows must be positive");
+  ACSEL_CHECK_MSG(burn_.fast_window <= burn_.slow_window,
+                  "fast window must not exceed the slow window");
+  ACSEL_CHECK_MSG(burn_.burn_threshold > 0.0,
+                  "burn threshold must be positive");
+}
+
+void SloEngine::add(Slo slo) {
+  ACSEL_CHECK_MSG(!slo.name.empty(), "SLO name must be non-empty");
+  ACSEL_CHECK_MSG(!slo.numerator.empty(),
+                  "SLO \"" + slo.name + "\" needs a series");
+  ACSEL_CHECK_MSG(slo.kind != SloKind::RatioAtLeast ||
+                      !slo.denominator.empty(),
+                  "ratio SLO \"" + slo.name + "\" needs a denominator");
+  ACSEL_CHECK_MSG(slo.error_budget > 0.0,
+                  "SLO \"" + slo.name + "\" needs a positive error budget");
+  slos_.push_back(std::move(slo));
+  per_slo_.emplace_back();
+  states_.push_back(SloState{slos_.back().name});
+}
+
+double SloEngine::burn_over(const PerSlo& state, std::uint64_t window) const {
+  if (state.bad_bits.empty()) {
+    return 0.0;
+  }
+  const std::size_t n =
+      std::min<std::size_t>(window, state.bad_bits.size());
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state.bad_bits[state.bad_bits.size() - 1 - i]) {
+      ++bad;
+    }
+  }
+  const double fraction = static_cast<double>(bad) / static_cast<double>(n);
+  return fraction;  // caller divides by the budget
+}
+
+std::vector<Alert> SloEngine::evaluate(const SeriesStore& store,
+                                       Registry* registry) {
+  std::vector<Alert> fired;
+  const std::uint64_t tick = store.ticks();
+  if (tick == 0) {
+    return fired;
+  }
+  for (std::size_t i = 0; i < slos_.size(); ++i) {
+    const Slo& slo = slos_[i];
+    PerSlo& state = per_slo_[i];
+
+    // One good/bad bit for this tick.
+    bool bad = false;
+    double sli = 0.0;
+    switch (slo.kind) {
+      case SloKind::RatioAtLeast: {
+        const double num = store.latest(slo.numerator).value_or(0.0);
+        const double den = store.latest(slo.denominator).value_or(0.0);
+        const double dnum = state.have_last ? num - state.last_num : num;
+        const double dden = state.have_last ? den - state.last_den : den;
+        state.last_num = num;
+        state.last_den = den;
+        state.have_last = true;
+        if (dden <= 0.0) {
+          sli = 1.0;  // no traffic this tick: vacuously good
+        } else {
+          sli = dnum / dden;
+          bad = sli < slo.objective;
+        }
+        break;
+      }
+      case SloKind::ValueBelow: {
+        sli = store.latest(slo.numerator).value_or(0.0);
+        bad = sli >= slo.objective;
+        break;
+      }
+      case SloKind::ValueAtMost: {
+        sli = store.latest(slo.numerator).value_or(0.0);
+        bad = sli > slo.objective;
+        break;
+      }
+    }
+    state.bad_bits.push_back(bad);
+    while (state.bad_bits.size() > burn_.slow_window) {
+      state.bad_bits.pop_front();
+    }
+    state.sli_vals.push_back(sli);
+    while (state.sli_vals.size() > burn_.fast_window) {
+      state.sli_vals.pop_front();
+    }
+
+    const double fast_burn =
+        burn_over(state, burn_.fast_window) / slo.error_budget;
+    const double slow_burn =
+        burn_over(state, burn_.slow_window) / slo.error_budget;
+    const bool fast_hot = fast_burn >= burn_.burn_threshold;
+    const bool slow_hot = slow_burn >= burn_.burn_threshold;
+
+    if (!state.firing && fast_hot && slow_hot) {
+      Alert alert;
+      alert.slo = slo.name;
+      alert.fired_tick = tick;
+      alert.fast_burn = fast_burn;
+      alert.slow_burn = slow_burn;
+      // Worst SLI over the fast window: lowest ratio, highest value.
+      double worst = sli;
+      for (const double v : state.sli_vals) {
+        worst = slo.kind == SloKind::RatioAtLeast ? std::min(worst, v)
+                                                  : std::max(worst, v);
+      }
+      alert.worst_value = worst;
+      // Incident context over the slow window: churn that *preceded* the
+      // burn (a node detected dead ticks before both windows went hot)
+      // still belongs on the alert.
+      alert.membership_transitions =
+          store.delta("fleet.membership_transitions", burn_.slow_window);
+      alert.promotions = store.delta("adapt.promotions", burn_.slow_window);
+      alert.rollbacks = store.delta("adapt.rollbacks", burn_.slow_window);
+      if (registry != nullptr && !slo.exemplar_metric.empty()) {
+        for (const Histogram::Exemplar& exemplar :
+             registry->histogram(slo.exemplar_metric).exemplars()) {
+          alert.exemplar_trace_ids.push_back(exemplar.trace_id);
+        }
+      }
+      state.firing = true;
+      state.alert_index = alerts_.size();
+      alerts_.push_back(alert);
+      fired.push_back(alert);
+    } else if (state.firing && !fast_hot) {
+      // Fast-window recovery clears the page; the slow window keeps its
+      // memory so a flapping condition re-fires immediately.
+      alerts_[state.alert_index].cleared_tick = tick;
+      state.firing = false;
+    }
+
+    states_[i].sli = sli;
+    states_[i].fast_burn = fast_burn;
+    states_[i].slow_burn = slow_burn;
+    states_[i].firing = state.firing;
+  }
+  return fired;
+}
+
+std::vector<Alert> SloEngine::active_alerts() const {
+  std::vector<Alert> out;
+  for (const Alert& alert : alerts_) {
+    if (alert.active()) {
+      out.push_back(alert);
+    }
+  }
+  return out;
+}
+
+}  // namespace acsel::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace acsel::obs {
 
@@ -17,12 +18,31 @@ std::uint64_t next_tracer_id() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// The calling thread's installed trace context. Plain thread_local — a
+/// context is installed and read by the same thread; cross-thread
+/// propagation is explicit (capture + ScopedTraceContext).
+TraceContext& tls_context() {
+  thread_local TraceContext context;
+  return context;
+}
+
 }  // namespace
+
+const TraceContext& current_trace_context() { return tls_context(); }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : previous_(tls_context()) {
+  tls_context() = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_context() = previous_; }
 
 Tracer::Tracer(std::size_t ring_capacity)
     : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
       tracer_id_(next_tracer_id()),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()),
+      dropped_counter_(
+          &Registry::global().counter("obs.trace.dropped_events")) {}
 
 Tracer& Tracer::global() {
   // Leaked on purpose: instrumented code may run on worker threads during
@@ -36,6 +56,11 @@ std::uint64_t Tracer::now_ns() const {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch_)
           .count());
+}
+
+std::uint64_t Tracer::new_span_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 Tracer::Ring& Tracer::ring_for_this_thread() {
@@ -64,15 +89,18 @@ Tracer::Ring& Tracer::ring_for_this_thread() {
 void Tracer::push(TraceEvent event) {
   Ring& ring = ring_for_this_thread();
   event.tid = ring.tid;
-  std::lock_guard<std::mutex> lock{ring.mu};
-  if (ring.events.size() < ring_capacity_) {
-    ring.events.push_back(std::move(event));
-    return;
+  {
+    std::lock_guard<std::mutex> lock{ring.mu};
+    if (ring.events.size() < ring_capacity_) {
+      ring.events.push_back(std::move(event));
+      return;
+    }
+    // Full: overwrite the oldest event and advance the cursor.
+    ring.events[ring.next] = std::move(event);
+    ring.next = (ring.next + 1) % ring_capacity_;
+    ++ring.dropped;
   }
-  // Full: overwrite the oldest event and advance the cursor.
-  ring.events[ring.next] = std::move(event);
-  ring.next = (ring.next + 1) % ring_capacity_;
-  ++ring.dropped;
+  dropped_counter_->add();
 }
 
 void Tracer::record_complete(std::string name, std::string category,
@@ -89,6 +117,24 @@ void Tracer::record_complete(std::string name, std::string category,
   push(std::move(event));
 }
 
+void Tracer::record_complete(std::string name, std::string category,
+                             std::uint64_t start_ns, std::uint64_t dur_ns,
+                             const TraceContext& context) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.type = TraceEventType::Complete;
+  event.ts_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.trace_id = context.trace_id;
+  event.span_id = context.span_id;
+  event.parent_id = context.parent_id;
+  push(std::move(event));
+}
+
 void Tracer::record_instant(std::string name, std::string category) {
   if (!enabled()) {
     return;
@@ -98,6 +144,10 @@ void Tracer::record_instant(std::string name, std::string category) {
   event.category = std::move(category);
   event.type = TraceEventType::Instant;
   event.ts_ns = now_ns();
+  if (const TraceContext& context = tls_context(); context.active()) {
+    event.trace_id = context.trace_id;
+    event.parent_id = context.span_id;
+  }
   push(std::move(event));
 }
 
@@ -111,6 +161,36 @@ void Tracer::record_counter(std::string name, double value) {
   event.ts_ns = now_ns();
   event.value = value;
   push(std::move(event));
+}
+
+Span::Span(Tracer& tracer, std::string name, std::string category)
+    : tracer_(tracer.enabled() ? &tracer : nullptr) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  name_ = std::move(name);
+  category_ = std::move(category);
+  start_ns_ = tracer_->now_ns();
+  if (const TraceContext& current = tls_context(); current.active()) {
+    context_.trace_id = current.trace_id;
+    context_.parent_id = current.span_id;
+    context_.span_id = Tracer::new_span_id();
+    context_.sampled = true;
+    previous_ = current;
+    tls_context() = context_;
+    scoped_ = true;
+  }
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  if (scoped_) {
+    tls_context() = previous_;
+  }
+  tracer_->record_complete(std::move(name_), std::move(category_), start_ns_,
+                           tracer_->now_ns() - start_ns_, context_);
 }
 
 std::vector<TraceEvent> Tracer::collected() const {
@@ -167,7 +247,10 @@ std::string ns_as_us(std::uint64_t nanos) {
   return out;
 }
 
-void write_event_json(const TraceEvent& event, std::ostream& out) {
+}  // namespace
+
+void write_trace_event_json(const TraceEvent& event, int pid,
+                            std::ostream& out) {
   out << "{\"name\": \"" << json_escape(event.name) << "\", \"ph\": \"";
   switch (event.type) {
     case TraceEventType::Complete:
@@ -188,30 +271,44 @@ void write_event_json(const TraceEvent& event, std::ostream& out) {
     case TraceEventType::Instant:
       out << ", \"s\": \"t\"";  // thread-scoped instant
       break;
-    case TraceEventType::Counter: {
+    case TraceEventType::Counter:
+      break;
+  }
+  // Args: the counter sample and/or distributed-trace ids. u64 ids travel
+  // as decimal strings — a JSON number is a double and would mangle them.
+  const bool traced = event.trace_id != 0;
+  if (event.type == TraceEventType::Counter || traced) {
+    out << ", \"args\": {";
+    bool first = true;
+    if (event.type == TraceEventType::Counter) {
       char buffer[64];
       std::snprintf(buffer, sizeof buffer, "%.17g", event.value);
-      out << ", \"args\": {\"value\": " << buffer << "}";
-      break;
+      out << "\"value\": " << buffer;
+      first = false;
     }
+    if (traced) {
+      out << (first ? "" : ", ") << "\"trace_id\": \"" << event.trace_id
+          << "\", \"span_id\": \"" << event.span_id
+          << "\", \"parent_id\": \"" << event.parent_id << "\"";
+    }
+    out << "}";
   }
   if (!event.category.empty()) {
     out << ", \"cat\": \"" << json_escape(event.category) << "\"";
   }
-  out << ", \"pid\": 1, \"tid\": " << event.tid << "}";
+  out << ", \"pid\": " << pid << ", \"tid\": " << event.tid << "}";
 }
-
-}  // namespace
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
   out << "{\"traceEvents\": [";
   bool first = true;
   for (const TraceEvent& event : collected()) {
     out << (first ? "\n" : ",\n") << "  ";
-    write_event_json(event, out);
+    write_trace_event_json(event, 1, out);
     first = false;
   }
-  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  out << "\n], \"droppedEvents\": " << dropped()
+      << ", \"displayTimeUnit\": \"ms\"}\n";
 }
 
 }  // namespace acsel::obs

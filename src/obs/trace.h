@@ -9,8 +9,21 @@
 //     ACSEL_OBS_TRACING=OFF) turns the ACSEL_OBS_* macros into no-ops,
 //     removing even that load from instrumented call sites;
 //   * bounded memory — each thread writes a fixed-capacity ring;
-//     overflow overwrites the oldest events and counts the drops, so a
-//     day-long run can leave tracing on and still export the tail.
+//     overflow overwrites the oldest events and counts the drops (the
+//     obs.trace.dropped_events counter in the global registry, plus the
+//     "droppedEvents" field of the Chrome export), so a day-long run can
+//     leave tracing on and still export the tail.
+//
+// Distributed tracing: a TraceContext names one request's trace
+// (trace_id), the caller's span (span_id) and its parent, plus the
+// sampling verdict. The context travels across threads and processes
+// explicitly — installed with ScopedTraceContext at every boundary (a
+// worker picking up a queued job, a server decoding a wire frame) — and
+// implicitly within a thread: a Span constructed while a sampled context
+// is installed stamps its events with the trace, allocates itself a
+// process-unique span id, and becomes the parent of spans nested under
+// it. Events carry the ids into the export, where obs::Collector merges
+// rings from many processes into end-to-end traces.
 //
 // Timestamps are monotonic nanoseconds since the tracer's construction
 // (steady_clock), exported as microseconds per the trace-event spec.
@@ -31,6 +44,45 @@
 
 namespace acsel::obs {
 
+class Counter;
+
+/// One request's position in a distributed trace. Zero ids mean "none":
+/// a default-constructed context is the absence of a trace, and spans
+/// recorded under it carry no ids. `sampled` is the head-based sampling
+/// verdict — it rides the wire so every hop of a sampled request traces,
+/// and no hop of an unsampled one does.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  bool sampled = false;
+
+  /// A context that makes downstream spans record: a nonzero trace with
+  /// the sampling bit set.
+  bool active() const { return sampled && trace_id != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// The calling thread's installed trace context (all-zero when none).
+const TraceContext& current_trace_context();
+
+/// Installs `context` as the calling thread's trace context for the
+/// current scope; restores the previous context on destruction. Use at
+/// propagation boundaries: a worker thread adopting a queued request's
+/// context, a server adopting the context decoded from a wire frame.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
 enum class TraceEventType : std::uint8_t {
   Complete,  ///< a span: ts + duration ("ph":"X")
   Instant,   ///< a point event ("ph":"i")
@@ -45,6 +97,10 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;  ///< Complete only
   double value = 0.0;        ///< Counter only
   int tid = 0;               ///< small per-thread id assigned by the tracer
+  // Distributed-trace ids (0 = the event belongs to no trace).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
 };
 
 class Tracer {
@@ -67,11 +123,22 @@ class Tracer {
   /// recorded event.
   std::uint64_t now_ns() const;
 
+  /// Allocates a process-unique span id (never 0, never reused).
+  static std::uint64_t new_span_id();
+
   /// Records a finished span [start_ns, start_ns + dur_ns). No-op while
   /// disabled.
   void record_complete(std::string name, std::string category,
                        std::uint64_t start_ns, std::uint64_t dur_ns);
-  /// Records a point event at now. No-op while disabled.
+  /// Records a finished span stamped with explicit trace ids: the event
+  /// is span `context.span_id` of trace `context.trace_id`, child of
+  /// `context.parent_id`. For post-hoc recording (e.g. simulated-time
+  /// replica slots) where RAII scoping cannot apply.
+  void record_complete(std::string name, std::string category,
+                       std::uint64_t start_ns, std::uint64_t dur_ns,
+                       const TraceContext& context);
+  /// Records a point event at now. No-op while disabled. Stamped with the
+  /// calling thread's current trace context when that context is sampled.
   void record_instant(std::string name, std::string category);
   /// Records one sample of the counter track `name` at now. No-op while
   /// disabled.
@@ -84,8 +151,10 @@ class Tracer {
   /// Empties every ring (buffers stay allocated; references stay valid).
   void clear();
 
-  /// Writes {"traceEvents": [...], "displayTimeUnit": "ms"} — the Chrome
-  /// trace-event JSON object format.
+  /// Writes {"traceEvents": [...], "droppedEvents": N,
+  /// "displayTimeUnit": "ms"} — the Chrome trace-event JSON object
+  /// format. Events with trace ids carry them in "args" (decimal
+  /// strings, since a u64 does not survive a JSON double).
   void write_chrome_trace(std::ostream& out) const;
 
  private:
@@ -104,6 +173,10 @@ class Tracer {
   const std::size_t ring_capacity_;
   const std::uint64_t tracer_id_;  // process-unique, for thread caches
   const std::chrono::steady_clock::time_point epoch_;
+  /// obs.trace.dropped_events in Registry::global() — every overwrite is
+  /// surfaced through the registry's text/CSV/JSON exporters and the
+  /// stats scrape, not just the tracer's own dropped() accessor.
+  Counter* dropped_counter_;
 
   mutable std::mutex rings_mu_;
   std::map<std::thread::id, std::unique_ptr<Ring>> rings_;
@@ -113,33 +186,40 @@ class Tracer {
 /// RAII span: samples the clock on construction (when the tracer is
 /// enabled) and records a Complete event on destruction. Cheap to place
 /// on hot paths — a disabled tracer reduces it to one relaxed load.
+///
+/// When the constructing thread has a sampled TraceContext installed, the
+/// span joins the trace: it allocates a span id, records its parent from
+/// the context, and installs itself as the thread's current context for
+/// its lifetime — spans nested under it (and wire frames encoded under
+/// it) chain to it automatically.
 class Span {
  public:
-  Span(Tracer& tracer, std::string name, std::string category)
-      : tracer_(tracer.enabled() ? &tracer : nullptr) {
-    if (tracer_ != nullptr) {
-      name_ = std::move(name);
-      category_ = std::move(category);
-      start_ns_ = tracer_->now_ns();
-    }
-  }
-
-  ~Span() {
-    if (tracer_ != nullptr) {
-      tracer_->record_complete(std::move(name_), std::move(category_),
-                               start_ns_, tracer_->now_ns() - start_ns_);
-    }
-  }
+  Span(Tracer& tracer, std::string name, std::string category);
+  ~Span();
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
+
+  /// This span's position in its trace: {trace_id, span_id = this span,
+  /// parent_id = enclosing span}. All-zero when the span is not part of
+  /// a sampled trace (or the tracer was disabled at entry).
+  const TraceContext& context() const { return context_; }
 
  private:
   Tracer* tracer_;  // nullptr when the tracer was disabled at entry
   std::string name_;
   std::string category_;
   std::uint64_t start_ns_ = 0;
+  TraceContext context_;   // this span's ids (zero outside a trace)
+  TraceContext previous_;  // thread context to restore on destruction
+  bool scoped_ = false;    // whether we installed context_ as current
 };
+
+/// Writes one event as a Chrome trace-event JSON object under process id
+/// `pid`. Shared by the Tracer export (pid 1) and the Collector's merged
+/// multi-process export.
+void write_trace_event_json(const TraceEvent& event, int pid,
+                            std::ostream& out);
 
 }  // namespace acsel::obs
 

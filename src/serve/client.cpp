@@ -5,10 +5,24 @@
 #include <utility>
 
 #include "fault/fault.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/log.h"
 
 namespace acsel::serve {
+
+namespace {
+
+/// splitmix64 finalizer — a deterministic, well-mixed trace id from the
+/// (client seed, request id) pair.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 Client::Client(Transport transport, ClientOptions options)
     : transport_(std::move(transport)),
@@ -56,6 +70,22 @@ void Client::wait(std::chrono::microseconds delay) {
 }
 
 SelectResponse Client::select(const SelectRequest& request) {
+  // Root a deterministic trace when sampling selects this request and no
+  // trace is already in progress; a caller's active trace is joined
+  // as-is. The root context carries span id 0, so the client.select span
+  // below becomes the trace's root span.
+  obs::TraceContext root = obs::current_trace_context();
+  if (!root.active() && options_.trace_sample_den > 0 &&
+      request.request_id % options_.trace_sample_den == 0) {
+    root = obs::TraceContext{};
+    root.trace_id = mix64(options_.seed ^ mix64(request.request_id));
+    if (root.trace_id == 0) {
+      root.trace_id = 1;
+    }
+    root.sampled = true;
+  }
+  const obs::ScopedTraceContext rooted{root};
+  ACSEL_OBS_SPAN("client.select", "client");
   SelectResponse last;
   last.request_id = request.request_id;
   last.status = ResponseStatus::MalformedRequest;
@@ -65,7 +95,8 @@ SelectResponse Client::select(const SelectRequest& request) {
       wait(backoff_delay(attempt - 1));
     }
     std::vector<std::uint8_t> frame;
-    encode_request(request, frame);
+    const obs::TraceContext ctx = obs::current_trace_context();
+    encode_request(request, frame, ctx.active() ? &ctx : nullptr);
     if (ACSEL_FAULT_ARMED() && ACSEL_FAULT_FIRE("wire.corrupt")) {
       frame[0] ^= 0xff;  // ruin the magic: the server sees BadMagic
     }
@@ -97,7 +128,8 @@ StatsResponse Client::stats(const StatsRequest& request) {
       wait(backoff_delay(attempt - 1));
     }
     std::vector<std::uint8_t> frame;
-    encode_stats_request(request, frame);
+    const obs::TraceContext ctx = obs::current_trace_context();
+    encode_stats_request(request, frame, ctx.active() ? &ctx : nullptr);
     const std::vector<std::uint8_t> reply = transport_(frame);
     const Decoded decoded = decode_frame(reply);
     if (decoded.status != DecodeStatus::Ok ||

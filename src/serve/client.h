@@ -39,6 +39,12 @@ struct ClientOptions {
   std::chrono::microseconds backoff_max{5000};
   /// Seeds the jitter stream (deterministic per client).
   std::uint64_t seed = 0xc11e57ull;
+  /// Distributed-tracing sample rate: roots a trace on every request
+  /// whose id is divisible by this (1 = trace everything, 100 = 1%);
+  /// 0 disables rooting. Requests arriving with a trace already active
+  /// join it regardless. Trace ids are a deterministic mix of the client
+  /// seed and the request id, so a fleet-wide trace is reproducible.
+  std::uint64_t trace_sample_den = 0;
   /// Called to wait out a backoff; defaults to sleep_for. Tests inject a
   /// recorder so retry schedules are assertable without real sleeping.
   std::function<void(std::chrono::microseconds)> sleep;

@@ -192,6 +192,7 @@ void put_request_payload(std::vector<std::uint8_t>& out,
   put_u8(out, static_cast<std::uint8_t>(request.goal));
   put_u8(out, request.cap_w.has_value() ? 1 : 0);
   put_f64(out, request.cap_w.value_or(0.0));
+  put_u64(out, request.deadline_ns);
   put_record(out, request.samples.cpu);
   put_record(out, request.samples.gpu);
 }
@@ -214,6 +215,7 @@ SelectRequest read_request_payload(Reader& r) {
   if (has_cap == 1) {
     request.cap_w = cap;
   }
+  request.deadline_ns = r.u64();
   request.samples.cpu = read_record(r);
   request.samples.gpu = read_record(r);
   return request;
@@ -304,6 +306,43 @@ void put_stats_response_payload(std::vector<std::uint8_t>& out,
     put_u64(out, v);
   }
   put_f64(out, fleet.global_budget_w);
+  // Series block, appended after the fleet block — the same
+  // earlier-offsets-never-move rule.
+  const SeriesStats& series = response.series;
+  put_u8(out, series.attached ? 1 : 0);
+  put_u64(out, series.ticks);
+  put_u64(out, series.capacity);
+  put_u32(out, static_cast<std::uint32_t>(series.series.size()));
+  for (const SeriesRollupStats& rollup : series.series) {
+    put_string(out, rollup.name);
+    put_f64(out, rollup.latest);
+    put_u64(out, rollup.points);
+    put_f64(out, rollup.sum);
+    put_f64(out, rollup.min);
+    put_f64(out, rollup.max);
+    put_f64(out, rollup.avg);
+  }
+  // SLO block, last.
+  const SloStats& slo = response.slo;
+  put_u8(out, slo.attached ? 1 : 0);
+  put_u32(out, slo.slos);
+  put_u32(out, slo.active);
+  put_u32(out, static_cast<std::uint32_t>(slo.alerts.size()));
+  for (const AlertSnapshot& alert : slo.alerts) {
+    put_string(out, alert.slo);
+    put_u64(out, alert.fired_tick);
+    put_u64(out, alert.cleared_tick);
+    put_f64(out, alert.fast_burn);
+    put_f64(out, alert.slow_burn);
+    put_f64(out, alert.worst_value);
+    put_f64(out, alert.membership_transitions);
+    put_f64(out, alert.promotions);
+    put_f64(out, alert.rollbacks);
+    put_u32(out, static_cast<std::uint32_t>(alert.exemplar_trace_ids.size()));
+    for (const std::uint64_t trace_id : alert.exemplar_trace_ids) {
+      put_u64(out, trace_id);
+    }
+  }
 }
 
 StatsResponse read_stats_response_payload(Reader& r) {
@@ -390,6 +429,92 @@ StatsResponse read_stats_response_payload(Reader& r) {
   if (!std::isfinite(fleet.global_budget_w) || fleet.global_budget_w < 0.0) {
     throw PayloadError{};
   }
+  SeriesStats& series = response.series;
+  const std::uint8_t series_attached = r.u8();
+  if (series_attached > 1) {
+    throw PayloadError{};
+  }
+  series.attached = series_attached == 1;
+  series.ticks = r.u64();
+  series.capacity = r.u64();
+  const std::uint32_t series_count = r.u32();
+  // A rollup entry is at least 58 bytes on the wire; a count the payload
+  // cannot possibly hold is malformed.
+  if (series_count > kMaxPayloadBytes / 58) {
+    throw PayloadError{};
+  }
+  series.series.reserve(series_count);
+  for (std::uint32_t i = 0; i < series_count; ++i) {
+    SeriesRollupStats rollup;
+    rollup.name = r.string();
+    rollup.latest = r.f64();
+    rollup.points = r.u64();
+    rollup.sum = r.f64();
+    rollup.min = r.f64();
+    rollup.max = r.f64();
+    rollup.avg = r.f64();
+    // Rollups are aggregates of real observations; a non-finite cell is a
+    // corrupt frame, not a metric.
+    for (const double v :
+         {rollup.latest, rollup.sum, rollup.min, rollup.max, rollup.avg}) {
+      if (!std::isfinite(v)) {
+        throw PayloadError{};
+      }
+    }
+    series.series.push_back(std::move(rollup));
+  }
+  SloStats& slo = response.slo;
+  const std::uint8_t slo_attached = r.u8();
+  if (slo_attached > 1) {
+    throw PayloadError{};
+  }
+  slo.attached = slo_attached == 1;
+  slo.slos = r.u32();
+  slo.active = r.u32();
+  // At most one alert can be firing per configured objective.
+  if (slo.active > slo.slos) {
+    throw PayloadError{};
+  }
+  const std::uint32_t alert_count = r.u32();
+  // An alert entry is at least 70 bytes on the wire.
+  if (alert_count > kMaxPayloadBytes / 70) {
+    throw PayloadError{};
+  }
+  slo.alerts.reserve(alert_count);
+  for (std::uint32_t i = 0; i < alert_count; ++i) {
+    AlertSnapshot alert;
+    alert.slo = r.string();
+    alert.fired_tick = r.u64();
+    alert.cleared_tick = r.u64();
+    // An alert that never fired, or cleared before it fired, cannot have
+    // been produced by the engine.
+    if (alert.fired_tick == 0 ||
+        (alert.cleared_tick != 0 && alert.cleared_tick < alert.fired_tick)) {
+      throw PayloadError{};
+    }
+    alert.fast_burn = r.f64();
+    alert.slow_burn = r.f64();
+    alert.worst_value = r.f64();
+    alert.membership_transitions = r.f64();
+    alert.promotions = r.f64();
+    alert.rollbacks = r.f64();
+    for (const double v :
+         {alert.fast_burn, alert.slow_burn, alert.worst_value,
+          alert.membership_transitions, alert.promotions, alert.rollbacks}) {
+      if (!std::isfinite(v)) {
+        throw PayloadError{};
+      }
+    }
+    const std::uint32_t exemplar_count = r.u32();
+    if (exemplar_count > kMaxPayloadBytes / 8) {
+      throw PayloadError{};
+    }
+    alert.exemplar_trace_ids.reserve(exemplar_count);
+    for (std::uint32_t e = 0; e < exemplar_count; ++e) {
+      alert.exemplar_trace_ids.push_back(r.u64());
+    }
+    slo.alerts.push_back(std::move(alert));
+  }
   return response;
 }
 
@@ -465,14 +590,21 @@ FeedbackResponse read_feedback_response_payload(Reader& r) {
 }
 
 void put_frame(std::vector<std::uint8_t>& out, MessageType type,
-               const std::vector<std::uint8_t>& payload) {
+               const std::vector<std::uint8_t>& payload,
+               const obs::TraceContext* trace) {
   ACSEL_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
                   "encoded payload exceeds kMaxPayloadBytes");
   put_u32(out, kWireMagic);
   put_u8(out, kWireVersion);
   put_u8(out, static_cast<std::uint8_t>(type));
-  put_u16(out, 0);  // reserved
+  put_u16(out, trace != nullptr ? kFlagTraceContext : 0);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  if (trace != nullptr) {
+    put_u64(out, trace->trace_id);
+    put_u64(out, trace->span_id);
+    put_u64(out, trace->parent_id);
+    put_u8(out, trace->sampled ? 1 : 0);
+  }
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
@@ -499,51 +631,57 @@ const char* to_string(DecodeStatus status) {
 }
 
 void encode_request(const SelectRequest& request,
-                    std::vector<std::uint8_t>& out) {
+                    std::vector<std::uint8_t>& out,
+                    const obs::TraceContext* trace) {
   std::vector<std::uint8_t> payload;
   payload.reserve(512);
   put_request_payload(payload, request);
-  put_frame(out, MessageType::SelectRequest, payload);
+  put_frame(out, MessageType::SelectRequest, payload, trace);
 }
 
 void encode_response(const SelectResponse& response,
-                     std::vector<std::uint8_t>& out) {
+                     std::vector<std::uint8_t>& out,
+                     const obs::TraceContext* trace) {
   std::vector<std::uint8_t> payload;
   payload.reserve(64);
   put_response_payload(payload, response);
-  put_frame(out, MessageType::SelectResponse, payload);
+  put_frame(out, MessageType::SelectResponse, payload, trace);
 }
 
 void encode_stats_request(const StatsRequest& request,
-                          std::vector<std::uint8_t>& out) {
+                          std::vector<std::uint8_t>& out,
+                          const obs::TraceContext* trace) {
   std::vector<std::uint8_t> payload;
   payload.reserve(8);
   put_stats_request_payload(payload, request);
-  put_frame(out, MessageType::StatsRequest, payload);
+  put_frame(out, MessageType::StatsRequest, payload, trace);
 }
 
 void encode_stats_response(const StatsResponse& response,
-                           std::vector<std::uint8_t>& out) {
+                           std::vector<std::uint8_t>& out,
+                           const obs::TraceContext* trace) {
   std::vector<std::uint8_t> payload;
   payload.reserve(64 + response.metrics.size() * 80);
   put_stats_response_payload(payload, response);
-  put_frame(out, MessageType::StatsResponse, payload);
+  put_frame(out, MessageType::StatsResponse, payload, trace);
 }
 
 void encode_feedback_request(const FeedbackRequest& feedback,
-                             std::vector<std::uint8_t>& out) {
+                             std::vector<std::uint8_t>& out,
+                             const obs::TraceContext* trace) {
   std::vector<std::uint8_t> payload;
   payload.reserve(512);
   put_feedback_request_payload(payload, feedback);
-  put_frame(out, MessageType::FeedbackRequest, payload);
+  put_frame(out, MessageType::FeedbackRequest, payload, trace);
 }
 
 void encode_feedback_response(const FeedbackResponse& response,
-                              std::vector<std::uint8_t>& out) {
+                              std::vector<std::uint8_t>& out,
+                              const obs::TraceContext* trace) {
   std::vector<std::uint8_t> payload;
   payload.reserve(16);
   put_feedback_response_payload(payload, response);
-  put_frame(out, MessageType::FeedbackResponse, payload);
+  put_frame(out, MessageType::FeedbackResponse, payload, trace);
 }
 
 Decoded decode_frame(std::span<const std::uint8_t> buffer,
@@ -564,7 +702,14 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer,
     return result;
   }
   const std::uint8_t raw_type = header.u8();
-  header.u16();  // reserved
+  const std::uint16_t flags = header.u16();
+  // A flag bit this build does not know may change the frame's size (as
+  // bit 0 itself did); guessing would desynchronize the stream, so the
+  // frame is refused the same way a future version number is.
+  if ((flags & ~kKnownFlags) != 0) {
+    result.status = DecodeStatus::UnsupportedVersion;
+    return result;
+  }
   const std::uint32_t payload_size = header.u32();
   // Rejected from the header alone — an adversarial length prefix (up to
   // the full 4 GiB a u32 can declare) never causes buffering or
@@ -580,13 +725,32 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer,
     return result;
   }
   result.type = static_cast<MessageType>(raw_type);
+  const std::size_t trace_bytes =
+      (flags & kFlagTraceContext) != 0 ? kTraceBlockBytes : 0;
   const std::uint64_t frame_size =
-      std::uint64_t{kFrameHeaderBytes} + payload_size;
+      std::uint64_t{kFrameHeaderBytes} + trace_bytes + payload_size;
   if (buffer.size() < frame_size) {
     result.status = DecodeStatus::NeedMoreData;
     return result;
   }
-  Reader payload{buffer.subspan(kFrameHeaderBytes, payload_size)};
+  if (trace_bytes != 0) {
+    Reader trace{buffer.subspan(kFrameHeaderBytes, kTraceBlockBytes)};
+    result.trace.trace_id = trace.u64();
+    result.trace.span_id = trace.u64();
+    result.trace.parent_id = trace.u64();
+    const std::uint8_t sampled = trace.u8();
+    if (sampled > 1) {
+      // The frame is correctly sized — skippable — but its trace block is
+      // not something an encoder produces.
+      result.status = DecodeStatus::MalformedPayload;
+      result.bytes_consumed = frame_size;
+      return result;
+    }
+    result.trace.sampled = sampled == 1;
+    result.has_trace = true;
+  }
+  Reader payload{buffer.subspan(kFrameHeaderBytes + trace_bytes,
+                                payload_size)};
   try {
     switch (result.type) {
       case MessageType::SelectRequest:

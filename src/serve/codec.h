@@ -1,14 +1,26 @@
 // Length-prefixed binary wire codec for the selection service, so the
-// server can later sit behind a real socket. Framing:
+// server can later sit behind a real socket. Framing (version 2):
 //
 //   u32  magic          "ACSL" (0x4C534341 little-endian)
-//   u8   protocol version (currently 1)
+//   u8   protocol version (currently 2)
 //   u8   message type   (1 = SelectRequest, 2 = SelectResponse,
 //                        3 = StatsRequest, 4 = StatsResponse,
 //                        5 = FeedbackRequest, 6 = FeedbackResponse)
-//   u16  reserved       (must be 0)
-//   u32  payload length (hard-capped at kMaxPayloadBytes)
+//   u16  flags          (bit 0 = trace-context block present; all other
+//                        bits reserved, must be 0)
+//   u32  payload length (hard-capped at kMaxPayloadBytes; excludes the
+//                        trace block)
+//   [trace block — 25 bytes, present iff flags bit 0]
+//     u64 trace_id, u64 span_id, u64 parent_id, u8 sampled (0/1)
 //   ...  payload
+//
+// Version history: v1 had the same 12-byte header with the u16 as an
+// always-zero reserved field and no trace block; v2 repurposed it as
+// flags and appended fields to the SelectRequest (deadline_ns) and
+// StatsResponse (series + slo blocks) payloads. The decoder speaks only
+// the current version — v1 frames report UnsupportedVersion, as do
+// frames setting flag bits this build does not know (a frame whose size
+// cannot be determined must not be resynchronized by guesswork).
 //
 // All integers are little-endian; doubles travel as their IEEE-754 bit
 // patterns, so predictions round-trip bit-exactly. Decoding never throws:
@@ -22,13 +34,19 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/message.h"
 
 namespace acsel::serve {
 
 inline constexpr std::uint32_t kWireMagic = 0x4C534341u;  // "ACSL"
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Header flags (the u16 that was reserved-zero in v1).
+inline constexpr std::uint16_t kFlagTraceContext = 0x0001;
+inline constexpr std::uint16_t kKnownFlags = kFlagTraceContext;
+/// Trace block: trace_id + span_id + parent_id + sampled.
+inline constexpr std::size_t kTraceBlockBytes = 25;
 /// A sample pair encodes in well under 1 KiB; anything near this limit is
 /// garbage or an attack, not a request.
 inline constexpr std::size_t kMaxPayloadBytes = 64 * 1024;
@@ -59,18 +77,26 @@ enum class DecodeStatus {
 const char* to_string(DecodeStatus status);
 
 /// Appends one complete frame carrying `request` / `response` to `out`.
+/// A non-null `trace` rides in the frame's trace-context block (flags bit
+/// 0), tying the frame into a distributed trace; nullptr emits no block.
 void encode_request(const SelectRequest& request,
-                    std::vector<std::uint8_t>& out);
+                    std::vector<std::uint8_t>& out,
+                    const obs::TraceContext* trace = nullptr);
 void encode_response(const SelectResponse& response,
-                     std::vector<std::uint8_t>& out);
+                     std::vector<std::uint8_t>& out,
+                     const obs::TraceContext* trace = nullptr);
 void encode_stats_request(const StatsRequest& request,
-                          std::vector<std::uint8_t>& out);
+                          std::vector<std::uint8_t>& out,
+                          const obs::TraceContext* trace = nullptr);
 void encode_stats_response(const StatsResponse& response,
-                           std::vector<std::uint8_t>& out);
+                           std::vector<std::uint8_t>& out,
+                           const obs::TraceContext* trace = nullptr);
 void encode_feedback_request(const FeedbackRequest& feedback,
-                             std::vector<std::uint8_t>& out);
+                             std::vector<std::uint8_t>& out,
+                             const obs::TraceContext* trace = nullptr);
 void encode_feedback_response(const FeedbackResponse& response,
-                              std::vector<std::uint8_t>& out);
+                              std::vector<std::uint8_t>& out,
+                              const obs::TraceContext* trace = nullptr);
 
 struct Decoded {
   DecodeStatus status = DecodeStatus::NeedMoreData;
@@ -80,6 +106,10 @@ struct Decoded {
   /// everything else (header-level corruption — resynchronization is the
   /// transport's problem, typically "drop the connection").
   std::size_t bytes_consumed = 0;
+  /// Trace context carried by the frame's trace block (flags bit 0);
+  /// `has_trace` is false when the frame carried none.
+  bool has_trace = false;
+  obs::TraceContext trace;
   SelectRequest request;    ///< valid when status == Ok, type == SelectRequest
   SelectResponse response;  ///< valid when status == Ok, type == SelectResponse
   StatsRequest stats_request;    ///< valid when Ok, type == StatsRequest

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/characterization.h"
@@ -49,6 +50,10 @@ struct SelectRequest {
   core::SchedulingGoal goal = core::SchedulingGoal::MaxPerformance;
   /// Power cap in watts; nullopt selects unconstrained.
   std::optional<double> cap_w;
+  /// Absolute deadline on the originating request's clock, in ns; 0 means
+  /// no deadline. Propagated through the fleet so derived work (hedges,
+  /// reroutes) cannot outlive a deadline the caller has already blown.
+  std::uint64_t deadline_ns = 0;
   /// The kernel's two sample runs — the online stage's whole world.
   core::SamplePair samples;
 };
@@ -152,6 +157,63 @@ struct FleetStats {
   bool operator==(const FleetStats&) const = default;
 };
 
+/// One series' windowed rollup in a StatsResponse series block — the wire
+/// form of obs::SeriesRollup plus identity and latest value.
+struct SeriesRollupStats {
+  std::string name;
+  double latest = 0.0;
+  std::uint64_t points = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double avg = 0.0;
+
+  bool operator==(const SeriesRollupStats&) const = default;
+};
+
+/// Time-series-store state reported in a StatsResponse. All zeros (with
+/// attached = false) when the responder runs no SeriesStore. Defined here
+/// for the same layering reason as AdaptStats/FleetStats: the codec must
+/// encode it, and serve never depends on the layers that populate it.
+struct SeriesStats {
+  bool attached = false;
+  std::uint64_t ticks = 0;
+  std::uint64_t capacity = 0;
+  /// Selected series rollups (the responder chooses which; typically the
+  /// SLO-relevant ones), sorted by name.
+  std::vector<SeriesRollupStats> series;
+
+  bool operator==(const SeriesStats&) const = default;
+};
+
+/// One SLO alert record in a StatsResponse — the wire form of obs::Alert.
+struct AlertSnapshot {
+  std::string slo;
+  std::uint64_t fired_tick = 0;
+  std::uint64_t cleared_tick = 0;  ///< 0 while the alert is active
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  double worst_value = 0.0;
+  double membership_transitions = 0.0;
+  double promotions = 0.0;
+  double rollbacks = 0.0;
+  std::vector<std::uint64_t> exemplar_trace_ids;
+
+  bool operator==(const AlertSnapshot&) const = default;
+};
+
+/// SLO-engine state reported in a StatsResponse. All zeros (with
+/// attached = false) when the responder runs no SloEngine.
+struct SloStats {
+  bool attached = false;
+  std::uint32_t slos = 0;    ///< objectives configured
+  std::uint32_t active = 0;  ///< alerts currently firing
+  /// Every alert fired so far, in fire order.
+  std::vector<AlertSnapshot> alerts;
+
+  bool operator==(const SloStats&) const = default;
+};
+
 struct StatsResponse {
   std::uint64_t request_id = 0;
   ResponseStatus status = ResponseStatus::Ok;
@@ -161,6 +223,10 @@ struct StatsResponse {
   AdaptStats adapt;
   /// Fleet-router state (zeros when the responder is a plain server).
   FleetStats fleet;
+  /// Time-series rollups (zeros when no SeriesStore is attached).
+  SeriesStats series;
+  /// SLO/alert state (zeros when no SloEngine is attached).
+  SloStats slo;
 };
 
 /// What the server calls into when adaptation is wired up — implemented

@@ -96,6 +96,7 @@ std::future<SelectResponse> Server::submit(SelectRequest request) {
   Job job;
   job.request = std::move(request);
   job.enqueued = std::chrono::steady_clock::now();
+  job.trace = obs::current_trace_context();
   const std::uint64_t request_id = job.request.request_id;
   std::future<SelectResponse> future = job.promise.get_future();
   if (!queue_.try_push(std::move(job))) {
@@ -120,6 +121,11 @@ std::vector<std::uint8_t> Server::serve_frame(
     std::span<const std::uint8_t> frame) {
   const Decoded decoded = decode_frame(frame);
   std::vector<std::uint8_t> out;
+  // Adopt the frame's trace context for the duration of the call, and
+  // echo it on the response frame so the caller can correlate.
+  const obs::ScopedTraceContext traced{
+      decoded.has_trace ? decoded.trace : obs::current_trace_context()};
+  const obs::TraceContext* echo = decoded.has_trace ? &decoded.trace : nullptr;
   if (decoded.status == DecodeStatus::Ok &&
       decoded.type == MessageType::StatsRequest) {
     // Stats scrapes are answered inline at the frame layer: they never
@@ -134,7 +140,7 @@ std::vector<std::uint8_t> Server::serve_frame(
       stats.adapt = sink->adapt_stats();
       stats.adapt.attached = true;
     }
-    encode_stats_response(stats, out);
+    encode_stats_response(stats, out, echo);
     return out;
   }
   if (decoded.status == DecodeStatus::Ok &&
@@ -150,7 +156,7 @@ std::vector<std::uint8_t> Server::serve_frame(
     } else {
       ack.status = ResponseStatus::Unsupported;
     }
-    encode_feedback_response(ack, out);
+    encode_feedback_response(ack, out, echo);
     return out;
   }
   SelectResponse response;
@@ -164,7 +170,7 @@ std::vector<std::uint8_t> Server::serve_frame(
   } else {
     response = select(decoded.request);
   }
-  encode_response(response, out);
+  encode_response(response, out, echo);
   return out;
 }
 
@@ -199,6 +205,9 @@ void Server::worker_loop() {
 
     for (Job& job : batch) {
       const SelectRequest& request = job.request;
+      // Re-enter the submitter's trace on this worker thread: spans below
+      // chain under the caller's span even though the queue was crossed.
+      const obs::ScopedTraceContext traced{job.trace};
 #ifndef ACSEL_OBS_NO_TRACING
       // Each request's time in the queue, backdated onto the trace
       // timeline so the wait span abuts the processing span.

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/breaker.h"
 #include "serve/message.h"
 #include "serve/metrics.h"
@@ -110,6 +111,10 @@ class Server {
     SelectRequest request;
     std::promise<SelectResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// The submitter's trace context, captured at submit() and installed
+    /// on the worker thread while the job is served — the hop that makes
+    /// queue-crossing spans chain into one trace.
+    obs::TraceContext trace;
   };
 
   void worker_loop();

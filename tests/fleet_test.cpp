@@ -9,10 +9,15 @@
 #include <memory>
 #include <vector>
 
+#include <algorithm>
+#include <string>
+
 #include "core/trainer.h"
 #include "eval/characterize.h"
 #include "exec/thread_pool.h"
 #include "fleet/fleet.h"
+#include "obs/collector.h"
+#include "obs/trace.h"
 #include "serve/codec.h"
 #include "soc/machine.h"
 #include "workloads/suite.h"
@@ -351,6 +356,228 @@ TEST_F(FleetTest, ServeFrameRoutesSelectAndRejectsLikeAServer) {
   ASSERT_EQ(garbage_decoded.status, serve::DecodeStatus::Ok);
   EXPECT_EQ(garbage_decoded.response.status,
             serve::ResponseStatus::MalformedRequest);
+}
+
+// ---- deadlines ---------------------------------------------------------
+
+TEST_F(FleetTest, HedgeRespectsTheRequestDeadline) {
+  FleetOptions options = small_fleet();
+  options.latency_model = [](NodeId id, std::uint64_t) -> std::uint64_t {
+    return id.replica == 2 ? 20'000'000 : 150'000;
+  };
+  options.hedge_min_delay_ns = 100'000;
+  Fleet fleet{options};
+  fleet.publish(*model_a_);
+  auto request = make_request(3);
+  const std::uint32_t home = fleet.shard_of(request);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    (void)fleet.select(request);  // warm up the p95 tracker
+  }
+  fleet.tick();
+  const std::uint64_t delay = fleet.hedge_delay_ns(home);
+  ASSERT_LT(delay, 2'000'000u);
+
+  // A deadline the hedge launch would already blow: hedging cannot help
+  // the caller, so the straggler slot keeps its unhedged time and the
+  // clip is counted instead of a hedge.
+  request.deadline_ns = delay;  // hedge_delay >= deadline: clipped
+  const std::uint64_t hedges_before = fleet.shard_hedges(home);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    (void)fleet.select(request);
+  }
+  EXPECT_EQ(fleet.shard_hedges(home), hedges_before);
+  std::uint64_t clipped = 0;
+  for (const auto& metric : fleet.stats_registry().snapshot()) {
+    if (metric.name == "fleet.hedge_deadline_clipped") {
+      clipped = metric.count;
+    }
+  }
+  EXPECT_EQ(clipped, 10u);
+
+  // A generous deadline leaves hedging intact.
+  request.deadline_ns = 1'000'000'000;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    (void)fleet.select(request);
+  }
+  EXPECT_GE(fleet.shard_hedges(home), hedges_before + 10);
+  expect_nothing_lost(fleet.stats());
+}
+
+// ---- distributed tracing ----------------------------------------------
+
+TEST_F(FleetTest, EndToEndRequestTraceHasAReplicaCriticalPath) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  FleetOptions options = small_fleet();
+  options.trace_sample_den = 1;  // root every request
+  {
+    Fleet fleet{options};
+    fleet.publish(*model_a_);
+    const auto response = fleet.select(make_request(11));
+    EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+  }
+  tracer.disable();
+
+  obs::Collector collector;
+  collector.ingest(tracer, "fleet");
+  tracer.clear();
+  ASSERT_EQ(collector.trace_ids().size(), 1u);
+  const obs::MergedTrace trace = collector.assemble(collector.trace_ids()[0]);
+
+  // One merged trace holds the whole request: the router's root span,
+  // the fan-out, a slot span per replica, each slot's transport client
+  // span, and the vote.
+  std::size_t replica_spans = 0;
+  std::size_t client_spans = 0;
+  bool has_vote = false;
+  for (const auto& placed : trace.events) {
+    replica_spans += placed.event.name.rfind("fleet.replica", 0) == 0;
+    client_spans += placed.event.name == "client.select";
+    has_vote = has_vote || placed.event.name == "fleet.vote";
+  }
+  EXPECT_EQ(replica_spans, 3u);
+  EXPECT_EQ(client_spans, 3u);
+  EXPECT_TRUE(has_vote);
+  EXPECT_EQ(trace.events[trace.root].event.name, "fleet.route");
+
+  // The critical path descends route -> fan-out -> the quorum slot (the
+  // replica whose completion released the request).
+  ASSERT_GE(trace.critical_path.size(), 3u);
+  EXPECT_EQ(trace.events[trace.critical_path[0]].event.name, "fleet.route");
+  EXPECT_EQ(trace.events[trace.critical_path[1]].event.name.rfind("fleet.fanout", 0),
+            0u);
+  EXPECT_EQ(
+      trace.events[trace.critical_path[2]].event.name.rfind("fleet.replica", 0),
+      0u);
+}
+
+// ---- SLO engine --------------------------------------------------------
+
+/// Fast-burn SLO wiring for tests: tiny windows, generous p99/cap
+/// objectives so only the delivered-fraction SLO is in play.
+FleetOptions slo_fleet() {
+  FleetOptions options;
+  options.shards = 4;
+  options.replicas = 3;
+  options.slo.enabled = true;
+  options.slo.burn.fast_window = 2;
+  options.slo.burn.slow_window = 4;
+  options.slo.burn.burn_threshold = 1.0;
+  options.slo.error_budget = 0.5;
+  options.slo.p99_objective_us = 1e6;
+  options.slo.cap_exceedance_target = 1.0;
+  return options;
+}
+
+TEST_F(FleetTest, DeliveredSloFiresUnderNodeLossAndClearsAfterRevive) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  FleetOptions options = slo_fleet();
+  options.trace_sample_den = 1;
+  Fleet fleet{options};
+  fleet.publish(*model_a_);
+  const auto request = make_request(3);
+  const std::uint32_t home = fleet.shard_of(request);
+
+  auto drive_tick = [&] {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      (void)fleet.select(request);
+    }
+    fleet.tick();
+  };
+
+  drive_tick();
+  drive_tick();
+  EXPECT_TRUE(fleet.alerts().empty());  // healthy history
+
+  // Kill the whole home shard: every request reroutes, so the
+  // owner-first-try delivered fraction collapses to zero.
+  for (std::uint32_t r = 0; r < options.replicas; ++r) {
+    fleet.fail_node(NodeId{home, r});
+  }
+  drive_tick();
+  drive_tick();
+  tracer.disable();
+  ASSERT_EQ(fleet.alerts().size(), 1u);
+  const obs::Alert fired = fleet.alerts()[0];
+  EXPECT_EQ(fired.slo, "fleet.delivered");
+  EXPECT_TRUE(fired.active());
+  EXPECT_GE(fired.fast_burn, 1.0);
+  EXPECT_LT(fired.worst_value, options.slo.delivered_objective);
+
+  // The alert carries exemplar trace ids that resolve in the merged
+  // trace: an operator can jump from the alert to a traced request that
+  // shows the reroute.
+  ASSERT_FALSE(fired.exemplar_trace_ids.empty());
+  obs::Collector collector;
+  collector.ingest(tracer, "fleet");
+  tracer.clear();
+  const obs::MergedTrace exemplar =
+      collector.assemble(fired.exemplar_trace_ids[0]);
+  EXPECT_FALSE(exemplar.empty());
+
+  // Revive the shard and serve two healthy ticks: the fast window
+  // drains and the alert clears.
+  for (std::uint32_t r = 0; r < options.replicas; ++r) {
+    fleet.revive_node(NodeId{home, r});
+  }
+  drive_tick();
+  drive_tick();
+  ASSERT_EQ(fleet.alerts().size(), 1u);
+  EXPECT_FALSE(fleet.alerts()[0].active());
+  EXPECT_GT(fleet.alerts()[0].cleared_tick, fleet.alerts()[0].fired_tick);
+  ASSERT_EQ(fleet.slo_states().size(), 3u);
+  for (const obs::SloState& state : fleet.slo_states()) {
+    EXPECT_FALSE(state.firing) << state.name;
+  }
+  expect_nothing_lost(fleet.stats());
+}
+
+TEST_F(FleetTest, StatsScrapeCarriesSeriesAndSloBlocksOverTheWire) {
+  Fleet fleet{slo_fleet()};
+  fleet.publish(*model_a_);
+  for (std::uint64_t tick = 0; tick < 3; ++tick) {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      (void)fleet.select(make_request(i));
+    }
+    fleet.tick();
+  }
+  serve::StatsRequest scrape;
+  scrape.request_id = 99;
+  std::vector<std::uint8_t> frame;
+  serve::encode_stats_request(scrape, frame);
+  const auto reply = fleet.serve_frame(frame);
+  const auto decoded = serve::decode_frame(reply);
+  ASSERT_EQ(decoded.status, serve::DecodeStatus::Ok);
+
+  const serve::SeriesStats& series = decoded.stats_response.series;
+  EXPECT_TRUE(series.attached);
+  EXPECT_EQ(series.ticks, 3u);
+  std::vector<std::string> names;
+  for (const auto& rollup : series.series) {
+    names.push_back(rollup.name);
+  }
+  // Every SLO-referenced series travels with its slow-window rollup.
+  for (const char* expected :
+       {"fleet.delivered_ok", "fleet.routed", "fleet.window_p99_us",
+        "fleet.window_cap_exceedance"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  const auto routed = std::find_if(
+      series.series.begin(), series.series.end(),
+      [](const auto& rollup) { return rollup.name == "fleet.routed"; });
+  ASSERT_NE(routed, series.series.end());
+  EXPECT_EQ(routed->latest, 15.0);
+  EXPECT_EQ(routed->points, 3u);
+
+  const serve::SloStats& slo = decoded.stats_response.slo;
+  EXPECT_TRUE(slo.attached);
+  EXPECT_EQ(slo.slos, 3u);
+  EXPECT_EQ(slo.active, 0u);  // healthy fleet: nothing firing
+  EXPECT_TRUE(slo.alerts.empty());
 }
 
 // ---- executor fan-out --------------------------------------------------

@@ -1,0 +1,188 @@
+// Tests for the cross-process trace collector: merging rings by
+// trace_id, tolerance of out-of-order and partially-missing event sets,
+// critical-path selection (quorum semantics: children outliving their
+// parent are skipped), and the merged Chrome/Perfetto export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/collector.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace acsel::obs {
+namespace {
+
+TraceEvent span_event(const char* name, std::uint64_t trace_id,
+                      std::uint64_t span_id, std::uint64_t parent_id,
+                      std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  TraceEvent event;
+  event.name = name;
+  event.category = "test";
+  event.type = TraceEventType::Complete;
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_id = parent_id;
+  return event;
+}
+
+/// The canonical fleet shape: client -> router fan-out -> three replica
+/// slots, one of them rescued by a hedge, one slower than the quorum.
+std::vector<TraceEvent> client_events() {
+  return {span_event("client.select", 42, 1, 0, 0, 1000)};
+}
+
+std::vector<TraceEvent> router_events() {
+  return {
+      span_event("fleet.fanout", 42, 2, 1, 10, 890),
+      span_event("fleet.replica 0/0", 42, 3, 2, 20, 500),
+      span_event("fleet.replica 0/1", 42, 4, 2, 20, 880),  // ends with parent
+      span_event("fleet.replica 0/2", 42, 5, 2, 20, 2000),  // past the quorum
+      span_event("fleet.hedge", 42, 6, 4, 400, 500),  // rescued slot 0/1
+  };
+}
+
+TEST(Collector, MergesProcessesAndSortsByTime) {
+  Collector collector;
+  // Ingest the later process first, with its events shuffled: ring order
+  // carries no meaning.
+  std::vector<TraceEvent> router = router_events();
+  std::reverse(router.begin(), router.end());
+  collector.ingest(router, "router");
+  collector.ingest(client_events(), "client");
+
+  EXPECT_EQ(collector.size(), 6u);
+  EXPECT_EQ(collector.trace_ids(), std::vector<std::uint64_t>{42});
+  ASSERT_EQ(collector.processes().size(), 2u);
+  EXPECT_EQ(collector.processes()[0], "router");
+
+  const MergedTrace trace = collector.assemble(42);
+  ASSERT_EQ(trace.events.size(), 6u);
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].event.ts_ns, trace.events[i].event.ts_ns);
+  }
+  EXPECT_EQ(trace.events[trace.root].event.name, "client.select");
+  EXPECT_EQ(trace.begin_ns, 0u);
+  EXPECT_EQ(trace.end_ns, 2020u);  // the slow slot extends the timeline
+  EXPECT_EQ(trace.orphan_spans, 0u);
+}
+
+TEST(Collector, CriticalPathSkipsChildrenThatOutliveTheirParent) {
+  Collector collector;
+  collector.ingest(client_events(), "client");
+  collector.ingest(router_events(), "router");
+  const MergedTrace trace = collector.assemble(42);
+  ASSERT_EQ(trace.critical_path.size(), 4u);
+  // client -> fanout -> the quorum-determining slot (0/1, not the slow
+  // 0/2 which outlived the fan-out) -> the hedge that finished it.
+  EXPECT_EQ(trace.events[trace.critical_path[0]].event.name, "client.select");
+  EXPECT_EQ(trace.events[trace.critical_path[1]].event.name, "fleet.fanout");
+  EXPECT_EQ(trace.events[trace.critical_path[2]].event.name,
+            "fleet.replica 0/1");
+  EXPECT_EQ(trace.events[trace.critical_path[3]].event.name, "fleet.hedge");
+}
+
+TEST(Collector, PartiallyMissingProcessStillAssembles) {
+  // The client's ring was never ingested (lost process): the fan-out
+  // references span 1, which no event defines — it becomes an orphan
+  // root and the trace assembles from what survived.
+  Collector collector;
+  collector.ingest(router_events(), "router");
+  const MergedTrace trace = collector.assemble(42);
+  ASSERT_EQ(trace.events.size(), 5u);
+  EXPECT_EQ(trace.orphan_spans, 1u);
+  EXPECT_EQ(trace.events[trace.root].event.name, "fleet.fanout");
+  ASSERT_EQ(trace.critical_path.size(), 3u);
+  EXPECT_EQ(trace.events[trace.critical_path[2]].event.name, "fleet.hedge");
+}
+
+TEST(Collector, RootIsTheFurthestExtendingParentlessSpan) {
+  Collector collector;
+  std::vector<TraceEvent> events{
+      span_event("short root", 7, 1, 0, 0, 10),
+      span_event("long root", 7, 2, 0, 5, 100),
+  };
+  collector.ingest(events, "p");
+  const MergedTrace trace = collector.assemble(7);
+  EXPECT_EQ(trace.events[trace.root].event.name, "long root");
+}
+
+TEST(Collector, UnknownTraceIdAssemblesEmpty) {
+  Collector collector;
+  collector.ingest(client_events(), "client");
+  EXPECT_TRUE(collector.assemble(999).empty());
+  EXPECT_TRUE(collector.assemble(0).empty());
+}
+
+TEST(Collector, IngestsLiveTracersAndNestsByContext) {
+  // Two Tracer instances standing in for two processes: the "client"
+  // roots a context, the "server" adopts the context the wire would
+  // carry and nests a span under it.
+  Tracer client_tracer;
+  Tracer server_tracer;
+  client_tracer.enable();
+  server_tracer.enable();
+
+  TraceContext root;
+  root.trace_id = 0xdeadbeef;
+  root.sampled = true;
+  TraceContext handoff;
+  {
+    const ScopedTraceContext scope{root};
+    Span span{client_tracer, "client.select", "client"};
+    handoff = span.context();
+    {
+      const ScopedTraceContext server_scope{handoff};
+      Span served{server_tracer, "serve.request", "serve"};
+    }
+  }
+
+  Collector collector;
+  collector.ingest(client_tracer, "client");
+  collector.ingest(server_tracer, "server");
+  const MergedTrace trace = collector.assemble(0xdeadbeef);
+  ASSERT_EQ(trace.events.size(), 2u);
+  EXPECT_EQ(trace.events[trace.root].event.name, "client.select");
+  ASSERT_EQ(trace.critical_path.size(), 2u);
+  EXPECT_EQ(trace.events[trace.critical_path[1]].event.name, "serve.request");
+  EXPECT_EQ(trace.events[trace.critical_path[1]].event.parent_id,
+            handoff.span_id);
+}
+
+TEST(Collector, ExportIsValidChromeJsonWithProcessTracks) {
+  Collector collector;
+  collector.ingest(client_events(), "client");
+  collector.ingest(router_events(), "router");
+  std::ostringstream out;
+  collector.write_chrome_trace(out);
+
+  const JsonValue parsed = JsonValue::parse(out.str());
+  const JsonValue& events = parsed.at("traceEvents");
+  // 2 process_name metadata records + 6 events.
+  ASSERT_EQ(events.items().size(), 8u);
+  std::size_t metadata = 0;
+  std::size_t client_pid_events = 0;
+  for (const JsonValue& event : events.items()) {
+    if (event.at("ph").as_string() == "M") {
+      ++metadata;
+      EXPECT_EQ(event.at("name").as_string(), "process_name");
+      continue;
+    }
+    // Distributed-trace ids ride as decimal strings (u64-safe).
+    EXPECT_EQ(event.at("args").at("trace_id").as_string(), "42");
+    if (event.at("pid").as_number() == 1.0) {
+      ++client_pid_events;
+    }
+  }
+  EXPECT_EQ(metadata, 2u);
+  EXPECT_EQ(client_pid_events, 1u);  // only client.select came from pid 1
+}
+
+}  // namespace
+}  // namespace acsel::obs

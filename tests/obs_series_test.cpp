@@ -1,0 +1,144 @@
+// Tests for the time-series store: per-tick observation of registry
+// snapshots, histogram expansion, ring eviction at capacity, and the
+// rollup/delta window queries the SLO engine and stats scrape read.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/series.h"
+
+namespace acsel::obs {
+namespace {
+
+MetricSnapshot counter_snapshot(const char* name, std::uint64_t count) {
+  MetricSnapshot metric;
+  metric.name = name;
+  metric.kind = MetricKind::Counter;
+  metric.count = count;
+  return metric;
+}
+
+MetricSnapshot gauge_snapshot(const char* name, double value) {
+  MetricSnapshot metric;
+  metric.name = name;
+  metric.kind = MetricKind::Gauge;
+  metric.value = value;
+  return metric;
+}
+
+TEST(Series, AppendsAndReportsLatest) {
+  Series series{"s", 4};
+  EXPECT_FALSE(series.latest().has_value());
+  series.append(1, 10.0);
+  series.append(2, 20.0);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.latest().value(), 20.0);
+  EXPECT_EQ(series.at_tick(1).value(), 10.0);
+  EXPECT_FALSE(series.at_tick(3).has_value());
+}
+
+TEST(Series, RingEvictsOldestAtCapacity) {
+  Series series{"s", 3};
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    series.append(t, static_cast<double>(t));
+  }
+  EXPECT_EQ(series.size(), 3u);
+  const std::vector<SeriesPoint> points = series.points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points.front().tick, 3u);  // 1 and 2 overwritten
+  EXPECT_EQ(points.back().tick, 5u);
+  EXPECT_FALSE(series.at_tick(1).has_value());
+}
+
+TEST(Series, RollupAggregatesOnlyTheWindow) {
+  Series series{"s", 16};
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    series.append(t, static_cast<double>(t));
+  }
+  // Window (10 - 4, 10] = ticks 7..10.
+  const SeriesRollup rollup = series.rollup(4, 10);
+  EXPECT_EQ(rollup.points, 4u);
+  EXPECT_EQ(rollup.sum, 7.0 + 8.0 + 9.0 + 10.0);
+  EXPECT_EQ(rollup.min, 7.0);
+  EXPECT_EQ(rollup.max, 10.0);
+  EXPECT_EQ(rollup.avg, rollup.sum / 4.0);
+}
+
+TEST(Series, DeltaIsNewestMinusOldestInWindow) {
+  Series series{"s", 16};
+  series.append(1, 100.0);
+  series.append(2, 130.0);
+  series.append(3, 190.0);
+  EXPECT_EQ(series.delta(2, 3), 60.0);   // ticks 2..3
+  EXPECT_EQ(series.delta(10, 3), 90.0);  // whole retained history
+  EXPECT_EQ(series.delta(1, 3), 0.0);    // one point: no delta
+}
+
+TEST(SeriesStore, ObserveAdvancesTickAndRecordsScalars) {
+  SeriesStore store{8};
+  EXPECT_EQ(store.ticks(), 0u);
+  std::vector<MetricSnapshot> snapshot;
+  snapshot.push_back(counter_snapshot("c", 5));
+  snapshot.push_back(gauge_snapshot("g", 2.5));
+  EXPECT_EQ(store.observe(snapshot), 1u);
+  snapshot[0].count = 9;
+  snapshot[1].value = 3.5;
+  EXPECT_EQ(store.observe(snapshot), 2u);
+  EXPECT_EQ(store.ticks(), 2u);
+  EXPECT_EQ(store.latest("c").value(), 9.0);
+  EXPECT_EQ(store.at_tick("c", 1).value(), 5.0);
+  EXPECT_EQ(store.latest("g").value(), 3.5);
+  EXPECT_EQ(store.delta("c", 8), 4.0);
+}
+
+TEST(SeriesStore, ExpandsHistogramsIntoScalarSeries) {
+  SeriesStore store{8};
+  MetricSnapshot histogram;
+  histogram.name = "lat";
+  histogram.kind = MetricKind::Histogram;
+  histogram.count = 100;
+  histogram.p50_us = 10.0;
+  histogram.p99_us = 90.0;
+  histogram.max_us = 120.0;
+  store.observe({histogram});
+  const std::vector<std::string> names = store.names();
+  EXPECT_EQ(names, (std::vector<std::string>{"lat.count", "lat.max_us",
+                                             "lat.p50_us", "lat.p99_us"}));
+  EXPECT_EQ(store.latest("lat.count").value(), 100.0);
+  EXPECT_EQ(store.latest("lat.p99_us").value(), 90.0);
+  EXPECT_EQ(store.latest("lat.max_us").value(), 120.0);
+}
+
+TEST(SeriesStore, LateAppearingMetricStartsAtCurrentTick) {
+  SeriesStore store{8};
+  store.observe({counter_snapshot("a", 1)});
+  store.observe({counter_snapshot("a", 2), counter_snapshot("b", 7)});
+  EXPECT_FALSE(store.at_tick("b", 1).has_value());
+  EXPECT_EQ(store.at_tick("b", 2).value(), 7.0);
+}
+
+TEST(SeriesStore, UnknownSeriesQueriesAreEmptyNotFatal) {
+  SeriesStore store{8};
+  EXPECT_FALSE(store.latest("nope").has_value());
+  EXPECT_EQ(store.rollup("nope", 4).points, 0u);
+  EXPECT_EQ(store.delta("nope", 4), 0.0);
+  EXPECT_TRUE(store.points("nope").empty());
+}
+
+TEST(SeriesStore, ReadsFromLiveRegistrySnapshot) {
+  Registry registry;
+  Counter& hits = registry.counter("hits");
+  SeriesStore store{8};
+  hits.add(3);
+  store.observe(registry.snapshot());
+  hits.add(4);
+  store.observe(registry.snapshot());
+  EXPECT_EQ(store.delta("hits", 8), 4.0);
+  EXPECT_EQ(store.latest("hits").value(), 7.0);
+}
+
+}  // namespace
+}  // namespace acsel::obs

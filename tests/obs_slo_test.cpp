@@ -1,0 +1,279 @@
+// Tests for the SLO engine: per-tick good/bad classification for the
+// three SLI kinds, multi-window burn-rate fire/clear semantics, alert
+// annotations (fleet context + histogram exemplars), and live state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/series.h"
+#include "obs/slo.h"
+#include "util/error.h"
+
+namespace acsel::obs {
+namespace {
+
+MetricSnapshot counter_snapshot(const std::string& name, std::uint64_t count) {
+  MetricSnapshot metric;
+  metric.name = name;
+  metric.kind = MetricKind::Counter;
+  metric.count = count;
+  return metric;
+}
+
+MetricSnapshot gauge_snapshot(const std::string& name, double value) {
+  MetricSnapshot metric;
+  metric.name = name;
+  metric.kind = MetricKind::Gauge;
+  metric.value = value;
+  return metric;
+}
+
+/// Small windows and a threshold of 1x make the arithmetic visible:
+/// with error_budget 0.5, a window is "hot" once half its ticks are bad.
+BurnRateOptions test_burn() {
+  BurnRateOptions burn;
+  burn.fast_window = 2;
+  burn.slow_window = 4;
+  burn.burn_threshold = 1.0;
+  return burn;
+}
+
+Slo ratio_slo() {
+  Slo slo;
+  slo.name = "delivered";
+  slo.kind = SloKind::RatioAtLeast;
+  slo.numerator = "ok";
+  slo.denominator = "total";
+  slo.objective = 0.9;
+  slo.error_budget = 0.5;
+  return slo;
+}
+
+/// Observes one tick of cumulative ok/total counters.
+void observe_ratio(SeriesStore& store, std::uint64_t ok, std::uint64_t total) {
+  store.observe({counter_snapshot("ok", ok), counter_snapshot("total", total)});
+}
+
+TEST(SloEngine, GoodTicksNeverFire) {
+  SeriesStore store{16};
+  SloEngine engine{test_burn()};
+  engine.add(ratio_slo());
+  std::uint64_t ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    ok += 100;
+    observe_ratio(store, ok, ok);
+    EXPECT_TRUE(engine.evaluate(store).empty());
+  }
+  EXPECT_TRUE(engine.alerts().empty());
+  ASSERT_EQ(engine.states().size(), 1u);
+  EXPECT_EQ(engine.states()[0].sli, 1.0);
+  EXPECT_FALSE(engine.states()[0].firing);
+}
+
+TEST(SloEngine, ZeroTrafficTicksAreVacuouslyGood) {
+  SeriesStore store{16};
+  SloEngine engine{test_burn()};
+  engine.add(ratio_slo());
+  for (int t = 0; t < 8; ++t) {
+    observe_ratio(store, 0, 0);  // counters never move
+    EXPECT_TRUE(engine.evaluate(store).empty());
+  }
+  EXPECT_EQ(engine.states()[0].sli, 1.0);
+}
+
+TEST(SloEngine, FiresOnlyWhenBothWindowsBurn) {
+  SeriesStore store{16};
+  SloEngine engine{test_burn()};
+  engine.add(ratio_slo());
+  std::uint64_t ok = 0;
+  std::uint64_t total = 0;
+  // Two good ticks, then bad ticks (half the requests delivered). The
+  // fast window (2) is hot after 2 bad ticks, but the slow window (4)
+  // still holds the good history: fires on the 2nd bad tick, when both
+  // windows reach bad fraction 1/2 = budget * threshold.
+  for (int t = 0; t < 2; ++t) {
+    ok += 100;
+    total += 100;
+    observe_ratio(store, ok, total);
+    EXPECT_TRUE(engine.evaluate(store).empty());
+  }
+  ok += 50;
+  total += 100;
+  observe_ratio(store, ok, total);
+  EXPECT_TRUE(engine.evaluate(store).empty());  // fast hot, slow 1/3
+  ok += 50;
+  total += 100;
+  observe_ratio(store, ok, total);
+  const std::vector<Alert> fired = engine.evaluate(store);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].slo, "delivered");
+  EXPECT_EQ(fired[0].fired_tick, 4u);
+  EXPECT_TRUE(fired[0].active());
+  EXPECT_GE(fired[0].fast_burn, 1.0);
+  EXPECT_GE(fired[0].slow_burn, 1.0);
+  EXPECT_EQ(fired[0].worst_value, 0.5);
+  EXPECT_TRUE(engine.states()[0].firing);
+  ASSERT_EQ(engine.active_alerts().size(), 1u);
+}
+
+TEST(SloEngine, FastWindowRecoveryClearsTheAlert) {
+  SeriesStore store{16};
+  SloEngine engine{test_burn()};
+  engine.add(ratio_slo());
+  std::uint64_t ok = 0;
+  std::uint64_t total = 0;
+  for (int t = 0; t < 4; ++t) {  // burn until it fires
+    ok += 50;
+    total += 100;
+    observe_ratio(store, ok, total);
+    engine.evaluate(store);
+  }
+  ASSERT_EQ(engine.active_alerts().size(), 1u);
+  // Two healthy ticks empty the fast window of bad bits.
+  for (int t = 0; t < 2; ++t) {
+    ok += 100;
+    total += 100;
+    observe_ratio(store, ok, total);
+    engine.evaluate(store);
+  }
+  EXPECT_TRUE(engine.active_alerts().empty());
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].cleared_tick, 6u);
+  EXPECT_FALSE(engine.states()[0].firing);
+}
+
+TEST(SloEngine, ValueBelowFiresWhenValueMeetsObjective) {
+  SeriesStore store{16};
+  SloEngine engine{test_burn()};
+  Slo slo;
+  slo.name = "p99";
+  slo.kind = SloKind::ValueBelow;
+  slo.numerator = "p99_us";
+  slo.objective = 1000.0;
+  slo.error_budget = 0.5;
+  engine.add(slo);
+  std::vector<Alert> fired;
+  for (int t = 0; t < 4; ++t) {
+    store.observe({gauge_snapshot("p99_us", 1000.0)});  // >= objective: bad
+    for (const Alert& alert : engine.evaluate(store)) {
+      fired.push_back(alert);
+    }
+  }
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].slo, "p99");
+  EXPECT_EQ(fired[0].worst_value, 1000.0);
+}
+
+TEST(SloEngine, ValueAtMostToleratesTheBoundary) {
+  SeriesStore store{16};
+  SloEngine engine{test_burn()};
+  Slo slo;
+  slo.name = "cap";
+  slo.kind = SloKind::ValueAtMost;
+  slo.numerator = "exceedance";
+  slo.objective = 0.05;
+  slo.error_budget = 0.5;
+  engine.add(slo);
+  for (int t = 0; t < 8; ++t) {
+    store.observe({gauge_snapshot("exceedance", 0.05)});  // == objective: ok
+    EXPECT_TRUE(engine.evaluate(store).empty());
+  }
+  for (int t = 0; t < 4; ++t) {
+    store.observe({gauge_snapshot("exceedance", 0.06)});  // > objective: bad
+  }
+  // Catch up the engine (one evaluate per observe is the contract, but
+  // the final state only needs the last windows).
+  std::vector<Alert> fired = engine.evaluate(store);
+  for (int t = 0; t < 3; ++t) {
+    for (const Alert& alert : engine.evaluate(store)) {
+      fired.push_back(alert);
+    }
+  }
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(SloEngine, AlertsCarryFleetAnnotationsAndExemplars) {
+  SeriesStore store{16};
+  SloEngine engine{test_burn()};
+  Slo slo = ratio_slo();
+  slo.exemplar_metric = "latency";
+  engine.add(slo);
+
+  Registry registry;
+  Histogram& latency = registry.histogram("latency");
+  latency.record(5'000'000, 0xabcdef12u);  // traced: becomes an exemplar
+  latency.record(1'000, 0);                // untraced: never an exemplar
+
+  std::uint64_t ok = 0;
+  std::uint64_t total = 0;
+  double transitions = 0.0;
+  std::vector<Alert> fired;
+  for (int t = 0; t < 4; ++t) {
+    const bool good = t < 2;  // healthy history, then a burn
+    ok += good ? 100 : 50;
+    total += 100;
+    transitions += 1.0;  // the fleet is reconfiguring while we burn
+    store.observe({counter_snapshot("ok", ok), counter_snapshot("total", total),
+                   gauge_snapshot("fleet.membership_transitions", transitions)});
+    for (const Alert& alert : engine.evaluate(store, &registry)) {
+      fired.push_back(alert);
+    }
+  }
+  ASSERT_EQ(fired.size(), 1u);
+  // Delta of the transitions gauge over the slow window: ticks 1..4 of
+  // a gauge stepping 1.0/tick.
+  EXPECT_EQ(fired[0].membership_transitions, 3.0);
+  ASSERT_EQ(fired[0].exemplar_trace_ids.size(), 1u);
+  EXPECT_EQ(fired[0].exemplar_trace_ids[0], 0xabcdef12u);
+}
+
+TEST(SloEngine, SlowWindowMemoryRefiresAFlappingCondition) {
+  SeriesStore store{32};
+  SloEngine engine{test_burn()};
+  engine.add(ratio_slo());
+  std::uint64_t ok = 0;
+  std::uint64_t total = 0;
+  auto tick = [&](bool good) {
+    ok += good ? 100 : 50;
+    total += 100;
+    observe_ratio(store, ok, total);
+    return engine.evaluate(store).size();
+  };
+  std::size_t fires = 0;
+  fires += tick(false);  // cold-start windows hold only bad ticks: fires
+  fires += tick(false);
+  EXPECT_EQ(fires, 1u);
+  fires += tick(true);
+  fires += tick(true);  // clears (fast window all good)
+  EXPECT_TRUE(engine.active_alerts().empty());
+  // The slow window still remembers 2 bad of its last 4 ticks, so two
+  // more bad ticks re-fire immediately.
+  fires += tick(false);
+  fires += tick(false);
+  EXPECT_EQ(fires, 2u);
+  EXPECT_EQ(engine.alerts().size(), 2u);
+}
+
+TEST(SloEngine, RejectsMisconfiguredSlos) {
+  SloEngine engine;
+  Slo nameless;
+  nameless.numerator = "x";
+  EXPECT_THROW(engine.add(nameless), Error);
+  Slo ratio_without_denominator;
+  ratio_without_denominator.name = "r";
+  ratio_without_denominator.kind = SloKind::RatioAtLeast;
+  ratio_without_denominator.numerator = "x";
+  EXPECT_THROW(engine.add(ratio_without_denominator), Error);
+  Slo zero_budget;
+  zero_budget.name = "z";
+  zero_budget.kind = SloKind::ValueBelow;
+  zero_budget.numerator = "x";
+  zero_budget.error_budget = 0.0;
+  EXPECT_THROW(engine.add(zero_budget), Error);
+}
+
+}  // namespace
+}  // namespace acsel::obs

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace acsel::obs {
@@ -73,6 +74,21 @@ TEST(Tracer, RingOverflowDropsOldestAndCounts) {
     EXPECT_EQ(events[static_cast<std::size_t>(i)].name,
               "e" + std::to_string(12 + i));
   }
+}
+
+TEST(Tracer, DropsSurfaceInTheGlobalMetricRegistry) {
+  // Exporters watch obs.trace.dropped_events on the scrape path; every
+  // ring overwrite must land there, not only in the tracer's own
+  // dropped() accessor.
+  Counter& counter = Registry::global().counter("obs.trace.dropped_events");
+  const std::uint64_t before = counter.value();
+  Tracer tracer{4};
+  tracer.enable();
+  for (int i = 0; i < 9; ++i) {
+    tracer.record_instant("e", "test");
+  }
+  EXPECT_EQ(tracer.dropped(), 5u);
+  EXPECT_EQ(counter.value(), before + 5u);
 }
 
 TEST(Tracer, ClearEmptiesRingsAndResetsDropCount) {

@@ -4,11 +4,13 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "hw/config_space.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/codec.h"
 
 namespace acsel::serve {
@@ -230,11 +232,12 @@ TEST(ServeCodec, RejectsInvalidConfigurationInPayload) {
   SelectRequest request = make_request();
   std::vector<std::uint8_t> bytes;
   encode_request(request, bytes);
-  // Locate the first record: payload starts with 8+8+1+1+8 = 26 fixed
-  // bytes, then benchmark "LULESH" (2+6), input "Large" (2+5), kernel
+  // Locate the first record: payload starts with 8+8+1+1+8+8 = 34 fixed
+  // bytes (request_id, model_version, goal, has_cap, cap_w, deadline_ns),
+  // then benchmark "LULESH" (2+6), input "Large" (2+5), kernel
   // "CalcFBHourglassForce" (2+20), then the 5 config bytes (device,
   // cpu_pstate, threads, gpu_pstate, mapping).
-  const std::size_t record_start = kFrameHeaderBytes + 26;
+  const std::size_t record_start = kFrameHeaderBytes + 34;
   const std::size_t config_offset = record_start + 2 + 6 + 2 + 5 + 2 + 20;
   bytes[config_offset + 1] = 250;  // cpu_pstate far out of range
   EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
@@ -752,6 +755,303 @@ TEST(ServeCodec, ZeroLengthStatsRequestIsMalformedPayload) {
   const Decoded decoded = decode_frame(frame);
   EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
   EXPECT_EQ(decoded.bytes_consumed, kFrameHeaderBytes);
+}
+
+// ------------------------------------------- trace context (wire v2) ----
+
+obs::TraceContext make_trace() {
+  obs::TraceContext trace;
+  trace.trace_id = 0xaaaa0000bbbb1111ULL;
+  trace.span_id = 0x2222cccc3333ddddULL;
+  trace.parent_id = 0x4444eeee5555ffffULL;
+  trace.sampled = true;
+  return trace;
+}
+
+TEST(ServeCodec, TraceContextRoundTripsOnRequestFrames) {
+  const obs::TraceContext trace = make_trace();
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes, &trace);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  ASSERT_TRUE(decoded.has_trace);
+  EXPECT_EQ(decoded.trace, trace);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+  // The flag costs exactly the trace block.
+  std::vector<std::uint8_t> untraced;
+  encode_request(make_request(), untraced);
+  EXPECT_EQ(bytes.size(), untraced.size() + kTraceBlockBytes);
+}
+
+TEST(ServeCodec, TraceContextRoundTripsOnEveryMessageType) {
+  const obs::TraceContext trace = make_trace();
+  std::vector<std::vector<std::uint8_t>> frames{{}, {}, {}, {}, {}, {}};
+  encode_request(make_request(), frames[0], &trace);
+  encode_response(SelectResponse{}, frames[1], &trace);
+  encode_stats_request(StatsRequest{}, frames[2], &trace);
+  encode_stats_response(StatsResponse{}, frames[3], &trace);
+  FeedbackRequest feedback;
+  feedback.samples = make_request().samples;
+  encode_feedback_request(feedback, frames[4], &trace);
+  encode_feedback_response(FeedbackResponse{}, frames[5], &trace);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const Decoded decoded = decode_frame(frames[i]);
+    ASSERT_EQ(decoded.status, DecodeStatus::Ok) << "frame " << i;
+    EXPECT_TRUE(decoded.has_trace) << "frame " << i;
+    EXPECT_EQ(decoded.trace, trace) << "frame " << i;
+  }
+}
+
+TEST(ServeCodec, FramesWithoutTraceReportNoTrace) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_FALSE(decoded.has_trace);
+  EXPECT_EQ(decoded.trace, obs::TraceContext{});
+}
+
+TEST(ServeCodec, UnsampledTraceContextRoundTrips) {
+  obs::TraceContext trace = make_trace();
+  trace.sampled = false;
+  std::vector<std::uint8_t> bytes;
+  encode_response(SelectResponse{}, bytes, &trace);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  ASSERT_TRUE(decoded.has_trace);
+  EXPECT_FALSE(decoded.trace.sampled);
+  EXPECT_EQ(decoded.trace.trace_id, trace.trace_id);
+}
+
+TEST(ServeCodec, TracedAndUntracedFramesInterleaveInOneStream) {
+  const obs::TraceContext trace = make_trace();
+  std::vector<std::uint8_t> stream;
+  encode_request(make_request(), stream, &trace);
+  const std::size_t first = stream.size();
+  encode_response(SelectResponse{}, stream);
+  std::span<const std::uint8_t> cursor{stream};
+  const Decoded a = decode_frame(cursor);
+  ASSERT_EQ(a.status, DecodeStatus::Ok);
+  EXPECT_TRUE(a.has_trace);
+  EXPECT_EQ(a.bytes_consumed, first);
+  const Decoded b = decode_frame(cursor.subspan(a.bytes_consumed));
+  ASSERT_EQ(b.status, DecodeStatus::Ok);
+  EXPECT_FALSE(b.has_trace);
+  EXPECT_EQ(a.bytes_consumed + b.bytes_consumed, stream.size());
+}
+
+TEST(ServeCodec, VersionOneFramesAreUnsupported) {
+  // v1 frames had no flags field; a v1 peer is told to upgrade rather
+  // than have its bytes misread.
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes);
+  bytes[4] = 1;
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::UnsupportedVersion);
+  EXPECT_EQ(decoded.bytes_consumed, 0u);
+}
+
+TEST(ServeCodec, UnknownFlagBitsAreUnsupportedNotGuessed) {
+  // An unknown flag bit may change the frame size (as bit 0 itself did),
+  // so decoding must refuse rather than desynchronize the stream.
+  const obs::TraceContext trace = make_trace();
+  for (const std::uint8_t bit :
+       {std::uint8_t{0x02}, std::uint8_t{0x80}}) {
+    std::vector<std::uint8_t> bytes;
+    encode_request(make_request(), bytes, &trace);
+    // flags u16 little-endian at offsets 6..7
+    bytes[6] = static_cast<std::uint8_t>(bytes[6] | bit);
+    const Decoded decoded = decode_frame(bytes);
+    EXPECT_EQ(decoded.status, DecodeStatus::UnsupportedVersion);
+    EXPECT_EQ(decoded.bytes_consumed, 0u);
+  }
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes, &trace);
+  bytes[7] = 0x01;  // high byte of the flags field
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::UnsupportedVersion);
+}
+
+TEST(ServeCodec, TruncatedTraceBlockIsNeedMoreData) {
+  const obs::TraceContext trace = make_trace();
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes, &trace);
+  for (const std::size_t cut :
+       {kFrameHeaderBytes, kFrameHeaderBytes + 1,
+        kFrameHeaderBytes + kTraceBlockBytes - 1}) {
+    const Decoded decoded =
+        decode_frame(std::span<const std::uint8_t>{bytes.data(), cut});
+    EXPECT_EQ(decoded.status, DecodeStatus::NeedMoreData) << "cut " << cut;
+    EXPECT_EQ(decoded.bytes_consumed, 0u);
+  }
+}
+
+TEST(ServeCodec, CorruptSampledByteIsMalformedButSkippable) {
+  const obs::TraceContext trace = make_trace();
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes, &trace);
+  bytes[kFrameHeaderBytes + kTraceBlockBytes - 1] = 2;  // sampled must be 0/1
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  // The frame is correctly sized, so a stream can skip past it.
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+TEST(ServeCodec, RequestDeadlineRoundTrips) {
+  SelectRequest request = make_request();
+  request.deadline_ns = 2'500'000;
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.request.deadline_ns, 2'500'000u);
+}
+
+// ------------------------------------------------ series / slo blocks ----
+
+StatsResponse make_series_slo_response() {
+  StatsResponse response;
+  response.request_id = 5;
+  response.status = ResponseStatus::Ok;
+  response.series.attached = true;
+  response.series.ticks = 120;
+  response.series.capacity = 256;
+  SeriesRollupStats rollup;
+  rollup.name = "fleet.window_p99_us";
+  rollup.latest = 950.0;
+  rollup.points = 60;
+  rollup.sum = 48000.0;
+  rollup.min = 120.5;
+  rollup.max = 1800.25;
+  rollup.avg = 800.0;
+  response.series.series = {rollup};
+  response.slo.attached = true;
+  response.slo.slos = 3;
+  response.slo.active = 1;
+  AlertSnapshot alert;
+  alert.slo = "fleet.delivered";
+  alert.fired_tick = 61;
+  alert.cleared_tick = 0;  // active
+  alert.fast_burn = 400.0;
+  alert.slow_burn = 33.3;
+  alert.worst_value = 0.5;
+  alert.membership_transitions = 2.0;
+  alert.promotions = 1.0;
+  alert.rollbacks = 0.0;
+  alert.exemplar_trace_ids = {0x1234567890abcdefULL, 42};
+  AlertSnapshot cleared = alert;
+  cleared.slo = "fleet.p99";
+  cleared.cleared_tick = 90;
+  response.slo.alerts = {alert, cleared};
+  return response;
+}
+
+TEST(ServeCodec, StatsResponseCarriesSeriesAndSloBlocksExactly) {
+  const StatsResponse response = make_series_slo_response();
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.stats_response.series, response.series);
+  EXPECT_EQ(decoded.stats_response.slo, response.slo);
+}
+
+TEST(ServeCodec, DetachedSeriesAndSloBlocksRoundTripAsZeros) {
+  StatsResponse response;
+  response.request_id = 6;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_FALSE(decoded.stats_response.series.attached);
+  EXPECT_TRUE(decoded.stats_response.series.series.empty());
+  EXPECT_FALSE(decoded.stats_response.slo.attached);
+  EXPECT_TRUE(decoded.stats_response.slo.alerts.empty());
+}
+
+TEST(ServeCodec, NonFiniteSeriesRollupIsRejected) {
+  const StatsResponse response = make_series_slo_response();
+  // Keep only the series block's rollup; detach the slo block so its 13
+  // trailing bytes put the rollup's avg f64 at a known tail offset.
+  StatsResponse series_only = response;
+  series_only.slo = SloStats{};
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(series_only, bytes);
+  ASSERT_EQ(decode_frame(bytes).status, DecodeStatus::Ok);
+  // avg is the last rollup field: [size - 13 - 8, size - 13). Exponent
+  // all-ones + nonzero mantissa = NaN.
+  bytes[bytes.size() - 14] = 0xff;
+  bytes[bytes.size() - 15] = 0xff;
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+TEST(ServeCodec, SeriesAttachedMustBeBoolean) {
+  StatsResponse response;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  // With no metrics the series block starts at payload offset 229
+  // (8+1+4 response header + 107 adapt + 109 fleet).
+  bytes[kFrameHeaderBytes + 229] = 2;
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, AbsurdSeriesCountIsRejected) {
+  StatsResponse response;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  // series count u32 at payload offset 229 + 1 + 8 + 8 = 246.
+  bytes[kFrameHeaderBytes + 246 + 3] = 0xff;  // ~16M rollups declared
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, SloActiveExceedingConfiguredIsRejected) {
+  StatsResponse response = make_series_slo_response();
+  response.slo.active = response.slo.slos + 1;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, AlertThatNeverFiredIsRejected) {
+  StatsResponse response = make_series_slo_response();
+  response.slo.alerts[0].fired_tick = 0;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, AlertClearedBeforeItFiredIsRejected) {
+  StatsResponse response = make_series_slo_response();
+  response.slo.alerts[1].cleared_tick = response.slo.alerts[1].fired_tick - 1;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, NonFiniteBurnRateIsRejected) {
+  StatsResponse response = make_series_slo_response();
+  response.slo.alerts[0].fast_burn =
+      std::numeric_limits<double>::infinity();
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
+}
+
+TEST(ServeCodec, StatsResponseTruncatedInsideTheSeriesBlockIsMalformed) {
+  StatsResponse response = make_series_slo_response();
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  // Re-declare the payload length to end mid-rollup (cut the trailing
+  // slo block plus half the rollup away).
+  const std::size_t payload = bytes.size() - kFrameHeaderBytes;
+  const std::size_t shortened = payload - 120;
+  bytes[8] = static_cast<std::uint8_t>(shortened & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((shortened >> 8) & 0xff);
+  bytes.resize(kFrameHeaderBytes + shortened);
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
 }
 
 TEST(ServeCodec, ConfigurableMaxFrameBytesTightensTheCap) {
