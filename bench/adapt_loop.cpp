@@ -50,7 +50,7 @@ std::vector<core::KernelCharacterization> characterize_some(
   return result;
 }
 
-adapt::Feedback feedback_for(const core::TrainedModel& model,
+adapt::Feedback feedback_for(const core::Predictor& model,
                              const core::KernelCharacterization& profile,
                              const core::KernelCharacterization& truth) {
   const core::Prediction prediction = model.predict(profile.samples);
@@ -68,7 +68,7 @@ adapt::Feedback feedback_for(const core::TrainedModel& model,
   return feedback;
 }
 
-double mean_error(const core::TrainedModel& model,
+double mean_error(const core::Predictor& model,
                   const std::vector<core::KernelCharacterization>& truths) {
   double sum = 0.0;
   for (const auto& truth : truths) {
@@ -89,10 +89,11 @@ int main() {
   const auto suite = workloads::Suite::standard();
   const auto clean = characterize_some(machine, suite, false);
   const auto shifted = characterize_some(machine, suite, true);
-  const core::TrainedModel clean_model = core::train(clean).model;
+  const core::PredictorPtr clean_model =
+      core::make_predictor(core::train(clean).model);
 
-  const double baseline = mean_error(clean_model, clean);
-  const double stale = mean_error(clean_model, shifted);
+  const double baseline = mean_error(*clean_model, clean);
+  const double stale = mean_error(*clean_model, shifted);
   // Oracle: a model retrained offline on full shifted characterizations —
   // the floor the online loop can hope to recover to.
   const double oracle = mean_error(core::train(shifted).model, shifted);

@@ -5,10 +5,14 @@
 //  * cluster assignment: CART vs a one-hidden-layer MLP, leave-one-
 //    benchmark-out;
 //  * clustering: PAM vs average-linkage agglomerative, compared by
-//    silhouette width and cluster-size balance.
+//    silhouette width and cluster-size balance;
+//  * predictor family: the paper's cluster regressions vs the GP
+//    surrogate, leave-one-benchmark-out, sweeping the risk multiplier z
+//    of the cap comparison (point estimate is z = 0).
 #include <iostream>
 #include <set>
 
+#include "adapt/canary.h"
 #include "bench_common.h"
 #include "core/features.h"
 #include "core/trainer.h"
@@ -107,7 +111,8 @@ int main() {
     }
     std::string out;
     for (const std::size_t s : sizes) {
-      out += (out.empty() ? "" : "/") + std::to_string(s);
+      // std::string{}: dodge GCC 12's -Wrestrict false positive (PR 105651).
+      out += std::string{out.empty() ? "" : "/"} + std::to_string(s);
     }
     return out;
   };
@@ -124,5 +129,71 @@ int main() {
                            3),
                        sizes_of(hier.assignment)});
   clusterings.print(std::cout, "Relational clustering at k = 5:");
+  std::cout << '\n';
+
+  // Predictor-family sweep: each family trains on the in-fold benchmarks
+  // and selects for the held-out kernels under a 20 W cap; z > 0 compares
+  // mean + z * sigma against the cap instead of the mean alone.
+  constexpr double kCapW = 20.0;
+  const std::vector<double> zs{0.0, 1.0, 1.64};
+  struct FamilyScore {
+    double error = 0.0;
+    std::size_t violations = 0;
+  };
+  // [kind][z] accumulators over all held-out kernels.
+  std::vector<std::vector<FamilyScore>> scores{
+      {zs.size(), FamilyScore{}}, {zs.size(), FamilyScore{}}};
+  std::size_t held_out = 0;
+  for (const auto& fold : stats::leave_one_group_out(benchmark_of)) {
+    std::vector<core::KernelCharacterization> training;
+    for (const std::size_t i : fold.train) {
+      training.push_back(characterizations[i]);
+    }
+    const core::PredictorKind kinds[] = {
+        core::PredictorKind::ClusterCart,
+        core::PredictorKind::GaussianProcess};
+    for (std::size_t k = 0; k < 2; ++k) {
+      core::TrainerOptions trainer;
+      trainer.predictor = kinds[k];
+      const core::PredictorPtr model =
+          core::train_predictor(training, trainer, bench::bench_executor())
+              .predictor;
+      for (std::size_t zi = 0; zi < zs.size(); ++zi) {
+        core::SchedulerOptions scheduler;
+        if (zs[zi] > 0.0) {
+          scheduler.policy = core::SelectionPolicy::upper_confidence(zs[zi]);
+        }
+        for (const std::size_t t : fold.test) {
+          const adapt::SelectionQuality quality = adapt::selection_quality(
+              *model, characterizations[t], kCapW,
+              core::SchedulingGoal::MaxPerformance, scheduler);
+          scores[k][zi].error += quality.error;
+          scores[k][zi].violations += quality.violation ? 1 : 0;
+        }
+      }
+    }
+    held_out += fold.test.size();
+  }
+  TextTable families;
+  families.set_header({"Predictor", "z", "Held-out selection error",
+                       "Cap exceedance"});
+  const char* names[] = {"cluster-cart (the paper's regressions)",
+                         "gp-sqexp (kriging surrogate)"};
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t zi = 0; zi < zs.size(); ++zi) {
+      families.add_row(
+          {names[k], format_double(zs[zi], 2),
+           format_double(scores[k][zi].error /
+                             static_cast<double>(held_out),
+                         4),
+           format_double(100.0 *
+                             static_cast<double>(scores[k][zi].violations) /
+                             static_cast<double>(held_out),
+                         3) +
+               "%"});
+    }
+  }
+  families.print(std::cout,
+                 "Predictor family, leave-one-benchmark-out at 20 W:");
   return 0;
 }

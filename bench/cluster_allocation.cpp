@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
 
   soc::Machine trainer_machine = bench::make_machine();
   const auto suite = workloads::Suite::standard();
-  const auto model =
-      core::train(eval::characterize(trainer_machine, suite)).model;
+  const auto model = core::make_predictor(
+      core::train(eval::characterize(trainer_machine, suite)).model);
 
   const auto work = [&](const std::string& id) {
     const auto& instance = suite.instance(id);
@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
         const auto report = cluster.run(3);
         std::string caps;
         for (const double cap : report.caps_w) {
-          caps += (caps.empty() ? "" : "/") + format_double(cap, 3);
+          // std::string{}: dodge GCC 12's -Wrestrict false positive (PR 105651).
+          caps += std::string{caps.empty() ? "" : "/"} + format_double(cap, 3);
         }
         return std::vector<std::string>{
             format_double(budget, 4),

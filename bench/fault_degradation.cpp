@@ -45,7 +45,7 @@ struct RuntimeChaosResult {
 
 RuntimeChaosResult run_runtime_chaos(soc::Machine& machine,
                                      const workloads::Suite& suite,
-                                     const core::TrainedModel& model) {
+                                     const core::PredictorPtr& model) {
   constexpr double kCapW = 30.0;
   core::OnlineRuntime::Options options;
   options.power_cap_w = kCapW;
@@ -113,11 +113,12 @@ struct ServeChaosResult {
 };
 
 ServeChaosResult run_serve_chaos(
-    const core::TrainedModel& model,
+    const core::PredictorPtr& model,
     const std::vector<core::KernelCharacterization>& pool) {
   serve::ModelRegistry registry;
   registry.publish(model);                 // v1: healthy
-  registry.publish(core::TrainedModel{});  // v2: corrupt (predict throws)
+  // v2: corrupt (predict throws)
+  registry.publish(core::make_predictor(core::TrainedModel{}));
 
   serve::ServerOptions options;
   options.workers = 2;
@@ -176,7 +177,8 @@ int main() {
   for (const auto& instance : suite.instances()) {
     training.push_back(eval::characterize_instance(machine, instance));
   }
-  const core::TrainedModel model = core::train(training).model;
+  const core::PredictorPtr model =
+      core::make_predictor(core::train(training).model);
 
   const RuntimeChaosResult runtime = run_runtime_chaos(machine, suite, model);
   const ServeChaosResult serve = run_serve_chaos(model, training);

@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
       training.push_back(eval::characterize_instance(machine, instance));
     }
   }
-  const auto model = core::train(training).model;
+  const auto model = core::make_predictor(core::train(training).model);
 
   // -- request pool: sample pairs of unseen kernels, widened into many
   //    distinct kernel identities so the consistent-hash ring has enough

@@ -70,7 +70,7 @@ int main() {
 
   // The model: trained offline on the full suite, free to pick devices.
   const auto training = eval::characterize(machine, suite);
-  const auto model = core::train(training).model;
+  const auto model = core::make_predictor(core::train(training).model);
   core::OnlineRuntime runtime{machine, model};
   run_policy("model (device-aware)", [&](const auto& instance) {
     const core::KernelKey key{instance.kernel, instance.benchmark, 0};

@@ -119,7 +119,7 @@ int main() {
     }
   }
   serve::ModelRegistry registry;
-  registry.publish(core::train(training).model);
+  registry.publish(core::make_predictor(core::train(training).model));
 
   // -- request pool: sample runs of unseen kernels (two runs each, the
   //    paper's online protocol) plus a slice of training kernels ---------

@@ -51,7 +51,7 @@ std::vector<core::KernelCharacterization> characterize_world(
   return result;
 }
 
-adapt::Feedback feedback_for(const core::TrainedModel& model,
+adapt::Feedback feedback_for(const core::Predictor& model,
                              const core::KernelCharacterization& profile,
                              const core::KernelCharacterization& truth) {
   const core::Prediction prediction = model.predict(profile.samples);
@@ -69,7 +69,7 @@ adapt::Feedback feedback_for(const core::TrainedModel& model,
   return feedback;
 }
 
-double mean_error(const core::TrainedModel& model,
+double mean_error(const core::Predictor& model,
                   const std::vector<core::KernelCharacterization>& truths) {
   double sum = 0.0;
   for (const auto& truth : truths) {
@@ -101,11 +101,12 @@ int main(int argc, char** argv) {
   const auto suite = workloads::Suite::standard();
   const auto clean = characterize_world(machine, suite, false);
   const auto shifted = characterize_world(machine, suite, true);
-  const core::TrainedModel offline = core::train(clean).model;
+  const core::PredictorPtr offline =
+      core::make_predictor(core::train(clean).model);
   std::cout << "   selection error, clean world:   "
-            << format_double(mean_error(offline, clean), 4) << '\n'
+            << format_double(mean_error(*offline, clean), 4) << '\n'
             << "   selection error, shifted world: "
-            << format_double(mean_error(offline, shifted), 4)
+            << format_double(mean_error(*offline, shifted), 4)
             << "  <- what staying stale would cost\n\n";
 
   obs::Registry metrics;
@@ -189,7 +190,7 @@ int main(int argc, char** argv) {
   table.print(std::cout, "adapt loop summary");
   std::cout << "\nThe promoted model selects in the shifted world at "
             << format_double(recovered, 4) << " error vs "
-            << format_double(mean_error(offline, shifted), 4)
+            << format_double(mean_error(*offline, shifted), 4)
             << " for the stale offline model.\n";
   return last.promotions > 0 ? 0 : 1;
 }

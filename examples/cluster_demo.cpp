@@ -19,8 +19,8 @@ int main() {
   soc::Machine trainer_machine;
   const auto suite = workloads::Suite::standard();
   std::cout << "Training the machine model once (shared by all nodes)...\n";
-  const auto model =
-      core::train(eval::characterize(trainer_machine, suite)).model;
+  const auto model = core::make_predictor(
+      core::train(eval::characterize(trainer_machine, suite)).model);
 
   const auto work = [&](const std::string& id) {
     const auto& instance = suite.instance(id);
@@ -63,7 +63,8 @@ int main() {
     const auto report = cluster.step();
     std::string caps;
     for (const double cap : report.caps_w) {
-      caps += (caps.empty() ? "" : "/") + format_double(cap, 3);
+      // std::string{}: dodge GCC 12's -Wrestrict false positive (PR 105651).
+      caps += std::string{caps.empty() ? "" : "/"} + format_double(cap, 3);
     }
     table.add_row({
         std::to_string(step),

@@ -75,7 +75,7 @@ int main() {
   options.replicas = 3;
   options.budget.global_budget_w = 120.0;  // 30 W nominal per shard
   fleet::Fleet fleet{options};
-  const std::uint64_t version = fleet.publish(core::train(training).model);
+  const std::uint64_t version = fleet.publish(core::make_predictor(core::train(training).model));
   std::cout << "Fleet up: " << options.shards << " shards x "
             << options.replicas
             << " replicas, model published fleet-wide as version " << version

@@ -92,7 +92,8 @@ int main(int argc, char** argv) {
     exec::ThreadPool pool{exec::default_threads()};
     return eval::characterize(machine, suite, {}, pool);
   }();
-  const core::TrainedModel offline_model = core::train(training).model;
+  const core::PredictorPtr offline_model =
+      core::make_predictor(core::train(training).model);
 
   // --adapt: the runtime's feedback stream drives an AdaptController;
   // retrains run on a small pool so serving (the timestep loop) never
@@ -241,7 +242,7 @@ int main(int argc, char** argv) {
       }
       if (now.promotions > before.promotions) {
         const std::size_t repredicted =
-            runtime.adopt_model(*registry.current().model);
+            runtime.adopt_model(registry.current().model);
         ++adoptions;
         std::cout << ">>> step " << step
                   << ": canary accepted -> runtime adopted model v"

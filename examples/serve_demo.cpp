@@ -36,7 +36,8 @@ int main() {
     }
   }
   serve::ModelRegistry registry;
-  const std::uint64_t v1 = registry.publish(core::train(training).model);
+  const std::uint64_t v1 =
+      registry.publish(core::make_predictor(core::train(training).model));
   std::cout << "Published model version " << v1 << ".\n";
 
   // -- online: sample the unseen kernels once per device -----------------
@@ -98,7 +99,8 @@ int main() {
   core::TrainerOptions retrain;
   retrain.clusters = 3;
   const std::uint64_t v2 =
-      registry.publish(core::train(training, retrain).model);
+      registry.publish(
+          core::make_predictor(core::train(training, retrain).model));
   serve::SelectRequest after_swap = wire_request;
   after_swap.request_id = 1000;
   const auto swapped = server.select(after_swap);

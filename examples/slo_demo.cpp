@@ -83,7 +83,7 @@ int main() {
   options.slo.burn.burn_threshold = 2.0;
   options.slo.error_budget = 0.25;
   fleet::Fleet fleet{options};
-  fleet.publish(core::train(training).model);
+  fleet.publish(core::make_predictor(core::train(training).model));
   std::cout << "Fleet up: " << options.shards << " shards x "
             << options.replicas << " replicas; SLOs: delivered >= "
             << format_double(options.slo.delivered_objective, 4)

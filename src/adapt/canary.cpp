@@ -11,7 +11,7 @@
 
 namespace acsel::adapt {
 
-SelectionQuality selection_quality(const core::TrainedModel& model,
+SelectionQuality selection_quality(const core::Predictor& model,
                                    const core::KernelCharacterization& truth,
                                    std::optional<double> cap_w,
                                    core::SchedulingGoal goal,
@@ -21,6 +21,8 @@ SelectionQuality selection_quality(const core::TrainedModel& model,
   try {
     const core::Prediction prediction = model.predict(truth.samples);
     choice = core::Scheduler{prediction, scheduler}.select_goal(goal, cap_w);
+    quality.selected_power_sigma =
+        prediction.per_config[choice.config_index].power_sigma;
   } catch (const std::exception&) {
     // A model that cannot even predict scores as total loss: worst error,
     // a violation, and the failure flag the canary hard-rejects on.
@@ -60,10 +62,9 @@ SelectionQuality selection_quality(const core::TrainedModel& model,
   return quality;
 }
 
-CanaryEvaluator::CanaryEvaluator(
-    std::shared_ptr<const core::TrainedModel> candidate,
-    std::shared_ptr<const core::TrainedModel> incumbent,
-    const CanaryOptions& options)
+CanaryEvaluator::CanaryEvaluator(core::PredictorPtr candidate,
+                                 core::PredictorPtr incumbent,
+                                 const CanaryOptions& options)
     : candidate_(std::move(candidate)),
       incumbent_(std::move(incumbent)),
       options_(options) {
@@ -98,6 +99,8 @@ bool CanaryEvaluator::offer_labelled(const core::KernelCharacterization& truth,
     if (candidate.violation) ++candidate_violations_;
     if (incumbent.violation) ++incumbent_violations_;
     if (candidate.failed) ++verdict_.candidate_failures;
+    candidate_sigma_sum_ += candidate.selected_power_sigma;
+    incumbent_sigma_sum_ += incumbent.selected_power_sigma;
   }
   decide_if_ready();
   return scored;
@@ -135,12 +138,22 @@ void CanaryEvaluator::decide_if_ready() {
     verdict_.incumbent_error = inc_err;
     verdict_.candidate_violation_rate = cand_viol;
     verdict_.incumbent_violation_rate = inc_viol;
+    const double cand_sigma = candidate_sigma_sum_ / evals;
+    const double inc_sigma = incumbent_sigma_sum_ / evals;
+    verdict_.candidate_power_sigma = cand_sigma;
+    verdict_.incumbent_power_sigma = inc_sigma;
     const double improvement = inc_err - cand_err;
     const bool better = improvement > 0.0 &&
                         improvement >= options_.error_margin * inc_err &&
                         cand_viol <= inc_viol + options_.violation_margin;
-    decide(better, better ? "beat incumbent by margin"
-                          : "did not beat incumbent by margin");
+    const bool certain_enough =
+        options_.uncertainty_margin < 0.0 ||
+        cand_sigma <= inc_sigma * (1.0 + options_.uncertainty_margin) +
+                          options_.uncertainty_floor_w;
+    const bool accepted = better && certain_enough;
+    decide(accepted, accepted ? "beat incumbent by margin"
+                     : !better ? "did not beat incumbent by margin"
+                               : "too uncertain at selected configurations");
     return;
   }
   if (labelled_offers_ + shadow_offers_ >= options_.max_observations) {

@@ -15,7 +15,7 @@
 #include <string>
 
 #include "core/characterization.h"
-#include "core/model.h"
+#include "core/predictor.h"
 #include "core/scheduler.h"
 
 namespace acsel::adapt {
@@ -30,12 +30,16 @@ struct SelectionQuality {
   bool violation = false;
   /// Whether the model failed outright (predict threw).
   bool failed = false;
+  /// Predicted power sigma of the selected configuration — the model's
+  /// own stated uncertainty at the operating point it chose (0 on
+  /// failure, and for predictors that report no variance).
+  double selected_power_sigma = 0.0;
 };
 
 /// Scores one model's goal-directed selection for `truth`: predict from
 /// the kernel's sample pair, select under `cap_w`, then judge the chosen
 /// configuration by the kernel's measured per-configuration arrays.
-SelectionQuality selection_quality(const core::TrainedModel& model,
+SelectionQuality selection_quality(const core::Predictor& model,
                                    const core::KernelCharacterization& truth,
                                    std::optional<double> cap_w,
                                    core::SchedulingGoal goal,
@@ -57,6 +61,15 @@ struct CanaryOptions {
   /// Observations (scored or skipped) after which an undecided canary is
   /// rejected for insufficient evidence rather than held open forever.
   std::size_t max_observations = 512;
+  /// Variance gate: a candidate whose mean selected-config power sigma
+  /// exceeds the incumbent's by more than this *relative* margin (plus
+  /// `uncertainty_floor_w` of absolute headroom, so a near-zero-sigma
+  /// incumbent doesn't make the gate impossibly tight) is rejected even
+  /// when its error beats the incumbent — a model that is accurate on the
+  /// canary window but far less certain is a drift risk. Negative
+  /// disables the gate.
+  double uncertainty_margin = 1.0;
+  double uncertainty_floor_w = 0.25;
   std::uint64_t seed = 0xca9a11e5ull;
 };
 
@@ -69,6 +82,9 @@ struct CanaryVerdict {
   double candidate_violation_rate = 0.0;
   double incumbent_violation_rate = 0.0;
   std::size_t candidate_failures = 0;
+  /// Mean predicted power sigma at the selected configuration.
+  double candidate_power_sigma = 0.0;
+  double incumbent_power_sigma = 0.0;
   std::string reason;
 };
 
@@ -76,8 +92,7 @@ struct CanaryVerdict {
 /// access under its own lock.
 class CanaryEvaluator {
  public:
-  CanaryEvaluator(std::shared_ptr<const core::TrainedModel> candidate,
-                  std::shared_ptr<const core::TrainedModel> incumbent,
+  CanaryEvaluator(core::PredictorPtr candidate, core::PredictorPtr incumbent,
                   const CanaryOptions& options = {});
 
   /// Offers one labelled live observation. Scores it with probability
@@ -94,16 +109,14 @@ class CanaryEvaluator {
 
   bool decided() const { return verdict_.decided; }
   const CanaryVerdict& verdict() const { return verdict_; }
-  const std::shared_ptr<const core::TrainedModel>& candidate() const {
-    return candidate_;
-  }
+  const core::PredictorPtr& candidate() const { return candidate_; }
 
  private:
   void decide_if_ready();
   void decide(bool accepted, std::string reason);
 
-  std::shared_ptr<const core::TrainedModel> candidate_;
-  std::shared_ptr<const core::TrainedModel> incumbent_;
+  core::PredictorPtr candidate_;
+  core::PredictorPtr incumbent_;
   CanaryOptions options_;
   CanaryVerdict verdict_;
   std::uint64_t labelled_offers_ = 0;
@@ -112,6 +125,8 @@ class CanaryEvaluator {
   double incumbent_error_sum_ = 0.0;
   std::size_t candidate_violations_ = 0;
   std::size_t incumbent_violations_ = 0;
+  double candidate_sigma_sum_ = 0.0;
+  double incumbent_sigma_sum_ = 0.0;
 };
 
 }  // namespace acsel::adapt

@@ -151,8 +151,7 @@ void AdaptController::observe(const Feedback& feedback) {
   }
 }
 
-void AdaptController::begin_canary(
-    std::shared_ptr<const core::TrainedModel> candidate) {
+void AdaptController::begin_canary(core::PredictorPtr candidate) {
   ACSEL_CHECK_MSG(candidate != nullptr, "cannot canary a null candidate");
   std::lock_guard<std::mutex> lock{mu_};
   ACSEL_CHECK_MSG(canary_ == nullptr, "a canary is already running");
@@ -306,10 +305,10 @@ AdaptController::maybe_schedule_retrain_locked() {
 void AdaptController::run_retrain(
     std::shared_ptr<std::vector<core::KernelCharacterization>> data) {
   const auto start = std::chrono::steady_clock::now();
-  std::shared_ptr<const core::TrainedModel> candidate;
+  core::PredictorPtr candidate;
   try {
-    candidate = std::make_shared<const core::TrainedModel>(
-        core::train(*data, options_.trainer, *executor_).model);
+    candidate =
+        core::train_predictor(*data, options_.trainer, *executor_).predictor;
   } catch (const std::exception& error) {
     ACSEL_LOG_WARN("adapt: retrain failed: " << error.what());
   }

@@ -99,7 +99,7 @@ class AdaptController final : public serve::AdaptSink {
   /// model — the operator's (and the tests') injection point; the loop
   /// itself calls this internally for retrained candidates. Throws when
   /// no model is published or a canary is already running.
-  void begin_canary(std::shared_ptr<const core::TrainedModel> candidate);
+  void begin_canary(core::PredictorPtr candidate);
 
   /// Blocks until no retrain is in flight, stealing executor work while
   /// waiting (so a worker-less executor still finishes). The
@@ -165,7 +165,7 @@ class AdaptController final : public serve::AdaptSink {
   /// A finished retrain parks its model here; the next observation
   /// starts the canary (so canary start is driven by the deterministic
   /// observation stream, not by retrain completion timing).
-  std::shared_ptr<const core::TrainedModel> pending_candidate_;
+  core::PredictorPtr pending_candidate_;
   std::uint64_t observations_ = 0;
   std::uint64_t rejected_residuals_ = 0;
   std::uint64_t drift_events_ = 0;

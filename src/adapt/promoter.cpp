@@ -19,7 +19,7 @@ Promoter::Promoter(serve::ModelRegistry& registry,
 }
 
 std::uint64_t Promoter::promote(
-    std::shared_ptr<const core::TrainedModel> model, double promised_error) {
+    core::PredictorPtr model, double promised_error) {
   ACSEL_CHECK_MSG(model != nullptr, "cannot promote a null model");
   std::lock_guard<std::mutex> lock{mu_};
   promoted_version_ = registry_->publish(std::move(model));

@@ -12,7 +12,7 @@
 #include <memory>
 #include <mutex>
 
-#include "core/model.h"
+#include "core/predictor.h"
 #include "serve/registry.h"
 
 namespace acsel::adapt {
@@ -33,7 +33,7 @@ class Promoter {
   /// Publishes `model` as the new current version and opens probation
   /// against `promised_error` (the canary's measured candidate error).
   /// Returns the published version.
-  std::uint64_t promote(std::shared_ptr<const core::TrainedModel> model,
+  std::uint64_t promote(core::PredictorPtr model,
                         double promised_error);
 
   /// Feeds one live selection error of the current model during

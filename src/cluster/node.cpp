@@ -17,7 +17,7 @@ core::OnlineRuntime::Options runtime_options(double cap_w) {
 
 }  // namespace
 
-Node::Node(std::string name, std::uint64_t seed, core::TrainedModel model,
+Node::Node(std::string name, std::uint64_t seed, core::PredictorPtr model,
            std::vector<Work> workload, double initial_cap_w)
     : name_(std::move(name)),
       machine_(std::make_unique<soc::Machine>(soc::MachineSpec{}, seed)),

@@ -39,7 +39,7 @@ class Node {
     workloads::WorkloadInstance impl;
   };
 
-  Node(std::string name, std::uint64_t seed, core::TrainedModel model,
+  Node(std::string name, std::uint64_t seed, core::PredictorPtr model,
        std::vector<Work> workload, double initial_cap_w);
 
   const std::string& name() const { return name_; }

@@ -11,6 +11,7 @@
 
 #include "core/characterization.h"
 #include "core/features.h"
+#include "core/predictor.h"
 #include "linalg/regression.h"
 
 namespace acsel::core {
@@ -20,14 +21,9 @@ struct ClusterModel {
   linalg::LinearModel perf_cpu;  ///< perf / S_perf_cpu over CPU configs
   linalg::LinearModel perf_gpu;  ///< perf / S_perf_gpu over GPU configs
 
-  struct Estimate {
-    double power_w = 0.0;
-    double performance = 0.0;
-    /// One-sigma prediction uncertainties (training residual scale), used
-    /// by the risk-averse scheduler extension (§VI).
-    double power_sigma = 0.0;
-    double performance_sigma = 0.0;
-  };
+  /// The shared per-configuration estimate type; this model fills the
+  /// sigmas with the regressions' residual scale (§VI).
+  using Estimate = core::Estimate;
 
   /// Predicts power and performance of `samples`' kernel at `config`.
   Estimate predict(const hw::Configuration& config,

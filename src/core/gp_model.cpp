@@ -1,0 +1,330 @@
+#include "core/gp_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/features.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace acsel::core {
+
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Median pairwise distance over (a deterministic prefix of) the rows —
+/// the standard length-scale heuristic when none is given.
+double median_distance(const linalg::Matrix& x) {
+  const std::size_t n = std::min<std::size_t>(x.rows(), 64);
+  std::vector<double> distances;
+  distances.reserve(n * (n - 1) / 2 + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      distances.push_back(std::sqrt(squared_distance(x.row(i), x.row(j))));
+    }
+  }
+  if (distances.empty()) {
+    return 1.0;
+  }
+  const std::size_t mid = distances.size() / 2;
+  std::nth_element(distances.begin(),
+                   distances.begin() + static_cast<std::ptrdiff_t>(mid),
+                   distances.end());
+  const double median = distances[mid];
+  return median > 0.0 ? median : 1.0;
+}
+
+}  // namespace
+
+GpRegressor GpRegressor::fit(const linalg::Matrix& x,
+                             std::span<const double> y,
+                             const GpHyperparams& hp, std::size_t max_rows) {
+  ACSEL_CHECK_MSG(x.rows() == y.size() && x.rows() > 0 && x.cols() > 0,
+                  "GpRegressor::fit: shape mismatch or empty data");
+  ACSEL_CHECK_MSG(max_rows > 0, "GpRegressor::fit: max_rows must be > 0");
+
+  GpRegressor gp;
+  if (x.rows() <= max_rows) {
+    gp.x_ = x;
+    gp.y_.assign(y.begin(), y.end());
+  } else {
+    // Deterministic stride subsample: index order is the training-row
+    // order, which the trainer builds identically at any thread count.
+    const std::size_t stride = (x.rows() + max_rows - 1) / max_rows;
+    const std::size_t kept = (x.rows() + stride - 1) / stride;
+    gp.x_ = linalg::Matrix{kept, x.cols()};
+    gp.y_.reserve(kept);
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < x.rows(); i += stride, ++out) {
+      const auto row = x.row(i);
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        gp.x_(out, c) = row[c];
+      }
+      gp.y_.push_back(y[i]);
+    }
+  }
+
+  gp.length_scale_ =
+      hp.length_scale > 0.0 ? hp.length_scale : median_distance(gp.x_);
+
+  if (hp.signal_variance > 0.0) {
+    gp.signal_variance_ = hp.signal_variance;
+  } else {
+    const std::size_t n = gp.y_.size();
+    double mean = 0.0;
+    for (const double v : gp.y_) mean += v;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const double v : gp.y_) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(n);
+    gp.signal_variance_ = std::max(var, 1e-12);
+  }
+
+  const double fraction = hp.noise_fraction > 0.0 ? hp.noise_fraction : 1e-6;
+  gp.noise_variance_ = std::max(gp.signal_variance_ * fraction,
+                                gp.signal_variance_ * 1e-10);
+  gp.finalize();
+  return gp;
+}
+
+void GpRegressor::finalize() {
+  const std::size_t n = y_.size();
+  y_mean_ = 0.0;
+  for (const double v : y_) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+
+  linalg::Matrix k{n, n};
+  const double inv_2l2 = 1.0 / (2.0 * length_scale_ * length_scale_);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = signal_variance_ + noise_variance_;
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = signal_variance_ *
+                       std::exp(-squared_distance(x_.row(i), x_.row(j)) *
+                                inv_2l2);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  const linalg::CholeskyFactorization chol{k};
+  l_ = chol.l();
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    centered[i] = y_[i] - y_mean_;
+  }
+  alpha_ = chol.solve(centered);
+}
+
+GpRegressor::MeanVariance GpRegressor::predict(
+    std::span<const double> features) const {
+  ACSEL_CHECK_MSG(!y_.empty(), "GpRegressor::predict before fit/parse");
+  ACSEL_CHECK_MSG(features.size() == x_.cols(),
+                  "GpRegressor::predict: feature count mismatch");
+  const std::size_t n = y_.size();
+  const double inv_2l2 = 1.0 / (2.0 * length_scale_ * length_scale_);
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_star[i] = signal_variance_ *
+                std::exp(-squared_distance(x_.row(i), features) * inv_2l2);
+  }
+
+  MeanVariance out;
+  out.mean = y_mean_ + linalg::dot(k_star, alpha_);
+
+  // var = k(x*,x*) + noise - |L⁻¹ k*|² — the posterior shrinks toward the
+  // noise floor at training points and opens to signal + noise far away.
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = k_star[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      sum -= l_(i, j) * v[j];
+    }
+    v[i] = sum / l_(i, i);
+  }
+  const double reduction = linalg::dot(v, v);
+  out.variance =
+      std::max(0.0, signal_variance_ + noise_variance_ - reduction);
+  return out;
+}
+
+std::string GpRegressor::serialize() const {
+  ACSEL_CHECK_MSG(!y_.empty(), "GpRegressor::serialize before fit/parse");
+  std::ostringstream os;
+  os << x_.rows() << ' ' << x_.cols() << ' '
+     << format_double(length_scale_, 17) << ' '
+     << format_double(signal_variance_, 17) << ' '
+     << format_double(noise_variance_, 17);
+  for (std::size_t r = 0; r < x_.rows(); ++r) {
+    for (std::size_t c = 0; c < x_.cols(); ++c) {
+      os << ' ' << format_double(x_(r, c), 17);
+    }
+  }
+  for (const double v : y_) {
+    os << ' ' << format_double(v, 17);
+  }
+  return os.str();
+}
+
+GpRegressor GpRegressor::parse(const std::string& line) {
+  const std::vector<std::string> fields = split(trim(line), ' ');
+  ACSEL_CHECK_MSG(fields.size() >= 5, "GpRegressor::parse: truncated line");
+  GpRegressor gp;
+  const std::size_t n = parse_size(fields[0]);
+  const std::size_t d = parse_size(fields[1]);
+  ACSEL_CHECK_MSG(n > 0 && d > 0, "GpRegressor::parse: empty shape");
+  gp.length_scale_ = parse_double(fields[2]);
+  gp.signal_variance_ = parse_double(fields[3]);
+  gp.noise_variance_ = parse_double(fields[4]);
+  ACSEL_CHECK_MSG(gp.length_scale_ > 0.0 && gp.signal_variance_ > 0.0 &&
+                      gp.noise_variance_ > 0.0,
+                  "GpRegressor::parse: non-positive hyperparameter");
+  ACSEL_CHECK_MSG(fields.size() == 5 + n * d + n,
+                  "GpRegressor::parse: field count mismatch");
+  gp.x_ = linalg::Matrix{n, d};
+  std::size_t f = 5;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      gp.x_(r, c) = parse_double(fields[f++]);
+    }
+  }
+  gp.y_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gp.y_.push_back(parse_double(fields[f++]));
+  }
+  gp.finalize();
+  return gp;
+}
+
+GpPredictor::GpPredictor(std::vector<ClusterSurrogate> clusters,
+                         stats::Cart tree)
+    : clusters_(std::move(clusters)), tree_(std::move(tree)) {
+  ACSEL_CHECK_MSG(!clusters_.empty(), "GpPredictor needs >= 1 cluster");
+  ACSEL_CHECK_MSG(tree_.feature_count() ==
+                      classification_feature_names().size(),
+                  "tree feature count mismatch");
+}
+
+const GpPredictor::ClusterSurrogate& GpPredictor::cluster(
+    std::size_t index) const {
+  ACSEL_CHECK_MSG(index < clusters_.size(), "cluster index out of range");
+  return clusters_[index];
+}
+
+std::size_t GpPredictor::classify(const SamplePair& samples) const {
+  ACSEL_OBS_SPAN("classify", "model");
+  const std::size_t label = tree_.predict(classification_features(samples));
+  ACSEL_CHECK_MSG(label < clusters_.size(),
+                  "classified into a cluster with no model");
+  return label;
+}
+
+Prediction GpPredictor::predict(const SamplePair& samples) const {
+  ACSEL_OBS_SPAN("predict", "model");
+  Prediction prediction;
+  prediction.cluster = classify(samples);
+  const ClusterSurrogate& surrogate = clusters_[prediction.cluster];
+
+  const std::size_t n = space_.size();
+  prediction.per_config.reserve(n);
+  std::vector<double> power(n);
+  std::vector<double> perf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const hw::Configuration& config = space_.at(i);
+
+    const auto power_mv =
+        surrogate.power.predict(power_features(config, samples));
+    Estimate estimate;
+    estimate.power_w = std::max(1.0, power_mv.mean);
+    estimate.power_sigma = std::sqrt(power_mv.variance);
+
+    const bool on_gpu = config.device == hw::Device::Gpu;
+    const GpRegressor& perf_gp =
+        on_gpu ? surrogate.perf_gpu : surrogate.perf_cpu;
+    const double s_perf =
+        on_gpu ? samples.gpu.performance() : samples.cpu.performance();
+    const auto perf_mv = perf_gp.predict(perf_features(config));
+    const double ratio = std::max(1e-6, perf_mv.mean);
+    estimate.performance = ratio * s_perf;
+    estimate.performance_sigma = std::sqrt(perf_mv.variance) * s_perf;
+
+    power[i] = estimate.power_w;
+    perf[i] = estimate.performance;
+    prediction.per_config.push_back(estimate);
+  }
+  prediction.frontier = pareto::ParetoFrontier::build(power, perf);
+  return prediction;
+}
+
+std::string GpPredictor::serialize_body() const {
+  std::ostringstream os;
+  os << "clusters " << clusters_.size() << '\n';
+  for (const ClusterSurrogate& surrogate : clusters_) {
+    os << surrogate.power.serialize() << '\n'
+       << surrogate.perf_cpu.serialize() << '\n'
+       << surrogate.perf_gpu.serialize() << '\n';
+  }
+  os << "tree\n" << tree_.serialize();
+  return os.str();
+}
+
+namespace {
+
+GpPredictor parse_gp_body(std::istringstream& is) {
+  std::string line;
+  ACSEL_CHECK_MSG(static_cast<bool>(std::getline(is, line)) &&
+                      starts_with(line, "clusters "),
+                  "missing cluster count");
+  const std::size_t k = parse_size(split(line, ' ')[1]);
+  ACSEL_CHECK_MSG(k >= 1, "model must have >= 1 cluster");
+
+  std::vector<GpPredictor::ClusterSurrogate> clusters;
+  clusters.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    GpPredictor::ClusterSurrogate surrogate;
+    GpRegressor* const gps[3] = {&surrogate.power, &surrogate.perf_cpu,
+                                 &surrogate.perf_gpu};
+    for (GpRegressor* gp : gps) {
+      ACSEL_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                      "truncated cluster block");
+      *gp = GpRegressor::parse(line);
+    }
+    clusters.push_back(std::move(surrogate));
+  }
+  ACSEL_CHECK_MSG(static_cast<bool>(std::getline(is, line)) && line == "tree",
+                  "missing tree section");
+  std::ostringstream rest;
+  rest << is.rdbuf();
+  return GpPredictor{std::move(clusters), stats::Cart::parse(rest.str())};
+}
+
+}  // namespace
+
+GpPredictor GpPredictor::parse(const std::string& text) {
+  std::istringstream is{text};
+  std::string header;
+  ACSEL_CHECK_MSG(static_cast<bool>(std::getline(is, header)),
+                  "empty model text");
+  const std::string envelope = "acsel-predictor " + std::string{kKind} + " v1";
+  if (header != envelope) {
+    throw PredictorFormatError{"unknown model format"};
+  }
+  return parse_gp_body(is);
+}
+
+PredictorPtr GpPredictor::parse_shared(std::uint32_t version,
+                                       const std::string& body) {
+  ACSEL_CHECK_MSG(version == 1, "gp-sqexp body version must be 1");
+  std::istringstream is{body};
+  return std::make_shared<const GpPredictor>(parse_gp_body(is));
+}
+
+}  // namespace acsel::core

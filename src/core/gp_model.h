@@ -1,0 +1,130 @@
+// Gaussian-process (kriging) surrogate predictor: the second
+// core::Predictor implementation, trained on the same sample pairs and
+// per-configuration measurements as the paper's cluster regressions but
+// replacing each cluster's linear models with GP posteriors under a
+// squared-exponential kernel. Where the linear model reports one global
+// residual sigma, the GP's predictive variance *grows with distance from
+// the training data* — exactly the signal the risk-averse SelectionPolicy
+// and the variance-aware canary gate need near the power cap: a config
+// the model has barely seen carries a wide interval and is selected (or
+// promoted) more cautiously.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/predictor.h"
+#include "hw/config_space.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "stats/cart.h"
+
+namespace acsel::core {
+
+/// Squared-exponential kernel hyperparameters. Non-positive length_scale /
+/// signal_variance mean "resolve from the data at fit time" (median
+/// pairwise distance / target variance) — the resolved values are stored
+/// and serialized, so a parsed model never re-resolves.
+struct GpHyperparams {
+  double length_scale = 0.0;
+  double signal_variance = 0.0;
+  /// Observation-noise variance as a fraction of the signal variance.
+  double noise_fraction = 1e-2;
+};
+
+/// One scalar GP regression: constant-mean prior (the training-target
+/// mean), k(a,b) = s² exp(-|a-b|² / 2ℓ²), exact posterior via Cholesky.
+class GpRegressor {
+ public:
+  GpRegressor() = default;
+
+  /// Fits on rows of `x` against `y`. Rows beyond `max_rows` are
+  /// deterministically strided down — O(n³) factorization cost is bounded
+  /// regardless of training-set size.
+  static GpRegressor fit(const linalg::Matrix& x, std::span<const double> y,
+                         const GpHyperparams& hp = {},
+                         std::size_t max_rows = 256);
+
+  struct MeanVariance {
+    double mean = 0.0;
+    /// Predictive variance of a new *observation* (posterior + noise);
+    /// never negative.
+    double variance = 0.0;
+  };
+
+  /// Posterior at one feature vector (length == feature_count()).
+  MeanVariance predict(std::span<const double> features) const;
+
+  std::size_t training_rows() const { return x_.rows(); }
+  std::size_t feature_count() const { return x_.cols(); }
+  double length_scale() const { return length_scale_; }
+  double signal_variance() const { return signal_variance_; }
+  double noise_variance() const { return noise_variance_; }
+
+  /// One-line serialization; round-trips through parse() with
+  /// bit-identical predictions (the factorization is re-derived from the
+  /// exactly-restored inputs).
+  std::string serialize() const;
+  static GpRegressor parse(const std::string& line);
+
+ private:
+  /// Rebuilds the kernel matrix, factorization and dual weights from
+  /// x_/y_ and the resolved hyperparameters (shared by fit and parse).
+  void finalize();
+
+  linalg::Matrix x_;       ///< retained training inputs, n x d
+  std::vector<double> y_;  ///< raw targets, length n
+  double length_scale_ = 1.0;
+  double signal_variance_ = 1.0;
+  double noise_variance_ = 1e-2;
+  // Derived state (never serialized):
+  double y_mean_ = 0.0;
+  std::vector<double> alpha_;  ///< K⁻¹ (y - mean)
+  linalg::Matrix l_;           ///< Cholesky factor of K
+};
+
+/// The GP-family predictor: the same CART front end as TrainedModel (the
+/// cluster assignment problem is unchanged) with three GP posteriors per
+/// cluster — absolute power over power_features, and per-device relative
+/// performance over perf_features.
+class GpPredictor final : public Predictor {
+ public:
+  /// Envelope tag of this family.
+  static constexpr std::string_view kKind = "gp-sqexp";
+
+  struct ClusterSurrogate {
+    GpRegressor power;     ///< watts over power_features(config, samples)
+    GpRegressor perf_cpu;  ///< perf / S_perf_cpu over CPU perf_features
+    GpRegressor perf_gpu;  ///< perf / S_perf_gpu over GPU perf_features
+  };
+
+  GpPredictor() = default;
+  GpPredictor(std::vector<ClusterSurrogate> clusters, stats::Cart tree);
+
+  std::string_view kind() const override { return kKind; }
+  std::size_t cluster_count() const override { return clusters_.size(); }
+  const hw::ConfigSpace& config_space() const override { return space_; }
+  const ClusterSurrogate& cluster(std::size_t index) const;
+  const stats::Cart& tree() const { return tree_; }
+
+  std::size_t classify(const SamplePair& samples) const override;
+  Prediction predict(const SamplePair& samples) const override;
+
+  std::string serialize_body() const override;
+  static GpPredictor parse(const std::string& text);
+  /// Factory hook: body parser behind the "gp-sqexp" envelope tag.
+  static PredictorPtr parse_shared(std::uint32_t version,
+                                   const std::string& body);
+
+ private:
+  std::vector<ClusterSurrogate> clusters_;
+  stats::Cart tree_;
+  hw::ConfigSpace space_;
+};
+
+}  // namespace acsel::core

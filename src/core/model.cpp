@@ -54,9 +54,8 @@ Prediction TrainedModel::predict(const SamplePair& samples) const {
   return prediction;
 }
 
-std::string TrainedModel::serialize() const {
+std::string TrainedModel::serialize_body() const {
   std::ostringstream os;
-  os << "acsel-model v1\n";
   os << "clusters " << clusters_.size() << '\n';
   for (const ClusterModel& cluster : clusters_) {
     os << cluster.serialize();  // three lines
@@ -65,12 +64,10 @@ std::string TrainedModel::serialize() const {
   return os.str();
 }
 
-TrainedModel TrainedModel::parse(const std::string& text) {
-  std::istringstream is{text};
+namespace {
+
+TrainedModel parse_body(std::istringstream& is) {
   std::string line;
-  ACSEL_CHECK_MSG(static_cast<bool>(std::getline(is, line)) &&
-                      line == "acsel-model v1",
-                  "unknown model format");
   ACSEL_CHECK_MSG(static_cast<bool>(std::getline(is, line)) &&
                       starts_with(line, "clusters "),
                   "missing cluster count");
@@ -97,11 +94,26 @@ TrainedModel TrainedModel::parse(const std::string& text) {
   return TrainedModel{std::move(clusters), stats::Cart::parse(rest.str())};
 }
 
-void TrainedModel::save(const std::string& path) const {
-  std::ofstream out{path, std::ios::binary};
-  ACSEL_CHECK_MSG(out.good(), "cannot open model file for write: " + path);
-  out << serialize();
-  ACSEL_CHECK_MSG(out.good(), "failed writing model file: " + path);
+}  // namespace
+
+TrainedModel TrainedModel::parse(const std::string& text) {
+  std::istringstream is{text};
+  std::string header;
+  ACSEL_CHECK_MSG(static_cast<bool>(std::getline(is, header)),
+                  "empty model text");
+  const std::string envelope =
+      "acsel-predictor " + std::string{kKind} + " v1";
+  if (header != envelope && header != "acsel-model v1") {
+    throw PredictorFormatError{"unknown model format"};
+  }
+  return parse_body(is);
+}
+
+PredictorPtr TrainedModel::parse_shared(std::uint32_t version,
+                                        const std::string& body) {
+  ACSEL_CHECK_MSG(version == 1, "cluster-cart body version must be 1");
+  std::istringstream is{body};
+  return std::make_shared<const TrainedModel>(parse_body(is));
 }
 
 TrainedModel TrainedModel::load(const std::string& path) {

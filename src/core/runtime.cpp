@@ -62,12 +62,13 @@ std::size_t bucket_for(std::size_t input_bytes) {
   return bucket;
 }
 
-OnlineRuntime::OnlineRuntime(soc::Machine& machine, TrainedModel model,
+OnlineRuntime::OnlineRuntime(soc::Machine& machine, PredictorPtr model,
                              const Options& options)
     : machine_(&machine),
       model_(std::move(model)),
       options_(options),
       profiler_(machine) {
+  ACSEL_CHECK_MSG(model_ != nullptr, "runtime needs a predictor");
   ACSEL_CHECK_MSG(std::isfinite(options.power_cap_w) &&
                       options.power_cap_w > 0.0,
                   "power cap must be finite and positive");
@@ -125,7 +126,7 @@ const profile::KernelRecord& OnlineRuntime::invoke(
     }
     ++tracked.runs;
     tracked.samples.gpu = record;
-    tracked.prediction = model_.predict(tracked.samples);
+    tracked.prediction = model_->predict(tracked.samples);
     reselect(tracked);
     ACSEL_LOG_DEBUG("runtime: " << key.str() << " -> cluster "
                                 << tracked.prediction->cluster);
@@ -153,7 +154,7 @@ const profile::KernelRecord& OnlineRuntime::invoke(
     // predicted to do vs. what it measurably did. Implausible records are
     // withheld under the same convention as the guardrails — garbage
     // telemetry is not drift evidence.
-    const ClusterModel::Estimate& estimate =
+    const Estimate& estimate =
         tracked.prediction->per_config[*tracked.config_index];
     PredictionFeedback feedback;
     feedback.key = key;
@@ -292,14 +293,15 @@ void OnlineRuntime::set_power_cap(double cap_w) {
   }
 }
 
-std::size_t OnlineRuntime::adopt_model(TrainedModel model) {
+std::size_t OnlineRuntime::adopt_model(PredictorPtr model) {
+  ACSEL_CHECK_MSG(model != nullptr, "cannot adopt a null predictor");
   model_ = std::move(model);
   std::size_t repredicted = 0;
   for (auto& [key, tracked] : kernels_) {
     if (!tracked.prediction.has_value()) {
       continue;  // still sampling; the new model will predict it anyway
     }
-    tracked.prediction = model_.predict(tracked.samples);
+    tracked.prediction = model_->predict(tracked.samples);
     tracked.deviant_streak = 0;
     if (tracked.in_fallback) {
       // Stay degraded until the backoff is served, but at the new

@@ -115,11 +115,21 @@ class OnlineRuntime {
     std::function<void(const PredictionFeedback&)> on_feedback;
   };
 
-  /// `machine` must outlive the runtime; the model is copied in.
-  OnlineRuntime(soc::Machine& machine, TrainedModel model,
+  /// `machine` must outlive the runtime; the predictor is shared in (the
+  /// registry/adapt layers hand the same immutable model to many users).
+  OnlineRuntime(soc::Machine& machine, PredictorPtr model,
                 const Options& options);
-  OnlineRuntime(soc::Machine& machine, TrainedModel model)
+  OnlineRuntime(soc::Machine& machine, PredictorPtr model)
       : OnlineRuntime(machine, std::move(model), Options{}) {}
+
+  /// Concrete-type conveniences, kept for one release.
+  [[deprecated("pass a core::PredictorPtr (see core::make_predictor)")]]
+  OnlineRuntime(soc::Machine& machine, TrainedModel model,
+                const Options& options)
+      : OnlineRuntime(machine, make_predictor(std::move(model)), options) {}
+  [[deprecated("pass a core::PredictorPtr (see core::make_predictor)")]]
+  OnlineRuntime(soc::Machine& machine, TrainedModel model)
+      : OnlineRuntime(machine, make_predictor(std::move(model)), Options{}) {}
 
   /// Runs one invocation of the kernel identified by `key`, whose
   /// implementation/behaviour is `impl`. Handles the sample iterations
@@ -141,7 +151,11 @@ class OnlineRuntime {
   /// re-sampling, no pause. Kernels in guardrail fallback stay degraded
   /// (at the new model's safe configuration) until their backoff is
   /// served. Returns the number of kernels re-predicted.
-  std::size_t adopt_model(TrainedModel model);
+  std::size_t adopt_model(PredictorPtr model);
+  [[deprecated("pass a core::PredictorPtr (see core::make_predictor)")]]
+  std::size_t adopt_model(TrainedModel model) {
+    return adopt_model(make_predictor(std::move(model)));
+  }
 
   /// Lifecycle of a tracked kernel.
   enum class Phase { Unseen, SampledCpu, Scheduled };
@@ -199,7 +213,7 @@ class OnlineRuntime {
   bool plausible(const profile::KernelRecord& record) const;
 
   soc::Machine* machine_;
-  TrainedModel model_;
+  PredictorPtr model_;
   Options options_;
   hw::ConfigSpace space_;
   profile::Profiler profiler_;

@@ -4,12 +4,28 @@
 
 namespace acsel::core {
 
+double power_risk_z(const SchedulerOptions& options) {
+  return options.policy.kind == SelectionPolicy::Kind::UpperConfidence
+             ? options.policy.z
+             : options.risk_aversion;
+}
+
+const char* to_string(SelectionPolicy::Kind kind) {
+  switch (kind) {
+    case SelectionPolicy::Kind::PointEstimate:
+      return "point-estimate";
+    case SelectionPolicy::Kind::UpperConfidence:
+      return "upper-confidence";
+  }
+  return "?";
+}
+
 Scheduler::Scheduler(const Prediction& prediction,
                      const SchedulerOptions& options)
     : prediction_(&prediction), options_(options) {
   ACSEL_CHECK_MSG(!prediction.frontier.empty(),
                   "scheduler needs a non-empty predicted frontier");
-  ACSEL_CHECK(options.risk_aversion >= 0.0);
+  ACSEL_CHECK(power_risk_z(options) >= 0.0);
 }
 
 Scheduler::Choice Scheduler::select(double cap_w) const {
@@ -19,12 +35,13 @@ Scheduler::Choice Scheduler::select(double cap_w) const {
   // Walk the frontier from the high-performance end down; the first point
   // whose risk-adjusted power fits wins. Frontier points are sorted by
   // ascending power/performance.
+  const double z = power_risk_z(options_);
   const auto& points = frontier.points();
   for (std::size_t i = points.size(); i-- > 0;) {
     const auto& point = points[i];
     const double sigma =
         prediction_->per_config[point.config_index].power_sigma;
-    if (point.power_w + options_.risk_aversion * sigma <= cap_w) {
+    if (point.power_w + z * sigma <= cap_w) {
       return Choice{point.config_index, point.power_w, point.performance,
                     true};
     }
@@ -61,6 +78,7 @@ Scheduler::Choice Scheduler::select_goal(SchedulingGoal goal,
   // Energy-style objectives: both are minimized on the frontier (any
   // dominated point has >= power and <= performance than some frontier
   // point, hence >= energy and >= EDP).
+  const double z = power_risk_z(options_);
   const auto& points = prediction_->frontier.points();
   std::optional<Choice> best;
   double best_cost = 0.0;
@@ -68,7 +86,7 @@ Scheduler::Choice Scheduler::select_goal(SchedulingGoal goal,
     if (cap_w.has_value()) {
       const double sigma =
           prediction_->per_config[point.config_index].power_sigma;
-      if (point.power_w + options_.risk_aversion * sigma > *cap_w) {
+      if (point.power_w + z * sigma > *cap_w) {
         continue;
       }
     }

@@ -25,12 +25,41 @@ enum class SchedulingGoal {
 
 const char* to_string(SchedulingGoal goal);
 
+/// How selection treats predictive uncertainty near the power cap.
+struct SelectionPolicy {
+  enum class Kind {
+    /// Paper behaviour: compare the predicted mean power against the cap.
+    PointEstimate,
+    /// Risk-averse (§VI variance-aware extension): pick the best
+    /// performing configuration whose *upper-confidence* power
+    /// mean + z * sigma stays under the cap. z is the one-sided
+    /// confidence multiplier (1.64 ≈ 95%).
+    UpperConfidence,
+  };
+  Kind kind = Kind::PointEstimate;
+  /// Sigma multiplier; only read under UpperConfidence.
+  double z = 1.0;
+
+  static SelectionPolicy point_estimate() { return SelectionPolicy{}; }
+  static SelectionPolicy upper_confidence(double z_score) {
+    return SelectionPolicy{Kind::UpperConfidence, z_score};
+  }
+};
+
+const char* to_string(SelectionPolicy::Kind kind);
+
 struct SchedulerOptions {
-  /// Risk aversion (the §VI variance-aware extension): require
-  /// predicted power + risk_aversion * power_sigma <= cap. Zero matches
-  /// the paper's system.
+  /// Uncertainty treatment of the power-cap comparison.
+  SelectionPolicy policy;
+  /// Legacy knob predating SelectionPolicy: with `policy` at its
+  /// PointEstimate default, a nonzero value behaves exactly like
+  /// SelectionPolicy::upper_confidence(risk_aversion). Prefer `policy`.
   double risk_aversion = 0.0;
 };
+
+/// The effective one-sided multiplier on predicted power sigma the
+/// scheduler applies against the cap (0 under a pure point estimate).
+double power_risk_z(const SchedulerOptions& options);
 
 class Scheduler {
  public:

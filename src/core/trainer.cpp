@@ -17,23 +17,23 @@ namespace acsel::core {
 
 namespace {
 
-/// Fits one cluster's power and performance regressions from its member
-/// kernels' full characterizations.
-ClusterModel fit_cluster(
-    std::span<const KernelCharacterization> kernels,
-    const std::vector<std::size_t>& members, const hw::ConfigSpace& space,
-    const TrainerOptions& options) {
-  const std::size_t n_configs = space.size();
-
-  // Row counts: every member contributes one power row per configuration
-  // and one performance row per configuration of the matching device.
+/// The per-cluster training rows both estimator families fit on: every
+/// member kernel contributes one power row per configuration and one
+/// relative-performance row per configuration of the matching device.
+struct ClusterRows {
   std::vector<std::vector<double>> power_rows;
   std::vector<double> power_y;
   std::vector<std::vector<double>> cpu_rows;
   std::vector<double> cpu_y;
   std::vector<std::vector<double>> gpu_rows;
   std::vector<double> gpu_y;
+};
 
+ClusterRows collect_cluster_rows(
+    std::span<const KernelCharacterization> kernels,
+    const std::vector<std::size_t>& members, const hw::ConfigSpace& space) {
+  ClusterRows rows;
+  const std::size_t n_configs = space.size();
   for (const std::size_t member : members) {
     const KernelCharacterization& kernel = kernels[member];
     const double s_perf_cpu = kernel.samples.cpu.performance();
@@ -42,30 +42,40 @@ ClusterModel fit_cluster(
       const hw::Configuration& config = space.at(i);
       const profile::KernelRecord& record = kernel.per_config[i];
 
-      power_rows.push_back(power_features(config, kernel.samples));
-      power_y.push_back(record.total_power_w());
+      rows.power_rows.push_back(power_features(config, kernel.samples));
+      rows.power_y.push_back(record.total_power_w());
 
       const auto pf = perf_features(config);
       if (config.device == hw::Device::Cpu) {
-        cpu_rows.push_back(pf);
-        cpu_y.push_back(record.performance() / s_perf_cpu);
+        rows.cpu_rows.push_back(pf);
+        rows.cpu_y.push_back(record.performance() / s_perf_cpu);
       } else {
-        gpu_rows.push_back(pf);
-        gpu_y.push_back(record.performance() / s_perf_gpu);
+        rows.gpu_rows.push_back(pf);
+        rows.gpu_y.push_back(record.performance() / s_perf_gpu);
       }
     }
   }
+  return rows;
+}
 
-  const auto to_matrix = [](const std::vector<std::vector<double>>& rows) {
-    ACSEL_CHECK(!rows.empty());
-    linalg::Matrix m{rows.size(), rows.front().size()};
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      for (std::size_t c = 0; c < rows[r].size(); ++c) {
-        m(r, c) = rows[r][c];
-      }
+linalg::Matrix to_matrix(const std::vector<std::vector<double>>& rows) {
+  ACSEL_CHECK(!rows.empty());
+  linalg::Matrix m{rows.size(), rows.front().size()};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      m(r, c) = rows[r][c];
     }
-    return m;
-  };
+  }
+  return m;
+}
+
+/// Fits one cluster's power and performance regressions from its member
+/// kernels' full characterizations.
+ClusterModel fit_cluster(
+    std::span<const KernelCharacterization> kernels,
+    const std::vector<std::size_t>& members, const hw::ConfigSpace& space,
+    const TrainerOptions& options) {
+  const ClusterRows rows = collect_cluster_rows(kernels, members, space);
 
   linalg::RegressionOptions power_opts;
   power_opts.intercept = true;
@@ -80,16 +90,45 @@ ClusterModel fit_cluster(
   perf_opts.ridge = options.ridge;
 
   ClusterModel model;
-  model.power =
-      linalg::LinearModel::fit(to_matrix(power_rows), power_y, power_opts);
+  model.power = linalg::LinearModel::fit(to_matrix(rows.power_rows),
+                                         rows.power_y, power_opts);
   model.perf_cpu =
-      linalg::LinearModel::fit(to_matrix(cpu_rows), cpu_y, perf_opts);
+      linalg::LinearModel::fit(to_matrix(rows.cpu_rows), rows.cpu_y,
+                               perf_opts);
   model.perf_gpu =
-      linalg::LinearModel::fit(to_matrix(gpu_rows), gpu_y, perf_opts);
+      linalg::LinearModel::fit(to_matrix(rows.gpu_rows), rows.gpu_y,
+                               perf_opts);
   return model;
 }
 
+/// Fits one cluster's GP surrogates on the same rows the linear models
+/// see.
+GpPredictor::ClusterSurrogate fit_cluster_gp(
+    std::span<const KernelCharacterization> kernels,
+    const std::vector<std::size_t>& members, const hw::ConfigSpace& space,
+    const TrainerOptions& options) {
+  const ClusterRows rows = collect_cluster_rows(kernels, members, space);
+  GpPredictor::ClusterSurrogate surrogate;
+  surrogate.power = GpRegressor::fit(to_matrix(rows.power_rows), rows.power_y,
+                                     options.gp, options.gp_max_rows);
+  surrogate.perf_cpu = GpRegressor::fit(to_matrix(rows.cpu_rows), rows.cpu_y,
+                                        options.gp, options.gp_max_rows);
+  surrogate.perf_gpu = GpRegressor::fit(to_matrix(rows.gpu_rows), rows.gpu_y,
+                                        options.gp, options.gp_max_rows);
+  return surrogate;
+}
+
 }  // namespace
+
+const char* to_string(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::ClusterCart:
+      return "cluster-cart";
+    case PredictorKind::GaussianProcess:
+      return "gp-sqexp";
+  }
+  return "?";
+}
 
 TrainingResult train(std::span<const KernelCharacterization> kernels,
                      const TrainerOptions& options,
@@ -189,6 +228,49 @@ TrainingResult train(std::span<const KernelCharacterization> kernels,
   return TrainingResult{TrainedModel{std::move(cluster_models),
                                      std::move(tree)},
                         std::move(report)};
+}
+
+PredictorTraining train_predictor(
+    std::span<const KernelCharacterization> kernels,
+    const TrainerOptions& options, exec::Executor& executor) {
+  // The clustering, classification tree, and diagnostics are shared by
+  // every family; the per-cluster estimators differ.
+  TrainingResult base = train(kernels, options, executor);
+  if (options.predictor == PredictorKind::ClusterCart) {
+    return PredictorTraining{make_predictor(std::move(base.model)),
+                             std::move(base.report)};
+  }
+
+  const hw::ConfigSpace space;
+  std::vector<std::vector<std::size_t>> members(options.clusters);
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    members[base.report.clustering.assignment[i]].push_back(i);
+  }
+  std::vector<std::optional<GpPredictor::ClusterSurrogate>> slots(
+      options.clusters);
+  {
+    ACSEL_OBS_SPAN("train.gp_fits", "trainer");
+    exec::TaskGroup group{executor};
+    for (std::size_t c = 0; c < options.clusters; ++c) {
+      group.spawn([&, c] {
+        ACSEL_OBS_SPAN("train.gp", "trainer");
+        slots[c].emplace(fit_cluster_gp(kernels, members[c], space, options));
+      });
+    }
+    group.wait();
+  }
+  std::vector<GpPredictor::ClusterSurrogate> surrogates;
+  surrogates.reserve(options.clusters);
+  for (std::size_t c = 0; c < options.clusters; ++c) {
+    surrogates.push_back(std::move(*slots[c]));
+  }
+  ACSEL_LOG_INFO("trained GP surrogate: " << options.clusters
+                                          << " clusters from "
+                                          << kernels.size() << " kernels");
+  return PredictorTraining{
+      std::make_shared<const GpPredictor>(std::move(surrogates),
+                                          stats::Cart{base.model.tree()}),
+      std::move(base.report)};
 }
 
 }  // namespace acsel::core

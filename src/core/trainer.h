@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "core/characterization.h"
+#include "core/gp_model.h"
 #include "core/model.h"
+#include "core/predictor.h"
 #include "exec/executor.h"
 #include "linalg/regression.h"
 #include "pareto/dissimilarity.h"
@@ -18,6 +20,15 @@
 #include "stats/pam.h"
 
 namespace acsel::core {
+
+/// Predictor family train_predictor() fits. Both share the clustering and
+/// classification-tree pipeline; they differ in the per-cluster estimator.
+enum class PredictorKind {
+  ClusterCart,      ///< the paper's linear regressions (TrainedModel)
+  GaussianProcess,  ///< GP surrogate with predictive variance (GpPredictor)
+};
+
+const char* to_string(PredictorKind kind);
 
 struct TrainerOptions {
   /// Number of kernel clusters. "We found empirically that five clusters
@@ -35,6 +46,13 @@ struct TrainerOptions {
   /// dissimilarity (see pareto/dissimilarity.h; ablated in
   /// bench/ablation_cluster_count).
   pareto::DissimilarityOptions dissimilarity;
+  /// Which predictor family train_predictor() fits; train() always
+  /// produces the ClusterCart model.
+  PredictorKind predictor = PredictorKind::ClusterCart;
+  /// GP surrogate knobs (GaussianProcess only).
+  GpHyperparams gp;
+  /// Per-GP training-row cap; rows beyond it are strided down.
+  std::size_t gp_max_rows = 256;
 };
 
 /// Diagnostics from a training run, for the benches and examples.
@@ -64,5 +82,20 @@ struct TrainingResult {
 TrainingResult train(std::span<const KernelCharacterization> kernels,
                      const TrainerOptions& options = {},
                      exec::Executor& executor = exec::inline_executor());
+
+/// A trained predictor of the requested family plus the shared pipeline
+/// diagnostics.
+struct PredictorTraining {
+  PredictorPtr predictor;
+  TrainingReport report;
+};
+
+/// Interface-level training entry point: runs the shared clustering +
+/// classification pipeline, then fits the per-cluster estimator family
+/// selected by options.predictor. Deterministic like train().
+PredictorTraining train_predictor(
+    std::span<const KernelCharacterization> kernels,
+    const TrainerOptions& options = {},
+    exec::Executor& executor = exec::inline_executor());
 
 }  // namespace acsel::core

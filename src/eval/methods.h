@@ -60,7 +60,7 @@ struct MethodOptions {
 
 /// Runs `method` on `instance` under `cap_w` and measures the outcome.
 /// `prediction` is required for Model and Model+FL (it is the output of
-/// TrainedModel::predict on the kernel's two sample runs) and ignored for
+/// Predictor::predict on the kernel's two sample runs) and ignored for
 /// the frequency-limiting baselines.
 MethodOutcome run_method(soc::Machine& machine,
                          const workloads::WorkloadInstance& instance,

@@ -64,8 +64,9 @@ EvaluationResult run_loocv_characterized(
         for (const std::size_t i : fold.train) {
           training.push_back(characterizations[i]);
         }
-        const core::TrainedModel model =
-            core::train(training, options.trainer, context.executor).model;
+        const core::PredictorPtr model =
+            core::train_predictor(training, options.trainer, context.executor)
+                .predictor;
         ACSEL_LOG_INFO("LOOCV fold: held out "
                        << characterizations[fold.test.front()].benchmark
                        << ", " << fold.train.size() << " training kernels");
@@ -84,7 +85,7 @@ EvaluationResult run_loocv_characterized(
               // The online stage: two sample runs -> cluster ->
               // predictions.
               const core::Prediction prediction =
-                  model.predict(characterization.samples);
+                  model->predict(characterization.samples);
 
               std::vector<CaseResult> cases;
               for (const double cap_w : oracle.constraints()) {

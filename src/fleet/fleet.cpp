@@ -119,12 +119,7 @@ void Fleet::stop() {
   }
 }
 
-std::uint64_t Fleet::publish(core::TrainedModel model) {
-  return publish(std::make_shared<const core::TrainedModel>(std::move(model)));
-}
-
-std::uint64_t Fleet::publish(
-    std::shared_ptr<const core::TrainedModel> model) {
+std::uint64_t Fleet::publish(core::PredictorPtr model) {
   ACSEL_CHECK_MSG(model != nullptr, "fleet: cannot publish a null model");
   const std::uint64_t version =
       version_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -144,9 +139,8 @@ std::uint64_t Fleet::publish(
   return version;
 }
 
-void Fleet::adopt_on_replica(
-    Replica& replica, std::uint64_t version,
-    const std::shared_ptr<const core::TrainedModel>& model) {
+void Fleet::adopt_on_replica(Replica& replica, std::uint64_t version,
+                             const core::PredictorPtr& model) {
   try {
     replica.registry.adopt_model(version, model);
   } catch (const Error& error) {
@@ -558,7 +552,7 @@ void Fleet::revive_node(NodeId node) {
   // Catch the rejoining node up to the fleet's current model. The skew
   // guard makes this safe to race with a concurrent publish: whichever
   // version is newer wins, the older adopt is refused.
-  std::shared_ptr<const core::TrainedModel> model;
+  core::PredictorPtr model;
   {
     std::lock_guard<std::mutex> lock{model_mu_};
     model = current_model_;

@@ -46,7 +46,7 @@
 #include <span>
 #include <vector>
 
-#include "core/model.h"
+#include "core/predictor.h"
 #include "exec/executor.h"
 #include "fleet/budget.h"
 #include "obs/series.h"
@@ -143,8 +143,7 @@ class Fleet {
   /// Publishes a model fleet-wide under the next fleet version: every
   /// non-failed replica adopts it through its registry's version-skew
   /// guard. Returns the fleet version assigned.
-  std::uint64_t publish(core::TrainedModel model);
-  std::uint64_t publish(std::shared_ptr<const core::TrainedModel> model);
+  std::uint64_t publish(core::PredictorPtr model);
 
   /// Routes, fans out, votes, and returns the verdict. Always returns a
   /// response; unroutable requests come back status Shed.
@@ -261,7 +260,7 @@ class Fleet {
                     const serve::SelectRequest& request);
 
   void adopt_on_replica(Replica& replica, std::uint64_t version,
-                        const std::shared_ptr<const core::TrainedModel>& model);
+                        const core::PredictorPtr& model);
 
   FleetOptions options_;
   HashRing ring_;
@@ -273,7 +272,7 @@ class Fleet {
   std::vector<std::unique_ptr<ShardGroup>> shards_;
   std::atomic<std::uint64_t> version_{0};
   mutable std::mutex model_mu_;
-  std::shared_ptr<const core::TrainedModel> current_model_;  // model_mu_
+  core::PredictorPtr current_model_;  // model_mu_
   std::uint64_t ticks_ = 0;
   /// Per-tick latency window backing the fleet.window_p99_us gauge
   /// (reset every tick, unlike the cumulative fleet.latency histogram).

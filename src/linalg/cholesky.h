@@ -1,0 +1,46 @@
+// Cholesky factorization of symmetric positive-definite matrices.
+//
+// The numerical core behind the Gaussian-process surrogate predictor: a
+// GP posterior needs K = L Lᵀ once per fit, then one forward/back
+// substitution per training solve and one forward substitution per
+// predictive variance. Kernel matrices are SPD by construction (plus a
+// noise term on the diagonal), so Cholesky is both the fastest and the
+// most numerically honest factorization here — a failed pivot means the
+// kernel matrix genuinely is not positive definite.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace acsel::linalg {
+
+class CholeskyFactorization {
+ public:
+  /// Factorizes symmetric positive-definite `a` (only the lower triangle
+  /// is read). Throws acsel::Error when a pivot is not strictly positive
+  /// — the matrix is not (numerically) positive definite.
+  explicit CholeskyFactorization(const Matrix& a);
+
+  std::size_t size() const { return l_.rows(); }
+
+  /// The lower-triangular factor L with A = L Lᵀ.
+  const Matrix& l() const { return l_; }
+
+  /// Solves A x = b (forward then back substitution). b.size() == size().
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves L y = b (forward substitution only) — the half-solve whose
+  /// squared norm is the GP predictive-variance reduction kᵀ K⁻¹ k.
+  std::vector<double> solve_lower(std::span<const double> b) const;
+
+  /// log det A = 2 Σ log l_ii (the GP log-marginal-likelihood ingredient).
+  double log_determinant() const;
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace acsel::linalg

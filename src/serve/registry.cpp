@@ -7,13 +7,7 @@
 
 namespace acsel::serve {
 
-std::uint64_t ModelRegistry::publish(core::TrainedModel model) {
-  return publish(
-      std::make_shared<const core::TrainedModel>(std::move(model)));
-}
-
-std::uint64_t ModelRegistry::publish(
-    std::shared_ptr<const core::TrainedModel> model) {
+std::uint64_t ModelRegistry::publish(core::PredictorPtr model) {
   ACSEL_CHECK_MSG(model != nullptr, "cannot publish a null model");
   std::uint64_t version = 0;
   {
@@ -38,12 +32,12 @@ std::uint64_t ModelRegistry::publish(
 }
 
 std::uint64_t ModelRegistry::publish_file(const std::string& path) {
-  return publish(core::TrainedModel::load_shared(path));
+  return publish(core::load_predictor(path));
 }
 
-std::uint64_t ModelRegistry::adopt_model(
-    std::uint64_t version, std::shared_ptr<const core::TrainedModel> model,
-    bool allow_rollback) {
+std::uint64_t ModelRegistry::adopt_model(std::uint64_t version,
+                                         core::PredictorPtr model,
+                                         bool allow_rollback) {
   ACSEL_CHECK_MSG(model != nullptr, "cannot adopt a null model");
   ACSEL_CHECK_MSG(version >= 1, "adopted versions start at 1");
   {
@@ -87,15 +81,6 @@ std::uint64_t ModelRegistry::adopt_model(
   return version;
 }
 
-std::uint64_t ModelRegistry::adopt_model(std::uint64_t version,
-                                         core::TrainedModel model,
-                                         bool allow_rollback) {
-  return adopt_model(version,
-                     std::make_shared<const core::TrainedModel>(
-                         std::move(model)),
-                     allow_rollback);
-}
-
 VersionedModel ModelRegistry::current() const {
   std::lock_guard<std::mutex> lock{mu_};
   if (history_.empty()) {
@@ -104,8 +89,7 @@ VersionedModel ModelRegistry::current() const {
   return history_[current_index_];
 }
 
-std::shared_ptr<const core::TrainedModel> ModelRegistry::get(
-    std::uint64_t version) const {
+core::PredictorPtr ModelRegistry::get(std::uint64_t version) const {
   std::lock_guard<std::mutex> lock{mu_};
   for (const VersionedModel& entry : history_) {
     if (entry.version == version) {

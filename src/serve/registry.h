@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/model.h"
+#include "core/predictor.h"
 
 namespace acsel::serve {
 
@@ -23,7 +23,7 @@ namespace acsel::serve {
 /// only in the "nothing published yet" current() result (version 0).
 struct VersionedModel {
   std::uint64_t version = 0;
-  std::shared_ptr<const core::TrainedModel> model;
+  core::PredictorPtr model;
 };
 
 struct RegistryOptions {
@@ -42,12 +42,11 @@ class ModelRegistry {
 
   /// Publishes a model as the new current version; returns its version.
   /// Versions are assigned 1, 2, 3, ... in publish order.
-  std::uint64_t publish(core::TrainedModel model);
-  std::uint64_t publish(std::shared_ptr<const core::TrainedModel> model);
+  std::uint64_t publish(core::PredictorPtr model);
 
-  /// Loads a serialized model from disk (the retrain hand-off path:
-  /// trainer writes with TrainedModel::save, server picks it up here
-  /// without restarting) and publishes it.
+  /// Loads a serialized model from disk (the retrain hand-off path: a
+  /// trainer writes with Predictor::save, the server picks it up here
+  /// without restarting — any registered predictor kind) and publishes it.
   std::uint64_t publish_file(const std::string& path);
 
   /// Adopts a model under an *externally assigned* version — the fleet
@@ -59,17 +58,14 @@ class ModelRegistry {
   /// one. Re-adopting the current version is an idempotent no-op.
   /// Adopted versions and publish() versions share one ordered history;
   /// publish() after adopt_model(v) assigns v+1.
-  std::uint64_t adopt_model(std::uint64_t version,
-                            std::shared_ptr<const core::TrainedModel> model,
-                            bool allow_rollback = false);
-  std::uint64_t adopt_model(std::uint64_t version, core::TrainedModel model,
+  std::uint64_t adopt_model(std::uint64_t version, core::PredictorPtr model,
                             bool allow_rollback = false);
 
   /// The current serving version; {0, nullptr} before the first publish.
   VersionedModel current() const;
 
   /// The model published as `version`, or nullptr if unknown.
-  std::shared_ptr<const core::TrainedModel> get(std::uint64_t version) const;
+  core::PredictorPtr get(std::uint64_t version) const;
 
   /// The version published immediately before `version` (publish order),
   /// or {0, nullptr} when `version` is unknown or the oldest — the

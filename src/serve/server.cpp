@@ -53,7 +53,7 @@ const char* to_string(ResponseStatus status) {
   return "?";
 }
 
-SelectResponse serve_with_model(const core::TrainedModel& model,
+SelectResponse serve_with_model(const core::Predictor& model,
                                 std::uint64_t model_version,
                                 const SelectRequest& request,
                                 const core::SchedulerOptions& scheduler) {

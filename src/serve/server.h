@@ -131,7 +131,7 @@ class Server {
 /// Serves one request against a specific model — the single-threaded
 /// reference semantics the concurrent server must reproduce byte for
 /// byte. Exposed so tests and clients can verify responses independently.
-SelectResponse serve_with_model(const core::TrainedModel& model,
+SelectResponse serve_with_model(const core::Predictor& model,
                                 std::uint64_t model_version,
                                 const SelectRequest& request,
                                 const core::SchedulerOptions& scheduler);

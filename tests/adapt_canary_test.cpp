@@ -66,12 +66,12 @@ class AdaptCanaryTest : public ::testing::Test {
         characterize_some(machine, suite, 12, false)};
     shifted_ = new std::vector<core::KernelCharacterization>{
         characterize_some(machine, suite, 12, true)};
-    clean_model_ = new core::TrainedModel{core::train(*clean_).model};
-    shifted_model_ = new core::TrainedModel{core::train(*shifted_).model};
+    clean_model_ = core::make_predictor(core::train(*clean_).model);
+    shifted_model_ = core::make_predictor(core::train(*shifted_).model);
   }
   static void TearDownTestSuite() {
-    delete shifted_model_;
-    delete clean_model_;
+    shifted_model_.reset();
+    clean_model_.reset();
     delete shifted_;
     delete clean_;
   }
@@ -82,7 +82,7 @@ class AdaptCanaryTest : public ::testing::Test {
   /// measurement comes back from the world `truth` describes. Before the
   /// shift `profile` and `truth` are the same characterization.
   static adapt::Feedback feedback_for(
-      const core::TrainedModel& model,
+      const core::Predictor& model,
       const core::KernelCharacterization& profile,
       const core::KernelCharacterization& truth) {
     const core::Prediction prediction = model.predict(profile.samples);
@@ -102,7 +102,7 @@ class AdaptCanaryTest : public ::testing::Test {
 
   /// Mean capped selection error of `model` over `truths`.
   static double mean_error(
-      const core::TrainedModel& model,
+      const core::Predictor& model,
       const std::vector<core::KernelCharacterization>& truths) {
     double sum = 0.0;
     for (const auto& truth : truths) {
@@ -115,14 +115,14 @@ class AdaptCanaryTest : public ::testing::Test {
 
   static std::vector<core::KernelCharacterization>* clean_;
   static std::vector<core::KernelCharacterization>* shifted_;
-  static core::TrainedModel* clean_model_;
-  static core::TrainedModel* shifted_model_;
+  static core::PredictorPtr clean_model_;
+  static core::PredictorPtr shifted_model_;
 };
 
 std::vector<core::KernelCharacterization>* AdaptCanaryTest::clean_ = nullptr;
 std::vector<core::KernelCharacterization>* AdaptCanaryTest::shifted_ = nullptr;
-core::TrainedModel* AdaptCanaryTest::clean_model_ = nullptr;
-core::TrainedModel* AdaptCanaryTest::shifted_model_ = nullptr;
+core::PredictorPtr AdaptCanaryTest::clean_model_;
+core::PredictorPtr AdaptCanaryTest::shifted_model_;
 
 TEST_F(AdaptCanaryTest, TheShiftActuallyDegradesTheCleanModel) {
   // Sanity anchor for everything below: the clean model selects well in
@@ -137,7 +137,7 @@ TEST_F(AdaptCanaryTest, TheShiftActuallyDegradesTheCleanModel) {
 TEST_F(AdaptCanaryTest, CanaryRejectsCorruptAcceptsGoodCandidate) {
   obs::Registry metrics;
   serve::ModelRegistry registry;
-  registry.publish(*clean_model_);
+  registry.publish(clean_model_);
 
   adapt::AdaptOptions options;
   options.metrics = &metrics;
@@ -160,8 +160,7 @@ TEST_F(AdaptCanaryTest, CanaryRejectsCorruptAcceptsGoodCandidate) {
 
   // A candidate retrained on the shifted world beats the stale incumbent
   // by margin on shifted traffic and is promoted.
-  controller.begin_canary(
-      std::make_shared<const core::TrainedModel>(*shifted_model_));
+  controller.begin_canary(shifted_model_);
   for (std::size_t i = 0; i < shifted_->size(); ++i) {
     controller.observe(
         feedback_for(*clean_model_, (*clean_)[i], (*shifted_)[i]));
@@ -188,7 +187,7 @@ struct LoopOutcome {
 LoopOutcome run_shift_loop(
     const std::vector<core::KernelCharacterization>& clean,
     const std::vector<core::KernelCharacterization>& shifted,
-    const core::TrainedModel& clean_model, exec::Executor& executor) {
+    const core::PredictorPtr& clean_model, exec::Executor& executor) {
   obs::Registry metrics;
   serve::ModelRegistry registry{{.retain_limit = 4}};
   registry.publish(clean_model);
@@ -258,7 +257,7 @@ LoopOutcome run_shift_loop(
 
 TEST_F(AdaptCanaryTest, EndToEndDriftRetrainCanaryPromote) {
   const LoopOutcome outcome =
-      run_shift_loop(*clean_, *shifted_, *clean_model_,
+      run_shift_loop(*clean_, *shifted_, clean_model_,
                      exec::inline_executor());
   EXPECT_GE(outcome.stats.drift_events, 1u);
   EXPECT_GE(outcome.stats.retrains, 1u);
@@ -280,11 +279,11 @@ TEST_F(AdaptCanaryTest, EndToEndDriftRetrainCanaryPromote) {
 
 TEST_F(AdaptCanaryTest, LoopIsDeterministicUnderAFixedSeed) {
   const LoopOutcome first =
-      run_shift_loop(*clean_, *shifted_, *clean_model_,
+      run_shift_loop(*clean_, *shifted_, clean_model_,
                      exec::inline_executor());
   exec::ThreadPool pool{2};
   const LoopOutcome second =
-      run_shift_loop(*clean_, *shifted_, *clean_model_, pool);
+      run_shift_loop(*clean_, *shifted_, clean_model_, pool);
   // Identical decision sequence and identical promoted model, serial or
   // pooled: every decision is a pure function of the observation stream.
   EXPECT_EQ(first.stats, second.stats);
@@ -296,7 +295,7 @@ TEST_F(AdaptCanaryTest, LoopIsDeterministicUnderAFixedSeed) {
 TEST_F(AdaptCanaryTest, ServingIsNotBlockedByABackgroundRetrain) {
   obs::Registry metrics;
   serve::ModelRegistry registry;
-  registry.publish(*clean_model_);
+  registry.publish(clean_model_);
 
   // Enough seed data to make the retrain take real wall-clock time, so
   // the serving-while-retraining window below is reliably observable.
@@ -396,7 +395,7 @@ TEST_F(AdaptCanaryTest, ServingIsNotBlockedByABackgroundRetrain) {
 
 TEST_F(AdaptCanaryTest, FeedbackWithoutASinkIsUnsupported) {
   serve::ModelRegistry registry;
-  registry.publish(*clean_model_);
+  registry.publish(clean_model_);
   serve::Server server{registry, {}};
   serve::FeedbackRequest request;
   request.request_id = 3;
@@ -421,7 +420,7 @@ TEST_F(AdaptCanaryTest, FeedbackWithoutASinkIsUnsupported) {
 TEST_F(AdaptCanaryTest, ServedRequestsFeedTheShadowCanary) {
   obs::Registry metrics;
   serve::ModelRegistry registry;
-  registry.publish(*clean_model_);
+  registry.publish(clean_model_);
 
   adapt::AdaptOptions options;
   options.metrics = &metrics;
@@ -432,8 +431,7 @@ TEST_F(AdaptCanaryTest, ServedRequestsFeedTheShadowCanary) {
   serve::Server server{registry, {}};
   server.set_adapt_sink(&controller);
 
-  controller.begin_canary(
-      std::make_shared<const core::TrainedModel>(*shifted_model_));
+  controller.begin_canary(shifted_model_);
   serve::SelectRequest request;
   request.request_id = 1;
   request.cap_w = kCapW;
@@ -453,7 +451,7 @@ TEST_F(AdaptCanaryTest, AdoptModelRepredictsTrackedKernels) {
   options.on_feedback = [&](const core::PredictionFeedback& feedback) {
     feedbacks.push_back(feedback);
   };
-  core::OnlineRuntime runtime{machine, *clean_model_, options};
+  core::OnlineRuntime runtime{machine, clean_model_, options};
   const auto& instance = suite.instances().front();
   const core::KernelKey key{instance.kernel, "main", 10};
   for (int i = 0; i < 6; ++i) {
@@ -470,7 +468,7 @@ TEST_F(AdaptCanaryTest, AdoptModelRepredictsTrackedKernels) {
 
   // Hot-swap to the shifted model: the tracked kernel is re-predicted
   // from its retained samples without re-sampling, and keeps serving.
-  EXPECT_EQ(runtime.adopt_model(*shifted_model_), 1u);
+  EXPECT_EQ(runtime.adopt_model(shifted_model_), 1u);
   EXPECT_EQ(runtime.phase(key), core::OnlineRuntime::Phase::Scheduled);
   ASSERT_TRUE(runtime.scheduled_config(key).has_value());
   const std::size_t before = feedbacks.size();

@@ -18,6 +18,10 @@
 #include "adapt/promoter.h"
 #include "adapt/reservoir.h"
 #include "core/model.h"
+#include "core/predictor.h"
+#include "hw/config_space.h"
+#include "pareto/frontier.h"
+#include "profile/record.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
 #include "serve/registry.h"
@@ -248,7 +252,7 @@ TEST(ReservoirTest, ClearRestartsTheStream) {
 TEST(RegistryRetentionTest, UnboundedByDefault) {
   serve::ModelRegistry registry;
   for (int i = 0; i < 10; ++i) {
-    registry.publish(core::TrainedModel{});
+    registry.publish(core::make_predictor(core::TrainedModel{}));
   }
   EXPECT_EQ(registry.version_count(), 10u);
   EXPECT_EQ(registry.pruned(), 0u);
@@ -257,7 +261,7 @@ TEST(RegistryRetentionTest, UnboundedByDefault) {
 TEST(RegistryRetentionTest, RetainLimitPrunesOldestVersions) {
   serve::ModelRegistry registry{{.retain_limit = 3}};
   for (int i = 0; i < 8; ++i) {
-    registry.publish(core::TrainedModel{});
+    registry.publish(core::make_predictor(core::TrainedModel{}));
   }
   EXPECT_EQ(registry.version_count(), 3u);
   EXPECT_EQ(registry.pruned(), 5u);
@@ -271,7 +275,7 @@ TEST(RegistryRetentionTest, RetainLimitPrunesOldestVersions) {
 TEST(RegistryRetentionTest, RollbackTargetSurvivesPruning) {
   serve::ModelRegistry registry{{.retain_limit = 2}};
   for (int i = 0; i < 6; ++i) {
-    registry.publish(core::TrainedModel{});
+    registry.publish(core::make_predictor(core::TrainedModel{}));
   }
   EXPECT_EQ(registry.version_count(), 2u);
   // previous_of(current) was never pruned, so rollback still works.
@@ -283,7 +287,7 @@ TEST(RegistryRetentionTest, RollbackTargetSurvivesPruning) {
 TEST(RegistryRetentionTest, LimitsBelowTwoAreClampedToTwo) {
   serve::ModelRegistry registry{{.retain_limit = 1}};
   for (int i = 0; i < 5; ++i) {
-    registry.publish(core::TrainedModel{});
+    registry.publish(core::make_predictor(core::TrainedModel{}));
   }
   // A limit of 1 would prune the rollback target; it is treated as 2.
   EXPECT_EQ(registry.version_count(), 2u);
@@ -292,12 +296,12 @@ TEST(RegistryRetentionTest, LimitsBelowTwoAreClampedToTwo) {
 
 TEST(RegistryRetentionTest, RolledBackCurrentIsNeverPruned) {
   serve::ModelRegistry registry{{.retain_limit = 2}};
-  registry.publish(core::TrainedModel{});
-  registry.publish(core::TrainedModel{});
+  registry.publish(core::make_predictor(core::TrainedModel{}));
+  registry.publish(core::make_predictor(core::TrainedModel{}));
   registry.rollback();  // current is now the *older* of the two
   ASSERT_EQ(registry.current().version, 1u);
   // Publishing more versions prunes history, but never past current.
-  registry.publish(core::TrainedModel{});
+  registry.publish(core::make_predictor(core::TrainedModel{}));
   EXPECT_NE(registry.get(registry.current().version), nullptr);
   EXPECT_EQ(registry.current().version, 3u);
 }
@@ -310,7 +314,7 @@ std::shared_ptr<const core::TrainedModel> dummy_model() {
 
 TEST(PromoterTest, CleanProbationKeepsThePromotedModel) {
   serve::ModelRegistry registry;
-  registry.publish(core::TrainedModel{});  // v1: the incumbent
+  registry.publish(core::make_predictor(core::TrainedModel{}));  // v1: the incumbent
   adapt::Promoter promoter{registry,
                            {.probation_observations = 4, .rollback_margin = 0.1}};
   EXPECT_EQ(promoter.promote(dummy_model(), 0.2), 2u);
@@ -326,7 +330,7 @@ TEST(PromoterTest, CleanProbationKeepsThePromotedModel) {
 
 TEST(PromoterTest, BrokenPromiseRollsBack) {
   serve::ModelRegistry registry;
-  registry.publish(core::TrainedModel{});
+  registry.publish(core::make_predictor(core::TrainedModel{}));
   adapt::Promoter promoter{registry,
                            {.probation_observations = 4, .rollback_margin = 0.1}};
   promoter.promote(dummy_model(), 0.1);
@@ -342,12 +346,12 @@ TEST(PromoterTest, BrokenPromiseRollsBack) {
 
 TEST(PromoterTest, RollbackYieldsWhenCurrentMovedElsewhere) {
   serve::ModelRegistry registry;
-  registry.publish(core::TrainedModel{});
+  registry.publish(core::make_predictor(core::TrainedModel{}));
   adapt::Promoter promoter{registry, {.probation_observations = 2}};
   promoter.promote(dummy_model(), 0.0);
   // An operator publishes v3 mid-probation: the promoter must not yank
   // the registry out from under them.
-  registry.publish(core::TrainedModel{});
+  registry.publish(core::make_predictor(core::TrainedModel{}));
   for (int i = 0; i < 2; ++i) {
     EXPECT_FALSE(promoter.observe_live_error(1.0));
   }
@@ -369,7 +373,7 @@ TEST(PromoterTest, ColdStartPromotionHasNoRollbackTarget) {
 
 TEST(PromoterTest, NonFiniteErrorsAreIgnored) {
   serve::ModelRegistry registry;
-  registry.publish(core::TrainedModel{});
+  registry.publish(core::make_predictor(core::TrainedModel{}));
   adapt::Promoter promoter{registry, {.probation_observations = 2}};
   promoter.promote(dummy_model(), 0.0);
   EXPECT_FALSE(promoter.observe_live_error(std::nan("")));
@@ -436,6 +440,126 @@ TEST(CanaryTest, OptionsAreValidated) {
   EXPECT_THROW((adapt::CanaryEvaluator{nullptr, dummy_model(), {}}), Error);
 }
 
+// ---- variance gate ------------------------------------------------------
+
+/// A Predictor whose estimates are scripted: a (power, performance) ramp
+/// with a tunable power bias and one power sigma — enough to steer both
+/// the scheduler's choice and the canary's uncertainty accounting. A
+/// positive bias makes the stub overestimate power and select a slower
+/// configuration than the measured optimum (a real, nonzero error).
+class StubPredictor final : public core::Predictor {
+ public:
+  StubPredictor(double power_sigma, double power_bias_w)
+      : power_sigma_(power_sigma), power_bias_w_(power_bias_w) {}
+
+  std::string_view kind() const override { return "stub"; }
+  std::size_t cluster_count() const override { return 1; }
+  const hw::ConfigSpace& config_space() const override { return space_; }
+  std::size_t classify(const core::SamplePair&) const override { return 0; }
+
+  core::Prediction predict(const core::SamplePair&) const override {
+    core::Prediction prediction;
+    const std::size_t n = space_.size();
+    std::vector<double> power(n), perf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      power[i] = 10.0 + static_cast<double>(i) + power_bias_w_;
+      perf[i] = 100.0 + static_cast<double>(i);
+      prediction.per_config.push_back(
+          {power[i], perf[i], power_sigma_, 0.0});
+    }
+    prediction.frontier = pareto::ParetoFrontier::build(power, perf);
+    return prediction;
+  }
+
+  std::string serialize_body() const override { return ""; }
+
+ private:
+  double power_sigma_ = 0.0;
+  double power_bias_w_ = 0.0;
+  hw::ConfigSpace space_;
+};
+
+/// A truth whose measurements exactly match the stub's ramp: both models
+/// select oracle-equal configurations, so acceptance hinges purely on the
+/// margins under test.
+core::KernelCharacterization ramp_truth() {
+  core::KernelCharacterization truth;
+  const hw::ConfigSpace space;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    profile::KernelRecord record;
+    record.config = space.at(i);
+    record.cpu_power_w = 10.0 + static_cast<double>(i);
+    record.nbgpu_power_w = 0.0;
+    record.time_ms = 1000.0 / (100.0 + static_cast<double>(i));
+    truth.per_config.push_back(record);
+  }
+  return truth;
+}
+
+/// Drives one evaluator to a verdict against ramp_truth() under a 30 W
+/// cap (the candidate is unbiased, the incumbent overestimates power by
+/// 5 W, so the candidate beats it on selection error every round).
+adapt::CanaryVerdict run_ramp_canary(double candidate_sigma,
+                                     double incumbent_sigma,
+                                     const adapt::CanaryOptions& options) {
+  auto candidate =
+      std::make_shared<const StubPredictor>(candidate_sigma, 0.0);
+  auto incumbent =
+      std::make_shared<const StubPredictor>(incumbent_sigma, 5.0);
+  adapt::CanaryEvaluator canary{candidate, incumbent, options};
+  const core::KernelCharacterization truth = ramp_truth();
+  while (!canary.decided()) {
+    canary.offer_labelled(truth, 30.0, core::SchedulingGoal::MaxPerformance,
+                          {});
+  }
+  return canary.verdict();
+}
+
+TEST(CanaryTest, UncertainCandidateIsRejectedByTheVarianceGate) {
+  // The candidate wins on error but states a far wider power sigma than
+  // the incumbent — precisely the drift-risk shape the gate exists for.
+  adapt::CanaryOptions options;
+  options.shadow_fraction = 1.0;
+  options.min_evals = 4;
+  const adapt::CanaryVerdict verdict = run_ramp_canary(8.0, 0.5, options);
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, "too uncertain at selected configurations");
+  EXPECT_LT(verdict.candidate_error, verdict.incumbent_error);
+  EXPECT_DOUBLE_EQ(verdict.candidate_power_sigma, 8.0);
+  EXPECT_DOUBLE_EQ(verdict.incumbent_power_sigma, 0.5);
+}
+
+TEST(CanaryTest, CandidateWithinTheUncertaintyMarginIsAccepted) {
+  adapt::CanaryOptions options;
+  options.shadow_fraction = 1.0;
+  options.min_evals = 3;
+  // 2.0 <= 1.0 * (1 + 1.0) + 0.25 under the default margins.
+  const adapt::CanaryVerdict verdict = run_ramp_canary(2.0, 1.0, options);
+  EXPECT_TRUE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, "beat incumbent by margin");
+  EXPECT_DOUBLE_EQ(verdict.candidate_power_sigma, 2.0);
+  EXPECT_DOUBLE_EQ(verdict.incumbent_power_sigma, 1.0);
+}
+
+TEST(CanaryTest, NegativeUncertaintyMarginDisablesTheGate) {
+  adapt::CanaryOptions options;
+  options.shadow_fraction = 1.0;
+  options.min_evals = 3;
+  options.uncertainty_margin = -1.0;  // gate off
+  const adapt::CanaryVerdict verdict = run_ramp_canary(50.0, 0.1, options);
+  EXPECT_TRUE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, "beat incumbent by margin");
+}
+
+TEST(CanaryTest, SelectionQualityReportsTheSelectedConfigSigma) {
+  const StubPredictor stub{3.5, 0.0};
+  const adapt::SelectionQuality quality = adapt::selection_quality(
+      stub, ramp_truth(), 30.0, core::SchedulingGoal::MaxPerformance, {});
+  EXPECT_FALSE(quality.failed);
+  EXPECT_DOUBLE_EQ(quality.error, 0.0);
+  EXPECT_DOUBLE_EQ(quality.selected_power_sigma, 3.5);
+}
+
 // ---- AdaptController input guards --------------------------------------
 
 TEST(AdaptControllerTest, ObservationsWithoutAModelAreCountedOnly) {
@@ -488,7 +612,7 @@ TEST(AdaptControllerTest, BeginCanaryRequiresAnIncumbent) {
                                     options};
   EXPECT_THROW(controller.begin_canary(nullptr), Error);
   EXPECT_THROW(controller.begin_canary(dummy_model()), Error);  // no incumbent
-  registry.publish(core::TrainedModel{});
+  registry.publish(core::make_predictor(core::TrainedModel{}));
   controller.begin_canary(dummy_model());
   EXPECT_TRUE(controller.canary_active());
   EXPECT_THROW(controller.begin_canary(dummy_model()), Error);  // one at a time

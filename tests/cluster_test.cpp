@@ -21,14 +21,14 @@ class ClusterTest : public ::testing::Test {
     soc::Machine machine{soc::MachineSpec{}, 777};
     suite_ = new workloads::Suite{workloads::Suite::standard()};
     const auto training = eval::characterize(machine, *suite_);
-    model_ = new core::TrainedModel{core::train(training).model};
+    model_ = core::make_predictor(core::train(training).model);
   }
   static void TearDownTestSuite() {
-    delete model_;
+    model_.reset();
     delete suite_;
   }
   static workloads::Suite* suite_;
-  static core::TrainedModel* model_;
+  static core::PredictorPtr model_;
 
   Node::Work work(const std::string& id) {
     const auto& instance = suite_->instance(id);
@@ -40,11 +40,11 @@ class ClusterTest : public ::testing::Test {
   /// marginal-gain policy can exploit.
   std::vector<Node> two_nodes(double cap_each) {
     std::vector<Node> nodes;
-    nodes.emplace_back("gpu-friendly", 11, *model_,
+    nodes.emplace_back("gpu-friendly", 11, model_,
                        std::vector<Node::Work>{work("LU-Large/lud")},
                        cap_each);
     nodes.emplace_back(
-        "cpu-friendly", 13, *model_,
+        "cpu-friendly", 13, model_,
         std::vector<Node::Work>{work("CoMD-LJ/HaloExchange"),
                                 work("CoMD-LJ/RedistributeAtoms")},
         cap_each);
@@ -53,7 +53,7 @@ class ClusterTest : public ::testing::Test {
 };
 
 workloads::Suite* ClusterTest::suite_ = nullptr;
-core::TrainedModel* ClusterTest::model_ = nullptr;
+core::PredictorPtr ClusterTest::model_;
 
 // ------------------------------------------------------------------ node --
 

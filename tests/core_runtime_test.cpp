@@ -28,28 +28,28 @@ class RuntimeTest : public ::testing::Test {
             eval::characterize_instance(*machine_, instance));
       }
     }
-    model_ = new TrainedModel{train(training).model};
+    model_ = make_predictor(train(training).model);
   }
   static void TearDownTestSuite() {
-    delete model_;
+    model_.reset();
     delete suite_;
     delete machine_;
   }
 
   static soc::Machine* machine_;
   static workloads::Suite* suite_;
-  static TrainedModel* model_;
+  static PredictorPtr model_;
 
   OnlineRuntime make_runtime(double cap_w = 30.0) {
     OnlineRuntime::Options options;
     options.power_cap_w = cap_w;
-    return OnlineRuntime{*machine_, *model_, options};
+    return OnlineRuntime{*machine_, model_, options};
   }
 };
 
 soc::Machine* RuntimeTest::machine_ = nullptr;
 workloads::Suite* RuntimeTest::suite_ = nullptr;
-TrainedModel* RuntimeTest::model_ = nullptr;
+PredictorPtr RuntimeTest::model_;
 
 TEST_F(RuntimeTest, FirstTwoInvocationsAreSampleRuns) {
   auto runtime = make_runtime();
@@ -177,7 +177,7 @@ TEST_F(RuntimeTest, BehaviourChangeTriggersResampling) {
   OnlineRuntime::Options options;
   options.power_cap_w = 30.0;
   options.detect_behaviour_change = true;
-  OnlineRuntime runtime{*machine_, *model_, options};
+  OnlineRuntime runtime{*machine_, model_, options};
 
   const auto& small = suite_->instance("LU-Small/lud");
   const auto& large = suite_->instance("LU-Large/lud");
@@ -206,7 +206,7 @@ TEST_F(RuntimeTest, NoFalseBehaviourChangeUnderNoise) {
   OnlineRuntime::Options options;
   options.power_cap_w = 30.0;
   options.detect_behaviour_change = true;
-  OnlineRuntime runtime{*machine_, *model_, options};
+  OnlineRuntime runtime{*machine_, model_, options};
   const auto& kernel = suite_->instance("SMC-Default/DiffusionFluxY");
   const KernelKey key{"DiffusionFluxY", "", 0};
   for (int i = 0; i < 20; ++i) {

@@ -233,10 +233,10 @@ class ServeDegradationTest : public DegradationTest {
         break;
       }
     }
-    model_ = new core::TrainedModel{core::train(*characterizations_).model};
+    model_ = core::make_predictor(core::train(*characterizations_).model);
   }
   static void TearDownTestSuite() {
-    delete model_;
+    model_.reset();
     delete characterizations_;
   }
 
@@ -250,17 +250,17 @@ class ServeDegradationTest : public DegradationTest {
   }
 
   static std::vector<core::KernelCharacterization>* characterizations_;
-  static core::TrainedModel* model_;
+  static core::PredictorPtr model_;
 };
 
 std::vector<core::KernelCharacterization>*
     ServeDegradationTest::characterizations_ = nullptr;
-core::TrainedModel* ServeDegradationTest::model_ = nullptr;
+core::PredictorPtr ServeDegradationTest::model_;
 
 TEST_F(ServeDegradationTest, BreakerReroutesToPreviousVersionAndRecovers) {
   serve::ModelRegistry registry;
-  registry.publish(*model_);              // v1: healthy
-  registry.publish(core::TrainedModel{});  // v2: corrupt (predict throws)
+  registry.publish(model_);              // v1: healthy
+  registry.publish(core::make_predictor(core::TrainedModel{}));  // v2: corrupt (predict throws)
 
   serve::ServerOptions options;
   options.workers = 1;
@@ -310,7 +310,7 @@ TEST_F(ServeDegradationTest, BreakerReroutesToPreviousVersionAndRecovers) {
 
 TEST_F(ServeDegradationTest, ExpiredRequestsAreShedNotServed) {
   serve::ModelRegistry registry;
-  registry.publish(*model_);
+  registry.publish(model_);
   serve::ServerOptions options;
   options.workers = 1;
   // Any queue wait exceeds a 1 ns deadline, so every request expires
@@ -333,7 +333,7 @@ TEST_F(ServeDegradationTest, ExpiredRequestsAreShedNotServed) {
 
 TEST_F(ServeDegradationTest, GenerousDeadlinesServeNormally) {
   serve::ModelRegistry registry;
-  registry.publish(*model_);
+  registry.publish(model_);
   serve::ServerOptions options;
   options.request_deadline = std::chrono::seconds{10};
   serve::Server server{registry, options};
@@ -344,7 +344,7 @@ TEST_F(ServeDegradationTest, GenerousDeadlinesServeNormally) {
 
 TEST_F(ServeDegradationTest, ClientRetriesUndecodableRepliesWithBackoff) {
   serve::ModelRegistry registry;
-  registry.publish(*model_);
+  registry.publish(model_);
   serve::Server server{registry, {}};
 
   int calls = 0;
@@ -378,7 +378,7 @@ TEST_F(ServeDegradationTest, ClientRetriesUndecodableRepliesWithBackoff) {
 
 TEST_F(ServeDegradationTest, ClientGivesUpAfterMaxAttemptsUnderWireFaults) {
   serve::ModelRegistry registry;
-  registry.publish(*model_);
+  registry.publish(model_);
   serve::Server server{registry, {}};
   fault::Injector::global().arm("wire.corrupt", {1.0, 1, 1.0});
 
@@ -402,7 +402,7 @@ TEST_F(ServeDegradationTest, ClientGivesUpAfterMaxAttemptsUnderWireFaults) {
 
 TEST_F(ServeDegradationTest, ClientRecoversOncePerRequestFaultsClear) {
   serve::ModelRegistry registry;
-  registry.publish(*model_);
+  registry.publish(model_);
   serve::Server server{registry, {}};
 
   serve::ClientOptions options;
@@ -430,10 +430,10 @@ class RuntimeDegradationTest : public DegradationTest {
     for (const auto& instance : suite_->instances()) {
       training.push_back(eval::characterize_instance(*machine_, instance));
     }
-    model_ = new core::TrainedModel{core::train(training).model};
+    model_ = core::make_predictor(core::train(training).model);
   }
   static void TearDownTestSuite() {
-    delete model_;
+    model_.reset();
     delete suite_;
     delete machine_;
   }
@@ -450,15 +450,15 @@ class RuntimeDegradationTest : public DegradationTest {
 
   static soc::Machine* machine_;
   static workloads::Suite* suite_;
-  static core::TrainedModel* model_;
+  static core::PredictorPtr model_;
 };
 
 soc::Machine* RuntimeDegradationTest::machine_ = nullptr;
 workloads::Suite* RuntimeDegradationTest::suite_ = nullptr;
-core::TrainedModel* RuntimeDegradationTest::model_ = nullptr;
+core::PredictorPtr RuntimeDegradationTest::model_;
 
 TEST_F(RuntimeDegradationTest, CapArgumentsMustBeFiniteAndPositive) {
-  core::OnlineRuntime runtime{*machine_, *model_};
+  core::OnlineRuntime runtime{*machine_, model_};
   EXPECT_THROW(runtime.set_power_cap(std::nan("")), Error);
   EXPECT_THROW(
       runtime.set_power_cap(std::numeric_limits<double>::infinity()), Error);
@@ -467,7 +467,7 @@ TEST_F(RuntimeDegradationTest, CapArgumentsMustBeFiniteAndPositive) {
 
   core::OnlineRuntime::Options options;
   options.power_cap_w = std::nan("");
-  EXPECT_THROW((core::OnlineRuntime{*machine_, *model_, options}), Error);
+  EXPECT_THROW((core::OnlineRuntime{*machine_, model_, options}), Error);
 }
 
 TEST_F(RuntimeDegradationTest, ImplausibleSamplesAreNeverCommitted) {
@@ -475,7 +475,7 @@ TEST_F(RuntimeDegradationTest, ImplausibleSamplesAreNeverCommitted) {
   // can never leave the sampling phase — and never poisons a profile.
   core::OnlineRuntime::Options options = guarded_options(30.0);
   options.guardrails.max_plausible_power_w = 1.0;
-  core::OnlineRuntime runtime{*machine_, *model_, options};
+  core::OnlineRuntime runtime{*machine_, model_, options};
   const auto& instance = suite_->instances().front();
   const core::KernelKey key{instance.kernel, "main", 10};
   for (int i = 0; i < 4; ++i) {
@@ -486,7 +486,7 @@ TEST_F(RuntimeDegradationTest, ImplausibleSamplesAreNeverCommitted) {
 }
 
 TEST_F(RuntimeDegradationTest, StuckSmuTriggersFallbackBackoffAndRecovery) {
-  core::OnlineRuntime runtime{*machine_, *model_, guarded_options(30.0)};
+  core::OnlineRuntime runtime{*machine_, model_, guarded_options(30.0)};
   const auto& instance = suite_->instances().front();
   const core::KernelKey key{instance.kernel, "main", 10};
 
@@ -540,7 +540,7 @@ TEST_F(RuntimeDegradationTest, RepeatedFallbacksBackOffExponentially) {
   core::OnlineRuntime::Options options = guarded_options(30.0);
   options.guardrails.backoff_initial = 2;
   options.guardrails.backoff_max = 8;
-  core::OnlineRuntime runtime{*machine_, *model_, options};
+  core::OnlineRuntime runtime{*machine_, model_, options};
   const auto& instance = suite_->instances().front();
   const core::KernelKey key{instance.kernel, "main", 10};
 

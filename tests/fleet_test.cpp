@@ -40,17 +40,17 @@ class FleetTest : public ::testing::Test {
     }
     core::TrainerOptions options_a;
     options_a.clusters = 3;
-    model_a_ = new core::TrainedModel{
-        core::train(*characterizations_, options_a).model};
+    model_a_ = core::make_predictor(
+        core::train(*characterizations_, options_a).model);
     core::TrainerOptions options_b;
     options_b.clusters = 2;
-    model_b_ = new core::TrainedModel{
-        core::train(*characterizations_, options_b).model};
+    model_b_ = core::make_predictor(
+        core::train(*characterizations_, options_b).model);
   }
 
   static void TearDownTestSuite() {
-    delete model_b_;
-    delete model_a_;
+    model_b_.reset();
+    model_a_.reset();
     delete characterizations_;
   }
 
@@ -81,20 +81,20 @@ class FleetTest : public ::testing::Test {
   }
 
   static std::vector<core::KernelCharacterization>* characterizations_;
-  static core::TrainedModel* model_a_;
-  static core::TrainedModel* model_b_;
+  static core::PredictorPtr model_a_;
+  static core::PredictorPtr model_b_;
 };
 
 std::vector<core::KernelCharacterization>* FleetTest::characterizations_ =
     nullptr;
-core::TrainedModel* FleetTest::model_a_ = nullptr;
-core::TrainedModel* FleetTest::model_b_ = nullptr;
+core::PredictorPtr FleetTest::model_a_;
+core::PredictorPtr FleetTest::model_b_;
 
 // ---- routing -----------------------------------------------------------
 
 TEST_F(FleetTest, RoutesDeterministicallyAndDeliversEverything) {
   Fleet fleet{small_fleet()};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   for (std::uint64_t i = 0; i < 60; ++i) {
     const auto request = make_request(i);
     const std::uint32_t home = fleet.shard_of(request);
@@ -115,7 +115,7 @@ TEST_F(FleetTest, RoutesDeterministicallyAndDeliversEverything) {
 
 TEST_F(FleetTest, SameKernelAlwaysLandsOnItsHomeShard) {
   Fleet fleet{small_fleet()};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   const auto request = make_request(3);
   const std::uint32_t home = fleet.shard_of(request);
   for (int i = 0; i < 10; ++i) {
@@ -129,8 +129,8 @@ TEST_F(FleetTest, SameKernelAlwaysLandsOnItsHomeShard) {
 TEST_F(FleetTest, PublishAssignsMonotonicFleetVersions) {
   Fleet fleet{small_fleet()};
   EXPECT_EQ(fleet.current_version(), 0u);
-  EXPECT_EQ(fleet.publish(*model_a_), 1u);
-  EXPECT_EQ(fleet.publish(*model_b_), 2u);
+  EXPECT_EQ(fleet.publish(model_a_), 1u);
+  EXPECT_EQ(fleet.publish(model_b_), 2u);
   EXPECT_EQ(fleet.current_version(), 2u);
   const auto response = fleet.select(make_request(1));
   EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
@@ -139,10 +139,10 @@ TEST_F(FleetTest, PublishAssignsMonotonicFleetVersions) {
 
 TEST_F(FleetTest, RevivedNodeCatchesUpToCurrentModel) {
   Fleet fleet{small_fleet()};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   // The node misses a publish while down...
   fleet.fail_node(NodeId{0, 1});
-  fleet.publish(*model_b_);
+  fleet.publish(model_b_);
   // ...and is caught up by revive: every reply fleet-wide must carry the
   // current fleet version, or the revived replica would lose votes.
   fleet.revive_node(NodeId{0, 1});
@@ -159,7 +159,7 @@ TEST_F(FleetTest, RevivedNodeCatchesUpToCurrentModel) {
 TEST_F(FleetTest, DeadShardReroutesUntilDetectedThenSkipsFanout) {
   FleetOptions options = small_fleet();
   Fleet fleet{options};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   const auto request = make_request(5);
   const std::uint32_t home = fleet.shard_of(request);
   for (std::uint32_t r = 0; r < options.replicas; ++r) {
@@ -200,7 +200,7 @@ TEST_F(FleetTest, WholeFleetDownShedsExplicitly) {
   FleetOptions options = small_fleet();
   options.shards = 2;
   Fleet fleet{options};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   for (std::uint32_t s = 0; s < options.shards; ++s) {
     for (std::uint32_t r = 0; r < options.replicas; ++r) {
       fleet.fail_node(NodeId{s, r});
@@ -218,7 +218,7 @@ TEST_F(FleetTest, WholeFleetDownShedsExplicitly) {
 
 TEST_F(FleetTest, QuorumSurvivesMinorityLoss) {
   Fleet fleet{small_fleet()};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   const auto request = make_request(2);
   const std::uint32_t home = fleet.shard_of(request);
   fleet.fail_node(NodeId{home, 2});  // one of three replicas
@@ -240,7 +240,7 @@ TEST_F(FleetTest, HedgeDelayDerivesFromP95AndCutsStragglers) {
   };
   options.hedge_min_delay_ns = 100'000;
   Fleet fleet{options};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
 
   // Warm-up one shard past the 32-sample threshold: hedging starts from
   // the timeout-derived delay (effectively off) until the shard's
@@ -272,7 +272,7 @@ TEST_F(FleetTest, BudgetFollowsDemandAcrossShards) {
   options.rebalance_period = 1;
   options.budget.global_budget_w = 120.0;  // nominal 30 W x 4 shards
   Fleet fleet{options};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
 
   // Drive all traffic at one kernel -> one hot shard.
   const auto request = make_request(3);
@@ -302,7 +302,7 @@ TEST_F(FleetTest, BudgetFollowsDemandAcrossShards) {
 
 TEST_F(FleetTest, StatsScrapeCarriesFleetBlockOverTheWire) {
   Fleet fleet{small_fleet()};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   for (std::uint64_t i = 0; i < 10; ++i) {
     (void)fleet.select(make_request(i));
   }
@@ -328,7 +328,7 @@ TEST_F(FleetTest, StatsScrapeCarriesFleetBlockOverTheWire) {
 
 TEST_F(FleetTest, ServeFrameRoutesSelectAndRejectsLikeAServer) {
   Fleet fleet{small_fleet()};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   std::vector<std::uint8_t> frame;
   serve::encode_request(make_request(4), frame);
   const auto reply = fleet.serve_frame(frame);
@@ -367,7 +367,7 @@ TEST_F(FleetTest, HedgeRespectsTheRequestDeadline) {
   };
   options.hedge_min_delay_ns = 100'000;
   Fleet fleet{options};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   auto request = make_request(3);
   const std::uint32_t home = fleet.shard_of(request);
   for (std::uint64_t i = 0; i < 40; ++i) {
@@ -413,7 +413,7 @@ TEST_F(FleetTest, EndToEndRequestTraceHasAReplicaCriticalPath) {
   options.trace_sample_den = 1;  // root every request
   {
     Fleet fleet{options};
-    fleet.publish(*model_a_);
+    fleet.publish(model_a_);
     const auto response = fleet.select(make_request(11));
     EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
   }
@@ -477,7 +477,7 @@ TEST_F(FleetTest, DeliveredSloFiresUnderNodeLossAndClearsAfterRevive) {
   FleetOptions options = slo_fleet();
   options.trace_sample_den = 1;
   Fleet fleet{options};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   const auto request = make_request(3);
   const std::uint32_t home = fleet.shard_of(request);
 
@@ -537,7 +537,7 @@ TEST_F(FleetTest, DeliveredSloFiresUnderNodeLossAndClearsAfterRevive) {
 
 TEST_F(FleetTest, StatsScrapeCarriesSeriesAndSloBlocksOverTheWire) {
   Fleet fleet{slo_fleet()};
-  fleet.publish(*model_a_);
+  fleet.publish(model_a_);
   for (std::uint64_t tick = 0; tick < 3; ++tick) {
     for (std::uint64_t i = 0; i < 5; ++i) {
       (void)fleet.select(make_request(i));
@@ -587,7 +587,7 @@ TEST_F(FleetTest, ParallelFanoutMatchesInlineDecisions) {
   // verdict: same requests, same configurations, with and without a pool.
   FleetOptions inline_options = small_fleet();
   Fleet inline_fleet{inline_options};
-  inline_fleet.publish(*model_a_);
+  inline_fleet.publish(model_a_);
   std::vector<std::uint32_t> inline_configs;
   for (std::uint64_t i = 0; i < 30; ++i) {
     inline_configs.push_back(inline_fleet.select(make_request(i)).config_index);
@@ -597,7 +597,7 @@ TEST_F(FleetTest, ParallelFanoutMatchesInlineDecisions) {
   FleetOptions pooled_options = small_fleet();
   pooled_options.executor = &pool;
   Fleet pooled{pooled_options};
-  pooled.publish(*model_a_);
+  pooled.publish(model_a_);
   for (std::uint64_t i = 0; i < 30; ++i) {
     EXPECT_EQ(pooled.select(make_request(i)).config_index, inline_configs[i]);
   }

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 #include "linalg/qr.h"
 #include "linalg/regression.h"
@@ -335,6 +336,76 @@ TEST(Regression, SerializeParseRoundTrip) {
   EXPECT_DOUBLE_EQ(restored.r_squared(), model.r_squared());
   const std::vector<double> probe{1.5, 0.5};
   EXPECT_DOUBLE_EQ(restored.predict(probe), model.predict(probe));
+}
+
+// ------------------------------------------------------------- cholesky --
+
+TEST(Cholesky, FactorsAKnownSpdMatrix) {
+  // A = L Lᵀ with L = [[2,0,0],[6,1,0],[-8,5,3]].
+  const Matrix a{{4.0, 12.0, -16.0},
+                 {12.0, 37.0, -43.0},
+                 {-16.0, -43.0, 98.0}};
+  const CholeskyFactorization chol{a};
+  const Matrix& l = chol.l();
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(l(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(l(2, 0), -8.0);
+  EXPECT_DOUBLE_EQ(l(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(l(2, 2), 3.0);
+  // Strict upper triangle stays zero.
+  EXPECT_EQ(l(0, 1), 0.0);
+  EXPECT_EQ(l(0, 2), 0.0);
+  EXPECT_EQ(l(1, 2), 0.0);
+}
+
+TEST(Cholesky, SolveRecoversTheExactSolution) {
+  const Matrix a{{4.0, 12.0, -16.0},
+                 {12.0, 37.0, -43.0},
+                 {-16.0, -43.0, 98.0}};
+  const CholeskyFactorization chol{a};
+  // b = A x for x = (1, -2, 3).
+  const std::vector<double> b{-68.0, -191.0, 364.0};
+  const std::vector<double> x = chol.solve(b);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], -2.0, 1e-10);
+  EXPECT_NEAR(x[2], 3.0, 1e-10);
+}
+
+TEST(Cholesky, SolveLowerIsForwardSubstitutionOnly) {
+  const Matrix a{{4.0, 12.0, -16.0},
+                 {12.0, 37.0, -43.0},
+                 {-16.0, -43.0, 98.0}};
+  const CholeskyFactorization chol{a};
+  // L y = b with L as above: y0 = 1, y1 = 2 - 6*1 = ... solved by hand.
+  const std::vector<double> b{2.0, 7.0, -9.0};
+  const std::vector<double> y = chol.solve_lower(b);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_NEAR(y[0], 1.0, 1e-12);   // 2 / 2
+  EXPECT_NEAR(y[1], 1.0, 1e-12);   // (7 - 6*1) / 1
+  EXPECT_NEAR(y[2], -2.0, 1e-12);  // (-9 - (-8*1 + 5*1)) / 3
+}
+
+TEST(Cholesky, LogDeterminantMatchesTheFactor) {
+  const Matrix a{{4.0, 12.0, -16.0},
+                 {12.0, 37.0, -43.0},
+                 {-16.0, -43.0, 98.0}};
+  const CholeskyFactorization chol{a};
+  // det A = (det L)² = (2 * 1 * 3)² = 36.
+  EXPECT_NEAR(chol.log_determinant(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsMatricesThatAreNotPositiveDefinite) {
+  EXPECT_THROW(CholeskyFactorization{Matrix{{0.0}}}, Error);
+  EXPECT_THROW((CholeskyFactorization{Matrix{{1.0, 2.0}, {2.0, 1.0}}}),
+               Error);
+  EXPECT_THROW((CholeskyFactorization{Matrix{2, 3}}), Error);
+}
+
+TEST(Cholesky, RejectsSolveWithWrongSizedRhs) {
+  const CholeskyFactorization chol{Matrix{{4.0}}};
+  EXPECT_THROW(chol.solve(std::vector<double>{1.0, 2.0}), Error);
 }
 
 TEST(Regression, TransformHelpersInverse) {

@@ -49,9 +49,11 @@ TEST(Tracer, CollectedIsSortedByTimestamp) {
   Tracer tracer;
   tracer.enable();
   for (int i = 0; i < 100; ++i) {
-    // std::string{} + ...: GCC 12's -Wrestrict false-positives on
-    // `const char* + std::string&&` chains (PR 105651).
-    tracer.record_instant(std::string{"e"} + std::to_string(i), "test");
+    // Built with += rather than operator+: GCC 12's -Wrestrict
+    // false-positives on string concatenation chains (PR 105651).
+    std::string name = "e";
+    name += std::to_string(i);
+    tracer.record_instant(name, "test");
   }
   const auto events = tracer.collected();
   ASSERT_EQ(events.size(), 100u);

@@ -1,17 +1,24 @@
 // Wire-codec tests: encode/decode round-trips and table-driven rejection
 // of malformed frames — no sockets involved, the codec is pure bytes.
+// Also the text-format side of forward compatibility: the registry's
+// publish_file path must reject foreign or newer predictor envelopes with
+// typed errors instead of publishing garbage.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/predictor.h"
 #include "hw/config_space.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/codec.h"
+#include "serve/registry.h"
 
 namespace acsel::serve {
 namespace {
@@ -1068,6 +1075,61 @@ TEST(ServeCodec, ConfigurableMaxFrameBytesTightensTheCap) {
                                 static_cast<std::uint32_t>(kMaxPayloadBytes) + 1);
   EXPECT_EQ(decode_frame(huge, std::size_t{1} << 40).status,
             DecodeStatus::OversizedFrame);
+}
+
+// ---- predictor text-envelope rejections (forward compatibility) --------
+
+/// Writes `text` to a temp file and returns its path.
+std::string write_temp_model(const std::string& name,
+                             const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out{path};
+  out << text;
+  return path;
+}
+
+TEST(PredictorEnvelope, PublishFileRejectsAnUnknownKindWithItsTag) {
+  ModelRegistry registry;
+  const std::string path = write_temp_model(
+      "unknown_kind.model", "acsel-predictor transformer-v9 v1\nclusters 1\n");
+  try {
+    registry.publish_file(path);
+    FAIL() << "unknown predictor kind must not publish";
+  } catch (const core::UnknownPredictorKindError& error) {
+    EXPECT_EQ(error.predictor_kind(), "transformer-v9");
+  }
+  EXPECT_EQ(registry.current().version, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PredictorEnvelope, PublishFileRejectsANewerFormatVersion) {
+  ModelRegistry registry;
+  const std::string path = write_temp_model(
+      "newer_version.model", "acsel-predictor cluster-cart v99\nclusters 1\n");
+  EXPECT_THROW(registry.publish_file(path),
+               core::UnsupportedPredictorVersionError);
+  EXPECT_EQ(registry.current().version, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PredictorEnvelope, PublishFileRejectsAMalformedEnvelope) {
+  ModelRegistry registry;
+  for (const char* text : {"", "garbage\n", "acsel-predictor\n",
+                           "acsel-predictor cluster-cart one\n"}) {
+    const std::string path = write_temp_model("malformed.model", text);
+    EXPECT_THROW(registry.publish_file(path), core::PredictorFormatError)
+        << "text: " << text;
+    std::remove(path.c_str());
+  }
+  EXPECT_EQ(registry.current().version, 0u);
+}
+
+TEST(PredictorEnvelope, TypedRejectionsRemainPlainErrorsToOldCatchSites) {
+  ModelRegistry registry;
+  const std::string path = write_temp_model(
+      "foreign.model", "acsel-predictor quantum v1\nwhatever\n");
+  EXPECT_THROW(registry.publish_file(path), Error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

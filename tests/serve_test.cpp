@@ -40,17 +40,17 @@ class ServeTest : public ::testing::Test {
     }
     core::TrainerOptions options_a;
     options_a.clusters = 3;
-    model_a_ = new core::TrainedModel{
-        core::train(*characterizations_, options_a).model};
+    model_a_ = core::make_predictor(
+        core::train(*characterizations_, options_a).model);
     core::TrainerOptions options_b;
     options_b.clusters = 2;
-    model_b_ = new core::TrainedModel{
-        core::train(*characterizations_, options_b).model};
+    model_b_ = core::make_predictor(
+        core::train(*characterizations_, options_b).model);
   }
 
   static void TearDownTestSuite() {
-    delete model_b_;
-    delete model_a_;
+    model_b_.reset();
+    model_a_.reset();
     delete characterizations_;
   }
 
@@ -71,14 +71,14 @@ class ServeTest : public ::testing::Test {
   }
 
   static std::vector<core::KernelCharacterization>* characterizations_;
-  static core::TrainedModel* model_a_;
-  static core::TrainedModel* model_b_;
+  static core::PredictorPtr model_a_;
+  static core::PredictorPtr model_b_;
 };
 
 std::vector<core::KernelCharacterization>* ServeTest::characterizations_ =
     nullptr;
-core::TrainedModel* ServeTest::model_a_ = nullptr;
-core::TrainedModel* ServeTest::model_b_ = nullptr;
+core::PredictorPtr ServeTest::model_a_;
+core::PredictorPtr ServeTest::model_b_;
 
 // ---- registry ----------------------------------------------------------
 
@@ -88,8 +88,8 @@ TEST_F(ServeTest, RegistryPublishesAndResolvesVersions) {
   EXPECT_EQ(registry.current().model, nullptr);
   EXPECT_EQ(registry.get(1), nullptr);
 
-  const std::uint64_t v1 = registry.publish(*model_a_);
-  const std::uint64_t v2 = registry.publish(*model_b_);
+  const std::uint64_t v1 = registry.publish(model_a_);
+  const std::uint64_t v2 = registry.publish(model_b_);
   EXPECT_EQ(v1, 1u);
   EXPECT_EQ(v2, 2u);
   EXPECT_EQ(registry.current().version, v2);
@@ -103,45 +103,45 @@ TEST_F(ServeTest, AdoptModelAcceptsNewerVersionsAndInterleavesWithPublish) {
   ModelRegistry registry;
   // Fleet hand-off: a coordinator assigns version numbers; the replica
   // adopts them as-is.
-  EXPECT_EQ(registry.adopt_model(5, *model_a_), 5u);
+  EXPECT_EQ(registry.adopt_model(5, model_a_), 5u);
   EXPECT_EQ(registry.current().version, 5u);
-  EXPECT_EQ(registry.adopt_model(9, *model_b_), 9u);
+  EXPECT_EQ(registry.adopt_model(9, model_b_), 9u);
   EXPECT_EQ(registry.current().version, 9u);
   EXPECT_EQ(registry.versions(), (std::vector<std::uint64_t>{5, 9}));
   // publish() continues from the adopted history.
-  EXPECT_EQ(registry.publish(*model_a_), 10u);
+  EXPECT_EQ(registry.publish(model_a_), 10u);
   // previous_of keeps its version-order meaning across adopted entries.
   EXPECT_EQ(registry.previous_of(10).version, 9u);
 }
 
 TEST_F(ServeTest, AdoptModelRejectsOlderVersionWithoutRollbackFlag) {
   ModelRegistry registry;
-  registry.adopt_model(7, *model_a_);
+  registry.adopt_model(7, model_a_);
   // The version-skew guard: a lagging fleet node replaying an old
   // publish must not displace the newer model.
-  EXPECT_THROW(registry.adopt_model(3, *model_b_), Error);
+  EXPECT_THROW(registry.adopt_model(3, model_b_), Error);
   EXPECT_EQ(registry.current().version, 7u);
   EXPECT_EQ(registry.version_count(), 1u);
 }
 
 TEST_F(ServeTest, AdoptModelAllowRollbackOverridesTheGuard) {
   ModelRegistry registry;
-  registry.adopt_model(7, *model_a_);
+  registry.adopt_model(7, model_a_);
   // Explicit operator override: the older version is adopted and becomes
   // current, inserted in version order.
-  EXPECT_EQ(registry.adopt_model(3, *model_b_, /*allow_rollback=*/true), 3u);
+  EXPECT_EQ(registry.adopt_model(3, model_b_, /*allow_rollback=*/true), 3u);
   EXPECT_EQ(registry.current().version, 3u);
   EXPECT_EQ(registry.versions(), (std::vector<std::uint64_t>{3, 7}));
   // The newer model is still resolvable; re-adopting it moves forward.
-  EXPECT_EQ(registry.adopt_model(7, *model_a_), 7u);
+  EXPECT_EQ(registry.adopt_model(7, model_a_), 7u);
   EXPECT_EQ(registry.current().version, 7u);
   EXPECT_EQ(registry.version_count(), 2u);  // re-pointed, not duplicated
 }
 
 TEST_F(ServeTest, AdoptModelReAdoptingCurrentIsIdempotent) {
   ModelRegistry registry;
-  registry.adopt_model(4, *model_a_);
-  EXPECT_EQ(registry.adopt_model(4, *model_b_), 4u);  // no-op, keeps model
+  registry.adopt_model(4, model_a_);
+  EXPECT_EQ(registry.adopt_model(4, model_b_), 4u);  // no-op, keeps model
   EXPECT_EQ(registry.version_count(), 1u);
   EXPECT_EQ(registry.current().model->cluster_count(),
             model_a_->cluster_count());
@@ -149,8 +149,8 @@ TEST_F(ServeTest, AdoptModelReAdoptingCurrentIsIdempotent) {
 
 TEST_F(ServeTest, RegistryRollbackStepsBack) {
   ModelRegistry registry;
-  registry.publish(*model_a_);
-  const std::uint64_t v2 = registry.publish(*model_b_);
+  registry.publish(model_a_);
+  const std::uint64_t v2 = registry.publish(model_b_);
   EXPECT_EQ(registry.current().version, v2);
   EXPECT_EQ(registry.rollback(), 1u);
   EXPECT_EQ(registry.current().version, 1u);
@@ -158,7 +158,7 @@ TEST_F(ServeTest, RegistryRollbackStepsBack) {
   EXPECT_NE(registry.get(v2), nullptr);
   EXPECT_THROW(registry.rollback(), Error);
   // Publishing after a rollback continues the version sequence.
-  EXPECT_EQ(registry.publish(*model_b_), 3u);
+  EXPECT_EQ(registry.publish(model_b_), 3u);
   EXPECT_EQ(registry.current().version, 3u);
 }
 
@@ -257,7 +257,7 @@ TEST_F(ServeTest, ServesNoModelPublishedWhenRegistryEmpty) {
 
 TEST_F(ServeTest, ServesUnknownModelVersion) {
   ModelRegistry registry;
-  registry.publish(*model_a_);
+  registry.publish(model_a_);
   ServerOptions options;
   options.workers = 1;
   Server server{registry, options};
@@ -269,7 +269,7 @@ TEST_F(ServeTest, ServesUnknownModelVersion) {
 
 TEST_F(ServeTest, SingleRequestMatchesReferenceExactly) {
   ModelRegistry registry;
-  const std::uint64_t version = registry.publish(*model_a_);
+  const std::uint64_t version = registry.publish(model_a_);
   ServerOptions options;
   options.workers = 2;
   Server server{registry, options};
@@ -287,7 +287,7 @@ TEST_F(ServeTest, SingleRequestMatchesReferenceExactly) {
 
 TEST_F(ServeTest, ConcurrentStreamMatchesReferenceAcrossHotSwap) {
   ModelRegistry registry;
-  const std::uint64_t v1 = registry.publish(*model_a_);
+  const std::uint64_t v1 = registry.publish(model_a_);
 
   ServerOptions options;
   options.workers = 4;
@@ -323,7 +323,7 @@ TEST_F(ServeTest, ConcurrentStreamMatchesReferenceAcrossHotSwap) {
     while (submitted_count.load() < kClients * kPerClient / 2) {
       std::this_thread::yield();
     }
-    v2.store(registry.publish(*model_b_));
+    v2.store(registry.publish(model_b_));
   }};
   for (auto& client : clients) {
     client.join();
@@ -369,7 +369,7 @@ TEST_F(ServeTest, ConcurrentStreamMatchesReferenceAcrossHotSwap) {
 
 TEST_F(ServeTest, ShedsWithErrorWhenQueueIsFull) {
   ModelRegistry registry;
-  registry.publish(*model_a_);
+  registry.publish(model_a_);
   ServerOptions options;
   options.workers = 1;
   options.queue_capacity = 1;  // nearly every burst submission sheds
@@ -413,7 +413,7 @@ TEST_F(ServeTest, ShedsWithErrorWhenQueueIsFull) {
 
 TEST_F(ServeTest, SubmissionsAfterStopAreShed) {
   ModelRegistry registry;
-  registry.publish(*model_a_);
+  registry.publish(model_a_);
   ServerOptions options;
   options.workers = 1;
   Server server{registry, options};
@@ -425,7 +425,7 @@ TEST_F(ServeTest, SubmissionsAfterStopAreShed) {
 
 TEST_F(ServeTest, ServeFrameRoundTripsThroughTheWire) {
   ModelRegistry registry;
-  const std::uint64_t version = registry.publish(*model_a_);
+  const std::uint64_t version = registry.publish(model_a_);
   ServerOptions options;
   options.workers = 2;
   Server server{registry, options};
@@ -451,7 +451,7 @@ TEST_F(ServeTest, ServeFrameRoundTripsThroughTheWire) {
 
 TEST_F(ServeTest, ServeFrameRejectsMalformedInput) {
   ModelRegistry registry;
-  registry.publish(*model_a_);
+  registry.publish(model_a_);
   ServerOptions options;
   options.workers = 1;
   Server server{registry, options};
@@ -475,7 +475,7 @@ TEST_F(ServeTest, ServeFrameRejectsMalformedInput) {
 /// the in-process registry reports — the remote-scrape parity contract.
 TEST_F(ServeTest, StatsScrapeMatchesRegistry) {
   ModelRegistry registry;
-  registry.publish(*model_a_);
+  registry.publish(model_a_);
   ServerOptions options;
   options.workers = 2;
   Server server{registry, options};
