@@ -1,0 +1,165 @@
+// Narrated datacenter-soak walkthrough: a small scripted scenario runs
+// diurnal + bursty traffic over a sharded fleet, then a facility power
+// emergency cuts the global budget mid-run. The fleet's staged brownout
+// kicks in — hedges drop, low-priority traffic sheds, shards are forced
+// onto low-power frontier configs — and unwinds one stage per rebalance
+// once the budget is restored. The timeline shows the whole arc:
+// high-priority traffic is never shed, every routed request is accounted
+// for (delivered + shed, zero lost), and the cap-exceedance window is
+// clean after recovery.
+//
+// This is the examples-scale version of bench/dc_soak.cpp (the CI chaos
+// soak); the world is deliberately tiny so the demo runs in seconds.
+#include <array>
+#include <iostream>
+#include <string>
+
+#include "dc/soak.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+using namespace acsel;
+
+namespace {
+
+constexpr std::uint64_t kTicks = 72;
+constexpr std::uint64_t kBurstOn = 16;
+constexpr std::uint64_t kBurstOff = 24;
+constexpr std::uint64_t kCut = 32;
+constexpr std::uint64_t kRestore = 52;
+
+const char* priority_name(std::size_t p) {
+  static const std::array<const char*, serve::kPriorityClasses> names = {
+      "high", "normal", "low"};
+  return names[p];
+}
+
+/// Sums a per-priority counter over timeline ticks [begin, end).
+std::uint64_t window_sum(
+    const dc::SoakReport& report, std::uint64_t begin, std::uint64_t end,
+    std::array<std::uint64_t, serve::kPriorityClasses> dc::TickSample::*field,
+    std::size_t priority) {
+  std::uint64_t total = 0;
+  for (const dc::TickSample& sample : report.timeline) {
+    if (sample.tick >= begin && sample.tick < end) {
+      total += (sample.*field)[priority];
+    }
+  }
+  return total;
+}
+
+void print_window(const dc::SoakReport& report, std::uint64_t begin,
+                  std::uint64_t end) {
+  std::uint32_t deepest = 0;
+  for (const dc::TickSample& sample : report.timeline) {
+    if (sample.tick >= begin && sample.tick < end) {
+      deepest = std::max(deepest, sample.brownout_stage);
+    }
+  }
+  for (std::size_t p = 0; p < serve::kPriorityClasses; ++p) {
+    const std::uint64_t routed =
+        window_sum(report, begin, end, &dc::TickSample::routed, p);
+    const std::uint64_t delivered =
+        window_sum(report, begin, end, &dc::TickSample::delivered, p);
+    const std::uint64_t shed =
+        window_sum(report, begin, end, &dc::TickSample::shed, p);
+    std::cout << "    " << priority_name(p) << ": routed " << routed
+              << ", delivered " << delivered << ", shed " << shed << "\n";
+  }
+  std::cout << "    deepest brownout stage in window: " << deepest << "\n";
+}
+
+}  // namespace
+
+int main() {
+  init_log_level_from_env();
+  std::cout << "=== dc_demo: a power emergency triggers a staged brownout; "
+               "recovery unwinds it ===\n\n";
+
+  // -- a tiny world and a short scripted scenario --------------------------
+  dc::WorldOptions world_options;
+  world_options.kernels = 24;
+  world_options.max_training = 48;
+  world_options.max_bases = 6;
+  std::cout << "Building the world: characterize the machine, train the "
+               "offline model,\nand precompute ground truth for "
+            << world_options.kernels << " held-out kernel variants...\n";
+  const dc::World world = dc::make_world(world_options);
+
+  dc::SoakOptions options;
+  options.ticks = kTicks;
+  options.traffic.base_qps = 160.0;
+  options.traffic.kernels = world_options.kernels;
+  options.traffic.drift_per_tick = 0.1;
+  options.fleet.shards = 3;
+  options.fleet.replicas = 2;
+  options.fleet.budget.global_budget_w =
+      3.0 * options.fleet.budget.nominal_cap_w;
+  options.adapt = dc::soak_adapt_defaults();
+  options.measure_every = 8;
+  options.script = {
+      {kBurstOn, dc::ScenarioEvent::Kind::BurstOn, 0.0},
+      {kBurstOff, dc::ScenarioEvent::Kind::BurstOff, 0.0},
+      {kCut, dc::ScenarioEvent::Kind::BudgetCut, 0.55},
+      {kRestore, dc::ScenarioEvent::Kind::BudgetRestore, 0.0},
+  };
+  std::cout << "Scenario over " << kTicks << " ticks: burst wave at tick "
+            << kBurstOn << ", power emergency (budget x0.55) at tick " << kCut
+            << ", restore at tick " << kRestore << ".\n\n";
+
+  dc::SoakDriver driver{options, world};
+  const dc::SoakReport report = driver.run();
+
+  // -- narrate the arc -----------------------------------------------------
+  std::cout << "Phase 1 — healthy diurnal traffic (ticks 0-" << (kBurstOn - 1)
+            << "):\n";
+  print_window(report, 0, kBurstOn);
+
+  std::cout << "\nPhase 2 — forced burst wave (ticks " << kBurstOn << "-"
+            << (kCut - 1) << "): offered load jumps ~"
+            << format_double(options.traffic.burst_multiplier, 1)
+            << "x; the fleet absorbs it:\n";
+  print_window(report, kBurstOn, kCut);
+
+  std::cout << "\nPhase 3 — power emergency (ticks " << kCut << "-"
+            << (kRestore - 1) << "): the budget drops to 55% of base, the "
+               "balancer\nescalates through the brownout ladder (1 = drop "
+               "hedges, 2 = shed low\npriority, 3 = force low-power "
+               "configs):\n";
+  print_window(report, kCut, kRestore);
+
+  std::cout << "\nPhase 4 — recovery (ticks " << kRestore << "-" << (kTicks - 1)
+            << "): the budget is back at base; the brownout\nunwinds one "
+               "stage per rebalance instead of snapping open:\n";
+  print_window(report, kRestore, kTicks);
+
+  // -- verdicts ------------------------------------------------------------
+  std::cout << "\nVerdicts:\n  offered " << report.offered << ", routed "
+            << report.fleet.routed << ", delivered " << report.fleet.delivered
+            << ", lost " << report.lost << "\n  high-priority delivered "
+               "fraction: "
+            << format_double(report.delivered_fraction[0], 4)
+            << "\n  brownout depth " << report.brownout_depth << " ("
+            << report.brownout_events << " event(s), staged recovery "
+            << report.recovery_ticks << " tick(s))\n"
+            << "  cap-exceedance ticks after recovery: "
+            << report.cap_exceedance_ticks_after_recovery << "\n"
+            << "  client: " << report.client.calls << " calls, "
+            << report.client.retries << " retries, "
+            << report.client.retry_budget_exhausted
+            << " retry-budget exhaustions\n";
+
+  if (report.lost != 0) {
+    std::cout << "\nlost requests — unexpected\n";
+    return 1;
+  }
+  if (!report.brownout_seen) {
+    std::cout << "\nno brownout engaged — unexpected\n";
+    return 1;
+  }
+  std::cout << "\nThe emergency never touched high-priority traffic: "
+               "overload control shed\nthe cheap work first, the guardrail "
+               "forced feasible low-power configs,\nand staged recovery "
+               "avoided a thundering-herd snap-back.\n";
+  return 0;
+}

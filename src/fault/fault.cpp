@@ -159,6 +159,12 @@ std::vector<std::string> Injector::arm_presets(std::string_view list) {
       // A replica's call runs `magnitude` times slower for the burst —
       // the straggler the hedging layer exists to cut off.
       arm("fleet.slow_node", {0.05, 4, 8.0});
+    } else if (name == "budget_cut") {
+      // A facility power emergency: while the burst fires the fleet's
+      // global budget loses `magnitude` of its base (a 40% cut), long
+      // enough (~25 ticks) for the brownout stages to engage and the
+      // staged recovery to be observable afterwards.
+      arm("fleet.budget_cut", {0.01, 25, 0.4});
     } else {
       ACSEL_LOG_WARN("fault: unknown preset '" << std::string{name}
                                                << "' ignored");

@@ -96,7 +96,8 @@ class Injector {
   /// Arms the presets named in a comma-separated list ("smu_stuck",
   /// "smu_spike", "smu_dropout", "smu_noise" = spike + dropout,
   /// "smu_delay", "frame_corrupt", "workload_shift", and the fleet chaos
-  /// presets "node_loss", "partition", "slow_node"). Unknown names are
+  /// presets "node_loss", "partition", "slow_node", "budget_cut").
+  /// Unknown names are
   /// logged and skipped
   /// (an env typo must not break the program). Returns the preset names
   /// actually armed.

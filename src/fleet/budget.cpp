@@ -8,14 +8,35 @@
 
 namespace acsel::fleet {
 
+const char* to_string(BrownoutStage stage) {
+  switch (stage) {
+    case BrownoutStage::None:
+      return "none";
+    case BrownoutStage::DropHedges:
+      return "drop-hedges";
+    case BrownoutStage::ShedLowPriority:
+      return "shed-low-priority";
+    case BrownoutStage::ForceLowPower:
+      return "force-low-power";
+  }
+  return "?";
+}
+
 BudgetBalancer::BudgetBalancer(std::size_t shards,
                                const BudgetOptions& options)
-    : options_(options), shards_(shards) {
+    : options_(options), shards_(shards),
+      base_budget_w_(options.global_budget_w) {
   ACSEL_CHECK_MSG(shards >= 1, "budget balancer needs >= 1 shard");
   ACSEL_CHECK_MSG(options_.global_budget_w > 0.0,
                   "global power budget must be positive");
   ACSEL_CHECK_MSG(options_.nominal_cap_w > options_.allocator.floor_w,
                   "nominal cap must exceed the allocation floor");
+  ACSEL_CHECK_MSG(options_.brownout_floor_pressure <=
+                          options_.brownout_shed_pressure &&
+                      options_.brownout_shed_pressure <=
+                          options_.brownout_hedge_pressure,
+                  "brownout thresholds must be ordered floor <= shed <= "
+                  "hedge");
   for (ShardBudget& shard : shards_) {
     shard.cap_w = options_.nominal_cap_w;
     shard.latency_scale = 1.0;
@@ -26,6 +47,31 @@ void BudgetBalancer::set_global_budget(double budget_w) {
   ACSEL_CHECK_MSG(std::isfinite(budget_w) && budget_w > 0.0,
                   "global power budget must be finite and positive");
   options_.global_budget_w = budget_w;
+  base_budget_w_ = budget_w;
+}
+
+void BudgetBalancer::set_emergency_budget(double budget_w) {
+  ACSEL_CHECK_MSG(std::isfinite(budget_w) && budget_w > 0.0,
+                  "emergency power budget must be finite and positive");
+  options_.global_budget_w = budget_w;
+}
+
+void BudgetBalancer::clear_emergency() {
+  options_.global_budget_w = base_budget_w_;
+}
+
+BrownoutStage BudgetBalancer::target_stage() const {
+  const double p = pressure();
+  if (p < options_.brownout_floor_pressure) {
+    return BrownoutStage::ForceLowPower;
+  }
+  if (p < options_.brownout_shed_pressure) {
+    return BrownoutStage::ShedLowPriority;
+  }
+  if (p < options_.brownout_hedge_pressure) {
+    return BrownoutStage::DropHedges;
+  }
+  return BrownoutStage::None;
 }
 
 double BudgetBalancer::latency_scale_at(double cap_w) const {
@@ -72,14 +118,51 @@ void BudgetBalancer::rebalance(const std::vector<std::uint64_t>& demand,
     };
   }
 
-  const std::vector<double> caps = cluster::allocate(
-      options_.policy, options_.global_budget_w, views, options_.allocator);
+  // An emergency can slash the budget below the sum of per-shard floors;
+  // the floor-respecting policies would then hand out more watts than
+  // exist (every cap clamped up to the floor). In that regime the floors
+  // are void — split the budget evenly so the caps stay non-negative and
+  // sum to exactly what the facility has.
+  const double floor_sum = options_.allocator.floor_w *
+                           static_cast<double>(shards_.size());
+  std::vector<double> caps;
+  if (options_.global_budget_w < floor_sum) {
+    caps.assign(shards_.size(), options_.global_budget_w /
+                                    static_cast<double>(shards_.size()));
+  } else {
+    caps = cluster::allocate(options_.policy, options_.global_budget_w,
+                             views, options_.allocator);
+  }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s].cap_w = caps[s];
     shards_[s].recent_requests = demand[s];
     shards_[s].latency_scale = latency_scale_at(caps[s]);
   }
   ++rebalances_;
+
+  // Brownout staging: escalation is immediate (the watts are already
+  // gone), recovery unwinds one stage per rebalance so the un-shed wave
+  // ramps instead of slamming back.
+  const BrownoutStage target = target_stage();
+  const auto level = [](BrownoutStage s) {
+    return static_cast<std::uint8_t>(s);
+  };
+  BrownoutStage next = stage_;
+  if (level(target) > level(stage_)) {
+    next = target;
+  } else if (level(target) < level(stage_)) {
+    next = static_cast<BrownoutStage>(level(stage_) - 1);
+  }
+  if (next != stage_) {
+    if (stage_ == BrownoutStage::None) {
+      ++brownout_events_;
+    }
+    ACSEL_LOG_INFO("fleet: brownout " << to_string(stage_) << " -> "
+                                      << to_string(next) << " (pressure "
+                                      << pressure() << ")");
+    stage_ = next;
+  }
+
   ACSEL_LOG_DEBUG("fleet: rebalanced "
                   << options_.global_budget_w << " W across "
                   << shards_.size() << " shards (" << total

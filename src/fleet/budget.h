@@ -12,6 +12,16 @@
 // serves slower (its latency scale rises along its power curve), which
 // the hedging layer then routes around — the same coupling a real fleet
 // sees between its power manager and its tail latency.
+//
+// The balancer is also the fleet's power-emergency authority. It tracks
+// a base (contracted) budget and an emergency override; when the
+// emergency budget drops the pressure ratio below the staged thresholds
+// it escalates a brownout immediately — drop hedges, then shed
+// low-priority traffic, then force every shard's cap to the floor so the
+// scheduler's guardrail fallback selects lowest-power configurations —
+// and when the budget returns it steps the stages back down one
+// rebalance at a time, so recovery is gradual rather than a thundering
+// un-shed.
 #pragma once
 
 #include <cstddef>
@@ -35,7 +45,29 @@ struct BudgetOptions {
   /// Nominal per-shard cap used to normalize the latency scale: at this
   /// cap a shard serves at 1.0x.
   double nominal_cap_w = 30.0;
+  /// Brownout thresholds on the pressure ratio (current budget / base
+  /// budget). Falling below a threshold escalates to at least that
+  /// stage; recovery steps down one stage per rebalance once the
+  /// pressure is back above it.
+  double brownout_hedge_pressure = 0.85;  ///< stage >= DropHedges below
+  double brownout_shed_pressure = 0.70;   ///< stage >= ShedLowPriority below
+  double brownout_floor_pressure = 0.55;  ///< stage == ForceLowPower below
 };
+
+/// Staged degradation under a power emergency; each stage implies the
+/// ones before it.
+enum class BrownoutStage : std::uint8_t {
+  None = 0,
+  /// Hedged (duplicate) requests are suppressed — the cheapest watts.
+  DropHedges = 1,
+  /// Low-priority traffic is shed at the router before fan-out.
+  ShedLowPriority = 2,
+  /// Every request is capped at the shard's (floored) allocation, so the
+  /// scheduler's guardrail fallback pins lowest-power configurations.
+  ForceLowPower = 3,
+};
+
+const char* to_string(BrownoutStage stage);
 
 /// One shard machine's view for allocation, plus the serving-side effect
 /// of its current cap.
@@ -65,9 +97,31 @@ class BudgetBalancer {
   std::size_t size() const { return shards_.size(); }
   std::uint64_t rebalances() const { return rebalances_; }
   double global_budget_w() const { return options_.global_budget_w; }
+  /// The contracted budget emergencies recover to.
+  double base_budget_w() const { return base_budget_w_; }
+  /// current / base — 1.0 outside an emergency.
+  double pressure() const {
+    return options_.global_budget_w / base_budget_w_;
+  }
 
-  /// The facility operator's knob; applies at the next rebalance.
+  /// The facility operator's knob (a deliberate re-provisioning, not an
+  /// emergency): sets both the current and the base budget, so the
+  /// pressure ratio returns to 1.0. Applies at the next rebalance.
   void set_global_budget(double budget_w);
+
+  /// A power emergency: the current budget is slashed but the base is
+  /// untouched, so the pressure ratio drops and the next rebalance
+  /// escalates the brownout stages.
+  void set_emergency_budget(double budget_w);
+
+  /// Ends the emergency: the current budget snaps back to the base; the
+  /// brownout stages unwind one per rebalance.
+  void clear_emergency();
+
+  /// Current brownout stage (updated by rebalance).
+  BrownoutStage stage() const { return stage_; }
+  /// None -> non-None transitions so far.
+  std::uint64_t brownout_events() const { return brownout_events_; }
 
   /// The analytic latency model: predicted service-time scale of a shard
   /// at `cap_w` (non-increasing in cap; 1.0 at nominal). Exposed so the
@@ -75,9 +129,15 @@ class BudgetBalancer {
   double latency_scale_at(double cap_w) const;
 
  private:
+  /// The stage the current pressure ratio demands on its own.
+  BrownoutStage target_stage() const;
+
   BudgetOptions options_;
   std::vector<ShardBudget> shards_;
   std::uint64_t rebalances_ = 0;
+  double base_budget_w_ = 0.0;
+  BrownoutStage stage_ = BrownoutStage::None;
+  std::uint64_t brownout_events_ = 0;
 };
 
 }  // namespace acsel::fleet

@@ -43,11 +43,13 @@ Fleet::Fleet(const FleetOptions& options)
                   "rebalance period must be >= 1 tick");
   ACSEL_CHECK_MSG(options_.replica_timeout_ns >= 1,
                   "replica timeout must be >= 1 ns");
+  ACSEL_CHECK_MSG(options_.hedge_fallback_delay_ns >= 1,
+                  "hedge fallback delay must be >= 1 ns");
   shards_.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     ring_.add(static_cast<std::uint32_t>(s));
     auto group = std::make_unique<ShardGroup>();
-    group->hedge_delay_ns.store(options_.replica_timeout_ns,
+    group->hedge_delay_ns.store(options_.hedge_fallback_delay_ns,
                                 std::memory_order_relaxed);
     group->replicas.reserve(options_.replicas);
     for (std::size_t r = 0; r < options_.replicas; ++r) {
@@ -74,8 +76,10 @@ Fleet::Fleet(const FleetOptions& options)
   }
   metrics_.set_alive_replicas(options_.shards * options_.replicas);
   for (std::size_t s = 0; s < options_.shards; ++s) {
-    metrics_.set_shard_cap(static_cast<std::uint32_t>(s),
-                           balancer_.shard(static_cast<std::uint32_t>(s)).cap_w);
+    const double cap_w =
+        balancer_.shard(static_cast<std::uint32_t>(s)).cap_w;
+    metrics_.set_shard_cap(static_cast<std::uint32_t>(s), cap_w);
+    shards_[s]->cap_w.store(cap_w, std::memory_order_relaxed);
   }
   if (options_.slo.enabled) {
     obs::Slo delivered;
@@ -189,12 +193,42 @@ serve::SelectResponse Fleet::select(const serve::SelectRequest& request) {
   }
   const obs::ScopedTraceContext rooted{root};
   ACSEL_OBS_SPAN("fleet.route", "fleet");
-  metrics_.on_routed();
+  metrics_.on_routed(request.priority);
+  // Brownout admission at the router: stage >= ShedLowPriority refuses
+  // Low traffic before any fan-out watts are spent. The shed is a
+  // counted decision (routed == delivered + shed holds per class).
+  const BrownoutStage stage = brownout_stage();
+  if (stage >= BrownoutStage::ShedLowPriority &&
+      request.priority == serve::Priority::Low) {
+    metrics_.on_brownout_shed();
+    metrics_.on_shed(request.priority);
+    serve::SelectResponse shed;
+    shed.request_id = request.request_id;
+    shed.status = serve::ResponseStatus::Shed;
+    return shed;
+  }
   const std::vector<std::uint32_t> candidates =
       ring_.owners(route_key(request), 1 + options_.reroute_fallbacks);
+  // Stage ForceLowPower clamps every request to its shard's (floored)
+  // power cap, so the scheduler's guardrail fallback pins the
+  // lowest-power frontier configuration on each replica.
+  const bool force_low_power = stage >= BrownoutStage::ForceLowPower;
+  serve::SelectRequest forced;
+  if (force_low_power) {
+    forced = request;
+  }
   for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const serve::SelectRequest* call = &request;
+    if (force_low_power) {
+      const double shard_cap =
+          shards_[candidates[i]]->cap_w.load(std::memory_order_relaxed);
+      forced.cap_w = request.cap_w.has_value()
+                         ? std::min(*request.cap_w, shard_cap)
+                         : shard_cap;
+      call = &forced;
+    }
     serve::SelectResponse response;
-    if (serve_on_shard(candidates[i], request, response)) {
+    if (serve_on_shard(candidates[i], *call, response)) {
       if (i > 0) {
         metrics_.on_rerouted();
         ACSEL_OBS_INSTANT("fleet.reroute", "fleet");
@@ -202,7 +236,7 @@ serve::SelectResponse Fleet::select(const serve::SelectRequest& request) {
         // Owner shard, first try: the delivered-fraction SLO numerator.
         metrics_.on_delivered_ok();
       }
-      if (request.cap_w.has_value()) {
+      if (call->cap_w.has_value()) {
         window_capped_.fetch_add(1, std::memory_order_relaxed);
         if (!response.predicted_feasible) {
           window_cap_exceeded_.fetch_add(1, std::memory_order_relaxed);
@@ -213,7 +247,7 @@ serve::SelectResponse Fleet::select(const serve::SelectRequest& request) {
   }
   // Owner and every fallback unreachable: shed explicitly — the caller
   // gets an answer, and the loss is a counted decision, not a drop.
-  metrics_.on_shed();
+  metrics_.on_shed(request.priority);
   serve::SelectResponse shed;
   shed.request_id = request.request_id;
   shed.status = serve::ResponseStatus::Shed;
@@ -357,7 +391,10 @@ bool Fleet::serve_on_shard(std::uint32_t shard,
   // slot keeps its unhedged completion time.
   const std::uint64_t hedge_delay =
       group.hedge_delay_ns.load(std::memory_order_relaxed);
-  const bool hedging = options_.hedge_p95_multiplier > 0.0;
+  // A brownout's first stage suppresses hedges — duplicate work is the
+  // cheapest load to refuse when the watts are gone.
+  const bool hedging = options_.hedge_p95_multiplier > 0.0 &&
+                       brownout_stage() < BrownoutStage::DropHedges;
   const bool deadline_blocks_hedge =
       request.deadline_ns > 0 && hedge_delay >= request.deadline_ns;
   std::vector<std::uint64_t> slot_effective(slots.size());
@@ -409,7 +446,8 @@ bool Fleet::serve_on_shard(std::uint32_t shard,
   window_latency_.record(service_ns);
   group.busy_ns.fetch_add(service_ns, std::memory_order_relaxed);
   group.window_delivered.fetch_add(1, std::memory_order_relaxed);
-  metrics_.on_delivered(shard, service_ns, traced ? parent.trace_id : 0);
+  metrics_.on_delivered(shard, request.priority, service_ns,
+                        traced ? parent.trace_id : 0);
 
   out = verdict.response;
   out.request_id = request.request_id;
@@ -420,7 +458,10 @@ void Fleet::tick() {
   ++ticks_;
   const bool chaos = ACSEL_FAULT_ARMED();
 
-  // 1. Node-loss chaos: a fired draw silences one more replica.
+  // 1. Node-loss chaos: a fired draw silences one more replica. The
+  // budget-cut site declares a power emergency while its burst fires —
+  // the global budget drops to magnitude x base — and ends it (staged
+  // recovery) when the burst stops.
   if (chaos) {
     for (auto& group : shards_) {
       for (auto& replica : group->replicas) {
@@ -431,6 +472,26 @@ void Fleet::tick() {
                          << replica->id.shard << "/" << replica->id.replica);
         }
       }
+    }
+    if (ACSEL_FAULT_FIRE("fleet.budget_cut")) {
+      // Site magnitude is the fraction of the base budget cut away.
+      const double remaining = std::clamp(
+          1.0 - fault::Injector::global().magnitude("fleet.budget_cut"),
+          0.05, 0.95);
+      std::lock_guard<std::mutex> lock{balancer_mu_};
+      if (!fault_emergency_) {
+        ACSEL_LOG_WARN("fleet: chaos cut the power budget to "
+                       << remaining * 100.0 << "% of base");
+      }
+      balancer_.set_emergency_budget(balancer_.base_budget_w() * remaining);
+      fault_emergency_ = true;
+      rebalance_due_.store(true, std::memory_order_relaxed);
+    } else if (fault_emergency_) {
+      std::lock_guard<std::mutex> lock{balancer_mu_};
+      balancer_.clear_emergency();
+      fault_emergency_ = false;
+      rebalance_due_.store(true, std::memory_order_relaxed);
+      ACSEL_LOG_INFO("fleet: chaos budget cut ended; budget restored");
     }
   }
 
@@ -465,9 +526,9 @@ void Fleet::tick() {
   // 3. Refresh per-shard hedge delays from the service-latency p95.
   if (options_.hedge_p95_multiplier > 0.0) {
     for (auto& group : shards_) {
-      // Hold the timeout-derived default until the tracker has enough
-      // samples for a meaningful tail.
-      if (group->service_latency.count() >= 32) {
+      // Cold-start guard: hold the fixed fallback delay until the
+      // tracker has enough samples for a meaningful tail.
+      if (group->service_latency.count() >= options_.hedge_min_samples) {
         const double p95 = static_cast<double>(
             group->service_latency.quantile_nanos(0.95));
         const std::uint64_t delay = std::max(
@@ -478,8 +539,11 @@ void Fleet::tick() {
     }
   }
 
-  // 4. Power-budget reallocation when due.
-  if (ticks_ % options_.rebalance_period == 0) {
+  // 4. Power-budget reallocation when due — on the period, or forced
+  // immediately by a budget emergency (an emergency must not wait out
+  // the rebalance period before the brownout engages).
+  if (rebalance_due_.exchange(false, std::memory_order_relaxed) ||
+      ticks_ % options_.rebalance_period == 0) {
     std::vector<std::uint64_t> demand(shards_.size(), 0);
     std::vector<bool> dead(shards_.size(), false);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -498,7 +562,11 @@ void Fleet::tick() {
       metrics_.set_shard_cap(static_cast<std::uint32_t>(s), budget.cap_w);
       shards_[s]->latency_scale.store(budget.latency_scale,
                                       std::memory_order_relaxed);
+      shards_[s]->cap_w.store(budget.cap_w, std::memory_order_relaxed);
     }
+    const auto stage = static_cast<std::uint8_t>(balancer_.stage());
+    brownout_stage_.store(stage, std::memory_order_relaxed);
+    metrics_.set_brownout_stage(stage);
   }
 
   // 5. SLO engine: close the per-tick windows into gauges the SLIs can
@@ -563,6 +631,36 @@ void Fleet::revive_node(NodeId node) {
   }
 }
 
+void Fleet::set_emergency_budget(double budget_w) {
+  std::lock_guard<std::mutex> lock{balancer_mu_};
+  balancer_.set_emergency_budget(budget_w);
+  rebalance_due_.store(true, std::memory_order_relaxed);
+  ACSEL_LOG_WARN("fleet: power emergency declared ("
+                 << budget_w << " W of " << balancer_.base_budget_w()
+                 << " W base)");
+}
+
+void Fleet::clear_emergency_budget() {
+  std::lock_guard<std::mutex> lock{balancer_mu_};
+  balancer_.clear_emergency();
+  rebalance_due_.store(true, std::memory_order_relaxed);
+  ACSEL_LOG_INFO("fleet: power emergency cleared");
+}
+
+Fleet::ClientTotals Fleet::client_totals() const {
+  ClientTotals totals;
+  for (const auto& group : shards_) {
+    for (const auto& replica : group->replicas) {
+      std::lock_guard<std::mutex> lock{replica->client_mu};
+      totals.calls += replica->client->calls();
+      totals.retries += replica->client->retries();
+      totals.retry_budget_exhausted +=
+          replica->client->retry_budget_exhausted();
+    }
+  }
+  return totals;
+}
+
 serve::FleetStats Fleet::stats() const {
   serve::FleetStats stats;
   stats.attached = true;
@@ -585,6 +683,13 @@ serve::FleetStats Fleet::stats() const {
   stats.routed = metrics_.routed();
   stats.delivered = metrics_.delivered();
   stats.shed = metrics_.shed();
+  for (std::size_t p = 0; p < serve::kPriorityClasses; ++p) {
+    const auto priority = static_cast<serve::Priority>(p);
+    stats.routed_by_priority[p] = metrics_.routed_by_priority(priority);
+    stats.delivered_by_priority[p] =
+        metrics_.delivered_by_priority(priority);
+    stats.shed_by_priority[p] = metrics_.shed_by_priority(priority);
+  }
   stats.rerouted = metrics_.rerouted();
   stats.hedges_fired = metrics_.hedges_fired();
   stats.vote_disagreements = metrics_.vote_disagreements();
@@ -595,6 +700,8 @@ serve::FleetStats Fleet::stats() const {
     std::lock_guard<std::mutex> lock{balancer_mu_};
     stats.rebalances = balancer_.rebalances();
     stats.global_budget_w = balancer_.global_budget_w();
+    stats.brownout_stage = static_cast<std::uint32_t>(balancer_.stage());
+    stats.brownout_events = balancer_.brownout_events();
   }
   return stats;
 }

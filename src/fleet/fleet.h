@@ -31,10 +31,14 @@
 //     every select() returns a response; nothing is silently lost.
 //
 // Fault sites (armed via ACSEL_FAULTS presets "node_loss", "partition",
-// "slow_node"): "fleet.node_loss" permanently fails one replica per
-// fire (drawn at tick time), "fleet.partition" drops heartbeats,
-// "fleet.slow_node" multiplies a replica call's simulated latency by the
-// site magnitude.
+// "slow_node", "budget_cut"): "fleet.node_loss" permanently fails one
+// replica per fire (drawn at tick time), "fleet.partition" drops
+// heartbeats, "fleet.slow_node" multiplies a replica call's simulated
+// latency by the site magnitude, and "fleet.budget_cut" declares a power
+// emergency while it fires — the global budget drops to magnitude x base
+// and the BudgetBalancer's brownout stages engage (drop hedges, shed
+// low-priority, force lowest-power configs) until the site stops firing
+// and the staged recovery unwinds.
 #pragma once
 
 #include <atomic>
@@ -113,6 +117,12 @@ struct FleetOptions {
   /// disables hedging.
   double hedge_p95_multiplier = 1.5;
   std::uint64_t hedge_min_delay_ns = 100'000;
+  /// Cold-start guard: until a shard's latency tracker holds this many
+  /// samples its p95 is noise, so the hedge delay stays pinned at
+  /// hedge_fallback_delay_ns instead of tracking a garbage tail (a 0 ns
+  /// delay would hedge every request; an inflated one would never fire).
+  std::uint64_t hedge_min_samples = 32;
+  std::uint64_t hedge_fallback_delay_ns = 10'000'000;
   /// Simulated cost of a replica slot that never answers.
   std::uint64_t replica_timeout_ns = 10'000'000;
   /// Optional executor for the replica fan-out (nullptr = inline). The
@@ -168,6 +178,30 @@ class Fleet {
   /// fleet model to the replica (catching up any missed versions).
   void revive_node(NodeId node);
 
+  /// Declares a power emergency: the balancer's current budget drops to
+  /// `budget_w` (the base stays put) and the next tick rebalances
+  /// immediately, escalating the brownout stages the new pressure ratio
+  /// demands. Safe against concurrent select().
+  void set_emergency_budget(double budget_w);
+  /// Ends an operator-declared emergency: the budget snaps back to the
+  /// base and the brownout unwinds one stage per rebalance.
+  void clear_emergency_budget();
+  /// The brownout stage requests are currently subject to (cached from
+  /// the last rebalance; readable off the hot path).
+  BrownoutStage brownout_stage() const {
+    return static_cast<BrownoutStage>(
+        brownout_stage_.load(std::memory_order_relaxed));
+  }
+
+  /// Aggregate transport-client counters across every replica link —
+  /// what the retry-budget bound in the soak gate is checked against.
+  struct ClientTotals {
+    std::uint64_t calls = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t retry_budget_exhausted = 0;
+  };
+  ClientTotals client_totals() const;
+
   /// The shard a request routes to (before liveness rerouting).
   std::uint32_t shard_of(const serve::SelectRequest& request) const;
 
@@ -190,6 +224,10 @@ class Fleet {
   /// Service-latency exemplars (slowest traced requests), slowest first.
   std::vector<obs::Histogram::Exemplar> latency_exemplars() const {
     return metrics_.latency_exemplars();
+  }
+  /// Snapshot of the cumulative fleet service-latency histogram.
+  obs::Histogram::Snapshot latency_snapshot() const {
+    return metrics_.latency_snapshot();
   }
   const obs::Registry& stats_registry() const { return metrics_.registry(); }
   const Membership& membership() const { return membership_; }
@@ -240,6 +278,9 @@ class Fleet {
     /// Service-time multiplier from the shard's current power cap
     /// (written at rebalance, read on the request path).
     std::atomic<double> latency_scale{1.0};
+    /// The shard's current power cap in watts — the clamp a
+    /// ForceLowPower brownout applies to requests routed here.
+    std::atomic<double> cap_w{0.0};
   };
 
   /// One replica slot's outcome in a fan-out round.
@@ -274,6 +315,14 @@ class Fleet {
   mutable std::mutex model_mu_;
   core::PredictorPtr current_model_;  // model_mu_
   std::uint64_t ticks_ = 0;
+  /// Brownout stage cached for the request path (written under
+  /// balancer_mu_ after each rebalance, read lock-free in select()).
+  std::atomic<std::uint8_t> brownout_stage_{0};
+  /// Set when a budget change must not wait for the rebalance period.
+  std::atomic<bool> rebalance_due_{false};
+  /// Whether the current emergency came from the fleet.budget_cut fault
+  /// site (tick-thread state: cleared when the site stops firing).
+  bool fault_emergency_ = false;
   /// Per-tick latency window backing the fleet.window_p99_us gauge
   /// (reset every tick, unlike the cumulative fleet.latency histogram).
   LatencyTracker window_latency_;

@@ -53,6 +53,17 @@ FleetMetrics::FleetMetrics(std::size_t shards)
       median_fallbacks_(&registry_.counter("fleet.vote_median_fallback")),
       heartbeats_dropped_(&registry_.counter("fleet.heartbeat_dropped")),
       replica_timeouts_(&registry_.counter("fleet.replica_timeout")),
+      brownout_shed_(&registry_.counter("fleet.brownout_shed")),
+      routed_by_priority_{&registry_.counter("fleet.routed.high"),
+                          &registry_.counter("fleet.routed.normal"),
+                          &registry_.counter("fleet.routed.low")},
+      delivered_by_priority_{&registry_.counter("fleet.delivered.high"),
+                             &registry_.counter("fleet.delivered.normal"),
+                             &registry_.counter("fleet.delivered.low")},
+      shed_by_priority_{&registry_.counter("fleet.shed.high"),
+                        &registry_.counter("fleet.shed.normal"),
+                        &registry_.counter("fleet.shed.low")},
+      brownout_stage_(&registry_.gauge("fleet.brownout_stage")),
       membership_transitions_(
           &registry_.gauge("fleet.membership_transitions")),
       alive_replicas_(&registry_.gauge("fleet.alive_replicas")),

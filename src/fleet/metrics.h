@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "serve/message.h"
 
 namespace acsel::fleet {
 
@@ -52,12 +53,17 @@ class FleetMetrics {
   explicit FleetMetrics(std::size_t shards);
 
   // -- hot-path updates --------------------------------------------------
-  void on_routed() { routed_->add(); }
+  void on_routed(serve::Priority priority) {
+    routed_->add();
+    routed_by_priority_[static_cast<std::size_t>(priority)]->add();
+  }
   /// `trace_id` (when nonzero) offers the sample as a latency exemplar —
   /// the slowest traced requests stay resolvable from the histogram.
-  void on_delivered(std::uint32_t shard, std::uint64_t service_nanos,
+  void on_delivered(std::uint32_t shard, serve::Priority priority,
+                    std::uint64_t service_nanos,
                     std::uint64_t trace_id = 0) {
     delivered_->add();
+    delivered_by_priority_[static_cast<std::size_t>(priority)]->add();
     shard_requests_[shard]->add();
     latency_->record(service_nanos, trace_id);
   }
@@ -65,7 +71,13 @@ class FleetMetrics {
   /// delivered-fraction SLO (a reroute keeps the request alive but burns
   /// the objective; a shed burns it harder).
   void on_delivered_ok() { delivered_ok_->add(); }
-  void on_shed() { shed_->add(); }
+  void on_shed(serve::Priority priority) {
+    shed_->add();
+    shed_by_priority_[static_cast<std::size_t>(priority)]->add();
+  }
+  /// A Low request refused at the router by a brownout stage >=
+  /// ShedLowPriority (also counted by on_shed).
+  void on_brownout_shed() { brownout_shed_->add(); }
   void on_hedge_deadline_clipped() { hedge_deadline_clipped_->add(); }
   void on_rerouted() { rerouted_->add(); }
   void on_hedge_fired(std::uint32_t shard) {
@@ -101,6 +113,9 @@ class FleetMetrics {
   void set_window_cap_exceedance(double fraction) {
     window_cap_exceedance_->set(fraction);
   }
+  void set_brownout_stage(std::uint8_t stage) {
+    brownout_stage_->set(static_cast<double>(stage));
+  }
 
   std::uint64_t routed() const { return routed_->value(); }
   std::uint64_t delivered() const { return delivered_->value(); }
@@ -123,6 +138,16 @@ class FleetMetrics {
   std::uint64_t shard_hedges(std::uint32_t shard) const {
     return shard_hedges_[shard]->value();
   }
+  std::uint64_t routed_by_priority(serve::Priority p) const {
+    return routed_by_priority_[static_cast<std::size_t>(p)]->value();
+  }
+  std::uint64_t delivered_by_priority(serve::Priority p) const {
+    return delivered_by_priority_[static_cast<std::size_t>(p)]->value();
+  }
+  std::uint64_t shed_by_priority(serve::Priority p) const {
+    return shed_by_priority_[static_cast<std::size_t>(p)]->value();
+  }
+  std::uint64_t brownout_sheds() const { return brownout_shed_->value(); }
 
   const obs::Registry& registry() const { return registry_; }
   /// Mutable registry access for the SLO engine (it pulls exemplars from
@@ -151,6 +176,11 @@ class FleetMetrics {
   obs::Counter* median_fallbacks_;
   obs::Counter* heartbeats_dropped_;
   obs::Counter* replica_timeouts_;
+  obs::Counter* brownout_shed_;
+  std::array<obs::Counter*, serve::kPriorityClasses> routed_by_priority_;
+  std::array<obs::Counter*, serve::kPriorityClasses> delivered_by_priority_;
+  std::array<obs::Counter*, serve::kPriorityClasses> shed_by_priority_;
+  obs::Gauge* brownout_stage_;
   obs::Gauge* membership_transitions_;
   obs::Gauge* alive_replicas_;
   obs::Gauge* window_p99_;

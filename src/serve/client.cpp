@@ -27,11 +27,17 @@ std::uint64_t mix64(std::uint64_t x) {
 Client::Client(Transport transport, ClientOptions options)
     : transport_(std::move(transport)),
       options_(std::move(options)),
-      rng_(options_.seed) {
+      rng_(options_.seed),
+      retry_tokens_(options_.retry_budget_initial),
+      exhausted_counter_(&obs::Registry::global().counter(
+          "serve.client.retry_budget_exhausted")) {
   ACSEL_CHECK_MSG(transport_ != nullptr, "client needs a transport");
   ACSEL_CHECK(options_.max_attempts >= 1);
   ACSEL_CHECK(options_.backoff_base.count() >= 0);
   ACSEL_CHECK(options_.backoff_max >= options_.backoff_base);
+  ACSEL_CHECK_MSG(options_.retry_budget_initial >= 0.0 &&
+                      options_.retry_budget_cap >= 0.0,
+                  "retry budget tokens must be non-negative");
 }
 
 bool Client::conclusive(ResponseStatus status) {
@@ -61,6 +67,28 @@ std::chrono::microseconds Client::backoff_delay(int attempt) {
       static_cast<double>(delay.count()) * jitter)};
 }
 
+void Client::deposit_retry_tokens() {
+  ++calls_;
+  if (options_.retry_budget_ratio <= 0.0) {
+    return;
+  }
+  retry_tokens_ = std::min(retry_tokens_ + options_.retry_budget_ratio,
+                           options_.retry_budget_cap);
+}
+
+bool Client::spend_retry_token() {
+  if (options_.retry_budget_ratio <= 0.0) {
+    return true;  // budget disabled
+  }
+  if (retry_tokens_ < 1.0) {
+    ++budget_exhausted_;
+    exhausted_counter_->add();
+    return false;
+  }
+  retry_tokens_ -= 1.0;
+  return true;
+}
+
 void Client::wait(std::chrono::microseconds delay) {
   if (options_.sleep) {
     options_.sleep(delay);
@@ -86,11 +114,19 @@ SelectResponse Client::select(const SelectRequest& request) {
   }
   const obs::ScopedTraceContext rooted{root};
   ACSEL_OBS_SPAN("client.select", "client");
+  deposit_retry_tokens();
   SelectResponse last;
   last.request_id = request.request_id;
   last.status = ResponseStatus::MalformedRequest;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
+      if (!spend_retry_token()) {
+        // Bucket dry: a fleet under brownout must see its shed wave die
+        // out, not come back amplified by backoff retries.
+        ACSEL_LOG_DEBUG("client: retry budget exhausted; returning "
+                        << to_string(last.status));
+        return last;
+      }
       ++retries_;
       wait(backoff_delay(attempt - 1));
     }
@@ -119,11 +155,15 @@ SelectResponse Client::select(const SelectRequest& request) {
 }
 
 StatsResponse Client::stats(const StatsRequest& request) {
+  deposit_retry_tokens();
   StatsResponse last;
   last.request_id = request.request_id;
   last.status = ResponseStatus::MalformedRequest;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
+      if (!spend_retry_token()) {
+        return last;
+      }
       ++retries_;
       wait(backoff_delay(attempt - 1));
     }

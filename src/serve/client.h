@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/codec.h"
 #include "serve/message.h"
 #include "util/rng.h"
@@ -48,6 +49,19 @@ struct ClientOptions {
   /// Called to wait out a backoff; defaults to sleep_for. Tests inject a
   /// recorder so retry schedules are assertable without real sleeping.
   std::function<void(std::chrono::microseconds)> sleep;
+  /// Retry budget (token bucket): every select()/stats() call deposits
+  /// this many tokens and each retry spends one, so at steady state at
+  /// most ~ratio of requests may retry. When the bucket is dry the client
+  /// returns the last failure instead of retrying — a brownout's shed
+  /// wave cannot be amplified into a retry storm that outlives it.
+  /// Non-positive disables the budget (retries bounded by max_attempts
+  /// only).
+  double retry_budget_ratio = 0.1;
+  /// Tokens in the bucket at construction — slack for cold-start bursts
+  /// before deposits accumulate.
+  double retry_budget_initial = 8.0;
+  /// Bucket capacity: quiet periods cannot bank unlimited retries.
+  double retry_budget_cap = 64.0;
 };
 
 class Client {
@@ -66,9 +80,23 @@ class Client {
   /// Retries performed across all calls so far.
   std::uint64_t retries() const { return retries_; }
 
+  /// select()/stats() calls made so far (the deposit stream — with
+  /// `retries()` this bounds-checks the budget: retries <= initial +
+  /// ratio * calls).
+  std::uint64_t calls() const { return calls_; }
+
+  /// Retries skipped because the token bucket was dry. Also exported as
+  /// the global "serve.client.retry_budget_exhausted" counter.
+  std::uint64_t retry_budget_exhausted() const { return budget_exhausted_; }
+
  private:
   /// Whether a decoded response settles the call (false = retry).
   static bool conclusive(ResponseStatus status);
+  /// Deposits the per-call tokens (called once per select()/stats()).
+  void deposit_retry_tokens();
+  /// Spends one token; false (and counts exhaustion) when the bucket is
+  /// dry and the budget is enabled.
+  bool spend_retry_token();
   std::chrono::microseconds backoff_delay(int attempt);
   void wait(std::chrono::microseconds delay);
 
@@ -76,6 +104,10 @@ class Client {
   ClientOptions options_;
   Rng rng_;
   std::uint64_t retries_ = 0;
+  std::uint64_t calls_ = 0;
+  std::uint64_t budget_exhausted_ = 0;
+  double retry_tokens_ = 0.0;
+  obs::Counter* exhausted_counter_ = nullptr;
 };
 
 }  // namespace acsel::serve

@@ -306,6 +306,17 @@ void put_stats_response_payload(std::vector<std::uint8_t>& out,
     put_u64(out, v);
   }
   put_f64(out, fleet.global_budget_w);
+  // Per-priority + brownout rows, appended to the fleet block (encoder
+  // and decoder ship together; the earlier offsets never move).
+  for (const auto& counters :
+       {fleet.routed_by_priority, fleet.delivered_by_priority,
+        fleet.shed_by_priority}) {
+    for (const std::uint64_t v : counters) {
+      put_u64(out, v);
+    }
+  }
+  put_u32(out, fleet.brownout_stage);
+  put_u64(out, fleet.brownout_events);
   // Series block, appended after the fleet block — the same
   // earlier-offsets-never-move rule.
   const SeriesStats& series = response.series;
@@ -429,6 +440,19 @@ StatsResponse read_stats_response_payload(Reader& r) {
   if (!std::isfinite(fleet.global_budget_w) || fleet.global_budget_w < 0.0) {
     throw PayloadError{};
   }
+  for (auto* counters :
+       {&fleet.routed_by_priority, &fleet.delivered_by_priority,
+        &fleet.shed_by_priority}) {
+    for (std::uint64_t& v : *counters) {
+      v = r.u64();
+    }
+  }
+  fleet.brownout_stage = r.u32();
+  // Stages beyond the deepest brownout cannot come from a balancer.
+  if (fleet.brownout_stage > 3) {
+    throw PayloadError{};
+  }
+  fleet.brownout_events = r.u64();
   SeriesStats& series = response.series;
   const std::uint8_t series_attached = r.u8();
   if (series_attached > 1) {
@@ -591,19 +615,30 @@ FeedbackResponse read_feedback_response_payload(Reader& r) {
 
 void put_frame(std::vector<std::uint8_t>& out, MessageType type,
                const std::vector<std::uint8_t>& payload,
-               const obs::TraceContext* trace) {
+               const obs::TraceContext* trace,
+               const Priority* priority = nullptr) {
   ACSEL_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
                   "encoded payload exceeds kMaxPayloadBytes");
+  std::uint16_t flags = 0;
+  if (trace != nullptr) {
+    flags |= kFlagTraceContext;
+  }
+  if (priority != nullptr) {
+    flags |= kFlagPriority;
+  }
   put_u32(out, kWireMagic);
   put_u8(out, kWireVersion);
   put_u8(out, static_cast<std::uint8_t>(type));
-  put_u16(out, trace != nullptr ? kFlagTraceContext : 0);
+  put_u16(out, flags);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   if (trace != nullptr) {
     put_u64(out, trace->trace_id);
     put_u64(out, trace->span_id);
     put_u64(out, trace->parent_id);
     put_u8(out, trace->sampled ? 1 : 0);
+  }
+  if (priority != nullptr) {
+    put_u8(out, static_cast<std::uint8_t>(*priority));
   }
   out.insert(out.end(), payload.begin(), payload.end());
 }
@@ -636,7 +671,12 @@ void encode_request(const SelectRequest& request,
   std::vector<std::uint8_t> payload;
   payload.reserve(512);
   put_request_payload(payload, request);
-  put_frame(out, MessageType::SelectRequest, payload, trace);
+  // Normal emits no block, so frames from clients that never set a
+  // priority are byte-identical to pre-priority builds (and peers that
+  // predate the flag still parse them).
+  const bool tagged = request.priority != Priority::Normal;
+  put_frame(out, MessageType::SelectRequest, payload, trace,
+            tagged ? &request.priority : nullptr);
 }
 
 void encode_response(const SelectResponse& response,
@@ -727,8 +767,11 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer,
   result.type = static_cast<MessageType>(raw_type);
   const std::size_t trace_bytes =
       (flags & kFlagTraceContext) != 0 ? kTraceBlockBytes : 0;
-  const std::uint64_t frame_size =
-      std::uint64_t{kFrameHeaderBytes} + trace_bytes + payload_size;
+  const std::size_t priority_bytes =
+      (flags & kFlagPriority) != 0 ? kPriorityBlockBytes : 0;
+  const std::uint64_t frame_size = std::uint64_t{kFrameHeaderBytes} +
+                                   trace_bytes + priority_bytes +
+                                   payload_size;
   if (buffer.size() < frame_size) {
     result.status = DecodeStatus::NeedMoreData;
     return result;
@@ -749,12 +792,24 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer,
     result.trace.sampled = sampled == 1;
     result.has_trace = true;
   }
-  Reader payload{buffer.subspan(kFrameHeaderBytes + trace_bytes,
-                                payload_size)};
+  if (priority_bytes != 0) {
+    const std::uint8_t priority = buffer[kFrameHeaderBytes + trace_bytes];
+    if (priority > static_cast<std::uint8_t>(Priority::Low)) {
+      // Correctly sized, so skippable, but no encoder writes this value.
+      result.status = DecodeStatus::MalformedPayload;
+      result.bytes_consumed = frame_size;
+      return result;
+    }
+    result.priority = static_cast<Priority>(priority);
+    result.has_priority = true;
+  }
+  Reader payload{buffer.subspan(
+      kFrameHeaderBytes + trace_bytes + priority_bytes, payload_size)};
   try {
     switch (result.type) {
       case MessageType::SelectRequest:
         result.request = read_request_payload(payload);
+        result.request.priority = result.priority;
         break;
       case MessageType::SelectResponse:
         result.response = read_response_payload(payload);

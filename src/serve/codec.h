@@ -6,21 +6,28 @@
 //   u8   message type   (1 = SelectRequest, 2 = SelectResponse,
 //                        3 = StatsRequest, 4 = StatsResponse,
 //                        5 = FeedbackRequest, 6 = FeedbackResponse)
-//   u16  flags          (bit 0 = trace-context block present; all other
-//                        bits reserved, must be 0)
+//   u16  flags          (bit 0 = trace-context block present, bit 1 =
+//                        priority block present; all other bits
+//                        reserved, must be 0)
 //   u32  payload length (hard-capped at kMaxPayloadBytes; excludes the
-//                        trace block)
+//                        optional blocks)
 //   [trace block — 25 bytes, present iff flags bit 0]
 //     u64 trace_id, u64 span_id, u64 parent_id, u8 sampled (0/1)
+//   [priority block — 1 byte, present iff flags bit 1]
+//     u8 priority (0 = High, 1 = Normal, 2 = Low)
 //   ...  payload
 //
 // Version history: v1 had the same 12-byte header with the u16 as an
 // always-zero reserved field and no trace block; v2 repurposed it as
 // flags and appended fields to the SelectRequest (deadline_ns) and
-// StatsResponse (series + slo blocks) payloads. The decoder speaks only
-// the current version — v1 frames report UnsupportedVersion, as do
-// frames setting flag bits this build does not know (a frame whose size
-// cannot be determined must not be resynchronized by guesswork).
+// StatsResponse (series + slo blocks) payloads; the priority block (bit
+// 1) and the per-priority + brownout rows of the StatsResponse fleet
+// block arrived later within v2 — a request frame with no priority
+// block means Priority::Normal, so pre-priority peers interoperate
+// unchanged. The decoder speaks only the current version — v1 frames
+// report UnsupportedVersion, as do frames setting flag bits this build
+// does not know (a frame whose size cannot be determined must not be
+// resynchronized by guesswork).
 //
 // All integers are little-endian; doubles travel as their IEEE-754 bit
 // patterns, so predictions round-trip bit-exactly. Decoding never throws:
@@ -44,9 +51,12 @@ inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Header flags (the u16 that was reserved-zero in v1).
 inline constexpr std::uint16_t kFlagTraceContext = 0x0001;
-inline constexpr std::uint16_t kKnownFlags = kFlagTraceContext;
+inline constexpr std::uint16_t kFlagPriority = 0x0002;
+inline constexpr std::uint16_t kKnownFlags = kFlagTraceContext | kFlagPriority;
 /// Trace block: trace_id + span_id + parent_id + sampled.
 inline constexpr std::size_t kTraceBlockBytes = 25;
+/// Priority block: one Priority byte.
+inline constexpr std::size_t kPriorityBlockBytes = 1;
 /// A sample pair encodes in well under 1 KiB; anything near this limit is
 /// garbage or an attack, not a request.
 inline constexpr std::size_t kMaxPayloadBytes = 64 * 1024;
@@ -110,6 +120,12 @@ struct Decoded {
   /// `has_trace` is false when the frame carried none.
   bool has_trace = false;
   obs::TraceContext trace;
+  /// Priority carried by the frame's priority block (flags bit 1); an
+  /// absent block decodes as Normal with `has_priority` false. For a
+  /// SelectRequest frame the value is also copied into
+  /// `request.priority`.
+  bool has_priority = false;
+  Priority priority = Priority::Normal;
   SelectRequest request;    ///< valid when status == Ok, type == SelectRequest
   SelectResponse response;  ///< valid when status == Ok, type == SelectResponse
   StatsRequest stats_request;    ///< valid when Ok, type == StatsRequest

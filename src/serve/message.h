@@ -6,6 +6,7 @@
 // produced them so clients can reason about hot-swaps.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -41,6 +42,22 @@ enum class ResponseStatus : std::uint8_t {
 
 const char* to_string(ResponseStatus status);
 
+/// Overload-control class of a request. Under queue pressure the server
+/// sheds Low first, then Normal; High is only shed when the queue is
+/// truly full. The fleet's brownout stages shed Low at the router before
+/// any replica sees the request. Encoded on the wire as a versioned
+/// optional frame block (header flags bit 1), so v2 peers that predate
+/// priorities interoperate: an absent block means Normal.
+enum class Priority : std::uint8_t {
+  High = 0,
+  Normal = 1,
+  Low = 2,
+};
+
+inline constexpr std::size_t kPriorityClasses = 3;
+
+const char* to_string(Priority priority);
+
 struct SelectRequest {
   /// Client-chosen correlation id, echoed back verbatim.
   std::uint64_t request_id = 0;
@@ -54,6 +71,8 @@ struct SelectRequest {
   /// no deadline. Propagated through the fleet so derived work (hedges,
   /// reroutes) cannot outlive a deadline the caller has already blown.
   std::uint64_t deadline_ns = 0;
+  /// Overload-control class; Normal when the client does not care.
+  Priority priority = Priority::Normal;
   /// The kernel's two sample runs — the online stage's whole world.
   core::SamplePair samples;
 };
@@ -153,6 +172,16 @@ struct FleetStats {
   std::uint64_t rebalances = 0;
   /// Facility budget currently being split across shards, W.
   double global_budget_w = 0.0;
+  /// Per-priority accounting, indexed by Priority (High, Normal, Low).
+  /// routed == delivered + shed holds per class, not just in aggregate.
+  std::array<std::uint64_t, kPriorityClasses> routed_by_priority{};
+  std::array<std::uint64_t, kPriorityClasses> delivered_by_priority{};
+  std::array<std::uint64_t, kPriorityClasses> shed_by_priority{};
+  /// Power-emergency brownout: current stage (0 = none, 1 = hedges
+  /// dropped, 2 = + low priority shed, 3 = + caps forced to the floor)
+  /// and how many emergencies have been entered so far.
+  std::uint32_t brownout_stage = 0;
+  std::uint64_t brownout_events = 0;
 
   bool operator==(const FleetStats&) const = default;
 };

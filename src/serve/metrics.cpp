@@ -11,6 +11,9 @@ ServerMetrics::ServerMetrics()
     : submitted_(&registry_.counter("serve.submitted")),
       completed_(&registry_.counter("serve.completed")),
       shed_(&registry_.counter("serve.shed")),
+      shed_by_priority_{&registry_.counter("serve.shed.high"),
+                        &registry_.counter("serve.shed.normal"),
+                        &registry_.counter("serve.shed.low")},
       deadline_shed_(&registry_.counter("serve.deadline_shed")),
       breaker_rerouted_(&registry_.counter("serve.breaker_rerouted")),
       feedback_(&registry_.counter("serve.feedback")),
@@ -35,6 +38,9 @@ ServerMetrics::Snapshot ServerMetrics::snapshot(
   snap.submitted = submitted_->value();
   snap.completed = completed_->value();
   snap.shed = shed_->value();
+  for (std::size_t p = 0; p < kPriorityClasses; ++p) {
+    snap.shed_by_priority[p] = shed_by_priority_[p]->value();
+  }
   snap.deadline_shed = deadline_shed_->value();
   snap.breaker_rerouted = breaker_rerouted_->value();
   snap.feedback = feedback_->value();
@@ -68,6 +74,10 @@ void print_metrics(const ServerMetrics::Snapshot& snapshot,
   table.add_row({"submitted", std::to_string(snapshot.submitted)});
   table.add_row({"completed", std::to_string(snapshot.completed)});
   table.add_row({"shed", std::to_string(snapshot.shed)});
+  table.add_row({"shed (high/normal/low)",
+                 std::to_string(snapshot.shed_by_priority[0]) + "/" +
+                     std::to_string(snapshot.shed_by_priority[1]) + "/" +
+                     std::to_string(snapshot.shed_by_priority[2])});
   table.add_row({"deadline shed", std::to_string(snapshot.deadline_shed)});
   table.add_row(
       {"breaker rerouted", std::to_string(snapshot.breaker_rerouted)});
@@ -87,6 +97,7 @@ void print_metrics(const ServerMetrics::Snapshot& snapshot,
 const std::vector<std::string>& metrics_csv_header() {
   static const std::vector<std::string> header{
       "label",   "submitted", "completed", "shed",
+      "shed_high", "shed_normal", "shed_low",
       "deadline_shed", "breaker_rerouted",
       "feedback", "shadowed",
       "errors",  "batches",   "mean_batch", "qps",
@@ -100,6 +111,9 @@ void write_metrics_row(CsvWriter& writer, const std::string& label,
   writer.row({label, std::to_string(snapshot.submitted),
               std::to_string(snapshot.completed),
               std::to_string(snapshot.shed),
+              std::to_string(snapshot.shed_by_priority[0]),
+              std::to_string(snapshot.shed_by_priority[1]),
+              std::to_string(snapshot.shed_by_priority[2]),
               std::to_string(snapshot.deadline_shed),
               std::to_string(snapshot.breaker_rerouted),
               std::to_string(snapshot.feedback),

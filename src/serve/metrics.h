@@ -7,6 +7,7 @@
 // hot-path locking.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "serve/message.h"
 #include "util/csv.h"
 
 namespace acsel::serve {
@@ -31,7 +33,10 @@ class ServerMetrics {
 
   // -- hot-path updates --------------------------------------------------
   void on_submitted() { submitted_->add(); }
-  void on_shed() { shed_->add(); }
+  void on_shed(Priority priority) {
+    shed_->add();
+    shed_by_priority_[static_cast<std::size_t>(priority)]->add();
+  }
   void on_deadline_shed() { deadline_shed_->add(); }
   void on_breaker_rerouted() { breaker_rerouted_->add(); }
   void on_feedback() { feedback_->add(); }
@@ -56,6 +61,9 @@ class ServerMetrics {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;  ///< includes error responses, not sheds
     std::uint64_t shed = 0;
+    /// Sheds broken down by request class (indexed by Priority); sums to
+    /// `shed`. Under pressure the admission limits shed Low first.
+    std::array<std::uint64_t, kPriorityClasses> shed_by_priority{};
     /// Requests whose deadline expired in the queue (answered
     /// DeadlineExceeded, never served).
     std::uint64_t deadline_shed = 0;
@@ -95,6 +103,7 @@ class ServerMetrics {
   obs::Counter* submitted_;
   obs::Counter* completed_;
   obs::Counter* shed_;
+  std::array<obs::Counter*, kPriorityClasses> shed_by_priority_;
   obs::Counter* deadline_shed_;
   obs::Counter* breaker_rerouted_;
   obs::Counter* feedback_;

@@ -7,6 +7,7 @@
 // are nanoseconds and a lock-free ring would buy nothing measurable.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -30,10 +31,19 @@ class BoundedQueue {
 
   /// Enqueues unless the queue is full or closed; returns whether the
   /// item was accepted. Never blocks.
-  bool try_push(T item) {
+  bool try_push(T item) { return try_push(std::move(item), capacity_); }
+
+  /// Enqueues unless the queue already holds `admission_limit` items (or
+  /// is full or closed) — the priority-admission primitive: lower classes
+  /// push with a lower limit, so under pressure they are shed while the
+  /// headroom between their limit and capacity stays reserved for higher
+  /// classes. Admission only; the drain stays strictly FIFO, so items
+  /// already accepted are never starved or reordered by class.
+  bool try_push(T item, std::size_t admission_limit) {
+    const std::size_t limit = std::min(admission_limit, capacity_);
     {
       std::lock_guard<std::mutex> lock{mu_};
-      if (closed_ || items_.size() >= capacity_) {
+      if (closed_ || items_.size() >= limit) {
         return false;
       }
       items_.push_back(std::move(item));

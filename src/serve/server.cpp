@@ -53,6 +53,18 @@ const char* to_string(ResponseStatus status) {
   return "?";
 }
 
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::High:
+      return "high";
+    case Priority::Normal:
+      return "normal";
+    case Priority::Low:
+      return "low";
+  }
+  return "?";
+}
+
 SelectResponse serve_with_model(const core::Predictor& model,
                                 std::uint64_t model_version,
                                 const SelectRequest& request,
@@ -80,6 +92,14 @@ Server::Server(ModelRegistry& registry, ServerOptions options)
       queue_(options.queue_capacity) {
   ACSEL_CHECK_MSG(options_.workers >= 1, "server needs >= 1 worker");
   ACSEL_CHECK_MSG(options_.max_batch >= 1, "server needs max_batch >= 1");
+  ACSEL_CHECK_MSG(options_.low_priority_admission >= 0.0 &&
+                      options_.low_priority_admission <= 1.0 &&
+                      options_.normal_priority_admission >= 0.0 &&
+                      options_.normal_priority_admission <= 1.0,
+                  "priority admission fractions must be within [0, 1]");
+  ACSEL_CHECK_MSG(
+      options_.low_priority_admission <= options_.normal_priority_admission,
+      "low-priority admission must not exceed normal-priority admission");
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -91,6 +111,27 @@ Server::Server(ModelRegistry& registry, ServerOptions options)
 
 Server::~Server() { stop(); }
 
+std::size_t Server::admission_limit(Priority priority) const {
+  // High rides to full capacity; Normal and Low stop short of it, so the
+  // headroom above their fraction stays reserved for higher classes. The
+  // limit never truncates below 1: a tiny queue (capacity 1-2) degrades
+  // to equal treatment rather than shedding a whole class outright.
+  const double capacity = static_cast<double>(options_.queue_capacity);
+  switch (priority) {
+    case Priority::High:
+      return options_.queue_capacity;
+    case Priority::Normal:
+      return std::max<std::size_t>(
+          1, static_cast<std::size_t>(capacity *
+                                      options_.normal_priority_admission));
+    case Priority::Low:
+      return std::max<std::size_t>(
+          1, static_cast<std::size_t>(capacity *
+                                      options_.low_priority_admission));
+  }
+  return options_.queue_capacity;
+}
+
 std::future<SelectResponse> Server::submit(SelectRequest request) {
   metrics_.on_submitted();
   Job job;
@@ -98,11 +139,12 @@ std::future<SelectResponse> Server::submit(SelectRequest request) {
   job.enqueued = std::chrono::steady_clock::now();
   job.trace = obs::current_trace_context();
   const std::uint64_t request_id = job.request.request_id;
+  const Priority priority = job.request.priority;
   std::future<SelectResponse> future = job.promise.get_future();
-  if (!queue_.try_push(std::move(job))) {
+  if (!queue_.try_push(std::move(job), admission_limit(priority))) {
     // Shed: resolve immediately so the caller never blocks on a request
     // the server refused to queue.
-    metrics_.on_shed();
+    metrics_.on_shed(priority);
     SelectResponse response;
     response.request_id = request_id;
     response.status = ResponseStatus::Shed;

@@ -242,12 +242,12 @@ TEST_F(FleetTest, HedgeDelayDerivesFromP95AndCutsStragglers) {
   Fleet fleet{options};
   fleet.publish(model_a_);
 
-  // Warm-up one shard past the 32-sample threshold: hedging starts from
-  // the timeout-derived delay (effectively off) until the shard's
-  // tracker has a real p95.
+  // Warm-up one shard past the hedge_min_samples threshold: hedging
+  // starts from the cold-start fallback delay (effectively off) until
+  // the shard's tracker has a real p95.
   const auto request = make_request(3);
   const std::uint32_t home = fleet.shard_of(request);
-  EXPECT_EQ(fleet.hedge_delay_ns(home), FleetOptions{}.replica_timeout_ns);
+  EXPECT_EQ(fleet.hedge_delay_ns(home), FleetOptions{}.hedge_fallback_delay_ns);
   for (std::uint64_t i = 0; i < 40; ++i) {
     (void)fleet.select(request);
   }
@@ -603,6 +603,74 @@ TEST_F(FleetTest, ParallelFanoutMatchesInlineDecisions) {
   }
   EXPECT_EQ(pooled.stats().vote_disagreements, 0u);
   expect_nothing_lost(pooled.stats());
+}
+
+// ---- brownout / power emergency ----------------------------------------
+
+TEST_F(FleetTest, ColdShardKeepsTheFallbackHedgeDelay) {
+  FleetOptions options = small_fleet();
+  options.latency_model = [](NodeId, std::uint64_t) -> std::uint64_t {
+    return 150'000;
+  };
+  options.hedge_min_samples = 1'000'000;  // never enough samples
+  options.hedge_fallback_delay_ns = 4'000'000;
+  Fleet fleet{options};
+  fleet.publish(model_a_);
+  const auto request = make_request(3);
+  const std::uint32_t home = fleet.shard_of(request);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    (void)fleet.select(request);
+  }
+  fleet.tick();
+  // Below the sample threshold the p95 is noise; the delay must stay
+  // pinned at the configured fallback, not track a garbage tail.
+  EXPECT_EQ(fleet.hedge_delay_ns(home), 4'000'000u);
+}
+
+TEST_F(FleetTest, PowerEmergencyShedsLowPriorityAndRecoversStaged) {
+  FleetOptions options = small_fleet();
+  options.rebalance_period = 1;
+  Fleet fleet{options};
+  fleet.publish(model_a_);
+  EXPECT_EQ(fleet.brownout_stage(), BrownoutStage::None);
+
+  // Emergency: 40% of base is below the floor-pressure threshold, so the
+  // next rebalance escalates straight to ForceLowPower.
+  fleet.set_emergency_budget(0.4 * FleetOptions{}.budget.global_budget_w);
+  fleet.tick();
+  EXPECT_EQ(fleet.brownout_stage(), BrownoutStage::ForceLowPower);
+
+  // Low priority is shed at the router; High still flows.
+  serve::SelectRequest low = make_request(1);
+  low.priority = serve::Priority::Low;
+  EXPECT_EQ(fleet.select(low).status, serve::ResponseStatus::Shed);
+  serve::SelectRequest high = make_request(2);
+  high.priority = serve::Priority::High;
+  EXPECT_EQ(fleet.select(high).status, serve::ResponseStatus::Ok);
+  serve::FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.shed_by_priority[2], 1u);
+  EXPECT_EQ(stats.delivered_by_priority[0], 1u);
+  EXPECT_EQ(stats.brownout_stage, 3u);
+  EXPECT_EQ(stats.brownout_events, 1u);
+  expect_nothing_lost(stats);
+
+  // Recovery unwinds one stage per rebalance, not in one snap.
+  fleet.clear_emergency_budget();
+  fleet.tick();
+  EXPECT_EQ(fleet.brownout_stage(), BrownoutStage::ShedLowPriority);
+  fleet.tick();
+  EXPECT_EQ(fleet.brownout_stage(), BrownoutStage::DropHedges);
+  fleet.tick();
+  EXPECT_EQ(fleet.brownout_stage(), BrownoutStage::None);
+
+  // Fully recovered: Low flows again, per-class accounting still holds.
+  low.request_id = 99;
+  EXPECT_EQ(fleet.select(low).status, serve::ResponseStatus::Ok);
+  stats = fleet.stats();
+  EXPECT_EQ(stats.delivered_by_priority[2], 1u);
+  EXPECT_EQ(stats.routed_by_priority[2],
+            stats.delivered_by_priority[2] + stats.shed_by_priority[2]);
+  expect_nothing_lost(stats);
 }
 
 }  // namespace

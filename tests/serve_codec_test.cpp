@@ -525,14 +525,15 @@ TEST(ServeCodec, StatsResponseTruncatedInsideTheFleetBlockIsMalformed) {
 
 TEST(ServeCodec, StatsResponseTruncatedInsideTheAdaptBlockIsMalformed) {
   // Cut the declared payload mid-way through the adapt counters (the
-  // fleet block appended after it is 109 bytes, so the cut must reach
-  // past it): the block is not optional, so a short frame must not
-  // silently decode to a zeroed AdaptStats.
+  // blocks appended after it — fleet 193 + empty series 21 + empty slo
+  // 13 — total 227 bytes, so the cut must reach past them): the block is
+  // not optional, so a short frame must not silently decode to a zeroed
+  // AdaptStats.
   StatsResponse response;
   response.request_id = 6;
   std::vector<std::uint8_t> bytes;
   encode_stats_response(response, bytes);
-  const std::size_t shortened = bytes.size() - kFrameHeaderBytes - 125;
+  const std::size_t shortened = bytes.size() - kFrameHeaderBytes - 250;
   bytes[8] = static_cast<std::uint8_t>(shortened & 0xff);
   bytes[9] = static_cast<std::uint8_t>((shortened >> 8) & 0xff);
   bytes.resize(kFrameHeaderBytes + shortened);
@@ -859,11 +860,11 @@ TEST(ServeCodec, VersionOneFramesAreUnsupported) {
 }
 
 TEST(ServeCodec, UnknownFlagBitsAreUnsupportedNotGuessed) {
-  // An unknown flag bit may change the frame size (as bit 0 itself did),
-  // so decoding must refuse rather than desynchronize the stream.
+  // An unknown flag bit may change the frame size (as bits 0 and 1 both
+  // did), so decoding must refuse rather than desynchronize the stream.
   const obs::TraceContext trace = make_trace();
   for (const std::uint8_t bit :
-       {std::uint8_t{0x02}, std::uint8_t{0x80}}) {
+       {std::uint8_t{0x04}, std::uint8_t{0x80}}) {
     std::vector<std::uint8_t> bytes;
     encode_request(make_request(), bytes, &trace);
     // flags u16 little-endian at offsets 6..7
@@ -997,9 +998,10 @@ TEST(ServeCodec, SeriesAttachedMustBeBoolean) {
   StatsResponse response;
   std::vector<std::uint8_t> bytes;
   encode_stats_response(response, bytes);
-  // With no metrics the series block starts at payload offset 229
-  // (8+1+4 response header + 107 adapt + 109 fleet).
-  bytes[kFrameHeaderBytes + 229] = 2;
+  // With no metrics the series block starts at payload offset 313
+  // (8+1+4 response header + 107 adapt + 193 fleet, the fleet block's
+  // per-priority + brownout rows included).
+  bytes[kFrameHeaderBytes + 313] = 2;
   EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
 }
 
@@ -1007,8 +1009,8 @@ TEST(ServeCodec, AbsurdSeriesCountIsRejected) {
   StatsResponse response;
   std::vector<std::uint8_t> bytes;
   encode_stats_response(response, bytes);
-  // series count u32 at payload offset 229 + 1 + 8 + 8 = 246.
-  bytes[kFrameHeaderBytes + 246 + 3] = 0xff;  // ~16M rollups declared
+  // series count u32 at payload offset 313 + 1 + 8 + 8 = 330.
+  bytes[kFrameHeaderBytes + 330 + 3] = 0xff;  // ~16M rollups declared
   EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
 }
 
@@ -1130,6 +1132,113 @@ TEST(PredictorEnvelope, TypedRejectionsRemainPlainErrorsToOldCatchSites) {
       "foreign.model", "acsel-predictor quantum v1\nwhatever\n");
   EXPECT_THROW(registry.publish_file(path), Error);
   std::remove(path.c_str());
+}
+
+// ---- priority block ----------------------------------------------------
+
+TEST(ServeCodec, PriorityBlockRoundTripsHighAndLow) {
+  for (const Priority priority : {Priority::High, Priority::Low}) {
+    SelectRequest request = make_request();
+    request.priority = priority;
+    std::vector<std::uint8_t> bytes;
+    encode_request(request, bytes);
+
+    const Decoded decoded = decode_frame(bytes);
+    ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+    EXPECT_TRUE(decoded.has_priority);
+    EXPECT_EQ(decoded.priority, priority);
+    EXPECT_EQ(decoded.request.priority, priority);
+  }
+}
+
+TEST(ServeCodec, NormalPriorityOmitsTheBlockByteIdentically) {
+  // A Normal request must encode exactly as a pre-priority build would:
+  // no flag bit, no block byte — so version-skewed peers interoperate
+  // and byte-keyed caches (the server's batch memoization) are unmoved.
+  SelectRequest request = make_request();
+  request.priority = Priority::Normal;
+  std::vector<std::uint8_t> with_normal;
+  encode_request(request, with_normal);
+
+  std::vector<std::uint8_t> default_encoded;
+  encode_request(make_request(), default_encoded);
+  EXPECT_EQ(with_normal, default_encoded);
+
+  const Decoded decoded = decode_frame(with_normal);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_FALSE(decoded.has_priority);
+  EXPECT_EQ(decoded.request.priority, Priority::Normal);
+  // Flags bit 1 (priority) is clear on the wire.
+  const std::uint16_t flags = static_cast<std::uint16_t>(
+      with_normal[6] | (with_normal[7] << 8));
+  EXPECT_EQ(flags & kFlagPriority, 0);
+}
+
+TEST(ServeCodec, BadPriorityByteIsMalformedButSkippable) {
+  SelectRequest request = make_request();
+  request.priority = Priority::High;
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+  // No trace block, so the priority byte sits right after the header.
+  bytes[kFrameHeaderBytes] = 3;  // beyond Priority::Low
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  // Framed-but-bad: the stream can skip the whole frame and resume.
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+TEST(ServeCodec, PriorityBlockCoexistsWithATraceBlock) {
+  SelectRequest request = make_request();
+  request.priority = Priority::Low;
+  obs::TraceContext trace;
+  trace.trace_id = 0x1111;
+  trace.span_id = 0x2222;
+  trace.parent_id = 0x3333;
+  trace.sampled = true;
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes, &trace);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_TRUE(decoded.has_trace);
+  EXPECT_EQ(decoded.trace.trace_id, 0x1111u);
+  EXPECT_TRUE(decoded.has_priority);
+  EXPECT_EQ(decoded.request.priority, Priority::Low);
+}
+
+// ---- fleet block: per-priority + brownout rows -------------------------
+
+TEST(ServeCodec, FleetBlockPriorityAndBrownoutRowsRoundTrip) {
+  StatsResponse response;
+  response.request_id = 11;
+  response.fleet.attached = true;
+  response.fleet.shards = 6;
+  response.fleet.replicas = 18;
+  response.fleet.replicas_alive = 17;
+  response.fleet.routed = 600;
+  response.fleet.delivered = 550;
+  response.fleet.shed = 50;
+  response.fleet.routed_by_priority = {100, 300, 200};
+  response.fleet.delivered_by_priority = {100, 300, 150};
+  response.fleet.shed_by_priority = {0, 0, 50};
+  response.fleet.brownout_stage = 2;
+  response.fleet.brownout_events = 3;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_EQ(decoded.stats_response.fleet, response.fleet);
+}
+
+TEST(ServeCodec, BrownoutStageBeyondTheLadderIsRejected) {
+  StatsResponse response;
+  response.request_id = 12;
+  response.fleet.attached = true;
+  response.fleet.brownout_stage = 4;  // deeper than ForceLowPower
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(response, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
 }
 
 }  // namespace
