@@ -3,67 +3,29 @@
 // *shape* of Table III — Model+FL meets the most constraints while keeping
 // most of the oracle's performance — does not hinge on the exact machine
 // constants. Perturb the most influential MachineSpec parameters by ±25%
-// and re-run the LOOCV protocol under each.
+// and re-run the LOOCV protocol under each. The variants come from
+// zoo::ArchetypeCatalog::calibration_variants(), the one place machine
+// variants are built.
 #include <iostream>
 
 #include "bench_common.h"
 #include "eval/tables.h"
 #include "util/strings.h"
 #include "util/table.h"
-
-namespace {
-
-using namespace acsel;
-
-struct Variant {
-  std::string name;
-  soc::MachineSpec spec;
-};
-
-}  // namespace
+#include "zoo/archetype.h"
 
 int main() {
   using namespace acsel;
   bench::print_header("Machine-calibration sensitivity",
                       "DESIGN.md §1 substitution argument");
 
-  std::vector<Variant> variants;
-  variants.push_back({"baseline", soc::MachineSpec{}});
-  {
-    Variant v{"GPU 25% weaker (gpu_dyn/eff)", soc::MachineSpec{}};
-    v.spec.gpu_dyn_w *= 1.25;          // hungrier
-    v.spec.gpu_flops_per_core_cycle *= 0.75;  // slower
-    variants.push_back(v);
-  }
-  {
-    Variant v{"GPU 25% stronger", soc::MachineSpec{}};
-    v.spec.gpu_dyn_w *= 0.75;
-    v.spec.gpu_flops_per_core_cycle *= 1.25;
-    variants.push_back(v);
-  }
-  {
-    Variant v{"DRAM bandwidth +25%", soc::MachineSpec{}};
-    v.spec.dram_bw_gbs *= 1.25;
-    v.spec.gpu_bw_gbs *= 1.25;
-    variants.push_back(v);
-  }
-  {
-    Variant v{"CPU cores 25% hungrier", soc::MachineSpec{}};
-    v.spec.cpu_core_dyn_w *= 1.25;
-    variants.push_back(v);
-  }
-  {
-    Variant v{"3x SMU noise", soc::MachineSpec{}};
-    v.spec.power_noise_frac *= 3.0;
-    variants.push_back(v);
-  }
-
   TextTable table;
   table.set_header({"Machine variant", "Model+FL % under",
                     "Model+FL % perf", "GPU+FL % under", "CPU+FL % perf",
                     "Model+FL still best?"});
   const auto suite = workloads::Suite::standard();
-  for (const Variant& variant : variants) {
+  for (const zoo::NamedSpec& variant :
+       zoo::ArchetypeCatalog::calibration_variants()) {
     const soc::Machine machine{variant.spec, bench::kBenchSeed};
     const auto result = eval::run_loocv(
         {.machine = machine, .executor = bench::bench_executor()}, suite);

@@ -142,9 +142,15 @@ void CanaryEvaluator::decide_if_ready() {
     const double inc_sigma = incumbent_sigma_sum_ / evals;
     verdict_.candidate_power_sigma = cand_sigma;
     verdict_.incumbent_power_sigma = inc_sigma;
-    const double improvement = inc_err - cand_err;
+    // Violations fold into the comparison at violation_penalty weight —
+    // under a cap, a selection that breaks it is not a free lunch even
+    // when its measured performance tops the feasible oracle's.
+    const double cand_score =
+        cand_err + options_.violation_penalty * cand_viol;
+    const double inc_score = inc_err + options_.violation_penalty * inc_viol;
+    const double improvement = inc_score - cand_score;
     const bool better = improvement > 0.0 &&
-                        improvement >= options_.error_margin * inc_err &&
+                        improvement >= options_.error_margin * inc_score &&
                         cand_viol <= inc_viol + options_.violation_margin;
     const bool certain_enough =
         options_.uncertainty_margin < 0.0 ||

@@ -58,6 +58,13 @@ struct CanaryOptions {
   /// Candidate cap-violation rate may exceed the incumbent's by at most
   /// this much.
   double violation_margin = 0.0;
+  /// Weight of a cap violation folded into the error comparison: each
+  /// side's score is error + violation_penalty * violation_rate. 0 (the
+  /// default) keeps the legacy behavior — violations only veto, never
+  /// count as improvement. Cross-architecture transfer needs this > 0: a
+  /// mis-deployed model can score error 0 by blowing the cap on every
+  /// request, and no honest candidate beats error 0.
+  double violation_penalty = 0.0;
   /// Observations (scored or skipped) after which an undecided canary is
   /// rejected for insufficient evidence rather than held open forever.
   std::size_t max_observations = 512;

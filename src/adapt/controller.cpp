@@ -261,7 +261,11 @@ void AdaptController::finish_canary_locked() {
   } else {
     ++canary_rejected_;
     canary_rejected_counter_->add();
-    ACSEL_LOG_WARN("adapt: canary rejected candidate: " << verdict.reason);
+    ACSEL_LOG_WARN("adapt: canary rejected candidate: "
+                   << verdict.reason << " (error " << verdict.candidate_error
+                   << " vs incumbent " << verdict.incumbent_error
+                   << ", violations " << verdict.candidate_violation_rate
+                   << " vs " << verdict.incumbent_violation_rate << ")");
   }
   canary_.reset();
   // Either way the drift evidence is spent: an accepted model owes a

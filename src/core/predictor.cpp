@@ -53,12 +53,20 @@ UnknownPredictorKindError::UnknownPredictorKindError(std::string kind)
     : PredictorFormatError("unknown predictor kind: \"" + kind + '"'),
       kind_(std::move(kind)) {}
 
+UnknownPredictorKindError::UnknownPredictorKindError(
+    std::string kind, const std::string& message)
+    : PredictorFormatError(message), kind_(std::move(kind)) {}
+
 UnsupportedPredictorVersionError::UnsupportedPredictorVersionError(
     std::string_view kind, std::uint32_t version, std::uint32_t latest)
     : PredictorFormatError("predictor kind \"" + std::string{kind} +
                            "\" version " + std::to_string(version) +
                            " is newer than supported v" +
                            std::to_string(latest)) {}
+
+UnsupportedPredictorVersionError::UnsupportedPredictorVersionError(
+    const std::string& message)
+    : PredictorFormatError(message) {}
 
 std::string Predictor::serialize() const {
   std::ostringstream os;

@@ -102,6 +102,9 @@ class PredictorFormatError : public Error {
 class UnknownPredictorKindError : public PredictorFormatError {
  public:
   explicit UnknownPredictorKindError(std::string kind);
+  /// Same typed error with a caller-supplied message (e.g. one naming the
+  /// file the kind came from); `kind` stays machine-readable.
+  UnknownPredictorKindError(std::string kind, const std::string& message);
   /// The unrecognized kind tag, verbatim.
   const std::string& predictor_kind() const { return kind_; }
 
@@ -115,6 +118,8 @@ class UnsupportedPredictorVersionError : public PredictorFormatError {
   UnsupportedPredictorVersionError(std::string_view kind,
                                    std::uint32_t version,
                                    std::uint32_t latest);
+  /// Same typed error with a caller-supplied message (context wrapping).
+  explicit UnsupportedPredictorVersionError(const std::string& message);
 };
 
 /// Body parser of one predictor kind: given the envelope's version and the

@@ -45,6 +45,9 @@ Fleet::Fleet(const FleetOptions& options)
                   "replica timeout must be >= 1 ns");
   ACSEL_CHECK_MSG(options_.hedge_fallback_delay_ns >= 1,
                   "hedge fallback delay must be >= 1 ns");
+  ACSEL_CHECK_MSG(options_.shard_fingerprints.empty() ||
+                      options_.shard_fingerprints.size() == options_.shards,
+                  "shard_fingerprints must name every shard or none");
   shards_.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     ring_.add(static_cast<std::uint32_t>(s));
@@ -143,10 +146,41 @@ std::uint64_t Fleet::publish(core::PredictorPtr model) {
   return version;
 }
 
-void Fleet::adopt_on_replica(Replica& replica, std::uint64_t version,
-                             const core::PredictorPtr& model) {
+std::uint64_t Fleet::publish_for(const serve::HardwareFingerprint& fingerprint,
+                                 core::PredictorPtr model) {
+  ACSEL_CHECK_MSG(model != nullptr, "fleet: cannot publish a null model");
+  ACSEL_CHECK_MSG(!options_.shard_fingerprints.empty(),
+                  "publish_for needs a heterogeneous fleet "
+                  "(FleetOptions::shard_fingerprints)");
+  const std::uint64_t version =
+      version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::size_t matched = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!(options_.shard_fingerprints[s] == fingerprint)) {
+      continue;
+    }
+    ++matched;
+    for (auto& replica : shards_[s]->replicas) {
+      if (replica->failed.load(std::memory_order_acquire)) {
+        continue;  // a dead node misses the publish; revive catches it up
+      }
+      adopt_on_replica(*replica, version, model, fingerprint);
+    }
+  }
+  ACSEL_CHECK_MSG(matched > 0,
+                  "publish_for: no shard carries the given fingerprint");
+  ACSEL_LOG_INFO("fleet: published model for architecture "
+                 << fingerprint.hash << " as fleet version " << version
+                 << " on " << matched << " shard(s)");
+  return version;
+}
+
+void Fleet::adopt_on_replica(
+    Replica& replica, std::uint64_t version, const core::PredictorPtr& model,
+    std::optional<serve::HardwareFingerprint> fingerprint) {
   try {
-    replica.registry.adopt_model(version, model);
+    replica.registry.adopt_model(version, model, /*allow_rollback=*/false,
+                                 std::move(fingerprint));
   } catch (const Error& error) {
     // The skew guard refusing is the correct outcome for a stale replay;
     // the replica keeps serving its newer model.
@@ -175,6 +209,28 @@ std::uint64_t Fleet::route_key(const serve::SelectRequest& request) {
 
 std::uint32_t Fleet::shard_of(const serve::SelectRequest& request) const {
   return ring_.owner(route_key(request));
+}
+
+std::vector<std::uint32_t> Fleet::route_candidates(
+    const serve::SelectRequest& request) const {
+  if (options_.shard_fingerprints.empty() ||
+      !request.fingerprint.has_value()) {
+    return ring_.owners(route_key(request), 1 + options_.reroute_fallbacks);
+  }
+  // Heterogeneous fleet: walk the full ring order but try the shards of
+  // the request's own architecture first — a request would rather cross
+  // the ring than be served by a foreign architecture's model. Ring order
+  // is preserved within each class, so two requests about the same kernel
+  // still land on the same matching shard.
+  std::vector<std::uint32_t> walk =
+      ring_.owners(route_key(request), options_.shards);
+  std::stable_partition(walk.begin(), walk.end(), [&](std::uint32_t shard) {
+    return options_.shard_fingerprints[shard] == *request.fingerprint;
+  });
+  if (walk.size() > 1 + options_.reroute_fallbacks) {
+    walk.resize(1 + options_.reroute_fallbacks);
+  }
+  return walk;
 }
 
 serve::SelectResponse Fleet::select(const serve::SelectRequest& request) {
@@ -207,8 +263,7 @@ serve::SelectResponse Fleet::select(const serve::SelectRequest& request) {
     shed.status = serve::ResponseStatus::Shed;
     return shed;
   }
-  const std::vector<std::uint32_t> candidates =
-      ring_.owners(route_key(request), 1 + options_.reroute_fallbacks);
+  const std::vector<std::uint32_t> candidates = route_candidates(request);
   // Stage ForceLowPower clamps every request to its shard's (floored)
   // power cap, so the scheduler's guardrail fallback pins the
   // lowest-power frontier configuration on each replica.
@@ -229,6 +284,14 @@ serve::SelectResponse Fleet::select(const serve::SelectRequest& request) {
     }
     serve::SelectResponse response;
     if (serve_on_shard(candidates[i], *call, response)) {
+      if (request.fingerprint.has_value() &&
+          !options_.shard_fingerprints.empty() &&
+          !(options_.shard_fingerprints[candidates[i]] ==
+            *request.fingerprint)) {
+        // Delivered, but by a shard of the wrong architecture (every
+        // matching shard was down or absent): count the mismatch.
+        metrics_.on_model_mismatch();
+      }
       if (i > 0) {
         metrics_.on_rerouted();
         ACSEL_OBS_INSTANT("fleet.reroute", "fleet");
@@ -691,6 +754,7 @@ serve::FleetStats Fleet::stats() const {
     stats.shed_by_priority[p] = metrics_.shed_by_priority(priority);
   }
   stats.rerouted = metrics_.rerouted();
+  stats.model_mismatch = metrics_.model_mismatch();
   stats.hedges_fired = metrics_.hedges_fired();
   stats.vote_disagreements = metrics_.vote_disagreements();
   stats.median_fallbacks = metrics_.median_fallbacks();

@@ -47,6 +47,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -128,6 +129,14 @@ struct FleetOptions {
   /// Optional executor for the replica fan-out (nullptr = inline). The
   /// benches pass the shared pool; correctness never depends on it.
   exec::Executor* executor = nullptr;
+  /// Heterogeneous fleet: the hardware architecture each shard's machines
+  /// belong to, one fingerprint per shard (empty = homogeneous, the
+  /// legacy behavior). When set, a fingerprint-carrying request prefers
+  /// shards of its own architecture — the router walks the full ring
+  /// order but tries matching shards first — and being served by a
+  /// non-matching shard counts on fleet.model_mismatch. publish_for()
+  /// targets the shards of one architecture.
+  std::vector<serve::HardwareFingerprint> shard_fingerprints;
   /// Maps a replica call's measured wall nanoseconds to simulated
   /// nanoseconds (identity by default). Tests inject fixed schedules to
   /// pin hedging and quorum arithmetic; must be thread-safe.
@@ -154,6 +163,13 @@ class Fleet {
   /// non-failed replica adopts it through its registry's version-skew
   /// guard. Returns the fleet version assigned.
   std::uint64_t publish(core::PredictorPtr model);
+
+  /// Architecture-targeted publish (requires shard_fingerprints): every
+  /// non-failed replica of the shards carrying `fingerprint` adopts the
+  /// model, keyed by that fingerprint, under the next fleet version.
+  /// Shards of other architectures keep their own models.
+  std::uint64_t publish_for(const serve::HardwareFingerprint& fingerprint,
+                            core::PredictorPtr model);
 
   /// Routes, fans out, votes, and returns the verdict. Always returns a
   /// response; unroutable requests come back status Shed.
@@ -300,8 +316,15 @@ class Fleet {
   Slot call_replica(ShardGroup& group, std::size_t replica_index,
                     const serve::SelectRequest& request);
 
-  void adopt_on_replica(Replica& replica, std::uint64_t version,
-                        const core::PredictorPtr& model);
+  void adopt_on_replica(
+      Replica& replica, std::uint64_t version, const core::PredictorPtr& model,
+      std::optional<serve::HardwareFingerprint> fingerprint = std::nullopt);
+
+  /// Ring walk for one request: full owner order, but when the request
+  /// carries a fingerprint and the fleet is heterogeneous, shards of the
+  /// matching architecture come first.
+  std::vector<std::uint32_t> route_candidates(
+      const serve::SelectRequest& request) const;
 
   FleetOptions options_;
   HashRing ring_;

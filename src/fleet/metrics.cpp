@@ -54,6 +54,7 @@ FleetMetrics::FleetMetrics(std::size_t shards)
       heartbeats_dropped_(&registry_.counter("fleet.heartbeat_dropped")),
       replica_timeouts_(&registry_.counter("fleet.replica_timeout")),
       brownout_shed_(&registry_.counter("fleet.brownout_shed")),
+      model_mismatch_(&registry_.counter("fleet.model_mismatch")),
       routed_by_priority_{&registry_.counter("fleet.routed.high"),
                           &registry_.counter("fleet.routed.normal"),
                           &registry_.counter("fleet.routed.low")},

@@ -78,6 +78,9 @@ class FleetMetrics {
   /// A Low request refused at the router by a brownout stage >=
   /// ShedLowPriority (also counted by on_shed).
   void on_brownout_shed() { brownout_shed_->add(); }
+  /// A fingerprint-carrying request delivered by a shard of a different
+  /// architecture (heterogeneous fleets only).
+  void on_model_mismatch() { model_mismatch_->add(); }
   void on_hedge_deadline_clipped() { hedge_deadline_clipped_->add(); }
   void on_rerouted() { rerouted_->add(); }
   void on_hedge_fired(std::uint32_t shard) {
@@ -148,6 +151,7 @@ class FleetMetrics {
     return shed_by_priority_[static_cast<std::size_t>(p)]->value();
   }
   std::uint64_t brownout_sheds() const { return brownout_shed_->value(); }
+  std::uint64_t model_mismatch() const { return model_mismatch_->value(); }
 
   const obs::Registry& registry() const { return registry_; }
   /// Mutable registry access for the SLO engine (it pulls exemplars from
@@ -177,6 +181,7 @@ class FleetMetrics {
   obs::Counter* heartbeats_dropped_;
   obs::Counter* replica_timeouts_;
   obs::Counter* brownout_shed_;
+  obs::Counter* model_mismatch_;
   std::array<obs::Counter*, serve::kPriorityClasses> routed_by_priority_;
   std::array<obs::Counter*, serve::kPriorityClasses> delivered_by_priority_;
   std::array<obs::Counter*, serve::kPriorityClasses> shed_by_priority_;

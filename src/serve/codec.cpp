@@ -317,6 +317,7 @@ void put_stats_response_payload(std::vector<std::uint8_t>& out,
   }
   put_u32(out, fleet.brownout_stage);
   put_u64(out, fleet.brownout_events);
+  put_u64(out, fleet.model_mismatch);
   // Series block, appended after the fleet block — the same
   // earlier-offsets-never-move rule.
   const SeriesStats& series = response.series;
@@ -453,6 +454,7 @@ StatsResponse read_stats_response_payload(Reader& r) {
     throw PayloadError{};
   }
   fleet.brownout_events = r.u64();
+  fleet.model_mismatch = r.u64();
   SeriesStats& series = response.series;
   const std::uint8_t series_attached = r.u8();
   if (series_attached > 1) {
@@ -616,7 +618,8 @@ FeedbackResponse read_feedback_response_payload(Reader& r) {
 void put_frame(std::vector<std::uint8_t>& out, MessageType type,
                const std::vector<std::uint8_t>& payload,
                const obs::TraceContext* trace,
-               const Priority* priority = nullptr) {
+               const Priority* priority = nullptr,
+               const HardwareFingerprint* fingerprint = nullptr) {
   ACSEL_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
                   "encoded payload exceeds kMaxPayloadBytes");
   std::uint16_t flags = 0;
@@ -625,6 +628,11 @@ void put_frame(std::vector<std::uint8_t>& out, MessageType type,
   }
   if (priority != nullptr) {
     flags |= kFlagPriority;
+  }
+  if (fingerprint != nullptr) {
+    ACSEL_CHECK_MSG(fingerprint->hash != 0,
+                    "a zero-hash fingerprint cannot go on the wire");
+    flags |= kFlagFingerprint;
   }
   put_u32(out, kWireMagic);
   put_u8(out, kWireVersion);
@@ -639,6 +647,16 @@ void put_frame(std::vector<std::uint8_t>& out, MessageType type,
   }
   if (priority != nullptr) {
     put_u8(out, static_cast<std::uint8_t>(*priority));
+  }
+  if (fingerprint != nullptr) {
+    put_u8(out, kFingerprintBlockVersion);
+    put_u64(out, fingerprint->hash);
+    put_u32(out, fingerprint->cpu_cores);
+    put_u32(out, fingerprint->gpu_cores);
+    put_f64(out, fingerprint->cpu_peak_ghz);
+    put_f64(out, fingerprint->gpu_peak_mhz);
+    put_f64(out, fingerprint->idle_power_w);
+    put_f64(out, fingerprint->peak_power_w);
   }
   out.insert(out.end(), payload.begin(), payload.end());
 }
@@ -675,8 +693,12 @@ void encode_request(const SelectRequest& request,
   // priority are byte-identical to pre-priority builds (and peers that
   // predate the flag still parse them).
   const bool tagged = request.priority != Priority::Normal;
+  // Likewise, a fingerprint-less request emits no fingerprint block and
+  // stays byte-identical to pre-zoo builds.
   put_frame(out, MessageType::SelectRequest, payload, trace,
-            tagged ? &request.priority : nullptr);
+            tagged ? &request.priority : nullptr,
+            request.fingerprint.has_value() ? &*request.fingerprint
+                                            : nullptr);
 }
 
 void encode_response(const SelectResponse& response,
@@ -769,9 +791,11 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer,
       (flags & kFlagTraceContext) != 0 ? kTraceBlockBytes : 0;
   const std::size_t priority_bytes =
       (flags & kFlagPriority) != 0 ? kPriorityBlockBytes : 0;
+  const std::size_t fingerprint_bytes =
+      (flags & kFlagFingerprint) != 0 ? kFingerprintBlockBytes : 0;
   const std::uint64_t frame_size = std::uint64_t{kFrameHeaderBytes} +
                                    trace_bytes + priority_bytes +
-                                   payload_size;
+                                   fingerprint_bytes + payload_size;
   if (buffer.size() < frame_size) {
     result.status = DecodeStatus::NeedMoreData;
     return result;
@@ -803,13 +827,52 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer,
     result.priority = static_cast<Priority>(priority);
     result.has_priority = true;
   }
+  if (fingerprint_bytes != 0) {
+    Reader block{buffer.subspan(kFrameHeaderBytes + trace_bytes +
+                                    priority_bytes,
+                                kFingerprintBlockBytes)};
+    const std::uint8_t block_version = block.u8();
+    if (block_version != kFingerprintBlockVersion) {
+      // A future block layout may have a different size, so the frame
+      // boundary computed above cannot be trusted: refuse like an unknown
+      // flag bit rather than skip by guesswork.
+      result.status = DecodeStatus::UnsupportedVersion;
+      result.bytes_consumed = 0;
+      return result;
+    }
+    HardwareFingerprint& fp = result.fingerprint;
+    fp.hash = block.u64();
+    fp.cpu_cores = block.u32();
+    fp.gpu_cores = block.u32();
+    fp.cpu_peak_ghz = block.f64();
+    fp.gpu_peak_mhz = block.f64();
+    fp.idle_power_w = block.f64();
+    fp.peak_power_w = block.f64();
+    // Correctly sized (skippable), but no encoder writes a zero hash or a
+    // non-finite/negative descriptor.
+    bool valid = fp.hash != 0;
+    for (const double v : {fp.cpu_peak_ghz, fp.gpu_peak_mhz,
+                           fp.idle_power_w, fp.peak_power_w}) {
+      valid = valid && std::isfinite(v) && v >= 0.0;
+    }
+    if (!valid) {
+      result.status = DecodeStatus::MalformedPayload;
+      result.bytes_consumed = frame_size;
+      return result;
+    }
+    result.has_fingerprint = true;
+  }
   Reader payload{buffer.subspan(
-      kFrameHeaderBytes + trace_bytes + priority_bytes, payload_size)};
+      kFrameHeaderBytes + trace_bytes + priority_bytes + fingerprint_bytes,
+      payload_size)};
   try {
     switch (result.type) {
       case MessageType::SelectRequest:
         result.request = read_request_payload(payload);
         result.request.priority = result.priority;
+        if (result.has_fingerprint) {
+          result.request.fingerprint = result.fingerprint;
+        }
         break;
       case MessageType::SelectResponse:
         result.response = read_response_payload(payload);

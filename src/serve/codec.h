@@ -7,7 +7,8 @@
 //                        3 = StatsRequest, 4 = StatsResponse,
 //                        5 = FeedbackRequest, 6 = FeedbackResponse)
 //   u16  flags          (bit 0 = trace-context block present, bit 1 =
-//                        priority block present; all other bits
+//                        priority block present, bit 2 = hardware-
+//                        fingerprint block present; all other bits
 //                        reserved, must be 0)
 //   u32  payload length (hard-capped at kMaxPayloadBytes; excludes the
 //                        optional blocks)
@@ -15,6 +16,12 @@
 //     u64 trace_id, u64 span_id, u64 parent_id, u8 sampled (0/1)
 //   [priority block — 1 byte, present iff flags bit 1]
 //     u8 priority (0 = High, 1 = Normal, 2 = Low)
+//   [fingerprint block — 49 bytes, present iff flags bit 2]
+//     u8 block version (currently 1; any other value refuses the frame
+//        as UnsupportedVersion, since a future layout may change the
+//        block's size), u64 hash (must be nonzero), u32 cpu_cores,
+//     u32 gpu_cores, f64 cpu_peak_ghz, f64 gpu_peak_mhz,
+//     f64 idle_power_w, f64 peak_power_w
 //   ...  payload
 //
 // Version history: v1 had the same 12-byte header with the u16 as an
@@ -24,7 +31,10 @@
 // 1) and the per-priority + brownout rows of the StatsResponse fleet
 // block arrived later within v2 — a request frame with no priority
 // block means Priority::Normal, so pre-priority peers interoperate
-// unchanged. The decoder speaks only the current version — v1 frames
+// unchanged. The fingerprint block (bit 2) and the model_mismatch row of
+// the fleet block arrived later still, under the same compatibility
+// rule: a request with no fingerprint block is a fingerprint-less
+// request, byte-identical to pre-zoo builds. The decoder speaks only the current version — v1 frames
 // report UnsupportedVersion, as do frames setting flag bits this build
 // does not know (a frame whose size cannot be determined must not be
 // resynchronized by guesswork).
@@ -52,11 +62,18 @@ inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Header flags (the u16 that was reserved-zero in v1).
 inline constexpr std::uint16_t kFlagTraceContext = 0x0001;
 inline constexpr std::uint16_t kFlagPriority = 0x0002;
-inline constexpr std::uint16_t kKnownFlags = kFlagTraceContext | kFlagPriority;
+inline constexpr std::uint16_t kFlagFingerprint = 0x0004;
+inline constexpr std::uint16_t kKnownFlags =
+    kFlagTraceContext | kFlagPriority | kFlagFingerprint;
 /// Trace block: trace_id + span_id + parent_id + sampled.
 inline constexpr std::size_t kTraceBlockBytes = 25;
 /// Priority block: one Priority byte.
 inline constexpr std::size_t kPriorityBlockBytes = 1;
+/// Fingerprint block: block version + hash + core counts + 4 descriptor
+/// doubles. The leading version byte lets the block grow without minting
+/// a new flag bit.
+inline constexpr std::uint8_t kFingerprintBlockVersion = 1;
+inline constexpr std::size_t kFingerprintBlockBytes = 1 + 8 + 4 + 4 + 4 * 8;
 /// A sample pair encodes in well under 1 KiB; anything near this limit is
 /// garbage or an attack, not a request.
 inline constexpr std::size_t kMaxPayloadBytes = 64 * 1024;
@@ -126,6 +143,12 @@ struct Decoded {
   /// `request.priority`.
   bool has_priority = false;
   Priority priority = Priority::Normal;
+  /// Hardware fingerprint carried by the frame's fingerprint block (flags
+  /// bit 2); `has_fingerprint` is false when the frame carried none. For a
+  /// SelectRequest frame the value is also copied into
+  /// `request.fingerprint`.
+  bool has_fingerprint = false;
+  HardwareFingerprint fingerprint;
   SelectRequest request;    ///< valid when status == Ok, type == SelectRequest
   SelectResponse response;  ///< valid when status == Ok, type == SelectResponse
   StatsRequest stats_request;    ///< valid when Ok, type == StatsRequest

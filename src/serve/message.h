@@ -58,6 +58,36 @@ inline constexpr std::size_t kPriorityClasses = 3;
 
 const char* to_string(Priority priority);
 
+/// Stable identity of a machine architecture, carried on requests so the
+/// registry can serve the model trained for the requester's hardware.
+/// `hash` is computed by zoo::fingerprint_of from the canonical
+/// serialization of core counts, frequency grids and power-curve
+/// coefficients; the descriptor fields are a coarse embedding used to pick
+/// the *nearest* architecture when no exact hash match is published.
+/// Defined here (not in zoo) for the same layering reason as FleetStats:
+/// the codec and registry must handle it, and serve never depends on the
+/// layers above it. Encoded on the wire as a versioned optional frame
+/// block (header flags bit 2); absent block = fingerprint-less request,
+/// byte-identical to older builds.
+struct HardwareFingerprint {
+  std::uint64_t hash = 0;  ///< canonical spec hash; 0 = "no fingerprint"
+  std::uint32_t cpu_cores = 0;
+  std::uint32_t gpu_cores = 0;
+  double cpu_peak_ghz = 0.0;
+  double gpu_peak_mhz = 0.0;
+  double idle_power_w = 0.0;
+  double peak_power_w = 0.0;
+
+  /// Architectural identity is the hash; the descriptor only breaks ties.
+  bool operator==(const HardwareFingerprint& other) const {
+    return hash == other.hash;
+  }
+
+  /// Relative L2 distance between descriptors — scale-free so a 3 GHz/45 W
+  /// delta counts the same on an edge SoC and an HPC node.
+  double distance_to(const HardwareFingerprint& other) const;
+};
+
 struct SelectRequest {
   /// Client-chosen correlation id, echoed back verbatim.
   std::uint64_t request_id = 0;
@@ -73,6 +103,9 @@ struct SelectRequest {
   std::uint64_t deadline_ns = 0;
   /// Overload-control class; Normal when the client does not care.
   Priority priority = Priority::Normal;
+  /// Architecture the requester runs on; nullopt = the legacy
+  /// single-machine flow (serve whatever model is current).
+  std::optional<HardwareFingerprint> fingerprint;
   /// The kernel's two sample runs — the online stage's whole world.
   core::SamplePair samples;
 };
@@ -182,6 +215,10 @@ struct FleetStats {
   /// and how many emergencies have been entered so far.
   std::uint32_t brownout_stage = 0;
   std::uint64_t brownout_events = 0;
+  /// Requests served by a shard/model whose fingerprint did not match the
+  /// request's (nearest-fingerprint fallback engaged). 0 in a clean
+  /// heterogeneous run: the router prefers matched shards.
+  std::uint64_t model_mismatch = 0;
 
   bool operator==(const FleetStats&) const = default;
 };

@@ -16,6 +16,7 @@ ServerMetrics::ServerMetrics()
                         &registry_.counter("serve.shed.low")},
       deadline_shed_(&registry_.counter("serve.deadline_shed")),
       breaker_rerouted_(&registry_.counter("serve.breaker_rerouted")),
+      model_mismatch_(&registry_.counter("serve.model_mismatch")),
       feedback_(&registry_.counter("serve.feedback")),
       shadowed_(&registry_.counter("serve.shadowed")),
       errors_(&registry_.counter("serve.errors")),
@@ -43,6 +44,7 @@ ServerMetrics::Snapshot ServerMetrics::snapshot(
   }
   snap.deadline_shed = deadline_shed_->value();
   snap.breaker_rerouted = breaker_rerouted_->value();
+  snap.model_mismatch = model_mismatch_->value();
   snap.feedback = feedback_->value();
   snap.shadowed = shadowed_->value();
   snap.errors = errors_->value();
@@ -81,6 +83,8 @@ void print_metrics(const ServerMetrics::Snapshot& snapshot,
   table.add_row({"deadline shed", std::to_string(snapshot.deadline_shed)});
   table.add_row(
       {"breaker rerouted", std::to_string(snapshot.breaker_rerouted)});
+  table.add_row(
+      {"model mismatch", std::to_string(snapshot.model_mismatch)});
   table.add_row({"feedback", std::to_string(snapshot.feedback)});
   table.add_row({"shadowed", std::to_string(snapshot.shadowed)});
   table.add_row({"errors", std::to_string(snapshot.errors)});
@@ -98,7 +102,7 @@ const std::vector<std::string>& metrics_csv_header() {
   static const std::vector<std::string> header{
       "label",   "submitted", "completed", "shed",
       "shed_high", "shed_normal", "shed_low",
-      "deadline_shed", "breaker_rerouted",
+      "deadline_shed", "breaker_rerouted", "model_mismatch",
       "feedback", "shadowed",
       "errors",  "batches",   "mean_batch", "qps",
       "p50_us",  "p99_us",    "max_us",     "queue_depth",
@@ -116,6 +120,7 @@ void write_metrics_row(CsvWriter& writer, const std::string& label,
               std::to_string(snapshot.shed_by_priority[2]),
               std::to_string(snapshot.deadline_shed),
               std::to_string(snapshot.breaker_rerouted),
+              std::to_string(snapshot.model_mismatch),
               std::to_string(snapshot.feedback),
               std::to_string(snapshot.shadowed),
               std::to_string(snapshot.errors),

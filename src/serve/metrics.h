@@ -39,6 +39,7 @@ class ServerMetrics {
   }
   void on_deadline_shed() { deadline_shed_->add(); }
   void on_breaker_rerouted() { breaker_rerouted_->add(); }
+  void on_model_mismatch() { model_mismatch_->add(); }
   void on_feedback() { feedback_->add(); }
   void on_shadowed() { shadowed_->add(); }
   void on_error() { errors_->add(); }
@@ -70,6 +71,9 @@ class ServerMetrics {
     /// Version-0 requests the circuit breaker routed to the previous
     /// model version.
     std::uint64_t breaker_rerouted = 0;
+    /// Fingerprint-keyed requests served by another architecture's model
+    /// (no exact fingerprint match was published).
+    std::uint64_t model_mismatch = 0;
     /// Feedback frames handed to the adapt sink.
     std::uint64_t feedback = 0;
     /// Served requests a live canary candidate shadow-predicted.
@@ -106,6 +110,7 @@ class ServerMetrics {
   std::array<obs::Counter*, kPriorityClasses> shed_by_priority_;
   obs::Counter* deadline_shed_;
   obs::Counter* breaker_rerouted_;
+  obs::Counter* model_mismatch_;
   obs::Counter* feedback_;
   obs::Counter* shadowed_;
   obs::Counter* errors_;

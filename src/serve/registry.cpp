@@ -1,19 +1,49 @@
 #include "serve/registry.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.h"
 #include "util/log.h"
 
 namespace acsel::serve {
 
-std::uint64_t ModelRegistry::publish(core::PredictorPtr model) {
+double HardwareFingerprint::distance_to(
+    const HardwareFingerprint& other) const {
+  const double pairs[][2] = {
+      {static_cast<double>(cpu_cores), static_cast<double>(other.cpu_cores)},
+      {static_cast<double>(gpu_cores), static_cast<double>(other.gpu_cores)},
+      {cpu_peak_ghz, other.cpu_peak_ghz},
+      {gpu_peak_mhz, other.gpu_peak_mhz},
+      {idle_power_w, other.idle_power_w},
+      {peak_power_w, other.peak_power_w},
+  };
+  double sum = 0.0;
+  for (const auto& [a, b] : pairs) {
+    const double scale = std::max({std::abs(a), std::abs(b), 1e-9});
+    const double d = (a - b) / scale;
+    sum += d * d;
+  }
+  return std::sqrt(sum / std::size(pairs));
+}
+
+FingerprintCollisionError::FingerprintCollisionError(
+    std::uint64_t version, std::uint64_t held_hash, std::uint64_t offered_hash)
+    : Error("fingerprint collision on model version " +
+            std::to_string(version) + ": held by architecture " +
+            std::to_string(held_hash) + ", offered for architecture " +
+            std::to_string(offered_hash)) {}
+
+std::uint64_t ModelRegistry::publish(
+    core::PredictorPtr model,
+    std::optional<HardwareFingerprint> fingerprint) {
   ACSEL_CHECK_MSG(model != nullptr, "cannot publish a null model");
   std::uint64_t version = 0;
   {
     std::lock_guard<std::mutex> lock{mu_};
     version = history_.empty() ? 1 : history_.back().version + 1;
-    history_.push_back(VersionedModel{version, std::move(model)});
+    history_.push_back(
+        VersionedModel{version, std::move(model), std::move(fingerprint)});
     current_index_ = history_.size() - 1;
     if (options_.retain_limit > 0) {
       // Keep at least the current version and its rollback target;
@@ -31,17 +61,52 @@ std::uint64_t ModelRegistry::publish(core::PredictorPtr model) {
   return version;
 }
 
-std::uint64_t ModelRegistry::publish_file(const std::string& path) {
-  return publish(core::load_predictor(path));
+std::uint64_t ModelRegistry::publish_file(
+    const std::string& path,
+    std::optional<HardwareFingerprint> fingerprint) {
+  core::PredictorPtr model;
+  // Keep the typed class (transports reject foreign models by it) but
+  // name the offending file: load_predictor only sees text.
+  const auto context = [&path](const char* what) {
+    return "publish_file: " + path + ": " + what;
+  };
+  try {
+    model = core::load_predictor(path);
+  } catch (const core::UnknownPredictorKindError& e) {
+    throw core::UnknownPredictorKindError(e.predictor_kind(),
+                                          context(e.what()));
+  } catch (const core::UnsupportedPredictorVersionError& e) {
+    throw core::UnsupportedPredictorVersionError(context(e.what()));
+  } catch (const core::PredictorFormatError& e) {
+    throw core::PredictorFormatError(context(e.what()));
+  }
+  return publish(std::move(model), std::move(fingerprint));
 }
 
-std::uint64_t ModelRegistry::adopt_model(std::uint64_t version,
-                                         core::PredictorPtr model,
-                                         bool allow_rollback) {
+std::uint64_t ModelRegistry::adopt_model(
+    std::uint64_t version, core::PredictorPtr model, bool allow_rollback,
+    std::optional<HardwareFingerprint> fingerprint) {
   ACSEL_CHECK_MSG(model != nullptr, "cannot adopt a null model");
   ACSEL_CHECK_MSG(version >= 1, "adopted versions start at 1");
   {
     std::lock_guard<std::mutex> lock{mu_};
+    // A version retained under another architecture's fingerprint is a
+    // cluster-wide numbering bug, caught before any state changes —
+    // including before the idempotent early-return below.
+    if (fingerprint.has_value()) {
+      for (VersionedModel& entry : history_) {
+        if (entry.version != version) {
+          continue;
+        }
+        if (entry.fingerprint.has_value() &&
+            entry.fingerprint->hash != fingerprint->hash) {
+          throw FingerprintCollisionError(version, entry.fingerprint->hash,
+                                          fingerprint->hash);
+        }
+        entry.fingerprint = *fingerprint;  // record/confirm the key
+        break;
+      }
+    }
     const std::uint64_t current_version =
         history_.empty() ? 0 : history_[current_index_].version;
     if (version == current_version) {
@@ -64,7 +129,8 @@ std::uint64_t ModelRegistry::adopt_model(std::uint64_t version,
           return entry.version < v;
         });
     if (it == history_.end() || it->version != version) {
-      it = history_.insert(it, VersionedModel{version, std::move(model)});
+      it = history_.insert(
+          it, VersionedModel{version, std::move(model), std::move(fingerprint)});
     }
     current_index_ = static_cast<std::size_t>(it - history_.begin());
     if (options_.retain_limit > 0) {
@@ -87,6 +153,41 @@ VersionedModel ModelRegistry::current() const {
     return VersionedModel{};
   }
   return history_[current_index_];
+}
+
+FingerprintMatch ModelRegistry::current_for(
+    const HardwareFingerprint& fingerprint) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (history_.empty()) {
+    return FingerprintMatch{};
+  }
+  // Latest exact hash match first (history is version-ordered, so the
+  // back-to-front scan finds the architecture's newest model).
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->fingerprint.has_value() &&
+        it->fingerprint->hash == fingerprint.hash) {
+      return FingerprintMatch{*it, true};
+    }
+  }
+  // No model for this architecture: serve the nearest published one by
+  // descriptor distance (latest version wins ties via the reverse scan).
+  const VersionedModel* nearest = nullptr;
+  double best = 0.0;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (!it->fingerprint.has_value()) {
+      continue;
+    }
+    const double d = it->fingerprint->distance_to(fingerprint);
+    if (nearest == nullptr || d < best) {
+      nearest = &*it;
+      best = d;
+    }
+  }
+  if (nearest != nullptr) {
+    return FingerprintMatch{*nearest, false};
+  }
+  // Nothing fingerprinted at all: the unkeyed current model.
+  return FingerprintMatch{history_[current_index_], false};
 }
 
 core::PredictorPtr ModelRegistry::get(std::uint64_t version) const {

@@ -12,10 +12,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/predictor.h"
+#include "serve/message.h"
 
 namespace acsel::serve {
 
@@ -24,6 +26,29 @@ namespace acsel::serve {
 struct VersionedModel {
   std::uint64_t version = 0;
   core::PredictorPtr model;
+  /// Architecture the model was trained for; nullopt = the legacy
+  /// unkeyed flow (one machine, one model lineage).
+  std::optional<HardwareFingerprint> fingerprint;
+};
+
+/// A fingerprint-keyed publish or adopt tried to reuse a version number
+/// that is already held by a *different* architecture's model. Distinct
+/// from plain acsel::Error so a fleet coordinator can tell a numbering
+/// bug (fail the publish, keep serving) from a local precondition
+/// violation.
+class FingerprintCollisionError : public Error {
+ public:
+  FingerprintCollisionError(std::uint64_t version, std::uint64_t held_hash,
+                            std::uint64_t offered_hash);
+};
+
+/// Result of a fingerprint-keyed lookup. `exact` is true when a published
+/// model carries the requested hash; false when the registry fell back to
+/// the nearest published architecture (or to the unkeyed current model) —
+/// the caller should count that as a serve.model_mismatch.
+struct FingerprintMatch {
+  VersionedModel model;  ///< {0, nullptr} when nothing is published
+  bool exact = false;
 };
 
 struct RegistryOptions {
@@ -41,13 +66,23 @@ class ModelRegistry {
   ModelRegistry& operator=(const ModelRegistry&) = delete;
 
   /// Publishes a model as the new current version; returns its version.
-  /// Versions are assigned 1, 2, 3, ... in publish order.
-  std::uint64_t publish(core::PredictorPtr model);
+  /// Versions are assigned 1, 2, 3, ... in publish order. A non-null
+  /// `fingerprint` keys the model to an architecture for current_for();
+  /// fingerprint-keyed deployments should size retain_limit for all
+  /// architectures (or leave it 0), since pruning is lineage-blind.
+  std::uint64_t publish(
+      core::PredictorPtr model,
+      std::optional<HardwareFingerprint> fingerprint = std::nullopt);
 
   /// Loads a serialized model from disk (the retrain hand-off path: a
   /// trainer writes with Predictor::save, the server picks it up here
   /// without restarting — any registered predictor kind) and publishes it.
-  std::uint64_t publish_file(const std::string& path);
+  /// Parse/open failures rethrow with the offending path prepended, so an
+  /// operator watching a fleet of hand-off directories knows *which* file
+  /// was bad.
+  std::uint64_t publish_file(
+      const std::string& path,
+      std::optional<HardwareFingerprint> fingerprint = std::nullopt);
 
   /// Adopts a model under an *externally assigned* version — the fleet
   /// hand-off path, where a coordinator numbers versions cluster-wide
@@ -58,11 +93,25 @@ class ModelRegistry {
   /// one. Re-adopting the current version is an idempotent no-op.
   /// Adopted versions and publish() versions share one ordered history;
   /// publish() after adopt_model(v) assigns v+1.
+  /// The fingerprint-keyed form additionally records which architecture
+  /// the adopted model serves; re-adopting a version that is retained
+  /// under a *different* architecture's fingerprint throws
+  /// FingerprintCollisionError (a cluster-wide numbering bug — two SKUs'
+  /// coordinators colliding on one version counter).
   std::uint64_t adopt_model(std::uint64_t version, core::PredictorPtr model,
-                            bool allow_rollback = false);
+                            bool allow_rollback = false,
+                            std::optional<HardwareFingerprint> fingerprint =
+                                std::nullopt);
 
   /// The current serving version; {0, nullptr} before the first publish.
   VersionedModel current() const;
+
+  /// The model to serve a request from architecture `fingerprint`: the
+  /// latest version published under the same hash (exact = true), else the
+  /// latest version of the *nearest* published architecture by descriptor
+  /// distance, else the unkeyed current() — both fallbacks with
+  /// exact = false so the caller can count the mismatch.
+  FingerprintMatch current_for(const HardwareFingerprint& fingerprint) const;
 
   /// The model published as `version`, or nullptr if unknown.
   core::PredictorPtr get(std::uint64_t version) const;

@@ -240,9 +240,11 @@ void Server::worker_loop() {
     ACSEL_OBS_SPAN("serve.batch", "serve");
     metrics_.on_batch(batch.size());
 
-    // Per-batch caches: model resolution per requested version, and the
-    // full prediction per (resolved version, sample pair).
+    // Per-batch caches: model resolution per requested version (plus a
+    // separate map per requested fingerprint hash), and the full
+    // prediction per (resolved version, sample pair).
     std::unordered_map<std::uint64_t, VersionedModel> models;
+    std::unordered_map<std::uint64_t, FingerprintMatch> fp_models;
     std::unordered_map<std::string, core::Prediction> predictions;
 
     for (Job& job : batch) {
@@ -282,24 +284,49 @@ void Server::worker_loop() {
       }
 
       // The breaker only guards "serve with the current model" requests;
-      // pinned-version requests asked for that exact model and get it.
+      // pinned-version requests asked for that exact model and get it,
+      // and fingerprint-keyed requests have their own fallback chain
+      // (nearest architecture), which a reroute to previous_of() would
+      // silently cross.
+      const bool keyed =
+          request.model_version == 0 && request.fingerprint.has_value();
       const bool guarded =
-          request.model_version == 0 && options_.breaker.enabled;
+          request.model_version == 0 && !keyed && options_.breaker.enabled;
       bool feed_breaker = false;
       try {
-        auto resolved = models.find(request.model_version);
-        if (resolved == models.end()) {
-          VersionedModel vm;
-          if (request.model_version == 0) {
-            vm = registry_->current();
-          } else {
-            vm.version = request.model_version;
-            vm.model = registry_->get(request.model_version);
+        const VersionedModel* vm = nullptr;
+        if (keyed) {
+          auto fp_resolved = fp_models.find(request.fingerprint->hash);
+          if (fp_resolved == fp_models.end()) {
+            fp_resolved = fp_models
+                              .emplace(request.fingerprint->hash,
+                                       registry_->current_for(
+                                           *request.fingerprint))
+                              .first;
           }
-          resolved = models.emplace(request.model_version, std::move(vm))
-                         .first;
+          const FingerprintMatch& match = fp_resolved->second;
+          if (!match.exact && match.model.model != nullptr) {
+            // Served, but by another architecture's model — counted per
+            // request (not per resolution), so the counter reflects
+            // traffic, not batch shapes.
+            metrics_.on_model_mismatch();
+          }
+          vm = &match.model;
+        } else {
+          auto resolved = models.find(request.model_version);
+          if (resolved == models.end()) {
+            VersionedModel entry;
+            if (request.model_version == 0) {
+              entry = registry_->current();
+            } else {
+              entry.version = request.model_version;
+              entry.model = registry_->get(request.model_version);
+            }
+            resolved =
+                models.emplace(request.model_version, std::move(entry)).first;
+          }
+          vm = &resolved->second;
         }
-        const VersionedModel* vm = &resolved->second;
         if (guarded && vm->model != nullptr) {
           feed_breaker = breaker_.allow();
           if (!feed_breaker) {

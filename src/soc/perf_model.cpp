@@ -71,9 +71,27 @@ CpuTiming evaluate_cpu(const MachineSpec& spec,
                        : 0;
   }
   const int solo_cores = threads - paired_cores;
-  const double parallel_rate =
+  double parallel_rate =
       core_rate * (static_cast<double>(solo_cores) +
                    static_cast<double>(paired_cores) * share_keep);
+  double t_migration_s = 0.0;
+  if (spec.asymmetric.enabled) {
+    // Per-cluster throughput: each module contributes its cores' rate
+    // (pair-shared when both of its cores are active), with the LITTLE
+    // module derated. Work is assumed rate-balanced across clusters
+    // (dynamic scheduling), so aggregate throughput is the sum.
+    const int little = asymmetric_little_threads(config);
+    const int big = threads - little;
+    const double big_units =
+        big == 2 ? 2.0 * share_keep : static_cast<double>(big);
+    const double little_units =
+        (little == 2 ? 2.0 * share_keep : static_cast<double>(little)) *
+        spec.asymmetric.little_perf_scale;
+    parallel_rate = core_rate * (big_units + little_units);
+    if (big > 0 && little > 0) {
+      t_migration_s = spec.asymmetric.migration_cost_ms * 1e-3;
+    }
+  }
 
   // DRAM traffic: cache locality filters some of the nominal traffic.
   const double dram_gb =
@@ -89,7 +107,8 @@ CpuTiming evaluate_cpu(const MachineSpec& spec,
   const double t_mem_s = dram_gb / bw;
   const double t_par_s = std::max(t_par_compute_s, t_mem_s);
   const double t_overhead_s =
-      spec.omp_overhead_ms * 1e-3 * static_cast<double>(threads - 1);
+      spec.omp_overhead_ms * 1e-3 * static_cast<double>(threads - 1) +
+      t_migration_s;
   const double t_total_s = t_serial_s + t_par_s + t_overhead_s;
 
   CpuTiming timing;
@@ -158,6 +177,16 @@ GpuTiming evaluate_gpu(const MachineSpec& spec,
 }
 
 }  // namespace
+
+int asymmetric_little_threads(const hw::Configuration& config) {
+  const int threads = config.threads;
+  if (config.mapping == hw::CoreMapping::Compact) {
+    // Fill the big module (module 0, two cores) before spilling over.
+    return std::max(0, threads - hw::kCoresPerModule);
+  }
+  // Scatter alternates modules: thread i lands on module i % 2.
+  return threads / 2;
+}
 
 SteadyState evaluate_steady_state_at(const MachineSpec& spec,
                                      const KernelCharacteristics& kernel,

@@ -17,6 +17,22 @@
 
 namespace acsel::soc {
 
+/// Asymmetric CPU clusters (big.LITTLE, Coutinho 2020 in PAPERS.md).
+/// Module 0 keeps the spec's nominal per-core behaviour ("big"); module 1
+/// becomes a LITTLE cluster whose cores trade throughput for dynamic power.
+/// Off by default: the Trinity baseline is symmetric, and every existing
+/// code path is bit-identical while `enabled` is false.
+struct AsymmetricCpuSpec {
+  bool enabled = false;
+  /// LITTLE-core compute throughput relative to a big core (IPC x width).
+  double little_perf_scale = 0.45;
+  /// LITTLE-core dynamic power relative to a big core at the same V/f.
+  double little_power_scale = 0.30;
+  /// Added invocation latency when one kernel's threads span both clusters
+  /// (cluster migration + coherence traffic across the cluster bridge), ms.
+  double migration_cost_ms = 0.25;
+};
+
 /// Tunable machine constants. Defaults approximate the A10-5800K's
 /// published envelope (100 W TDP, dual-channel DDR3-1866, 384-core GPU)
 /// and the power levels of paper Table I. Exposed as a struct so tests and
@@ -80,6 +96,9 @@ struct MachineSpec {
   double guard_max_plausible_w = 500.0;
   std::size_t guard_median_window = 5;
 
+  // -- asymmetric clusters (machine-zoo big.LITTLE class; off by default) --
+  AsymmetricCpuSpec asymmetric;
+
   // -- thermal / boost (paper §VI future work; boost off by default) -------
   ThermalSpec thermal;
 
@@ -134,6 +153,12 @@ struct SteadyState {
   /// Performance as throughput (invocations per second).
   double performance() const { return 1000.0 / time_ms; }
 };
+
+/// Number of `config.threads` that land on the LITTLE cluster (module 1)
+/// under an asymmetric spec. Compact fills the big module first; Scatter
+/// alternates modules, so its second thread already crosses the bridge.
+/// Shared by the perf and power models so both planes see the same split.
+int asymmetric_little_threads(const hw::Configuration& config);
 
 /// Evaluates the noise-free steady state of `kernel` at `config`.
 /// This is the ground truth the oracle uses; Machine::run adds measurement

@@ -42,9 +42,17 @@ PowerBreakdown evaluate_power_at(const MachineSpec& spec,
     const double act = activity_factor(spec, activity.compute_utilization);
     const double vector_gain =
         1.0 + spec.cpu_vector_power_gain * kernel.vector_fraction;
-    power.cpu_w += static_cast<double>(config.threads) *
-                   spec.cpu_core_dyn_w * f_cpu * v_cpu * v_cpu * act *
-                   vector_gain;
+    double thread_weight = static_cast<double>(config.threads);
+    if (spec.asymmetric.enabled) {
+      // LITTLE cores switch less capacitance per cycle; weight them by the
+      // same split the perf model uses so both planes stay consistent.
+      const int little = asymmetric_little_threads(config);
+      thread_weight = static_cast<double>(config.threads - little) +
+                      spec.asymmetric.little_power_scale *
+                          static_cast<double>(little);
+    }
+    power.cpu_w += thread_weight * spec.cpu_core_dyn_w * f_cpu * v_cpu *
+                   v_cpu * act * vector_gain;
   } else {
     // Host/driver thread: one core, mostly waiting on the GPU, with bursts
     // of launch work. Model it as one low-activity core.

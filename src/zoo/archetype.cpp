@@ -1,0 +1,193 @@
+#include "zoo/archetype.h"
+
+#include <array>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acsel::zoo {
+
+namespace {
+
+constexpr std::array<Archetype, kArchetypeCount> kAllArchetypes{
+    Archetype::Trinity, Archetype::BigLittle, Archetype::HpcGpu,
+    Archetype::Edge};
+
+/// Applies the catalog's calibration jitter: every continuous perf/power
+/// coefficient moves by at most ±3%, in a fixed field order so the result
+/// is a pure function of the rng seed. Measurement, guard, thermal and
+/// trace fields are identity, not calibration — they stay exact.
+void jitter_spec(soc::MachineSpec& spec, Rng& rng) {
+  double* fields[] = {
+      &spec.cpu_scalar_flops_per_cycle,
+      &spec.cpu_vector_gain,
+      &spec.module_share_penalty,
+      &spec.dram_bw_gbs,
+      &spec.gpu_bw_gbs,
+      &spec.single_thread_bw_frac,
+      &spec.gpu_flops_per_core_cycle,
+      &spec.gpu_divergence_penalty,
+      &spec.omp_overhead_ms,
+      &spec.base_power_w,
+      &spec.cpu_leak_w_per_v2,
+      &spec.cpu_core_dyn_w,
+      &spec.cpu_vector_power_gain,
+      &spec.gpu_leak_w_per_v2,
+      &spec.gpu_dyn_w,
+      &spec.nb_w_per_gbs,
+  };
+  for (double* field : fields) {
+    *field *= rng.uniform(0.97, 1.03);
+  }
+}
+
+}  // namespace
+
+const char* to_string(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::Trinity:
+      return "trinity";
+    case Archetype::BigLittle:
+      return "biglittle";
+    case Archetype::HpcGpu:
+      return "hpc-gpu";
+    case Archetype::Edge:
+      return "edge";
+  }
+  return "?";
+}
+
+Archetype archetype_from_string(const std::string& name) {
+  for (const Archetype archetype : kAllArchetypes) {
+    if (name == to_string(archetype)) {
+      return archetype;
+    }
+  }
+  throw Error("unknown archetype: \"" + name + '"');
+}
+
+std::span<const Archetype> all_archetypes() { return kAllArchetypes; }
+
+ArchetypeCatalog::ArchetypeCatalog(std::uint64_t seed) : seed_(seed) {}
+
+soc::MachineSpec ArchetypeCatalog::base_spec(Archetype archetype) {
+  soc::MachineSpec spec;  // the Trinity baseline
+  switch (archetype) {
+    case Archetype::Trinity:
+      break;
+    case Archetype::BigLittle:
+      // Mobile SoC: module 1 becomes a LITTLE cluster, LPDDR-class
+      // memory, a smaller integrated GPU, and a lower power floor.
+      spec.asymmetric.enabled = true;
+      spec.asymmetric.little_perf_scale = 0.40;
+      spec.asymmetric.little_power_scale = 0.28;
+      spec.asymmetric.migration_cost_ms = 0.30;
+      spec.dram_bw_gbs = 14.0;
+      spec.gpu_bw_gbs = 16.0;
+      spec.gpu_flops_per_core_cycle = 1.4;
+      spec.gpu_dyn_w = 22.0;
+      spec.gpu_leak_w_per_v2 = 1.2;
+      spec.base_power_w = 3.5;
+      spec.cpu_core_dyn_w = 1.1;
+      spec.cpu_leak_w_per_v2 = 2.2;
+      break;
+    case Archetype::HpcGpu:
+      // Discrete-GPU node: the accelerator dwarfs the host — high idle
+      // floor (board + VRMs + fans), a steep GPU dynamic-power law, wide
+      // GDDR-class bandwidth, and beefier server cores.
+      spec.base_power_w = 45.0;
+      spec.gpu_dyn_w = 130.0;
+      spec.gpu_leak_w_per_v2 = 7.0;
+      spec.gpu_flops_per_core_cycle = 4.0;
+      spec.gpu_bw_gbs = 180.0;
+      spec.gpu_divergence_penalty = 0.55;
+      spec.dram_bw_gbs = 60.0;
+      spec.single_thread_bw_frac = 0.4;
+      spec.cpu_scalar_flops_per_cycle = 4.0;
+      spec.cpu_core_dyn_w = 2.8;
+      spec.cpu_leak_w_per_v2 = 5.0;
+      spec.nb_w_per_gbs = 0.12;
+      break;
+    case Archetype::Edge:
+      // Low-power edge class: every watt coefficient shrinks faster than
+      // the performance ones, so its feasible-under-cap region looks
+      // nothing like the Trinity's.
+      spec.base_power_w = 1.2;
+      spec.cpu_leak_w_per_v2 = 0.7;
+      spec.cpu_core_dyn_w = 0.45;
+      spec.cpu_vector_power_gain = 0.5;
+      spec.gpu_leak_w_per_v2 = 0.5;
+      spec.gpu_dyn_w = 7.0;
+      spec.nb_w_per_gbs = 0.15;
+      spec.cpu_scalar_flops_per_cycle = 1.2;
+      spec.cpu_vector_gain = 1.8;
+      spec.dram_bw_gbs = 9.0;
+      spec.gpu_bw_gbs = 11.0;
+      spec.gpu_flops_per_core_cycle = 1.0;
+      spec.omp_overhead_ms = 0.05;
+      break;
+  }
+  return spec;
+}
+
+soc::MachineSpec ArchetypeCatalog::spec(Archetype archetype) const {
+  soc::MachineSpec spec = base_spec(archetype);
+  Rng rng{Rng::mix_seeds(
+      seed_, static_cast<std::uint64_t>(archetype) + 1)};
+  jitter_spec(spec, rng);
+  return spec;
+}
+
+soc::Machine ArchetypeCatalog::make_machine(Archetype archetype) const {
+  // Fold the archetype into the machine seed too: two archetypes from one
+  // catalog never share a measurement-noise stream.
+  return soc::Machine{
+      spec(archetype),
+      Rng::mix_seeds(seed_,
+                           0x2000u + static_cast<std::uint64_t>(archetype))};
+}
+
+std::vector<NamedSpec> ArchetypeCatalog::specs() const {
+  std::vector<NamedSpec> out;
+  out.reserve(kArchetypeCount);
+  for (const Archetype archetype : kAllArchetypes) {
+    out.push_back(NamedSpec{to_string(archetype), spec(archetype)});
+  }
+  return out;
+}
+
+std::vector<NamedSpec> ArchetypeCatalog::calibration_variants() {
+  std::vector<NamedSpec> variants;
+  variants.push_back({"baseline", soc::MachineSpec{}});
+  {
+    NamedSpec v{"GPU 25% weaker (gpu_dyn/eff)", soc::MachineSpec{}};
+    v.spec.gpu_dyn_w *= 1.25;                 // hungrier
+    v.spec.gpu_flops_per_core_cycle *= 0.75;  // slower
+    variants.push_back(v);
+  }
+  {
+    NamedSpec v{"GPU 25% stronger", soc::MachineSpec{}};
+    v.spec.gpu_dyn_w *= 0.75;
+    v.spec.gpu_flops_per_core_cycle *= 1.25;
+    variants.push_back(v);
+  }
+  {
+    NamedSpec v{"DRAM bandwidth +25%", soc::MachineSpec{}};
+    v.spec.dram_bw_gbs *= 1.25;
+    v.spec.gpu_bw_gbs *= 1.25;
+    variants.push_back(v);
+  }
+  {
+    NamedSpec v{"CPU cores 25% hungrier", soc::MachineSpec{}};
+    v.spec.cpu_core_dyn_w *= 1.25;
+    variants.push_back(v);
+  }
+  {
+    NamedSpec v{"3x SMU noise", soc::MachineSpec{}};
+    v.spec.power_noise_frac *= 3.0;
+    variants.push_back(v);
+  }
+  return variants;
+}
+
+}  // namespace acsel::zoo

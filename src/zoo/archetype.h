@@ -1,0 +1,96 @@
+// The machine zoo: a parameterized family of machine architectures built
+// on soc::MachineSpec. Everything upstream of this library ran on one
+// synthetic Trinity-like APU; the zoo adds the architecture classes the
+// related work names — an asymmetric big.LITTLE mobile SoC (Coutinho
+// 2020), a discrete-GPU HPC node (Silva 2018) and a low-power edge class
+// (Chen cross-architectural power modelling) — so training, serving,
+// adaptation and the fleet can be exercised *across* architectures, not
+// just across workloads.
+//
+// Every spec is deterministic from (catalog seed, archetype): the base
+// coefficients of the archetype get a small seeded calibration jitter
+// (the spread between two physical units of one SKU), derived with
+// Rng::mix_seeds so the result is bitwise-identical across runs and
+// thread counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "soc/machine.h"
+#include "soc/perf_model.h"
+
+namespace acsel::zoo {
+
+/// The architecture classes the zoo generates.
+enum class Archetype : std::uint8_t {
+  /// The paper's Trinity-class APU baseline (MachineSpec defaults).
+  Trinity = 0,
+  /// Asymmetric big.LITTLE mobile SoC: one big + one LITTLE cluster with
+  /// distinct perf/power curves and a cluster-migration cost.
+  BigLittle = 1,
+  /// Discrete-GPU HPC node: high idle power, a much steeper GPU
+  /// frequency/power law, wide memory system.
+  HpcGpu = 2,
+  /// Low-power edge class: everything small — frequencies count the same
+  /// but every watt coefficient shrinks.
+  Edge = 3,
+};
+
+inline constexpr std::size_t kArchetypeCount = 4;
+
+const char* to_string(Archetype archetype);
+
+/// Parses a to_string() name back; throws acsel::Error on unknown names.
+Archetype archetype_from_string(const std::string& name);
+
+/// All archetypes in catalog order (the A×B transfer-matrix order).
+std::span<const Archetype> all_archetypes();
+
+/// A named spec variant — the catalog's unit of exchange with benches
+/// that iterate machine families (transfer matrix, calibration
+/// sensitivity).
+struct NamedSpec {
+  std::string name;
+  soc::MachineSpec spec;
+};
+
+class ArchetypeCatalog {
+ public:
+  /// `seed` selects the calibration jitter of every generated spec; two
+  /// catalogs with one seed generate bit-identical specs.
+  explicit ArchetypeCatalog(std::uint64_t seed = 0);
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// The archetype's spec: base_spec() plus a deterministic ±3% jitter on
+  /// the continuous perf/power coefficients, a pure function of
+  /// (seed, archetype).
+  soc::MachineSpec spec(Archetype archetype) const;
+
+  /// A machine of the archetype, seeded like the benches seed theirs
+  /// (the machine seed folds the catalog seed with the archetype, so two
+  /// archetypes never share a noise stream).
+  soc::Machine make_machine(Archetype archetype) const;
+
+  /// Every archetype as a NamedSpec, catalog order.
+  std::vector<NamedSpec> specs() const;
+
+  /// The jitter-free base coefficients of the archetype. Trinity is the
+  /// MachineSpec default; the others perturb it per the class comments
+  /// above.
+  static soc::MachineSpec base_spec(Archetype archetype);
+
+  /// The calibration-sensitivity perturbation family of the robustness
+  /// bench (DESIGN §sensitivity): the Trinity baseline plus ±25% GPU
+  /// power, +25% DRAM bandwidth, a hungrier CPU, and 3x measurement
+  /// noise. Lives here so exactly one place builds machine variants.
+  static std::vector<NamedSpec> calibration_variants();
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace acsel::zoo

@@ -439,6 +439,7 @@ TEST(ServeCodec, StatsResponseCarriesTheFleetBlockExactly) {
   response.fleet.replica_timeouts = 11;
   response.fleet.rebalances = 25;
   response.fleet.global_budget_w = 480.5;
+  response.fleet.model_mismatch = 77;
   std::vector<std::uint8_t> bytes;
   encode_stats_response(response, bytes);
   const Decoded decoded = decode_frame(bytes);
@@ -525,8 +526,8 @@ TEST(ServeCodec, StatsResponseTruncatedInsideTheFleetBlockIsMalformed) {
 
 TEST(ServeCodec, StatsResponseTruncatedInsideTheAdaptBlockIsMalformed) {
   // Cut the declared payload mid-way through the adapt counters (the
-  // blocks appended after it — fleet 193 + empty series 21 + empty slo
-  // 13 — total 227 bytes, so the cut must reach past them): the block is
+  // blocks appended after it — fleet 201 + empty series 21 + empty slo
+  // 13 — total 235 bytes, so the cut must reach past them): the block is
   // not optional, so a short frame must not silently decode to a zeroed
   // AdaptStats.
   StatsResponse response;
@@ -860,11 +861,12 @@ TEST(ServeCodec, VersionOneFramesAreUnsupported) {
 }
 
 TEST(ServeCodec, UnknownFlagBitsAreUnsupportedNotGuessed) {
-  // An unknown flag bit may change the frame size (as bits 0 and 1 both
-  // did), so decoding must refuse rather than desynchronize the stream.
+  // An unknown flag bit may change the frame size (as bits 0 through 2
+  // all did), so decoding must refuse rather than desynchronize the
+  // stream.
   const obs::TraceContext trace = make_trace();
   for (const std::uint8_t bit :
-       {std::uint8_t{0x04}, std::uint8_t{0x80}}) {
+       {std::uint8_t{0x08}, std::uint8_t{0x80}}) {
     std::vector<std::uint8_t> bytes;
     encode_request(make_request(), bytes, &trace);
     // flags u16 little-endian at offsets 6..7
@@ -998,10 +1000,10 @@ TEST(ServeCodec, SeriesAttachedMustBeBoolean) {
   StatsResponse response;
   std::vector<std::uint8_t> bytes;
   encode_stats_response(response, bytes);
-  // With no metrics the series block starts at payload offset 313
-  // (8+1+4 response header + 107 adapt + 193 fleet, the fleet block's
-  // per-priority + brownout rows included).
-  bytes[kFrameHeaderBytes + 313] = 2;
+  // With no metrics the series block starts at payload offset 321
+  // (8+1+4 response header + 107 adapt + 201 fleet, the fleet block's
+  // per-priority, brownout and model-mismatch rows included).
+  bytes[kFrameHeaderBytes + 321] = 2;
   EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
 }
 
@@ -1009,8 +1011,8 @@ TEST(ServeCodec, AbsurdSeriesCountIsRejected) {
   StatsResponse response;
   std::vector<std::uint8_t> bytes;
   encode_stats_response(response, bytes);
-  // series count u32 at payload offset 313 + 1 + 8 + 8 = 330.
-  bytes[kFrameHeaderBytes + 330 + 3] = 0xff;  // ~16M rollups declared
+  // series count u32 at payload offset 321 + 1 + 8 + 8 = 338.
+  bytes[kFrameHeaderBytes + 338 + 3] = 0xff;  // ~16M rollups declared
   EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::MalformedPayload);
 }
 
@@ -1239,6 +1241,189 @@ TEST(ServeCodec, BrownoutStageBeyondTheLadderIsRejected) {
   const Decoded decoded = decode_frame(bytes);
   EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
   EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+// ---- fingerprint block -------------------------------------------------
+
+HardwareFingerprint make_fingerprint() {
+  HardwareFingerprint fp;
+  fp.hash = 0x1badc0de5eedf00dULL;
+  fp.cpu_cores = 4;
+  fp.gpu_cores = 384;
+  fp.cpu_peak_ghz = 3.2;
+  fp.gpu_peak_mhz = 686.0;
+  fp.idle_power_w = 5.5;
+  fp.peak_power_w = 62.25;
+  return fp;
+}
+
+TEST(ServeCodec, FingerprintBlockRoundTripsOnRequestFrames) {
+  SelectRequest request = make_request();
+  request.fingerprint = make_fingerprint();
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  ASSERT_TRUE(decoded.has_fingerprint);
+  EXPECT_EQ(decoded.fingerprint.hash, request.fingerprint->hash);
+  EXPECT_EQ(decoded.fingerprint.cpu_cores, request.fingerprint->cpu_cores);
+  EXPECT_EQ(decoded.fingerprint.gpu_cores, request.fingerprint->gpu_cores);
+  EXPECT_EQ(decoded.fingerprint.cpu_peak_ghz,
+            request.fingerprint->cpu_peak_ghz);
+  EXPECT_EQ(decoded.fingerprint.gpu_peak_mhz,
+            request.fingerprint->gpu_peak_mhz);
+  EXPECT_EQ(decoded.fingerprint.idle_power_w,
+            request.fingerprint->idle_power_w);
+  EXPECT_EQ(decoded.fingerprint.peak_power_w,
+            request.fingerprint->peak_power_w);
+  // The flag costs exactly the fingerprint block.
+  std::vector<std::uint8_t> unkeyed;
+  encode_request(make_request(), unkeyed);
+  EXPECT_EQ(bytes.size(), unkeyed.size() + kFingerprintBlockBytes);
+}
+
+TEST(ServeCodec, FingerprintlessFramesAreByteIdenticalToLegacy) {
+  // A request without a fingerprint must not pay for the new block nor
+  // set its flag bit — old and new builds produce the same bytes.
+  std::vector<std::uint8_t> bytes;
+  encode_request(make_request(), bytes);
+  EXPECT_EQ(bytes[6] & 0x04, 0);  // flags bit 2 unset
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_FALSE(decoded.has_fingerprint);
+  EXPECT_FALSE(decoded.request.fingerprint.has_value());
+}
+
+TEST(ServeCodec, FingerprintBlockVersionMismatchIsUnsupported) {
+  // A future block layout may have a different size, so the frame
+  // boundary cannot be trusted: refuse like an unknown flag bit.
+  SelectRequest request = make_request();
+  request.fingerprint = make_fingerprint();
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+  bytes[kFrameHeaderBytes] = kFingerprintBlockVersion + 1;
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::UnsupportedVersion);
+  EXPECT_EQ(decoded.bytes_consumed, 0u);
+}
+
+TEST(ServeCodec, TruncatedFingerprintBlockIsNeedMoreData) {
+  SelectRequest request = make_request();
+  request.fingerprint = make_fingerprint();
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+  for (const std::size_t cut :
+       {kFrameHeaderBytes, kFrameHeaderBytes + 1,
+        kFrameHeaderBytes + kFingerprintBlockBytes - 1}) {
+    const Decoded decoded =
+        decode_frame(std::span<const std::uint8_t>{bytes.data(), cut});
+    EXPECT_EQ(decoded.status, DecodeStatus::NeedMoreData) << "cut " << cut;
+    EXPECT_EQ(decoded.bytes_consumed, 0u);
+  }
+}
+
+TEST(ServeCodec, ZeroHashFingerprintIsMalformedButSkippable) {
+  // 0 means "no fingerprint" internally, so no encoder puts it on the
+  // wire; a frame carrying one is corrupt but correctly sized.
+  SelectRequest request = make_request();
+  request.fingerprint = make_fingerprint();
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes);
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[kFrameHeaderBytes + 1 + i] = 0;  // hash u64 follows the version
+  }
+  const Decoded decoded = decode_frame(bytes);
+  EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload);
+  EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+}
+
+TEST(ServeCodec, NonFiniteFingerprintDescriptorIsRejected) {
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(), -1.0}) {
+    SelectRequest request = make_request();
+    request.fingerprint = make_fingerprint();
+    request.fingerprint->idle_power_w = bad;
+    std::vector<std::uint8_t> bytes;
+    encode_request(request, bytes);
+    const Decoded decoded = decode_frame(bytes);
+    EXPECT_EQ(decoded.status, DecodeStatus::MalformedPayload)
+        << "descriptor " << bad;
+    EXPECT_EQ(decoded.bytes_consumed, bytes.size());
+  }
+}
+
+TEST(ServeCodec, ZeroHashFingerprintCannotBeEncoded) {
+  SelectRequest request = make_request();
+  request.fingerprint = make_fingerprint();
+  request.fingerprint->hash = 0;
+  std::vector<std::uint8_t> bytes;
+  EXPECT_THROW(encode_request(request, bytes), Error);
+}
+
+TEST(ServeCodec, FingerprintCoexistsWithTraceAndPriorityBlocks) {
+  SelectRequest request = make_request();
+  request.priority = Priority::High;
+  request.fingerprint = make_fingerprint();
+  obs::TraceContext trace;
+  trace.trace_id = 0x7777;
+  trace.span_id = 0x8888;
+  trace.parent_id = 0x9999;
+  trace.sampled = true;
+  std::vector<std::uint8_t> bytes;
+  encode_request(request, bytes, &trace);
+  const Decoded decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::Ok);
+  EXPECT_TRUE(decoded.has_trace);
+  EXPECT_EQ(decoded.trace.trace_id, 0x7777u);
+  EXPECT_TRUE(decoded.has_priority);
+  EXPECT_EQ(decoded.request.priority, Priority::High);
+  ASSERT_TRUE(decoded.has_fingerprint);
+  EXPECT_EQ(decoded.fingerprint.hash, request.fingerprint->hash);
+  ASSERT_TRUE(decoded.request.fingerprint.has_value());
+  EXPECT_EQ(decoded.request.fingerprint->hash, request.fingerprint->hash);
+}
+
+TEST(ServeCodec, KeyedAndUnkeyedFramesInterleaveInOneStream) {
+  SelectRequest keyed = make_request();
+  keyed.fingerprint = make_fingerprint();
+  std::vector<std::uint8_t> stream;
+  encode_request(keyed, stream);
+  const std::size_t first = stream.size();
+  encode_request(make_request(), stream);
+  std::span<const std::uint8_t> cursor{stream};
+  const Decoded a = decode_frame(cursor);
+  ASSERT_EQ(a.status, DecodeStatus::Ok);
+  EXPECT_TRUE(a.has_fingerprint);
+  EXPECT_EQ(a.bytes_consumed, first);
+  const Decoded b = decode_frame(cursor.subspan(a.bytes_consumed));
+  ASSERT_EQ(b.status, DecodeStatus::Ok);
+  EXPECT_FALSE(b.has_fingerprint);
+  EXPECT_EQ(a.bytes_consumed + b.bytes_consumed, stream.size());
+}
+
+TEST(PredictorEnvelope, PublishFileErrorsNameTheOffendingPath) {
+  // A fleet-wide model push hits dozens of files; the error must say
+  // *which* one refused to load, and keep its type while saying so.
+  ModelRegistry registry;
+  const struct {
+    const char* text;
+    const char* name;
+  } rows[] = {
+      {"acsel-predictor transformer-v9 v1\nclusters 1\n", "path_kind.model"},
+      {"acsel-predictor cluster-cart v99\nclusters 1\n", "path_ver.model"},
+      {"garbage\n", "path_fmt.model"},
+  };
+  for (const auto& row : rows) {
+    const std::string path = write_temp_model(row.name, row.text);
+    try {
+      registry.publish_file(path);
+      FAIL() << "must throw for " << row.name;
+    } catch (const core::PredictorFormatError& error) {
+      EXPECT_NE(std::string(error.what()).find(path), std::string::npos)
+          << "message must carry the path: " << error.what();
+    }
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

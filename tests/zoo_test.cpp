@@ -1,0 +1,288 @@
+// Machine-zoo tests: the catalog must be a pure function of its seed
+// (bit-identical specs and fingerprints across catalogs and threads),
+// fingerprints must separate the architecture classes while ignoring
+// observation-only spec fields, and the big.LITTLE extension must change
+// nothing while disabled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "hw/config_space.h"
+#include "soc/perf_model.h"
+#include "soc/power_model.h"
+#include "util/error.h"
+#include "zoo/archetype.h"
+#include "zoo/fingerprint.h"
+
+namespace acsel::zoo {
+namespace {
+
+using hw::CoreMapping;
+using hw::Device;
+
+hw::Configuration cpu_config(std::size_t pstate, int threads,
+                             CoreMapping mapping = CoreMapping::Compact) {
+  hw::Configuration c;
+  c.device = Device::Cpu;
+  c.cpu_pstate = pstate;
+  c.threads = threads;
+  c.mapping = mapping;
+  return c;
+}
+
+soc::KernelCharacteristics parallel_kernel() {
+  soc::KernelCharacteristics k;
+  k.work_gflop = 2.0;
+  k.bytes_per_flop = 0.05;
+  k.parallel_fraction = 0.99;
+  k.vector_fraction = 0.7;
+  k.branch_divergence = 0.05;
+  k.gpu_efficiency = 0.7;
+  k.launch_overhead_ms = 0.4;
+  k.cache_locality = 0.8;
+  return k;
+}
+
+// ------------------------------------------------------------ catalog ---
+
+TEST(Zoo, NamesRoundTripThroughArchetypeFromString) {
+  for (const Archetype archetype : all_archetypes()) {
+    EXPECT_EQ(archetype_from_string(to_string(archetype)), archetype);
+  }
+  EXPECT_THROW(archetype_from_string("cray-1"), Error);
+  EXPECT_THROW(archetype_from_string(""), Error);
+}
+
+TEST(Zoo, OneSeedGeneratesBitIdenticalSpecs) {
+  const ArchetypeCatalog a{90210};
+  const ArchetypeCatalog b{90210};
+  for (const Archetype archetype : all_archetypes()) {
+    EXPECT_EQ(canonical_spec_bytes(a.spec(archetype)),
+              canonical_spec_bytes(b.spec(archetype)))
+        << to_string(archetype);
+    EXPECT_EQ(fingerprint_of(a.spec(archetype)).hash,
+              fingerprint_of(b.spec(archetype)).hash)
+        << to_string(archetype);
+  }
+}
+
+TEST(Zoo, SpecsAreBitIdenticalAcrossThreads) {
+  // The jitter must not depend on evaluation order or shared state: N
+  // threads hammering one catalog see the same bytes a cold catalog
+  // computes serially.
+  const ArchetypeCatalog catalog{7};
+  std::vector<std::vector<std::uint8_t>> expected;
+  for (const Archetype archetype : all_archetypes()) {
+    expected.push_back(canonical_spec_bytes(catalog.spec(archetype)));
+  }
+  std::vector<std::thread> threads;
+  std::vector<bool> identical(8, false);
+  for (std::size_t t = 0; t < identical.size(); ++t) {
+    threads.emplace_back([&, t] {
+      const ArchetypeCatalog local{7};
+      bool ok = true;
+      for (int repeat = 0; repeat < 16; ++repeat) {
+        for (std::size_t i = 0; i < kArchetypeCount; ++i) {
+          const Archetype archetype = all_archetypes()[i];
+          ok = ok && canonical_spec_bytes(local.spec(archetype)) ==
+                         expected[i] &&
+               canonical_spec_bytes(catalog.spec(archetype)) == expected[i];
+        }
+      }
+      identical[t] = ok;
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (std::size_t t = 0; t < identical.size(); ++t) {
+    EXPECT_TRUE(identical[t]) << "thread " << t;
+  }
+}
+
+TEST(Zoo, DifferentSeedsJitterTheSpec) {
+  const ArchetypeCatalog a{1};
+  const ArchetypeCatalog b{2};
+  for (const Archetype archetype : all_archetypes()) {
+    EXPECT_NE(fingerprint_of(a.spec(archetype)).hash,
+              fingerprint_of(b.spec(archetype)).hash)
+        << to_string(archetype);
+  }
+}
+
+TEST(Zoo, JitterStaysWithinThreePercentOfBase) {
+  const ArchetypeCatalog catalog{90210};
+  for (const Archetype archetype : all_archetypes()) {
+    const soc::MachineSpec base = ArchetypeCatalog::base_spec(archetype);
+    const soc::MachineSpec jittered = catalog.spec(archetype);
+    const struct {
+      double base, jittered;
+    } rows[] = {
+        {base.base_power_w, jittered.base_power_w},
+        {base.cpu_core_dyn_w, jittered.cpu_core_dyn_w},
+        {base.gpu_dyn_w, jittered.gpu_dyn_w},
+        {base.dram_bw_gbs, jittered.dram_bw_gbs},
+        {base.cpu_scalar_flops_per_cycle,
+         jittered.cpu_scalar_flops_per_cycle},
+    };
+    for (const auto& row : rows) {
+      EXPECT_GE(row.jittered, row.base * 0.97) << to_string(archetype);
+      EXPECT_LE(row.jittered, row.base * 1.03) << to_string(archetype);
+    }
+  }
+}
+
+TEST(Zoo, ArchetypesAreDistinctArchitectures) {
+  const ArchetypeCatalog catalog{90210};
+  std::vector<std::uint64_t> hashes;
+  for (const Archetype archetype : all_archetypes()) {
+    hashes.push_back(fingerprint_of(catalog.spec(archetype)).hash);
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Zoo, TrinityBaseSpecIsTheMachineSpecDefault) {
+  EXPECT_EQ(canonical_spec_bytes(ArchetypeCatalog::base_spec(
+                Archetype::Trinity)),
+            canonical_spec_bytes(soc::MachineSpec{}));
+}
+
+TEST(Zoo, CalibrationVariantsStartFromTheBaseline) {
+  const std::vector<NamedSpec> variants =
+      ArchetypeCatalog::calibration_variants();
+  ASSERT_GE(variants.size(), 5u);
+  EXPECT_EQ(variants[0].name, "baseline");
+  EXPECT_EQ(canonical_spec_bytes(variants[0].spec),
+            canonical_spec_bytes(soc::MachineSpec{}));
+  for (const NamedSpec& variant : variants) {
+    EXPECT_FALSE(variant.name.empty());
+  }
+}
+
+// -------------------------------------------------------- fingerprint ---
+
+TEST(Zoo, FingerprintIgnoresObservationOnlyFields) {
+  // Measurement noise, sensor guards and thermal boost describe how a
+  // machine is observed, not what it is — a model transfers across them,
+  // so they must not change the architecture's identity.
+  soc::MachineSpec spec;
+  const std::uint64_t hash = fingerprint_of(spec).hash;
+  spec.power_noise_frac *= 3.0;
+  spec.guard_median_window += 2;
+  spec.thermal.enable_boost = !spec.thermal.enable_boost;
+  EXPECT_EQ(canonical_spec_bytes(spec), canonical_spec_bytes({}));
+  EXPECT_EQ(fingerprint_of(spec).hash, hash);
+}
+
+TEST(Zoo, FingerprintTracksCalibrationCoefficients) {
+  soc::MachineSpec spec;
+  const std::uint64_t hash = fingerprint_of(spec).hash;
+  spec.gpu_dyn_w *= 1.01;
+  EXPECT_NE(fingerprint_of(spec).hash, hash);
+}
+
+TEST(Zoo, FingerprintHashIsNeverZero) {
+  for (const Archetype archetype : all_archetypes()) {
+    EXPECT_NE(fingerprint_of(ArchetypeCatalog::base_spec(archetype)).hash,
+              0u);
+  }
+}
+
+TEST(Zoo, DescriptorDistanceIsAMetricShape) {
+  const ArchetypeCatalog catalog{90210};
+  const HardwareFingerprint trinity =
+      fingerprint_of(catalog.spec(Archetype::Trinity));
+  const HardwareFingerprint edge =
+      fingerprint_of(catalog.spec(Archetype::Edge));
+  const HardwareFingerprint hpc =
+      fingerprint_of(catalog.spec(Archetype::HpcGpu));
+  EXPECT_EQ(trinity.distance_to(trinity), 0.0);
+  EXPECT_GT(trinity.distance_to(edge), 0.0);
+  EXPECT_NEAR(trinity.distance_to(edge), edge.distance_to(trinity), 1e-12);
+  // The HPC node's power envelope sits much farther from the edge class
+  // than the Trinity does — the fallback ordering the registry relies on.
+  EXPECT_GT(hpc.distance_to(edge), trinity.distance_to(edge));
+}
+
+// ---------------------------------------------------------- big.LITTLE --
+
+TEST(Zoo, DisabledAsymmetryChangesNothing) {
+  // The knobs may hold any values: while `enabled` is false the perf and
+  // power planes must be bit-identical to the pre-zoo model.
+  const auto k = parallel_kernel();
+  soc::MachineSpec modified;
+  modified.asymmetric.little_perf_scale = 0.01;
+  modified.asymmetric.little_power_scale = 9.0;
+  modified.asymmetric.migration_cost_ms = 99.0;
+  for (int threads = 1; threads <= 4; ++threads) {
+    for (const CoreMapping mapping :
+         {CoreMapping::Compact, CoreMapping::Scatter}) {
+      if (mapping == CoreMapping::Scatter && (threads < 2 || threads > 3)) {
+        continue;  // canonicalized to compact when physically indistinct
+      }
+      const auto config = cpu_config(3, threads, mapping);
+      const auto a = evaluate_steady_state(soc::MachineSpec{}, k, config);
+      const auto b = evaluate_steady_state(modified, k, config);
+      EXPECT_EQ(a.time_ms, b.time_ms);
+      EXPECT_EQ(a.cpu_power_w, b.cpu_power_w);
+      EXPECT_EQ(a.nbgpu_power_w, b.nbgpu_power_w);
+    }
+  }
+}
+
+TEST(Zoo, LittleClusterTradesPerformanceForPower) {
+  // Four threads span both clusters: the asymmetric machine must be
+  // slower (LITTLE cores retire less) and draw less CPU power (they are
+  // cheaper) than its symmetric twin.
+  const auto k = parallel_kernel();
+  soc::MachineSpec biglittle;
+  biglittle.asymmetric.enabled = true;
+  const auto config = cpu_config(3, 4);
+  const auto symmetric =
+      evaluate_steady_state(soc::MachineSpec{}, k, config);
+  const auto asymmetric = evaluate_steady_state(biglittle, k, config);
+  EXPECT_GT(asymmetric.time_ms, symmetric.time_ms);
+  EXPECT_LT(asymmetric.cpu_power_w, symmetric.cpu_power_w);
+}
+
+TEST(Zoo, CompactSingleThreadStaysOnTheBigCluster) {
+  // One compact thread never leaves module 0, so the asymmetric spec is
+  // invisible to it; a scatter pair already spans the bridge.
+  EXPECT_EQ(soc::asymmetric_little_threads(cpu_config(3, 1)), 0);
+  EXPECT_EQ(soc::asymmetric_little_threads(cpu_config(3, 2)), 0);
+  EXPECT_EQ(soc::asymmetric_little_threads(cpu_config(3, 3)), 1);
+  EXPECT_EQ(soc::asymmetric_little_threads(cpu_config(3, 4)), 2);
+  EXPECT_EQ(soc::asymmetric_little_threads(
+                cpu_config(3, 2, CoreMapping::Scatter)),
+            1);
+  const auto k = parallel_kernel();
+  soc::MachineSpec biglittle;
+  biglittle.asymmetric.enabled = true;
+  const auto config = cpu_config(3, 1);
+  const auto symmetric =
+      evaluate_steady_state(soc::MachineSpec{}, k, config);
+  const auto asymmetric = evaluate_steady_state(biglittle, k, config);
+  EXPECT_EQ(asymmetric.time_ms, symmetric.time_ms);
+  EXPECT_EQ(asymmetric.cpu_power_w, symmetric.cpu_power_w);
+}
+
+TEST(Zoo, MigrationCostPenalizesSpanningKernels) {
+  const auto k = parallel_kernel();
+  soc::MachineSpec cheap;
+  cheap.asymmetric.enabled = true;
+  cheap.asymmetric.migration_cost_ms = 0.0;
+  soc::MachineSpec expensive = cheap;
+  expensive.asymmetric.migration_cost_ms = 1.0;
+  const auto config = cpu_config(3, 4);  // spans both clusters
+  EXPECT_GT(evaluate_steady_state(expensive, k, config).time_ms,
+            evaluate_steady_state(cheap, k, config).time_ms);
+}
+
+}  // namespace
+}  // namespace acsel::zoo
